@@ -1,0 +1,181 @@
+package deepum
+
+import (
+	"testing"
+
+	"deepum/internal/engine"
+	"deepum/internal/experiments"
+	"deepum/internal/sim"
+	"deepum/internal/workload"
+)
+
+// engineRun is a bench helper running one UM-policy simulation.
+func engineRun(params sim.Params, prog *workload.Program, density bool) (*engine.Result, error) {
+	return engine.Run(engine.Config{
+		Params:            params,
+		Program:           prog,
+		Policy:            engine.PolicyUM,
+		Iterations:        3,
+		Warmup:            3,
+		Seed:              1,
+		UMDensityPrefetch: density,
+	})
+}
+
+// Benchmarks regenerate the paper's tables and figures — one bench target
+// per artifact (deliverable (d)). Each iteration runs the experiment's full
+// workload matrix in Quick mode (one batch size per model) at scale 32 so
+// `go test -bench=.` completes in minutes; run cmd/deepum-bench for the
+// complete matrices, and pass -scale 1 there for paper-sized footprints.
+//
+// Reported metrics: ns/op is the wall-clock cost of regenerating the
+// artifact; the table itself is logged once per benchmark via -v.
+
+// benchOpts is the shared quick configuration for bench targets.
+func benchOpts() experiments.Options {
+	return experiments.Options{Scale: 32, Iterations: 3, Warmup: 4, Quick: true, Seed: 1}
+}
+
+func runExperimentBench(b *testing.B, id string) {
+	b.Helper()
+	e, err := experiments.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := benchOpts()
+	for i := 0; i < b.N; i++ {
+		tbl, err := e.Run(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 && testing.Verbose() {
+			b.Log("\n" + tbl.String())
+		}
+	}
+}
+
+// BenchmarkFig9a regenerates Figure 9(a): speedup of LMS, LMS-mod, DeepUM
+// and Ideal over naive UM on the V100-32GB.
+func BenchmarkFig9a(b *testing.B) { runExperimentBench(b, "fig9a") }
+
+// BenchmarkFig9b regenerates Figure 9(b): elapsed seconds per 100 training
+// iterations for UM, LMS, LMS-mod and DeepUM.
+func BenchmarkFig9b(b *testing.B) { runExperimentBench(b, "fig9b") }
+
+// BenchmarkFig9c regenerates Figure 9(c): total energy consumption ratio of
+// LMS and DeepUM over naive UM.
+func BenchmarkFig9c(b *testing.B) { runExperimentBench(b, "fig9c") }
+
+// BenchmarkTable3 regenerates Table 3: maximum possible batch sizes of LMS
+// and DeepUM (binary search over actual runs).
+func BenchmarkTable3(b *testing.B) { runExperimentBench(b, "table3") }
+
+// BenchmarkTable4 regenerates Table 4: correlation table sizes.
+func BenchmarkTable4(b *testing.B) { runExperimentBench(b, "table4") }
+
+// BenchmarkTable5 regenerates Table 5: average page faults per training
+// iteration under naive UM and DeepUM.
+func BenchmarkTable5(b *testing.B) { runExperimentBench(b, "table5") }
+
+// BenchmarkFig10 regenerates Figure 10: the cumulative ablation of
+// prefetching, pre-eviction and invalidation.
+func BenchmarkFig10(b *testing.B) { runExperimentBench(b, "fig10") }
+
+// BenchmarkFig11 regenerates Figure 11: sensitivity to the prefetch degree
+// N (speedup and energy versus N=8).
+func BenchmarkFig11(b *testing.B) { runExperimentBench(b, "fig11") }
+
+// BenchmarkFig12 regenerates Table 6 + Figure 12: the UM-block correlation
+// table parameter sweep (Config0-Config12).
+func BenchmarkFig12(b *testing.B) { runExperimentBench(b, "fig12") }
+
+// BenchmarkTable7 regenerates Table 7: maximum batch sizes of the
+// TensorFlow-based approaches and DeepUM on the V100-16GB.
+func BenchmarkTable7(b *testing.B) { runExperimentBench(b, "table7") }
+
+// BenchmarkFig13 regenerates Figure 13: speedup of vDNN, AutoTM,
+// SwapAdvisor, Capuchin, Sentinel, DeepUM and Ideal over naive UM on the
+// V100-16GB.
+func BenchmarkFig13(b *testing.B) { runExperimentBench(b, "fig13") }
+
+// --- Ablation benches for DESIGN.md §5's design choices --------------------
+
+// BenchmarkAblationChainingOff measures classic single-table pair-based
+// prefetching (no cross-kernel chaining) against DeepUM's two-table design:
+// degree 1 stops the chain at the current kernel's boundary.
+func BenchmarkAblationChainingOff(b *testing.B) {
+	w := Workload{Model: "bert-large", Batch: 16}
+	for i := 0; i < b.N; i++ {
+		cfg := DefaultConfig()
+		cfg.Scale = 32
+		cfg.Iterations = 3
+		cfg.Driver.Degree = 1
+		if _, err := Train(w, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationPageGranularityTables measures the memory cost of
+// page-granularity history (the alternative §4.2 rejects): 512x the rows at
+// the same associativity, on the same workload.
+func BenchmarkAblationPageGranularityTables(b *testing.B) {
+	w := Workload{Model: "bert-base", Batch: 16}
+	for i := 0; i < b.N; i++ {
+		cfg := DefaultConfig()
+		cfg.Scale = 32
+		cfg.Iterations = 2
+		cfg.Driver.TableConfig = BlockTableConfig{NumRows: 65536, Assoc: 2, NumSuccs: 4, NumLevels: 1}
+		res, err := Train(w, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.CorrelationTableBytes)/(1<<20), "tableMiB")
+	}
+}
+
+// BenchmarkEngineKernel measures the simulation engine's own throughput:
+// simulated kernels per second on a steady-state DeepUM run.
+func BenchmarkEngineKernel(b *testing.B) {
+	w := Workload{Model: "bert-large", Batch: 16}
+	prog, err := BuildProgram(w, 32)
+	if err != nil {
+		b.Fatal(err)
+	}
+	kernels := prog.Kernels()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := DefaultConfig()
+		cfg.Scale = 32
+		cfg.Iterations = 3
+		if _, err := Train(w, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(kernels*(3+3))*float64(b.N), "simKernels")
+}
+
+// BenchmarkAblationUMDensity contrasts three fault-coalescing strategies on
+// the same oversubscribed workload: naive chunked UM, UM with the NVIDIA
+// density (neighborhood) heuristic, and DeepUM's predictive whole-block
+// prefetch — the spectrum DESIGN.md §5 calls out.
+func BenchmarkAblationUMDensity(b *testing.B) {
+	prog, err := BuildProgram(Workload{Model: "bert-large", Batch: 16}, 32)
+	if err != nil {
+		b.Fatal(err)
+	}
+	params := V100_32GB().Scale(32)
+	for i := 0; i < b.N; i++ {
+		for _, density := range []bool{false, true} {
+			res, err := engineRun(params, prog, density)
+			if err != nil {
+				b.Fatal(err)
+			}
+			name := "umNaiveMs"
+			if density {
+				name = "umDensityMs"
+			}
+			b.ReportMetric(float64(res.IterTime().Milliseconds()), name)
+		}
+	}
+}

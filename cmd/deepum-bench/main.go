@@ -1,0 +1,65 @@
+// Command deepum-bench regenerates the tables and figures of the DeepUM
+// paper's evaluation (§6). With no arguments it runs every experiment at the
+// default scale; -run selects one; -scale 1 runs paper-sized footprints.
+//
+//	deepum-bench -run fig9a
+//	deepum-bench -run table5 -scale 4 -iters 8
+//	deepum-bench -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"deepum/internal/experiments"
+)
+
+func main() {
+	var (
+		run   = flag.String("run", "", "experiment id to run (default: all)")
+		list  = flag.Bool("list", false, "list experiment ids and exit")
+		scale = flag.Int64("scale", 8, "size divisor: 1 = paper-sized footprints")
+		iters = flag.Int("iters", 4, "measured training iterations per run")
+		warm  = flag.Int("warmup", 3, "warmup iterations before measurement")
+		quick = flag.Bool("quick", false, "one batch size per model")
+		seed  = flag.Int64("seed", 1, "seed for input-dependent access sampling")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	opts := experiments.Options{
+		Scale:      *scale,
+		Iterations: *iters,
+		Warmup:     *warm,
+		Quick:      *quick,
+		Seed:       *seed,
+	}
+	var exps []experiments.Experiment
+	if *run != "" {
+		e, err := experiments.ByID(*run)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		exps = []experiments.Experiment{e}
+	} else {
+		exps = experiments.All()
+	}
+	for _, e := range exps {
+		start := time.Now()
+		tbl, err := e.Run(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Println(tbl)
+		fmt.Printf("(%s regenerated in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,114 @@
+// Command deepum-inspect runs a short training simulation under DeepUM and
+// dumps the driver's internal state: execution-ID table statistics, UM-block
+// correlation tables (entries, Start/End anchors), and driver counters. It
+// is the debugging lens a kernel-module developer would want.
+//
+//	deepum-inspect -model bert-base -batch 8
+//	deepum-inspect -model dlrm -batch 96000 -top 20
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"deepum/internal/core"
+	"deepum/internal/correlation"
+	"deepum/internal/engine"
+	"deepum/internal/models"
+	"deepum/internal/sim"
+	"deepum/internal/trace"
+)
+
+func main() {
+	var (
+		model   = flag.String("model", "bert-base", "model name")
+		dataset = flag.String("dataset", "", "dataset variant")
+		batch   = flag.Int64("batch", 8, "batch size")
+		scale   = flag.Int64("scale", 32, "size divisor")
+		iters   = flag.Int("iters", 2, "measured iterations")
+		top     = flag.Int("top", 10, "how many block tables to list")
+		doTrace = flag.Bool("trace", false, "record and summarize the event trace")
+	)
+	flag.Parse()
+
+	prog, err := models.Build(models.Spec{Model: *model, Dataset: *dataset}, *batch, *scale)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	var rec *trace.Recorder
+	if *doTrace {
+		rec = trace.NewRecorder(1 << 20)
+	}
+	res, err := engine.Run(engine.Config{
+		Params:        sim.DefaultParams().Scale(*scale),
+		Program:       prog,
+		Policy:        engine.PolicyDeepUM,
+		DriverOptions: core.DefaultOptions(),
+		Iterations:    *iters,
+		Warmup:        3,
+		Seed:          1,
+		Tracer:        rec,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("== run ==\n")
+	fmt.Printf("model %s batch %d scale 1/%d: %d kernels/iteration, footprint %.2f GiB\n",
+		*model, *batch, *scale, prog.Kernels(), float64(prog.FootprintBytes())/float64(sim.GiB))
+	fmt.Printf("iteration time %v, %d page faults/iteration\n\n", res.IterTime(), res.FaultsPerIter)
+
+	fmt.Printf("== driver counters ==\n")
+	d := res.Driver
+	fmt.Printf("kernel launches      %d\n", d.KernelLaunches)
+	fmt.Printf("prefetch issued      %d\n", d.PrefetchIssued)
+	fmt.Printf("prefetch useful      %d\n", d.PrefetchUseful)
+	fmt.Printf("chain restarts       %d\n", d.ChainRestarts)
+	fmt.Printf("prediction failures  %d (noexec %d, anchorless %d)\n",
+		d.PredictionFails, d.DeathNoExec, d.DeathSkips)
+	fmt.Printf("pre-evictions        %d\n", d.Preevictions)
+	fmt.Printf("invalidations        %d\n", d.Invalidations)
+	fmt.Printf("window misses        %d\n\n", d.WindowMisses)
+
+	tables := res.Tables
+	if tables == nil {
+		fmt.Println("(no correlation tables: prefetch disabled)")
+		return
+	}
+	fmt.Printf("== correlation tables ==\n")
+	fmt.Printf("execution table: %d entries, %d records, %.1f KiB\n",
+		tables.Exec.Entries(), tables.Exec.Records(), float64(tables.Exec.SizeBytes())/1024)
+	fmt.Printf("block tables: %d allocated, %.1f MiB total\n\n",
+		tables.NumBlockTables(), float64(tables.SizeBytes())/float64(sim.MiB))
+
+	ids := tables.ExecIDs()
+	type row struct {
+		id      correlation.ExecID
+		entries int
+	}
+	rows := make([]row, 0, len(ids))
+	for _, id := range ids {
+		rows = append(rows, row{id, tables.Block(id).Entries()})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].entries > rows[j].entries })
+	if *top > len(rows) {
+		*top = len(rows)
+	}
+	fmt.Printf("%-8s %-8s %-12s %-12s\n", "execID", "entries", "start", "end")
+	for _, r := range rows[:*top] {
+		bt := tables.Block(r.id)
+		fmt.Printf("%-8d %-8d %-12d %-12d\n", r.id, r.entries, bt.Start, bt.End)
+	}
+
+	if rec != nil {
+		fmt.Printf("\n== event trace ==\n")
+		fmt.Print(trace.Summarize(rec.Events()))
+		if rec.Dropped() > 0 {
+			fmt.Printf("(%d oldest events dropped)\n", rec.Dropped())
+		}
+	}
+}

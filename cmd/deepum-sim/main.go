@@ -1,0 +1,86 @@
+// Command deepum-sim runs a single simulated training run of one model under
+// one memory-management system and prints its measurements.
+//
+//	deepum-sim -model bert-large -batch 16 -system deepum
+//	deepum-sim -model resnet152 -batch 1280 -system um -scale 16
+//	deepum-sim -model gpt2-xl -batch 5 -system deepum -degree 64
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"deepum"
+	"deepum/internal/sim"
+)
+
+func main() {
+	var (
+		model   = flag.String("model", "bert-large", "model name (see -models)")
+		dataset = flag.String("dataset", "", "dataset variant (cola, cifar10, ...)")
+		batch   = flag.Int64("batch", 16, "batch size")
+		system  = flag.String("system", "deepum", "memory system (see -systems)")
+		scale   = flag.Int64("scale", 8, "size divisor: 1 = paper-sized")
+		iters   = flag.Int("iters", 4, "measured iterations")
+		warmup  = flag.Int("warmup", 3, "warmup iterations")
+		degree  = flag.Int("degree", 32, "prefetch degree N (deepum only)")
+		gpu16   = flag.Bool("v100-16g", false, "use the 16 GiB V100 configuration")
+		seed    = flag.Int64("seed", 1, "irregular-access seed")
+		listM   = flag.Bool("models", false, "list model names and exit")
+		listS   = flag.Bool("systems", false, "list system names and exit")
+	)
+	flag.Parse()
+
+	if *listM {
+		for _, m := range deepum.Models() {
+			fmt.Println(m)
+		}
+		return
+	}
+	if *listS {
+		for _, s := range deepum.Systems() {
+			fmt.Println(s)
+		}
+		return
+	}
+
+	cfg := deepum.DefaultConfig()
+	cfg.System = deepum.System(*system)
+	cfg.Scale = *scale
+	cfg.Iterations = *iters
+	cfg.Warmup = *warmup
+	cfg.Seed = *seed
+	cfg.Driver.Degree = *degree
+	if *gpu16 {
+		cfg.Machine = deepum.V100_16GB()
+	}
+
+	res, err := deepum.Train(deepum.Workload{Model: *model, Dataset: *dataset, Batch: *batch}, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	prog, err := deepum.BuildProgram(deepum.Workload{Model: *model, Dataset: *dataset, Batch: *batch}, *scale)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("model      %s (dataset %q, batch %d, scale 1/%d)\n", *model, *dataset, *batch, *scale)
+	fmt.Printf("system     %s\n", res.System)
+	fmt.Printf("footprint  %.2f GiB (scaled), %d kernels/iteration\n",
+		float64(prog.FootprintBytes())/float64(sim.GiB), prog.Kernels())
+	fmt.Printf("iteration  %v (mean over %d measured iterations)\n", res.IterationTime, res.Iterations)
+	fmt.Printf("100 iters  %.1f s (extrapolated)\n", (100 * res.IterationTime).Seconds())
+	if res.PageFaultsPerIteration > 0 || res.System == deepum.SystemDeepUM || res.System == deepum.SystemUM {
+		fmt.Printf("faults     %d pages/iteration\n", res.PageFaultsPerIteration)
+	}
+	fmt.Printf("traffic    %.2f GiB H2D, %.2f GiB D2H\n",
+		float64(res.TrafficH2D)/float64(sim.GiB), float64(res.TrafficD2H)/float64(sim.GiB))
+	fmt.Printf("energy     %.1f J (measured window)\n", res.EnergyJoules)
+	if res.CorrelationTableBytes > 0 {
+		fmt.Printf("tables     %.1f MiB correlation tables (%d prefetches issued, %d useful)\n",
+			float64(res.CorrelationTableBytes)/float64(sim.MiB), res.PrefetchIssued, res.PrefetchUseful)
+	}
+}

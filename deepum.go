@@ -1,0 +1,289 @@
+// Package deepum is a pure-Go reproduction of "DeepUM: Tensor Migration and
+// Prefetching in Unified Memory" (Jung, Kim, Lee — ASPLOS 2023).
+//
+// DeepUM lets DNN training oversubscribe GPU memory by allocating everything
+// in CUDA Unified Memory and hiding the page-migration cost with a
+// correlation-prefetching technique at the UM-block level, plus two
+// fault-handling optimizations: page pre-eviction and invalidation of UM
+// blocks backing inactive PyTorch allocator blocks.
+//
+// Because the original system is a Linux kernel module driving an NVIDIA
+// GPU, this library reproduces it on a calibrated discrete-event simulation
+// of the whole substrate — GPU, UM page-fault pipeline, PCIe link, PyTorch
+// caching allocator, nine DNN training workloads, and the six baseline
+// swapping systems the paper compares against. The public API runs training
+// simulations under any of the systems and regenerates every table and
+// figure of the paper's evaluation; see DESIGN.md for the model and
+// EXPERIMENTS.md for paper-versus-measured results.
+//
+// Quick start:
+//
+//	cfg := deepum.DefaultConfig()
+//	res, err := deepum.Train(deepum.Workload{Model: "bert-large", Batch: 16}, cfg)
+//	if err != nil { ... }
+//	fmt.Println(res.IterationTime, res.PageFaultsPerIteration)
+package deepum
+
+import (
+	"fmt"
+
+	"deepum/internal/baselines"
+	"deepum/internal/core"
+	"deepum/internal/correlation"
+	"deepum/internal/engine"
+	"deepum/internal/experiments"
+	"deepum/internal/metrics"
+	"deepum/internal/models"
+	"deepum/internal/sim"
+	"deepum/internal/workload"
+)
+
+// System selects the memory-management system a training run uses.
+type System string
+
+// Supported systems: the naive CUDA Unified Memory baseline, DeepUM itself,
+// the no-oversubscription upper bound, and the six swapping baselines from
+// the paper's evaluation.
+const (
+	SystemUM          System = "um"
+	SystemDeepUM      System = "deepum"
+	SystemIdeal       System = "ideal"
+	SystemLMS         System = "lms"
+	SystemLMSMod      System = "lms-mod"
+	SystemVDNN        System = "vdnn"
+	SystemAutoTM      System = "autotm"
+	SystemSwapAdvisor System = "swapadvisor"
+	SystemCapuchin    System = "capuchin"
+	SystemSentinel    System = "sentinel"
+)
+
+// Systems returns every supported system name.
+func Systems() []System {
+	return []System{SystemUM, SystemDeepUM, SystemIdeal, SystemLMS, SystemLMSMod,
+		SystemVDNN, SystemAutoTM, SystemSwapAdvisor, SystemCapuchin, SystemSentinel}
+}
+
+// Workload names a Table 2 model/dataset pair at a batch size.
+type Workload struct {
+	// Model is one of: gpt2-xl, gpt2-l, bert-large, bert-base, dlrm,
+	// resnet152, resnet200, dcgan, mobilenet.
+	Model string
+	// Dataset selects a variant where the paper uses one (e.g. "cola" for
+	// BERT Large fine-tuning, "cifar10" for ResNet-200). Empty picks the
+	// Table 2 default.
+	Dataset string
+	Batch   int64
+}
+
+// Config parameterizes a simulated training run.
+type Config struct {
+	// System is the memory manager; defaults to SystemDeepUM.
+	System System
+	// Machine is the simulated hardware; defaults to the paper's
+	// V100-32GB / 512 GiB configuration.
+	Machine sim.Params
+	// Driver configures the DeepUM driver (SystemDeepUM only).
+	Driver core.Options
+	// Scale divides model and machine sizes so runs finish quickly while
+	// preserving footprint-to-capacity ratios; 1 simulates paper-sized
+	// workloads. Defaults to 8.
+	Scale int64
+	// Iterations measured and Warmup iterations before measurement.
+	Iterations, Warmup int
+	// Seed drives input-dependent (irregular) access sampling.
+	Seed int64
+}
+
+// DefaultConfig returns the paper's headline configuration: DeepUM with all
+// optimizations, N=32, Config9 tables, on a scaled V100-32GB machine.
+func DefaultConfig() Config {
+	return Config{
+		System:     SystemDeepUM,
+		Machine:    sim.DefaultParams(),
+		Driver:     core.DefaultOptions(),
+		Scale:      8,
+		Iterations: 4,
+		Warmup:     3,
+		Seed:       1,
+	}
+}
+
+// Result reports a training run's measurements.
+type Result struct {
+	System     System
+	Iterations int
+	// IterationTime is the mean steady-state time per training iteration.
+	IterationTime sim.Duration
+	// TotalTime covers the measured iterations.
+	TotalTime sim.Duration
+	// PageFaultsPerIteration is the Table 5 metric (UM-side systems only).
+	PageFaultsPerIteration int64
+	// TrafficH2D and TrafficD2H are cumulative link bytes per direction.
+	TrafficH2D, TrafficD2H int64
+	// EnergyJoules integrates the full-system power model (Fig. 9c).
+	EnergyJoules float64
+	// CorrelationTableBytes is the driver's table memory (Table 4).
+	CorrelationTableBytes int64
+	// PrefetchIssued and PrefetchUseful count driver prefetch commands and
+	// those that served a later access (SystemDeepUM only).
+	PrefetchIssued, PrefetchUseful int64
+}
+
+// Train simulates training the workload under the configured system. It
+// returns an error when the system cannot run the workload — device OOM for
+// the tensor-level baselines, host backing-store exhaustion for the UM-side
+// systems, or an unsupported model (vDNN on non-CNNs).
+func Train(w Workload, cfg Config) (*Result, error) {
+	if cfg.System == "" {
+		cfg.System = SystemDeepUM
+	}
+	if cfg.Scale < 1 {
+		cfg.Scale = 8
+	}
+	if cfg.Iterations < 1 {
+		cfg.Iterations = 4
+	}
+	if cfg.Warmup < 1 {
+		cfg.Warmup = 3
+	}
+	if cfg.Machine.GPUMemory == 0 {
+		cfg.Machine = sim.DefaultParams()
+	}
+	params := cfg.Machine.Scale(cfg.Scale)
+	prog, err := models.Build(models.Spec{Model: w.Model, Dataset: w.Dataset}, w.Batch, cfg.Scale)
+	if err != nil {
+		return nil, err
+	}
+	switch cfg.System {
+	case SystemUM, SystemDeepUM, SystemIdeal:
+		policy := engine.PolicyUM
+		drv := core.Options{}
+		switch cfg.System {
+		case SystemDeepUM:
+			policy = engine.PolicyDeepUM
+			drv = cfg.Driver
+			if !drv.Prefetch && !drv.Preevict && !drv.Invalidate {
+				drv = core.DefaultOptions()
+			}
+		case SystemIdeal:
+			policy = engine.PolicyIdeal
+		}
+		r, err := engine.Run(engine.Config{
+			Params:        params,
+			Program:       prog,
+			Policy:        policy,
+			DriverOptions: drv,
+			Iterations:    cfg.Iterations,
+			Warmup:        cfg.Warmup,
+			Seed:          cfg.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &Result{
+			System:                 cfg.System,
+			Iterations:             r.Iterations,
+			IterationTime:          r.IterTime(),
+			TotalTime:              r.TotalTime,
+			PageFaultsPerIteration: r.FaultsPerIter,
+			TrafficH2D:             r.TrafficH2D,
+			TrafficD2H:             r.TrafficD2H,
+			EnergyJoules:           r.EnergyJoules,
+			CorrelationTableBytes:  r.DriverTableBytes,
+			PrefetchIssued:         r.Driver.PrefetchIssued,
+			PrefetchUseful:         r.Driver.PrefetchUseful,
+		}, nil
+	default:
+		pl, err := plannerFor(cfg.System)
+		if err != nil {
+			return nil, err
+		}
+		r, err := baselines.Run(baselines.Config{
+			Params:     params,
+			Program:    prog,
+			Planner:    pl,
+			Iterations: cfg.Iterations,
+			Warmup:     cfg.Warmup,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &Result{
+			System:        cfg.System,
+			Iterations:    r.Iterations,
+			IterationTime: r.IterTime(),
+			TotalTime:     r.TotalTime,
+			TrafficH2D:    r.TrafficH2D,
+			TrafficD2H:    r.TrafficD2H,
+			EnergyJoules:  r.EnergyJoules,
+		}, nil
+	}
+}
+
+func plannerFor(s System) (baselines.Planner, error) {
+	switch s {
+	case SystemLMS:
+		return baselines.NewLMS(), nil
+	case SystemLMSMod:
+		return baselines.NewLMSMod(), nil
+	case SystemVDNN:
+		return baselines.VDNN{}, nil
+	case SystemAutoTM:
+		return baselines.AutoTM{}, nil
+	case SystemSwapAdvisor:
+		return baselines.NewSwapAdvisor(), nil
+	case SystemCapuchin:
+		return baselines.Capuchin{}, nil
+	case SystemSentinel:
+		return baselines.Sentinel{}, nil
+	}
+	return nil, fmt.Errorf("deepum: unknown system %q", s)
+}
+
+// Models returns the supported model names (Table 2).
+func Models() []string { return models.Names() }
+
+// Experiments returns the IDs and titles of every reproducible paper
+// artifact; run one with RunExperiment.
+func Experiments() map[string]string {
+	out := map[string]string{}
+	for _, e := range experiments.All() {
+		out[e.ID] = e.Title
+	}
+	return out
+}
+
+// ExperimentOptions scope a RunExperiment call; the zero value selects the
+// defaults (scale 8, four measured iterations).
+type ExperimentOptions = experiments.Options
+
+// RunExperiment regenerates one paper table or figure by ID (e.g. "fig9a",
+// "table5") and returns the rendered result.
+func RunExperiment(id string, opts ExperimentOptions) (*metrics.Table, error) {
+	e, err := experiments.ByID(id)
+	if err != nil {
+		return nil, err
+	}
+	return e.Run(opts)
+}
+
+// DriverOptions re-exports the DeepUM driver knobs for callers tuning the
+// prefetch degree (Fig. 11) or table parameters (Table 6 / Fig. 12).
+type DriverOptions = core.Options
+
+// BlockTableConfig re-exports the UM-block correlation-table parameters.
+type BlockTableConfig = correlation.BlockTableConfig
+
+// Machine re-exports the hardware model for custom configurations.
+type Machine = sim.Params
+
+// V100_32GB returns the paper's Table 1 machine.
+func V100_32GB() sim.Params { return sim.DefaultParams() }
+
+// V100_16GB returns the §6.4 comparison machine.
+func V100_16GB() sim.Params { return sim.V100_16GB() }
+
+// BuildProgram exposes the workload generator for custom engines and tools.
+func BuildProgram(w Workload, scale int64) (*workload.Program, error) {
+	return models.Build(models.Spec{Model: w.Model, Dataset: w.Dataset}, w.Batch, scale)
+}

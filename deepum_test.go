@@ -1,0 +1,142 @@
+package deepum
+
+import (
+	"errors"
+	"testing"
+
+	"deepum/internal/baselines"
+)
+
+// testConfig keeps public-API tests fast: scale 64, 3 iterations.
+func testConfig(sys System) Config {
+	cfg := DefaultConfig()
+	cfg.System = sys
+	cfg.Scale = 64
+	cfg.Iterations = 3
+	cfg.Warmup = 3
+	return cfg
+}
+
+func TestTrainDeepUMFasterThanUM(t *testing.T) {
+	w := Workload{Model: "bert-large", Batch: 16}
+	um, err := Train(w, testConfig(SystemUM))
+	if err != nil {
+		t.Fatal(err)
+	}
+	du, err := Train(w, testConfig(SystemDeepUM))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if du.IterationTime >= um.IterationTime {
+		t.Fatalf("DeepUM %v not faster than UM %v", du.IterationTime, um.IterationTime)
+	}
+	if du.PageFaultsPerIteration >= um.PageFaultsPerIteration {
+		t.Fatalf("DeepUM faults %d not below UM %d",
+			du.PageFaultsPerIteration, um.PageFaultsPerIteration)
+	}
+	if du.CorrelationTableBytes == 0 || du.PrefetchUseful == 0 {
+		t.Fatalf("missing driver metrics: %+v", du)
+	}
+	if du.EnergyJoules <= 0 || du.TrafficH2D <= 0 {
+		t.Fatalf("missing traffic/energy: %+v", du)
+	}
+}
+
+func TestTrainAllSystemsOnCNN(t *testing.T) {
+	w := Workload{Model: "mobilenet", Dataset: "cifar100", Batch: 600}
+	for _, sys := range Systems() {
+		res, err := Train(w, testConfig(sys))
+		if err != nil {
+			t.Fatalf("%s: %v", sys, err)
+		}
+		if res.IterationTime <= 0 {
+			t.Fatalf("%s: no time", sys)
+		}
+		if res.System != sys {
+			t.Fatalf("system mislabeled: %v", res)
+		}
+	}
+}
+
+func TestTrainVDNNRejectsTransformer(t *testing.T) {
+	_, err := Train(Workload{Model: "bert-base", Batch: 8}, testConfig(SystemVDNN))
+	if !errors.Is(err, baselines.ErrUnsupportedModel) {
+		t.Fatalf("err = %v, want ErrUnsupportedModel", err)
+	}
+}
+
+func TestTrainValidation(t *testing.T) {
+	if _, err := Train(Workload{Model: "alexnet", Batch: 8}, DefaultConfig()); err == nil {
+		t.Fatal("unknown model must error")
+	}
+	cfg := DefaultConfig()
+	cfg.System = "nonsense"
+	if _, err := Train(Workload{Model: "bert-base", Batch: 8}, cfg); err == nil {
+		t.Fatal("unknown system must error")
+	}
+}
+
+func TestTrainZeroConfigDefaults(t *testing.T) {
+	// A zero-value Config must be usable: defaults fill in.
+	res, err := Train(Workload{Model: "bert-base", Batch: 4}, Config{Scale: 128, Iterations: 2, Warmup: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.System != SystemDeepUM {
+		t.Fatalf("default system = %v", res.System)
+	}
+}
+
+func TestModelsAndSystems(t *testing.T) {
+	if len(Models()) != 9 {
+		t.Fatalf("models = %d, want the paper's 9", len(Models()))
+	}
+	if len(Systems()) != 10 {
+		t.Fatalf("systems = %d, want 10", len(Systems()))
+	}
+}
+
+func TestExperimentsRegistry(t *testing.T) {
+	exps := Experiments()
+	if len(exps) != 11 {
+		t.Fatalf("experiments = %d, want 11", len(exps))
+	}
+	for _, id := range []string{"fig9a", "fig9b", "fig9c", "table3", "table4",
+		"table5", "fig10", "fig11", "fig12", "table7", "fig13"} {
+		if exps[id] == "" {
+			t.Fatalf("missing experiment %q", id)
+		}
+	}
+	if _, err := RunExperiment("fig99", ExperimentOptions{}); err == nil {
+		t.Fatal("unknown experiment must error")
+	}
+}
+
+func TestRunExperimentQuick(t *testing.T) {
+	tbl, err := RunExperiment("table4", ExperimentOptions{Scale: 64, Iterations: 2, Warmup: 3, Quick: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) == 0 || tbl.ID != "table4" {
+		t.Fatalf("table = %+v", tbl)
+	}
+	if tbl.String() == "" {
+		t.Fatal("empty rendering")
+	}
+}
+
+func TestMachinePresets(t *testing.T) {
+	if V100_32GB().GPUMemory != 32<<30 || V100_16GB().GPUMemory != 16<<30 {
+		t.Fatal("machine presets wrong")
+	}
+}
+
+func TestBuildProgram(t *testing.T) {
+	p, err := BuildProgram(Workload{Model: "dcgan", Dataset: "celeba", Batch: 256}, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Kernels() == 0 || p.FootprintBytes() == 0 {
+		t.Fatalf("empty program: %+v", p)
+	}
+}

@@ -1,0 +1,67 @@
+// Ablation: toggle DeepUM's three mechanisms one by one — correlation
+// prefetching (§4.2), page pre-eviction (§5.1), and invalidation of UM
+// blocks backing inactive PyTorch blocks (§5.2) — reproducing the structure
+// of the paper's Figure 10 on a single workload, and sweep the prefetch
+// degree N like Figure 11.
+//
+//	go run ./examples/ablation
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"deepum"
+)
+
+func main() {
+	w := deepum.Workload{Model: "gpt2-l", Batch: 5}
+	const scale = 32
+
+	base := deepum.DefaultConfig()
+	base.Scale = scale
+	base.Iterations = 3
+
+	umCfg := base
+	umCfg.System = deepum.SystemUM
+	um, err := deepum.Train(w, umCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("GPT-2 L, batch %d: naive UM iteration %v\n\n", w.Batch, um.IterationTime)
+	fmt.Printf("%-34s %-14s %-10s\n", "configuration", "iteration", "vs UM")
+
+	steps := []struct {
+		name                           string
+		prefetch, preevict, invalidate bool
+	}{
+		{"Prefetching", true, false, false},
+		{"Prefetching+Pre-eviction", true, true, false},
+		{"Prefetching+Pre-eviction+Inval", true, true, true},
+	}
+	for _, s := range steps {
+		cfg := base
+		cfg.Driver.Prefetch = s.prefetch
+		cfg.Driver.Preevict = s.preevict
+		cfg.Driver.Invalidate = s.invalidate
+		res, err := deepum.Train(w, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-34s %-14v %.2f\n", s.name, res.IterationTime,
+			float64(res.IterationTime)/float64(um.IterationTime))
+	}
+
+	fmt.Println()
+	fmt.Printf("%-34s %-14s\n", "prefetch degree N", "iteration")
+	for _, n := range []int{1, 8, 32, 128} {
+		cfg := base
+		cfg.Driver = deepum.DefaultConfig().Driver
+		cfg.Driver.Degree = n
+		res, err := deepum.Train(w, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("N=%-32d %-14v\n", n, res.IterationTime)
+	}
+}

@@ -1,0 +1,53 @@
+// DLRM irregularity: §6.2 of the paper observes that history-based
+// prefetching gains almost nothing on recommendation models, because the
+// embedding-table lookups depend on the input batch. This example contrasts
+// DeepUM's prefetch accuracy on BERT (fixed, repeated access pattern) with
+// DLRM (input-dependent), and shows where DLRM's residual gains come from
+// (pre-eviction and fault batching, not prediction).
+//
+//	go run ./examples/dlrm_irregular
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"deepum"
+)
+
+func run(w deepum.Workload, sys deepum.System) *deepum.Result {
+	cfg := deepum.DefaultConfig()
+	cfg.System = sys
+	cfg.Scale = 32
+	cfg.Iterations = 3
+	res, err := deepum.Train(w, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res
+}
+
+func main() {
+	bert := deepum.Workload{Model: "bert-large", Batch: 16}
+	dlrm := deepum.Workload{Model: "dlrm", Batch: 96000}
+
+	fmt.Printf("%-12s %-10s %-12s %-16s %-12s\n",
+		"model", "speedup", "faults kept", "prefetch hits", "accuracy")
+	for _, w := range []deepum.Workload{bert, dlrm} {
+		um := run(w, deepum.SystemUM)
+		du := run(w, deepum.SystemDeepUM)
+		accuracy := 0.0
+		if du.PrefetchIssued > 0 {
+			accuracy = 100 * float64(du.PrefetchUseful) / float64(du.PrefetchIssued)
+		}
+		fmt.Printf("%-12s %-10.2f %-12s %-16d %.1f%%\n",
+			w.Model,
+			float64(um.IterationTime)/float64(du.IterationTime),
+			fmt.Sprintf("%.1f%%", 100*float64(du.PageFaultsPerIteration)/float64(um.PageFaultsPerIteration+1)),
+			du.PrefetchUseful, accuracy)
+	}
+	fmt.Println()
+	fmt.Println("BERT's launch/access pattern repeats exactly each iteration, so the")
+	fmt.Println("correlation tables predict it; DLRM's lookups are resampled from the")
+	fmt.Println("input every iteration and the chains mispredict.")
+}

@@ -1,0 +1,44 @@
+// Quickstart: simulate fine-tuning BERT Large on a V100-32GB whose memory
+// the workload oversubscribes, comparing naive CUDA Unified Memory with
+// DeepUM's correlation prefetching.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"deepum"
+)
+
+func main() {
+	w := deepum.Workload{Model: "bert-large", Batch: 16}
+
+	cfg := deepum.DefaultConfig()
+	cfg.Scale = 32 // shrink everything 32x so this finishes in seconds
+
+	cfg.System = deepum.SystemUM
+	um, err := deepum.Train(w, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfg.System = deepum.SystemDeepUM
+	du, err := deepum.Train(w, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("BERT Large, batch %d, on a (scaled) V100-32GB:\n\n", w.Batch)
+	fmt.Printf("  naive UM  %12v/iteration   %9d page faults/iteration\n",
+		um.IterationTime, um.PageFaultsPerIteration)
+	fmt.Printf("  DeepUM    %12v/iteration   %9d page faults/iteration\n",
+		du.IterationTime, du.PageFaultsPerIteration)
+	fmt.Printf("\n  speedup          %.2fx\n", float64(um.IterationTime)/float64(du.IterationTime))
+	fmt.Printf("  fault reduction  %.1f%% of UM's faults remain\n",
+		100*float64(du.PageFaultsPerIteration)/float64(um.PageFaultsPerIteration))
+	fmt.Printf("  energy           %.2fx of UM's consumption\n", du.EnergyJoules/um.EnergyJoules)
+	fmt.Printf("  prefetches       %d issued, %d served a later access\n",
+		du.PrefetchIssued, du.PrefetchUseful)
+}

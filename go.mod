@@ -1,0 +1,3 @@
+module deepum
+
+go 1.22

@@ -1,0 +1,178 @@
+package baselines
+
+import (
+	"errors"
+	"testing"
+
+	"deepum/internal/models"
+	"deepum/internal/sim"
+	"deepum/internal/workload"
+)
+
+func smallParams() sim.Params {
+	p := sim.DefaultParams()
+	p.GPUMemory = 64 * sim.MiB
+	p.HostMemory = 2 * sim.GiB
+	return p
+}
+
+// convToy builds a small CNN-shaped workload oversubscribing 64 MiB.
+func convToy(t *testing.T) *workload.Program {
+	t.Helper()
+	b := workload.NewBuilder("convtoy", 1)
+	w1 := b.Tensor("w1", 8<<20, workload.Weight, true)
+	w2 := b.Tensor("w2", 8<<20, workload.Weight, true)
+	g1 := b.Tensor("g1", 8<<20, workload.Gradient, true)
+	g2 := b.Tensor("g2", 8<<20, workload.Gradient, true)
+	in := b.Tensor("in", 4<<20, workload.Input, true)
+	a1 := b.Tensor("a1", 20<<20, workload.Activation, false)
+	a2 := b.Tensor("a2", 20<<20, workload.Activation, false)
+
+	b.Alloc(a1)
+	b.Launch(&workload.Kernel{Name: "conv1_fwd", Args: []uint64{1}, FLOPs: 5e9,
+		Accesses: []workload.Access{{Tensor: in}, {Tensor: w1}, {Tensor: a1, Write: true}}})
+	b.Alloc(a2)
+	b.Launch(&workload.Kernel{Name: "conv2_fwd", Args: []uint64{2}, FLOPs: 5e9,
+		Accesses: []workload.Access{{Tensor: a1}, {Tensor: w2}, {Tensor: a2, Write: true}}})
+	b.Launch(&workload.Kernel{Name: "conv2_bwd", Args: []uint64{3}, FLOPs: 1e10,
+		Accesses: []workload.Access{{Tensor: a2}, {Tensor: a1}, {Tensor: w2}, {Tensor: g2, Write: true}}})
+	b.Free(a2)
+	b.Launch(&workload.Kernel{Name: "conv1_bwd", Args: []uint64{4}, FLOPs: 1e10,
+		Accesses: []workload.Access{{Tensor: a1}, {Tensor: in}, {Tensor: w1}, {Tensor: g1, Write: true}}})
+	b.Free(a1)
+	b.Launch(&workload.Kernel{Name: "sgd", Args: []uint64{5}, FLOPs: 1e8,
+		Accesses: []workload.Access{{Tensor: w1, Write: true}, {Tensor: g1}, {Tensor: w2, Write: true}, {Tensor: g2}}})
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func runBaseline(t *testing.T, p *workload.Program, pl Planner) *Result {
+	t.Helper()
+	res, err := Run(Config{Params: smallParams(), Program: p, Planner: pl, Iterations: 4, Warmup: 2})
+	if err != nil {
+		t.Fatalf("%s: %v", pl.Name(), err)
+	}
+	return res
+}
+
+func TestAllPlannersRunConvNet(t *testing.T) {
+	p := convToy(t)
+	planners := []Planner{NewLMS(), NewLMSMod(), VDNN{}, AutoTM{}, NewSwapAdvisor(), Capuchin{}, Sentinel{}}
+	for _, pl := range planners {
+		res := runBaseline(t, p, pl)
+		if res.TotalTime <= 0 {
+			t.Errorf("%s: no time elapsed", pl.Name())
+		}
+		if res.SwapIns == 0 {
+			t.Errorf("%s: no swap-ins on an oversubscribed device", pl.Name())
+		}
+		if res.EnergyJoules <= 0 {
+			t.Errorf("%s: no energy", pl.Name())
+		}
+	}
+}
+
+func TestVDNNRejectsTransformer(t *testing.T) {
+	p, err := models.Build(models.Spec{Model: "bert-base", Dataset: "wikitext"}, 4, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Run(Config{Params: smallParams(), Program: p, Planner: VDNN{}, Iterations: 1})
+	if !errors.Is(err, ErrUnsupportedModel) {
+		t.Fatalf("vDNN on BERT: err = %v, want ErrUnsupportedModel", err)
+	}
+}
+
+func TestLMSNames(t *testing.T) {
+	if NewLMS().Name() != "LMS" || NewLMSMod().Name() != "LMS-mod" {
+		t.Fatal("LMS names broken")
+	}
+}
+
+func TestOOMSurfacesWhenUnswappable(t *testing.T) {
+	// One kernel needing three 30 MiB tensors at once cannot fit 64 MiB no
+	// matter what the planner does.
+	b := workload.NewBuilder("big", 1)
+	x := b.Tensor("x", 30<<20, workload.Weight, true)
+	y := b.Tensor("y", 30<<20, workload.Weight, true)
+	z := b.Tensor("z", 30<<20, workload.Weight, true)
+	b.Launch(&workload.Kernel{Name: "huge", Args: []uint64{1}, FLOPs: 1e9,
+		Accesses: []workload.Access{{Tensor: x}, {Tensor: y}, {Tensor: z, Write: true}}})
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Run(Config{Params: smallParams(), Program: p, Planner: NewLMS(), Iterations: 1})
+	if !errors.Is(err, ErrOOM) {
+		t.Fatalf("err = %v, want ErrOOM", err)
+	}
+}
+
+func TestCapuchinRecomputesCheapTensors(t *testing.T) {
+	p := convToy(t)
+	plan, err := Capuchin{}.Plan(p, smallParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := runBaseline(t, p, Capuchin{})
+	// Either recompute decisions exist in the plan or everything was deemed
+	// cheaper to swap; in the former case executions must recompute.
+	if len(plan.Recompute) > 0 && res.Recomputes == 0 {
+		t.Fatalf("plan has %d recompute tensors but none recomputed", len(plan.Recompute))
+	}
+}
+
+func TestSwapAdvisorDeterministic(t *testing.T) {
+	p := convToy(t)
+	a := runBaseline(t, p, NewSwapAdvisor())
+	b := runBaseline(t, p, NewSwapAdvisor())
+	if a.TotalTime != b.TotalTime {
+		t.Fatalf("GA with fixed seed nondeterministic: %v vs %v", a.TotalTime, b.TotalTime)
+	}
+}
+
+func TestBaselinesSlowerThanNoSwap(t *testing.T) {
+	// With a big enough GPU, swapping systems should hit near-zero swap
+	// traffic after warmup.
+	p := convToy(t)
+	params := smallParams()
+	params.GPUMemory = 1 * sim.GiB
+	res, err := Run(Config{Params: params, Program: p, Planner: NewLMS(), Iterations: 3, Warmup: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	small := runBaseline(t, p, NewLMS())
+	if res.IterTime() > small.IterTime() {
+		t.Fatalf("bigger GPU slower: %v vs %v", res.IterTime(), small.IterTime())
+	}
+}
+
+func TestPlanHelpers(t *testing.T) {
+	p := convToy(t)
+	uses := kernelUses(p)
+	// a1 is used by conv1_fwd(0), conv2_fwd(1), conv2_bwd(2), conv1_bwd(3).
+	var a1 workload.TensorID = -1
+	for _, tn := range p.Tensors {
+		if tn.Name == "a1" {
+			a1 = tn.ID
+		}
+	}
+	if got := uses[a1]; len(got) != 4 || got[0] != 0 || got[3] != 3 {
+		t.Fatalf("uses(a1) = %v", got)
+	}
+	ids := sortedTensorsBySize(p)
+	for i := 1; i < len(ids); i++ {
+		if p.Tensors[ids[i-1]].Bytes < p.Tensors[ids[i]].Bytes {
+			t.Fatal("sortedTensorsBySize not descending")
+		}
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(Config{}); err == nil {
+		t.Fatal("nil program/planner must fail")
+	}
+}

@@ -1,0 +1,76 @@
+package baselines
+
+import (
+	"deepum/internal/sim"
+	"deepum/internal/workload"
+)
+
+// Capuchin approximates Capuchin (Peng et al., ASPLOS'20): it identifies
+// tensor access patterns at run time and decides, per activation tensor,
+// between eviction+prefetch and recomputation by comparing the swap cost
+// (two PCIe transfers) against the recompute cost (the producer kernel's
+// time), scheduling whichever is cheaper.
+type Capuchin struct{}
+
+// Name returns "Capuchin".
+func (Capuchin) Name() string { return "Capuchin" }
+
+// Plan releases every multi-use activation after its forward use and
+// either prefetches it ahead of the backward consumer or drops it for
+// recomputation, per the swap-versus-recompute cost model.
+func (Capuchin) Plan(p *workload.Program, params sim.Params) (*Plan, error) {
+	plan := NewPlan()
+	uses := kernelUses(p)
+	// Producer kernel per tensor: the kernel with the first write access.
+	producerCost := map[workload.TensorID]sim.Duration{}
+	ki := 0
+	for _, s := range p.Iteration {
+		if s.Kind != workload.StepLaunch {
+			continue
+		}
+		var bytes int64
+		for _, a := range s.Kernel.Accesses {
+			bytes += p.Tensors[a.Tensor].Bytes
+		}
+		cost := params.KernelTime(s.Kernel.FLOPs, bytes)
+		for _, a := range s.Kernel.Accesses {
+			if a.Write {
+				if _, seen := producerCost[a.Tensor]; !seen {
+					producerCost[a.Tensor] = cost
+				}
+			}
+		}
+		ki++
+	}
+	_ = ki
+	for _, t := range p.Tensors {
+		if t.Kind != workload.Activation {
+			continue
+		}
+		ks := uses[t.ID]
+		if len(ks) < 2 {
+			continue
+		}
+		swapCost := 2 * params.TransferTime(t.Bytes)
+		recompute := producerCost[t.ID]
+		plan.ReleaseAfter[ks[0]] = append(plan.ReleaseAfter[ks[0]], t.ID)
+		if recompute > 0 && recompute < swapCost {
+			// Cheaper to recompute than to round-trip over PCIe.
+			plan.Recompute[t.ID] = true
+			plan.RecomputeCost[t.ID] = recompute
+		} else {
+			back := ks[len(ks)-1]
+			lead := back - 1
+			if lead <= ks[0] {
+				lead = ks[0] + 1
+			}
+			plan.PrefetchAt[lead] = append(plan.PrefetchAt[lead], t.ID)
+		}
+	}
+	for _, s := range p.Iteration {
+		if s.Kind == workload.StepFree {
+			plan.Drop[s.Tensor] = true
+		}
+	}
+	return plan, nil
+}

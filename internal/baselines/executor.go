@@ -1,0 +1,452 @@
+// Package baselines implements the six GPU memory-swapping systems the paper
+// compares against (§6): IBM LMS (and the LMS-mod variant), vDNN, AutoTM,
+// SwapAdvisor, Capuchin, and Sentinel. All of them manage memory at tensor
+// (or layer) granularity on pure, non-UM device memory — the contrast to
+// DeepUM's UM-block granularity is exactly the point of §6.4: "previous
+// approaches manage data at the DNN layer or tensor level ... The
+// performance difference comes from the more fine-grained data movement of
+// DeepUM".
+//
+// One tensor-level executor provides the machinery (a bounded device heap
+// behind the PyTorch-style caching allocator, whole-tensor swap transfers on
+// the duplex link, reactive eviction under pressure); each baseline is a
+// Planner producing a swap/prefetch/recompute schedule for it.
+package baselines
+
+import (
+	"fmt"
+	"sort"
+
+	"deepum/internal/sim"
+	"deepum/internal/torchalloc"
+	"deepum/internal/um"
+	"deepum/internal/workload"
+)
+
+// Plan is a baseline's memory schedule over one training iteration. Kernel
+// indices count StepLaunch steps of the iteration, in order.
+type Plan struct {
+	// PrefetchAt[k] lists tensors whose swap-in starts when kernel k is
+	// issued (overlapping with earlier kernels' compute).
+	PrefetchAt map[int][]workload.TensorID
+	// ReleaseAfter[k] lists tensors to swap out after kernel k completes.
+	ReleaseAfter map[int][]workload.TensorID
+	// Recompute marks tensors that are dropped instead of swapped out and
+	// recomputed (producer cost) instead of transferred on reuse (Capuchin).
+	Recompute map[workload.TensorID]bool
+	// RecomputeCost is the recompute time charged on reuse of a Recompute
+	// tensor.
+	RecomputeCost map[workload.TensorID]sim.Duration
+	// Drop marks tensors whose content is dead when released: no D2H.
+	Drop map[workload.TensorID]bool
+	// ReactiveLookahead makes the executor prefetch the operands of the next
+	// L kernels on every launch (LMS's graph-rewritten swap-ins).
+	ReactiveLookahead int
+	// FlushEvery triggers an allocator cache flush every N kernels — the
+	// LMS-mod modification that trades speed for fewer fragmentation OOMs.
+	FlushEvery int
+}
+
+// NewPlan returns an empty plan.
+func NewPlan() *Plan {
+	return &Plan{
+		PrefetchAt:    map[int][]workload.TensorID{},
+		ReleaseAfter:  map[int][]workload.TensorID{},
+		Recompute:     map[workload.TensorID]bool{},
+		RecomputeCost: map[workload.TensorID]sim.Duration{},
+		Drop:          map[workload.TensorID]bool{},
+	}
+}
+
+// Planner builds a Plan for a program — the offline (or profiled) scheduling
+// phase of each baseline.
+type Planner interface {
+	Name() string
+	Plan(p *workload.Program, params sim.Params) (*Plan, error)
+}
+
+// ErrOOM is returned when the device heap cannot hold a kernel's working set
+// even after swapping out everything swappable — the failure mode behind
+// the missing entries of Figure 9(b) and the batch-size limits of Tables 3
+// and 7.
+var ErrOOM = fmt.Errorf("baselines: device out of memory")
+
+// deviceHeap adapts the bounded range allocator to the caching allocator's
+// backend interface.
+type deviceHeap struct{ r *um.RangeAllocator }
+
+func (d deviceHeap) Malloc(n int64) (um.Addr, error) {
+	a := d.r.Alloc(n)
+	if a < 0 {
+		return 0, ErrOOM
+	}
+	return a, nil
+}
+
+func (d deviceHeap) Free(base um.Addr, n int64) { d.r.Free(base, n) }
+
+// Result aggregates a baseline run's measurements.
+type Result struct {
+	Name       string
+	Iterations int
+	TotalTime  sim.Duration
+	IterTimes  []sim.Duration
+	GPUBusy    sim.Duration
+	LinkBusy   sim.Duration
+
+	SwapIns, SwapOuts, Recomputes int64
+	TrafficH2D, TrafficD2H        int64
+	EnergyJoules                  float64
+}
+
+// IterTime returns the mean measured iteration time.
+func (r *Result) IterTime() sim.Duration {
+	if r.Iterations == 0 {
+		return 0
+	}
+	return r.TotalTime / sim.Duration(r.Iterations)
+}
+
+// Config parameterizes a baseline run.
+type Config struct {
+	Params     sim.Params
+	Program    *workload.Program
+	Planner    Planner
+	Iterations int
+	Warmup     int
+}
+
+// swapOverhead is the fixed framework cost per swap operation: the
+// allocator call, stream synchronization and cudaMemcpyAsync launch all run
+// on the framework's host thread, which serializes swap scheduling. This
+// host-thread serialization is what separates tensor-level swapping systems
+// from a driver-level approach (§6.4) once transfers themselves overlap.
+const swapOverhead = 400 * 1000 * sim.Duration(1) // 400us per swap operation
+
+type tensorState struct {
+	onDevice  bool
+	ready     sim.Time // when an in-flight swap-in lands
+	hostValid bool     // host holds current content
+	dirty     bool     // device content newer than host copy
+	lastUse   int      // kernel index of most recent use
+	block     *torchalloc.PTBlock
+}
+
+type texec struct {
+	cfg    Config
+	plan   *Plan
+	heap   *um.RangeAllocator
+	alloc  *torchalloc.Allocator
+	link   *sim.Duplex
+	linkTL *sim.Timeline
+
+	state   []tensorState
+	kernels []*workload.Kernel // launch steps in order
+	inputs  []workload.TensorID
+
+	now sim.Time
+	// hostFree is when the framework host thread can schedule the next swap
+	// operation; swaps serialize on it.
+	hostFree  sim.Time
+	gpuBusy   sim.Duration
+	res       Result
+	kernelIdx int
+	needed    map[workload.TensorID]bool // operands of the running kernel
+}
+
+// Run executes the program under the planner's schedule and returns its
+// measurements, or ErrOOM-wrapped failure when the device heap cannot
+// sustain the batch size.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Program == nil || cfg.Planner == nil {
+		return nil, fmt.Errorf("baselines: nil program or planner")
+	}
+	if cfg.Iterations < 1 {
+		cfg.Iterations = 1
+	}
+	if cfg.Warmup == 0 {
+		cfg.Warmup = 1
+	}
+	plan, err := cfg.Planner.Plan(cfg.Program, cfg.Params)
+	if err != nil {
+		return nil, err
+	}
+	linkTL := &sim.Timeline{}
+	e := &texec{
+		cfg:    cfg,
+		plan:   plan,
+		heap:   um.NewBoundedRangeAllocator(cfg.Params.GPUMemory),
+		link:   sim.NewDuplex(cfg.Params, linkTL),
+		linkTL: linkTL,
+		state:  make([]tensorState, len(cfg.Program.Tensors)),
+		needed: map[workload.TensorID]bool{},
+	}
+	e.alloc = torchalloc.New(deviceHeap{e.heap})
+	// Stock LMS never releases the cached pool (no flush schedule): segment
+	// allocation fails outright on fragmentation. Planners with FlushEvery
+	// (LMS-mod) or any flush discipline get the PyTorch retry.
+	if plan.FlushEvery == 0 {
+		e.alloc.NoRetryAfterFlush = true
+	}
+	for _, s := range cfg.Program.Iteration {
+		if s.Kind == workload.StepLaunch {
+			e.kernels = append(e.kernels, s.Kernel)
+		}
+	}
+	for _, t := range cfg.Program.Tensors {
+		if t.Kind == workload.Input && t.Persistent {
+			e.inputs = append(e.inputs, t.ID)
+		}
+		if t.Persistent {
+			e.state[t.ID].hostValid = true // initialized weights live on host
+		}
+	}
+	// Host-memory wall: the CPU must hold everything not on the device.
+	var footprint int64
+	for _, t := range cfg.Program.Tensors {
+		if t.Persistent {
+			footprint += t.Bytes
+		}
+	}
+	footprint += cfg.Program.FootprintBytes()
+	if cfg.Params.HostMemory > 0 && footprint > cfg.Params.HostMemory {
+		return nil, fmt.Errorf("baselines: host memory exhausted (footprint %d)", footprint)
+	}
+
+	total := cfg.Warmup + cfg.Iterations
+	var measureStart sim.Time
+	var busyAtStart sim.Duration
+	for iter := 0; iter < total; iter++ {
+		if iter == cfg.Warmup {
+			measureStart = e.now
+			busyAtStart = e.gpuBusy
+		}
+		iterStart := e.now
+		if err := e.iteration(); err != nil {
+			return nil, err
+		}
+		if iter >= cfg.Warmup {
+			e.res.IterTimes = append(e.res.IterTimes, e.now.Sub(iterStart))
+		}
+	}
+	e.res.Name = cfg.Planner.Name()
+	e.res.Iterations = cfg.Iterations
+	e.res.TotalTime = e.now.Sub(measureStart)
+	e.res.GPUBusy = e.gpuBusy - busyAtStart
+	e.res.LinkBusy = linkTL.Busy()
+	e.res.TrafficH2D, e.res.TrafficD2H = e.link.Traffic()
+	p := cfg.Params
+	e.res.EnergyJoules = (p.PowerSystemBase+p.PowerGPUIdle)*e.res.TotalTime.Seconds() +
+		p.PowerGPUBusy*e.res.GPUBusy.Seconds() +
+		p.PowerLinkActive*e.res.LinkBusy.Seconds()
+	return &e.res, nil
+}
+
+func (e *texec) iteration() error {
+	// Host writes a fresh minibatch: input tensors must stream in again.
+	for _, id := range e.inputs {
+		st := &e.state[id]
+		if st.onDevice {
+			e.releaseTensor(id, true)
+		}
+		st.hostValid = true
+	}
+	e.kernelIdx = 0
+	for _, s := range e.cfg.Program.Iteration {
+		switch s.Kind {
+		case workload.StepAlloc, workload.StepFree:
+			// Tensor lifetimes are handled through swap state; device blocks
+			// are claimed on first use and released per plan or pressure.
+			if s.Kind == workload.StepFree {
+				st := &e.state[s.Tensor]
+				if st.onDevice {
+					e.releaseTensor(s.Tensor, true) // content dead: no writeback
+				}
+				st.hostValid = false
+			}
+		case workload.StepLaunch:
+			if err := e.kernel(s.Kernel); err != nil {
+				return err
+			}
+			e.kernelIdx++
+		}
+	}
+	// Stock LMS releases cached segments only at iteration boundaries (the
+	// framework's natural cleanup point); fragmentation that builds up
+	// *within* one iteration is what OOMs it at batch sizes LMS-mod's
+	// periodic flush still survives.
+	if e.alloc.NoRetryAfterFlush {
+		e.alloc.EmptyCache()
+	}
+	return nil
+}
+
+func (e *texec) kernel(k *workload.Kernel) error {
+	ki := e.kernelIdx
+	// Mark operands needed so pressure eviction never picks them.
+	for id := range e.needed {
+		delete(e.needed, id)
+	}
+	for _, a := range k.Accesses {
+		e.needed[a.Tensor] = true
+	}
+	// Planned prefetches for this kernel index.
+	for _, id := range e.plan.PrefetchAt[ki] {
+		_ = e.swapIn(id, true) // best effort; on-demand path will retry
+	}
+	// Reactive lookahead (LMS): prefetch the next L kernels' operands.
+	for l := 1; l <= e.plan.ReactiveLookahead && ki+l < len(e.kernels); l++ {
+		for _, a := range e.kernels[ki+l].Accesses {
+			_ = e.swapIn(a.Tensor, true)
+		}
+	}
+	// On-demand: every operand must be on the device before the kernel runs.
+	var bytesTouched int64
+	for _, a := range k.Accesses {
+		st := &e.state[a.Tensor]
+		if !st.onDevice {
+			if err := e.swapIn(a.Tensor, false); err != nil {
+				return err
+			}
+		}
+		st = &e.state[a.Tensor]
+		if st.ready > e.now {
+			e.now = st.ready
+		}
+		if a.Write {
+			st.dirty = true
+		}
+		st.lastUse = ki
+		bytesTouched += e.cfg.Program.Tensors[a.Tensor].Bytes
+	}
+	dur := e.cfg.Params.KernelTime(k.FLOPs, bytesTouched+k.ExtraBytes)
+	e.gpuBusy += dur
+	e.now = e.now.Add(dur)
+
+	// Planned releases.
+	for _, id := range e.plan.ReleaseAfter[ki] {
+		if e.state[id].onDevice {
+			e.releaseTensor(id, e.plan.Drop[id] || e.plan.Recompute[id])
+		}
+	}
+	if e.plan.FlushEvery > 0 && (ki+1)%e.plan.FlushEvery == 0 {
+		e.alloc.EmptyCache()
+	}
+	return nil
+}
+
+// swapIn brings a tensor onto the device. Best-effort calls (prefetch) give
+// up on allocation pressure instead of evicting.
+func (e *texec) swapIn(id workload.TensorID, bestEffort bool) error {
+	st := &e.state[id]
+	if st.onDevice {
+		return nil
+	}
+	t := e.cfg.Program.Tensors[id]
+	blk, err := e.alloc.Alloc(t.Bytes)
+	if err != nil {
+		if bestEffort {
+			return err
+		}
+		// Pressure: swap out LRU tensors not needed by this kernel.
+		for err != nil {
+			victim, ok := e.lruVictim()
+			if !ok {
+				return fmt.Errorf("%w: %s needs %d bytes for %q", ErrOOM, e.cfg.Planner.Name(), t.Bytes, t.Name)
+			}
+			e.releaseTensor(victim, false)
+			blk, err = e.alloc.Alloc(t.Bytes)
+		}
+	}
+	st.block = blk
+	st.onDevice = true
+	st.dirty = false
+	e.res.SwapIns++
+	// The host thread issues this swap; it can only handle one at a time.
+	at := sim.Max(e.now, e.hostFree).Add(swapOverhead)
+	e.hostFree = at
+	switch {
+	case st.hostValid:
+		_, st.ready = e.link.Reserve(at, t.Bytes, sim.HostToDevice)
+	case e.plan.Recompute[id]:
+		st.ready = at.Add(e.plan.RecomputeCost[id])
+		e.res.Recomputes++
+	default:
+		st.ready = at // first materialization: the kernel will write it
+	}
+	return nil
+}
+
+// releaseTensor swaps a tensor out (or drops it) and returns its device
+// memory to the allocator pool.
+func (e *texec) releaseTensor(id workload.TensorID, drop bool) {
+	st := &e.state[id]
+	if !st.onDevice {
+		return
+	}
+	t := e.cfg.Program.Tensors[id]
+	if !drop && (st.dirty || !st.hostValid) {
+		at := sim.Max(e.now, e.hostFree).Add(swapOverhead)
+		e.hostFree = at
+		e.link.Reserve(at, t.Bytes, sim.DeviceToHost)
+		st.hostValid = true
+	}
+	if drop && e.plan.Recompute[id] {
+		st.hostValid = false
+	}
+	_ = e.alloc.Free(st.block.Base)
+	st.block = nil
+	st.onDevice = false
+	st.dirty = false
+	e.res.SwapOuts++
+}
+
+// lruVictim returns the least recently used on-device tensor that the
+// current kernel does not need.
+func (e *texec) lruVictim() (workload.TensorID, bool) {
+	best := workload.TensorID(-1)
+	bestUse := 1 << 60
+	for id := range e.state {
+		st := &e.state[id]
+		if !st.onDevice || e.needed[workload.TensorID(id)] {
+			continue
+		}
+		if st.lastUse < bestUse {
+			bestUse = st.lastUse
+			best = workload.TensorID(id)
+		}
+	}
+	if best < 0 {
+		return 0, false
+	}
+	return best, true
+}
+
+// kernelIndexOf returns, for each tensor, the kernel indices that access it,
+// a helper shared by the planners.
+func kernelUses(p *workload.Program) map[workload.TensorID][]int {
+	uses := map[workload.TensorID][]int{}
+	ki := 0
+	for _, s := range p.Iteration {
+		if s.Kind != workload.StepLaunch {
+			continue
+		}
+		for _, a := range s.Kernel.Accesses {
+			uses[a.Tensor] = append(uses[a.Tensor], ki)
+		}
+		ki++
+	}
+	return uses
+}
+
+// sortedTensorsBySize returns transient tensor IDs, largest first.
+func sortedTensorsBySize(p *workload.Program) []workload.TensorID {
+	var ids []workload.TensorID
+	for _, t := range p.Tensors {
+		if !t.Persistent {
+			ids = append(ids, t.ID)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return p.Tensors[ids[i]].Bytes > p.Tensors[ids[j]].Bytes })
+	return ids
+}

@@ -1,0 +1,50 @@
+package baselines
+
+import (
+	"deepum/internal/sim"
+	"deepum/internal/workload"
+)
+
+// LMS is IBM Large Model Support for PyTorch: fully reactive tensor
+// swapping with a one-operation swap-in lookahead obtained by rewiring the
+// execution order, and no modification of the framework's caching pool —
+// which is why it hits fragmentation OOMs at batch sizes that LMS-mod (and
+// DeepUM) still run (§6.2).
+type LMS struct {
+	// Lookahead is how many kernels ahead swap-ins are issued.
+	Lookahead int
+	// FlushEvery, when positive, periodically frees cached PT blocks — the
+	// LMS-mod variant of §6.2. Zero keeps stock LMS behaviour.
+	FlushEvery int
+}
+
+// NewLMS returns stock IBM LMS.
+func NewLMS() *LMS { return &LMS{Lookahead: 1} }
+
+// NewLMSMod returns LMS-mod: LMS modified to periodically free cached PT
+// blocks in the PyTorch memory pool (§6.2), reducing fragmentation OOMs at
+// the cost of extra allocation work.
+func NewLMSMod() *LMS { return &LMS{Lookahead: 1, FlushEvery: 50} }
+
+// Name identifies the variant.
+func (l *LMS) Name() string {
+	if l.FlushEvery > 0 {
+		return "LMS-mod"
+	}
+	return "LMS"
+}
+
+// Plan returns the reactive schedule: no precomputed swap decisions, only
+// the lookahead and the optional periodic flush.
+func (l *LMS) Plan(p *workload.Program, params sim.Params) (*Plan, error) {
+	plan := NewPlan()
+	plan.ReactiveLookahead = l.Lookahead
+	plan.FlushEvery = l.FlushEvery
+	// Tensors freed by the program are dead on release.
+	for _, s := range p.Iteration {
+		if s.Kind == workload.StepFree {
+			plan.Drop[s.Tensor] = true
+		}
+	}
+	return plan, nil
+}

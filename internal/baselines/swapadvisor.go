@@ -1,0 +1,189 @@
+package baselines
+
+import (
+	"math/rand"
+
+	"deepum/internal/sim"
+	"deepum/internal/workload"
+)
+
+// SwapAdvisor approximates SwapAdvisor (Huang et al., ASPLOS'20): a genetic
+// algorithm searches the space of swap decisions. The original evolves
+// operator schedules, memory allocation and swap sets jointly; this
+// reproduction evolves the swap set and prefetch lead over the fixed
+// execution order, evaluating candidates with an analytic overlap model of
+// the same duplex link used by the executor.
+type SwapAdvisor struct {
+	// Population and Generations bound the search; the defaults keep the
+	// planner deterministic and fast.
+	Population  int
+	Generations int
+	Seed        int64
+}
+
+// NewSwapAdvisor returns the default GA configuration.
+func NewSwapAdvisor() *SwapAdvisor {
+	return &SwapAdvisor{Population: 16, Generations: 12, Seed: 42}
+}
+
+// Name returns "SwapAdvisor".
+func (s *SwapAdvisor) Name() string { return "SwapAdvisor" }
+
+type gaCandidate struct {
+	swap []bool // per multi-use transient tensor: swap out after first use?
+	lead int    // prefetch lead in kernels (1..4)
+}
+
+// Plan runs the GA and converts the best candidate into a schedule.
+func (s *SwapAdvisor) Plan(p *workload.Program, params sim.Params) (*Plan, error) {
+	if s.Population < 2 {
+		s.Population = 16
+	}
+	if s.Generations < 1 {
+		s.Generations = 12
+	}
+	uses := kernelUses(p)
+	// Candidate genes: transient multi-use tensors, largest first.
+	var genes []workload.TensorID
+	for _, id := range sortedTensorsBySize(p) {
+		if len(uses[id]) >= 2 {
+			genes = append(genes, id)
+		}
+	}
+	rng := rand.New(rand.NewSource(s.Seed))
+	pop := make([]gaCandidate, s.Population)
+	for i := range pop {
+		pop[i] = gaCandidate{swap: make([]bool, len(genes)), lead: 1 + rng.Intn(4)}
+		for j := range pop[i].swap {
+			pop[i].swap[j] = rng.Intn(2) == 0
+		}
+	}
+	fitness := func(c gaCandidate) float64 { return s.estimate(p, params, genes, uses, c) }
+	for gen := 0; gen < s.Generations; gen++ {
+		type scored struct {
+			c gaCandidate
+			f float64
+		}
+		scoredPop := make([]scored, len(pop))
+		for i, c := range pop {
+			scoredPop[i] = scored{c, fitness(c)}
+		}
+		// Tournament selection + single-point crossover + mutation.
+		next := make([]gaCandidate, 0, len(pop))
+		best := scoredPop[0]
+		for _, sc := range scoredPop {
+			if sc.f < best.f {
+				best = sc
+			}
+		}
+		next = append(next, best.c) // elitism
+		for len(next) < len(pop) {
+			a := scoredPop[rng.Intn(len(scoredPop))]
+			b := scoredPop[rng.Intn(len(scoredPop))]
+			if b.f < a.f {
+				a = b
+			}
+			c := scoredPop[rng.Intn(len(scoredPop))]
+			d := scoredPop[rng.Intn(len(scoredPop))]
+			if d.f < c.f {
+				c = d
+			}
+			child := gaCandidate{swap: make([]bool, len(genes)), lead: a.c.lead}
+			cut := 0
+			if len(genes) > 0 {
+				cut = rng.Intn(len(genes) + 1)
+			}
+			copy(child.swap[:cut], a.c.swap[:cut])
+			copy(child.swap[cut:], c.c.swap[cut:])
+			if rng.Intn(4) == 0 && len(genes) > 0 {
+				child.swap[rng.Intn(len(genes))] = !child.swap[rng.Intn(len(genes))]
+			}
+			if rng.Intn(4) == 0 {
+				child.lead = 1 + rng.Intn(4)
+			}
+			next = append(next, child)
+		}
+		pop = next
+	}
+	best := pop[0]
+	bestF := fitness(best)
+	for _, c := range pop[1:] {
+		if f := fitness(c); f < bestF {
+			best, bestF = c, f
+		}
+	}
+	return s.toPlan(p, genes, uses, best), nil
+}
+
+// estimate is the GA fitness: an analytic model of iteration time. Swapped
+// tensors free device space but add transfer time that overlaps compute up
+// to the prefetch lead; insufficient residual memory is penalized as
+// thrashing.
+func (s *SwapAdvisor) estimate(p *workload.Program, params sim.Params,
+	genes []workload.TensorID, uses map[workload.TensorID][]int, c gaCandidate) float64 {
+	var resident int64
+	for _, t := range p.Tensors {
+		resident += t.Bytes
+	}
+	var transfer sim.Duration
+	var compute sim.Duration
+	for _, st := range p.Iteration {
+		if st.Kind == workload.StepLaunch {
+			var bytes int64
+			for _, a := range st.Kernel.Accesses {
+				bytes += p.Tensors[a.Tensor].Bytes
+			}
+			compute += params.KernelTime(st.Kernel.FLOPs, bytes)
+		}
+	}
+	for i, id := range genes {
+		if !c.swap[i] {
+			continue
+		}
+		t := p.Tensors[id]
+		resident -= t.Bytes
+		transfer += 2 * params.TransferTime(t.Bytes) * sim.Duration(len(uses[id])-1)
+	}
+	// Overlap factor grows with lead: more lead hides more transfer.
+	overlap := 0.4 + 0.15*float64(c.lead)
+	if overlap > 0.95 {
+		overlap = 0.95
+	}
+	hidden := sim.Duration(float64(transfer) * overlap)
+	exposed := transfer - hidden
+	cost := float64(compute + exposed)
+	if resident > params.GPUMemory*9/10 {
+		// Doesn't fit: thrashing penalty proportional to the overflow.
+		over := float64(resident-params.GPUMemory*9/10) / float64(params.GPUMemory)
+		cost *= 1 + 10*over
+	}
+	return cost
+}
+
+func (s *SwapAdvisor) toPlan(p *workload.Program, genes []workload.TensorID,
+	uses map[workload.TensorID][]int, c gaCandidate) *Plan {
+	plan := NewPlan()
+	for i, id := range genes {
+		if !c.swap[i] {
+			continue
+		}
+		ks := uses[id]
+		for j, k := range ks {
+			if j == len(ks)-1 {
+				continue
+			}
+			plan.ReleaseAfter[k] = append(plan.ReleaseAfter[k], id)
+			lead := ks[j+1] - c.lead
+			if lead <= k {
+				lead = k + 1
+			}
+			plan.PrefetchAt[lead] = append(plan.PrefetchAt[lead], id)
+		}
+	}
+	for _, st := range p.Iteration {
+		if st.Kind == workload.StepFree {
+			plan.Drop[st.Tensor] = true
+		}
+	}
+	return plan
+}

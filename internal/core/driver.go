@@ -1,0 +1,531 @@
+// Package core implements the DeepUM driver — the paper's primary
+// contribution (§3.1, §4.2, §5): correlation-prefetching of UM blocks with
+// chaining across predicted kernels, page pre-eviction coupled with the
+// correlation tables, and invalidation of UM blocks belonging to inactive
+// PyTorch blocks.
+//
+// On a real system the driver is a Linux kernel module with four kernel
+// threads; here its policy logic is a deterministic state machine driven by
+// the simulation engine (internal/engine), while internal/pipeline provides
+// a faithful four-goroutine realization of the queue structure.
+package core
+
+import (
+	"deepum/internal/correlation"
+	"deepum/internal/sim"
+	"deepum/internal/um"
+)
+
+// Options select which DeepUM mechanisms are active; the Figure 10 ablation
+// toggles them one by one.
+type Options struct {
+	// Prefetch enables correlation prefetching (§4.2).
+	Prefetch bool
+	// Preevict enables page pre-eviction off the fault-handling critical
+	// path (§5.1).
+	Preevict bool
+	// Invalidate enables dropping victim blocks that belong to inactive
+	// PyTorch blocks instead of writing them back (§5.2).
+	Invalidate bool
+	// Degree is N, the number of kernels ahead the prefetcher chains before
+	// pausing (§4.2); the paper's sweet spot is 32 (Figure 11).
+	Degree int
+	// TableConfig parameterizes the UM-block correlation tables (Table 6).
+	TableConfig correlation.BlockTableConfig
+	// PreevictWatermark is the fraction of device memory kept free by the
+	// pre-evictor, expressed as a divisor (free >= capacity/divisor).
+	PreevictWatermark int
+	// TakeWindow overrides the migration thread's service window (how many
+	// queue-front commands count as effectively in flight); zero keeps the
+	// default of 64, which models roughly ten milliseconds of link work at
+	// full block size. Scaled-down simulations shrink it proportionally.
+	TakeWindow int
+	// CapacityBytes is the device memory size; the prefetcher throttles the
+	// outstanding predicted set to a fraction of it so aggressive chaining
+	// cannot displace blocks that will be accessed sooner (§6.2: "aggressive
+	// prefetching may hurt performance ... and evicts pages that will be
+	// accessed soon"). Zero disables the throttle. The engine fills it in
+	// from the simulated machine.
+	CapacityBytes int64
+}
+
+// DefaultOptions returns the configuration used for the paper's headline
+// results: all optimizations on, N=32, Config9 tables.
+func DefaultOptions() Options {
+	return Options{
+		Prefetch:          true,
+		Preevict:          true,
+		Invalidate:        true,
+		Degree:            32,
+		TableConfig:       correlation.DefaultBlockTableConfig(),
+		PreevictWatermark: 48,
+	}
+}
+
+// PrefetchCommand pairs a UM block address with the execution ID of the
+// kernel it is predicted to serve, exactly the payload of the paper's
+// prefetch queue.
+type PrefetchCommand struct {
+	Block um.BlockID
+	Exec  correlation.ExecID
+}
+
+// Stats aggregates driver-side counters.
+type Stats struct {
+	KernelLaunches   int64
+	PrefetchIssued   int64 // commands enqueued
+	PrefetchUseful   int64 // prefetched blocks later hit by the kernel
+	Preevictions     int64 // blocks evicted off the critical path
+	Invalidations    int64 // victim blocks dropped without transfer
+	ChainRestarts    int64
+	PredictionFails  int64 // chain died because the next kernel was unknown
+	DeathNoExec      int64 // chain deaths: no execution-table prediction
+	DeathSkips       int64 // chain deaths: too many anchorless kernels
+	WindowMisses     int64 // queued block touched outside the service window
+	ProtectedSkipped int64 // eviction candidates skipped by the N-kernel rule
+}
+
+// Driver is the DeepUM driver state machine. It implements umrt.Driver (to
+// receive kernel-launch callbacks), um.EvictionPolicy (the §5.1 victim
+// policy), and um.Invalidator (§5.2).
+type Driver struct {
+	opts   Options
+	tables *correlation.Tables
+
+	// Launch history: the three kernels before the current one, oldest
+	// first, and the current one.
+	history [correlation.HistoryLen]correlation.ExecID
+	current correlation.ExecID
+	// historyBeforeCurrent is the window used when recording the transition
+	// out of current.
+	historyBeforeCurrent [correlation.HistoryLen]correlation.ExecID
+
+	cursor *correlation.ChainCursor
+	// completedInChain counts kernels finished since the chain (re)started;
+	// the chain may run Degree kernels ahead of it.
+	completedInChain int
+
+	queue []PrefetchCommand
+	// head indexes the logical front of queue (popped entries are not
+	// copied away on every pop).
+	head int
+	// queued tracks blocks currently in the prefetch queue to avoid
+	// duplicate commands.
+	queued map[um.BlockID]struct{}
+	// protected holds blocks predicted for the current and next N kernels:
+	// the pre-eviction policy must not evict them (§5.1).
+	protected map[um.BlockID]struct{}
+
+	// activeBytes tracks, per UM block, how many bytes belong to active
+	// PyTorch blocks; a block with zero active bytes is invalidatable.
+	activeBytes map[um.BlockID]int64
+
+	// resident, when set, lets the prefetching thread skip blocks already
+	// on the device — it still marks them protected (they are predicted for
+	// the next N kernels) but issues no command for them.
+	resident func(um.BlockID) bool
+
+	Stats Stats
+}
+
+// Compile-time interface checks.
+var (
+	_ um.EvictionPolicy = (*Driver)(nil)
+	_ um.Invalidator    = (*Driver)(nil)
+)
+
+// NewDriver returns a driver with the given options.
+func NewDriver(opts Options) *Driver {
+	if opts.Degree < 1 {
+		opts.Degree = 1
+	}
+	if opts.PreevictWatermark < 2 {
+		opts.PreevictWatermark = 48
+	}
+	if opts.TableConfig.NumRows == 0 {
+		opts.TableConfig = correlation.DefaultBlockTableConfig()
+	}
+	d := &Driver{
+		opts:        opts,
+		tables:      correlation.NewTables(opts.TableConfig),
+		current:     correlation.NoExec,
+		queued:      make(map[um.BlockID]struct{}),
+		protected:   make(map[um.BlockID]struct{}),
+		activeBytes: make(map[um.BlockID]int64),
+	}
+	for i := range d.history {
+		d.history[i] = correlation.NoExec
+	}
+	return d
+}
+
+// Options returns the driver's configuration.
+func (d *Driver) Options() Options { return d.opts }
+
+// Tables exposes the correlation tables (Table 4 sizes, cmd/deepum-inspect).
+func (d *Driver) Tables() *correlation.Tables { return d.tables }
+
+// KernelLaunch receives the execution ID of the kernel about to run — the
+// ioctl callback of §3.1. The correlator records the transition of the
+// previously running kernel and resets the new kernel's miss cursor.
+func (d *Driver) KernelLaunch(id correlation.ExecID) {
+	d.Stats.KernelLaunches++
+	if d.current != correlation.NoExec {
+		d.tables.Exec.Record(d.current, d.historyBeforeCurrent, id)
+	}
+	// Slide the history window.
+	d.historyBeforeCurrent = d.history
+	copy(d.history[:], d.history[1:])
+	d.history[correlation.HistoryLen-1] = d.current
+	d.current = id
+	d.tables.Block(id).ResetCursor()
+}
+
+// KernelComplete slides the chain window: a paused chain may resume because
+// one more kernel of lookahead budget is available (§4.2: "The prefetching
+// thread resumes after the currently executing kernel finishes").
+func (d *Driver) KernelComplete(id correlation.ExecID) {
+	if d.cursor != nil {
+		d.completedInChain++
+		d.fillQueue(refillBatch)
+	}
+}
+
+// Current returns the execution ID of the kernel the driver believes is
+// running.
+func (d *Driver) Current() correlation.ExecID { return d.current }
+
+// OnFault is invoked by the fault-handling path for every faulted UM block.
+// The correlator updates the block table of the current kernel, and — when
+// prefetching is enabled — the prefetching thread restarts chaining from the
+// faulted block (§4.2: "The chaining ends when a new page fault interrupt
+// signal is raised", i.e. each fault restarts the chain).
+func (d *Driver) OnFault(b um.BlockID) {
+	if d.current == correlation.NoExec {
+		return
+	}
+	d.tables.Block(d.current).RecordMiss(b)
+	if !d.opts.Prefetch {
+		return
+	}
+	// The fault obsoletes the old chain's outstanding commands: the GPU has
+	// demonstrably diverged from the prediction that produced them, and the
+	// new chain's commands must reach the front of the queue to be timely.
+	d.queue = d.queue[:0]
+	d.head = 0
+	clear(d.queued)
+	d.cursor = d.tables.NewChainCursor(d.current, d.history, b)
+	d.completedInChain = 0
+	d.Stats.ChainRestarts++
+	d.fillQueue(restartFill)
+}
+
+// maxQueue bounds the prefetch queue, as the single-producer/single-consumer
+// queue between the prefetching and migration threads is on a real system.
+// A full queue pauses the chain; consumption resumes it as commands drain.
+const (
+	maxQueue    = 8192
+	restartFill = 256  // commands emitted synchronously on a chain restart
+	refillBatch = 1024 // commands emitted when consumption drains the queue
+	refillBelow = 512  // queue depth that triggers a refill
+)
+
+// fillQueue drains the chain cursor into the prefetch queue until the given
+// budget of new commands is emitted, the chain pauses at the degree-N
+// boundary, the queue fills, or the chain dies.
+func (d *Driver) fillQueue(budget int) {
+	if d.cursor == nil {
+		return
+	}
+	// Throttle: the predicted set must fit comfortably in device memory or
+	// prefetching would evict its own earlier predictions.
+	protectLimit := int64(1) << 62
+	if d.opts.CapacityBytes > 0 {
+		protectLimit = d.opts.CapacityBytes * 4 / sim.BlockSize
+	}
+	for budget > 0 && d.qlen() < maxQueue &&
+		int64(len(d.protected)) < protectLimit &&
+		d.cursor.Kernels()-d.completedInChain < d.opts.Degree {
+		b, exec := d.cursor.Next()
+		if b == um.NoBlock {
+			d.Stats.PredictionFails++
+			switch d.cursor.DeathCause {
+			case "noexec":
+				d.Stats.DeathNoExec++
+			case "skips":
+				d.Stats.DeathSkips++
+			}
+			d.cursor = nil
+			return
+		}
+		if _, dup := d.queued[b]; dup {
+			continue
+		}
+		if d.resident != nil && d.resident(b) {
+			continue // already on the device: nothing to migrate
+		}
+		d.protected[b] = struct{}{}
+		d.queued[b] = struct{}{}
+		d.queue = append(d.queue, PrefetchCommand{Block: b, Exec: exec})
+		d.Stats.PrefetchIssued++
+		budget--
+	}
+}
+
+// SetResidencyProbe installs the device-residency check used to filter
+// prefetch commands.
+func (d *Driver) SetResidencyProbe(probe func(um.BlockID) bool) { d.resident = probe }
+
+// NoteEviction tells the driver a block left the device. If the block is
+// still predicted for the next N kernels (it was evicted through the
+// fallback path under extreme pressure), the prefetching thread immediately
+// re-queues a command for it so the upcoming access finds an in-flight
+// migration instead of faulting.
+func (d *Driver) NoteEviction(b um.BlockID) {
+	if !d.opts.Prefetch {
+		return
+	}
+	if _, p := d.protected[b]; !p {
+		return
+	}
+	if _, dup := d.queued[b]; dup {
+		return
+	}
+	if d.qlen() >= maxQueue {
+		return
+	}
+	d.queued[b] = struct{}{}
+	d.queue = append(d.queue, PrefetchCommand{Block: b, Exec: d.current})
+	d.Stats.PrefetchIssued++
+}
+
+// NextPrefetch pops the next prefetch command, or ok=false when the queue is
+// empty. The migration thread calls this whenever the fault queue is empty
+// (§3.1 queue priority). Commands whose block was already taken out of turn
+// (TakeQueued) are skipped.
+func (d *Driver) NextPrefetch() (PrefetchCommand, bool) {
+	for d.qlen() > 0 {
+		cmd := d.queue[d.head]
+		d.head++
+		d.compact()
+		if d.qlen() < refillBelow {
+			d.fillQueue(refillBatch) // resume a paused chain
+		}
+		if _, live := d.queued[cmd.Block]; !live {
+			continue
+		}
+		delete(d.queued, cmd.Block)
+		return cmd, true
+	}
+	d.fillQueue(refillBatch)
+	return PrefetchCommand{}, false
+}
+
+func (d *Driver) qlen() int { return len(d.queue) - d.head }
+
+func (d *Driver) compact() {
+	if d.head > maxQueue {
+		d.queue = append(d.queue[:0], d.queue[d.head:]...)
+		d.head = 0
+	}
+}
+
+// IsQueued reports whether a prefetch command for block b is outstanding.
+func (d *Driver) IsQueued(b um.BlockID) bool {
+	_, ok := d.queued[b]
+	return ok
+}
+
+// takeWindow is how far into the prefetch queue the migration thread has
+// visibility when the GPU is about to touch a block: a command near the
+// front is effectively in flight and the GPU merely waits for it; a command
+// buried deep in the queue will not start before the access faults. The
+// window is what preserves the §6.2 DLRM behaviour — with input-dependent
+// access order, the stale queue order almost never matches the demanded
+// order, so commands are not at the front when needed and prefetching stops
+// helping.
+const takeWindow = 64
+
+// window returns the effective service window.
+func (d *Driver) window() int {
+	if d.opts.TakeWindow > 0 {
+		return d.opts.TakeWindow
+	}
+	return takeWindow
+}
+
+// TakeQueued claims the outstanding prefetch command for block b if it sits
+// within the migration thread's service window, converting a would-be fault
+// into an in-flight migration the GPU merely waits on. It returns false
+// when no timely command for b exists.
+func (d *Driver) TakeQueued(b um.BlockID) bool {
+	if _, ok := d.queued[b]; !ok {
+		return false
+	}
+	end := d.head + d.window()
+	if end > len(d.queue) {
+		end = len(d.queue)
+	}
+	found := false
+	for i := d.head; i < end; i++ {
+		if d.queue[i].Block != b {
+			continue
+		}
+		found = true
+		// Swap the head command into the vacated slot; order within the
+		// service window is immaterial.
+		d.queue[i] = d.queue[d.head]
+		d.head++
+		d.compact()
+		delete(d.queued, b)
+		if d.qlen() < refillBelow {
+			d.fillQueue(refillBatch)
+		}
+		return true
+	}
+	if !found {
+		d.Stats.WindowMisses++
+	}
+	return false
+}
+
+// PendingPrefetches returns the prefetch-queue depth.
+func (d *Driver) PendingPrefetches() int { return d.qlen() }
+
+// BeginIteration clears the protected set; the engine calls it at iteration
+// boundaries so stale predictions do not pin blocks forever.
+func (d *Driver) BeginIteration() {
+	d.protected = make(map[um.BlockID]struct{})
+}
+
+// Unprotect removes b from the predicted set — the engine calls it when the
+// running kernel touches the block, so protection covers only outstanding
+// predictions, not history. Shrinking the set may unblock a throttled chain.
+func (d *Driver) Unprotect(b um.BlockID) {
+	if _, ok := d.protected[b]; !ok {
+		return
+	}
+	delete(d.protected, b)
+	// A chain paused on the capacity throttle resumes as soon as the
+	// predicted set shrinks; fillQueue re-checks the limit and early-exits
+	// when still over it.
+	d.fillQueue(64)
+}
+
+// VictimsForPrefetch selects eviction victims for a background prefetch:
+// unlike the demand path it never falls back to evicting protected blocks —
+// displacing a block predicted for the next N kernels to make room for a
+// later prediction is self-defeating. ok is false when not enough
+// unprotected memory exists; the prefetch then waits.
+func (d *Driver) VictimsForPrefetch(r *um.Residency, need int64) ([]um.BlockID, bool) {
+	var victims []um.BlockID
+	var freed int64
+	r.WalkLRM(func(b um.BlockID) bool {
+		if _, p := d.protected[b]; p {
+			return true
+		}
+		victims = append(victims, b)
+		freed += r.BlockResidentBytes(b)
+		return freed < need
+	})
+	return victims, freed >= need
+}
+
+// --- §5.1: pre-eviction policy -------------------------------------------
+
+// SelectVictims implements the DeepUM eviction policy: least recently
+// migrated, excluding blocks expected to be accessed by the currently
+// executing kernel and the next N kernels (the protected set maintained from
+// the correlation tables). When every resident block is protected it falls
+// back to plain LRM — the driver must free space to make progress.
+func (d *Driver) SelectVictims(r *um.Residency, need int64) []um.BlockID {
+	var victims []um.BlockID
+	var freed int64
+	r.WalkLRM(func(b um.BlockID) bool {
+		if _, p := d.protected[b]; p {
+			d.Stats.ProtectedSkipped++
+			return true
+		}
+		victims = append(victims, b)
+		freed += blockBytes(r, b)
+		return freed < need
+	})
+	if freed >= need {
+		return victims
+	}
+	// Fallback when everything resident is predicted for upcoming kernels:
+	// sacrifice the most recently migrated blocks — those carry the
+	// farthest-future predictions, so dropping them wastes the least.
+	victims = victims[:0]
+	freed = 0
+	r.WalkMRM(func(b um.BlockID) bool {
+		victims = append(victims, b)
+		freed += blockBytes(r, b)
+		return freed < need
+	})
+	return victims
+}
+
+func blockBytes(r *um.Residency, b um.BlockID) int64 {
+	return r.BlockResidentBytes(b)
+}
+
+// PreevictTarget returns how many bytes the pre-evictor should free right
+// now to restore the watermark, or zero when disabled or satisfied.
+func (d *Driver) PreevictTarget(r *um.Residency) int64 {
+	if !d.opts.Preevict {
+		return 0
+	}
+	watermark := r.Capacity() / int64(d.opts.PreevictWatermark)
+	if r.Free() >= watermark {
+		return 0
+	}
+	return watermark - r.Free()
+}
+
+// NotePreeviction counts a block evicted off the critical path.
+func (d *Driver) NotePreeviction() { d.Stats.Preevictions++ }
+
+// --- §5.2: invalidation ----------------------------------------------------
+
+// OnPTActive is wired to the allocator's OnActive callback.
+func (d *Driver) OnPTActive(base um.Addr, size int64) { d.adjustActive(base, size, +1) }
+
+// OnPTInactive is wired to the allocator's OnInactive callback: the "few
+// lines of code added to the PyTorch memory allocator" of §5.2.
+func (d *Driver) OnPTInactive(base um.Addr, size int64) { d.adjustActive(base, size, -1) }
+
+func (d *Driver) adjustActive(base um.Addr, size int64, sign int64) {
+	end := int64(base) + size
+	for off := int64(base); off < end; {
+		b := um.BlockOf(um.Addr(off))
+		blockEnd := (int64(b) + 1) * sim.BlockSize
+		span := blockEnd - off
+		if end-off < span {
+			span = end - off
+		}
+		d.activeBytes[b] += sign * span
+		if d.activeBytes[b] <= 0 {
+			delete(d.activeBytes, b)
+		}
+		off += span
+	}
+}
+
+// CanInvalidate reports whether no active PyTorch block overlaps UM block b,
+// in which case an eviction victim's content is dead and the driver simply
+// invalidates the UM block in GPU memory (§5.2).
+func (d *Driver) CanInvalidate(b um.BlockID) bool {
+	if !d.opts.Invalidate {
+		return false
+	}
+	_, active := d.activeBytes[b]
+	return !active
+}
+
+// NoteInvalidation counts a dropped victim.
+func (d *Driver) NoteInvalidation() { d.Stats.Invalidations++ }
+
+// NotePrefetchUseful counts a prefetched block that a kernel subsequently
+// accessed while resident.
+func (d *Driver) NotePrefetchUseful() { d.Stats.PrefetchUseful++ }

@@ -1,0 +1,221 @@
+package correlation
+
+import (
+	"deepum/internal/um"
+)
+
+// BlockTableConfig holds the tunable parameters of a UM-block correlation
+// table, the subject of the §6.3 sensitivity analysis (Table 6 / Figure 12).
+type BlockTableConfig struct {
+	// NumRows is the number of sets in the table.
+	NumRows int
+	// Assoc is the set associativity: how many distinct UM blocks can map to
+	// the same row before replacement.
+	Assoc int
+	// NumSuccs is the number of immediate successor blocks kept per entry,
+	// MRU-ordered.
+	NumSuccs int
+	// NumLevels is the number of predecessor levels updated per miss. DeepUM
+	// uses a single level because the prefetching thread does chaining
+	// (§4.2); the classic pair-based prefetcher of §4.1 uses two.
+	NumLevels int
+}
+
+// DefaultBlockTableConfig is the paper's best configuration (Config9 of
+// Table 6, used for all headline results): 2048 rows, 2-way, 4 successors,
+// one level.
+func DefaultBlockTableConfig() BlockTableConfig {
+	return BlockTableConfig{NumRows: 2048, Assoc: 2, NumSuccs: 4, NumLevels: 1}
+}
+
+// entry is one way of a set: a tag block and its successor lists.
+type entry struct {
+	tag   um.BlockID
+	valid bool
+	// succs[level] holds up to NumSuccs successor blocks, MRU first.
+	succs [][]um.BlockID
+}
+
+// BlockTable records the history of UM-block accesses within the kernel of
+// one execution ID (Figure 7). Besides the set-associative correlation
+// array it keeps the Start block (first faulted block after the kernel
+// began) and the End block (last faulted block before the next kernel), the
+// anchors of cross-kernel chaining.
+type BlockTable struct {
+	cfg  BlockTableConfig
+	sets [][]entry // sets[row][way], way 0 = MRU
+
+	// Start is the first faulted UM block observed right after the
+	// transition into this execution ID.
+	Start um.BlockID
+	// End is the last faulted UM block observed right before the transition
+	// out of this execution ID.
+	End um.BlockID
+
+	// last[level] are the most recent misses: last[0] is the previous miss,
+	// last[1] the one before it, and so on (Last/SecondLast of §4.1).
+	last []um.BlockID
+	// pendingStart marks that the next miss is the first of a new kernel
+	// invocation and should re-capture Start (§4.2: "Start UM block is the
+	// UM block where the first faulted page resides that occurred right
+	// after the execution ID transition").
+	pendingStart bool
+}
+
+// NewBlockTable returns an empty table with the given configuration.
+// Invalid configuration fields are raised to 1.
+func NewBlockTable(cfg BlockTableConfig) *BlockTable {
+	if cfg.NumRows < 1 {
+		cfg.NumRows = 1
+	}
+	if cfg.Assoc < 1 {
+		cfg.Assoc = 1
+	}
+	if cfg.NumSuccs < 1 {
+		cfg.NumSuccs = 1
+	}
+	if cfg.NumLevels < 1 {
+		cfg.NumLevels = 1
+	}
+	t := &BlockTable{
+		cfg:          cfg,
+		sets:         make([][]entry, cfg.NumRows),
+		Start:        um.NoBlock,
+		End:          um.NoBlock,
+		last:         make([]um.BlockID, cfg.NumLevels),
+		pendingStart: true,
+	}
+	for i := range t.last {
+		t.last[i] = um.NoBlock
+	}
+	return t
+}
+
+// Config returns the table's configuration.
+func (t *BlockTable) Config() BlockTableConfig { return t.cfg }
+
+func (t *BlockTable) row(b um.BlockID) int {
+	// Multiplicative hash over the block number; block numbers of one model
+	// are dense, so a simple mix spreads them across rows.
+	x := uint64(b) * 0x9E3779B97F4A7C15
+	return int(x % uint64(t.cfg.NumRows))
+}
+
+// find returns the entry for b, optionally allocating (and replacing the
+// LRU way) when insert is set.
+func (t *BlockTable) find(b um.BlockID, insert bool) *entry {
+	row := t.row(b)
+	set := t.sets[row]
+	for i := range set {
+		if set[i].valid && set[i].tag == b {
+			// Move to front: MRU within the set.
+			e := set[i]
+			copy(set[1:i+1], set[:i])
+			set[0] = e
+			return &set[0]
+		}
+	}
+	if !insert {
+		return nil
+	}
+	e := entry{tag: b, valid: true, succs: make([][]um.BlockID, t.cfg.NumLevels)}
+	if len(set) < t.cfg.Assoc {
+		set = append([]entry{e}, set...)
+	} else {
+		copy(set[1:], set[:len(set)-1]) // drop LRU way
+		set[0] = e
+	}
+	t.sets[row] = set
+	return &t.sets[row][0]
+}
+
+// RecordMiss feeds one faulted UM block into the table: b becomes the
+// level-l successor of the l-th previous miss for every level, MRU-ordered
+// and deduplicated, exactly like the pair-based scheme of Figure 5 restricted
+// to the configured number of levels.
+func (t *BlockTable) RecordMiss(b um.BlockID) {
+	for level := 0; level < t.cfg.NumLevels; level++ {
+		pred := t.last[level]
+		if pred == um.NoBlock || pred == b {
+			continue
+		}
+		e := t.find(pred, true)
+		e.succs[level] = mruInsert(e.succs[level], b, t.cfg.NumSuccs)
+	}
+	// Shift the miss history.
+	copy(t.last[1:], t.last[:len(t.last)-1])
+	t.last[0] = b
+	if t.pendingStart {
+		t.Start = b
+		t.pendingStart = false
+	}
+	t.End = b
+}
+
+// mruInsert puts b at the front of list, removing an existing occurrence and
+// truncating to limit.
+func mruInsert(list []um.BlockID, b um.BlockID, limit int) []um.BlockID {
+	for i, x := range list {
+		if x == b {
+			copy(list[1:i+1], list[:i])
+			list[0] = b
+			return list
+		}
+	}
+	list = append(list, um.NoBlock)
+	copy(list[1:], list[:len(list)-1])
+	list[0] = b
+	if len(list) > limit {
+		list = list[:limit]
+	}
+	return list
+}
+
+// Successors returns the level-0 successor blocks of b, MRU first, or nil if
+// b has no entry. The returned slice is shared; callers must not modify it.
+func (t *BlockTable) Successors(b um.BlockID) []um.BlockID {
+	e := t.find(b, false)
+	if e == nil {
+		return nil
+	}
+	return e.succs[0]
+}
+
+// SuccessorsAt returns the successor list at the given level.
+func (t *BlockTable) SuccessorsAt(b um.BlockID, level int) []um.BlockID {
+	e := t.find(b, false)
+	if e == nil || level >= len(e.succs) {
+		return nil
+	}
+	return e.succs[level]
+}
+
+// ResetCursor clears the miss-history pointers at a kernel-invocation
+// boundary so that the first miss of the next invocation does not correlate
+// with the last miss of an unrelated kernel. Start/End survive: they anchor
+// chaining.
+func (t *BlockTable) ResetCursor() {
+	for i := range t.last {
+		t.last[i] = um.NoBlock
+	}
+	t.pendingStart = true
+}
+
+// Entries returns the number of valid entries across all sets.
+func (t *BlockTable) Entries() int {
+	n := 0
+	for _, set := range t.sets {
+		n += len(set)
+	}
+	return n
+}
+
+// SizeBytes estimates the memory footprint of the table as allocated by the
+// DeepUM driver: the full NumRows x Assoc array of entries, each holding a
+// tag and NumLevels x NumSuccs successor slots, plus the table header. This
+// matches the paper's Table 4 accounting, where a table is allocated in full
+// when a new execution ID appears.
+func (t *BlockTable) SizeBytes() int64 {
+	entryBytes := int64(8 + t.cfg.NumLevels*t.cfg.NumSuccs*8)
+	return int64(t.cfg.NumRows)*int64(t.cfg.Assoc)*entryBytes + 64
+}

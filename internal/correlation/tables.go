@@ -1,0 +1,208 @@
+package correlation
+
+import (
+	"sort"
+
+	"deepum/internal/um"
+)
+
+// Tables bundles the execution-ID table with the per-execution-ID UM-block
+// tables, which the DeepUM driver allocates lazily when a kernel with a new
+// execution ID appears (§6.2, Table 4).
+type Tables struct {
+	Exec   *ExecTable
+	cfg    BlockTableConfig
+	blocks map[ExecID]*BlockTable
+}
+
+// NewTables returns an empty table set using cfg for every block table.
+func NewTables(cfg BlockTableConfig) *Tables {
+	return &Tables{
+		Exec:   NewExecTable(),
+		cfg:    cfg,
+		blocks: make(map[ExecID]*BlockTable),
+	}
+}
+
+// Block returns the UM-block correlation table of id, allocating it on first
+// use.
+func (t *Tables) Block(id ExecID) *BlockTable {
+	bt, ok := t.blocks[id]
+	if !ok {
+		bt = NewBlockTable(t.cfg)
+		t.blocks[id] = bt
+	}
+	return bt
+}
+
+// HasBlock reports whether a block table exists for id without allocating.
+func (t *Tables) HasBlock(id ExecID) bool {
+	_, ok := t.blocks[id]
+	return ok
+}
+
+// NumBlockTables returns how many block tables have been allocated.
+func (t *Tables) NumBlockTables() int { return len(t.blocks) }
+
+// SizeBytes returns the total correlation-table memory: the execution table
+// plus every allocated block table. The tables live in CPU memory (§6.2).
+func (t *Tables) SizeBytes() int64 {
+	total := t.Exec.SizeBytes()
+	for _, bt := range t.blocks {
+		total += bt.SizeBytes()
+	}
+	return total
+}
+
+// ExecIDs returns the execution IDs with allocated block tables, ascending.
+func (t *Tables) ExecIDs() []ExecID {
+	ids := make([]ExecID, 0, len(t.blocks))
+	for id := range t.blocks {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// ChainCursor walks correlated UM blocks the way the DeepUM prefetching
+// thread does (§4.2): within a kernel it follows the MRU successor chain
+// from a seed block, and when it reaches the kernel's End block it consults
+// the execution table to predict the next kernel and restarts from that
+// kernel's Start block. Next returns blocks one at a time so the caller (the
+// prefetcher) can stop, pause at the degree-N boundary, or be preempted by a
+// new fault at any point.
+type ChainCursor struct {
+	tables *Tables
+
+	execID   ExecID             // kernel currently being prefetched for
+	history  [HistoryLen]ExecID // launch history used for prediction
+	emit     []um.BlockID       // blocks discovered but not yet handed out
+	frontier []um.BlockID       // blocks whose successors are yet to be visited
+	seen     map[um.BlockID]struct{}
+	kernels  int  // kernel transitions taken so far
+	dead     bool // prediction failed; chain exhausted
+	sawEnd   bool // End block emitted for the current kernel
+
+	// DeathCause records why the chain died: "" while alive, "noexec" when
+	// the execution table had no prediction, "skips" when too many
+	// consecutive kernels had no fault history.
+	DeathCause string
+}
+
+// NewChainCursor starts a chain for the kernel execID whose fault on seed
+// triggered prefetching. history holds the three launches before execID
+// (oldest first). The seed block itself is not emitted — the fault handler
+// is already migrating it — but its successors are. The kernel's Start
+// anchor joins the frontier as well: the exact miss sequence shifts between
+// iterations (it depends on what happened to be resident), so a fault on a
+// block with no recorded successors must still reach the kernel's canonical
+// access graph.
+func (t *Tables) NewChainCursor(execID ExecID, history [HistoryLen]ExecID, seed um.BlockID) *ChainCursor {
+	c := &ChainCursor{
+		tables:  t,
+		execID:  execID,
+		history: history,
+		seen:    map[um.BlockID]struct{}{},
+	}
+	if seed != um.NoBlock {
+		c.frontier = append(c.frontier, seed)
+		c.seen[seed] = struct{}{}
+	}
+	if t.HasBlock(execID) {
+		if start := t.Block(execID).Start; start != um.NoBlock && start != seed {
+			c.frontier = append(c.frontier, start)
+			c.seen[start] = struct{}{}
+			c.emit = append(c.emit, start)
+		}
+	}
+	return c
+}
+
+// ExecID returns the execution ID the cursor is currently prefetching for.
+func (c *ChainCursor) ExecID() ExecID { return c.execID }
+
+// Kernels returns how many kernel transitions the chain has taken; the
+// prefetcher pauses when this reaches the prefetch degree N.
+func (c *ChainCursor) Kernels() int { return c.kernels }
+
+// Next returns the next UM block to prefetch together with the execution ID
+// it is predicted for, or (NoBlock, NoExec) when the chain is exhausted —
+// the next-kernel prediction failed or no history exists (§4.2: "the
+// chaining ends ... when the prefetching thread fails to predict the next
+// kernel to execute").
+func (c *ChainCursor) Next() (um.BlockID, ExecID) {
+	for {
+		if c.dead {
+			return um.NoBlock, NoExec
+		}
+		if len(c.emit) > 0 {
+			b := c.emit[0]
+			c.emit = c.emit[1:]
+			if b == c.tables.Block(c.execID).End {
+				// Meeting the End block ends prefetching for this kernel.
+				c.sawEnd = true
+			}
+			return b, c.execID
+		}
+		if c.sawEnd || len(c.frontier) == 0 {
+			if !c.advanceKernel() {
+				return um.NoBlock, NoExec
+			}
+			continue
+		}
+		head := c.frontier[0]
+		c.frontier = c.frontier[1:]
+		for _, s := range c.tables.Block(c.execID).Successors(head) {
+			if s == um.NoBlock {
+				continue
+			}
+			if _, dup := c.seen[s]; dup {
+				continue
+			}
+			c.seen[s] = struct{}{}
+			c.frontier = append(c.frontier, s)
+			c.emit = append(c.emit, s)
+		}
+	}
+}
+
+// maxAnchorlessSkips bounds how many consecutive kernels without a fault
+// history the chain steps over before giving up.
+const maxAnchorlessSkips = 64
+
+// advanceKernel predicts the next kernel via the execution table and
+// restarts the walk from its Start block (which is itself emitted). Kernels
+// that have never faulted — their working set is always resident, so they
+// contribute nothing to prefetch — are stepped over. It returns false when
+// prediction fails.
+func (c *ChainCursor) advanceKernel() bool {
+	for skip := 0; skip <= maxAnchorlessSkips; skip++ {
+		next := c.tables.Exec.Predict(c.execID, c.history)
+		if next == NoExec {
+			c.dead = true
+			c.DeathCause = "noexec"
+			return false
+		}
+		// Slide the history window: the current kernel becomes the most
+		// recent.
+		copy(c.history[:], c.history[1:])
+		c.history[HistoryLen-1] = c.execID
+		c.execID = next
+		c.kernels++
+		c.sawEnd = false
+		if !c.tables.HasBlock(next) {
+			continue
+		}
+		start := c.tables.Block(next).Start
+		if start == um.NoBlock {
+			continue
+		}
+		c.seen = map[um.BlockID]struct{}{start: {}}
+		c.frontier = append(c.frontier[:0], start)
+		c.emit = append(c.emit[:0], start)
+		return true
+	}
+	c.dead = true
+	c.DeathCause = "skips"
+	return false
+}

@@ -1,0 +1,689 @@
+// Package engine executes a training workload against the Unified Memory
+// substrate under a configurable policy: naive UM (the NVIDIA driver alone),
+// or DeepUM with any subset of its mechanisms. It is the measurement
+// apparatus behind every UM-side number of the paper's evaluation —
+// iteration times (Fig. 9), fault counts (Table 5), ablation (Fig. 10),
+// degree sensitivity (Fig. 11), table parameters (Fig. 12), and energy
+// (Fig. 9c/11b).
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+
+	"deepum/internal/core"
+	"deepum/internal/correlation"
+	"deepum/internal/sim"
+	"deepum/internal/torchalloc"
+	"deepum/internal/trace"
+	"deepum/internal/um"
+	"deepum/internal/umrt"
+	"deepum/internal/workload"
+)
+
+// Policy selects the memory-management stack.
+type Policy uint8
+
+const (
+	// PolicyUM is the naive CUDA Unified Memory baseline: on-demand fault
+	// migration, stock least-recently-migrated eviction, no prefetching.
+	PolicyUM Policy = iota
+	// PolicyDeepUM runs the DeepUM driver with the options in
+	// Config.DriverOptions.
+	PolicyDeepUM
+	// PolicyIdeal gives the device unbounded memory: the no-oversubscription
+	// upper bound used for the "Ideal" bars of Figures 9 and 13.
+	PolicyIdeal
+)
+
+func (p Policy) String() string {
+	switch p {
+	case PolicyUM:
+		return "UM"
+	case PolicyDeepUM:
+		return "DeepUM"
+	case PolicyIdeal:
+		return "Ideal"
+	}
+	return "unknown"
+}
+
+// Config parameterizes one simulated training run.
+type Config struct {
+	Params  sim.Params
+	Program *workload.Program
+	Policy  Policy
+	// DriverOptions configure the DeepUM driver (PolicyDeepUM only).
+	DriverOptions core.Options
+	// Iterations is the number of measured training iterations.
+	Iterations int
+	// Warmup iterations run before measurement starts (the correlation
+	// tables learn during them). Defaults to 2 when zero.
+	Warmup int
+	// Seed drives the irregular-access sampler.
+	Seed int64
+	// MaxFaultBatch bounds how many UM blocks one fault-handling cycle
+	// covers (the fault buffer is finite). Defaults to 64.
+	MaxFaultBatch int
+	// UMDensityPrefetch enables the NVIDIA driver's neighborhood heuristic
+	// on the fault path (whole-block coalescing for dense faults) — an
+	// ablation point between naive UM and DeepUM.
+	UMDensityPrefetch bool
+	// Tracer, when set, records the run's event stream (launches, faults,
+	// migrations, evictions, prefetches, stalls) for offline analysis.
+	Tracer *trace.Recorder
+}
+
+// Result aggregates the measurements of a run.
+type Result struct {
+	Policy     Policy
+	Iterations int
+
+	TotalTime sim.Duration // measured iterations only
+	IterTimes []sim.Duration
+	GPUBusy   sim.Duration // SM-active time within measured iterations
+	LinkBusy  sim.Duration // link-active (either direction) time
+
+	// FaultsPerIter is the average page-fault count per measured iteration
+	// (Table 5).
+	FaultsPerIter int64
+	Handler       um.HandlerStats
+	Driver        core.Stats
+	// DriverTableBytes is the correlation-table memory (Table 4).
+	DriverTableBytes int64
+	// Tables exposes the driver's correlation tables for inspection
+	// (cmd/deepum-inspect); nil for non-DeepUM policies.
+	Tables *correlation.Tables
+
+	TrafficH2D, TrafficD2H int64
+	PeakAllocBytes         int64
+	EnergyJoules           float64
+}
+
+// IterTime returns the mean measured iteration time.
+func (r *Result) IterTime() sim.Duration {
+	if r.Iterations == 0 {
+		return 0
+	}
+	return r.TotalTime / sim.Duration(r.Iterations)
+}
+
+// Run executes the configured training run and returns its measurements.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Program == nil {
+		return nil, fmt.Errorf("engine: nil program")
+	}
+	if cfg.Iterations < 1 {
+		cfg.Iterations = 1
+	}
+	if cfg.Warmup == 0 {
+		cfg.Warmup = 2
+	}
+	if cfg.MaxFaultBatch <= 0 {
+		cfg.MaxFaultBatch = 64
+	}
+	e, err := newExec(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return e.run()
+}
+
+// touch is one UM-block access of a kernel.
+type touch struct {
+	block um.BlockID
+	pages int64
+	write bool
+}
+
+type exec struct {
+	cfg     Config
+	params  sim.Params
+	space   *um.Space
+	res     *um.Residency
+	link    *sim.Duplex
+	linkTL  *sim.Timeline
+	alloc   *torchalloc.Allocator
+	handler *um.Handler
+	rt      *umrt.Runtime
+	driver  *core.Driver // nil for PolicyUM / PolicyIdeal
+	rng     *rand.Rand
+
+	bases      map[workload.TensorID]um.Addr
+	inputs     []workload.TensorID
+	prefetched map[um.BlockID]bool
+	// everPrefetched tracks blocks prefetched within the current iteration,
+	// for the diagnostics DebugHook only.
+	everPrefetched map[um.BlockID]bool
+	// pending is a prefetch command parked because eviction would have
+	// displaced protected blocks; retried on the next pump.
+	pending *core.PrefetchCommand
+
+	now     sim.Time
+	cmdTime sim.Time // when the pending prefetch commands became available
+	gpuBusy sim.Duration
+
+	touchBuf []touch
+	groupBuf []um.FaultGroup
+
+	tracer        *trace.Recorder
+	currentKernel string
+}
+
+func newExec(cfg Config) (*exec, error) {
+	params := cfg.Params
+	// The UM address space is virtual: untouched segment tails consume no
+	// host RAM, so the space itself is unbounded and the backing-store wall
+	// is enforced on live (active PT block) bytes below.
+	space := um.NewSpace(0)
+	capacity := params.GPUMemory
+	if cfg.Policy == PolicyIdeal {
+		capacity = 1 << 62 // ideal runs also ignore the host wall
+	}
+	linkTL := &sim.Timeline{}
+	e := &exec{
+		cfg:        cfg,
+		params:     params,
+		space:      space,
+		res:        um.NewResidency(space, capacity),
+		link:       sim.NewDuplex(params, linkTL),
+		linkTL:     linkTL,
+		alloc:      torchalloc.New(space),
+		rng:        rand.New(rand.NewSource(cfg.Seed + 1)),
+		bases:      make(map[workload.TensorID]um.Addr),
+		prefetched: make(map[um.BlockID]bool),
+	}
+	var policy um.EvictionPolicy = um.LRMPolicy{}
+	var invalidator um.Invalidator = um.NoInvalidate{}
+	if cfg.Policy == PolicyDeepUM {
+		if cfg.DriverOptions.CapacityBytes == 0 {
+			cfg.DriverOptions.CapacityBytes = capacity
+		}
+		if cfg.DriverOptions.TakeWindow == 0 && params.ScaleDivisor > 1 {
+			w := 64 / int(params.ScaleDivisor)
+			if w < 4 {
+				w = 4
+			}
+			cfg.DriverOptions.TakeWindow = w
+		}
+		e.driver = core.NewDriver(cfg.DriverOptions)
+		policy = e.driver
+		invalidator = e.driver
+		e.driver.SetResidencyProbe(func(b um.BlockID) bool {
+			return e.space.Block(b).Resident
+		})
+		e.alloc.OnActive = e.driver.OnPTActive
+		e.alloc.OnInactive = e.driver.OnPTInactive
+	}
+	e.tracer = cfg.Tracer
+	e.handler = &um.Handler{
+		Params:          params,
+		Space:           space,
+		Res:             e.res,
+		Link:            e.link,
+		Policy:          policy,
+		Invalidator:     invalidator,
+		DensityPrefetch: cfg.UMDensityPrefetch,
+	}
+	e.handler.OnMigrated = func(b um.BlockID, at sim.Time) {
+		if e.driver != nil {
+			e.driver.OnFault(b)
+		}
+		if e.tracer != nil {
+			e.tracer.Record(trace.Event{At: at, Kind: trace.KindMigrate, Kernel: e.currentKernel, Block: b})
+		}
+	}
+	e.handler.OnEvicted = func(b um.BlockID, invalidated bool) {
+		delete(e.prefetched, b)
+		if e.driver != nil {
+			e.driver.NoteEviction(b)
+		}
+		if e.tracer != nil {
+			kind := trace.KindEvict
+			if invalidated {
+				kind = trace.KindInvalidate
+			}
+			e.tracer.Record(trace.Event{At: e.now, Kind: kind, Kernel: e.currentKernel, Block: b})
+		}
+	}
+	e.rt = umrt.New(space, e.driver)
+	if e.driver == nil {
+		e.rt = umrt.New(space, nil)
+	}
+
+	// Setup phase: allocate persistent tensors through the caching
+	// allocator, exactly as PyTorch would.
+	for _, s := range cfg.Program.Setup {
+		if s.Kind != workload.StepAlloc {
+			continue
+		}
+		if err := e.allocTensor(s.Tensor); err != nil {
+			return nil, fmt.Errorf("engine: setup allocation of %q: %w",
+				cfg.Program.Tensors[s.Tensor].Name, err)
+		}
+	}
+	// Input tensors are written by the host every iteration: their content
+	// starts (and stays) host-populated.
+	for _, t := range cfg.Program.Tensors {
+		if t.Kind == workload.Input && t.Persistent {
+			e.inputs = append(e.inputs, t.ID)
+			e.markHostPopulated(t.ID)
+		}
+	}
+	return e, nil
+}
+
+func (e *exec) allocTensor(id workload.TensorID) error {
+	t := e.cfg.Program.Tensors[id]
+	b, err := e.alloc.Alloc(t.Bytes)
+	if err != nil {
+		return err
+	}
+	if e.cfg.Policy != PolicyIdeal && e.params.HostMemory > 0 &&
+		e.alloc.Stats().ActiveBytes > e.params.HostMemory {
+		return fmt.Errorf("engine: %w: %d live bytes exceed the CPU backing store",
+			um.ErrHostExhausted, e.alloc.Stats().ActiveBytes)
+	}
+	e.bases[id] = b.Base
+	return nil
+}
+
+func (e *exec) markHostPopulated(id workload.TensorID) {
+	t := e.cfg.Program.Tensors[id]
+	base := e.bases[id]
+	for _, b := range um.BlocksOf(base, t.Bytes) {
+		e.space.Block(b).HostPopulated = true
+	}
+}
+
+func (e *exec) run() (*Result, error) {
+	p := e.cfg.Program
+	res := &Result{Policy: e.cfg.Policy, Iterations: e.cfg.Iterations}
+	var measureStart sim.Time
+	var faultsAtMeasureStart int64
+	var busyAtMeasureStart sim.Duration
+
+	total := e.cfg.Warmup + e.cfg.Iterations
+	for iter := 0; iter < total; iter++ {
+		if iter == e.cfg.Warmup {
+			measureStart = e.now
+			faultsAtMeasureStart = e.handler.Stats.PageFaults
+			busyAtMeasureStart = e.gpuBusy
+		}
+		iterStart := e.now
+		if err := e.iteration(); err != nil {
+			return nil, err
+		}
+		if iter >= e.cfg.Warmup {
+			res.IterTimes = append(res.IterTimes, e.now.Sub(iterStart))
+		}
+	}
+
+	res.TotalTime = e.now.Sub(measureStart)
+	res.GPUBusy = e.gpuBusy - busyAtMeasureStart
+	res.LinkBusy = e.linkTL.Busy()
+	res.FaultsPerIter = (e.handler.Stats.PageFaults - faultsAtMeasureStart) / int64(e.cfg.Iterations)
+	res.Handler = e.handler.Stats
+	if e.driver != nil {
+		res.Driver = e.driver.Stats
+		res.DriverTableBytes = e.driver.Tables().SizeBytes()
+		res.Tables = e.driver.Tables()
+	}
+	res.TrafficH2D, res.TrafficD2H = e.link.Traffic()
+	res.PeakAllocBytes = e.alloc.Stats().PeakActiveBytes
+	res.EnergyJoules = e.energy(res)
+	_ = p
+	return res, nil
+}
+
+// energy integrates the full-system power model over the measured window,
+// the stand-in for the Hioki power meter of Table 1.
+func (e *exec) energy(r *Result) float64 {
+	secs := r.TotalTime.Seconds()
+	return (e.params.PowerSystemBase+e.params.PowerGPUIdle)*secs +
+		e.params.PowerGPUBusy*r.GPUBusy.Seconds() +
+		e.params.PowerLinkActive*r.LinkBusy.Seconds()
+}
+
+func (e *exec) iteration() error {
+	if e.driver != nil {
+		e.driver.BeginIteration()
+	}
+	if DebugHook != nil {
+		e.everPrefetched = make(map[um.BlockID]bool)
+	}
+	// The host wrote a fresh minibatch: device copies of the input tensors
+	// are stale and get unmapped without writeback.
+	for _, id := range e.inputs {
+		t := e.cfg.Program.Tensors[id]
+		for _, b := range um.BlocksOf(e.bases[id], t.Bytes) {
+			e.res.Remove(b)
+			e.space.Block(b).HostPopulated = true
+		}
+	}
+	for _, s := range e.cfg.Program.Iteration {
+		switch s.Kind {
+		case workload.StepAlloc:
+			if err := e.allocTensor(s.Tensor); err != nil {
+				return fmt.Errorf("engine: allocation of %q: %w",
+					e.cfg.Program.Tensors[s.Tensor].Name, err)
+			}
+		case workload.StepFree:
+			if err := e.alloc.Free(e.bases[s.Tensor]); err != nil {
+				return err
+			}
+			delete(e.bases, s.Tensor)
+		case workload.StepLaunch:
+			e.kernel(s.Kernel)
+		}
+	}
+	return nil
+}
+
+// kernel simulates one launch: the runtime callback, the faulting walk over
+// the kernel's UM-block accesses, and the roofline compute time, with the
+// migration thread pumping prefetch and pre-eviction work in the background.
+func (e *exec) kernel(k *workload.Kernel) {
+	id := e.rt.Launch(k.Name, k.Args)
+	e.currentKernel = k.Name
+	if e.tracer != nil {
+		e.tracer.Record(trace.Event{At: e.now, Kind: trace.KindLaunch, Kernel: k.Name, Arg: int64(id)})
+	}
+	e.cmdTime = e.now
+	e.pump(e.now)
+
+	touches := e.touches(k)
+	var bytesTouched int64
+	for _, t := range touches {
+		bytesTouched += t.pages * sim.PageSize
+	}
+
+	i := 0
+	for i < len(touches) {
+		t := touches[i]
+		blk := e.space.Block(t.block)
+		if !blk.Resident && e.driver != nil && e.driver.TakeQueued(t.block) {
+			// A prefetch command for this block is already in the queue:
+			// the migration thread runs it ahead of the remaining queue
+			// (fault avoided; the GPU stalls on the in-flight transfer).
+			e.materialize(t.block)
+		}
+		if blk.Resident {
+			if blk.ReadyAt > e.now {
+				// Prefetch in flight: stall until the transfer lands.
+				if e.tracer != nil {
+					e.tracer.Record(trace.Event{At: e.now, Kind: trace.KindStall,
+						Kernel: k.Name, Block: t.block, Arg: int64(blk.ReadyAt.Sub(e.now))})
+				}
+				e.now = blk.ReadyAt
+			}
+			// Materialize pages of the block this access covers that an
+			// earlier partial fault did not (co-located tensors).
+			e.res.TopUp(t.block, t.pages)
+			e.res.Touch(t.block, t.write)
+			if e.driver != nil {
+				e.driver.Unprotect(t.block)
+			}
+			if e.prefetched[t.block] {
+				delete(e.prefetched, t.block)
+				if e.driver != nil {
+					e.driver.NotePrefetchUseful()
+				}
+			}
+			i++
+			continue
+		}
+		// Batch consecutive non-resident blocks into one fault cycle; a block
+		// with a timely prefetch command is not part of the batch — its
+		// migration starts as queue work instead.
+		e.groupBuf = e.groupBuf[:0]
+		j := i
+		for j < len(touches) && len(e.groupBuf) < e.cfg.MaxFaultBatch {
+			tj := touches[j]
+			if e.space.Block(tj.block).Resident {
+				break
+			}
+			if e.driver != nil && e.driver.TakeQueued(tj.block) {
+				e.materialize(tj.block)
+				break
+			}
+			if DebugHook != nil {
+				tag := "never-predicted"
+				switch {
+				case e.everPrefetched[tj.block]:
+					tag = "evicted-after-prefetch"
+				case e.driver != nil && e.driver.IsQueued(tj.block):
+					tag = "queued-too-deep"
+				}
+				DebugHook(tag)
+				if DebugFaultHook != nil {
+					DebugFaultHook(k.Name, j, tag)
+				}
+			}
+			e.groupBuf = append(e.groupBuf, um.FaultGroup{Block: tj.block, Count: tj.pages, Write: tj.write})
+			j++
+		}
+		// Let background transfers that start before the fault finish their
+		// reservations, then handle the fault with priority.
+		e.pump(e.now)
+		if e.tracer != nil {
+			var pages int64
+			for _, g := range e.groupBuf {
+				pages += g.PageCount()
+			}
+			e.tracer.Record(trace.Event{At: e.now, Kind: trace.KindFault,
+				Kernel: k.Name, Block: e.groupBuf[0].Block, Arg: pages})
+		}
+		e.now = e.handler.HandleGroups(e.now, e.groupBuf)
+		i = j
+	}
+
+	// Compute phase: the SMs run while the migration thread keeps pumping.
+	dur := e.params.KernelTime(k.FLOPs, bytesTouched+k.ExtraBytes)
+	e.gpuBusy += dur
+	e.now = e.now.Add(dur)
+	e.pump(e.now)
+	e.rt.Complete(id)
+	e.cmdTime = e.now
+	e.pump(e.now)
+}
+
+// touches expands a kernel's accesses into an ordered UM-block touch list.
+func (e *exec) touches(k *workload.Kernel) []touch {
+	e.touchBuf = e.touchBuf[:0]
+	for _, a := range k.Accesses {
+		base, ok := e.bases[a.Tensor]
+		if !ok {
+			continue // tensor not allocated (defensive; Build validates)
+		}
+		bytes := e.cfg.Program.Tensors[a.Tensor].Bytes
+		blocks := um.BlocksOf(base, bytes)
+		if !a.Irregular {
+			for _, b := range blocks {
+				e.touchBuf = append(e.touchBuf, touch{b, um.PagesIn(base, bytes, b), a.Write})
+			}
+			continue
+		}
+		// Irregular sparse access: sample the block subset fresh each call
+		// and visit it in input-dependent (shuffled) order — both the set
+		// and the order defeat history-based prediction (§6.2).
+		frac := a.Fraction
+		if frac <= 0 || frac > 1 {
+			frac = 1
+		}
+		pf := a.PageFraction
+		if pf <= 0 || pf > frac {
+			pf = frac
+		}
+		pagesPerBlock := pf / frac * float64(sim.PagesPerBlock)
+		if pagesPerBlock < 1 {
+			pagesPerBlock = 1
+		}
+		start := len(e.touchBuf)
+		for _, b := range blocks {
+			if frac < 1 && e.rng.Float64() >= frac {
+				continue
+			}
+			pg := int64(pagesPerBlock)
+			if full := um.PagesIn(base, bytes, b); pg > full {
+				pg = full
+			}
+			e.touchBuf = append(e.touchBuf, touch{b, pg, a.Write})
+		}
+		// The driver's fault preprocessing sorts each batch by address, so
+		// the handler sees short address-ordered runs arriving in
+		// input-dependent order: shuffle runs of blocks, not single blocks.
+		sub := e.touchBuf[start:]
+		const runLen = 8
+		nRuns := (len(sub) + runLen - 1) / runLen
+		e.rng.Shuffle(nRuns, func(i, j int) {
+			for k := 0; k < runLen; k++ {
+				a, b := i*runLen+k, j*runLen+k
+				if a < len(sub) && b < len(sub) {
+					sub[a], sub[b] = sub[b], sub[a]
+				}
+			}
+		})
+	}
+	return e.touchBuf
+}
+
+// pump advances the migration thread's background work up to the given GPU
+// time: pre-evictions keep the watermark of free device memory (§5.1), and
+// prefetch commands stream over the H2D lane while it is idle. A transfer
+// whose start would land at or beyond `until` stays queued so a future fault
+// can jump ahead of it (fault queue > prefetch queue, §3.1).
+func (e *exec) pump(until sim.Time) {
+	if e.driver == nil {
+		return
+	}
+	// Pre-eviction off the critical path, on the D2H lane. Victims are
+	// never blocks predicted for the next N kernels (§5.1).
+	if target := e.driver.PreevictTarget(e.res); target > 0 {
+		victims, _ := e.driver.VictimsForPrefetch(e.res, target)
+		for _, v := range victims {
+			if e.link.BusyUntil(sim.DeviceToHost) >= until {
+				break
+			}
+			e.evictBackground(v, true)
+		}
+	}
+	// Prefetch stream on the H2D lane.
+	for {
+		if e.link.BusyUntil(sim.HostToDevice) >= until {
+			return
+		}
+		cmd, ok := e.nextPrefetch()
+		if !ok {
+			return
+		}
+		blk := e.space.Block(cmd.Block)
+		if blk.Resident || blk.AllocatedPages == 0 {
+			continue
+		}
+		need := blk.Bytes()
+		if e.res.Free() < need {
+			// Make room without touching protected blocks; victims stream
+			// out on the D2H lane, so this does not delay the prefetch.
+			victims, enough := e.driver.VictimsForPrefetch(e.res, need-e.res.Free())
+			if !enough {
+				// Everything evictable is predicted for upcoming kernels:
+				// displacing it would be self-defeating. Park the command
+				// and let demand faults or future frees make room.
+				e.pending = &cmd
+				return
+			}
+			for _, v := range victims {
+				e.evictBackground(v, false)
+			}
+		}
+		at := sim.Max(e.cmdTime, e.link.BusyUntil(sim.HostToDevice))
+		var ready sim.Time
+		if blk.HostPopulated {
+			_, ready = e.link.Reserve(at, need, sim.HostToDevice)
+		} else {
+			ready = at // zero-fill populate: free
+		}
+		e.res.Insert(cmd.Block, blk.AllocatedPages, ready, ready)
+		e.prefetched[cmd.Block] = true
+		if e.everPrefetched != nil {
+			e.everPrefetched[cmd.Block] = true
+		}
+		if e.tracer != nil {
+			e.tracer.Record(trace.Event{At: e.now, Kind: trace.KindPrefetch, Kernel: e.currentKernel, Block: cmd.Block})
+		}
+	}
+}
+
+// materialize starts the whole-block migration of a queued prefetch command
+// the GPU is about to need: one full-bandwidth transfer (or a zero-fill),
+// making room without touching protected blocks first.
+func (e *exec) materialize(b um.BlockID) {
+	blk := e.space.Block(b)
+	if blk.Resident || blk.AllocatedPages == 0 {
+		return
+	}
+	need := blk.Bytes()
+	if e.res.Free() < need {
+		victims, enough := e.driver.VictimsForPrefetch(e.res, need-e.res.Free())
+		if !enough {
+			return // demand fault path will evict synchronously
+		}
+		for _, v := range victims {
+			e.evictBackground(v, false)
+		}
+	}
+	at := sim.Max(e.cmdTime, e.link.BusyUntil(sim.HostToDevice))
+	var ready sim.Time
+	if blk.HostPopulated {
+		_, ready = e.link.Reserve(at, need, sim.HostToDevice)
+	} else {
+		ready = sim.Max(at, e.now)
+	}
+	e.res.Insert(b, blk.AllocatedPages, ready, ready)
+	e.prefetched[b] = true
+	if e.everPrefetched != nil {
+		e.everPrefetched[b] = true
+	}
+	if e.tracer != nil {
+		e.tracer.Record(trace.Event{At: e.now, Kind: trace.KindPrefetch, Kernel: e.currentKernel, Block: b})
+	}
+}
+
+// nextPrefetch returns the parked command first, then the driver queue.
+func (e *exec) nextPrefetch() (core.PrefetchCommand, bool) {
+	if e.pending != nil {
+		cmd := *e.pending
+		e.pending = nil
+		return cmd, true
+	}
+	return e.driver.NextPrefetch()
+}
+
+// evictBackground removes one victim off the critical path: invalidated
+// blocks drop for free, the rest stream out on the D2H lane.
+func (e *exec) evictBackground(v um.BlockID, countPreevict bool) {
+	vb := e.space.Block(v)
+	if e.driver.CanInvalidate(v) {
+		e.res.Remove(v)
+		e.driver.NoteInvalidation()
+		return
+	}
+	e.link.Reserve(sim.Max(e.cmdTime, e.link.BusyUntil(sim.DeviceToHost)), vb.ResidentBytes(), sim.DeviceToHost)
+	vb.HostPopulated = true
+	e.res.Remove(v)
+	delete(e.prefetched, v)
+	e.driver.NoteEviction(v)
+	if countPreevict {
+		e.driver.NotePreeviction()
+	}
+}
+
+// DebugHook, when set, is called for every demand-faulted block with a tag
+// classifying its history: "evicted-after-prefetch", "never-predicted".
+// Used by diagnostics tests only.
+var DebugHook func(tag string)
+
+// DebugFaultHook, when set, receives (kernel name, touch index, tag) per
+// demand-faulted block. Diagnostics only.
+var DebugFaultHook func(kernel string, idx int, tag string)

@@ -1,0 +1,176 @@
+package experiments
+
+import (
+	"fmt"
+
+	"deepum/internal/core"
+	"deepum/internal/correlation"
+	"deepum/internal/engine"
+	"deepum/internal/metrics"
+	"deepum/internal/models"
+	"deepum/internal/sim"
+)
+
+// ablationCases restricts the Figure 10-12 sweeps to one representative
+// batch per model so the sweeps stay tractable.
+func ablationCases(quick bool) []workloadCase {
+	cases := []workloadCase{
+		{"gpt2-xl", "wikitext", []int64{5}},
+		{"gpt2-l", "wikitext", []int64{5}},
+		{"bert-large", "wikitext", []int64{16}},
+		{"bert-base", "wikitext", []int64{31}},
+		{"dlrm", "criteo", []int64{128000}},
+		{"resnet152", "imagenet", []int64{1536}},
+		{"resnet200", "imagenet", []int64{1280}},
+	}
+	if quick {
+		cases = cases[:3]
+	}
+	return cases
+}
+
+// Fig10 reproduces Figure 10: execution time normalized to naive UM with
+// prefetching, +pre-eviction, and +invalidation enabled cumulatively.
+func Fig10(o Options) (*metrics.Table, error) {
+	o = o.normalize()
+	params := sim.DefaultParams().Scale(o.Scale)
+	configs := []struct {
+		name string
+		opts core.Options
+	}{
+		{"Prefetch", core.Options{Prefetch: true, Degree: 32}},
+		{"Prefetch+Preevict", core.Options{Prefetch: true, Preevict: true, Degree: 32}},
+		{"Prefetch+Preevict+Invalidate", core.Options{Prefetch: true, Preevict: true, Invalidate: true, Degree: 32}},
+	}
+	t := metrics.NewTable("fig10", "Normalized execution time over naive UM (lower is better)",
+		"workload", configs[0].name, configs[1].name, configs[2].name)
+	sums := make([][]float64, len(configs))
+	for _, c := range ablationCases(o.Quick) {
+		spec := models.Spec{Model: c.Model, Dataset: c.Dataset}
+		b := c.Batches[0]
+		um, err := runUM(o, params, spec, b, engine.PolicyUM, core.Options{})
+		if err != nil {
+			return nil, err
+		}
+		row := []any{label(c.Model, b)}
+		for i, cfg := range configs {
+			res, err := runUM(o, params, spec, b, engine.PolicyDeepUM, cfg.opts)
+			if err != nil {
+				return nil, err
+			}
+			v := metrics.Ratio(float64(res.IterTime()), float64(um.IterTime()))
+			row = append(row, fmt.Sprintf("%.2f", v))
+			sums[i] = append(sums[i], v)
+		}
+		t.AddRow(row...)
+	}
+	gm := []any{"GMEAN"}
+	for _, s := range sums {
+		gm = append(gm, fmt.Sprintf("%.2f", metrics.Geomean(s)))
+	}
+	t.AddRow(gm...)
+	t.Note = "paper: 45.6% / 63.7% / 66.7% average execution-time reduction"
+	return t, nil
+}
+
+// fig11Degrees is the prefetch-degree sweep of Figure 11.
+var fig11Degrees = []int{1, 8, 16, 32, 64, 128}
+
+// Fig11 reproduces Figure 11: speedup (a) and energy ratio (b) for varying
+// prefetch degree N, both normalized to N=8.
+func Fig11(o Options) (*metrics.Table, error) {
+	o = o.normalize()
+	params := sim.DefaultParams().Scale(o.Scale)
+	cols := []string{"workload", "metric"}
+	for _, n := range fig11Degrees {
+		cols = append(cols, fmt.Sprintf("N=%d", n))
+	}
+	t := metrics.NewTable("fig11", "Sensitivity to the degree of prefetching (vs N=8)", cols...)
+	cases := ablationCases(o.Quick)
+	for _, c := range cases {
+		spec := models.Spec{Model: c.Model, Dataset: c.Dataset}
+		b := c.Batches[0]
+		times := map[int]sim.Duration{}
+		energy := map[int]float64{}
+		for _, n := range fig11Degrees {
+			opts := core.DefaultOptions()
+			opts.Degree = n
+			res, err := runUM(o, params, spec, b, engine.PolicyDeepUM, opts)
+			if err != nil {
+				return nil, err
+			}
+			times[n] = res.IterTime()
+			energy[n] = res.EnergyJoules
+		}
+		speedRow := []any{label(c.Model, b), "speedup"}
+		energyRow := []any{label(c.Model, b), "energy"}
+		for _, n := range fig11Degrees {
+			speedRow = append(speedRow, fmt.Sprintf("%.2f", metrics.Ratio(float64(times[8]), float64(times[n]))))
+			energyRow = append(energyRow, fmt.Sprintf("%.2f", metrics.Ratio(energy[n], energy[8])))
+		}
+		t.AddRow(speedRow...)
+		t.AddRow(energyRow...)
+	}
+	t.Note = "paper: sweet spot at N=32 (highest speedup, lowest energy)"
+	return t, nil
+}
+
+// table6Configs are the Table 6 block-table configurations.
+func table6Configs() []correlation.BlockTableConfig {
+	mk := func(assoc, succs, rows int) correlation.BlockTableConfig {
+		return correlation.BlockTableConfig{NumRows: rows, Assoc: assoc, NumSuccs: succs, NumLevels: 1}
+	}
+	return []correlation.BlockTableConfig{
+		mk(2, 4, 128), mk(2, 8, 128), mk(4, 4, 128),
+		mk(2, 4, 512), mk(2, 8, 512), mk(4, 4, 512),
+		mk(2, 4, 1024), mk(2, 8, 1024), mk(4, 4, 1024),
+		mk(2, 4, 2048), mk(2, 8, 2048), mk(4, 4, 2048),
+		mk(2, 4, 4096),
+	}
+}
+
+// Fig12 reproduces Table 6 + Figure 12: speedup of each UM-block correlation
+// table configuration over Config0.
+func Fig12(o Options) (*metrics.Table, error) {
+	o = o.normalize()
+	params := sim.DefaultParams().Scale(o.Scale)
+	configs := table6Configs()
+	cols := []string{"workload"}
+	for i := range configs {
+		cols = append(cols, fmt.Sprintf("Cfg%d", i))
+	}
+	t := metrics.NewTable("fig12", "Speedup over Config0 for block-table parameters (Table 6 configs)", cols...)
+	cases := ablationCases(o.Quick)
+	if o.Quick {
+		cases = cases[:2]
+	}
+	sums := make([][]float64, len(configs))
+	for _, c := range cases {
+		spec := models.Spec{Model: c.Model, Dataset: c.Dataset}
+		b := c.Batches[0]
+		var base sim.Duration
+		row := []any{label(c.Model, b)}
+		for i, cfg := range configs {
+			opts := core.DefaultOptions()
+			opts.TableConfig = cfg
+			res, err := runUM(o, params, spec, b, engine.PolicyDeepUM, opts)
+			if err != nil {
+				return nil, err
+			}
+			if i == 0 {
+				base = res.IterTime()
+			}
+			v := metrics.Ratio(float64(base), float64(res.IterTime()))
+			row = append(row, fmt.Sprintf("%.2f", v))
+			sums[i] = append(sums[i], v)
+		}
+		t.AddRow(row...)
+	}
+	gm := []any{"GMEAN"}
+	for _, s := range sums {
+		gm = append(gm, fmt.Sprintf("%.2f", metrics.Geomean(s)))
+	}
+	t.AddRow(gm...)
+	t.Note = "paper: Config9 (2048 rows, 2-way, 4 successors) performs best"
+	return t, nil
+}

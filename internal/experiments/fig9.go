@@ -1,0 +1,197 @@
+package experiments
+
+import (
+	"fmt"
+
+	"deepum/internal/baselines"
+	"deepum/internal/core"
+	"deepum/internal/engine"
+	"deepum/internal/metrics"
+	"deepum/internal/models"
+	"deepum/internal/sim"
+)
+
+// fig9Row holds one (model,batch) cell's measurements across systems.
+type fig9Row struct {
+	label                    string
+	um, lms, lmsMod, du, idl sim.Duration
+	lmsErr, lmsModErr, duErr error
+	umEnergy, lmsE, duE      float64
+	umFaults, duFaults       int64
+	duTableBytes             int64
+}
+
+// runFig9Matrix executes the Figure 9 workload matrix once and shares the
+// measurements across fig9a/b/c and Tables 4-5.
+func runFig9Matrix(o Options) ([]fig9Row, error) {
+	o = o.normalize()
+	params := sim.DefaultParams().Scale(o.Scale)
+	var rows []fig9Row
+	for _, c := range fig9Cases(o.Quick) {
+		spec := models.Spec{Model: c.Model, Dataset: c.Dataset}
+		for _, b := range c.Batches {
+			um, err := runUM(o, params, spec, b, engine.PolicyUM, core.Options{})
+			if err != nil {
+				return nil, fmt.Errorf("UM %s b%d: %w", c.Model, b, err)
+			}
+			du, duErr := runUM(o, params, spec, b, engine.PolicyDeepUM, core.DefaultOptions())
+			idl, err := runUM(o, params, spec, b, engine.PolicyIdeal, core.Options{})
+			if err != nil {
+				return nil, fmt.Errorf("Ideal %s b%d: %w", c.Model, b, err)
+			}
+			lms, lmsErr := runBaseline(o, params, spec, b, baselines.NewLMS())
+			lmsMod, lmsModErr := runBaseline(o, params, spec, b, baselines.NewLMSMod())
+
+			row := fig9Row{
+				label:     label(c.Model, b),
+				um:        um.IterTime(),
+				idl:       idl.IterTime(),
+				lmsErr:    lmsErr,
+				lmsModErr: lmsModErr,
+				duErr:     duErr,
+				umEnergy:  um.EnergyJoules,
+				umFaults:  um.FaultsPerIter,
+			}
+			if lmsErr == nil {
+				row.lms = lms.IterTime()
+				row.lmsE = lms.EnergyJoules
+			}
+			if lmsModErr == nil {
+				row.lmsMod = lmsMod.IterTime()
+			}
+			if duErr == nil {
+				row.du = du.IterTime()
+				row.duE = du.EnergyJoules
+				row.duFaults = du.FaultsPerIter
+				row.duTableBytes = du.DriverTableBytes
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// Fig9a reproduces Figure 9(a): training-throughput speedup of LMS, LMS-mod,
+// DeepUM and Ideal over naive UM on a V100-32GB.
+func Fig9a(o Options) (*metrics.Table, error) {
+	rows, err := runFig9Matrix(o)
+	if err != nil {
+		return nil, err
+	}
+	t := metrics.NewTable("fig9a", "Speedup over naive UM (V100-32GB)",
+		"workload", "LMS", "LMS-mod", "DeepUM", "Ideal")
+	var lmsS, lmsModS, duS, idlS []float64
+	for _, r := range rows {
+		lc, lv := speedupCell(r.um, r.lms, r.lmsErr)
+		mc, mv := speedupCell(r.um, r.lmsMod, r.lmsModErr)
+		dc, dv := speedupCell(r.um, r.du, r.duErr)
+		ic, iv := speedupCell(r.um, r.idl, nil)
+		t.AddRow(r.label, lc, mc, dc, ic)
+		lmsS = append(lmsS, lv)
+		lmsModS = append(lmsModS, mv)
+		duS = append(duS, dv)
+		idlS = append(idlS, iv)
+	}
+	t.AddRow("GMEAN",
+		fmt.Sprintf("%.2f", metrics.Geomean(lmsS)),
+		fmt.Sprintf("%.2f", metrics.Geomean(lmsModS)),
+		fmt.Sprintf("%.2f", metrics.Geomean(duS)),
+		fmt.Sprintf("%.2f", metrics.Geomean(idlS)))
+	t.Note = "paper: DeepUM 3.06x over UM and 1.11x over LMS on average; '-' = OOM"
+	return t, nil
+}
+
+// Fig9b reproduces Figure 9(b): elapsed seconds for 100 training iterations.
+func Fig9b(o Options) (*metrics.Table, error) {
+	rows, err := runFig9Matrix(o)
+	if err != nil {
+		return nil, err
+	}
+	t := metrics.NewTable("fig9b", "Elapsed time (s) for 100 training iterations",
+		"workload", "UM", "LMS", "LMS-mod", "DeepUM")
+	secs := func(d sim.Duration, err error) string {
+		if err != nil || d <= 0 {
+			return "-"
+		}
+		return fmt.Sprintf("%.0f", (100 * d).Seconds())
+	}
+	for _, r := range rows {
+		t.AddRow(r.label, secs(r.um, nil), secs(r.lms, r.lmsErr), secs(r.lmsMod, r.lmsModErr), secs(r.du, r.duErr))
+	}
+	t.Note = "steady-state iteration time x100; scaled machine, compare ratios not absolutes"
+	return t, nil
+}
+
+// Fig9c reproduces Figure 9(c): total energy consumption ratio over UM.
+func Fig9c(o Options) (*metrics.Table, error) {
+	rows, err := runFig9Matrix(o)
+	if err != nil {
+		return nil, err
+	}
+	t := metrics.NewTable("fig9c", "Energy consumption ratio over naive UM (lower is better)",
+		"workload", "LMS", "DeepUM")
+	var lmsR, duR []float64
+	for _, r := range rows {
+		lc := "-"
+		if r.lmsErr == nil && r.umEnergy > 0 {
+			v := r.lmsE / r.umEnergy
+			lc = fmt.Sprintf("%.2f", v)
+			lmsR = append(lmsR, v)
+		}
+		dc := "-"
+		if r.duErr == nil && r.umEnergy > 0 {
+			v := r.duE / r.umEnergy
+			dc = fmt.Sprintf("%.2f", v)
+			duR = append(duR, v)
+		}
+		t.AddRow(r.label, lc, dc)
+	}
+	t.AddRow("GMEAN", fmt.Sprintf("%.2f", metrics.Geomean(lmsR)), fmt.Sprintf("%.2f", metrics.Geomean(duR)))
+	t.Note = "paper: LMS 32% and DeepUM 35% of UM's energy on average"
+	return t, nil
+}
+
+// Table4 reproduces Table 4: correlation-table memory per model and batch.
+func Table4(o Options) (*metrics.Table, error) {
+	rows, err := runFig9Matrix(o)
+	if err != nil {
+		return nil, err
+	}
+	t := metrics.NewTable("table4", "Correlation table size",
+		"workload", "table size (MB)")
+	for _, r := range rows {
+		if r.duErr != nil {
+			t.AddRow(r.label, "-")
+			continue
+		}
+		// Undo the scale divisor: table count scales with model size.
+		t.AddRow(r.label, fmt.Sprintf("%d", r.duTableBytes*o.normalize().Scale>>20))
+	}
+	t.Note = "CPU-side memory; scaled back to paper-sized models"
+	return t, nil
+}
+
+// Table5 reproduces Table 5: average page faults per training iteration for
+// naive UM and DeepUM.
+func Table5(o Options) (*metrics.Table, error) {
+	rows, err := runFig9Matrix(o)
+	if err != nil {
+		return nil, err
+	}
+	t := metrics.NewTable("table5", "Average page faults per training iteration",
+		"workload", "UM faults", "DeepUM faults", "ratio")
+	for _, r := range rows {
+		ratio := "-"
+		if r.duErr == nil && r.umFaults > 0 {
+			v := 100 * float64(r.duFaults) / float64(r.umFaults)
+			if v < 0.1 {
+				ratio = "<0.1%"
+			} else {
+				ratio = fmt.Sprintf("%.1f%%", v)
+			}
+		}
+		t.AddRow(r.label, r.umFaults, r.duFaults, ratio)
+	}
+	t.Note = "paper: DeepUM reduces faults to <0.1%-1.8% of UM's"
+	return t, nil
+}

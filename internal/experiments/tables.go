@@ -1,0 +1,197 @@
+package experiments
+
+import (
+	"fmt"
+
+	"deepum/internal/baselines"
+	"deepum/internal/core"
+	"deepum/internal/engine"
+	"deepum/internal/metrics"
+	"deepum/internal/models"
+	"deepum/internal/sim"
+)
+
+// table3Cases are the Table 3 search ranges: (model, dataset, search floor
+// and ceiling for the batch size).
+type batchSearchCase struct {
+	Model, Dataset string
+	Lo, Hi         int64
+}
+
+// Table3 reproduces Table 3: the maximum batch size LMS and DeepUM can run
+// on the V100-32GB with 512 GiB of host memory. Feasibility is decided by
+// actually running one iteration: DeepUM fails on the host backing-store
+// wall, LMS on device OOM (allocation failure after swapping everything
+// swappable, including fragmentation failures of the caching pool).
+func Table3(o Options) (*metrics.Table, error) {
+	o = o.normalize()
+	params := sim.DefaultParams().Scale(o.Scale)
+	cases := []batchSearchCase{
+		{"gpt2-xl", "wikitext", 1, 64},
+		{"gpt2-l", "wikitext", 1, 96},
+		{"bert-large", "wikitext", 1, 512},
+		{"bert-base", "wikitext", 1, 1024},
+		{"dlrm", "criteo", 16000, 2048000},
+		{"resnet200", "imagenet", 256, 4096},
+		{"resnet152", "imagenet", 256, 4096},
+	}
+	if o.Quick {
+		cases = cases[:2]
+	}
+	t := metrics.NewTable("table3", "Maximum possible batch sizes (V100-32GB, 512GiB host)",
+		"model", "LMS", "DeepUM")
+	// Feasibility probes only need to survive one iteration.
+	probe := o
+	probe.Iterations, probe.Warmup = 1, 1
+	for _, c := range cases {
+		spec := models.Spec{Model: c.Model, Dataset: c.Dataset}
+		feasLMS := func(b int64) bool {
+			_, err := runBaseline(probe, params, spec, b, baselines.NewLMS())
+			return err == nil
+		}
+		feasDU := func(b int64) bool {
+			_, err := runUM(probe, params, spec, b, engine.PolicyDeepUM, core.DefaultOptions())
+			return err == nil
+		}
+		lmsMax := maxFeasibleBatch(c.Lo, c.Hi, feasLMS)
+		duMax := maxFeasibleBatch(c.Lo, c.Hi, feasDU)
+		t.AddRow(c.Model, fmtBatch(lmsMax), fmtBatch(duMax))
+	}
+	t.Note = "paper: DeepUM runs 1.2x-13.7x larger batches than LMS"
+	return t, nil
+}
+
+func fmtBatch(b int64) string {
+	if b >= 1000 {
+		return fmt.Sprintf("%dk", b/1000)
+	}
+	return fmt.Sprintf("%d", b)
+}
+
+// Table7 reproduces Table 7: maximum batch sizes of the TensorFlow-based
+// approaches and DeepUM on a V100-16GB with host memory limited to 128 GiB
+// (§6.4: "we limit the total CPU memory usage of DeepUM to 128GB to match
+// the system configuration").
+func Table7(o Options) (*metrics.Table, error) {
+	o = o.normalize()
+	params := sim.V100_16GB()
+	params.HostMemory = 128 * sim.GiB
+	params = params.Scale(o.Scale)
+
+	planners := []baselines.Planner{
+		baselines.VDNN{}, baselines.AutoTM{}, baselines.NewSwapAdvisor(),
+		baselines.Capuchin{}, baselines.Sentinel{},
+	}
+	searches := []batchSearchCase{
+		{"resnet200", "cifar10", 256, 32768},
+		{"bert-large", "cola", 1, 512},
+		{"dcgan", "celeba", 64, 16384},
+		{"mobilenet", "cifar100", 64, 16384},
+	}
+	if o.Quick {
+		searches = searches[:2]
+	}
+	cols := []string{"system"}
+	for _, s := range searches {
+		cols = append(cols, fmt.Sprintf("%s(%s)", s.Model, s.Dataset))
+	}
+	t := metrics.NewTable("table7", "Maximum batch sizes (V100-16GB, 128GiB host)", cols...)
+	probe := o
+	probe.Iterations, probe.Warmup = 1, 1
+	for _, pl := range planners {
+		row := []any{pl.Name()}
+		for _, c := range searches {
+			spec := models.Spec{Model: c.Model, Dataset: c.Dataset}
+			feas := func(b int64) bool {
+				_, err := runBaseline(probe, params, spec, b, pl)
+				return err == nil
+			}
+			m := maxFeasibleBatch(c.Lo, c.Hi, feas)
+			if m == 0 {
+				row = append(row, "not work")
+			} else {
+				row = append(row, fmtBatch(m))
+			}
+		}
+		t.AddRow(row...)
+	}
+	row := []any{"DeepUM"}
+	for _, c := range searches {
+		spec := models.Spec{Model: c.Model, Dataset: c.Dataset}
+		feas := func(b int64) bool {
+			_, err := runUM(probe, params, spec, b, engine.PolicyDeepUM, core.DefaultOptions())
+			return err == nil
+		}
+		row = append(row, fmtBatch(maxFeasibleBatch(c.Lo, c.Hi, feas)))
+	}
+	t.AddRow(row...)
+	t.Note = "paper: DeepUM largest everywhere; vDNN 'not work' on BERT"
+	return t, nil
+}
+
+// Fig13 reproduces Figure 13: speedup of the TensorFlow-based approaches,
+// DeepUM and Ideal over naive UM on the V100-16GB configuration.
+func Fig13(o Options) (*metrics.Table, error) {
+	o = o.normalize()
+	params := sim.V100_16GB()
+	params.HostMemory = 128 * sim.GiB
+	params = params.Scale(o.Scale)
+
+	planners := []baselines.Planner{
+		baselines.VDNN{}, baselines.AutoTM{}, baselines.NewSwapAdvisor(),
+		baselines.Capuchin{}, baselines.Sentinel{},
+	}
+	cols := []string{"workload"}
+	for _, pl := range planners {
+		cols = append(cols, pl.Name())
+	}
+	cols = append(cols, "DeepUM", "Ideal")
+	t := metrics.NewTable("fig13", "Speedup over naive UM (V100-16GB)", cols...)
+
+	sums := make([][]float64, len(planners)+2)
+	for _, c := range tf16Cases() {
+		spec := models.Spec{Model: c.Model, Dataset: c.Dataset}
+		b := c.Batches[0]
+		um, err := runUM(o, params, spec, b, engine.PolicyUM, core.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("UM %s: %w", c.Model, err)
+		}
+		row := []any{label(c.Model, b)}
+		for i, pl := range planners {
+			res, err := runBaseline(o, params, spec, b, pl)
+			var cell string
+			var v float64
+			if err != nil {
+				cell = "-"
+			} else {
+				cell, v = speedupCell(um.IterTime(), res.IterTime(), nil)
+			}
+			row = append(row, cell)
+			sums[i] = append(sums[i], v)
+		}
+		du, duErr := runUM(o, params, spec, b, engine.PolicyDeepUM, core.DefaultOptions())
+		var dc string
+		var dv float64
+		if duErr != nil {
+			dc = "-"
+		} else {
+			dc, dv = speedupCell(um.IterTime(), du.IterTime(), nil)
+		}
+		idl, err := runUM(o, params, spec, b, engine.PolicyIdeal, core.Options{})
+		if err != nil {
+			return nil, err
+		}
+		ic, iv := speedupCell(um.IterTime(), idl.IterTime(), nil)
+		row = append(row, dc, ic)
+		sums[len(planners)] = append(sums[len(planners)], dv)
+		sums[len(planners)+1] = append(sums[len(planners)+1], iv)
+		t.AddRow(row...)
+	}
+	gm := []any{"GMEAN"}
+	for _, s := range sums {
+		gm = append(gm, fmt.Sprintf("%.2f", metrics.Geomean(s)))
+	}
+	t.AddRow(gm...)
+	t.Note = "paper: DeepUM faster than all but comparable to Sentinel"
+	return t, nil
+}

@@ -1,0 +1,78 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTableRendering(t *testing.T) {
+	tbl := NewTable("t1", "A test table", "name", "value")
+	tbl.AddRow("alpha", 1.2345)
+	tbl.AddRow("beta", "raw")
+	tbl.AddRow("gamma", 42)
+	tbl.Note = "a note"
+	out := tbl.String()
+	for _, want := range []string{"== t1: A test table ==", "alpha", "1.23", "raw", "42", "note: a note", "name", "value"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendering missing %q:\n%s", want, out)
+		}
+	}
+	// Column alignment: all data rows render at equal width.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) < 6 {
+		t.Fatalf("too few lines: %d", len(lines))
+	}
+}
+
+func TestGeomean(t *testing.T) {
+	if g := Geomean(nil); g != 0 {
+		t.Fatalf("geomean(nil) = %f", g)
+	}
+	if g := Geomean([]float64{2, 8}); math.Abs(g-4) > 1e-9 {
+		t.Fatalf("geomean(2,8) = %f, want 4", g)
+	}
+	// Non-positive entries (missing data) are ignored, like the paper's
+	// absent LMS bars.
+	if g := Geomean([]float64{2, 0, 8, -1}); math.Abs(g-4) > 1e-9 {
+		t.Fatalf("geomean with gaps = %f, want 4", g)
+	}
+	if g := Geomean([]float64{0, -3}); g != 0 {
+		t.Fatalf("geomean of only-invalid = %f, want 0", g)
+	}
+}
+
+// TestGeomeanQuick: the geometric mean always lies between min and max of
+// the positive inputs.
+func TestGeomeanQuick(t *testing.T) {
+	f := func(raw []uint16) bool {
+		var vals []float64
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, r := range raw {
+			v := float64(r%1000) / 10
+			vals = append(vals, v)
+			if v > 0 {
+				lo = math.Min(lo, v)
+				hi = math.Max(hi, v)
+			}
+		}
+		g := Geomean(vals)
+		if math.IsInf(lo, 1) {
+			return g == 0
+		}
+		return g >= lo-1e-9 && g <= hi+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if Ratio(6, 3) != 2 {
+		t.Fatal("ratio broken")
+	}
+	if Ratio(1, 0) != 0 {
+		t.Fatal("ratio by zero must be 0")
+	}
+}

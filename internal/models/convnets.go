@@ -1,0 +1,243 @@
+package models
+
+import (
+	"fmt"
+
+	"deepum/internal/workload"
+)
+
+// DCGANSpec parameterizes the GAN generator (celebA, 64x64 images).
+type DCGANSpec struct {
+	Name    string
+	Image   int64
+	ZDim    int64
+	BaseCh  int64
+	ActSave float64
+}
+
+// DCGANConfig is the PyTorch-examples DCGAN on celebA.
+func DCGANConfig() DCGANSpec {
+	return DCGANSpec{Name: "dcgan", Image: 64, ZDim: 100, BaseCh: 64, ActSave: 2.0}
+}
+
+// DCGAN builds one GAN training iteration: discriminator forward on real
+// images, generator forward, discriminator forward on fakes, both backward
+// passes and Adam steps — the launch pattern alternates between the two
+// networks, giving the correlation tables two interleaved kernel streams.
+func DCGAN(spec DCGANSpec, batch, scale int64) (*workload.Program, error) {
+	if spec.Image < 16 {
+		return nil, fmt.Errorf("models: invalid dcgan spec %+v", spec)
+	}
+	g := newGen(spec.Name, batch, scale)
+	b := batch
+	act := func(n int64) int64 { return int64(float64(n) * spec.ActSave) }
+
+	// Discriminator: 4 strided convs 64->4 spatial, channels C..8C.
+	// Generator: mirror with transposed convs.
+	type convLayer struct {
+		w, gr, m1, m2 workload.TensorID
+		cin, cout, hw int64
+		flops         float64
+	}
+	mkNet := func(name string, gen bool) ([]convLayer, []workload.TensorID) {
+		var layers []convLayer
+		var outs []workload.TensorID
+		spatial := spec.Image / 2
+		cin := int64(3)
+		cout := spec.BaseCh
+		if gen {
+			spatial = 4
+			cin = spec.ZDim
+			cout = spec.BaseCh * 8
+		}
+		for i := 0; i < 4; i++ {
+			wBytes := cin * cout * 16 * f32 // 4x4 kernels
+			w8, gr, m1, m2 := g.adamState(fmt.Sprintf("%s.conv%d", name, i), wBytes)
+			hw := spatial * spatial
+			layers = append(layers, convLayer{w8, gr, m1, m2, cin, cout, hw,
+				2 * float64(b*hw) * float64(cin*cout*16)})
+			outs = append(outs, g.tensor(fmt.Sprintf("%s.act%d", name, i),
+				act(b*cout*hw*f32), workload.Activation, false))
+			cin = cout
+			if gen {
+				spatial *= 2
+				cout /= 2
+			} else {
+				spatial /= 2
+				cout *= 2
+			}
+		}
+		return layers, outs
+	}
+	dLayers, dActs := mkNet("disc", false)
+	gLayers, gActs := mkNet("gen", true)
+
+	real := g.tensor("input.real", b*3*spec.Image*spec.Image*f32, workload.Input, true)
+	noise := g.tensor("input.z", b*spec.ZDim*f32, workload.Input, true)
+	fake := g.tensor("gen.fake", act(b*3*spec.Image*spec.Image*f32), workload.Activation, false)
+	dActsFake := make([]workload.TensorID, len(dLayers))
+	for i := range dActsFake {
+		dActsFake[i] = g.tensor(fmt.Sprintf("disc.fakeact%d", i),
+			act(b*dLayers[i].cout*dLayers[i].hw*f32), workload.Activation, false)
+	}
+
+	fwd := func(name string, layers []convLayer, outs []workload.TensorID, in workload.TensorID) {
+		prev := in
+		for i, l := range layers {
+			g.b.Alloc(outs[i])
+			g.launch(name+"_conv_fwd", l.flops, r(prev), r(l.w), w(outs[i]))
+			prev = outs[i]
+		}
+	}
+	bwd := func(name string, layers []convLayer, outs []workload.TensorID, in workload.TensorID, freeActs bool) {
+		for i := len(layers) - 1; i >= 0; i-- {
+			l := layers[i]
+			prev := in
+			if i > 0 {
+				prev = outs[i-1]
+			}
+			g.launch(name+"_conv_bwd", 2*l.flops, r(outs[i]), r(prev), r(l.w), rw(l.gr))
+			if freeActs {
+				g.b.Free(outs[i])
+			}
+		}
+	}
+
+	// D on real, D on fake (after G), D backward twice, G backward.
+	fwd("disc_real", dLayers, dActs, real)
+	fwd("gen", gLayers, gActs, noise)
+	g.b.Alloc(fake)
+	g.launch("gen_tanh", float64(8*b*3*spec.Image*spec.Image), r(gActs[len(gActs)-1]), w(fake))
+	fwd("disc_fake", dLayers, dActsFake, fake)
+	g.launch("d_loss", float64(8*b), r(dActs[len(dActs)-1]), r(dActsFake[len(dActsFake)-1]),
+		w(dActs[len(dActs)-1]))
+	bwd("disc_real", dLayers, dActs, real, true)
+	bwd("disc_fake", dLayers, dActsFake, fake, true)
+	bwd("gen", gLayers, gActs, noise, true)
+	g.b.Free(fake)
+
+	for i, l := range dLayers {
+		g.adamStep(fmt.Sprintf("disc%d", i), l.w, l.gr, l.m1, l.m2, float64(l.cin*l.cout*16))
+	}
+	for i, l := range gLayers {
+		g.adamStep(fmt.Sprintf("gen%d", i), l.w, l.gr, l.m1, l.m2, float64(l.cin*l.cout*16))
+	}
+	return g.b.Build()
+}
+
+// MobileNetSpec parameterizes the depthwise-separable generator.
+type MobileNetSpec struct {
+	Name    string
+	Image   int64
+	Classes int64
+	Width   float64
+	ActSave float64
+}
+
+// MobileNetConfig is MobileNetV1 on CIFAR-100 (PyTorch examples, Table 2).
+func MobileNetConfig() MobileNetSpec {
+	return MobileNetSpec{Name: "mobilenet", Image: 32, Classes: 100, Width: 1.0, ActSave: 3.0}
+}
+
+// mobileNetPlan is (output channels, stride) per depthwise-separable block.
+var mobileNetPlan = [][2]int64{
+	{64, 1}, {128, 2}, {128, 1}, {256, 2}, {256, 1}, {512, 2},
+	{512, 1}, {512, 1}, {512, 1}, {512, 1}, {512, 1}, {1024, 2}, {1024, 1},
+}
+
+// MobileNet builds MobileNetV1 training: stem, 13 depthwise-separable
+// blocks (depthwise + pointwise kernels), classifier, backward, SGD.
+func MobileNet(spec MobileNetSpec, batch, scale int64) (*workload.Program, error) {
+	if spec.Image < 16 {
+		return nil, fmt.Errorf("models: invalid mobilenet spec %+v", spec)
+	}
+	g := newGen(spec.Name, batch, scale)
+	b := batch
+	act := func(n int64) int64 { return int64(float64(n) * spec.ActSave) }
+	ch := func(c int64) int64 { return int64(float64(c) * spec.Width) }
+
+	images := g.tensor("input.images", b*3*spec.Image*spec.Image*f32, workload.Input, true)
+	stemW, stemG, stemM, _ := g.adamState("stem", 3*ch(32)*9*f32)
+	spatial := spec.Image / 2
+	stemOut := g.tensor("stem.out", act(b*ch(32)*spatial*spatial*f32), workload.Activation, false)
+
+	type dsBlock struct {
+		dwW, dwG, dwM workload.TensorID
+		pwW, pwG, pwM workload.TensorID
+		dwOut, pwOut  workload.TensorID
+		cin, cout, hw int64
+		flops         float64
+	}
+	var dsBlocks []dsBlock
+	cin := ch(32)
+	for i, p := range mobileNetPlan {
+		cout, stride := ch(p[0]), p[1]
+		spatial /= stride
+		if spatial < 1 {
+			spatial = 1
+		}
+		hw := spatial * spatial
+		name := fmt.Sprintf("ds%d", i)
+		dwW, dwG, dwM, _ := g.adamState(name+".dw", cin*9*f32)
+		pwW, pwG, pwM, _ := g.adamState(name+".pw", cin*cout*f32)
+		dsBlocks = append(dsBlocks, dsBlock{
+			dwW: dwW, dwG: dwG, dwM: dwM, pwW: pwW, pwG: pwG, pwM: pwM,
+			dwOut: g.tensor(name+".dwout", act(b*cin*hw*f32), workload.Activation, false),
+			pwOut: g.tensor(name+".pwout", act(b*cout*hw*f32), workload.Activation, false),
+			cin:   cin, cout: cout, hw: hw,
+			flops: 2 * float64(b*hw) * float64(cin*9+cin*cout),
+		})
+		cin = cout
+	}
+	pooled := g.tensor("pooled", b*cin*f32, workload.Activation, false)
+	fcW, fcG, fcM, _ := g.adamState("fc", cin*spec.Classes*f32)
+	logits := g.tensor("logits", b*spec.Classes*f32, workload.Activation, false)
+
+	// --- Forward -----------------------------------------------------------
+	g.b.Alloc(stemOut)
+	g.launch("stem_conv", 2*float64(b)*float64(3*ch(32)*9)*float64(spatial*spatial*4), r(images), r(stemW), w(stemOut))
+	prev := stemOut
+	for i := range dsBlocks {
+		d := &dsBlocks[i]
+		g.b.Alloc(d.dwOut)
+		g.launch("dw_conv", 2*float64(b*d.hw)*float64(d.cin*9), r(prev), r(d.dwW), w(d.dwOut))
+		g.b.Alloc(d.pwOut)
+		g.launch("pw_conv", 2*float64(b*d.hw)*float64(d.cin*d.cout), r(d.dwOut), r(d.pwW), w(d.pwOut))
+		prev = d.pwOut
+	}
+	g.b.Alloc(pooled)
+	g.launch("avgpool", float64(b*cin), r(prev), w(pooled))
+	g.b.Alloc(logits)
+	g.launch("fc_xent", 2*float64(b)*float64(cin)*float64(spec.Classes), r(pooled), r(fcW), w(logits))
+
+	// --- Backward ----------------------------------------------------------
+	g.launch("fc_bwd", 4*float64(b)*float64(cin)*float64(spec.Classes), r(logits), r(pooled), r(fcW), rw(fcG), w(pooled))
+	g.b.Free(logits)
+	g.launch("avgpool_bwd", float64(b*cin), r(pooled), w(pooled))
+	for i := len(dsBlocks) - 1; i >= 0; i-- {
+		d := &dsBlocks[i]
+		prevAct := stemOut
+		if i > 0 {
+			prevAct = dsBlocks[i-1].pwOut
+		}
+		g.launch("pw_conv_bwd", 4*float64(b*d.hw)*float64(d.cin*d.cout), r(d.pwOut), r(d.dwOut), r(d.pwW), rw(d.pwG))
+		g.launch("dw_conv_bwd", 4*float64(b*d.hw)*float64(d.cin*9), r(d.dwOut), r(prevAct), r(d.dwW), rw(d.dwG))
+		g.b.Free(d.pwOut)
+		g.b.Free(d.dwOut)
+	}
+	g.launch("stem_bwd", 4*float64(b)*float64(3*ch(32)*9)*float64(spatial*spatial*4), r(stemOut), r(images), r(stemW), rw(stemG))
+	g.b.Free(stemOut)
+	g.b.Free(pooled)
+
+	// --- Optimizer: SGD with momentum -------------------------------------
+	sgd := func(name string, wt, gr, m1 workload.TensorID, elems float64) {
+		g.launch(name+".sgd", 4*elems, rw(wt), r(gr), rw(m1))
+	}
+	sgd("stem", stemW, stemG, stemM, float64(3*ch(32)*9))
+	for i, d := range dsBlocks {
+		sgd(fmt.Sprintf("ds%d.dw", i), d.dwW, d.dwG, d.dwM, float64(d.cin*9))
+		sgd(fmt.Sprintf("ds%d.pw", i), d.pwW, d.pwG, d.pwM, float64(d.cin*d.cout))
+	}
+	sgd("fc", fcW, fcG, fcM, float64(cin)*float64(spec.Classes))
+	return g.b.Build()
+}

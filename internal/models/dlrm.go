@@ -1,0 +1,167 @@
+package models
+
+import (
+	"fmt"
+
+	"deepum/internal/sim"
+	"deepum/internal/workload"
+)
+
+// DLRMSpec parameterizes the recommendation-model generator. The Criteo
+// Kaggle configuration of MLPerf uses 26 categorical features, each with its
+// own embedding table; the tables dominate the memory footprint and the
+// lookups are input-dependent — the irregular access pattern for which
+// "prefetching strategies of both LMS and DeepUM do not work well" (§6.2).
+type DLRMSpec struct {
+	Name      string
+	Tables    int
+	RowsPer   int64 // rows per embedding table
+	EmbDim    int64
+	DenseIn   int64
+	BottomMLP []int64
+	TopMLP    []int64
+}
+
+// DLRMConfig returns the Criteo Kaggle configuration sized so that the 26
+// tables total roughly 60 GiB.
+func DLRMConfig() DLRMSpec {
+	return DLRMSpec{
+		Name:      "dlrm",
+		Tables:    26,
+		RowsPer:   9_000_000, // 9M rows x 64 dims x 4B = 2.3GiB per table
+		EmbDim:    64,
+		DenseIn:   13,
+		BottomMLP: []int64{512, 256, 64},
+		TopMLP:    []int64{512, 256, 1},
+	}
+}
+
+// DLRM builds a training iteration: per-table irregular embedding lookups,
+// bottom MLP over dense features, feature interaction, top MLP, backward
+// pass with irregular gradient scatter into the tables, and optimizer steps
+// (sparse SGD on tables, Adam on the MLPs).
+func DLRM(spec DLRMSpec, batch, scale int64) (*workload.Program, error) {
+	if spec.Tables < 1 || spec.RowsPer < 1 {
+		return nil, fmt.Errorf("models: invalid dlrm spec %+v", spec)
+	}
+	g := newGen(spec.Name, batch, scale)
+	b := batch
+
+	// Embedding tables: persistent weights only (sparse SGD, no moments —
+	// matching the MLPerf reference which uses SGD for embeddings).
+	tableBytes := spec.RowsPer * spec.EmbDim * f32
+	tables := make([]workload.TensorID, spec.Tables)
+	for i := range tables {
+		tables[i] = g.tensor(fmt.Sprintf("table%d.w", i), tableBytes, workload.Weight, true)
+	}
+	// Expected fraction of each table's UM blocks (and pages) touched by b
+	// row draws; rows are far smaller than pages, so page coverage is much
+	// sparser than block coverage. Draws scale down with the tables so the
+	// sparsity — the property that defeats prefetching (§6.2) — is
+	// scale-invariant.
+	scaledTable := float64(scaled(tableBytes, scale))
+	draws := float64(b) / float64(scale)
+	blocksPerTable := scaledTable / float64(sim.BlockSize)
+	pagesPerTable := scaledTable / float64(sim.PageSize)
+	frac := touchedFraction(blocksPerTable, draws)
+	pageFrac := touchedFraction(pagesPerTable, draws)
+
+	// Dense MLPs with Adam state.
+	type mlpLayer struct {
+		w, gr, m1, m2 workload.TensorID
+		in, out       int64
+	}
+	buildMLP := func(name string, in int64, widths []int64) []mlpLayer {
+		var ls []mlpLayer
+		for i, out := range widths {
+			w8, gr, m1, m2 := g.adamState(fmt.Sprintf("%s%d", name, i), in*out*f32)
+			ls = append(ls, mlpLayer{w8, gr, m1, m2, in, out})
+			in = out
+		}
+		return ls
+	}
+	bottom := buildMLP("bot", spec.DenseIn, spec.BottomMLP)
+	nInter := int64(spec.Tables+1) * spec.EmbDim
+	top := buildMLP("top", nInter, spec.TopMLP)
+
+	dense := g.tensor("input.dense", b*spec.DenseIn*f32, workload.Input, true)
+	indices := g.tensor("input.indices", b*int64(spec.Tables)*8, workload.Input, true)
+
+	lookups := make([]workload.TensorID, spec.Tables)
+	for i := range lookups {
+		lookups[i] = g.tensor(fmt.Sprintf("lookup%d", i), b*spec.EmbDim*f32, workload.Activation, false)
+	}
+	botActs := make([]workload.TensorID, len(bottom))
+	for i, l := range bottom {
+		botActs[i] = g.tensor(fmt.Sprintf("bot.act%d", i), b*l.out*f32, workload.Activation, false)
+	}
+	interact := g.tensor("interact", b*nInter*f32, workload.Activation, false)
+	topActs := make([]workload.TensorID, len(top))
+	for i, l := range top {
+		topActs[i] = g.tensor(fmt.Sprintf("top.act%d", i), b*l.out*f32, workload.Activation, false)
+	}
+	dInter := g.tensor("dinteract", b*nInter*f32, workload.Activation, false)
+
+	// --- Forward -----------------------------------------------------------
+	for i, tbl := range tables {
+		g.b.Alloc(lookups[i])
+		g.launch("emb_lookup", float64(b*spec.EmbDim),
+			sparse(tbl, frac, pageFrac, false), r(indices), w(lookups[i]))
+	}
+	prev := dense
+	for i, l := range bottom {
+		g.b.Alloc(botActs[i])
+		g.launch("bot_fc_relu", 2*float64(b*l.in*l.out), r(prev), r(l.w), w(botActs[i]))
+		prev = botActs[i]
+	}
+	g.b.Alloc(interact)
+	g.launch("interaction", float64(b*nInter*spec.EmbDim), r(prev), w(interact))
+	tprev := interact
+	for i, l := range top {
+		g.b.Alloc(topActs[i])
+		g.launch("top_fc", 2*float64(b*l.in*l.out), r(tprev), r(l.w), w(topActs[i]))
+		tprev = topActs[i]
+	}
+	g.launch("bce_loss", float64(8*b), r(tprev), w(tprev))
+
+	// --- Backward ----------------------------------------------------------
+	g.b.Alloc(dInter)
+	for i := len(top) - 1; i >= 0; i-- {
+		l := top[i]
+		in := interact
+		if i > 0 {
+			in = topActs[i-1]
+		}
+		g.launch("top_fc_bwd", 4*float64(b*l.in*l.out), r(topActs[i]), r(in), r(l.w), rw(l.gr), w(dInter))
+		g.b.Free(topActs[i])
+	}
+	g.launch("interaction_bwd", float64(b*nInter*spec.EmbDim), r(dInter), r(interact), w(dInter))
+	g.b.Free(interact)
+	for i := len(bottom) - 1; i >= 0; i-- {
+		l := bottom[i]
+		in := dense
+		if i > 0 {
+			in = botActs[i-1]
+		}
+		g.launch("bot_fc_bwd", 4*float64(b*l.in*l.out), r(botActs[i]), r(in), r(l.w), rw(l.gr), w(dInter))
+		g.b.Free(botActs[i])
+	}
+	// Gradient scatter into the tables: irregular writes to the same rows.
+	for i, tbl := range tables {
+		g.launch("emb_grad_scatter", float64(b*spec.EmbDim),
+			r(dInter), r(indices), sparse(tbl, frac, pageFrac, true), r(lookups[i]))
+		g.b.Free(lookups[i])
+	}
+	g.b.Free(dInter)
+
+	// --- Optimizer ----------------------------------------------------------
+	// Sparse SGD updates happen inside emb_grad_scatter on real DLRM; the
+	// dense MLPs use Adam.
+	for i, l := range bottom {
+		g.adamStep(fmt.Sprintf("bot%d", i), l.w, l.gr, l.m1, l.m2, float64(l.in*l.out))
+	}
+	for i, l := range top {
+		g.adamStep(fmt.Sprintf("top%d", i), l.w, l.gr, l.m1, l.m2, float64(l.in*l.out))
+	}
+	return g.b.Build()
+}

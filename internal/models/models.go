@@ -1,0 +1,169 @@
+// Package models compiles the nine DNN architectures of the paper's
+// evaluation (Table 2) into workload programs: GPT-2 XL/L, BERT Large/Base,
+// DLRM, ResNet152/200, DCGAN and MobileNet. The generators reproduce the
+// *memory behaviour* of training — tensor sizes, lifetimes, kernel launch
+// repetition, and access order — not numerical content. FLOP counts follow
+// the architectures so the roofline compute/transfer balance is realistic.
+//
+// A scale divisor shrinks every tensor (and FLOP count) by the same factor;
+// paired with sim.Params.Scale it preserves all footprint-to-capacity ratios
+// while letting the full experiment suite run in seconds.
+package models
+
+import (
+	"fmt"
+	"math"
+
+	"deepum/internal/workload"
+)
+
+const f32 = 4 // bytes per float32 element
+
+// scaled divides a byte size by the scale, keeping at least one 512-byte
+// granule so tiny tensors survive scaling.
+func scaled(bytes int64, scale int64) int64 {
+	if scale <= 1 {
+		return bytes
+	}
+	s := bytes / scale
+	if s < 512 {
+		s = 512
+	}
+	return s
+}
+
+// gen carries shared state for a model generator.
+type gen struct {
+	b     *workload.Builder
+	scale int64
+	seq   uint64 // argument counter making kernel args unique per site
+}
+
+func newGen(name string, batch, scale int64) *gen {
+	if scale < 1 {
+		scale = 1
+	}
+	return &gen{b: workload.NewBuilder(name, batch), scale: scale}
+}
+
+// tensor declares a tensor with scaled size.
+func (g *gen) tensor(name string, bytes int64, kind workload.TensorKind, persistent bool) workload.TensorID {
+	return g.b.Tensor(name, scaled(bytes, g.scale), kind, persistent)
+}
+
+// launch appends a kernel whose identity is (name, site counter, batch-shape
+// args): the same site in every iteration produces the same execution ID,
+// as the PyTorch launch stream does.
+func (g *gen) launch(name string, flops float64, accesses ...workload.Access) {
+	g.seq++
+	g.b.Launch(&workload.Kernel{
+		Name:     name,
+		Args:     []uint64{g.seq},
+		FLOPs:    flops / float64(g.scale),
+		Accesses: accesses,
+	})
+}
+
+// r builds a read access.
+func r(t workload.TensorID) workload.Access { return workload.Access{Tensor: t} }
+
+// w builds a write access.
+func w(t workload.TensorID) workload.Access { return workload.Access{Tensor: t, Write: true} }
+
+// rw builds a read-write access.
+func rw(t workload.TensorID) workload.Access { return workload.Access{Tensor: t, Write: true} }
+
+// sparse builds an irregular access touching block fraction f (and page
+// fraction pf) of the tensor.
+func sparse(t workload.TensorID, f, pf float64, write bool) workload.Access {
+	if f > 1 {
+		f = 1
+	}
+	if pf > f || pf <= 0 {
+		pf = f
+	}
+	return workload.Access{Tensor: t, Write: write, Fraction: f, PageFraction: pf, Irregular: true}
+}
+
+// adamState declares the persistent training state for a weight tensor:
+// gradient plus two Adam moments, all weight-sized, and returns them.
+func (g *gen) adamState(name string, weightBytes int64) (wt, gr, m1, m2 workload.TensorID) {
+	wt = g.tensor(name+".w", weightBytes, workload.Weight, true)
+	gr = g.tensor(name+".g", weightBytes, workload.Gradient, true)
+	m1 = g.tensor(name+".m", weightBytes, workload.OptState, true)
+	m2 = g.tensor(name+".v", weightBytes, workload.OptState, true)
+	return
+}
+
+// adamStep appends the optimizer kernel for one parameter group.
+func (g *gen) adamStep(name string, wt, gr, m1, m2 workload.TensorID, elems float64) {
+	g.launch(name+".adam", 8*elems, rw(wt), r(gr), rw(m1), rw(m2))
+}
+
+// touchedFraction returns the expected fraction of a table's UM blocks hit
+// by `draws` uniform row draws when the table spans `blocks` blocks:
+// 1-(1-1/B)^draws. Used for DLRM's input-dependent embedding lookups.
+func touchedFraction(blocks, draws float64) float64 {
+	if blocks <= 0 {
+		return 1
+	}
+	f := 1 - math.Exp(-draws/blocks)
+	if f > 1 {
+		f = 1
+	}
+	if f <= 0 {
+		f = 1e-6
+	}
+	return f
+}
+
+// Spec identifies a model+dataset pair from Table 2 of the paper.
+type Spec struct {
+	Model   string
+	Dataset string
+}
+
+// Build constructs the program for a Table 2 model/dataset pair at the given
+// batch size and scale divisor. Supported names follow the paper: "gpt2-xl",
+// "gpt2-l", "bert-large", "bert-base", "dlrm", "resnet152", "resnet200",
+// "dcgan", "mobilenet".
+func Build(spec Spec, batch, scale int64) (*workload.Program, error) {
+	if batch < 1 {
+		return nil, fmt.Errorf("models: batch size %d out of range", batch)
+	}
+	switch spec.Model {
+	case "gpt2-xl":
+		return Transformer(GPT2XLConfig(), batch, scale)
+	case "gpt2-l":
+		return Transformer(GPT2LConfig(), batch, scale)
+	case "bert-large":
+		cfg := BERTLargeConfig()
+		if spec.Dataset == "cola" {
+			cfg = BERTLargeCoLAConfig()
+		}
+		return Transformer(cfg, batch, scale)
+	case "bert-base":
+		return Transformer(BERTBaseConfig(), batch, scale)
+	case "dlrm":
+		return DLRM(DLRMConfig(), batch, scale)
+	case "resnet152":
+		return ResNet(ResNet152Config(), batch, scale)
+	case "resnet200":
+		cfg := ResNet200Config()
+		if spec.Dataset == "cifar10" {
+			cfg = ResNet200CIFARConfig()
+		}
+		return ResNet(cfg, batch, scale)
+	case "dcgan":
+		return DCGAN(DCGANConfig(), batch, scale)
+	case "mobilenet":
+		return MobileNet(MobileNetConfig(), batch, scale)
+	}
+	return nil, fmt.Errorf("models: unknown model %q", spec.Model)
+}
+
+// Names returns the supported model names.
+func Names() []string {
+	return []string{"gpt2-xl", "gpt2-l", "bert-large", "bert-base", "dlrm",
+		"resnet152", "resnet200", "dcgan", "mobilenet"}
+}

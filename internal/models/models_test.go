@@ -1,0 +1,184 @@
+package models
+
+import (
+	"testing"
+
+	"deepum/internal/sim"
+	"deepum/internal/workload"
+)
+
+func TestBuildAllModels(t *testing.T) {
+	cases := []struct {
+		spec  Spec
+		batch int64
+	}{
+		{Spec{"gpt2-xl", "wikitext"}, 3},
+		{Spec{"gpt2-l", "wikitext"}, 3},
+		{Spec{"bert-large", "wikitext"}, 14},
+		{Spec{"bert-large", "cola"}, 25},
+		{Spec{"bert-base", "wikitext"}, 29},
+		{Spec{"dlrm", "criteo"}, 96000},
+		{Spec{"resnet152", "imagenet"}, 1280},
+		{Spec{"resnet200", "imagenet"}, 1024},
+		{Spec{"resnet200", "cifar10"}, 4200},
+		{Spec{"dcgan", "celeba"}, 1400},
+		{Spec{"mobilenet", "cifar100"}, 1200},
+	}
+	for _, c := range cases {
+		p, err := Build(c.spec, c.batch, 16)
+		if err != nil {
+			t.Fatalf("%v: %v", c.spec, err)
+		}
+		if p.Kernels() < 10 {
+			t.Errorf("%v: only %d kernels per iteration", c.spec, p.Kernels())
+		}
+		if p.FootprintBytes() <= 0 {
+			t.Errorf("%v: non-positive footprint", c.spec)
+		}
+		if p.TouchedBytes() <= 0 {
+			t.Errorf("%v: no bytes touched", c.spec)
+		}
+	}
+}
+
+func TestBuildUnknownModel(t *testing.T) {
+	if _, err := Build(Spec{"alexnet", "imagenet"}, 8, 1); err == nil {
+		t.Fatal("unknown model must error")
+	}
+	if _, err := Build(Spec{"gpt2-xl", "wikitext"}, 0, 1); err == nil {
+		t.Fatal("zero batch must error")
+	}
+}
+
+func TestNamesCoverRegistry(t *testing.T) {
+	for _, n := range Names() {
+		if _, err := Build(Spec{Model: n}, 2, 64); err != nil {
+			t.Fatalf("registry name %q does not build: %v", n, err)
+		}
+	}
+}
+
+// TestFootprintOversubscription checks the calibration that drives every
+// experiment's shape: at the paper's evaluated batch sizes, footprints must
+// oversubscribe a V100-32GB in roughly the paper's regimes.
+func TestFootprintOversubscription(t *testing.T) {
+	gpu := float64(32 * sim.GiB)
+	cases := []struct {
+		spec     Spec
+		batch    int64
+		min, max float64 // footprint / GPU memory bounds
+	}{
+		{Spec{"gpt2-xl", "wikitext"}, 3, 1.5, 4.5},
+		{Spec{"gpt2-xl", "wikitext"}, 7, 3.0, 8.5},
+		{Spec{"gpt2-l", "wikitext"}, 3, 1.05, 2.5},
+		{Spec{"bert-large", "wikitext"}, 14, 1.05, 2.0},
+		{Spec{"bert-base", "wikitext"}, 29, 0.9, 1.35},
+		{Spec{"dlrm", "criteo"}, 96000, 1.5, 3.0},
+		{Spec{"resnet152", "imagenet"}, 1280, 6.0, 14.0},
+		{Spec{"resnet200", "imagenet"}, 1024, 6.0, 16.0},
+	}
+	for _, c := range cases {
+		p, err := Build(c.spec, c.batch, 1)
+		if err != nil {
+			t.Fatalf("%v: %v", c.spec, err)
+		}
+		ratio := float64(p.FootprintBytes()) / gpu
+		if ratio < c.min || ratio > c.max {
+			t.Errorf("%s b%d: footprint %.1f GiB = %.2fx GPU, want in [%.2f, %.2f]",
+				c.spec.Model, c.batch, float64(p.FootprintBytes())/float64(sim.GiB), ratio, c.min, c.max)
+		}
+	}
+}
+
+// TestScalePreservesRatios: scaling model and GPU by the same factor keeps
+// the oversubscription ratio within a few percent.
+func TestScalePreservesRatios(t *testing.T) {
+	full, err := Build(Spec{"bert-large", "wikitext"}, 16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scaled, err := Build(Spec{"bert-large", "wikitext"}, 16, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullRatio := float64(full.FootprintBytes()) / float64(32*sim.GiB)
+	scaledRatio := float64(scaled.FootprintBytes()) / float64(4*sim.GiB)
+	if scaledRatio < fullRatio*0.9 || scaledRatio > fullRatio*1.1 {
+		t.Fatalf("scaling distorted ratio: full %.3f scaled %.3f", fullRatio, scaledRatio)
+	}
+}
+
+func TestTransformerStructure(t *testing.T) {
+	p, err := Transformer(BERTBaseConfig(), 4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every transient tensor allocated must be freed (checked by Build), and
+	// kernels must repeat exactly across iterations (same launch list).
+	if p.Kernels() < BERTBaseConfig().Layers*10 {
+		t.Fatalf("kernels = %d, want at least 10 per layer", p.Kernels())
+	}
+	var weightBytes int64
+	for _, tn := range p.Tensors {
+		if tn.Kind == workload.Weight {
+			weightBytes += tn.Bytes
+		}
+	}
+	// BERT Base: ~110M params x 4B / scale 8 ~ 55MB.
+	if weightBytes < 40<<20 || weightBytes > 80<<20 {
+		t.Fatalf("scaled weight bytes = %d MiB", weightBytes>>20)
+	}
+}
+
+func TestDLRMIrregularAccesses(t *testing.T) {
+	p, err := DLRM(DLRMConfig(), 96000, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	irregular := 0
+	for _, s := range p.Iteration {
+		if s.Kind != workload.StepLaunch {
+			continue
+		}
+		for _, a := range s.Kernel.Accesses {
+			if a.Irregular {
+				if a.Fraction <= 0 || a.Fraction > 1 {
+					t.Fatalf("irregular fraction %f out of range", a.Fraction)
+				}
+				irregular++
+			}
+		}
+	}
+	// 26 lookup + 26 scatter accesses.
+	if irregular != 52 {
+		t.Fatalf("irregular accesses = %d, want 52", irregular)
+	}
+}
+
+func TestTouchedFraction(t *testing.T) {
+	if f := touchedFraction(0, 100); f != 1 {
+		t.Fatalf("zero blocks fraction = %f", f)
+	}
+	if f := touchedFraction(1000, 1); f > 0.01 {
+		t.Fatalf("one draw over 1000 blocks = %f", f)
+	}
+	if f := touchedFraction(100, 1e9); f != 1 {
+		t.Fatalf("saturated fraction = %f", f)
+	}
+	// Monotone in draws.
+	if touchedFraction(100, 50) >= touchedFraction(100, 500) {
+		t.Fatal("fraction not monotone in draws")
+	}
+}
+
+func TestScaledFloor(t *testing.T) {
+	if scaled(100, 64) != 512 {
+		t.Fatalf("scaled floor broken: %d", scaled(100, 64))
+	}
+	if scaled(1<<20, 1) != 1<<20 {
+		t.Fatal("scale 1 must be identity")
+	}
+	if scaled(64<<20, 64) != 1<<20 {
+		t.Fatal("even scaling broken")
+	}
+}

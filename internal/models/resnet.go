@@ -1,0 +1,170 @@
+package models
+
+import (
+	"fmt"
+
+	"deepum/internal/workload"
+)
+
+// ResNetConfig parameterizes the bottleneck-ResNet generator.
+type ResNetConfig struct {
+	Name string
+	// Blocks is the bottleneck count per stage (e.g. {3,8,36,3} = ResNet152).
+	Blocks [4]int
+	// Image is the input resolution (224 for ImageNet, 32 for CIFAR).
+	Image int64
+	// Classes is the classifier width.
+	Classes int64
+	// ActSave multiplies activation sizes (BN saved inputs, ReLU masks).
+	ActSave float64
+}
+
+// ResNet152Config is ResNet-152 on ImageNet (PyTorch examples, Table 2).
+func ResNet152Config() ResNetConfig {
+	return ResNetConfig{Name: "resnet152", Blocks: [4]int{3, 8, 36, 3}, Image: 224, Classes: 1000, ActSave: 2.6}
+}
+
+// ResNet200Config is ResNet-200 on ImageNet: {3,24,36,3} bottlenecks.
+func ResNet200Config() ResNetConfig {
+	return ResNetConfig{Name: "resnet200", Blocks: [4]int{3, 24, 36, 3}, Image: 224, Classes: 1000, ActSave: 2.6}
+}
+
+// ResNet200CIFARConfig is ResNet-200 on CIFAR-10 (32x32), the configuration
+// of the §6.4 TensorFlow-based comparison.
+func ResNet200CIFARConfig() ResNetConfig {
+	cfg := ResNet200Config()
+	cfg.Name = "resnet200-cifar"
+	cfg.Image = 32
+	cfg.Classes = 10
+	return cfg
+}
+
+// stageChannels are the bottleneck output channels per stage.
+var stageChannels = [4]int64{256, 512, 1024, 2048}
+
+// ResNet builds the training program of a bottleneck ResNet: stem, four
+// stages of bottleneck blocks (each three convolutions fused with BN/ReLU),
+// classifier, backward pass and SGD-with-momentum steps.
+func ResNet(cfg ResNetConfig, batch, scale int64) (*workload.Program, error) {
+	if cfg.Image < 8 {
+		return nil, fmt.Errorf("models: invalid resnet config %+v", cfg)
+	}
+	g := newGen(cfg.Name, batch, scale)
+	b := batch
+	act := func(n int64) int64 { return int64(float64(n) * cfg.ActSave) }
+
+	// Stem: 7x7/2 conv + pool; spatial /4.
+	stemW, stemG, stemM, _ := g.adamState("stem", 64*3*49*f32)
+	images := g.tensor("input.images", b*3*cfg.Image*cfg.Image*f32, workload.Input, true)
+	spatial := cfg.Image / 4
+	stemOut := g.tensor("stem.out", act(b*64*spatial*spatial*f32), workload.Activation, false)
+
+	type blockState struct {
+		w, gr, m1     workload.TensorID
+		a1, a2, a3    workload.TensorID // conv outputs saved for backward
+		hw, mid, cout int64
+		flops         float64
+	}
+	var blocks []blockState
+	cin := int64(64)
+	for stage := 0; stage < 4; stage++ {
+		cout := stageChannels[stage]
+		mid := cout / 4
+		if stage > 0 {
+			spatial /= 2
+		}
+		for blk := 0; blk < cfg.Blocks[stage]; blk++ {
+			name := fmt.Sprintf("s%db%d", stage, blk)
+			// Weights: 1x1 cin->mid, 3x3 mid->mid, 1x1 mid->cout (+ projection
+			// on the first block of a stage).
+			wBytes := (cin*mid + 9*mid*mid + mid*cout) * f32
+			if blk == 0 {
+				wBytes += cin * cout * f32
+			}
+			w8, gr, m1, _ := g.adamState(name, wBytes)
+			hw := spatial * spatial
+			bs := blockState{
+				w: w8, gr: gr, m1: m1,
+				a1: g.tensor(name+".a1", act(b*mid*hw*f32), workload.Activation, false),
+				a2: g.tensor(name+".a2", act(b*mid*hw*f32), workload.Activation, false),
+				a3: g.tensor(name+".a3", act(b*cout*hw*f32), workload.Activation, false),
+				hw: hw, mid: mid, cout: cout,
+				flops: 2 * float64(b*hw) * float64(cin*mid+9*mid*mid+mid*cout),
+			}
+			blocks = append(blocks, bs)
+			cin = cout
+		}
+	}
+	pooled := g.tensor("pooled", b*2048*f32, workload.Activation, false)
+	fcW, fcG, fcM, _ := g.adamState("fc", 2048*cfg.Classes*f32)
+	logits := g.tensor("logits", b*cfg.Classes*f32, workload.Activation, false)
+	dx := make([]workload.TensorID, len(blocks)+1)
+	for i := range dx {
+		var bytes int64
+		if i == 0 {
+			bytes = b * 64 * (cfg.Image / 4) * (cfg.Image / 4) * f32
+		} else {
+			bs := blocks[i-1]
+			bytes = b * bs.cout * bs.hw * f32
+		}
+		dx[i] = g.tensor(fmt.Sprintf("dx%d", i), act(bytes), workload.Activation, false)
+	}
+
+	// --- Forward -----------------------------------------------------------
+	g.b.Alloc(stemOut)
+	g.launch("stem_conv", 2*float64(b)*float64(3*64*49)*float64((cfg.Image/2)*(cfg.Image/2)),
+		r(images), r(stemW), w(stemOut))
+	prev := stemOut
+	for i := range blocks {
+		bs := &blocks[i]
+		g.b.Alloc(bs.a1)
+		g.launch("conv1x1_bn_relu", bs.flops*0.2, r(prev), r(bs.w), w(bs.a1))
+		g.b.Alloc(bs.a2)
+		g.launch("conv3x3_bn_relu", bs.flops*0.6, r(bs.a1), r(bs.w), w(bs.a2))
+		g.b.Alloc(bs.a3)
+		g.launch("conv1x1_bn_add", bs.flops*0.2, r(bs.a2), r(bs.w), r(prev), w(bs.a3))
+		prev = bs.a3
+	}
+	g.b.Alloc(pooled)
+	g.launch("avgpool", float64(b*2048*49), r(prev), w(pooled))
+	g.b.Alloc(logits)
+	g.launch("fc_xent", 2*float64(b)*2048*float64(cfg.Classes), r(pooled), r(fcW), w(logits))
+
+	// --- Backward ----------------------------------------------------------
+	g.launch("fc_bwd", 4*float64(b)*2048*float64(cfg.Classes), r(logits), r(pooled), r(fcW), rw(fcG), w(pooled))
+	g.b.Free(logits)
+	g.b.Alloc(dx[len(blocks)])
+	g.launch("avgpool_bwd", float64(b*2048*49), r(pooled), w(dx[len(blocks)]))
+	g.b.Free(pooled)
+	for i := len(blocks) - 1; i >= 0; i-- {
+		bs := &blocks[i]
+		var prevAct workload.TensorID
+		if i == 0 {
+			prevAct = stemOut
+		} else {
+			prevAct = blocks[i-1].a3
+		}
+		g.b.Alloc(dx[i])
+		g.launch("bottleneck_bwd", 2*bs.flops,
+			r(dx[i+1]), r(bs.a1), r(bs.a2), r(bs.a3), r(prevAct), r(bs.w), rw(bs.gr), w(dx[i]))
+		g.b.Free(dx[i+1])
+		g.b.Free(bs.a1)
+		g.b.Free(bs.a2)
+		g.b.Free(bs.a3)
+	}
+	g.launch("stem_bwd", 2*2*float64(b)*float64(3*64*49)*float64((cfg.Image/2)*(cfg.Image/2)),
+		r(dx[0]), r(images), r(stemW), rw(stemG))
+	g.b.Free(dx[0])
+	g.b.Free(stemOut)
+
+	// --- Optimizer: SGD with momentum -------------------------------------
+	sgd := func(name string, wt, gr, m1 workload.TensorID, elems float64) {
+		g.launch(name+".sgd", 4*elems, rw(wt), r(gr), rw(m1))
+	}
+	sgd("stem", stemW, stemG, stemM, 64*3*49)
+	for i, bs := range blocks {
+		sgd(fmt.Sprintf("block%d", i), bs.w, bs.gr, bs.m1, bs.flops/float64(b)/2)
+	}
+	sgd("fc", fcW, fcG, fcM, 2048*float64(cfg.Classes))
+	return g.b.Build()
+}

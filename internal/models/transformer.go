@@ -1,0 +1,182 @@
+package models
+
+import (
+	"fmt"
+
+	"deepum/internal/workload"
+)
+
+// TransformerConfig parameterizes the GPT-2 and BERT generators.
+type TransformerConfig struct {
+	Name   string
+	Layers int
+	Hidden int64 // model dimension d
+	Heads  int64
+	Seq    int64 // sequence length
+	Vocab  int64
+	// ActSave multiplies activation tensor sizes to account for the saved
+	// intermediates (dropout masks, layernorm statistics, softmax inputs)
+	// that real autograd keeps alongside the main activations.
+	ActSave float64
+}
+
+// GPT2XLConfig is GPT-2 XL (1.5B parameters) on Wikitext: 48 layers, d=1600,
+// 25 heads, sequence 1024.
+func GPT2XLConfig() TransformerConfig {
+	return TransformerConfig{Name: "gpt2-xl", Layers: 48, Hidden: 1600, Heads: 25, Seq: 1024, Vocab: 50257, ActSave: 1.6}
+}
+
+// GPT2LConfig is GPT-2 Large (774M parameters): 36 layers, d=1280, 20 heads.
+func GPT2LConfig() TransformerConfig {
+	return TransformerConfig{Name: "gpt2-l", Layers: 36, Hidden: 1280, Heads: 20, Seq: 1024, Vocab: 50257, ActSave: 1.6}
+}
+
+// BERTLargeConfig is BERT Large (340M parameters) on Wikitext: 24 layers,
+// d=1024, 16 heads, sequence 512.
+func BERTLargeConfig() TransformerConfig {
+	return TransformerConfig{Name: "bert-large", Layers: 24, Hidden: 1024, Heads: 16, Seq: 512, Vocab: 30522, ActSave: 1.6}
+}
+
+// BERTLargeCoLAConfig is BERT Large fine-tuning on GLUE CoLA, used in the
+// §6.4 TensorFlow-based comparison with sequence length 384.
+func BERTLargeCoLAConfig() TransformerConfig {
+	cfg := BERTLargeConfig()
+	cfg.Name = "bert-large-cola"
+	cfg.Seq = 384
+	return cfg
+}
+
+// BERTBaseConfig is BERT Base (110M parameters): 12 layers, d=768, 12 heads.
+func BERTBaseConfig() TransformerConfig {
+	return TransformerConfig{Name: "bert-base", Layers: 12, Hidden: 768, Heads: 12, Seq: 512, Vocab: 30522, ActSave: 1.6}
+}
+
+// Transformer builds the training program of a decoder/encoder transformer:
+// embedding, L blocks of self-attention plus MLP, a tied LM head, full
+// backward pass, and a per-layer Adam step. Activation tensors live from
+// their forward producer to their backward consumer, the lifetime structure
+// DeepUM's invalidation optimization exploits.
+func Transformer(cfg TransformerConfig, batch, scale int64) (*workload.Program, error) {
+	if cfg.Layers < 1 || cfg.Hidden < 1 || cfg.Seq < 1 {
+		return nil, fmt.Errorf("models: invalid transformer config %+v", cfg)
+	}
+	g := newGen(cfg.Name, batch, scale)
+	d, S, h, V, b := cfg.Hidden, cfg.Seq, cfg.Heads, cfg.Vocab, batch
+	act := func(n int64) int64 { return int64(float64(n) * cfg.ActSave) }
+
+	// Persistent state.
+	embW, embG, embM, embV := g.adamState("emb", V*d*f32)
+	type layerState struct{ w, gr, m1, m2 workload.TensorID }
+	layers := make([]layerState, cfg.Layers)
+	for l := range layers {
+		wBytes := 12 * d * d * f32 // qkv(3d²) + proj(d²) + mlp(8d²)
+		lw, lg, lm, lv := g.adamState(fmt.Sprintf("layer%d", l), wBytes)
+		layers[l] = layerState{lw, lg, lm, lv}
+	}
+
+	ids := g.tensor("input.ids", b*S*8, workload.Input, true)
+
+	// Per-layer transient activations, declared once, allocated in forward
+	// and freed in backward.
+	type layerActs struct {
+		ln1, qkv, scores, probs, ctx, proj, ln2, fc1, gelu, out workload.TensorID
+	}
+	acts := make([]layerActs, cfg.Layers)
+	for l := range acts {
+		p := fmt.Sprintf("l%d.", l)
+		acts[l] = layerActs{
+			ln1:    g.tensor(p+"ln1", act(b*S*d*f32), workload.Activation, false),
+			qkv:    g.tensor(p+"qkv", act(3*b*S*d*f32), workload.Activation, false),
+			scores: g.tensor(p+"scores", act(b*h*S*S*f32), workload.Activation, false),
+			probs:  g.tensor(p+"probs", act(b*h*S*S*f32), workload.Activation, false),
+			ctx:    g.tensor(p+"ctx", act(b*S*d*f32), workload.Activation, false),
+			proj:   g.tensor(p+"proj", act(b*S*d*f32), workload.Activation, false),
+			ln2:    g.tensor(p+"ln2", act(b*S*d*f32), workload.Activation, false),
+			fc1:    g.tensor(p+"fc1", act(4*b*S*d*f32), workload.Activation, false),
+			gelu:   g.tensor(p+"gelu", act(4*b*S*d*f32), workload.Activation, false),
+			out:    g.tensor(p+"out", act(b*S*d*f32), workload.Activation, false),
+		}
+	}
+	embOut := g.tensor("emb.out", act(b*S*d*f32), workload.Activation, false)
+	logits := g.tensor("logits", b*S*V*f32, workload.Activation, false)
+	dLogits := g.tensor("dlogits", b*S*V*f32, workload.Activation, false)
+	// Backward activation-gradient buffers: one flowing dX reused per layer.
+	dx := make([]workload.TensorID, cfg.Layers+1)
+	for l := range dx {
+		dx[l] = g.tensor(fmt.Sprintf("dx%d", l), act(b*S*d*f32), workload.Activation, false)
+	}
+
+	// --- Forward -----------------------------------------------------------
+	g.b.Alloc(embOut)
+	g.launch("embedding_fwd", float64(b*S*d), r(ids), r(embW), w(embOut))
+	prev := embOut
+	gemm := func(m, k, n int64) float64 { return 2 * float64(m) * float64(k) * float64(n) }
+	for l := 0; l < cfg.Layers; l++ {
+		a := acts[l]
+		ls := layers[l]
+		g.b.Alloc(a.ln1)
+		g.launch("layernorm_fwd", float64(8*b*S*d), r(prev), w(a.ln1))
+		g.b.Alloc(a.qkv)
+		g.launch("qkv_gemm", gemm(b*S, d, 3*d), r(a.ln1), r(ls.w), w(a.qkv))
+		g.b.Alloc(a.scores)
+		g.launch("attn_scores", gemm(b*h*S, d/h, S), r(a.qkv), w(a.scores))
+		g.b.Alloc(a.probs)
+		g.launch("softmax_fwd", float64(8*b*h*S*S), r(a.scores), w(a.probs))
+		g.b.Alloc(a.ctx)
+		g.launch("attn_ctx", gemm(b*h*S, S, d/h), r(a.probs), r(a.qkv), w(a.ctx))
+		g.b.Alloc(a.proj)
+		g.launch("attn_proj", gemm(b*S, d, d), r(a.ctx), r(ls.w), r(prev), w(a.proj))
+		g.b.Alloc(a.ln2)
+		g.launch("layernorm2_fwd", float64(8*b*S*d), r(a.proj), w(a.ln2))
+		g.b.Alloc(a.fc1)
+		g.launch("mlp_fc1", gemm(b*S, d, 4*d), r(a.ln2), r(ls.w), w(a.fc1))
+		g.b.Alloc(a.gelu)
+		g.launch("gelu_fwd", float64(8*b*S*4*d), r(a.fc1), w(a.gelu))
+		g.b.Alloc(a.out)
+		g.launch("mlp_fc2", gemm(b*S, 4*d, d), r(a.gelu), r(ls.w), r(a.proj), w(a.out))
+		prev = a.out
+	}
+	g.b.Alloc(logits)
+	g.launch("lm_head_fwd", gemm(b*S, d, V), r(prev), r(embW), w(logits))
+	g.b.Alloc(dLogits)
+	g.launch("softmax_xent", float64(10*b*S*V), r(logits), r(ids), w(dLogits))
+	g.b.Free(logits)
+
+	// --- Backward ----------------------------------------------------------
+	g.b.Alloc(dx[cfg.Layers])
+	g.launch("lm_head_bwd", 2*gemm(b*S, d, V), r(dLogits), r(prev), rw(embG), r(embW), w(dx[cfg.Layers]))
+	g.b.Free(dLogits)
+	for l := cfg.Layers - 1; l >= 0; l-- {
+		a := acts[l]
+		ls := layers[l]
+		dIn := dx[l]
+		dOut := dx[l+1]
+		g.b.Alloc(dIn)
+		g.launch("mlp_bwd", 2*(gemm(b*S, 4*d, d)+gemm(b*S, d, 4*d)),
+			r(dOut), r(a.gelu), r(a.fc1), r(a.ln2), r(ls.w), rw(ls.gr), w(dIn))
+		g.b.Free(a.gelu)
+		g.b.Free(a.fc1)
+		g.b.Free(a.ln2)
+		g.b.Free(a.out)
+		g.launch("attn_bwd", 2*(gemm(b*S, d, d)+2*gemm(b*h*S, S, d/h)),
+			r(dIn), r(a.probs), r(a.scores), r(a.ctx), r(a.qkv), r(ls.w), rw(ls.gr), w(dIn))
+		g.b.Free(a.probs)
+		g.b.Free(a.scores)
+		g.b.Free(a.ctx)
+		g.b.Free(a.proj)
+		g.launch("qkv_bwd", 2*gemm(b*S, d, 3*d), r(dIn), r(a.qkv), r(a.ln1), r(ls.w), rw(ls.gr), w(dIn))
+		g.b.Free(a.qkv)
+		g.b.Free(a.ln1)
+		g.b.Free(dOut)
+	}
+	g.launch("embedding_bwd", float64(b*S*d), r(dx[0]), r(ids), rw(embG))
+	g.b.Free(dx[0])
+	g.b.Free(embOut)
+
+	// --- Optimizer ----------------------------------------------------------
+	g.adamStep("emb", embW, embG, embM, embV, float64(V*d))
+	for l, ls := range layers {
+		g.adamStep(fmt.Sprintf("layer%d", l), ls.w, ls.gr, ls.m1, ls.m2, float64(12*d*d))
+	}
+	return g.b.Build()
+}

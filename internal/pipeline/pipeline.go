@@ -1,0 +1,209 @@
+package pipeline
+
+import (
+	"runtime"
+	"sync"
+
+	"deepum/internal/correlation"
+	"deepum/internal/um"
+)
+
+// FaultEvent is what the fault-handling thread publishes: the UM block of a
+// faulted access together with the execution ID of the kernel that raised
+// it.
+type FaultEvent struct {
+	Block um.BlockID
+	Exec  correlation.ExecID
+}
+
+// MigrateCommand is what the migration thread consumes.
+type MigrateCommand struct {
+	Block um.BlockID
+	Exec  correlation.ExecID
+	// Demand marks fault-queue work (priority) as opposed to prefetch work.
+	Demand bool
+}
+
+// Migrator performs the actual block movement; the simulation engine and
+// tests plug in their own.
+type Migrator interface {
+	Migrate(cmd MigrateCommand)
+}
+
+// MigratorFunc adapts a function to the Migrator interface.
+type MigratorFunc func(MigrateCommand)
+
+// Migrate calls f.
+func (f MigratorFunc) Migrate(cmd MigrateCommand) { f(cmd) }
+
+// Driver runs the four threads of Figure 4. Faults enter through OnFault
+// (the fault-handling thread's output side); kernel launches through
+// KernelLaunch (the ioctl callback). The correlator thread consumes fault
+// events and updates the correlation tables; the prefetching thread chains
+// through the tables and fills the prefetch queue; the migration thread
+// drains the fault queue first and the prefetch queue when it is empty.
+type Driver struct {
+	tables *correlation.Tables
+	deg    int
+
+	faultQ    *SPSC[FaultEvent] // fault handling -> migration (priority)
+	corrQ     *SPSC[FaultEvent] // fault handling -> correlator
+	prefetchQ *SPSC[MigrateCommand]
+
+	launchMu sync.Mutex
+	history  [correlation.HistoryLen]correlation.ExecID
+	histPrev [correlation.HistoryLen]correlation.ExecID
+	current  correlation.ExecID
+
+	// corrMu guards the correlation tables between the correlator thread
+	// and the prefetching logic.
+	corrMu sync.Mutex
+
+	migrator Migrator
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// NewDriver constructs the pipeline with the given correlation-table
+// configuration, prefetch degree, and migrator.
+func NewDriver(cfg correlation.BlockTableConfig, degree int, m Migrator) *Driver {
+	d := &Driver{
+		tables:    correlation.NewTables(cfg),
+		deg:       degree,
+		faultQ:    NewSPSC[FaultEvent](4096),
+		corrQ:     NewSPSC[FaultEvent](4096),
+		prefetchQ: NewSPSC[MigrateCommand](4096),
+		current:   correlation.NoExec,
+		migrator:  m,
+		stop:      make(chan struct{}),
+	}
+	for i := range d.history {
+		d.history[i] = correlation.NoExec
+	}
+	return d
+}
+
+// Start launches the correlator, prefetching, and migration threads. (The
+// fault-handling thread is the caller of OnFault: on a real system it is
+// woken by the GPU interrupt.)
+func (d *Driver) Start() {
+	d.wg.Add(2)
+	go d.correlator()
+	go d.migration()
+}
+
+// Stop terminates the threads and waits for them to drain.
+func (d *Driver) Stop() {
+	close(d.stop)
+	d.wg.Wait()
+}
+
+// KernelLaunch is the runtime callback: it records the kernel transition in
+// the execution table and rotates the launch history.
+func (d *Driver) KernelLaunch(id correlation.ExecID) {
+	d.launchMu.Lock()
+	defer d.launchMu.Unlock()
+	if d.current != correlation.NoExec {
+		d.tables.Exec.Record(d.current, d.histPrev, id)
+	}
+	d.histPrev = d.history
+	copy(d.history[:], d.history[1:])
+	d.history[correlation.HistoryLen-1] = d.current
+	d.current = id
+	d.tables.Block(id).ResetCursor()
+}
+
+// OnFault is called by the fault-handling thread for each faulted UM block:
+// it enqueues the demand migration with priority and feeds the correlator
+// and prefetcher.
+func (d *Driver) OnFault(b um.BlockID) {
+	d.launchMu.Lock()
+	cur := d.current
+	hist := d.history
+	d.launchMu.Unlock()
+	ev := FaultEvent{Block: b, Exec: cur}
+	for !d.faultQ.Push(ev) {
+		// The migration thread drains this queue; spin briefly.
+	}
+	// Correlator updates are lossy under extreme pressure, like a real
+	// bounded queue; dropping a history update is safe.
+	_ = d.corrQ.Push(ev)
+	// Restart chaining from the faulted block on the prefetching side.
+	d.restartChain(cur, hist, b)
+}
+
+// correlator consumes fault events and updates the block tables.
+func (d *Driver) correlator() {
+	defer d.wg.Done()
+	for {
+		ev, ok := d.corrQ.Pop()
+		if !ok {
+			select {
+			case <-d.stop:
+				return
+			default:
+				runtime.Gosched()
+				continue
+			}
+		}
+		if ev.Exec == correlation.NoExec {
+			continue
+		}
+		d.corrMu.Lock()
+		d.tables.Block(ev.Exec).RecordMiss(ev.Block)
+		d.corrMu.Unlock()
+	}
+}
+
+// restartChain runs the prefetching thread's work inline with the fault
+// handler call (the prefetching thread wakes on the same event); commands
+// land in the bounded prefetch queue.
+func (d *Driver) restartChain(cur correlation.ExecID, hist [correlation.HistoryLen]correlation.ExecID, seed um.BlockID) {
+	if cur == correlation.NoExec {
+		return
+	}
+	d.corrMu.Lock()
+	cursor := d.tables.NewChainCursor(cur, hist, seed)
+	for cursor.Kernels() < d.deg {
+		b, exec := cursor.Next()
+		if b == um.NoBlock {
+			break
+		}
+		if !d.prefetchQ.Push(MigrateCommand{Block: b, Exec: exec}) {
+			break // queue full: the chain pauses
+		}
+	}
+	d.corrMu.Unlock()
+}
+
+// migration drains the fault queue with priority, then the prefetch queue.
+func (d *Driver) migration() {
+	defer d.wg.Done()
+	for {
+		if ev, ok := d.faultQ.Pop(); ok {
+			d.migrator.Migrate(MigrateCommand{Block: ev.Block, Exec: ev.Exec, Demand: true})
+			continue
+		}
+		if cmd, ok := d.prefetchQ.Pop(); ok {
+			d.migrator.Migrate(cmd)
+			continue
+		}
+		select {
+		case <-d.stop:
+			// Drain remaining demand work before exiting.
+			for {
+				ev, ok := d.faultQ.Pop()
+				if !ok {
+					return
+				}
+				d.migrator.Migrate(MigrateCommand{Block: ev.Block, Exec: ev.Exec, Demand: true})
+			}
+		default:
+			runtime.Gosched()
+		}
+	}
+}
+
+// Tables exposes the correlation tables for inspection after Stop.
+func (d *Driver) Tables() *correlation.Tables { return d.tables }

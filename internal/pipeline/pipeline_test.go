@@ -1,0 +1,191 @@
+package pipeline
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"deepum/internal/correlation"
+	"deepum/internal/um"
+)
+
+func TestSPSCOrdering(t *testing.T) {
+	q := NewSPSC[int](4)
+	if q.Cap() != 4 {
+		t.Fatalf("cap = %d", q.Cap())
+	}
+	for i := 0; i < 4; i++ {
+		if !q.Push(i) {
+			t.Fatalf("push %d failed", i)
+		}
+	}
+	if q.Push(99) {
+		t.Fatal("push into a full queue succeeded")
+	}
+	for i := 0; i < 4; i++ {
+		v, ok := q.Pop()
+		if !ok || v != i {
+			t.Fatalf("pop = (%d,%v), want (%d,true)", v, ok, i)
+		}
+	}
+	if _, ok := q.Pop(); ok {
+		t.Fatal("pop from empty queue succeeded")
+	}
+}
+
+func TestSPSCCapacityRounding(t *testing.T) {
+	if NewSPSC[int](3).Cap() != 4 || NewSPSC[int](5).Cap() != 8 {
+		t.Fatal("capacity not rounded to power of two")
+	}
+}
+
+// TestSPSCConcurrent pushes a million integers through the queue from one
+// goroutine to another; under -race this validates the memory ordering.
+func TestSPSCConcurrent(t *testing.T) {
+	q := NewSPSC[int](1024)
+	const n = 200_000
+	done := make(chan int64)
+	go func() {
+		var sum int64
+		received := 0
+		for received < n {
+			v, ok := q.Pop()
+			if !ok {
+				runtime.Gosched()
+				continue
+			}
+			sum += int64(v)
+			received++
+		}
+		done <- sum
+	}()
+	var want int64
+	for i := 0; i < n; i++ {
+		for !q.Push(i) {
+			runtime.Gosched()
+		}
+		want += int64(i)
+	}
+	if got := <-done; got != want {
+		t.Fatalf("sum = %d, want %d (lost or duplicated elements)", got, want)
+	}
+}
+
+// TestSPSCQuick: any interleaving of pushes and pops preserves FIFO order.
+func TestSPSCQuick(t *testing.T) {
+	f := func(ops []bool) bool {
+		q := NewSPSC[int](8)
+		next := 0
+		expect := 0
+		for _, push := range ops {
+			if push {
+				if q.Push(next) {
+					next++
+				}
+			} else if v, ok := q.Pop(); ok {
+				if v != expect {
+					return false
+				}
+				expect++
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// collectMigrator records migrated commands thread-safely.
+type collectMigrator struct {
+	mu      sync.Mutex
+	demand  []um.BlockID
+	prefet  []um.BlockID
+	demandN atomic.Int64
+}
+
+func (c *collectMigrator) Migrate(cmd MigrateCommand) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if cmd.Demand {
+		c.demand = append(c.demand, cmd.Block)
+		c.demandN.Add(1)
+	} else {
+		c.prefet = append(c.prefet, cmd.Block)
+	}
+}
+
+func TestPipelineEndToEnd(t *testing.T) {
+	m := &collectMigrator{}
+	d := NewDriver(correlation.DefaultBlockTableConfig(), 8, m)
+	d.Start()
+
+	// Two warm-up iterations of a two-kernel pattern teach the tables.
+	iteration := func() {
+		d.KernelLaunch(0)
+		for _, b := range []um.BlockID{10, 11, 12} {
+			d.OnFault(b)
+		}
+		d.KernelLaunch(1)
+		for _, b := range []um.BlockID{20, 21} {
+			d.OnFault(b)
+		}
+	}
+	iteration()
+	// Give the correlator time to consume the first iteration before the
+	// second, so successor edges form.
+	time.Sleep(10 * time.Millisecond)
+	iteration()
+	time.Sleep(10 * time.Millisecond)
+
+	// Third iteration: the fault on block 10 should produce prefetches.
+	d.KernelLaunch(0)
+	d.OnFault(10)
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		m.mu.Lock()
+		n := len(m.prefet)
+		m.mu.Unlock()
+		if n > 0 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	d.Stop()
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.demand) == 0 {
+		t.Fatal("no demand migrations reached the migration thread")
+	}
+	if len(m.prefet) == 0 {
+		t.Fatal("no prefetch commands reached the migration thread")
+	}
+	// The chain from block 10 must predict a successor within kernel 0.
+	found := false
+	for _, b := range m.prefet {
+		if b == 11 || b == 12 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("prefetches %v do not contain kernel 0 successors", m.prefet)
+	}
+}
+
+func TestPipelineStopDrainsDemandQueue(t *testing.T) {
+	m := &collectMigrator{}
+	d := NewDriver(correlation.DefaultBlockTableConfig(), 4, m)
+	d.Start()
+	d.KernelLaunch(0)
+	for i := 0; i < 100; i++ {
+		d.OnFault(um.BlockID(i))
+	}
+	d.Stop()
+	if m.demandN.Load() != 100 {
+		t.Fatalf("demand migrations = %d, want 100 (drained on stop)", m.demandN.Load())
+	}
+}

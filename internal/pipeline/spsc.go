@@ -1,0 +1,61 @@
+// Package pipeline is a faithful concurrent realization of the DeepUM
+// driver's thread structure (Figure 4, §3.1): four kernel threads — fault
+// handling, correlator, prefetching, migration — connected by
+// single-producer/single-consumer queues, with the fault queue taking
+// priority over the prefetch queue at the migration thread.
+//
+// The deterministic state machine in internal/core is what the simulation
+// engine measures; this package demonstrates (and tests, including under the
+// race detector) that the same policy logic runs correctly in the
+// asynchronous form the paper deploys.
+package pipeline
+
+import "sync/atomic"
+
+// SPSC is a bounded lock-free single-producer/single-consumer ring queue,
+// the queue type the DeepUM driver uses between its kernel threads.
+type SPSC[T any] struct {
+	buf  []T
+	mask uint64
+	head atomic.Uint64 // consumer position
+	tail atomic.Uint64 // producer position
+}
+
+// NewSPSC returns a queue with capacity rounded up to a power of two.
+func NewSPSC[T any](capacity int) *SPSC[T] {
+	size := 1
+	for size < capacity {
+		size <<= 1
+	}
+	return &SPSC[T]{buf: make([]T, size), mask: uint64(size - 1)}
+}
+
+// Push enqueues v; it returns false when the queue is full. Only one
+// goroutine may call Push.
+func (q *SPSC[T]) Push(v T) bool {
+	tail := q.tail.Load()
+	if tail-q.head.Load() >= uint64(len(q.buf)) {
+		return false
+	}
+	q.buf[tail&q.mask] = v
+	q.tail.Store(tail + 1)
+	return true
+}
+
+// Pop dequeues the oldest element; ok is false when the queue is empty.
+// Only one goroutine may call Pop.
+func (q *SPSC[T]) Pop() (v T, ok bool) {
+	head := q.head.Load()
+	if head == q.tail.Load() {
+		return v, false
+	}
+	v = q.buf[head&q.mask]
+	q.head.Store(head + 1)
+	return v, true
+}
+
+// Len returns the approximate queue depth.
+func (q *SPSC[T]) Len() int { return int(q.tail.Load() - q.head.Load()) }
+
+// Cap returns the queue capacity.
+func (q *SPSC[T]) Cap() int { return len(q.buf) }

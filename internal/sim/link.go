@@ -1,0 +1,142 @@
+package sim
+
+// Direction labels a transfer on the link.
+type Direction uint8
+
+const (
+	// HostToDevice moves pages from CPU memory to GPU memory.
+	HostToDevice Direction = iota
+	// DeviceToHost moves pages from GPU memory back to the CPU backing store.
+	DeviceToHost
+)
+
+func (d Direction) String() string {
+	if d == HostToDevice {
+		return "H2D"
+	}
+	return "D2H"
+}
+
+// Link models the PCIe interconnect as a single serialized resource. The
+// DeepUM migration thread owns it: fault migrations always run before queued
+// prefetch commands, but an in-flight transfer is never aborted (transfers
+// preempt at transfer granularity, matching the migration thread of §3.1).
+//
+// Link keeps only the end of the current reservation plus aggregate traffic
+// counters; callers supply the earliest start time and receive the interval
+// actually occupied.
+type Link struct {
+	params   Params
+	busyUnt  Time
+	timeline *Timeline
+
+	bytesH2D int64
+	bytesD2H int64
+	nH2D     int64
+	nD2H     int64
+}
+
+// NewLink returns an idle link using the transfer-time model of p. The
+// timeline, if non-nil, records busy intervals for energy integration.
+func NewLink(p Params, tl *Timeline) *Link {
+	return &Link{params: p, timeline: tl}
+}
+
+// BusyUntil reports the instant the link becomes free.
+func (l *Link) BusyUntil() Time { return l.busyUnt }
+
+// Reserve schedules a transfer of n bytes not earlier than at, returning the
+// interval [start, end) it occupies. A zero-byte transfer returns an empty
+// interval at the requested time without occupying the link.
+func (l *Link) Reserve(at Time, n int64, dir Direction) (start, end Time) {
+	if n <= 0 {
+		return at, at
+	}
+	start = Max(at, l.busyUnt)
+	end = start.Add(l.params.TransferTime(n))
+	l.busyUnt = end
+	switch dir {
+	case HostToDevice:
+		l.bytesH2D += n
+		l.nH2D++
+	case DeviceToHost:
+		l.bytesD2H += n
+		l.nD2H++
+	}
+	if l.timeline != nil {
+		l.timeline.Add(start, end)
+	}
+	return start, end
+}
+
+// IdleUntil reports whether the link is free for the whole interval ending at
+// deadline, i.e. whether a background transfer starting now would not push
+// past it. It is used by the pre-evictor to stay off the critical path.
+func (l *Link) IdleUntil(now Time, n int64, deadline Time) bool {
+	start := Max(now, l.busyUnt)
+	return start.Add(l.params.TransferTime(n)) <= deadline
+}
+
+// Traffic returns cumulative transferred bytes per direction.
+func (l *Link) Traffic() (h2d, d2h int64) { return l.bytesH2D, l.bytesD2H }
+
+// Transfers returns cumulative transfer counts per direction.
+func (l *Link) Transfers() (h2d, d2h int64) { return l.nH2D, l.nD2H }
+
+// Reset clears reservations and counters, keeping the parameter set.
+func (l *Link) Reset() {
+	l.busyUnt = 0
+	l.bytesH2D, l.bytesD2H = 0, 0
+	l.nH2D, l.nD2H = 0, 0
+	if l.timeline != nil {
+		l.timeline.Reset()
+	}
+}
+
+// Duplex models the PCIe interconnect as two independent serialized lanes,
+// one per direction — PCIe is full duplex, so evictions (D2H) overlap with
+// migrations and prefetches (H2D). Both lanes feed one shared timeline so
+// the energy meter sees link-active time without double counting overlap.
+type Duplex struct {
+	h2d, d2h *Link
+}
+
+// NewDuplex returns an idle duplex link; tl may be nil.
+func NewDuplex(p Params, tl *Timeline) *Duplex {
+	return &Duplex{h2d: NewLink(p, tl), d2h: NewLink(p, tl)}
+}
+
+// Reserve schedules a transfer on the lane of dir.
+func (d *Duplex) Reserve(at Time, n int64, dir Direction) (start, end Time) {
+	return d.lane(dir).Reserve(at, n, dir)
+}
+
+// BusyUntil reports when the lane of dir drains.
+func (d *Duplex) BusyUntil(dir Direction) Time { return d.lane(dir).BusyUntil() }
+
+// Traffic returns cumulative bytes per direction across both lanes.
+func (d *Duplex) Traffic() (h2d, d2h int64) {
+	a, _ := d.h2d.Traffic()
+	_, b := d.d2h.Traffic()
+	return a, b
+}
+
+// Transfers returns cumulative transfer counts per direction.
+func (d *Duplex) Transfers() (h2d, d2h int64) {
+	a, _ := d.h2d.Transfers()
+	_, b := d.d2h.Transfers()
+	return a, b
+}
+
+// Reset clears both lanes.
+func (d *Duplex) Reset() {
+	d.h2d.Reset()
+	d.d2h.Reset()
+}
+
+func (d *Duplex) lane(dir Direction) *Link {
+	if dir == HostToDevice {
+		return d.h2d
+	}
+	return d.d2h
+}

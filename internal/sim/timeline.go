@@ -1,0 +1,75 @@
+package sim
+
+// Timeline accumulates busy time of a resource as a sum of possibly
+// overlapping intervals, merging on the fly. It is the integration substrate
+// for the energy meter: total busy duration within [0, end) is what the
+// power model multiplies by the resource's active draw.
+//
+// Intervals arrive mostly in nondecreasing start order (the link serializes
+// reservations), so the merge is amortized O(1) per Add with a small sorted
+// tail for out-of-order inserts.
+type Timeline struct {
+	intervals []interval // sorted by start, non-overlapping
+	busy      Duration
+}
+
+type interval struct{ start, end Time }
+
+// Add records the busy interval [start, end). Empty or inverted intervals
+// are ignored.
+func (t *Timeline) Add(start, end Time) {
+	if end <= start {
+		return
+	}
+	n := len(t.intervals)
+	if n == 0 || start > t.intervals[n-1].end {
+		t.intervals = append(t.intervals, interval{start, end})
+		t.busy += end.Sub(start)
+		return
+	}
+	if start == t.intervals[n-1].end {
+		t.intervals[n-1].end = end
+		t.busy += end.Sub(start)
+		return
+	}
+	// Overlaps or precedes the tail: find insertion point from the back.
+	i := n
+	for i > 0 && t.intervals[i-1].start > start {
+		i--
+	}
+	// Merge [start,end) with everything it touches from position i-1 on.
+	lo := i
+	if lo > 0 && t.intervals[lo-1].end >= start {
+		lo--
+	}
+	mergedStart, mergedEnd := start, end
+	hi := lo
+	for hi < n && t.intervals[hi].start <= mergedEnd {
+		if t.intervals[hi].start < mergedStart {
+			mergedStart = t.intervals[hi].start
+		}
+		if t.intervals[hi].end > mergedEnd {
+			mergedEnd = t.intervals[hi].end
+		}
+		hi++
+	}
+	// Recompute busy time over the replaced span.
+	var removed Duration
+	for j := lo; j < hi; j++ {
+		removed += t.intervals[j].end.Sub(t.intervals[j].start)
+	}
+	t.busy += mergedEnd.Sub(mergedStart) - removed
+	t.intervals = append(t.intervals[:lo], append([]interval{{mergedStart, mergedEnd}}, t.intervals[hi:]...)...)
+}
+
+// Busy returns the total non-overlapping busy duration recorded so far.
+func (t *Timeline) Busy() Duration { return t.busy }
+
+// Len returns the number of merged intervals (useful in tests).
+func (t *Timeline) Len() int { return len(t.intervals) }
+
+// Reset discards all recorded intervals.
+func (t *Timeline) Reset() {
+	t.intervals = t.intervals[:0]
+	t.busy = 0
+}

@@ -1,0 +1,305 @@
+// Package torchalloc reimplements the behaviour of PyTorch's caching GPU
+// memory allocator that §5.2 of the DeepUM paper depends on: memory objects
+// (PT blocks) are carved out of segments requested from the CUDA runtime,
+// kept in a large pool (blocks over 1 MiB) or a small pool (1 MiB and
+// under), returned to the pool and marked inactive when the model releases
+// them, and only freed back to the runtime when the pool cannot satisfy an
+// allocation.
+//
+// DeepUM's change to PyTorch — "a few lines of code ... to tell the DeepUM
+// driver when a PT block is marked inactive" — is modeled by the OnActive
+// and OnInactive callbacks, which the driver uses to invalidate UM blocks of
+// inactive PT blocks instead of evicting them through the link.
+package torchalloc
+
+import (
+	"fmt"
+	"sort"
+
+	"deepum/internal/um"
+)
+
+// Backend is where the allocator gets segments from: unified memory on
+// DeepUM (um.Space) or a fixed-size device heap for the non-UM baselines.
+type Backend interface {
+	Malloc(n int64) (um.Addr, error)
+	Free(base um.Addr, n int64)
+}
+
+const (
+	// roundTo is the minimum allocation granularity.
+	roundTo = 512
+	// smallLimit splits the pools: requests of at most 1 MiB go to the
+	// small pool (§5.2: "The large pool consists of PT blocks larger than
+	// 1MB, and the small pool consists of PT blocks less than or equal to
+	// 1MB").
+	smallLimit = 1 << 20
+	// smallSegment is the segment size backing small-pool blocks.
+	smallSegment = 2 << 20
+	// largeSegment is the segment size backing large-pool requests under
+	// largeSegmentCutoff; bigger requests get a dedicated rounded segment.
+	largeSegment       = 20 << 20
+	largeSegmentCutoff = 10 << 20
+	// splitRemainder is the smallest usable remainder: a block is split only
+	// when the leftover piece is at least this big.
+	splitRemainderSmall = 512
+	splitRemainderLarge = 1 << 20
+)
+
+// PTBlock is one memory object managed by the allocator. Splitting links
+// blocks of the same segment through prev/next for merging on free.
+type PTBlock struct {
+	Base   um.Addr
+	Size   int64
+	Active bool
+	small  bool
+	// segment chain for split/merge
+	prev, next *PTBlock
+}
+
+// Allocator is the caching allocator. The zero value is not usable;
+// construct with New.
+type Allocator struct {
+	backend Backend
+
+	smallPool pool
+	largePool pool
+
+	// OnActive is called when a PT block becomes active (handed to the
+	// model); OnInactive when it is returned to a pool. The DeepUM driver
+	// registers here for the §5.2 invalidation optimization.
+	OnActive   func(base um.Addr, size int64)
+	OnInactive func(base um.Addr, size int64)
+
+	// NoRetryAfterFlush disables the free-cache-and-retry fallback when the
+	// backend rejects a segment request. Stock IBM LMS runs with the cached
+	// pool intact, which is why it hits fragmentation OOMs that LMS-mod's
+	// periodic flush avoids (§6.2).
+	NoRetryAfterFlush bool
+
+	active map[um.Addr]*PTBlock
+
+	// stats
+	allocs, frees   int64
+	segmentBytes    int64
+	activeBytes     int64
+	peakActiveBytes int64
+	cacheFlushes    int64
+}
+
+// pool keeps inactive PT blocks sorted by size then address, matching the
+// best-fit "smallest available PT block" rule of §5.2.
+type pool struct{ blocks []*PTBlock }
+
+func (p *pool) insert(b *PTBlock) {
+	i := sort.Search(len(p.blocks), func(i int) bool {
+		if p.blocks[i].Size != b.Size {
+			return p.blocks[i].Size > b.Size
+		}
+		return p.blocks[i].Base >= b.Base
+	})
+	p.blocks = append(p.blocks, nil)
+	copy(p.blocks[i+1:], p.blocks[i:])
+	p.blocks[i] = b
+}
+
+func (p *pool) remove(b *PTBlock) bool {
+	for i, x := range p.blocks {
+		if x == b {
+			p.blocks = append(p.blocks[:i], p.blocks[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// takeBestFit removes and returns the smallest block of at least size.
+func (p *pool) takeBestFit(size int64) *PTBlock {
+	i := sort.Search(len(p.blocks), func(i int) bool { return p.blocks[i].Size >= size })
+	if i == len(p.blocks) {
+		return nil
+	}
+	b := p.blocks[i]
+	p.blocks = append(p.blocks[:i], p.blocks[i+1:]...)
+	return b
+}
+
+// New returns an allocator drawing segments from backend.
+func New(backend Backend) *Allocator {
+	return &Allocator{backend: backend, active: make(map[um.Addr]*PTBlock)}
+}
+
+// RoundSize returns the allocator's internal size for a request.
+func RoundSize(n int64) int64 {
+	if n <= 0 {
+		return roundTo
+	}
+	return (n + roundTo - 1) / roundTo * roundTo
+}
+
+// Alloc returns an active PT block of at least n bytes.
+func (a *Allocator) Alloc(n int64) (*PTBlock, error) {
+	size := RoundSize(n)
+	small := size <= smallLimit
+	p := &a.largePool
+	if small {
+		p = &a.smallPool
+	}
+	b := p.takeBestFit(size)
+	if b == nil {
+		if err := a.newSegment(size, small); err != nil {
+			return nil, err
+		}
+		b = p.takeBestFit(size)
+		if b == nil {
+			return nil, fmt.Errorf("torchalloc: segment allocation did not produce a usable block")
+		}
+	}
+	// Split when the block is much larger than the request.
+	remainder := b.Size - size
+	minRem := int64(splitRemainderSmall)
+	if !small {
+		minRem = splitRemainderLarge
+	}
+	if remainder >= minRem {
+		rest := &PTBlock{Base: b.Base + um.Addr(size), Size: remainder, small: small, prev: b, next: b.next}
+		if b.next != nil {
+			b.next.prev = rest
+		}
+		b.next = rest
+		b.Size = size
+		p.insert(rest)
+	}
+	b.Active = true
+	a.active[b.Base] = b
+	a.allocs++
+	a.activeBytes += b.Size
+	if a.activeBytes > a.peakActiveBytes {
+		a.peakActiveBytes = a.activeBytes
+	}
+	if a.OnActive != nil {
+		a.OnActive(b.Base, b.Size)
+	}
+	return b, nil
+}
+
+// newSegment requests device (or UM) memory and seeds the pool with one
+// inactive block covering it.
+func (a *Allocator) newSegment(size int64, small bool) error {
+	segSize := size
+	if small {
+		segSize = smallSegment
+	} else if size < largeSegmentCutoff {
+		segSize = largeSegment
+	} else {
+		segSize = (size + (2 << 20) - 1) / (2 << 20) * (2 << 20)
+	}
+	base, err := a.backend.Malloc(segSize)
+	if err != nil {
+		if a.NoRetryAfterFlush {
+			return err
+		}
+		// Free cached memory and retry once, like
+		// cudaMalloc-retry-after-emptying-cache in PyTorch.
+		a.EmptyCache()
+		base, err = a.backend.Malloc(segSize)
+		if err != nil {
+			return err
+		}
+	}
+	a.segmentBytes += segSize
+	b := &PTBlock{Base: base, Size: segSize, small: small}
+	if small {
+		a.smallPool.insert(b)
+	} else {
+		a.largePool.insert(b)
+	}
+	return nil
+}
+
+// Free returns the PT block at base to its pool and marks it inactive,
+// merging it with adjacent inactive blocks of the same segment.
+func (a *Allocator) Free(base um.Addr) error {
+	b, ok := a.active[base]
+	if !ok {
+		return fmt.Errorf("torchalloc: free of unknown or inactive block at %d", base)
+	}
+	delete(a.active, base)
+	b.Active = false
+	a.frees++
+	a.activeBytes -= b.Size
+	if a.OnInactive != nil {
+		a.OnInactive(b.Base, b.Size)
+	}
+	p := &a.largePool
+	if b.small {
+		p = &a.smallPool
+	}
+	// Merge with inactive neighbours within the segment.
+	for b.prev != nil && !b.prev.Active {
+		prev := b.prev
+		p.remove(prev)
+		prev.Size += b.Size
+		prev.next = b.next
+		if b.next != nil {
+			b.next.prev = prev
+		}
+		b = prev
+	}
+	for b.next != nil && !b.next.Active {
+		next := b.next
+		p.remove(next)
+		b.Size += next.Size
+		b.next = next.next
+		if next.next != nil {
+			next.next.prev = b
+		}
+	}
+	p.insert(b)
+	return nil
+}
+
+// EmptyCache releases whole inactive segments back to the backend, the
+// periodic cleanup LMS-mod performs to reduce out-of-memory errors from
+// fragmentation (§6.2).
+func (a *Allocator) EmptyCache() {
+	a.cacheFlushes++
+	for _, p := range []*pool{&a.smallPool, &a.largePool} {
+		kept := p.blocks[:0]
+		for _, b := range p.blocks {
+			if b.prev == nil && b.next == nil {
+				a.backend.Free(b.Base, b.Size)
+				a.segmentBytes -= b.Size
+			} else {
+				kept = append(kept, b)
+			}
+		}
+		p.blocks = kept
+	}
+}
+
+// Stats reports allocator counters.
+type Stats struct {
+	Allocs, Frees   int64
+	SegmentBytes    int64 // bytes requested from the backend and still held
+	ActiveBytes     int64 // bytes in active PT blocks
+	PeakActiveBytes int64
+	CachedBytes     int64 // bytes sitting inactive in the pools
+	CacheFlushes    int64
+}
+
+// Stats returns a snapshot of the allocator counters.
+func (a *Allocator) Stats() Stats {
+	return Stats{
+		Allocs:          a.allocs,
+		Frees:           a.frees,
+		SegmentBytes:    a.segmentBytes,
+		ActiveBytes:     a.activeBytes,
+		PeakActiveBytes: a.peakActiveBytes,
+		CachedBytes:     a.segmentBytes - a.activeBytes,
+		CacheFlushes:    a.cacheFlushes,
+	}
+}
+
+// ActiveBlocks returns the number of currently active PT blocks.
+func (a *Allocator) ActiveBlocks() int { return len(a.active) }

@@ -1,0 +1,270 @@
+package torchalloc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"deepum/internal/um"
+)
+
+func newUMAlloc() (*Allocator, *um.Space) {
+	s := um.NewSpace(0)
+	return New(s), s
+}
+
+func TestRoundSize(t *testing.T) {
+	if RoundSize(0) != 512 || RoundSize(-1) != 512 {
+		t.Fatal("non-positive sizes must round to one granule")
+	}
+	if RoundSize(1) != 512 || RoundSize(512) != 512 || RoundSize(513) != 1024 {
+		t.Fatal("rounding broken")
+	}
+}
+
+func TestAllocSmallPoolSegment(t *testing.T) {
+	a, s := newUMAlloc()
+	b, err := a.Alloc(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b.Active || b.Size != 1024 {
+		t.Fatalf("block = %+v", b)
+	}
+	// A small allocation pulls a full 2MiB segment from the backend.
+	if s.AllocatedBytes() != 2<<20 {
+		t.Fatalf("backend allocation = %d, want 2MiB", s.AllocatedBytes())
+	}
+	// Second small allocation reuses the same segment: no new backend call.
+	if _, err := a.Alloc(1000); err != nil {
+		t.Fatal(err)
+	}
+	if s.AllocatedBytes() != 2<<20 {
+		t.Fatalf("second small alloc grew backend to %d", s.AllocatedBytes())
+	}
+}
+
+func TestAllocLargePool(t *testing.T) {
+	a, s := newUMAlloc()
+	b, err := a.Alloc(5 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Size != 5<<20 {
+		t.Fatalf("size = %d", b.Size)
+	}
+	// Requests under 10MiB draw a 20MiB segment.
+	if s.AllocatedBytes() != 20<<20 {
+		t.Fatalf("backend = %d, want 20MiB", s.AllocatedBytes())
+	}
+	// A huge request gets its own segment rounded to 2MiB.
+	if _, err := a.Alloc(33<<20 + 100); err != nil {
+		t.Fatal(err)
+	}
+	if s.AllocatedBytes() != 20<<20+34<<20 {
+		t.Fatalf("backend = %d", s.AllocatedBytes())
+	}
+}
+
+func TestBestFitSmallest(t *testing.T) {
+	a, _ := newUMAlloc()
+	big, _ := a.Alloc(8 << 20)
+	small, _ := a.Alloc(2 << 20)
+	if err := a.Free(big.Base); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Free(small.Base); err != nil {
+		t.Fatal(err)
+	}
+	// Pool now holds an 8MiB block, a 2MiB block, and the 10MiB tail
+	// (merged with the 2MiB neighbour depending on order). Best fit for
+	// 1.5MiB must pick the smallest adequate block.
+	got, _ := a.Alloc(3 << 19) // 1.5MiB -> large pool
+	if got.Size > 2<<20 {
+		t.Fatalf("best fit returned %d-byte block", got.Size)
+	}
+}
+
+func TestFreeMergesNeighbours(t *testing.T) {
+	a, _ := newUMAlloc()
+	b1, _ := a.Alloc(4 << 20)
+	b2, _ := a.Alloc(4 << 20)
+	b3, _ := a.Alloc(4 << 20)
+	if b2.Base != b1.Base+um.Addr(b1.Size) || b3.Base != b2.Base+um.Addr(b2.Size) {
+		t.Skip("segment layout not contiguous; splitting scheme changed")
+	}
+	if err := a.Free(b1.Base); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Free(b3.Base); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Free(b2.Base); err != nil {
+		t.Fatal(err)
+	}
+	// All three (plus the segment tail) must have merged into one block able
+	// to satisfy a request for the whole segment.
+	got, err := a.Alloc(20 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Size != 20<<20 {
+		t.Fatalf("merged block size = %d, want full segment", got.Size)
+	}
+}
+
+func TestFreeUnknown(t *testing.T) {
+	a, _ := newUMAlloc()
+	if err := a.Free(um.Addr(12345)); err == nil {
+		t.Fatal("free of unknown block must fail")
+	}
+	b, _ := a.Alloc(1024)
+	if err := a.Free(b.Base); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Free(b.Base); err == nil {
+		t.Fatal("double free must fail")
+	}
+}
+
+func TestCallbacks(t *testing.T) {
+	a, _ := newUMAlloc()
+	var activeEvents, inactiveEvents int
+	var lastActive um.Addr
+	a.OnActive = func(base um.Addr, size int64) { activeEvents++; lastActive = base }
+	a.OnInactive = func(base um.Addr, size int64) { inactiveEvents++ }
+	b, _ := a.Alloc(1 << 20)
+	if activeEvents != 1 || lastActive != b.Base {
+		t.Fatalf("active events = %d", activeEvents)
+	}
+	if err := a.Free(b.Base); err != nil {
+		t.Fatal(err)
+	}
+	if inactiveEvents != 1 {
+		t.Fatalf("inactive events = %d", inactiveEvents)
+	}
+	// Reuse reactivates.
+	_, _ = a.Alloc(1 << 20)
+	if activeEvents != 2 {
+		t.Fatalf("active events after reuse = %d", activeEvents)
+	}
+}
+
+func TestEmptyCacheReleasesWholeSegments(t *testing.T) {
+	a, s := newUMAlloc()
+	b, _ := a.Alloc(15 << 20) // dedicated-ish segment of 20MiB? 15MiB > cutoff -> own 16MiB segment
+	keep, _ := a.Alloc(1024)
+	if err := a.Free(b.Base); err != nil {
+		t.Fatal(err)
+	}
+	before := s.AllocatedBytes()
+	a.EmptyCache()
+	after := s.AllocatedBytes()
+	if after >= before {
+		t.Fatalf("EmptyCache freed nothing: %d -> %d", before, after)
+	}
+	// The small segment hosting an active block must survive.
+	if after < 2<<20 {
+		t.Fatalf("EmptyCache freed a segment with active blocks")
+	}
+	_ = keep
+	st := a.Stats()
+	if st.CacheFlushes != 1 {
+		t.Fatalf("flushes = %d", st.CacheFlushes)
+	}
+}
+
+type failingBackend struct{ fails int }
+
+func (f *failingBackend) Malloc(n int64) (um.Addr, error) {
+	if f.fails > 0 {
+		f.fails--
+		return 0, um.ErrHostExhausted
+	}
+	return 0, nil
+}
+func (f *failingBackend) Free(um.Addr, int64) {}
+
+func TestAllocRetriesAfterEmptyCache(t *testing.T) {
+	fb := &failingBackend{fails: 1}
+	a := New(fb)
+	if _, err := a.Alloc(1024); err != nil {
+		t.Fatalf("retry after EmptyCache should succeed: %v", err)
+	}
+	fb.fails = 2
+	a2 := New(fb)
+	if _, err := a2.Alloc(4 << 20); err == nil {
+		t.Fatal("persistent backend failure must surface")
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	a, _ := newUMAlloc()
+	b1, _ := a.Alloc(1 << 20)
+	b2, _ := a.Alloc(4 << 20)
+	size1, size2 := b1.Size, b2.Size // snapshot: Free merges mutate Size
+	st := a.Stats()
+	if st.Allocs != 2 || st.ActiveBytes != size1+size2 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.PeakActiveBytes != st.ActiveBytes {
+		t.Fatalf("peak = %d, want %d", st.PeakActiveBytes, st.ActiveBytes)
+	}
+	if a.ActiveBlocks() != 2 {
+		t.Fatalf("active blocks = %d", a.ActiveBlocks())
+	}
+	_ = a.Free(b2.Base)
+	st = a.Stats()
+	if st.Frees != 1 || st.ActiveBytes != size1 {
+		t.Fatalf("stats after free = %+v", st)
+	}
+	if st.CachedBytes != st.SegmentBytes-st.ActiveBytes {
+		t.Fatalf("cached bytes inconsistent: %+v", st)
+	}
+	if st.PeakActiveBytes != size1+size2 {
+		t.Fatal("peak must not drop on free")
+	}
+}
+
+// TestAllocFreeQuick: random alloc/free sequences preserve the invariants
+// that active blocks never overlap and active byte accounting matches.
+func TestAllocFreeQuick(t *testing.T) {
+	f := func(ops []uint16) bool {
+		a, _ := newUMAlloc()
+		type rec struct {
+			base um.Addr
+			size int64
+		}
+		var live []rec
+		var activeBytes int64
+		for _, op := range ops {
+			if op%4 != 0 || len(live) == 0 {
+				n := int64(op%2048+1) * 1024 // up to 2MiB: exercises both pools
+				b, err := a.Alloc(n)
+				if err != nil {
+					return false
+				}
+				for _, l := range live {
+					if b.Base < l.base+um.Addr(l.size) && l.base < b.Base+um.Addr(b.Size) {
+						return false // overlap
+					}
+				}
+				live = append(live, rec{b.Base, b.Size})
+				activeBytes += b.Size
+			} else {
+				i := int(op>>2) % len(live)
+				if err := a.Free(live[i].base); err != nil {
+					return false
+				}
+				activeBytes -= live[i].size
+				live = append(live[:i], live[i+1:]...)
+			}
+			if a.Stats().ActiveBytes != activeBytes {
+				return false
+			}
+		}
+		return a.ActiveBlocks() == len(live)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,192 @@
+// Package trace records and analyzes the event stream of a simulated
+// training run: kernel launches, page faults, migrations, evictions,
+// invalidations and prefetches, each stamped with virtual time. It is the
+// observability layer a kernel-module developer would bolt onto the DeepUM
+// driver — cmd/deepum-inspect uses it to print per-kernel stall breakdowns
+// and fault heatmaps.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"deepum/internal/sim"
+	"deepum/internal/um"
+)
+
+// Kind discriminates trace events.
+type Kind uint8
+
+// Event kinds.
+const (
+	KindLaunch     Kind = iota // a kernel launch; Arg = execution ID
+	KindFault                  // a demand fault batch; Arg = pages, Block = first block
+	KindMigrate                // a block arrived on the device (fault or prefetch)
+	KindEvict                  // a block left the device with writeback
+	KindInvalidate             // a victim dropped without writeback
+	KindPrefetch               // a prefetch transfer started
+	KindStall                  // GPU waited for an in-flight migration; Arg = ns
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindLaunch:
+		return "launch"
+	case KindFault:
+		return "fault"
+	case KindMigrate:
+		return "migrate"
+	case KindEvict:
+		return "evict"
+	case KindInvalidate:
+		return "invalidate"
+	case KindPrefetch:
+		return "prefetch"
+	case KindStall:
+		return "stall"
+	}
+	return "unknown"
+}
+
+// Event is one timestamped occurrence.
+type Event struct {
+	At     sim.Time
+	Kind   Kind
+	Kernel string // name of the kernel active when the event occurred
+	Block  um.BlockID
+	Arg    int64
+}
+
+// Recorder accumulates events up to a cap (oldest dropped beyond it, with a
+// drop count, so tracing a long run cannot exhaust memory).
+type Recorder struct {
+	events  []Event
+	cap     int
+	dropped int64
+}
+
+// NewRecorder returns a recorder retaining up to capacity events; cap <= 0
+// selects 1<<20.
+func NewRecorder(capacity int) *Recorder {
+	if capacity <= 0 {
+		capacity = 1 << 20
+	}
+	return &Recorder{cap: capacity}
+}
+
+// Record appends one event.
+func (r *Recorder) Record(e Event) {
+	if len(r.events) >= r.cap {
+		// Drop the oldest half in one amortized move.
+		half := len(r.events) / 2
+		copy(r.events, r.events[half:])
+		r.events = r.events[:len(r.events)-half]
+		r.dropped += int64(half)
+	}
+	r.events = append(r.events, e)
+}
+
+// Events returns the retained events in order.
+func (r *Recorder) Events() []Event { return r.events }
+
+// Dropped returns how many old events were discarded.
+func (r *Recorder) Dropped() int64 { return r.dropped }
+
+// KernelProfile summarizes one kernel's memory behaviour over a trace.
+type KernelProfile struct {
+	Kernel      string
+	Launches    int64
+	FaultPages  int64
+	Migrations  int64
+	Evictions   int64
+	Invalidates int64
+	Prefetches  int64
+	StallNanos  int64
+}
+
+// Summary is the per-kernel aggregation of a trace.
+type Summary struct {
+	Kernels []KernelProfile
+	Span    sim.Duration
+	Total   int64
+}
+
+// Summarize aggregates the trace per kernel name, ordered by fault pages
+// descending — the heatmap view of where the memory system hurts.
+func Summarize(events []Event) *Summary {
+	byKernel := map[string]*KernelProfile{}
+	get := func(name string) *KernelProfile {
+		p, ok := byKernel[name]
+		if !ok {
+			p = &KernelProfile{Kernel: name}
+			byKernel[name] = p
+		}
+		return p
+	}
+	var first, last sim.Time
+	for i, e := range events {
+		if i == 0 {
+			first = e.At
+		}
+		last = e.At
+		p := get(e.Kernel)
+		switch e.Kind {
+		case KindLaunch:
+			p.Launches++
+		case KindFault:
+			p.FaultPages += e.Arg
+		case KindMigrate:
+			p.Migrations++
+		case KindEvict:
+			p.Evictions++
+		case KindInvalidate:
+			p.Invalidates++
+		case KindPrefetch:
+			p.Prefetches++
+		case KindStall:
+			p.StallNanos += e.Arg
+		}
+	}
+	s := &Summary{Span: last.Sub(first), Total: int64(len(events))}
+	for _, p := range byKernel {
+		s.Kernels = append(s.Kernels, *p)
+	}
+	sort.Slice(s.Kernels, func(i, j int) bool {
+		if s.Kernels[i].FaultPages != s.Kernels[j].FaultPages {
+			return s.Kernels[i].FaultPages > s.Kernels[j].FaultPages
+		}
+		return s.Kernels[i].Kernel < s.Kernels[j].Kernel
+	})
+	return s
+}
+
+// String renders the summary as an aligned table of the top kernels.
+func (s *Summary) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace: %d events over %v\n", s.Total, s.Span)
+	fmt.Fprintf(&b, "%-24s %8s %12s %10s %10s %10s %12s\n",
+		"kernel", "launches", "fault pages", "migrated", "evicted", "prefetch", "stall")
+	n := len(s.Kernels)
+	if n > 20 {
+		n = 20
+	}
+	for _, p := range s.Kernels[:n] {
+		fmt.Fprintf(&b, "%-24s %8d %12d %10d %10d %10d %12v\n",
+			p.Kernel, p.Launches, p.FaultPages, p.Migrations, p.Evictions,
+			p.Prefetches, sim.Duration(p.StallNanos))
+	}
+	return b.String()
+}
+
+// BlockHeat counts events per UM block — the spatial heatmap.
+func BlockHeat(events []Event) map[um.BlockID]int64 {
+	heat := map[um.BlockID]int64{}
+	for _, e := range events {
+		switch e.Kind {
+		case KindFault, KindMigrate, KindEvict, KindInvalidate, KindPrefetch:
+			heat[e.Block]++
+		}
+	}
+	return heat
+}

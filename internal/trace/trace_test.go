@@ -1,0 +1,138 @@
+package trace_test
+
+import (
+	"strings"
+	"testing"
+
+	"deepum/internal/core"
+	"deepum/internal/engine"
+	"deepum/internal/models"
+	"deepum/internal/sim"
+	. "deepum/internal/trace"
+)
+
+func TestRecorderCapEviction(t *testing.T) {
+	r := NewRecorder(4)
+	for i := 0; i < 10; i++ {
+		r.Record(Event{At: sim.Time(i), Kind: KindFault})
+	}
+	if len(r.Events()) > 4 {
+		t.Fatalf("recorder exceeded cap: %d", len(r.Events()))
+	}
+	if r.Dropped() == 0 {
+		t.Fatal("no drops counted despite overflow")
+	}
+	// Retained events are the most recent ones, still ordered.
+	ev := r.Events()
+	for i := 1; i < len(ev); i++ {
+		if ev[i].At < ev[i-1].At {
+			t.Fatal("events out of order after compaction")
+		}
+	}
+	// A zero capacity selects a large default: no overflow for small loads.
+	big := NewRecorder(0)
+	for i := 0; i < 100; i++ {
+		big.Record(Event{At: sim.Time(i)})
+	}
+	if big.Dropped() != 0 || len(big.Events()) != 100 {
+		t.Fatal("default-cap recorder dropped small load")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	kinds := map[Kind]string{
+		KindLaunch: "launch", KindFault: "fault", KindMigrate: "migrate",
+		KindEvict: "evict", KindInvalidate: "invalidate",
+		KindPrefetch: "prefetch", KindStall: "stall", Kind(99): "unknown",
+	}
+	for k, want := range kinds {
+		if k.String() != want {
+			t.Fatalf("%d.String() = %q", k, k.String())
+		}
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	events := []Event{
+		{At: 0, Kind: KindLaunch, Kernel: "conv"},
+		{At: 10, Kind: KindFault, Kernel: "conv", Arg: 100},
+		{At: 20, Kind: KindMigrate, Kernel: "conv", Block: 1},
+		{At: 30, Kind: KindStall, Kernel: "conv", Arg: 5000},
+		{At: 40, Kind: KindLaunch, Kernel: "gemm"},
+		{At: 50, Kind: KindFault, Kernel: "gemm", Arg: 700},
+		{At: 60, Kind: KindEvict, Kernel: "gemm", Block: 2},
+		{At: 70, Kind: KindInvalidate, Kernel: "gemm", Block: 3},
+		{At: 80, Kind: KindPrefetch, Kernel: "gemm", Block: 4},
+	}
+	s := Summarize(events)
+	if s.Total != 9 || s.Span != 80 {
+		t.Fatalf("summary header = %+v", s)
+	}
+	if len(s.Kernels) != 2 {
+		t.Fatalf("kernels = %d", len(s.Kernels))
+	}
+	// Ordered by fault pages descending: gemm (700) first.
+	if s.Kernels[0].Kernel != "gemm" || s.Kernels[0].FaultPages != 700 {
+		t.Fatalf("first profile = %+v", s.Kernels[0])
+	}
+	conv := s.Kernels[1]
+	if conv.Launches != 1 || conv.Migrations != 1 || conv.StallNanos != 5000 {
+		t.Fatalf("conv profile = %+v", conv)
+	}
+	out := s.String()
+	if !strings.Contains(out, "gemm") || !strings.Contains(out, "conv") {
+		t.Fatalf("rendering missing kernels:\n%s", out)
+	}
+}
+
+func TestBlockHeat(t *testing.T) {
+	events := []Event{
+		{Kind: KindFault, Block: 7},
+		{Kind: KindMigrate, Block: 7},
+		{Kind: KindEvict, Block: 9},
+		{Kind: KindLaunch, Block: 7}, // launches carry no block heat
+	}
+	heat := BlockHeat(events)
+	if heat[7] != 2 || heat[9] != 1 {
+		t.Fatalf("heat = %v", heat)
+	}
+}
+
+// TestEngineIntegration: a traced DeepUM run emits every event kind and the
+// summary reflects the run's fault count.
+func TestEngineIntegration(t *testing.T) {
+	p, err := models.Build(models.Spec{Model: "bert-large", Dataset: "wikitext"}, 16, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := NewRecorder(1 << 18)
+	_, err = engine.Run(engine.Config{
+		Params:        sim.DefaultParams().Scale(64),
+		Program:       p,
+		Policy:        engine.PolicyDeepUM,
+		DriverOptions: core.DefaultOptions(),
+		Iterations:    2,
+		Warmup:        2,
+		Seed:          1,
+		Tracer:        rec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := map[Kind]bool{}
+	for _, e := range rec.Events() {
+		kinds[e.Kind] = true
+	}
+	for _, want := range []Kind{KindLaunch, KindFault, KindMigrate, KindEvict, KindPrefetch} {
+		if !kinds[want] {
+			t.Fatalf("traced run missing %v events (saw %v)", want, kinds)
+		}
+	}
+	s := Summarize(rec.Events())
+	if len(s.Kernels) == 0 || s.Span <= 0 {
+		t.Fatalf("degenerate summary: %+v", s)
+	}
+	if len(BlockHeat(rec.Events())) == 0 {
+		t.Fatal("empty block heatmap")
+	}
+}

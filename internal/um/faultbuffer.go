@@ -1,0 +1,108 @@
+package um
+
+import "deepum/internal/sim"
+
+// FaultBuffer models the hardware circular queue in the GPU that accumulates
+// faulted-access records (§2.3). The GPU can generate multiple faults
+// concurrently and the buffer may contain several entries for the same page;
+// the driver's preprocessing step removes duplicates and groups entries by
+// UM block.
+type FaultBuffer struct {
+	entries  []Fault
+	capacity int
+	dropped  int64 // entries lost to overflow (the GPU would stall/retry)
+	total    int64 // entries ever pushed
+}
+
+// DefaultFaultBufferCap matches the order of magnitude of Volta's replayable
+// fault buffer.
+const DefaultFaultBufferCap = 8192
+
+// NewFaultBuffer returns an empty buffer with the given capacity; cap <= 0
+// selects DefaultFaultBufferCap.
+func NewFaultBuffer(capacity int) *FaultBuffer {
+	if capacity <= 0 {
+		capacity = DefaultFaultBufferCap
+	}
+	return &FaultBuffer{capacity: capacity}
+}
+
+// Push appends one faulted access. When the buffer is full the entry is
+// counted as dropped: on real hardware the SM would be stalled and replay
+// the access later, producing a new entry — the model's accounting treats
+// the retried entry as part of the next batch.
+func (f *FaultBuffer) Push(fault Fault) {
+	f.total++
+	if len(f.entries) >= f.capacity {
+		f.dropped++
+		return
+	}
+	f.entries = append(f.entries, fault)
+}
+
+// Drain removes and returns all buffered entries in arrival order.
+func (f *FaultBuffer) Drain() []Fault {
+	out := f.entries
+	f.entries = nil
+	return out
+}
+
+// Len returns the number of buffered entries.
+func (f *FaultBuffer) Len() int { return len(f.entries) }
+
+// Total returns the number of entries ever pushed, including dropped ones.
+func (f *FaultBuffer) Total() int64 { return f.total }
+
+// Dropped returns the number of entries lost to overflow.
+func (f *FaultBuffer) Dropped() int64 { return f.dropped }
+
+// Preprocess performs step 2 of the fault-handling pipeline: it removes
+// duplicate page addresses and groups the faults by UM block, preserving
+// first-occurrence order of blocks and, within a block, of pages.
+func Preprocess(faults []Fault) []FaultGroup {
+	seenPage := make(map[int64]struct{}, len(faults))
+	index := make(map[BlockID]int)
+	var groups []FaultGroup
+	for _, f := range faults {
+		if _, dup := seenPage[f.Page]; dup {
+			continue
+		}
+		seenPage[f.Page] = struct{}{}
+		b := BlockID(f.Page / sim.PagesPerBlock)
+		i, ok := index[b]
+		if !ok {
+			i = len(groups)
+			index[b] = i
+			groups = append(groups, FaultGroup{Block: b})
+		}
+		groups[i].Pages = append(groups[i].Pages, f.Page)
+		if f.Type == Write {
+			groups[i].Write = true
+		}
+	}
+	return groups
+}
+
+// FaultGroup is the unit the fault handler processes: all distinct faulted
+// pages of one UM block. The engine constructs groups directly with Count
+// set (a page list for millions of faults would be wasteful); Preprocess
+// fills the explicit page list.
+type FaultGroup struct {
+	Block BlockID
+	Pages []int64
+	// Count is the number of distinct faulted pages when Pages is not
+	// populated.
+	Count int64
+	Write bool
+}
+
+// PageCount returns the number of distinct faulted pages in the group.
+func (g FaultGroup) PageCount() int64 {
+	if len(g.Pages) > 0 {
+		return int64(len(g.Pages))
+	}
+	if g.Count > 0 {
+		return g.Count
+	}
+	return 1
+}

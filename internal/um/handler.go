@@ -1,0 +1,224 @@
+package um
+
+import (
+	"deepum/internal/sim"
+)
+
+// EvictionPolicy selects victim blocks when the fault handler (or the
+// pre-evictor) needs device space. Implementations walk the residency
+// manager's least-recently-migrated order; DeepUM's policy additionally
+// skips blocks predicted for the next N kernels (§5.1).
+type EvictionPolicy interface {
+	// SelectVictims returns resident blocks to evict so that at least need
+	// bytes become free. It must not return non-resident blocks. Returning
+	// fewer bytes than requested makes the handler fail the migration
+	// (device memory wedged) — callers size requests against Capacity.
+	SelectVictims(r *Residency, need int64) []BlockID
+}
+
+// LRMPolicy is the stock NVIDIA eviction policy: evict pages that were least
+// recently migrated to the GPU.
+type LRMPolicy struct{}
+
+// SelectVictims walks the LRM list from the oldest block.
+func (LRMPolicy) SelectVictims(r *Residency, need int64) []BlockID {
+	var victims []BlockID
+	var freed int64
+	r.WalkLRM(func(b BlockID) bool {
+		victims = append(victims, b)
+		freed += r.space.Block(b).ResidentBytes()
+		return freed < need
+	})
+	return victims
+}
+
+// Invalidator decides whether a victim block's content is dead to the
+// application (its PT block is inactive, §5.2) and can be dropped without a
+// D2H copy. The zero-value NoInvalidate keeps every victim's data.
+type Invalidator interface {
+	CanInvalidate(BlockID) bool
+}
+
+// NoInvalidate is the Invalidator that never allows dropping a victim.
+type NoInvalidate struct{}
+
+// CanInvalidate always returns false.
+func (NoInvalidate) CanInvalidate(BlockID) bool { return false }
+
+// HandlerStats aggregates fault-handling work. Fault counts follow the
+// paper's Table 5 accounting: one fault per distinct faulted page per
+// handling cycle.
+type HandlerStats struct {
+	Batches        int64 // fault-handling cycles
+	PageFaults     int64 // distinct faulted pages handled
+	BlocksMigrated int64 // UM blocks populated on the device by the handler
+	ZeroFills      int64 // blocks populated without a transfer (first touch)
+	BlocksEvicted  int64 // victims transferred D2H
+	BlocksDropped  int64 // victims invalidated (no transfer)
+	EvictStall     sim.Duration
+	TransferStall  sim.Duration
+	Overhead       sim.Duration
+}
+
+// Handler implements the NVIDIA page-fault handling pipeline of Figure 3:
+// (1) fetch faults from the buffer, (2) preprocess (dedup, group per UM
+// block), then per faulted UM block (3) check space, (4) evict if needed,
+// (5) populate, (6) transfer, (7) map, (8) loop, and finally (9) replay.
+//
+// A faulted block whose host side is unpopulated (first touch of a fresh
+// allocation) is zero-filled on the device: full handling cost, no
+// transfer. On-demand migration moves only the faulted pages; whole-block
+// movement is the prefetcher's job.
+type Handler struct {
+	Params      sim.Params
+	Space       *Space
+	Res         *Residency
+	Link        *sim.Duplex
+	Policy      EvictionPolicy
+	Invalidator Invalidator
+
+	// DensityPrefetch enables the NVIDIA driver's tree-based neighborhood
+	// heuristic: once a fault batch touches a block densely enough, the
+	// driver migrates the whole block in one coalesced transfer instead of
+	// streaming faulted chunks. An ablation point between naive UM and
+	// DeepUM (which achieves the same coalescing by prediction, ahead of
+	// the fault).
+	DensityPrefetch bool
+
+	// OnMigrated, if set, is called for each block the handler maps onto the
+	// device (the DeepUM correlator records faulted blocks from here).
+	OnMigrated func(b BlockID, at sim.Time)
+	// OnEvicted, if set, is called for each victim (dropped or transferred).
+	OnEvicted func(b BlockID, invalidated bool)
+
+	Stats HandlerStats
+}
+
+// Handle runs one fault-handling cycle for the buffered faults, starting at
+// time now (when the interrupt is raised). It returns the time the replay
+// signal is delivered, i.e. when the GPU may re-execute the faulted
+// accesses. An empty batch returns now.
+func (h *Handler) Handle(now sim.Time, faults []Fault) sim.Time {
+	if len(faults) == 0 {
+		return now
+	}
+	groups := Preprocess(faults)
+	return h.HandleGroups(now, groups)
+}
+
+// HandleGroups is Handle for pre-grouped faults.
+func (h *Handler) HandleGroups(now sim.Time, groups []FaultGroup) sim.Time {
+	if len(groups) == 0 {
+		return now
+	}
+	h.Stats.Batches++
+	t := now.Add(h.Params.FaultBatchOverhead) // steps 1-2
+	h.Stats.Overhead += h.Params.FaultBatchOverhead
+
+	for _, g := range groups {
+		pages := g.PageCount()
+		h.Stats.PageFaults += pages
+		blk := h.Space.Block(g.Block)
+		if pages > blk.AllocatedPages {
+			pages = blk.AllocatedPages
+		}
+		if blk.Resident {
+			// Another entry of the same batch (or an in-flight prefetch)
+			// already migrated the block: wait for it to be ready, map only.
+			t = sim.Max(t, blk.ReadyAt)
+			h.Res.Touch(g.Block, g.Write)
+			continue
+		}
+		t = t.Add(h.Params.FaultBlockOverhead) // steps 3, 5, 7 bookkeeping
+		h.Stats.Overhead += h.Params.FaultBlockOverhead
+
+		if blk.AllocatedPages == 0 {
+			// Faulted access to an unallocated region; map a zero page.
+			continue
+		}
+		if h.DensityPrefetch && blk.HostPopulated && pages*2 >= blk.AllocatedPages {
+			// Dense fault: the driver's neighborhood heuristic migrates the
+			// whole block in one coalesced transfer.
+			pages = blk.AllocatedPages
+		}
+		need := pages * sim.PageSize
+		// Step 4: evict synchronously on the critical path if no space.
+		if h.Res.Free() < need {
+			t = h.evict(t, need)
+		}
+		// Step 6: transfer the faulted pages — or zero-fill a first touch.
+		// On-demand migration is chunked: the GPU only faults on pages as
+		// threads reach them, so a block streams in FaultChunkPages at a
+		// time, paying a handling round trip and a latency-dominated small
+		// transfer per chunk. (Prefetches move whole blocks in one shot.)
+		if blk.HostPopulated {
+			chunk := h.Params.FaultChunkPages
+			if chunk <= 0 {
+				chunk = pages
+			}
+			if h.DensityPrefetch && pages == blk.AllocatedPages {
+				chunk = pages // one coalesced transfer
+			}
+			for moved := int64(0); moved < pages; moved += chunk {
+				n := chunk
+				if pages-moved < n {
+					n = pages - moved
+				}
+				t = t.Add(h.Params.FaultChunkOverhead)
+				h.Stats.Overhead += h.Params.FaultChunkOverhead
+				_, end := h.Link.Reserve(t, n*sim.PageSize, sim.HostToDevice)
+				h.Stats.TransferStall += end.Sub(t)
+				t = end
+			}
+		} else {
+			h.Stats.ZeroFills++
+		}
+		h.Res.Insert(g.Block, pages, t, t)
+		h.Res.Touch(g.Block, g.Write)
+		h.Stats.BlocksMigrated++
+		if h.OnMigrated != nil {
+			h.OnMigrated(g.Block, t)
+		}
+	}
+	// Step 9: replay.
+	t = t.Add(h.Params.ReplayLatency)
+	h.Stats.Overhead += h.Params.ReplayLatency
+	return t
+}
+
+// evict synchronously frees at least need bytes starting at time t and
+// returns the time eviction completes. Victims whose content is invalidated
+// are dropped without a transfer; the rest are copied D2H on the link. The
+// handler waits for the writeback before reusing the space, which is why
+// eviction sits on the critical path (§5.1).
+func (h *Handler) evict(t sim.Time, need int64) sim.Time {
+	start := t
+	for h.Res.Free() < need {
+		victims := h.Policy.SelectVictims(h.Res, need-h.Res.Free())
+		if len(victims) == 0 {
+			break // nothing evictable; the transfer will be short on space
+		}
+		for _, v := range victims {
+			t = t.Add(h.Params.EvictBlockOverhead)
+			vb := h.Space.Block(v)
+			if h.Invalidator != nil && h.Invalidator.CanInvalidate(v) {
+				h.Res.Remove(v)
+				h.Stats.BlocksDropped++
+				if h.OnEvicted != nil {
+					h.OnEvicted(v, true)
+				}
+				continue
+			}
+			_, end := h.Link.Reserve(t, vb.ResidentBytes(), sim.DeviceToHost)
+			t = end
+			vb.HostPopulated = true
+			h.Res.Remove(v)
+			h.Stats.BlocksEvicted++
+			if h.OnEvicted != nil {
+				h.OnEvicted(v, false)
+			}
+		}
+	}
+	h.Stats.EvictStall += t.Sub(start)
+	return t
+}

@@ -1,0 +1,111 @@
+package um
+
+import "sort"
+
+// RangeAllocator is a first-fit address-range allocator with free-list
+// coalescing. It backs two distinct uses:
+//
+//   - the unified virtual address space (Space.Malloc), where fragmentation
+//     is harmless because pages are the migration unit; and
+//   - the physical GPU heap model used by the non-UM baselines, where
+//     fragmentation is exactly what makes them fail at large batch sizes
+//     (§1, §6.2: "using pure GPU memory may suffer from memory
+//     fragmentation").
+type RangeAllocator struct {
+	free []rng // sorted by start, coalesced
+	top  int64 // high-water mark of the bump region
+	// limit caps total address space; 0 means unbounded (virtual memory).
+	limit int64
+}
+
+type rng struct{ start, size int64 }
+
+// NewRangeAllocator returns an unbounded allocator (virtual address space).
+func NewRangeAllocator() *RangeAllocator { return &RangeAllocator{} }
+
+// NewBoundedRangeAllocator returns an allocator over [0, limit): a model of
+// a fixed-size physical heap that can fail with fragmentation.
+func NewBoundedRangeAllocator(limit int64) *RangeAllocator {
+	return &RangeAllocator{limit: limit}
+}
+
+// Alloc returns the base of a free range of exactly n bytes, or -1 when the
+// bounded heap cannot satisfy the request (out of memory or fragmented).
+// Unbounded allocators never fail.
+func (r *RangeAllocator) Alloc(n int64) Addr {
+	for i, f := range r.free {
+		if f.size >= n {
+			base := f.start
+			if f.size == n {
+				r.free = append(r.free[:i], r.free[i+1:]...)
+			} else {
+				r.free[i] = rng{f.start + n, f.size - n}
+			}
+			return Addr(base)
+		}
+	}
+	if r.limit > 0 && r.top+n > r.limit {
+		return Addr(-1)
+	}
+	base := r.top
+	r.top += n
+	return Addr(base)
+}
+
+// Free returns [base, base+n) to the free list, coalescing neighbours.
+func (r *RangeAllocator) Free(base Addr, n int64) {
+	if n <= 0 {
+		return
+	}
+	nr := rng{int64(base), n}
+	i := sort.Search(len(r.free), func(i int) bool { return r.free[i].start >= nr.start })
+	r.free = append(r.free, rng{})
+	copy(r.free[i+1:], r.free[i:])
+	r.free[i] = nr
+	// Coalesce with successor then predecessor.
+	if i+1 < len(r.free) && r.free[i].start+r.free[i].size == r.free[i+1].start {
+		r.free[i].size += r.free[i+1].size
+		r.free = append(r.free[:i+1], r.free[i+2:]...)
+	}
+	if i > 0 && r.free[i-1].start+r.free[i-1].size == r.free[i].start {
+		r.free[i-1].size += r.free[i].size
+		r.free = append(r.free[:i], r.free[i+1:]...)
+	}
+	// Shrink the bump region when the topmost range frees up.
+	if len(r.free) > 0 {
+		last := r.free[len(r.free)-1]
+		if last.start+last.size == r.top {
+			r.top = last.start
+			r.free = r.free[:len(r.free)-1]
+		}
+	}
+}
+
+// InUse returns the number of allocated bytes.
+func (r *RangeAllocator) InUse() int64 {
+	free := int64(0)
+	for _, f := range r.free {
+		free += f.size
+	}
+	return r.top - free
+}
+
+// HighWater returns the bump-region high-water mark: the total address span
+// ever touched. For a bounded heap, HighWater-InUse of free bytes that still
+// cannot satisfy an allocation is the fragmentation signature.
+func (r *RangeAllocator) HighWater() int64 { return r.top }
+
+// LargestFree returns the size of the largest free range, counting the
+// untouched tail of a bounded heap.
+func (r *RangeAllocator) LargestFree() int64 {
+	best := int64(0)
+	for _, f := range r.free {
+		if f.size > best {
+			best = f.size
+		}
+	}
+	if r.limit > 0 && r.limit-r.top > best {
+		best = r.limit - r.top
+	}
+	return best
+}

@@ -1,0 +1,125 @@
+// Package umrt is the DeepUM runtime (§3.1): the layer that would be
+// LD_PRELOADed under PyTorch on a real system. It wraps GPU memory
+// allocation so every request lands in unified memory, wraps kernel launch
+// commands to assign execution IDs from a hash of the kernel name and
+// arguments, and delivers the execution ID of each upcoming launch to the
+// driver through a callback — the stand-in for the ioctl the paper uses.
+package umrt
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+
+	"deepum/internal/correlation"
+	"deepum/internal/um"
+)
+
+// ExecIDTable maps the hash of a kernel launch command (kernel name plus
+// argument values) to its execution ID, assigning fresh IDs to unseen
+// commands. Two launches of the same kernel with the same arguments — the
+// common case in DNN training, where the iteration repeats the identical
+// launch sequence — share an execution ID.
+type ExecIDTable struct {
+	ids  map[uint64]correlation.ExecID
+	next correlation.ExecID
+}
+
+// NewExecIDTable returns an empty execution-ID table.
+func NewExecIDTable() *ExecIDTable {
+	return &ExecIDTable{ids: make(map[uint64]correlation.ExecID)}
+}
+
+// HashLaunch computes the lookup key of a kernel launch: an FNV-1a hash of
+// the kernel name and its argument words. Pointer-valued arguments are
+// included — tensor base addresses distinguish otherwise identical layers,
+// and the PyTorch caching allocator makes them stable across iterations.
+func HashLaunch(name string, args []uint64) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(name))
+	var buf [8]byte
+	for _, a := range args {
+		binary.LittleEndian.PutUint64(buf[:], a)
+		_, _ = h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+// Assign returns the execution ID for the launch hash, creating one when the
+// command has not been seen before. The second result reports whether the
+// ID is new.
+func (t *ExecIDTable) Assign(hash uint64) (correlation.ExecID, bool) {
+	if id, ok := t.ids[hash]; ok {
+		return id, false
+	}
+	id := t.next
+	t.next++
+	t.ids[hash] = id
+	return id, true
+}
+
+// Len returns the number of distinct launch commands observed.
+func (t *ExecIDTable) Len() int { return len(t.ids) }
+
+// Driver is the interface the runtime talks to through its pre-launch
+// callback: the DeepUM driver receives the execution ID of the kernel about
+// to run (§3.1: "The callback function passes the execution ID of the
+// following kernel launch command to the DeepUM driver through the Linux
+// ioctl command").
+type Driver interface {
+	// KernelLaunch announces that the kernel with the given execution ID is
+	// about to start.
+	KernelLaunch(id correlation.ExecID)
+	// KernelComplete announces that the announced kernel finished; the
+	// prefetching thread resumes paused chaining here (§4.2).
+	KernelComplete(id correlation.ExecID)
+}
+
+// Runtime wires allocation wrapping and launch interception together.
+type Runtime struct {
+	Space  *um.Space
+	Driver Driver
+	table  *ExecIDTable
+
+	launches int64
+	newIDs   int64
+}
+
+// New returns a runtime allocating from space and reporting to driver.
+func New(space *um.Space, driver Driver) *Runtime {
+	return &Runtime{Space: space, Driver: driver, table: NewExecIDTable()}
+}
+
+// Malloc is the wrapper for cudaMalloc and friends: every device allocation
+// becomes a UM allocation, which is what enables oversubscription.
+func (r *Runtime) Malloc(n int64) (um.Addr, error) { return r.Space.Malloc(n) }
+
+// Free releases a UM allocation.
+func (r *Runtime) Free(base um.Addr, n int64) { r.Space.Free(base, n) }
+
+// Launch intercepts one kernel launch command: it assigns the execution ID
+// and enqueues the pre-launch callback to the driver. It returns the ID for
+// the caller to execute the kernel under.
+func (r *Runtime) Launch(name string, args []uint64) correlation.ExecID {
+	id, fresh := r.table.Assign(HashLaunch(name, args))
+	r.launches++
+	if fresh {
+		r.newIDs++
+	}
+	if r.Driver != nil {
+		r.Driver.KernelLaunch(id)
+	}
+	return id
+}
+
+// Complete reports kernel completion to the driver.
+func (r *Runtime) Complete(id correlation.ExecID) {
+	if r.Driver != nil {
+		r.Driver.KernelComplete(id)
+	}
+}
+
+// Launches returns the total number of intercepted kernel launches.
+func (r *Runtime) Launches() int64 { return r.launches }
+
+// DistinctKernels returns the number of distinct execution IDs assigned.
+func (r *Runtime) DistinctKernels() int64 { return r.newIDs }

@@ -1,0 +1,127 @@
+package umrt
+
+import (
+	"testing"
+	"testing/quick"
+
+	"deepum/internal/correlation"
+	"deepum/internal/um"
+)
+
+func TestHashLaunchDeterministic(t *testing.T) {
+	a := HashLaunch("sgemm", []uint64{1, 2, 3})
+	b := HashLaunch("sgemm", []uint64{1, 2, 3})
+	if a != b {
+		t.Fatal("hash not deterministic")
+	}
+	if HashLaunch("sgemm", []uint64{1, 2, 4}) == a {
+		t.Fatal("different args must hash differently")
+	}
+	if HashLaunch("dgemm", []uint64{1, 2, 3}) == a {
+		t.Fatal("different names must hash differently")
+	}
+	if HashLaunch("sgemm", nil) == HashLaunch("sgemm", []uint64{0}) {
+		t.Fatal("arg count must affect the hash")
+	}
+}
+
+func TestExecIDTableAssign(t *testing.T) {
+	tbl := NewExecIDTable()
+	id0, fresh := tbl.Assign(111)
+	if !fresh || id0 != 0 {
+		t.Fatalf("first assign = (%d,%v)", id0, fresh)
+	}
+	id1, fresh := tbl.Assign(222)
+	if !fresh || id1 != 1 {
+		t.Fatalf("second assign = (%d,%v)", id1, fresh)
+	}
+	again, fresh := tbl.Assign(111)
+	if fresh || again != id0 {
+		t.Fatalf("repeat assign = (%d,%v)", again, fresh)
+	}
+	if tbl.Len() != 2 {
+		t.Fatalf("len = %d", tbl.Len())
+	}
+}
+
+// TestExecIDTableQuick: assignment is a function — equal hashes always get
+// equal IDs, distinct hashes distinct IDs.
+func TestExecIDTableQuick(t *testing.T) {
+	f := func(hashes []uint64) bool {
+		tbl := NewExecIDTable()
+		byHash := map[uint64]correlation.ExecID{}
+		for _, h := range hashes {
+			id, _ := tbl.Assign(h)
+			if prev, ok := byHash[h]; ok && prev != id {
+				return false
+			}
+			byHash[h] = id
+		}
+		ids := map[correlation.ExecID]bool{}
+		for _, id := range byHash {
+			if ids[id] {
+				return false
+			}
+			ids[id] = true
+		}
+		return tbl.Len() == len(byHash)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+type recordingDriver struct {
+	launched  []correlation.ExecID
+	completed []correlation.ExecID
+}
+
+func (d *recordingDriver) KernelLaunch(id correlation.ExecID) { d.launched = append(d.launched, id) }
+func (d *recordingDriver) KernelComplete(id correlation.ExecID) {
+	d.completed = append(d.completed, id)
+}
+
+func TestRuntimeLaunchCallback(t *testing.T) {
+	drv := &recordingDriver{}
+	rt := New(um.NewSpace(0), drv)
+	id0 := rt.Launch("conv2d", []uint64{64, 3, 224})
+	id1 := rt.Launch("relu", []uint64{64})
+	id2 := rt.Launch("conv2d", []uint64{64, 3, 224}) // same command, same ID
+	if id0 == id1 {
+		t.Fatal("distinct kernels share an execution ID")
+	}
+	if id2 != id0 {
+		t.Fatal("repeated launch got a new execution ID")
+	}
+	if len(drv.launched) != 3 {
+		t.Fatalf("driver callbacks = %d, want 3", len(drv.launched))
+	}
+	rt.Complete(id0)
+	if len(drv.completed) != 1 || drv.completed[0] != id0 {
+		t.Fatalf("completions = %v", drv.completed)
+	}
+	if rt.Launches() != 3 || rt.DistinctKernels() != 2 {
+		t.Fatalf("launches=%d distinct=%d", rt.Launches(), rt.DistinctKernels())
+	}
+}
+
+func TestRuntimeMallocRoutesToUM(t *testing.T) {
+	rt := New(um.NewSpace(0), nil)
+	a, err := rt.Malloc(1 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.Space.AllocatedBytes() != 1<<20 {
+		t.Fatalf("allocated = %d", rt.Space.AllocatedBytes())
+	}
+	rt.Free(a, 1<<20)
+	if rt.Space.AllocatedBytes() != 0 {
+		t.Fatalf("allocated after free = %d", rt.Space.AllocatedBytes())
+	}
+}
+
+func TestRuntimeNilDriver(t *testing.T) {
+	rt := New(um.NewSpace(0), nil)
+	id := rt.Launch("k", nil) // must not panic
+	rt.Complete(id)
+}

@@ -1,0 +1,284 @@
+// Package workload defines the representation of a DNN training run as the
+// DeepUM stack sees it: a set of tensors, a one-time setup phase allocating
+// the persistent state (weights, gradients, optimizer moments, embedding
+// tables), and a per-iteration step sequence interleaving tensor
+// allocation, kernel launches and tensor frees. The nine model generators in
+// internal/models compile architectures into this form.
+package workload
+
+import "fmt"
+
+// TensorID indexes a tensor within a Program.
+type TensorID int32
+
+// TensorKind classifies tensors by lifetime and role.
+type TensorKind uint8
+
+const (
+	// Weight tensors persist across iterations and are read by forward and
+	// optimizer kernels.
+	Weight TensorKind = iota
+	// Gradient tensors persist (PyTorch keeps .grad allocated) and are
+	// rewritten every backward pass.
+	Gradient
+	// OptState tensors are optimizer moments, persistent.
+	OptState
+	// Activation tensors are produced in forward, consumed in backward, and
+	// freed within the iteration.
+	Activation
+	// Workspace tensors are scratch buffers with kernel-local lifetime.
+	Workspace
+	// Input tensors hold the minibatch, rewritten each iteration.
+	Input
+)
+
+func (k TensorKind) String() string {
+	switch k {
+	case Weight:
+		return "weight"
+	case Gradient:
+		return "gradient"
+	case OptState:
+		return "optstate"
+	case Activation:
+		return "activation"
+	case Workspace:
+		return "workspace"
+	case Input:
+		return "input"
+	}
+	return "unknown"
+}
+
+// Tensor declares one memory object of the model.
+type Tensor struct {
+	ID    TensorID
+	Name  string
+	Bytes int64
+	Kind  TensorKind
+	// Persistent tensors are allocated in setup and never freed; transient
+	// tensors are allocated and freed by iteration steps.
+	Persistent bool
+}
+
+// Access is one tensor operand of a kernel.
+type Access struct {
+	Tensor TensorID
+	Write  bool
+	// Fraction, when in (0,1), makes the kernel touch only that fraction of
+	// the tensor's UM blocks. Combined with Irregular it models
+	// input-dependent sparse access (DLRM embedding lookups, §6.2).
+	Fraction float64
+	// PageFraction, when in (0,1), is the expected fraction of the tensor's
+	// pages touched; within a touched block the engine faults
+	// PageFraction/Fraction of the pages. Zero means dense (all pages of
+	// every touched block).
+	PageFraction float64
+	// Irregular re-samples the touched block subset every iteration from
+	// the engine's seeded stream, defeating history-based prefetching.
+	Irregular bool
+}
+
+// Kernel is one CUDA kernel launch: its identity (name and argument words,
+// hashed to an execution ID by the runtime), roofline cost inputs, and
+// operand list.
+type Kernel struct {
+	Name  string
+	Args  []uint64
+	FLOPs float64
+	// ExtraBytes adds device-memory traffic beyond the operand sizes (e.g.
+	// multi-pass reads inside attention).
+	ExtraBytes int64
+	Accesses   []Access
+}
+
+// StepKind discriminates iteration steps.
+type StepKind uint8
+
+const (
+	// StepAlloc allocates the step's tensor through the caching allocator.
+	StepAlloc StepKind = iota
+	// StepFree releases the step's tensor back to the allocator pool.
+	StepFree
+	// StepLaunch launches the step's kernel.
+	StepLaunch
+)
+
+// Step is one element of the setup or iteration sequence.
+type Step struct {
+	Kind   StepKind
+	Tensor TensorID // for StepAlloc / StepFree
+	Kernel *Kernel  // for StepLaunch
+}
+
+// Program is a complete training workload.
+type Program struct {
+	Name      string
+	BatchSize int64
+	Tensors   []Tensor
+	// Setup allocates persistent tensors (weights, grads, moments, tables).
+	Setup []Step
+	// Iteration is executed once per training iteration.
+	Iteration []Step
+}
+
+// Builder accumulates a Program with checked references.
+type Builder struct {
+	p Program
+}
+
+// NewBuilder starts a program with the given name and batch size.
+func NewBuilder(name string, batch int64) *Builder {
+	return &Builder{p: Program{Name: name, BatchSize: batch}}
+}
+
+// Tensor declares a tensor and returns its ID. Persistent tensors get a
+// setup allocation step automatically.
+func (b *Builder) Tensor(name string, bytes int64, kind TensorKind, persistent bool) TensorID {
+	id := TensorID(len(b.p.Tensors))
+	b.p.Tensors = append(b.p.Tensors, Tensor{ID: id, Name: name, Bytes: bytes, Kind: kind, Persistent: persistent})
+	if persistent {
+		b.p.Setup = append(b.p.Setup, Step{Kind: StepAlloc, Tensor: id})
+	}
+	return id
+}
+
+// Alloc appends an iteration step allocating tensor id.
+func (b *Builder) Alloc(id TensorID) {
+	b.p.Iteration = append(b.p.Iteration, Step{Kind: StepAlloc, Tensor: id})
+}
+
+// Free appends an iteration step freeing tensor id.
+func (b *Builder) Free(id TensorID) {
+	b.p.Iteration = append(b.p.Iteration, Step{Kind: StepFree, Tensor: id})
+}
+
+// Launch appends a kernel-launch step.
+func (b *Builder) Launch(k *Kernel) {
+	b.p.Iteration = append(b.p.Iteration, Step{Kind: StepLaunch, Kernel: k})
+}
+
+// Build validates and returns the program.
+func (b *Builder) Build() (*Program, error) {
+	p := b.p
+	alive := map[TensorID]bool{}
+	for _, t := range p.Tensors {
+		if t.Persistent {
+			alive[t.ID] = true
+		}
+	}
+	check := func(steps []Step, phase string) error {
+		for i, s := range steps {
+			switch s.Kind {
+			case StepAlloc:
+				if int(s.Tensor) >= len(p.Tensors) {
+					return fmt.Errorf("workload: %s step %d allocates unknown tensor %d", phase, i, s.Tensor)
+				}
+				if alive[s.Tensor] && !p.Tensors[s.Tensor].Persistent {
+					return fmt.Errorf("workload: %s step %d double-allocates tensor %q", phase, i, p.Tensors[s.Tensor].Name)
+				}
+				alive[s.Tensor] = true
+			case StepFree:
+				if !alive[s.Tensor] {
+					return fmt.Errorf("workload: %s step %d frees dead tensor %d", phase, i, s.Tensor)
+				}
+				if p.Tensors[s.Tensor].Persistent {
+					return fmt.Errorf("workload: %s step %d frees persistent tensor %q", phase, i, p.Tensors[s.Tensor].Name)
+				}
+				delete(alive, s.Tensor)
+			case StepLaunch:
+				if s.Kernel == nil {
+					return fmt.Errorf("workload: %s step %d has nil kernel", phase, i)
+				}
+				for _, a := range s.Kernel.Accesses {
+					if !alive[a.Tensor] {
+						return fmt.Errorf("workload: %s step %d kernel %q accesses dead tensor %d",
+							phase, i, s.Kernel.Name, a.Tensor)
+					}
+					if a.Fraction < 0 || a.Fraction > 1 {
+						return fmt.Errorf("workload: kernel %q has fraction %f out of range", s.Kernel.Name, a.Fraction)
+					}
+				}
+			}
+		}
+		return nil
+	}
+	if err := check(p.Setup, "setup"); err != nil {
+		return nil, err
+	}
+	if err := check(p.Iteration, "iteration"); err != nil {
+		return nil, err
+	}
+	// Transient tensors must not leak across iterations: everything
+	// allocated in the iteration must be freed in it.
+	for id, live := range alive {
+		if live && !p.Tensors[id].Persistent {
+			return nil, fmt.Errorf("workload: transient tensor %q leaks across iterations", p.Tensors[id].Name)
+		}
+	}
+	return &p, nil
+}
+
+// FootprintBytes returns the peak memory footprint of the program: the
+// persistent bytes plus the maximum concurrently-live transient bytes over
+// one iteration.
+func (p *Program) FootprintBytes() int64 {
+	var persistent int64
+	live := map[TensorID]bool{}
+	for _, t := range p.Tensors {
+		if t.Persistent {
+			persistent += t.Bytes
+			live[t.ID] = true
+		}
+	}
+	var cur, peak int64
+	for _, s := range p.Iteration {
+		switch s.Kind {
+		case StepAlloc:
+			if !live[s.Tensor] {
+				live[s.Tensor] = true
+				cur += p.Tensors[s.Tensor].Bytes
+				if cur > peak {
+					peak = cur
+				}
+			}
+		case StepFree:
+			if live[s.Tensor] {
+				delete(live, s.Tensor)
+				cur -= p.Tensors[s.Tensor].Bytes
+			}
+		}
+	}
+	return persistent + peak
+}
+
+// Kernels returns the number of kernel launches per iteration.
+func (p *Program) Kernels() int {
+	n := 0
+	for _, s := range p.Iteration {
+		if s.Kind == StepLaunch {
+			n++
+		}
+	}
+	return n
+}
+
+// TouchedBytes returns the total tensor bytes referenced by kernels in one
+// iteration, counting fractions (irregular accesses use their expected
+// coverage). It approximates the per-iteration data movement demand.
+func (p *Program) TouchedBytes() int64 {
+	var total float64
+	for _, s := range p.Iteration {
+		if s.Kind != StepLaunch {
+			continue
+		}
+		for _, a := range s.Kernel.Accesses {
+			f := a.Fraction
+			if f == 0 {
+				f = 1
+			}
+			total += f * float64(p.Tensors[a.Tensor].Bytes)
+		}
+	}
+	return int64(total)
+}

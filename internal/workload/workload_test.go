@@ -1,0 +1,175 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func validProgram(t *testing.T) *Builder {
+	t.Helper()
+	b := NewBuilder("test", 4)
+	w := b.Tensor("w", 1<<20, Weight, true)
+	a := b.Tensor("a", 2<<20, Activation, false)
+	b.Alloc(a)
+	b.Launch(&Kernel{Name: "fwd", Args: []uint64{1}, FLOPs: 1e6,
+		Accesses: []Access{{Tensor: w}, {Tensor: a, Write: true}}})
+	b.Launch(&Kernel{Name: "bwd", Args: []uint64{2}, FLOPs: 1e6,
+		Accesses: []Access{{Tensor: a}, {Tensor: w, Write: true}}})
+	b.Free(a)
+	return b
+}
+
+func TestBuildValid(t *testing.T) {
+	p, err := validProgram(t).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "test" || p.BatchSize != 4 {
+		t.Fatalf("program header = %+v", p)
+	}
+	if p.Kernels() != 2 {
+		t.Fatalf("kernels = %d", p.Kernels())
+	}
+	if len(p.Setup) != 1 {
+		t.Fatalf("setup steps = %d (persistent tensor must auto-allocate)", len(p.Setup))
+	}
+}
+
+func TestBuildRejectsDanglingAccess(t *testing.T) {
+	b := NewBuilder("bad", 1)
+	a := b.Tensor("a", 1<<20, Activation, false)
+	// Launch before Alloc: accesses a dead tensor.
+	b.Launch(&Kernel{Name: "k", Accesses: []Access{{Tensor: a}}})
+	if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "dead tensor") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestBuildRejectsDoubleAlloc(t *testing.T) {
+	b := NewBuilder("bad", 1)
+	a := b.Tensor("a", 1<<20, Activation, false)
+	b.Alloc(a)
+	b.Alloc(a)
+	if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "double-allocates") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestBuildRejectsFreeOfDead(t *testing.T) {
+	b := NewBuilder("bad", 1)
+	a := b.Tensor("a", 1<<20, Activation, false)
+	b.Free(a)
+	if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "frees dead") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestBuildRejectsFreeOfPersistent(t *testing.T) {
+	b := NewBuilder("bad", 1)
+	w := b.Tensor("w", 1<<20, Weight, true)
+	b.Free(w)
+	if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "persistent") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestBuildRejectsLeak(t *testing.T) {
+	b := NewBuilder("bad", 1)
+	a := b.Tensor("a", 1<<20, Activation, false)
+	b.Alloc(a) // never freed
+	if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "leaks") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestBuildRejectsBadFraction(t *testing.T) {
+	b := NewBuilder("bad", 1)
+	w := b.Tensor("w", 1<<20, Weight, true)
+	b.Launch(&Kernel{Name: "k", Accesses: []Access{{Tensor: w, Fraction: 1.5}}})
+	if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "fraction") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestBuildRejectsNilKernel(t *testing.T) {
+	b := NewBuilder("bad", 1)
+	b.Launch(nil)
+	if _, err := b.Build(); err == nil {
+		t.Fatal("nil kernel must fail")
+	}
+}
+
+func TestFootprintBytes(t *testing.T) {
+	p, err := validProgram(t).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Weight (1 MiB persistent) + peak transient (2 MiB activation).
+	if got := p.FootprintBytes(); got != 3<<20 {
+		t.Fatalf("footprint = %d, want 3MiB", got)
+	}
+}
+
+func TestTouchedBytes(t *testing.T) {
+	p, err := validProgram(t).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// fwd touches w (1 MiB) + a (2 MiB); bwd the same: 6 MiB total.
+	if got := p.TouchedBytes(); got != 6<<20 {
+		t.Fatalf("touched = %d, want 6MiB", got)
+	}
+}
+
+func TestTensorKindString(t *testing.T) {
+	kinds := map[TensorKind]string{
+		Weight: "weight", Gradient: "gradient", OptState: "optstate",
+		Activation: "activation", Workspace: "workspace", Input: "input",
+		TensorKind(99): "unknown",
+	}
+	for k, want := range kinds {
+		if k.String() != want {
+			t.Fatalf("%d.String() = %q, want %q", k, k.String(), want)
+		}
+	}
+}
+
+// TestFootprintQuick: the footprint is always at least the persistent bytes
+// and at most the total of all tensors, for random well-formed alloc/free
+// interleavings.
+func TestFootprintQuick(t *testing.T) {
+	f := func(sizes []uint16) bool {
+		if len(sizes) == 0 {
+			return true
+		}
+		b := NewBuilder("q", 1)
+		var total, persistent int64
+		var transient []TensorID
+		for i, s := range sizes {
+			bytes := int64(s%256+1) * 4096
+			total += bytes
+			if i%3 == 0 {
+				persistent += bytes
+				b.Tensor("p", bytes, Weight, true)
+			} else {
+				transient = append(transient, b.Tensor("t", bytes, Activation, false))
+			}
+		}
+		for _, id := range transient {
+			b.Alloc(id)
+		}
+		for _, id := range transient {
+			b.Free(id)
+		}
+		p, err := b.Build()
+		if err != nil {
+			return false
+		}
+		fp := p.FootprintBytes()
+		return fp >= persistent && fp <= total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

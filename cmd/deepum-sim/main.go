@@ -10,6 +10,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 
 	"deepum"
 	"deepum/internal/sim"
@@ -27,8 +28,11 @@ func main() {
 		degree  = flag.Int("degree", 32, "prefetch degree N (deepum only)")
 		gpu16   = flag.Bool("v100-16g", false, "use the 16 GiB V100 configuration")
 		seed    = flag.Int64("seed", 1, "irregular-access seed")
+		chaosSc = flag.String("chaos", "", "fault-injection scenario (see -chaos-list)")
+		chaosSd = flag.Int64("chaos-seed", 0, "injection seed (0 reuses -seed)")
 		listM   = flag.Bool("models", false, "list model names and exit")
 		listS   = flag.Bool("systems", false, "list system names and exit")
+		listC   = flag.Bool("chaos-list", false, "list chaos scenarios and exit")
 	)
 	flag.Parse()
 
@@ -44,6 +48,18 @@ func main() {
 		}
 		return
 	}
+	if *listC {
+		scs := deepum.ChaosScenarios()
+		names := make([]string, 0, len(scs))
+		for n := range scs {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Printf("%-18s %s\n", n, scs[n])
+		}
+		return
+	}
 
 	cfg := deepum.DefaultConfig()
 	cfg.System = deepum.System(*system)
@@ -52,6 +68,8 @@ func main() {
 	cfg.Warmup = *warmup
 	cfg.Seed = *seed
 	cfg.Driver.Degree = *degree
+	cfg.Chaos = *chaosSc
+	cfg.ChaosSeed = *chaosSd
 	if *gpu16 {
 		cfg.Machine = deepum.V100_16GB()
 	}
@@ -82,5 +100,12 @@ func main() {
 	if res.CorrelationTableBytes > 0 {
 		fmt.Printf("tables     %.1f MiB correlation tables (%d prefetches issued, %d useful)\n",
 			float64(res.CorrelationTableBytes)/float64(sim.MiB), res.PrefetchIssued, res.PrefetchUseful)
+	}
+	if *chaosSc != "" && *chaosSc != "none" {
+		cs := res.ChaosStats
+		fmt.Printf("chaos      %s: %d transfer failures, %d demand retries, %d prefetch retries (%d gave up)\n",
+			*chaosSc, cs.TransferFailures, cs.DemandRetries, cs.PrefetchRetries, cs.PrefetchGiveUps)
+		fmt.Printf("           %d batch caps, %d dropped + %d duped notifies, %d migrator stalls, %d pressure windows\n",
+			cs.BatchCapHits, cs.DroppedNotifies, cs.DupNotifies, cs.MigratorStalls, cs.PressureWindows)
 	}
 }

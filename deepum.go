@@ -28,6 +28,7 @@ import (
 	"fmt"
 
 	"deepum/internal/baselines"
+	"deepum/internal/chaos"
 	"deepum/internal/core"
 	"deepum/internal/correlation"
 	"deepum/internal/engine"
@@ -92,6 +93,13 @@ type Config struct {
 	Iterations, Warmup int
 	// Seed drives input-dependent (irregular) access sampling.
 	Seed int64
+	// Chaos names a fault-injection scenario (see ChaosScenarios); empty or
+	// "none" runs clean. Chaos applies to the UM-side systems only — the
+	// tensor-level baselines do not model the UM substrate it perturbs.
+	Chaos string
+	// ChaosSeed seeds the injection PRNG; 0 reuses Seed, so a run is fully
+	// reproducible from (Seed, Chaos) alone.
+	ChaosSeed int64
 }
 
 // DefaultConfig returns the paper's headline configuration: DeepUM with all
@@ -127,6 +135,22 @@ type Result struct {
 	// PrefetchIssued and PrefetchUseful count driver prefetch commands and
 	// those that served a later access (SystemDeepUM only).
 	PrefetchIssued, PrefetchUseful int64
+	// ChaosStats counts injected perturbations and how the run degraded;
+	// all zero when Config.Chaos was empty or "none".
+	ChaosStats ChaosStats
+}
+
+// ChaosStats re-exports the fault-injection counters.
+type ChaosStats = chaos.Stats
+
+// ChaosScenarios returns the named fault-injection scenarios as name ->
+// description, for Config.Chaos and deepum-sim -chaos.
+func ChaosScenarios() map[string]string {
+	out := map[string]string{}
+	for _, s := range chaos.Scenarios() {
+		out[s.Name] = s.Description
+	}
+	return out
 }
 
 // Train simulates training the workload under the configured system. It
@@ -134,6 +158,9 @@ type Result struct {
 // the tensor-level baselines, host backing-store exhaustion for the UM-side
 // systems, or an unsupported model (vDNN on non-CNNs).
 func Train(w Workload, cfg Config) (*Result, error) {
+	if w.Batch <= 0 {
+		return nil, fmt.Errorf("deepum: batch size must be positive, got %d", w.Batch)
+	}
 	if cfg.System == "" {
 		cfg.System = SystemDeepUM
 	}
@@ -150,6 +177,14 @@ func Train(w Workload, cfg Config) (*Result, error) {
 		cfg.Machine = sim.DefaultParams()
 	}
 	params := cfg.Machine.Scale(cfg.Scale)
+	if params.GPUMemory < sim.BlockSize {
+		return nil, fmt.Errorf("deepum: scaled GPU memory %d bytes is smaller than one %d-byte UM block (GPUMemory %d at scale 1/%d); raise Machine.GPUMemory or lower Scale",
+			params.GPUMemory, int64(sim.BlockSize), cfg.Machine.GPUMemory, cfg.Scale)
+	}
+	scenario, err := chaos.ByName(cfg.Chaos)
+	if err != nil {
+		return nil, fmt.Errorf("deepum: %w", err)
+	}
 	prog, err := models.Build(models.Spec{Model: w.Model, Dataset: w.Dataset}, w.Batch, cfg.Scale)
 	if err != nil {
 		return nil, err
@@ -165,8 +200,19 @@ func Train(w Workload, cfg Config) (*Result, error) {
 			if !drv.Prefetch && !drv.Preevict && !drv.Invalidate {
 				drv = core.DefaultOptions()
 			}
+			if drv.Prefetch && drv.Degree < 1 {
+				return nil, fmt.Errorf("deepum: prefetch degree must be >= 1, got %d (the paper sweeps 1-128, headline N=32)", drv.Degree)
+			}
 		case SystemIdeal:
 			policy = engine.PolicyIdeal
+		}
+		var inj *chaos.Injector
+		if scenario.Active() {
+			seed := cfg.ChaosSeed
+			if seed == 0 {
+				seed = cfg.Seed
+			}
+			inj = chaos.NewInjector(scenario, seed)
 		}
 		r, err := engine.Run(engine.Config{
 			Params:        params,
@@ -176,6 +222,7 @@ func Train(w Workload, cfg Config) (*Result, error) {
 			Iterations:    cfg.Iterations,
 			Warmup:        cfg.Warmup,
 			Seed:          cfg.Seed,
+			Chaos:         inj,
 		})
 		if err != nil {
 			return nil, err
@@ -192,8 +239,12 @@ func Train(w Workload, cfg Config) (*Result, error) {
 			CorrelationTableBytes:  r.DriverTableBytes,
 			PrefetchIssued:         r.Driver.PrefetchIssued,
 			PrefetchUseful:         r.Driver.PrefetchUseful,
+			ChaosStats:             r.Chaos,
 		}, nil
 	default:
+		if scenario.Active() {
+			return nil, fmt.Errorf("deepum: chaos scenario %q applies to the UM-side systems (um, deepum, ideal); %q manages memory at tensor level and has no UM substrate to perturb", scenario.Name, cfg.System)
+		}
 		pl, err := plannerFor(cfg.System)
 		if err != nil {
 			return nil, err

@@ -2,6 +2,7 @@ package deepum
 
 import (
 	"errors"
+	"strings"
 	"testing"
 
 	"deepum/internal/baselines"
@@ -73,6 +74,60 @@ func TestTrainValidation(t *testing.T) {
 	cfg.System = "nonsense"
 	if _, err := Train(Workload{Model: "bert-base", Batch: 8}, cfg); err == nil {
 		t.Fatal("unknown system must error")
+	}
+	for _, batch := range []int64{0, -4} {
+		if _, err := Train(Workload{Model: "bert-base", Batch: batch}, DefaultConfig()); err == nil {
+			t.Fatalf("batch %d must error", batch)
+		} else if !strings.Contains(err.Error(), "batch") {
+			t.Fatalf("batch error not descriptive: %v", err)
+		}
+	}
+	deg := DefaultConfig()
+	deg.Driver.Degree = -1
+	if _, err := Train(Workload{Model: "bert-base", Batch: 8}, deg); err == nil {
+		t.Fatal("negative prefetch degree must error")
+	} else if !strings.Contains(err.Error(), "degree") {
+		t.Fatalf("degree error not descriptive: %v", err)
+	}
+	tiny := DefaultConfig()
+	tiny.Machine.GPUMemory = 1 << 20 // below one 2 MiB UM block before scaling
+	if _, err := Train(Workload{Model: "bert-base", Batch: 8}, tiny); err == nil {
+		t.Fatal("GPU memory below one UM block must error")
+	} else if !strings.Contains(err.Error(), "UM block") {
+		t.Fatalf("GPU-memory error not descriptive: %v", err)
+	}
+}
+
+func TestTrainChaosWiring(t *testing.T) {
+	w := Workload{Model: "bert-large", Batch: 16}
+	cfg := testConfig(SystemDeepUM)
+	cfg.Chaos = "flaky-link"
+	res, err := Train(w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ChaosStats.TransferFailures == 0 {
+		t.Fatalf("chaos scenario ran but injected nothing: %+v", res.ChaosStats)
+	}
+	clean, err := Train(w, testConfig(SystemDeepUM))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.ChaosStats != (ChaosStats{}) {
+		t.Fatalf("clean run reports chaos stats: %+v", clean.ChaosStats)
+	}
+	bad := testConfig(SystemDeepUM)
+	bad.Chaos = "no-such-scenario"
+	if _, err := Train(w, bad); err == nil {
+		t.Fatal("unknown chaos scenario must error")
+	}
+	baseline := testConfig(SystemLMS)
+	baseline.Chaos = "flaky-link"
+	if _, err := Train(w, baseline); err == nil {
+		t.Fatal("chaos on a tensor-level baseline must error")
+	}
+	if len(ChaosScenarios()) < 7 {
+		t.Fatalf("scenarios = %v", ChaosScenarios())
 	}
 }
 

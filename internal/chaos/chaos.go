@@ -1,0 +1,240 @@
+// Package chaos is a deterministic, seeded fault-injection layer for the
+// DeepUM reproduction. It perturbs every substrate the simulation is built
+// on — link bandwidth and latency (degradation, jitter), transfer
+// reliability (transient failures the migration engine must retry), the
+// fault-handling path (fault-buffer overflow, dropped and duplicated fault
+// notifications to the driver), host-memory pressure spikes, correlation-
+// table capacity, and the migration thread's responsiveness — so the engine
+// can demonstrate the paper's central resilience claim: a driver-level
+// prefetcher whose predictions fail merely loses speed, never correctness
+// (§6.2 DLRM, §6.4 host-memory wall).
+//
+// All injection decisions come from one seeded PRNG consulted in simulation
+// order, so a run under any scenario is exactly reproducible: same seed,
+// same scenario, byte-identical event trace. The package also houses the
+// always-on invariant checker (invariants.go) the engine runs under every
+// scenario, and a real-time injector for the concurrent pipeline
+// (pipeline.go).
+package chaos
+
+import (
+	"math/rand"
+
+	"deepum/internal/correlation"
+	"deepum/internal/sim"
+)
+
+// Stats counts the perturbations an Injector delivered and how the
+// consumers degraded. All counters are written from the single simulation
+// goroutine.
+type Stats struct {
+	TransferFailures int64        // transfers that transiently failed
+	DemandRetries    int64        // demand-migration retry attempts
+	PrefetchRetries  int64        // prefetch retry attempts
+	PrefetchGiveUps  int64        // prefetches abandoned to on-demand faulting
+	BackoffTime      sim.Duration // virtual time spent backing off
+	BatchCapHits     int64        // fault batches truncated by buffer overflow
+	DroppedNotifies  int64        // fault notifications the driver never saw
+	DupNotifies      int64        // fault notifications delivered twice
+	MigratorStalls   int64        // injected migration-thread stalls
+	StallTime        sim.Duration // total injected stall time
+	PressureWindows  int64        // transfers slowed by a host-pressure spike
+}
+
+// Injector perturbs a simulated run according to one Scenario. It
+// implements sim.TransferPerturber for the link-level faults and exposes
+// query methods the engine consults on the fault and migration paths.
+// It is not safe for concurrent use: the discrete-event engine is
+// single-threaded, which is what keeps injection deterministic.
+type Injector struct {
+	sc  Scenario
+	rng *rand.Rand
+
+	// consecFails bounds how many transfer failures can occur in a row, so
+	// a retry loop in the migration engine always terminates.
+	consecFails int
+
+	Stats Stats
+}
+
+// NewInjector returns an injector for the scenario, with every decision
+// drawn from a PRNG seeded by seed.
+func NewInjector(sc Scenario, seed int64) *Injector {
+	sc = sc.withDefaults()
+	return &Injector{sc: sc, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Scenario returns the scenario the injector was built from.
+func (in *Injector) Scenario() Scenario { return in.sc }
+
+// PerturbTransfer implements sim.TransferPerturber: it returns the perturbed
+// occupancy for a transfer of n bytes whose unperturbed duration is base,
+// and whether the transfer transiently fails (the attempt still occupies
+// the link; the caller retries). A nil *Injector perturbs nothing.
+func (in *Injector) PerturbTransfer(at sim.Time, n int64, dir sim.Direction, base sim.Duration) (sim.Duration, bool) {
+	if in == nil {
+		return base, false
+	}
+	d := base
+	if in.sc.LinkDegradeFactor > 1 {
+		d = sim.Duration(float64(d) * in.sc.LinkDegradeFactor)
+	}
+	if in.sc.LinkJitterFrac > 0 {
+		// Uniform jitter in [-frac, +frac] around the (possibly degraded)
+		// duration; never below zero.
+		j := 1 + in.sc.LinkJitterFrac*(2*in.rng.Float64()-1)
+		if j < 0 {
+			j = 0
+		}
+		d = sim.Duration(float64(d) * j)
+	}
+	if f := in.hostPressure(at); f > 1 {
+		d = sim.Duration(float64(d) * f)
+		in.Stats.PressureWindows++
+	}
+	fail := false
+	if in.sc.TransferFailProb > 0 && in.consecFails < in.sc.MaxConsecutiveFails &&
+		in.rng.Float64() < in.sc.TransferFailProb {
+		fail = true
+		in.consecFails++
+		in.Stats.TransferFailures++
+	} else {
+		in.consecFails = 0
+	}
+	return d, fail
+}
+
+// hostPressure returns the transfer slowdown factor active at virtual time
+// at: during a pressure spike the host's memory subsystem is saturated and
+// every UM transfer runs slower.
+func (in *Injector) hostPressure(at sim.Time) float64 {
+	if in.sc.HostPressureFactor <= 1 || in.sc.HostPressurePeriod <= 0 {
+		return 1
+	}
+	phase := sim.Duration(at) % in.sc.HostPressurePeriod
+	if phase < in.sc.HostPressureDuration {
+		return in.sc.HostPressureFactor
+	}
+	return 1
+}
+
+// FaultBatchCap returns the effective number of UM blocks one fault-handling
+// cycle may cover, modeling fault-buffer overflow: entries beyond the cap
+// are replayed in the next cycle, exactly as a full hardware buffer stalls
+// the SMs into retrying.
+func (in *Injector) FaultBatchCap(base int) int {
+	if in == nil || in.sc.FaultBatchCap <= 0 || in.sc.FaultBatchCap >= base {
+		return base
+	}
+	in.Stats.BatchCapHits++
+	return in.sc.FaultBatchCap
+}
+
+// DropNotify reports whether the next fault notification to the driver is
+// lost (interrupt coalescing under pressure). The block is still served by
+// the handler — only the driver's learning is perturbed.
+func (in *Injector) DropNotify() bool {
+	if in == nil || in.sc.DropNotifyProb <= 0 {
+		return false
+	}
+	if in.rng.Float64() < in.sc.DropNotifyProb {
+		in.Stats.DroppedNotifies++
+		return true
+	}
+	return false
+}
+
+// DupNotify reports whether the next fault notification is delivered twice
+// (a replayed interrupt): consumers must tolerate duplicates without
+// corrupting their tables or queues.
+func (in *Injector) DupNotify() bool {
+	if in == nil || in.sc.DupNotifyProb <= 0 {
+		return false
+	}
+	if in.rng.Float64() < in.sc.DupNotifyProb {
+		in.Stats.DupNotifies++
+		return true
+	}
+	return false
+}
+
+// MigratorStall returns how long the migration thread is unresponsive after
+// the current kernel launch (scheduling pressure on the host CPU); zero
+// when no stall is injected.
+func (in *Injector) MigratorStall() sim.Duration {
+	if in == nil || in.sc.MigratorStallProb <= 0 {
+		return 0
+	}
+	if in.rng.Float64() < in.sc.MigratorStallProb {
+		in.Stats.MigratorStalls++
+		in.Stats.StallTime += in.sc.MigratorStallTime
+		return in.sc.MigratorStallTime
+	}
+	return 0
+}
+
+// ShrinkTables applies the scenario's correlation-table capacity pressure:
+// row count divided by TableRowsDivisor (floor 1), modeling a driver built
+// with far less CPU memory for tables than Table 4 budgets.
+func (in *Injector) ShrinkTables(cfg correlation.BlockTableConfig) correlation.BlockTableConfig {
+	if in == nil || in.sc.TableRowsDivisor <= 1 {
+		return cfg
+	}
+	cfg.NumRows /= in.sc.TableRowsDivisor
+	if cfg.NumRows < 1 {
+		cfg.NumRows = 1
+	}
+	return cfg
+}
+
+// Retry/backoff policy shared by the migration engine's consumers. Backoff
+// is exponential in virtual time and bounded, so a flaky link degrades
+// throughput without ever wedging the clock.
+const (
+	// RetryBackoffBase is the virtual-time wait before the first retry.
+	RetryBackoffBase = 10 * sim.Duration(1000) // 10us
+	// MaxPrefetchRetries bounds retries for background prefetch transfers;
+	// past it the command is abandoned and the block falls back to
+	// on-demand faulting (correct, merely slower).
+	MaxPrefetchRetries = 3
+	// MaxDemandRetries bounds retries on the demand path. The injector's
+	// MaxConsecutiveFails guarantee means this bound is never reached, but
+	// the handler enforces it anyway: past it the transfer is taken as
+	// delivered (a real driver would reset the link) so forward progress
+	// is unconditional.
+	MaxDemandRetries = 16
+)
+
+// Backoff returns the bounded exponential backoff before retry attempt
+// (0-indexed), and records it in the stats.
+func (in *Injector) Backoff(attempt int) sim.Duration {
+	if attempt > 6 {
+		attempt = 6
+	}
+	d := RetryBackoffBase << attempt
+	if in != nil {
+		in.Stats.BackoffTime += d
+	}
+	return d
+}
+
+// NoteDemandRetry counts one demand-path retry attempt.
+func (in *Injector) NoteDemandRetry() {
+	if in != nil {
+		in.Stats.DemandRetries++
+	}
+}
+
+// NotePrefetchRetry counts one prefetch retry attempt.
+func (in *Injector) NotePrefetchRetry() {
+	if in != nil {
+		in.Stats.PrefetchRetries++
+	}
+}
+
+// NotePrefetchGiveUp counts one abandoned prefetch command.
+func (in *Injector) NotePrefetchGiveUp() {
+	if in != nil {
+		in.Stats.PrefetchGiveUps++
+	}
+}

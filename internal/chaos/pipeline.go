@@ -1,0 +1,95 @@
+package chaos
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// PipelineInjector perturbs the concurrent four-goroutine pipeline
+// (internal/pipeline) in real time: stage stalls (a descheduled kernel
+// thread), and dropped or duplicated fault notifications on the lossy
+// correlator path. Unlike Injector it is called from multiple goroutines,
+// so its PRNG is mutex-protected; it satisfies pipeline.Chaos by method
+// set, with no package dependency in either direction.
+type PipelineInjector struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	stallProb float64
+	stall     time.Duration
+	dropProb  float64
+	dupProb   float64
+
+	stalls  int64
+	drops   int64
+	dups    int64
+}
+
+// NewPipelineInjector builds a real-time injector from the scenario's
+// fault-path and migrator-stall settings, seeded deterministically (the
+// decision sequence is deterministic; its interleaving with the pipeline's
+// goroutines is not, which is exactly the regime the -race stress tests
+// exercise).
+func NewPipelineInjector(sc Scenario, seed int64) *PipelineInjector {
+	sc = sc.withDefaults()
+	return &PipelineInjector{
+		rng:       rand.New(rand.NewSource(seed)),
+		stallProb: sc.MigratorStallProb,
+		stall:     time.Duration(sc.MigratorStallTime),
+		dropProb:  sc.DropNotifyProb,
+		dupProb:   sc.DupNotifyProb,
+	}
+}
+
+func (p *PipelineInjector) roll(prob float64) bool {
+	if p == nil || prob <= 0 {
+		return false
+	}
+	p.mu.Lock()
+	hit := p.rng.Float64() < prob
+	p.mu.Unlock()
+	return hit
+}
+
+// StageDelay returns how long the named stage ("correlator", "migration")
+// should stall before its next unit of work; zero for no stall.
+func (p *PipelineInjector) StageDelay(stage string) time.Duration {
+	if p.roll(p.stallProb) {
+		p.mu.Lock()
+		p.stalls++
+		p.mu.Unlock()
+		return p.stall
+	}
+	return 0
+}
+
+// DropFault reports whether the next correlator-bound fault event is lost.
+func (p *PipelineInjector) DropFault() bool {
+	if p.roll(p.dropProb) {
+		p.mu.Lock()
+		p.drops++
+		p.mu.Unlock()
+		return true
+	}
+	return false
+}
+
+// DupFault reports whether the next correlator-bound fault event is
+// delivered twice.
+func (p *PipelineInjector) DupFault() bool {
+	if p.roll(p.dupProb) {
+		p.mu.Lock()
+		p.dups++
+		p.mu.Unlock()
+		return true
+	}
+	return false
+}
+
+// Counts returns (stalls, drops, dups) delivered so far.
+func (p *PipelineInjector) Counts() (stalls, drops, dups int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stalls, p.drops, p.dups
+}

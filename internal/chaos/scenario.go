@@ -1,0 +1,191 @@
+package chaos
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"deepum/internal/sim"
+)
+
+// Scenario is one named perturbation regime. The zero value injects
+// nothing; fields compose freely, and every named scenario below stresses
+// one substrate the related UVM literature identifies as a failure regime
+// (oversubscription pressure, fault-buffer overflow, link contention).
+type Scenario struct {
+	Name        string
+	Description string
+
+	// --- link degradation and transfer reliability ---
+
+	// LinkDegradeFactor multiplies every transfer's occupancy (>1 degrades;
+	// e.g. a link renegotiated to fewer lanes). 0 or 1 disables.
+	LinkDegradeFactor float64
+	// LinkJitterFrac adds uniform +/- jitter of this fraction to every
+	// transfer's occupancy (shared-switch contention). 0 disables.
+	LinkJitterFrac float64
+	// TransferFailProb is the per-transfer probability of a transient
+	// failure: the attempt occupies the link, delivers nothing, and the
+	// migration engine retries with exponential backoff.
+	TransferFailProb float64
+	// MaxConsecutiveFails bounds failures in a row, guaranteeing every
+	// retry loop terminates. Defaults to 4 when TransferFailProb > 0.
+	MaxConsecutiveFails int
+
+	// --- fault-handling path ---
+
+	// FaultBatchCap caps UM blocks per fault-handling cycle (fault-buffer
+	// overflow: excess entries replay in the next cycle). 0 disables.
+	FaultBatchCap int
+	// DropNotifyProb is the probability a per-block fault notification to
+	// the DeepUM driver is lost; the block is still served, the tables
+	// just do not learn from it.
+	DropNotifyProb float64
+	// DupNotifyProb is the probability a notification is delivered twice.
+	DupNotifyProb float64
+
+	// --- host-memory pressure ---
+
+	// HostPressureFactor slows transfers during periodic pressure spikes
+	// (host under memory reclaim); 0 or 1 disables.
+	HostPressureFactor float64
+	// HostPressurePeriod and HostPressureDuration shape the spike train:
+	// every period, transfers run HostPressureFactor times slower for the
+	// first HostPressureDuration.
+	HostPressurePeriod   sim.Duration
+	HostPressureDuration sim.Duration
+
+	// --- correlation-table capacity pressure ---
+
+	// TableRowsDivisor divides the block-table row count (conflict-miss
+	// pressure on the correlation tables). 0 or 1 disables.
+	TableRowsDivisor int
+
+	// --- migration-thread responsiveness ---
+
+	// MigratorStallProb is the per-kernel-launch probability the migration
+	// thread is descheduled for MigratorStallTime before serving commands.
+	MigratorStallProb float64
+	MigratorStallTime sim.Duration
+}
+
+// withDefaults fills derived defaults.
+func (s Scenario) withDefaults() Scenario {
+	if s.TransferFailProb > 0 && s.MaxConsecutiveFails <= 0 {
+		s.MaxConsecutiveFails = 4
+	}
+	return s
+}
+
+// ScenarioNone is the name of the identity scenario.
+const ScenarioNone = "none"
+
+// builtin returns the named scenario table. A fresh slice each call so
+// callers can't corrupt the registry.
+func builtin() []Scenario {
+	return []Scenario{
+		{
+			Name:        ScenarioNone,
+			Description: "no injection (baseline)",
+		},
+		{
+			Name:              "flaky-link",
+			Description:       "5% transient transfer failures plus 10% jitter; migration engine retries with backoff",
+			TransferFailProb:  0.05,
+			LinkJitterFrac:    0.10,
+			MaxConsecutiveFails: 4,
+		},
+		{
+			Name:              "degraded-link",
+			Description:       "link at quarter bandwidth with 25% jitter (lane renegotiation / switch contention)",
+			LinkDegradeFactor: 4,
+			LinkJitterFrac:    0.25,
+		},
+		{
+			Name:           "fault-storm",
+			Description:    "fault-buffer overflow (4-block cycles) with 20% dropped and 10% duplicated driver notifications",
+			FaultBatchCap:  4,
+			DropNotifyProb: 0.20,
+			DupNotifyProb:  0.10,
+		},
+		{
+			Name:                 "host-pressure",
+			Description:          "periodic host-memory pressure spikes: transfers 6x slower for 300us of every 1ms",
+			HostPressureFactor:   6,
+			HostPressurePeriod:   sim.Duration(1 * time.Millisecond),
+			HostPressureDuration: sim.Duration(300 * time.Microsecond),
+		},
+		{
+			Name:             "tiny-tables",
+			Description:      "correlation-table capacity pressure: block-table rows divided by 16",
+			TableRowsDivisor: 16,
+		},
+		{
+			Name:              "stalled-migrator",
+			Description:       "migration thread descheduled for 200us after 30% of kernel launches",
+			MigratorStallProb: 0.30,
+			MigratorStallTime: sim.Duration(200 * time.Microsecond),
+		},
+		{
+			Name:        "everything",
+			Description: "all perturbations at moderate intensity",
+
+			LinkDegradeFactor:   2,
+			LinkJitterFrac:      0.10,
+			TransferFailProb:    0.02,
+			MaxConsecutiveFails: 3,
+
+			FaultBatchCap:  8,
+			DropNotifyProb: 0.10,
+			DupNotifyProb:  0.05,
+
+			HostPressureFactor:   3,
+			HostPressurePeriod:   sim.Duration(2 * time.Millisecond),
+			HostPressureDuration: sim.Duration(400 * time.Microsecond),
+
+			TableRowsDivisor: 4,
+
+			MigratorStallProb: 0.15,
+			MigratorStallTime: sim.Duration(100 * time.Microsecond),
+		},
+	}
+}
+
+// Scenarios returns every named scenario, the identity scenario first and
+// the rest sorted by name.
+func Scenarios() []Scenario {
+	s := builtin()
+	sort.Slice(s[1:], func(i, j int) bool { return s[1+i].Name < s[1+j].Name })
+	return s
+}
+
+// Names returns the scenario names in Scenarios order.
+func Names() []string {
+	all := Scenarios()
+	out := make([]string, len(all))
+	for i, s := range all {
+		out[i] = s.Name
+	}
+	return out
+}
+
+// ByName resolves a scenario; the empty string resolves to "none".
+func ByName(name string) (Scenario, error) {
+	if name == "" {
+		name = ScenarioNone
+	}
+	for _, s := range builtin() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Scenario{}, fmt.Errorf("chaos: unknown scenario %q (have %v)", name, Names())
+}
+
+// Active reports whether the scenario perturbs anything.
+func (s Scenario) Active() bool {
+	return s.LinkDegradeFactor > 1 || s.LinkJitterFrac > 0 || s.TransferFailProb > 0 ||
+		s.FaultBatchCap > 0 || s.DropNotifyProb > 0 || s.DupNotifyProb > 0 ||
+		(s.HostPressureFactor > 1 && s.HostPressurePeriod > 0) ||
+		s.TableRowsDivisor > 1 || s.MigratorStallProb > 0
+}

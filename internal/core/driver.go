@@ -11,6 +11,8 @@
 package core
 
 import (
+	"fmt"
+
 	"deepum/internal/correlation"
 	"deepum/internal/sim"
 	"deepum/internal/um"
@@ -391,6 +393,39 @@ func (d *Driver) TakeQueued(b um.BlockID) bool {
 
 // PendingPrefetches returns the prefetch-queue depth.
 func (d *Driver) PendingPrefetches() int { return d.qlen() }
+
+// ProtectedCount returns the size of the predicted (protected) set.
+func (d *Driver) ProtectedCount() int { return len(d.protected) }
+
+// CheckInvariants audits the driver's queue and protection bookkeeping; the
+// chaos invariant checker runs it at iteration boundaries under every
+// scenario. It verifies the queue indices are coherent, every entry of the
+// dedup map corresponds to a live queue command (a stale entry would
+// silently swallow future prefetches for that block), and the protected set
+// respects the capacity throttle — the "no protected block silently lost"
+// accounting: protection is only ever granted alongside a queued command,
+// and NoteEviction re-queues any protected block evicted under pressure.
+func (d *Driver) CheckInvariants() error {
+	if d.head < 0 || d.head > len(d.queue) {
+		return fmt.Errorf("core: invariant violated: queue head %d out of range [0,%d]", d.head, len(d.queue))
+	}
+	live := make(map[um.BlockID]struct{}, d.qlen())
+	for i := d.head; i < len(d.queue); i++ {
+		live[d.queue[i].Block] = struct{}{}
+	}
+	for b := range d.queued {
+		if _, ok := live[b]; !ok {
+			return fmt.Errorf("core: invariant violated: block %d marked queued but has no live queue entry", b)
+		}
+	}
+	if d.opts.CapacityBytes > 0 {
+		limit := d.opts.CapacityBytes * 4 / sim.BlockSize
+		if int64(len(d.protected)) > limit {
+			return fmt.Errorf("core: invariant violated: protected set %d exceeds capacity throttle %d", len(d.protected), limit)
+		}
+	}
+	return nil
+}
 
 // BeginIteration clears the protected set; the engine calls it at iteration
 // boundaries so stale predictions do not pin blocks forever.

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"deepum/internal/chaos"
 	"deepum/internal/core"
 	"deepum/internal/correlation"
 	"deepum/internal/sim"
@@ -72,6 +73,13 @@ type Config struct {
 	// Tracer, when set, records the run's event stream (launches, faults,
 	// migrations, evictions, prefetches, stalls) for offline analysis.
 	Tracer *trace.Recorder
+	// Chaos, when set, perturbs the run: link degradation and jitter,
+	// transient transfer failures (retried with backoff; prefetches give up
+	// and fall back to on-demand faulting), fault-buffer overflow, dropped
+	// and duplicated driver notifications, host-pressure spikes, and
+	// migration-thread stalls. Injection is deterministic per injector seed.
+	// The invariant checker runs regardless of whether Chaos is set.
+	Chaos *chaos.Injector
 }
 
 // Result aggregates the measurements of a run.
@@ -98,6 +106,9 @@ type Result struct {
 	TrafficH2D, TrafficD2H int64
 	PeakAllocBytes         int64
 	EnergyJoules           float64
+
+	// Chaos reports what the injector delivered; zero without injection.
+	Chaos chaos.Stats
 }
 
 // IterTime returns the mean measured iteration time.
@@ -148,6 +159,7 @@ type exec struct {
 	rt      *umrt.Runtime
 	driver  *core.Driver // nil for PolicyUM / PolicyIdeal
 	rng     *rand.Rand
+	chaos   *chaos.Injector // nil-safe: methods on a nil injector inject nothing
 
 	bases      map[workload.TensorID]um.Addr
 	inputs     []workload.TensorID
@@ -158,6 +170,10 @@ type exec struct {
 	// pending is a prefetch command parked because eviction would have
 	// displaced protected blocks; retried on the next pump.
 	pending *core.PrefetchCommand
+	// evictedInCycle records blocks evicted while the current fault cycle
+	// runs, so the served-invariant check can tell "served then displaced"
+	// (legitimate; the GPU replays) from "silently lost" (a bug).
+	evictedInCycle map[um.BlockID]bool
 
 	now     sim.Time
 	cmdTime sim.Time // when the pending prefetch commands became available
@@ -190,8 +206,12 @@ func newExec(cfg Config) (*exec, error) {
 		linkTL:     linkTL,
 		alloc:      torchalloc.New(space),
 		rng:        rand.New(rand.NewSource(cfg.Seed + 1)),
+		chaos:      cfg.Chaos,
 		bases:      make(map[workload.TensorID]um.Addr),
 		prefetched: make(map[um.BlockID]bool),
+	}
+	if e.chaos != nil {
+		e.link.SetPerturber(e.chaos)
 	}
 	var policy um.EvictionPolicy = um.LRMPolicy{}
 	var invalidator um.Invalidator = um.NoInvalidate{}
@@ -205,6 +225,15 @@ func newExec(cfg Config) (*exec, error) {
 				w = 4
 			}
 			cfg.DriverOptions.TakeWindow = w
+		}
+		if e.chaos != nil {
+			// Table capacity pressure: shrink the row count before the driver
+			// sizes its tables (default the config first so the divisor has
+			// something to act on).
+			if cfg.DriverOptions.TableConfig.NumRows == 0 {
+				cfg.DriverOptions.TableConfig = correlation.DefaultBlockTableConfig()
+			}
+			cfg.DriverOptions.TableConfig = e.chaos.ShrinkTables(cfg.DriverOptions.TableConfig)
 		}
 		e.driver = core.NewDriver(cfg.DriverOptions)
 		policy = e.driver
@@ -227,7 +256,16 @@ func newExec(cfg Config) (*exec, error) {
 	}
 	e.handler.OnMigrated = func(b um.BlockID, at sim.Time) {
 		if e.driver != nil {
-			e.driver.OnFault(b)
+			// Chaos can lose the notification (interrupt coalescing: the
+			// handler served the block but the driver never learns of it) or
+			// deliver it twice (a replayed interrupt; the correlator and
+			// prefetcher must tolerate duplicates without corrupting state).
+			if !e.chaos.DropNotify() {
+				e.driver.OnFault(b)
+				if e.chaos.DupNotify() {
+					e.driver.OnFault(b)
+				}
+			}
 		}
 		if e.tracer != nil {
 			e.tracer.Record(trace.Event{At: at, Kind: trace.KindMigrate, Kernel: e.currentKernel, Block: b})
@@ -235,6 +273,9 @@ func newExec(cfg Config) (*exec, error) {
 	}
 	e.handler.OnEvicted = func(b um.BlockID, invalidated bool) {
 		delete(e.prefetched, b)
+		if e.evictedInCycle != nil {
+			e.evictedInCycle[b] = true
+		}
 		if e.driver != nil {
 			e.driver.NoteEviction(b)
 		}
@@ -314,6 +355,12 @@ func (e *exec) run() (*Result, error) {
 		if err := e.iteration(); err != nil {
 			return nil, err
 		}
+		// Always-on invariant checker: residency accounting balanced, link
+		// timeline well-formed, driver bookkeeping coherent — under every
+		// chaos scenario and under none.
+		if err := e.checkInvariants(); err != nil {
+			return nil, fmt.Errorf("engine: after iteration %d: %w", iter, err)
+		}
 		if iter >= e.cfg.Warmup {
 			res.IterTimes = append(res.IterTimes, e.now.Sub(iterStart))
 		}
@@ -332,8 +379,25 @@ func (e *exec) run() (*Result, error) {
 	res.TrafficH2D, res.TrafficD2H = e.link.Traffic()
 	res.PeakAllocBytes = e.alloc.Stats().PeakActiveBytes
 	res.EnergyJoules = e.energy(res)
+	if e.chaos != nil {
+		res.Chaos = e.chaos.Stats
+		// Demand-path retries live in the handler's stats (um cannot import
+		// chaos); fold them in so Result.Chaos is the complete picture.
+		res.Chaos.DemandRetries += e.handler.Stats.TransferRetries
+		res.Chaos.BackoffTime += e.handler.Stats.RetryStall
+	}
 	_ = p
 	return res, nil
+}
+
+// checkInvariants runs the always-on consistency audit at an iteration
+// boundary.
+func (e *exec) checkInvariants() error {
+	var dc chaos.DriverChecker
+	if e.driver != nil {
+		dc = e.driver
+	}
+	return chaos.CheckAll(e.res, e.linkTL, dc)
 }
 
 // energy integrates the full-system power model over the measured window,
@@ -374,7 +438,9 @@ func (e *exec) iteration() error {
 			}
 			delete(e.bases, s.Tensor)
 		case workload.StepLaunch:
-			e.kernel(s.Kernel)
+			if err := e.kernel(s.Kernel); err != nil {
+				return err
+			}
 		}
 	}
 	return nil
@@ -383,13 +449,18 @@ func (e *exec) iteration() error {
 // kernel simulates one launch: the runtime callback, the faulting walk over
 // the kernel's UM-block accesses, and the roofline compute time, with the
 // migration thread pumping prefetch and pre-eviction work in the background.
-func (e *exec) kernel(k *workload.Kernel) {
+func (e *exec) kernel(k *workload.Kernel) error {
 	id := e.rt.Launch(k.Name, k.Args)
 	e.currentKernel = k.Name
 	if e.tracer != nil {
 		e.tracer.Record(trace.Event{At: e.now, Kind: trace.KindLaunch, Kernel: k.Name, Arg: int64(id)})
 	}
 	e.cmdTime = e.now
+	// An injected migration-thread stall delays when queued commands become
+	// serviceable; demand faults still handle at full priority.
+	if st := e.chaos.MigratorStall(); st > 0 {
+		e.cmdTime = e.cmdTime.Add(st)
+	}
 	e.pump(e.now)
 
 	touches := e.touches(k)
@@ -437,8 +508,11 @@ func (e *exec) kernel(k *workload.Kernel) {
 		// with a timely prefetch command is not part of the batch — its
 		// migration starts as queue work instead.
 		e.groupBuf = e.groupBuf[:0]
+		// Fault-buffer overflow chaos shrinks the cycle: excess entries
+		// replay in the next cycle, as a full hardware buffer forces.
+		batchCap := e.chaos.FaultBatchCap(e.cfg.MaxFaultBatch)
 		j := i
-		for j < len(touches) && len(e.groupBuf) < e.cfg.MaxFaultBatch {
+		for j < len(touches) && len(e.groupBuf) < batchCap {
 			tj := touches[j]
 			if e.space.Block(tj.block).Resident {
 				break
@@ -474,7 +548,17 @@ func (e *exec) kernel(k *workload.Kernel) {
 			e.tracer.Record(trace.Event{At: e.now, Kind: trace.KindFault,
 				Kernel: k.Name, Block: e.groupBuf[0].Block, Arg: pages})
 		}
+		if e.evictedInCycle == nil {
+			e.evictedInCycle = make(map[um.BlockID]bool)
+		} else {
+			clear(e.evictedInCycle)
+		}
 		e.now = e.handler.HandleGroups(e.now, e.groupBuf)
+		// Every access eventually served: a handling cycle may be slowed by
+		// chaos but may never lose a faulted block.
+		if err := chaos.CheckServed(e.space, e.groupBuf, e.evictedInCycle); err != nil {
+			return err
+		}
 		i = j
 	}
 
@@ -486,6 +570,7 @@ func (e *exec) kernel(k *workload.Kernel) {
 	e.rt.Complete(id)
 	e.cmdTime = e.now
 	e.pump(e.now)
+	return nil
 }
 
 // touches expands a kernel's accesses into an ordered UM-block touch list.
@@ -600,7 +685,10 @@ func (e *exec) pump(until sim.Time) {
 		at := sim.Max(e.cmdTime, e.link.BusyUntil(sim.HostToDevice))
 		var ready sim.Time
 		if blk.HostPopulated {
-			_, ready = e.link.Reserve(at, need, sim.HostToDevice)
+			var ok bool
+			if ready, ok = e.prefetchTransfer(at, need); !ok {
+				continue // abandoned: the block falls back to on-demand faulting
+			}
 		} else {
 			ready = at // zero-fill populate: free
 		}
@@ -636,7 +724,10 @@ func (e *exec) materialize(b um.BlockID) {
 	at := sim.Max(e.cmdTime, e.link.BusyUntil(sim.HostToDevice))
 	var ready sim.Time
 	if blk.HostPopulated {
-		_, ready = e.link.Reserve(at, need, sim.HostToDevice)
+		var ok bool
+		if ready, ok = e.prefetchTransfer(at, need); !ok {
+			return // abandoned: the access demand-faults instead
+		}
 	} else {
 		ready = sim.Max(at, e.now)
 	}
@@ -647,6 +738,28 @@ func (e *exec) materialize(b um.BlockID) {
 	}
 	if e.tracer != nil {
 		e.tracer.Record(trace.Event{At: e.now, Kind: trace.KindPrefetch, Kernel: e.currentKernel, Block: b})
+	}
+}
+
+// prefetchTransfer moves a whole block H2D for a prefetch, retrying an
+// injected transient failure with bounded exponential backoff. Unlike the
+// demand path, a prefetch may give up: past MaxPrefetchRetries the command
+// is abandoned and the block is served by an on-demand fault when the GPU
+// reaches it — the graceful-degradation path that keeps a flaky link from
+// wedging the background pipeline. Without injection the first attempt
+// always succeeds.
+func (e *exec) prefetchTransfer(at sim.Time, need int64) (ready sim.Time, ok bool) {
+	for attempt := 0; ; attempt++ {
+		_, end, delivered := e.link.ReserveChecked(at, need, sim.HostToDevice)
+		if delivered {
+			return end, true
+		}
+		if attempt >= chaos.MaxPrefetchRetries {
+			e.chaos.NotePrefetchGiveUp()
+			return end, false
+		}
+		e.chaos.NotePrefetchRetry()
+		at = end.Add(e.chaos.Backoff(attempt))
 	}
 }
 

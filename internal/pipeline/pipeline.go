@@ -3,6 +3,8 @@ package pipeline
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"deepum/internal/correlation"
 	"deepum/internal/um"
@@ -36,12 +38,44 @@ type MigratorFunc func(MigrateCommand)
 // Migrate calls f.
 func (f MigratorFunc) Migrate(cmd MigrateCommand) { f(cmd) }
 
+// Chaos perturbs the pipeline's stages for resilience testing: stage
+// stalls (a descheduled kernel thread) and lossy delivery on the
+// correlator path. chaos.PipelineInjector implements it; the interface
+// lives here so neither package imports the other.
+type Chaos interface {
+	// StageDelay returns how long the named stage ("correlator",
+	// "migration") should sleep before its next unit of work.
+	StageDelay(stage string) time.Duration
+	// DropFault reports whether the next correlator-bound event is lost.
+	DropFault() bool
+	// DupFault reports whether the next correlator-bound event is
+	// delivered twice.
+	DupFault() bool
+}
+
+// Stats is a snapshot of the driver's degradation counters: how often the
+// hardened paths fired. All zero on a healthy run.
+type Stats struct {
+	DemandMigrations    int64 // demand commands executed by the migration thread
+	PrefetchMigrations  int64 // prefetch commands executed
+	InlineMigrations    int64 // demand work served inline by the watchdog escape
+	DiscardedPrefetches int64 // prefetch commands discarded at Stop
+	DroppedCorrEvents   int64 // correlator events lost (bounded queue or chaos)
+	StageRestarts       int64 // stage panics recovered (goroutine restarted)
+}
+
 // Driver runs the four threads of Figure 4. Faults enter through OnFault
 // (the fault-handling thread's output side); kernel launches through
 // KernelLaunch (the ioctl callback). The correlator thread consumes fault
 // events and updates the correlation tables; the prefetching thread chains
 // through the tables and fills the prefetch queue; the migration thread
 // drains the fault queue first and the prefetch queue when it is empty.
+//
+// The driver is hardened to degrade rather than fail: the fault handler's
+// wait on a full fault queue is bounded by a progress watchdog (a stalled
+// migration thread triggers inline demand service instead of a livelock),
+// stage goroutines recover from panics and restart, and Stop drains demand
+// work while explicitly discarding queued prefetches.
 type Driver struct {
 	tables *correlation.Tables
 	deg    int
@@ -60,9 +94,27 @@ type Driver struct {
 	corrMu sync.Mutex
 
 	migrator Migrator
+	// migMu serializes Migrate calls: the migration thread owns the
+	// migrator in steady state, but the watchdog's inline-demand escape and
+	// Stop's late-arrival sweep must be able to call it safely too.
+	migMu sync.Mutex
 
-	stop chan struct{}
-	wg   sync.WaitGroup
+	chaos Chaos
+
+	stop    chan struct{}
+	stopped atomic.Bool
+	wg      sync.WaitGroup
+
+	// progress counts migration-thread completions; the fault handler's
+	// watchdog reads it to tell "slow" from "stalled".
+	progress atomic.Uint64
+
+	demandN    atomic.Int64
+	prefetchN  atomic.Int64
+	inlineN    atomic.Int64
+	discardedN atomic.Int64
+	droppedN   atomic.Int64
+	restartsN  atomic.Int64
 }
 
 // NewDriver constructs the pipeline with the given correlation-table
@@ -84,76 +136,212 @@ func NewDriver(cfg correlation.BlockTableConfig, degree int, m Migrator) *Driver
 	return d
 }
 
-// Start launches the correlator, prefetching, and migration threads. (The
-// fault-handling thread is the caller of OnFault: on a real system it is
-// woken by the GPU interrupt.)
-func (d *Driver) Start() {
-	d.wg.Add(2)
-	go d.correlator()
-	go d.migration()
+// SetChaos installs a stage perturber; call before Start.
+func (d *Driver) SetChaos(c Chaos) { d.chaos = c }
+
+// Stats returns a snapshot of the degradation counters.
+func (d *Driver) Stats() Stats {
+	return Stats{
+		DemandMigrations:    d.demandN.Load(),
+		PrefetchMigrations:  d.prefetchN.Load(),
+		InlineMigrations:    d.inlineN.Load(),
+		DiscardedPrefetches: d.discardedN.Load(),
+		DroppedCorrEvents:   d.droppedN.Load(),
+		StageRestarts:       d.restartsN.Load(),
+	}
 }
 
-// Stop terminates the threads and waits for them to drain.
+// Start launches the correlator and migration threads. (The fault-handling
+// thread is the caller of OnFault: on a real system it is woken by the GPU
+// interrupt; the prefetching stage runs inline with it.)
+func (d *Driver) Start() {
+	d.wg.Add(2)
+	go d.stageLoop("correlator", d.correlatorLoop)
+	go d.stageLoop("migration", d.migrationLoop)
+}
+
+// Stop terminates the threads and waits for them to drain. Policy: demand
+// (fault-queue) work is always executed — a faulted access must be served
+// even during shutdown — while queued prefetch commands are discarded and
+// counted: they are a pure optimization and running them after the workload
+// stopped is wasted link traffic.
 func (d *Driver) Stop() {
+	if d.stopped.Swap(true) {
+		return // idempotent: concurrent or repeated Stop
+	}
 	close(d.stop)
 	d.wg.Wait()
+	// Late arrivals pushed while the threads were exiting: serve remaining
+	// demand work, discard remaining prefetch work.
+	for {
+		ev, ok := d.faultQ.Pop()
+		if !ok {
+			break
+		}
+		d.migrate(MigrateCommand{Block: ev.Block, Exec: ev.Exec, Demand: true})
+		d.demandN.Add(1)
+	}
+	for {
+		if _, ok := d.prefetchQ.Pop(); !ok {
+			break
+		}
+		d.discardedN.Add(1)
+	}
+}
+
+// stageLoop runs one stage body, recovering from panics and restarting the
+// stage so a poisoned event cannot take the pipeline down. The body returns
+// normally only when the stop signal is observed.
+func (d *Driver) stageLoop(name string, body func()) {
+	defer d.wg.Done()
+	for {
+		done := func() (done bool) {
+			defer func() {
+				if r := recover(); r != nil {
+					d.restartsN.Add(1)
+				}
+			}()
+			body()
+			return true
+		}()
+		if done {
+			return
+		}
+	}
+}
+
+// migrate serializes calls into the migrator (see migMu).
+func (d *Driver) migrate(cmd MigrateCommand) {
+	d.migMu.Lock()
+	defer d.migMu.Unlock()
+	d.migrator.Migrate(cmd)
 }
 
 // KernelLaunch is the runtime callback: it records the kernel transition in
 // the execution table and rotates the launch history.
 func (d *Driver) KernelLaunch(id correlation.ExecID) {
+	defer d.recoverStage()
 	d.launchMu.Lock()
 	defer d.launchMu.Unlock()
+	// Table accesses need corrMu too: the correlator thread reads and
+	// lazily creates block tables concurrently. Lock order is always
+	// launchMu -> corrMu (restartChain takes corrMu alone).
+	d.corrMu.Lock()
 	if d.current != correlation.NoExec {
 		d.tables.Exec.Record(d.current, d.histPrev, id)
 	}
+	d.tables.Block(id).ResetCursor()
+	d.corrMu.Unlock()
 	d.histPrev = d.history
 	copy(d.history[:], d.history[1:])
 	d.history[correlation.HistoryLen-1] = d.current
 	d.current = id
-	d.tables.Block(id).ResetCursor()
 }
+
+// recoverStage absorbs a panic on a caller-thread stage (fault handling,
+// prefetching, kernel launch): the event is dropped, the process survives.
+func (d *Driver) recoverStage() {
+	if r := recover(); r != nil {
+		d.restartsN.Add(1)
+	}
+}
+
+// enqueueDemandSpins bounds the fault handler's wait on a full fault queue
+// before the watchdog checks for migration-thread progress.
+const enqueueDemandSpins = 4096
 
 // OnFault is called by the fault-handling thread for each faulted UM block:
 // it enqueues the demand migration with priority and feeds the correlator
 // and prefetcher.
 func (d *Driver) OnFault(b um.BlockID) {
+	defer d.recoverStage()
 	d.launchMu.Lock()
 	cur := d.current
 	hist := d.history
 	d.launchMu.Unlock()
 	ev := FaultEvent{Block: b, Exec: cur}
-	for !d.faultQ.Push(ev) {
-		// The migration thread drains this queue; spin briefly.
-	}
+	d.enqueueDemand(ev)
 	// Correlator updates are lossy under extreme pressure, like a real
-	// bounded queue; dropping a history update is safe.
-	_ = d.corrQ.Push(ev)
+	// bounded queue; dropping a history update is safe — and chaos can
+	// force the same drop (or a duplicate delivery) to prove it.
+	if d.chaos != nil && d.chaos.DropFault() {
+		d.droppedN.Add(1)
+	} else if !d.corrQ.Push(ev) {
+		d.droppedN.Add(1)
+	} else if d.chaos != nil && d.chaos.DupFault() {
+		_ = d.corrQ.Push(ev)
+	}
 	// Restart chaining from the faulted block on the prefetching side.
 	d.restartChain(cur, hist, b)
 }
 
-// correlator consumes fault events and updates the block tables.
-func (d *Driver) correlator() {
-	defer d.wg.Done()
+// enqueueDemand delivers one demand migration. In steady state it pushes
+// onto the fault queue; when the queue stays full it spins with Gosched
+// backoff for a bounded budget, and a watchdog on the migration thread's
+// progress counter decides between waiting longer (the thread is slow but
+// alive) and serving the migration inline (the thread is stalled or the
+// pipeline is stopping) — a halted migration thread degrades the fault
+// handler to synchronous service instead of livelocking it.
+func (d *Driver) enqueueDemand(ev FaultEvent) {
+	snap := d.progress.Load()
+	spins := 0
 	for {
+		if d.faultQ.Push(ev) {
+			return
+		}
+		if d.stopped.Load() {
+			break // stopping: the migration thread may already be gone
+		}
+		if spins++; spins >= enqueueDemandSpins {
+			cur := d.progress.Load()
+			if cur == snap {
+				break // watchdog: no progress across the whole budget
+			}
+			snap, spins = cur, 0 // alive: grant a fresh budget
+		}
+		runtime.Gosched()
+	}
+	d.migrate(MigrateCommand{Block: ev.Block, Exec: ev.Exec, Demand: true})
+	d.inlineN.Add(1)
+}
+
+// correlatorLoop consumes fault events and updates the block tables; on
+// stop it drains whatever is already queued (cheap, and the tables stay
+// maximally informed for post-run inspection).
+func (d *Driver) correlatorLoop() {
+	for {
+		if d.chaos != nil {
+			if delay := d.chaos.StageDelay("correlator"); delay > 0 {
+				time.Sleep(delay)
+			}
+		}
 		ev, ok := d.corrQ.Pop()
 		if !ok {
 			select {
 			case <-d.stop:
-				return
+				for {
+					ev, ok := d.corrQ.Pop()
+					if !ok {
+						return
+					}
+					d.recordMiss(ev)
+				}
 			default:
 				runtime.Gosched()
 				continue
 			}
 		}
-		if ev.Exec == correlation.NoExec {
-			continue
-		}
-		d.corrMu.Lock()
-		d.tables.Block(ev.Exec).RecordMiss(ev.Block)
-		d.corrMu.Unlock()
+		d.recordMiss(ev)
 	}
+}
+
+func (d *Driver) recordMiss(ev FaultEvent) {
+	if ev.Exec == correlation.NoExec {
+		return
+	}
+	d.corrMu.Lock()
+	d.tables.Block(ev.Exec).RecordMiss(ev.Block)
+	d.corrMu.Unlock()
 }
 
 // restartChain runs the prefetching thread's work inline with the fault
@@ -177,27 +365,44 @@ func (d *Driver) restartChain(cur correlation.ExecID, hist [correlation.HistoryL
 	d.corrMu.Unlock()
 }
 
-// migration drains the fault queue with priority, then the prefetch queue.
-func (d *Driver) migration() {
-	defer d.wg.Done()
+// migrationLoop drains the fault queue with priority, then the prefetch
+// queue. On stop it drains remaining demand work and discards remaining
+// prefetch work (see Stop for the policy).
+func (d *Driver) migrationLoop() {
 	for {
+		if d.chaos != nil {
+			if delay := d.chaos.StageDelay("migration"); delay > 0 {
+				time.Sleep(delay)
+			}
+		}
 		if ev, ok := d.faultQ.Pop(); ok {
-			d.migrator.Migrate(MigrateCommand{Block: ev.Block, Exec: ev.Exec, Demand: true})
+			d.migrate(MigrateCommand{Block: ev.Block, Exec: ev.Exec, Demand: true})
+			d.demandN.Add(1)
+			d.progress.Add(1)
 			continue
 		}
 		if cmd, ok := d.prefetchQ.Pop(); ok {
-			d.migrator.Migrate(cmd)
+			d.migrate(cmd)
+			d.prefetchN.Add(1)
+			d.progress.Add(1)
 			continue
 		}
 		select {
 		case <-d.stop:
-			// Drain remaining demand work before exiting.
 			for {
 				ev, ok := d.faultQ.Pop()
 				if !ok {
+					break
+				}
+				d.migrate(MigrateCommand{Block: ev.Block, Exec: ev.Exec, Demand: true})
+				d.demandN.Add(1)
+				d.progress.Add(1)
+			}
+			for {
+				if _, ok := d.prefetchQ.Pop(); !ok {
 					return
 				}
-				d.migrator.Migrate(MigrateCommand{Block: ev.Block, Exec: ev.Exec, Demand: true})
+				d.discardedN.Add(1)
 			}
 		default:
 			runtime.Gosched()

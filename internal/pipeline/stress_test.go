@@ -1,0 +1,239 @@
+package pipeline
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"deepum/internal/chaos"
+	"deepum/internal/core"
+	"deepum/internal/correlation"
+	"deepum/internal/um"
+)
+
+// TestPipelineConcurrentStress drives OnFault, KernelLaunch, and Stop from
+// separate goroutines (the process's real concurrency structure) under
+// -race, and checks the conservation law the hardening must preserve: every
+// fault produces exactly one demand migration — queued, inline via the
+// watchdog, or drained at Stop — none lost, none duplicated.
+func TestPipelineConcurrentStress(t *testing.T) {
+	m := &collectMigrator{}
+	d := NewDriver(correlation.DefaultBlockTableConfig(), 8, m)
+	d.SetChaos(chaos.NewPipelineInjector(chaos.Scenario{
+		DropNotifyProb:    0.2,
+		DupNotifyProb:     0.1,
+		MigratorStallProb: 0.05,
+		MigratorStallTime: 50_000, // 50us real-time stalls
+	}, 1))
+	d.Start()
+
+	const faults = 20_000
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { // the fault-handling thread
+		defer wg.Done()
+		for i := 0; i < faults; i++ {
+			d.OnFault(um.BlockID(i % 512))
+		}
+	}()
+	go func() { // the runtime's launch callback
+		defer wg.Done()
+		for i := 0; i < 2_000; i++ {
+			d.KernelLaunch(correlation.ExecID(i % 16))
+		}
+	}()
+	wg.Wait()
+	d.Stop()
+
+	st := d.Stats()
+	served := st.DemandMigrations + st.InlineMigrations
+	if served != faults {
+		t.Fatalf("demand conservation violated: %d served (%d queued + %d inline), want %d",
+			served, st.DemandMigrations, st.InlineMigrations, faults)
+	}
+	if got := m.demandN.Load(); got != faults {
+		t.Fatalf("migrator saw %d demand commands, want %d", got, faults)
+	}
+}
+
+// TestPipelineWatchdogInlineService: with no migration thread at all (Start
+// never called — the hardest stall), OnFault must not livelock on the full
+// fault queue. The watchdog observes zero progress across its spin budget
+// and serves the overflow migrations inline.
+func TestPipelineWatchdogInlineService(t *testing.T) {
+	m := &collectMigrator{}
+	d := NewDriver(correlation.DefaultBlockTableConfig(), 4, m)
+	// Deliberately not started.
+	d.KernelLaunch(0)
+	cap := d.faultQ.Cap()
+	overflow := 10
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < cap+overflow; i++ {
+			d.OnFault(um.BlockID(i))
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("OnFault livelocked on a full queue with a dead migration thread")
+	}
+	st := d.Stats()
+	if st.InlineMigrations != int64(overflow) {
+		t.Fatalf("inline migrations = %d, want %d (queue overflow served synchronously)",
+			st.InlineMigrations, overflow)
+	}
+	d.Stop() // drains the cap queued commands
+	if got := m.demandN.Load(); got != int64(cap+overflow) {
+		t.Fatalf("migrator saw %d demand commands, want %d", got, cap+overflow)
+	}
+}
+
+// panicMigrator panics on one poisoned block and records the rest.
+type panicMigrator struct {
+	collectMigrator
+	poison um.BlockID
+}
+
+func (p *panicMigrator) Migrate(cmd MigrateCommand) {
+	if cmd.Block == p.poison {
+		panic("poisoned block")
+	}
+	p.collectMigrator.Migrate(cmd)
+}
+
+// TestPipelinePanicRecovery: a migrator panic on one command restarts the
+// migration stage instead of killing the process; subsequent faults are
+// still served and the restart is counted.
+func TestPipelinePanicRecovery(t *testing.T) {
+	m := &panicMigrator{poison: 13}
+	d := NewDriver(correlation.DefaultBlockTableConfig(), 4, m)
+	d.Start()
+	d.KernelLaunch(0)
+	d.OnFault(13) // consumed by the migration thread, panics, stage restarts
+	deadline := time.Now().Add(5 * time.Second)
+	for d.Stats().StageRestarts == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if d.Stats().StageRestarts == 0 {
+		t.Fatal("migrator panic was not recovered")
+	}
+	for i := 100; i < 120; i++ {
+		d.OnFault(um.BlockID(i))
+	}
+	d.Stop()
+	if got := m.demandN.Load(); got != 20 {
+		t.Fatalf("served %d demand migrations after the panic, want 20", got)
+	}
+}
+
+// TestPipelineStopIdempotent: Stop is safe to call repeatedly and from
+// several goroutines at once.
+func TestPipelineStopIdempotent(t *testing.T) {
+	m := &collectMigrator{}
+	d := NewDriver(correlation.DefaultBlockTableConfig(), 4, m)
+	d.Start()
+	d.KernelLaunch(0)
+	for i := 0; i < 32; i++ {
+		d.OnFault(um.BlockID(i))
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() { defer wg.Done(); d.Stop() }()
+	}
+	wg.Wait()
+	d.Stop()
+}
+
+// TestPipelineNoGoroutineLeak: repeated Start/Stop cycles leave no stage
+// goroutines behind.
+func TestPipelineNoGoroutineLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for i := 0; i < 25; i++ {
+		m := &collectMigrator{}
+		d := NewDriver(correlation.DefaultBlockTableConfig(), 4, m)
+		d.Start()
+		d.KernelLaunch(correlation.ExecID(i))
+		for j := 0; j < 64; j++ {
+			d.OnFault(um.BlockID(j))
+		}
+		d.Stop()
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before+2 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked: %d before, %d after 25 start/stop cycles",
+		before, runtime.NumGoroutine())
+}
+
+// TestPipelineMatchesCoreDriver: the concurrent pipeline and the
+// deterministic core driver learn the same correlation state from the same
+// fault/launch sequence — the chains they would prefetch from any seed
+// block are identical. This pins the pipeline's lossy, asynchronous
+// correlator to the reference semantics when nothing is actually lost.
+func TestPipelineMatchesCoreDriver(t *testing.T) {
+	cfg := correlation.DefaultBlockTableConfig()
+	m := &collectMigrator{}
+	pd := NewDriver(cfg, 8, m)
+	pd.Start()
+	cd := core.NewDriver(core.Options{Prefetch: true, Degree: 8, TableConfig: cfg})
+
+	// Mirror the pipeline's launch-history rotation so both cursors get the
+	// same context.
+	var hist [correlation.HistoryLen]correlation.ExecID
+	for i := range hist {
+		hist[i] = correlation.NoExec
+	}
+	current := correlation.NoExec
+	launch := func(id correlation.ExecID) {
+		pd.KernelLaunch(id)
+		cd.KernelLaunch(id)
+		copy(hist[:], hist[1:])
+		hist[correlation.HistoryLen-1] = current
+		current = id
+	}
+	histories := map[correlation.ExecID][correlation.HistoryLen]correlation.ExecID{}
+
+	for it := 0; it < 3; it++ {
+		for k := 0; k < 4; k++ {
+			id := correlation.ExecID(k)
+			launch(id)
+			histories[id] = hist
+			for j := 0; j < 6; j++ {
+				b := um.BlockID(100*k + j)
+				pd.OnFault(b)
+				cd.OnFault(b)
+			}
+			// Let the pipeline's correlator drain in order before the next
+			// kernel, so no event is dropped and ordering matches the
+			// synchronous reference.
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	pd.Stop()
+
+	for k := 0; k < 4; k++ {
+		id := correlation.ExecID(k)
+		seed := um.BlockID(100 * k)
+		pc := pd.Tables().NewChainCursor(id, histories[id], seed)
+		cc := cd.Tables().NewChainCursor(id, histories[id], seed)
+		for step := 0; step < 32; step++ {
+			pb, pe := pc.Next()
+			cb, ce := cc.Next()
+			if pb != cb || pe != ce {
+				t.Fatalf("kernel %d chain diverges at step %d: pipeline (%d,%d) vs core (%d,%d)",
+					k, step, pb, pe, cb, ce)
+			}
+			if pb == um.NoBlock {
+				break
+			}
+		}
+	}
+}

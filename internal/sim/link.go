@@ -17,6 +17,16 @@ func (d Direction) String() string {
 	return "D2H"
 }
 
+// TransferPerturber lets a fault-injection layer (internal/chaos) perturb
+// individual transfers: it receives the scheduled start time, size,
+// direction, and unperturbed occupancy of a transfer and returns the
+// occupancy to charge plus whether the transfer transiently fails. A failed
+// transfer still occupies the link (the attempt ran and delivered garbage);
+// the caller decides whether and when to retry.
+type TransferPerturber interface {
+	PerturbTransfer(at Time, n int64, dir Direction, base Duration) (Duration, bool)
+}
+
 // Link models the PCIe interconnect as a single serialized resource. The
 // DeepUM migration thread owns it: fault migrations always run before queued
 // prefetch commands, but an in-flight transfer is never aborted (transfers
@@ -29,11 +39,13 @@ type Link struct {
 	params   Params
 	busyUnt  Time
 	timeline *Timeline
+	perturb  TransferPerturber
 
 	bytesH2D int64
 	bytesD2H int64
 	nH2D     int64
 	nD2H     int64
+	failures int64
 }
 
 // NewLink returns an idle link using the transfer-time model of p. The
@@ -45,15 +57,46 @@ func NewLink(p Params, tl *Timeline) *Link {
 // BusyUntil reports the instant the link becomes free.
 func (l *Link) BusyUntil() Time { return l.busyUnt }
 
+// SetPerturber installs a fault injector; nil removes it.
+func (l *Link) SetPerturber(p TransferPerturber) { l.perturb = p }
+
+// Failures returns how many reservation attempts transiently failed.
+func (l *Link) Failures() int64 { return l.failures }
+
 // Reserve schedules a transfer of n bytes not earlier than at, returning the
 // interval [start, end) it occupies. A zero-byte transfer returns an empty
-// interval at the requested time without occupying the link.
+// interval at the requested time without occupying the link. Under fault
+// injection, Reserve retries a transiently failing transfer internally with
+// a short fixed backoff — callers that cannot express a retry policy (the
+// baseline executors) observe only slowdown, never failure. The migration
+// engine's hot paths use ReserveChecked and their own backoff instead.
 func (l *Link) Reserve(at Time, n int64, dir Direction) (start, end Time) {
+	const internalRetryBackoff = Duration(10_000) // 10us
+	for attempt := 0; ; attempt++ {
+		s, e, ok := l.ReserveChecked(at, n, dir)
+		// The injector bounds consecutive failures, so the attempt cap is a
+		// defensive backstop: past it the transfer counts as delivered.
+		if ok || attempt >= 16 {
+			return s, e
+		}
+		at = e.Add(internalRetryBackoff << min(attempt, 6))
+	}
+}
+
+// ReserveChecked is Reserve exposed to the fault injector: ok is false when
+// the transfer transiently failed. The failed attempt occupies the returned
+// interval anyway; the caller retries (with its own backoff) or gives up.
+func (l *Link) ReserveChecked(at Time, n int64, dir Direction) (start, end Time, ok bool) {
 	if n <= 0 {
-		return at, at
+		return at, at, true
 	}
 	start = Max(at, l.busyUnt)
-	end = start.Add(l.params.TransferTime(n))
+	d := l.params.TransferTime(n)
+	fail := false
+	if l.perturb != nil {
+		d, fail = l.perturb.PerturbTransfer(start, n, dir, d)
+	}
+	end = start.Add(d)
 	l.busyUnt = end
 	switch dir {
 	case HostToDevice:
@@ -63,10 +106,13 @@ func (l *Link) Reserve(at Time, n int64, dir Direction) (start, end Time) {
 		l.bytesD2H += n
 		l.nD2H++
 	}
+	if fail {
+		l.failures++
+	}
 	if l.timeline != nil {
 		l.timeline.Add(start, end)
 	}
-	return start, end
+	return start, end, !fail
 }
 
 // IdleUntil reports whether the link is free for the whole interval ending at
@@ -106,9 +152,24 @@ func NewDuplex(p Params, tl *Timeline) *Duplex {
 	return &Duplex{h2d: NewLink(p, tl), d2h: NewLink(p, tl)}
 }
 
+// SetPerturber installs a fault injector on both lanes; nil removes it.
+func (d *Duplex) SetPerturber(p TransferPerturber) {
+	d.h2d.SetPerturber(p)
+	d.d2h.SetPerturber(p)
+}
+
+// Failures returns transiently failed reservation attempts across lanes.
+func (d *Duplex) Failures() int64 { return d.h2d.Failures() + d.d2h.Failures() }
+
 // Reserve schedules a transfer on the lane of dir.
 func (d *Duplex) Reserve(at Time, n int64, dir Direction) (start, end Time) {
 	return d.lane(dir).Reserve(at, n, dir)
+}
+
+// ReserveChecked schedules a transfer on the lane of dir, surfacing
+// injected transient failures to the caller.
+func (d *Duplex) ReserveChecked(at Time, n int64, dir Direction) (start, end Time, ok bool) {
+	return d.lane(dir).ReserveChecked(at, n, dir)
 }
 
 // BusyUntil reports when the lane of dir drains.

@@ -1,5 +1,7 @@
 package sim
 
+import "fmt"
+
 // Timeline accumulates busy time of a resource as a sum of possibly
 // overlapping intervals, merging on the fly. It is the integration substrate
 // for the energy meter: total busy duration within [0, end) is what the
@@ -72,4 +74,27 @@ func (t *Timeline) Len() int { return len(t.intervals) }
 func (t *Timeline) Reset() {
 	t.intervals = t.intervals[:0]
 	t.busy = 0
+}
+
+// Validate checks the timeline's structural invariants: intervals sorted by
+// start, strictly disjoint (touching intervals are merged on Add), each
+// non-empty, and the busy counter equal to their summed lengths. The
+// invariant checker runs it under every chaos scenario — a racy or
+// double-booked reservation would surface here.
+func (t *Timeline) Validate() error {
+	var sum Duration
+	for i, iv := range t.intervals {
+		if iv.end <= iv.start {
+			return fmt.Errorf("sim: timeline interval %d is empty or inverted [%d,%d)", i, iv.start, iv.end)
+		}
+		if i > 0 && iv.start <= t.intervals[i-1].end {
+			return fmt.Errorf("sim: timeline intervals %d and %d overlap or are unmerged ([%d,%d) then [%d,%d))",
+				i-1, i, t.intervals[i-1].start, t.intervals[i-1].end, iv.start, iv.end)
+		}
+		sum += iv.end.Sub(iv.start)
+	}
+	if sum != t.busy {
+		return fmt.Errorf("sim: timeline busy counter %v does not match interval sum %v", t.busy, sum)
+	}
+	return nil
 }

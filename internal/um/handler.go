@@ -58,6 +58,13 @@ type HandlerStats struct {
 	EvictStall     sim.Duration
 	TransferStall  sim.Duration
 	Overhead       sim.Duration
+
+	// TransferRetries counts demand transfers re-attempted after an
+	// injected transient link failure; RetryStall is the extra time the
+	// failed attempts and their exponential backoff cost. Both stay zero
+	// without fault injection.
+	TransferRetries int64
+	RetryStall      sim.Duration
 }
 
 // Handler implements the NVIDIA page-fault handling pipeline of Figure 3:
@@ -166,7 +173,7 @@ func (h *Handler) HandleGroups(now sim.Time, groups []FaultGroup) sim.Time {
 				}
 				t = t.Add(h.Params.FaultChunkOverhead)
 				h.Stats.Overhead += h.Params.FaultChunkOverhead
-				_, end := h.Link.Reserve(t, n*sim.PageSize, sim.HostToDevice)
+				end := h.transfer(t, n*sim.PageSize, sim.HostToDevice)
 				h.Stats.TransferStall += end.Sub(t)
 				t = end
 			}
@@ -209,8 +216,7 @@ func (h *Handler) evict(t sim.Time, need int64) sim.Time {
 				}
 				continue
 			}
-			_, end := h.Link.Reserve(t, vb.ResidentBytes(), sim.DeviceToHost)
-			t = end
+			t = h.transfer(t, vb.ResidentBytes(), sim.DeviceToHost)
 			vb.HostPopulated = true
 			h.Res.Remove(v)
 			h.Stats.BlocksEvicted++
@@ -221,4 +227,32 @@ func (h *Handler) evict(t sim.Time, need int64) sim.Time {
 	}
 	h.Stats.EvictStall += t.Sub(start)
 	return t
+}
+
+// transfer moves n bytes with demand priority starting at t and returns the
+// completion time. Under fault injection a transfer can transiently fail;
+// the demand path cannot give up — the GPU is stalled on this data — so it
+// retries with bounded exponential backoff. The injector bounds consecutive
+// failures, making the attempt cap a defensive backstop past which the
+// transfer is taken as delivered (a real driver would reset the link).
+func (h *Handler) transfer(t sim.Time, n int64, dir sim.Direction) sim.Time {
+	const maxDemandRetries = 16
+	for attempt := 0; ; attempt++ {
+		_, end, ok := h.Link.ReserveChecked(t, n, dir)
+		if ok || attempt >= maxDemandRetries {
+			return end
+		}
+		h.Stats.TransferRetries++
+		backoff := retryBackoff(attempt)
+		h.Stats.RetryStall += end.Sub(t) + backoff
+		t = end.Add(backoff)
+	}
+}
+
+// retryBackoff is the bounded exponential backoff before retry attempt
+// (0-indexed): 10us doubling to a 640us ceiling. Mirrors the migration
+// engine's prefetch backoff (internal/chaos keeps the shared constants; um
+// cannot import it without a cycle).
+func retryBackoff(attempt int) sim.Duration {
+	return sim.Duration(10_000) << min(attempt, 6)
 }

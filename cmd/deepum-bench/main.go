@@ -8,23 +8,26 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
 	"deepum/internal/experiments"
+	"deepum/internal/metrics"
 )
 
 func main() {
 	var (
-		run   = flag.String("run", "", "experiment id to run (default: all)")
-		list  = flag.Bool("list", false, "list experiment ids and exit")
-		scale = flag.Int64("scale", 8, "size divisor: 1 = paper-sized footprints")
-		iters = flag.Int("iters", 4, "measured training iterations per run")
-		warm  = flag.Int("warmup", 3, "warmup iterations before measurement")
-		quick = flag.Bool("quick", false, "one batch size per model")
-		seed  = flag.Int64("seed", 1, "seed for input-dependent access sampling")
+		run     = flag.String("run", "", "experiment id to run (default: all)")
+		list    = flag.Bool("list", false, "list experiment ids and exit")
+		scale   = flag.Int64("scale", 8, "size divisor: 1 = paper-sized footprints")
+		iters   = flag.Int("iters", 4, "measured training iterations per run")
+		warm    = flag.Int("warmup", 3, "warmup iterations before measurement")
+		quick   = flag.Bool("quick", false, "one batch size per model")
+		seed    = flag.Int64("seed", 1, "seed for input-dependent access sampling")
+		timeout = flag.Duration("timeout", 0, "wall-clock budget for the whole bench; experiments past it are skipped")
 	)
 	flag.Parse()
 
@@ -52,14 +55,55 @@ func main() {
 	} else {
 		exps = experiments.All()
 	}
-	for _, e := range exps {
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	for i, e := range exps {
+		if ctx.Err() != nil {
+			fmt.Fprintf(os.Stderr, "timeout: %d of %d experiments done; skipped %v onward\n",
+				i, len(exps), e.ID)
+			os.Exit(3)
+		}
 		start := time.Now()
-		tbl, err := e.Run(opts)
+		tbl, err := runExperiment(ctx, e, opts)
+		if err == context.DeadlineExceeded {
+			fmt.Fprintf(os.Stderr, "timeout: %s interrupted after %v (%d of %d experiments done)\n",
+				e.ID, time.Since(start).Round(time.Millisecond), i, len(exps))
+			os.Exit(3)
+		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
 			os.Exit(1)
 		}
 		fmt.Println(tbl)
 		fmt.Printf("(%s regenerated in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+// runExperiment bounds one experiment by the context's deadline. Experiments
+// are synchronous batch jobs, so the bound is a supervisor: on expiry the
+// bench reports partial progress and exits while the abandoned experiment's
+// goroutine dies with the process.
+func runExperiment(ctx context.Context, e experiments.Experiment, opts experiments.Options) (*metrics.Table, error) {
+	if ctx.Done() == nil {
+		return e.Run(opts)
+	}
+	type outcome struct {
+		tbl *metrics.Table
+		err error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		tbl, err := e.Run(opts)
+		ch <- outcome{tbl, err}
+	}()
+	select {
+	case o := <-ch:
+		return o.tbl, o.err
+	case <-ctx.Done():
+		return nil, context.DeadlineExceeded
 	}
 }

@@ -4,9 +4,12 @@
 //	deepum-sim -model bert-large -batch 16 -system deepum
 //	deepum-sim -model resnet152 -batch 1280 -system um -scale 16
 //	deepum-sim -model gpt2-xl -batch 5 -system deepum -degree 64
+//	deepum-sim -model bert-large -batch 16 -checkpoint warm.ckpt
+//	deepum-sim -model bert-large -batch 16 -resume warm.ckpt -warmup 1
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -30,6 +33,10 @@ func main() {
 		seed    = flag.Int64("seed", 1, "irregular-access seed")
 		chaosSc = flag.String("chaos", "", "fault-injection scenario (see -chaos-list)")
 		chaosSd = flag.Int64("chaos-seed", 0, "injection seed (0 reuses -seed)")
+		timeout = flag.Duration("timeout", 0, "wall-clock bound; an expired run returns its partial measurements")
+		deadln  = flag.Duration("deadline", 0, "virtual-time bound (deterministic under a fixed seed)")
+		ckpt    = flag.String("checkpoint", "", "write the learned correlation tables here after the run (deepum only)")
+		resume  = flag.String("resume", "", "seed the driver from a checkpoint written by -checkpoint (deepum only)")
 		listM   = flag.Bool("models", false, "list model names and exit")
 		listS   = flag.Bool("systems", false, "list system names and exit")
 		listC   = flag.Bool("chaos-list", false, "list chaos scenarios and exit")
@@ -70,14 +77,55 @@ func main() {
 	cfg.Driver.Degree = *degree
 	cfg.Chaos = *chaosSc
 	cfg.ChaosSeed = *chaosSd
+	cfg.Deadline = sim.Duration(*deadln)
 	if *gpu16 {
 		cfg.Machine = deepum.V100_16GB()
 	}
+	if *resume != "" {
+		f, err := os.Open(*resume)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		st, err := deepum.LoadCheckpoint(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "resume %s: %v\n", *resume, err)
+			os.Exit(1)
+		}
+		cfg.Resume = st
+	}
 
-	res, err := deepum.Train(deepum.Workload{Model: *model, Dataset: *dataset, Batch: *batch}, cfg)
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	res, err := deepum.TrainContext(ctx, deepum.Workload{Model: *model, Dataset: *dataset, Batch: *batch}, cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	if *ckpt != "" {
+		if res.Warm == nil {
+			fmt.Fprintf(os.Stderr, "-checkpoint: system %s has no correlation tables to save\n", res.System)
+			os.Exit(1)
+		}
+		f, err := os.Create(*ckpt)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := deepum.SaveCheckpoint(f, res.Warm); err == nil {
+			err = f.Close()
+		} else {
+			f.Close()
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "checkpoint %s: %v\n", *ckpt, err)
+			os.Exit(1)
+		}
 	}
 	prog, err := deepum.BuildProgram(deepum.Workload{Model: *model, Dataset: *dataset, Batch: *batch}, *scale)
 	if err != nil {
@@ -87,6 +135,20 @@ func main() {
 
 	fmt.Printf("model      %s (dataset %q, batch %d, scale 1/%d)\n", *model, *dataset, *batch, *scale)
 	fmt.Printf("system     %s\n", res.System)
+	if res.Status != deepum.StatusCompleted {
+		fmt.Printf("status     %s (%d/%d measured iterations; %d queued prefetches discarded)\n",
+			res.Status, res.Iterations, *iters, res.DiscardedPrefetches)
+		if res.Invariant != nil {
+			fmt.Printf("invariant  %v\n", res.Invariant)
+		}
+	}
+	if res.Breaker.EverOpened {
+		fmt.Printf("breaker    opened %d time(s) at %d consecutive prefetch failures; %d prefetches short-circuited; final state %s\n",
+			res.Breaker.Opens, res.Breaker.Threshold, res.Breaker.ShortCircuited, res.Breaker.State)
+	}
+	if *resume != "" {
+		fmt.Printf("resume     correlation tables restored from %s\n", *resume)
+	}
 	fmt.Printf("footprint  %.2f GiB (scaled), %d kernels/iteration\n",
 		float64(prog.FootprintBytes())/float64(sim.GiB), prog.Kernels())
 	fmt.Printf("iteration  %v (mean over %d measured iterations)\n", res.IterationTime, res.Iterations)
@@ -100,6 +162,9 @@ func main() {
 	if res.CorrelationTableBytes > 0 {
 		fmt.Printf("tables     %.1f MiB correlation tables (%d prefetches issued, %d useful)\n",
 			float64(res.CorrelationTableBytes)/float64(sim.MiB), res.PrefetchIssued, res.PrefetchUseful)
+	}
+	if *ckpt != "" {
+		fmt.Printf("checkpoint correlation tables saved to %s\n", *ckpt)
 	}
 	if *chaosSc != "" && *chaosSc != "none" {
 		cs := res.ChaosStats

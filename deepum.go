@@ -25,7 +25,9 @@
 package deepum
 
 import (
+	"context"
 	"fmt"
+	"io"
 
 	"deepum/internal/baselines"
 	"deepum/internal/chaos"
@@ -100,6 +102,22 @@ type Config struct {
 	// ChaosSeed seeds the injection PRNG; 0 reuses Seed, so a run is fully
 	// reproducible from (Seed, Chaos) alone.
 	ChaosSeed int64
+	// Deadline bounds the run in VIRTUAL (simulated) time: the run stops at
+	// the first event at or past the budget and returns a partial Result
+	// with StatusDeadlineExceeded. Deterministic under a fixed seed, unlike
+	// a context deadline. Zero means unbounded. UM-side systems only.
+	Deadline sim.Duration
+	// Resume seeds the DeepUM driver with warm correlation tables restored
+	// from a checkpoint (LoadCheckpoint), skipping the table warm-up cost.
+	// SystemDeepUM only; the driver adopts the tables' own configuration.
+	Resume *CorrelationState
+	// BreakerThreshold and BreakerCooldown tune the prefetch circuit
+	// breaker: after BreakerThreshold consecutive prefetch-transfer
+	// failures prefetching is suspended (pure on-demand faulting) for
+	// BreakerCooldown of virtual time, then probed again. Zero selects the
+	// defaults (8 failures, 500us).
+	BreakerThreshold int
+	BreakerCooldown  sim.Duration
 }
 
 // DefaultConfig returns the paper's headline configuration: DeepUM with all
@@ -116,9 +134,17 @@ func DefaultConfig() Config {
 	}
 }
 
-// Result reports a training run's measurements.
+// Result reports a training run's measurements. An interrupted run (Status
+// cancelled or deadline-exceeded) returns a PARTIAL result with a nil
+// error: Iterations counts only completed measured iterations and Status
+// tells the supervisor why the run stopped.
 type Result struct {
-	System     System
+	System System
+	// Status classifies how the run ended: completed, cancelled,
+	// deadline-exceeded, or degraded (run finished but the prefetch breaker
+	// opened or an invariant was violated — see Invariant).
+	Status RunStatus
+	// Iterations is the number of measured iterations that completed.
 	Iterations int
 	// IterationTime is the mean steady-state time per training iteration.
 	IterationTime sim.Duration
@@ -138,10 +164,63 @@ type Result struct {
 	// ChaosStats counts injected perturbations and how the run degraded;
 	// all zero when Config.Chaos was empty or "none".
 	ChaosStats ChaosStats
+	// IterStats is the per-iteration trace (warmup included): time, faults,
+	// prefetch counts. It is the unit of the checkpoint/resume equivalence
+	// guarantee. UM-side systems only.
+	IterStats []IterStat
+	// Invariant is the first invariant-checker violation, reported through
+	// the result instead of failing the run; nil on a consistent run.
+	Invariant *InvariantError
+	// Breaker snapshots the prefetch circuit breaker (SystemDeepUM only).
+	Breaker BreakerStats
+	// DiscardedPrefetches counts queued prefetch commands thrown away when
+	// the run was interrupted (demand work drains; speculation does not).
+	DiscardedPrefetches int64
+	// Warm exposes the driver's learned correlation tables for
+	// checkpointing with SaveCheckpoint (SystemDeepUM only).
+	Warm *CorrelationState
 }
 
 // ChaosStats re-exports the fault-injection counters.
 type ChaosStats = chaos.Stats
+
+// RunStatus re-exports the engine's run-ending classification.
+type RunStatus = engine.RunStatus
+
+// Run statuses: how a training run ended (Result.Status).
+const (
+	StatusCompleted        = engine.StatusCompleted
+	StatusCancelled        = engine.StatusCancelled
+	StatusDeadlineExceeded = engine.StatusDeadlineExceeded
+	StatusDegraded         = engine.StatusDegraded
+)
+
+// IterStat re-exports the per-iteration measurement slice.
+type IterStat = engine.IterStat
+
+// BreakerStats re-exports the prefetch circuit breaker snapshot.
+type BreakerStats = engine.BreakerStats
+
+// InvariantError re-exports the typed invariant-checker violation.
+type InvariantError = chaos.InvariantError
+
+// CorrelationState is the warm state of a DeepUM run: the execution-ID and
+// UM-block correlation tables the driver learned. It is what checkpoint and
+// resume move between runs (the residency and link state rebuild themselves
+// within one iteration; the tables take a full warm-up epoch).
+type CorrelationState = correlation.Tables
+
+// SaveCheckpoint serializes warm correlation state (Result.Warm) to w using
+// the versioned, CRC32-checksummed encoding of internal/correlation.
+func SaveCheckpoint(w io.Writer, st *CorrelationState) error {
+	return correlation.WriteCheckpoint(w, st)
+}
+
+// LoadCheckpoint reads a checkpoint written by SaveCheckpoint, verifying
+// magic, version, and checksum. Feed the result to Config.Resume.
+func LoadCheckpoint(r io.Reader) (*CorrelationState, error) {
+	return correlation.ReadCheckpoint(r)
+}
 
 // ChaosScenarios returns the named fault-injection scenarios as name ->
 // description, for Config.Chaos and deepum-sim -chaos.
@@ -158,6 +237,17 @@ func ChaosScenarios() map[string]string {
 // the tensor-level baselines, host backing-store exhaustion for the UM-side
 // systems, or an unsupported model (vDNN on non-CNNs).
 func Train(w Workload, cfg Config) (*Result, error) {
+	return TrainContext(context.Background(), w, cfg)
+}
+
+// TrainContext is Train under a supervising context. Cancelling ctx (or
+// letting its deadline expire) stops the simulation at the next event:
+// demand migrations drain, queued prefetches are discarded, and the partial
+// measurements come back as a *Result tagged StatusCancelled or
+// StatusDeadlineExceeded with a NIL error — the caller decides whether a
+// partial run is useful. Config.Deadline adds a deterministic virtual-time
+// bound on top.
+func TrainContext(ctx context.Context, w Workload, cfg Config) (*Result, error) {
 	if w.Batch <= 0 {
 		return nil, fmt.Errorf("deepum: batch size must be positive, got %d", w.Batch)
 	}
@@ -189,6 +279,9 @@ func Train(w Workload, cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.Resume != nil && cfg.System != SystemDeepUM {
+		return nil, fmt.Errorf("deepum: Config.Resume carries DeepUM correlation tables; system %q has none to warm", cfg.System)
+	}
 	switch cfg.System {
 	case SystemUM, SystemDeepUM, SystemIdeal:
 		policy := engine.PolicyUM
@@ -203,6 +296,7 @@ func Train(w Workload, cfg Config) (*Result, error) {
 			if drv.Prefetch && drv.Degree < 1 {
 				return nil, fmt.Errorf("deepum: prefetch degree must be >= 1, got %d (the paper sweeps 1-128, headline N=32)", drv.Degree)
 			}
+			drv.WarmTables = cfg.Resume
 		case SystemIdeal:
 			policy = engine.PolicyIdeal
 		}
@@ -214,21 +308,25 @@ func Train(w Workload, cfg Config) (*Result, error) {
 			}
 			inj = chaos.NewInjector(scenario, seed)
 		}
-		r, err := engine.Run(engine.Config{
-			Params:        params,
-			Program:       prog,
-			Policy:        policy,
-			DriverOptions: drv,
-			Iterations:    cfg.Iterations,
-			Warmup:        cfg.Warmup,
-			Seed:          cfg.Seed,
-			Chaos:         inj,
+		r, err := engine.RunContext(ctx, engine.Config{
+			Params:           params,
+			Program:          prog,
+			Policy:           policy,
+			DriverOptions:    drv,
+			Iterations:       cfg.Iterations,
+			Warmup:           cfg.Warmup,
+			Seed:             cfg.Seed,
+			Chaos:            inj,
+			Deadline:         cfg.Deadline,
+			BreakerThreshold: cfg.BreakerThreshold,
+			BreakerCooldown:  cfg.BreakerCooldown,
 		})
 		if err != nil {
 			return nil, err
 		}
 		return &Result{
 			System:                 cfg.System,
+			Status:                 r.Status,
 			Iterations:             r.Iterations,
 			IterationTime:          r.IterTime(),
 			TotalTime:              r.TotalTime,
@@ -240,10 +338,18 @@ func Train(w Workload, cfg Config) (*Result, error) {
 			PrefetchIssued:         r.Driver.PrefetchIssued,
 			PrefetchUseful:         r.Driver.PrefetchUseful,
 			ChaosStats:             r.Chaos,
+			IterStats:              r.IterStats,
+			Invariant:              r.Invariant,
+			Breaker:                r.Breaker,
+			DiscardedPrefetches:    r.DiscardedPrefetches,
+			Warm:                   r.Tables,
 		}, nil
 	default:
 		if scenario.Active() {
 			return nil, fmt.Errorf("deepum: chaos scenario %q applies to the UM-side systems (um, deepum, ideal); %q manages memory at tensor level and has no UM substrate to perturb", scenario.Name, cfg.System)
+		}
+		if cfg.Deadline > 0 {
+			return nil, fmt.Errorf("deepum: Config.Deadline bounds the UM-side event simulation; system %q does not run one", cfg.System)
 		}
 		pl, err := plannerFor(cfg.System)
 		if err != nil {
@@ -261,6 +367,7 @@ func Train(w Workload, cfg Config) (*Result, error) {
 		}
 		return &Result{
 			System:        cfg.System,
+			Status:        StatusCompleted,
 			Iterations:    r.Iterations,
 			IterationTime: r.IterTime(),
 			TotalTime:     r.TotalTime,

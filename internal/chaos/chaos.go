@@ -39,6 +39,7 @@ type Stats struct {
 	MigratorStalls   int64        // injected migration-thread stalls
 	StallTime        sim.Duration // total injected stall time
 	PressureWindows  int64        // transfers slowed by a host-pressure spike
+	InjectedCancels  int64        // supervisor cancellations delivered
 }
 
 // Injector perturbs a simulated run according to one Scenario. It
@@ -53,6 +54,8 @@ type Injector struct {
 	// consecFails bounds how many transfer failures can occur in a row, so
 	// a retry loop in the migration engine always terminates.
 	consecFails int
+	// kernelLaunches counts launches toward CancelAfterKernels.
+	kernelLaunches int64
 
 	Stats Stats
 }
@@ -171,6 +174,31 @@ func (in *Injector) MigratorStall() sim.Duration {
 		return in.sc.MigratorStallTime
 	}
 	return 0
+}
+
+// NoteKernelLaunch counts one kernel launch toward the scenario's supervisor
+// cancellation and reports whether the cancellation fires at this launch. The
+// count consumes no PRNG draw, so enabling it does not shift the other
+// perturbations' decision sequence.
+func (in *Injector) NoteKernelLaunch() bool {
+	if in == nil || in.sc.CancelAfterKernels <= 0 {
+		return false
+	}
+	in.kernelLaunches++
+	if in.kernelLaunches == in.sc.CancelAfterKernels {
+		in.Stats.InjectedCancels++
+		return true
+	}
+	return false
+}
+
+// VirtualDeadline returns the scenario's simulated-time budget for the whole
+// run, or zero when the scenario imposes none.
+func (in *Injector) VirtualDeadline() sim.Duration {
+	if in == nil {
+		return 0
+	}
+	return in.sc.VirtualDeadline
 }
 
 // ShrinkTables applies the scenario's correlation-table capacity pressure:

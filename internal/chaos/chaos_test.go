@@ -66,6 +66,69 @@ func TestNilInjectorInert(t *testing.T) {
 	in.NoteDemandRetry()
 	in.NotePrefetchRetry()
 	in.NotePrefetchGiveUp()
+	if in.NoteKernelLaunch() {
+		t.Fatal("nil injector fired a supervisor cancel")
+	}
+	if in.VirtualDeadline() != 0 {
+		t.Fatal("nil injector imposed a deadline")
+	}
+}
+
+// TestSupervisorCancelFiresOnce: the launch counter fires exactly at the
+// configured launch, once, and never on an inactive scenario.
+func TestSupervisorCancelFiresOnce(t *testing.T) {
+	in := NewInjector(Scenario{CancelAfterKernels: 3}, 1)
+	fired := 0
+	for i := 0; i < 10; i++ {
+		if in.NoteKernelLaunch() {
+			if i != 2 {
+				t.Fatalf("cancel fired at launch %d, want launch 3", i+1)
+			}
+			fired++
+		}
+	}
+	if fired != 1 {
+		t.Fatalf("cancel fired %d times, want once", fired)
+	}
+	if in.Stats.InjectedCancels != 1 {
+		t.Fatalf("InjectedCancels = %d", in.Stats.InjectedCancels)
+	}
+	quiet := NewInjector(Scenario{TransferFailProb: 0.5}, 1)
+	for i := 0; i < 100; i++ {
+		if quiet.NoteKernelLaunch() {
+			t.Fatal("cancel fired without CancelAfterKernels")
+		}
+	}
+}
+
+// TestInterrupts: the Interrupts classifier covers exactly the two
+// run-ending fields, and the builtin interrupting scenarios carry them.
+func TestInterrupts(t *testing.T) {
+	if (Scenario{}).Interrupts() {
+		t.Fatal("zero scenario interrupts")
+	}
+	if !(Scenario{CancelAfterKernels: 1}).Interrupts() ||
+		!(Scenario{VirtualDeadline: 1}).Interrupts() {
+		t.Fatal("interrupting field not classified")
+	}
+	for _, name := range []string{"cancel-mid-iteration", "deadline-tight"} {
+		sc, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sc.Interrupts() {
+			t.Fatalf("builtin scenario %q does not interrupt", name)
+		}
+	}
+	for _, name := range []string{"none", "flaky-link", "everything"} {
+		sc, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sc.Interrupts() {
+			t.Fatalf("scenario %q unexpectedly interrupts", name)
+		}
+	}
 }
 
 // TestInjectorDeterminism: two injectors with the same scenario and seed

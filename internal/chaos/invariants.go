@@ -10,7 +10,29 @@ import (
 // This file is the always-on invariant checker the engine runs under every
 // scenario (and under no scenario at all): chaos may cost performance, but
 // it must never corrupt state. The checks are O(resident blocks) and run at
-// iteration boundaries; a violation fails the run with a descriptive error.
+// iteration boundaries; a violation surfaces as a typed *InvariantError the
+// engine reports through the run result (RunStatus degraded) so supervised
+// callers can decide policy instead of losing the whole run.
+
+// InvariantError is a typed invariant-checker violation. Check names the
+// audit that fired ("residency", "timeline", "driver", "served") and Detail
+// describes the inconsistency. It is reported through the run result rather
+// than aborting the run's caller, so a supervisor can choose between
+// discarding the partial measurements, alerting, or retrying.
+type InvariantError struct {
+	Check  string
+	Detail string
+}
+
+// Error implements the error interface.
+func (e *InvariantError) Error() string {
+	return fmt.Sprintf("chaos: invariant violated (%s): %s", e.Check, e.Detail)
+}
+
+// violated builds a typed violation for the named check.
+func violated(check, format string, args ...any) *InvariantError {
+	return &InvariantError{Check: check, Detail: fmt.Sprintf(format, args...)}
+}
 
 // CheckResidency verifies the residency manager's accounting is balanced:
 // the used-byte and block counters equal what a walk of the LRM list
@@ -23,7 +45,7 @@ func CheckResidency(r *um.Residency) error {
 	var bad error
 	r.WalkLRM(func(b um.BlockID) bool {
 		if !r.Resident(b) {
-			bad = fmt.Errorf("chaos: invariant violated: block %d is on the LRM list but not resident", b)
+			bad = violated("residency", "block %d is on the LRM list but not resident", b)
 			return false
 		}
 		bytes += r.BlockResidentBytes(b)
@@ -34,13 +56,13 @@ func CheckResidency(r *um.Residency) error {
 		return bad
 	}
 	if bytes != r.Used() {
-		return fmt.Errorf("chaos: invariant violated: residency accounting leak: walked %d bytes, counter says %d", bytes, r.Used())
+		return violated("residency", "accounting leak: walked %d bytes, counter says %d", bytes, r.Used())
 	}
 	if count != r.Count() {
-		return fmt.Errorf("chaos: invariant violated: residency count leak: walked %d blocks, counter says %d", count, r.Count())
+		return violated("residency", "count leak: walked %d blocks, counter says %d", count, r.Count())
 	}
 	if r.Used() < 0 || r.Count() < 0 {
-		return fmt.Errorf("chaos: invariant violated: negative residency (used %d, count %d)", r.Used(), r.Count())
+		return violated("residency", "negative residency (used %d, count %d)", r.Used(), r.Count())
 	}
 	return nil
 }
@@ -59,7 +81,7 @@ func CheckServed(space *um.Space, groups []um.FaultGroup, evictedInCycle map[um.
 			continue
 		}
 		if !blk.Resident && !evictedInCycle[g.Block] {
-			return fmt.Errorf("chaos: invariant violated: faulted block %d left unserved after its handling cycle", g.Block)
+			return violated("served", "faulted block %d left unserved after its handling cycle", g.Block)
 		}
 	}
 	return nil
@@ -78,20 +100,21 @@ type DriverChecker interface {
 	CheckInvariants() error
 }
 
-// CheckAll runs every applicable check and returns the first violation.
-// drv may be nil (naive-UM and Ideal policies have no driver).
+// CheckAll runs every applicable check and returns the first violation as a
+// typed *InvariantError. drv may be nil (naive-UM and Ideal policies have no
+// driver).
 func CheckAll(r *um.Residency, tl *sim.Timeline, drv DriverChecker) error {
 	if err := CheckResidency(r); err != nil {
 		return err
 	}
 	if tl != nil {
 		if err := CheckTimeline(tl); err != nil {
-			return err
+			return violated("timeline", "%v", err)
 		}
 	}
 	if drv != nil {
 		if err := drv.CheckInvariants(); err != nil {
-			return err
+			return violated("driver", "%v", err)
 		}
 	}
 	return nil

@@ -67,6 +67,20 @@ type Scenario struct {
 	// thread is descheduled for MigratorStallTime before serving commands.
 	MigratorStallProb float64
 	MigratorStallTime sim.Duration
+
+	// --- run-lifecycle supervision ---
+
+	// CancelAfterKernels, when positive, simulates a supervisor killing the
+	// run: the engine's lifecycle check cancels after this many kernel
+	// launches (deliberately not aligned to an iteration boundary), and the
+	// run returns a partial result with RunStatus cancelled. Deterministic:
+	// launch counting needs no PRNG draw.
+	CancelAfterKernels int64
+	// VirtualDeadline, when positive, bounds the run in simulated time: the
+	// engine stops at the first event past the deadline and returns a partial
+	// result with RunStatus deadline-exceeded. Virtual (not wall-clock) time
+	// keeps the scenario deterministic under a fixed seed.
+	VirtualDeadline sim.Duration
 }
 
 // withDefaults fills derived defaults.
@@ -125,6 +139,16 @@ func builtin() []Scenario {
 			Description:       "migration thread descheduled for 200us after 30% of kernel launches",
 			MigratorStallProb: 0.30,
 			MigratorStallTime: sim.Duration(200 * time.Microsecond),
+		},
+		{
+			Name:               "cancel-mid-iteration",
+			Description:        "supervisor cancels the run after 500 kernel launches (mid-iteration, tables warm); partial result, demand drained, prefetches discarded",
+			CancelAfterKernels: 500,
+		},
+		{
+			Name:            "deadline-tight",
+			Description:     "3ms virtual-time deadline expires mid-run; partial result with deadline-exceeded status",
+			VirtualDeadline: sim.Duration(3 * time.Millisecond),
 		},
 		{
 			Name:        "everything",
@@ -187,5 +211,12 @@ func (s Scenario) Active() bool {
 	return s.LinkDegradeFactor > 1 || s.LinkJitterFrac > 0 || s.TransferFailProb > 0 ||
 		s.FaultBatchCap > 0 || s.DropNotifyProb > 0 || s.DupNotifyProb > 0 ||
 		(s.HostPressureFactor > 1 && s.HostPressurePeriod > 0) ||
-		s.TableRowsDivisor > 1 || s.MigratorStallProb > 0
+		s.TableRowsDivisor > 1 || s.MigratorStallProb > 0 ||
+		s.CancelAfterKernels > 0 || s.VirtualDeadline > 0
+}
+
+// Interrupts reports whether the scenario ends the run early (supervisor
+// cancellation or a virtual deadline) rather than merely degrading it.
+func (s Scenario) Interrupts() bool {
+	return s.CancelAfterKernels > 0 || s.VirtualDeadline > 0
 }

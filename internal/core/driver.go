@@ -49,6 +49,11 @@ type Options struct {
 	// accessed soon"). Zero disables the throttle. The engine fills it in
 	// from the simulated machine.
 	CapacityBytes int64
+	// WarmTables, when set, seeds the driver with correlation tables restored
+	// from a checkpoint instead of empty ones; the driver adopts the tables'
+	// own configuration (overriding TableConfig) so the set-index hash and
+	// successor limits match the state being resumed.
+	WarmTables *correlation.Tables
 }
 
 // DefaultOptions returns the configuration used for the paper's headline
@@ -147,9 +152,15 @@ func NewDriver(opts Options) *Driver {
 	if opts.TableConfig.NumRows == 0 {
 		opts.TableConfig = correlation.DefaultBlockTableConfig()
 	}
+	tables := opts.WarmTables
+	if tables != nil {
+		opts.TableConfig = tables.Config()
+	} else {
+		tables = correlation.NewTables(opts.TableConfig)
+	}
 	d := &Driver{
 		opts:        opts,
-		tables:      correlation.NewTables(opts.TableConfig),
+		tables:      tables,
 		current:     correlation.NoExec,
 		queued:      make(map[um.BlockID]struct{}),
 		protected:   make(map[um.BlockID]struct{}),
@@ -393,6 +404,24 @@ func (d *Driver) TakeQueued(b um.BlockID) bool {
 
 // PendingPrefetches returns the prefetch-queue depth.
 func (d *Driver) PendingPrefetches() int { return d.qlen() }
+
+// DiscardPrefetches drops every outstanding prefetch command and kills the
+// active chain. The run-lifecycle supervisor calls it when a run is
+// cancelled: demand work drains, speculative work is thrown away. It returns
+// how many live commands were discarded.
+func (d *Driver) DiscardPrefetches() int64 {
+	var n int64
+	for i := d.head; i < len(d.queue); i++ {
+		if _, live := d.queued[d.queue[i].Block]; live {
+			n++
+		}
+	}
+	d.queue = d.queue[:0]
+	d.head = 0
+	clear(d.queued)
+	d.cursor = nil
+	return n
+}
 
 // ProtectedCount returns the size of the predicted (protected) set.
 func (d *Driver) ProtectedCount() int { return len(d.protected) }

@@ -1,0 +1,323 @@
+package correlation
+
+// Warm-state checkpointing (DeepUM run-lifecycle supervision). The
+// correlation tables are the only state worth persisting across runs: UM
+// residency and link occupancy are rebuilt by the first iteration anyway,
+// but the tables take a full warm-up epoch to learn (§3.2), so a resumed
+// run that starts cold repays the entire warm-up cost. The encoding below
+// serializes the execution-ID table and every UM-block table losslessly —
+// including MRU order, the miss-history cursor, and the pending-Start flag —
+// so a resumed run reproduces the prefetch decisions of an uninterrupted
+// one from its first post-resume iteration.
+//
+// Format (little-endian throughout):
+//
+//	magic   [8]byte  "DEEPUMCK"
+//	version uint32   (currently 1)
+//	payload          (see encode below)
+//	crc32   uint32   IEEE, over magic+version+payload
+//
+// Everything in the payload is written in deterministic order (maps sorted
+// by ExecID, ways and successor lists in MRU order), so encoding the same
+// tables twice yields identical bytes — which the tests exploit.
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"deepum/internal/um"
+)
+
+// checkpointMagic identifies a DeepUM correlation checkpoint stream.
+var checkpointMagic = [8]byte{'D', 'E', 'E', 'P', 'U', 'M', 'C', 'K'}
+
+// CheckpointVersion is the current encoding version. A reader rejects any
+// other version rather than guessing at the layout.
+const CheckpointVersion uint32 = 1
+
+// WriteCheckpoint serializes t (versioned, CRC32-checksummed) to w.
+func WriteCheckpoint(w io.Writer, t *Tables) error {
+	if t == nil {
+		return fmt.Errorf("correlation: cannot checkpoint nil tables")
+	}
+	var buf bytes.Buffer
+	buf.Write(checkpointMagic[:])
+	writeU32(&buf, CheckpointVersion)
+	encodePayload(&buf, t)
+	writeU32(&buf, crc32.ChecksumIEEE(buf.Bytes()))
+	_, err := w.Write(buf.Bytes())
+	return err
+}
+
+// ReadCheckpoint decodes a checkpoint previously produced by
+// WriteCheckpoint, verifying magic, version, and checksum before touching
+// the payload. It returns fresh tables that share nothing with the stream.
+func ReadCheckpoint(r io.Reader) (*Tables, error) {
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("correlation: reading checkpoint: %w", err)
+	}
+	const minLen = 8 + 4 + 4 // magic + version + crc
+	if len(raw) < minLen {
+		return nil, fmt.Errorf("correlation: checkpoint truncated (%d bytes)", len(raw))
+	}
+	body, sum := raw[:len(raw)-4], binary.LittleEndian.Uint32(raw[len(raw)-4:])
+	if got := crc32.ChecksumIEEE(body); got != sum {
+		return nil, fmt.Errorf("correlation: checkpoint corrupt: crc mismatch (stored %08x, computed %08x)", sum, got)
+	}
+	if !bytes.Equal(body[:8], checkpointMagic[:]) {
+		return nil, fmt.Errorf("correlation: not a checkpoint (bad magic %q)", body[:8])
+	}
+	if v := binary.LittleEndian.Uint32(body[8:12]); v != CheckpointVersion {
+		return nil, fmt.Errorf("correlation: unsupported checkpoint version %d (want %d)", v, CheckpointVersion)
+	}
+	d := &decoder{buf: body[12:]}
+	t := decodePayload(d)
+	if d.err != nil {
+		return nil, fmt.Errorf("correlation: decoding checkpoint: %w", d.err)
+	}
+	if len(d.buf) != 0 {
+		return nil, fmt.Errorf("correlation: checkpoint has %d trailing bytes", len(d.buf))
+	}
+	return t, nil
+}
+
+// Config returns the block-table configuration every table of this set is
+// built with.
+func (t *Tables) Config() BlockTableConfig { return t.cfg }
+
+// --- encoding ---
+
+func encodePayload(buf *bytes.Buffer, t *Tables) {
+	// Block-table configuration (4 x i32).
+	writeI32(buf, int32(t.cfg.NumRows))
+	writeI32(buf, int32(t.cfg.Assoc))
+	writeI32(buf, int32(t.cfg.NumSuccs))
+	writeI32(buf, int32(t.cfg.NumLevels))
+
+	// Execution-ID table: entries sorted by ID, records in MRU order.
+	ids := make([]ExecID, 0, len(t.Exec.entries))
+	for id := range t.Exec.entries {
+		ids = append(ids, id)
+	}
+	sortExecIDs(ids)
+	writeU32(buf, uint32(len(ids)))
+	for _, id := range ids {
+		recs := t.Exec.entries[id]
+		writeI32(buf, int32(id))
+		writeU32(buf, uint32(len(recs)))
+		for _, r := range recs {
+			for _, p := range r.Prev {
+				writeI32(buf, int32(p))
+			}
+			writeI32(buf, int32(r.Next))
+		}
+	}
+
+	// UM-block tables, sorted by execution ID.
+	bids := t.ExecIDs()
+	writeU32(buf, uint32(len(bids)))
+	for _, id := range bids {
+		bt := t.blocks[id]
+		writeI32(buf, int32(id))
+		writeI64(buf, int64(bt.Start))
+		writeI64(buf, int64(bt.End))
+		for _, b := range bt.last {
+			writeI64(buf, int64(b))
+		}
+		if bt.pendingStart {
+			buf.WriteByte(1)
+		} else {
+			buf.WriteByte(0)
+		}
+		for _, set := range bt.sets {
+			writeU32(buf, uint32(len(set)))
+			for _, e := range set {
+				writeI64(buf, int64(e.tag))
+				for level := 0; level < bt.cfg.NumLevels; level++ {
+					succs := e.succs[level]
+					writeU32(buf, uint32(len(succs)))
+					for _, s := range succs {
+						writeI64(buf, int64(s))
+					}
+				}
+			}
+		}
+	}
+}
+
+func decodePayload(d *decoder) *Tables {
+	cfg := BlockTableConfig{
+		NumRows:   int(d.i32()),
+		Assoc:     int(d.i32()),
+		NumSuccs:  int(d.i32()),
+		NumLevels: int(d.i32()),
+	}
+	if d.err != nil {
+		return nil
+	}
+	if cfg.NumRows < 1 || cfg.Assoc < 1 || cfg.NumSuccs < 1 || cfg.NumLevels < 1 {
+		d.fail("invalid block-table config %+v", cfg)
+		return nil
+	}
+	t := NewTables(cfg)
+
+	// Execution-ID table. Records arrive in MRU order; appending preserves it.
+	nExec := int(d.u32())
+	for i := 0; i < nExec && d.err == nil; i++ {
+		id := ExecID(d.i32())
+		nRecs := int(d.u32())
+		if d.err != nil || !d.fits(nRecs, (HistoryLen+1)*4) {
+			return nil
+		}
+		recs := make([]ExecRecord, 0, nRecs)
+		for j := 0; j < nRecs; j++ {
+			var r ExecRecord
+			for k := range r.Prev {
+				r.Prev[k] = ExecID(d.i32())
+			}
+			r.Next = ExecID(d.i32())
+			recs = append(recs, r)
+		}
+		t.Exec.entries[id] = recs
+		t.Exec.records += int64(nRecs)
+	}
+
+	// UM-block tables.
+	nBlocks := int(d.u32())
+	for i := 0; i < nBlocks && d.err == nil; i++ {
+		id := ExecID(d.i32())
+		bt := NewBlockTable(cfg)
+		bt.Start = um.BlockID(d.i64())
+		bt.End = um.BlockID(d.i64())
+		for l := range bt.last {
+			bt.last[l] = um.BlockID(d.i64())
+		}
+		bt.pendingStart = d.u8() != 0
+		for row := 0; row < cfg.NumRows && d.err == nil; row++ {
+			nWays := int(d.u32())
+			if nWays > cfg.Assoc {
+				d.fail("row %d has %d ways (assoc %d)", row, nWays, cfg.Assoc)
+				return nil
+			}
+			set := make([]entry, 0, nWays)
+			for way := 0; way < nWays; way++ {
+				e := entry{tag: um.BlockID(d.i64()), valid: true,
+					succs: make([][]um.BlockID, cfg.NumLevels)}
+				for level := 0; level < cfg.NumLevels; level++ {
+					nSuccs := int(d.u32())
+					if d.err != nil || !d.fits(nSuccs, 8) || nSuccs > cfg.NumSuccs {
+						d.fail("entry has %d successors (limit %d)", nSuccs, cfg.NumSuccs)
+						return nil
+					}
+					if nSuccs > 0 {
+						succs := make([]um.BlockID, 0, nSuccs)
+						for s := 0; s < nSuccs; s++ {
+							succs = append(succs, um.BlockID(d.i64()))
+						}
+						e.succs[level] = succs
+					}
+				}
+				set = append(set, e)
+			}
+			bt.sets[row] = set
+		}
+		t.blocks[id] = bt
+	}
+	if d.err != nil {
+		return nil
+	}
+	return t
+}
+
+// --- little-endian helpers ---
+
+func writeU32(buf *bytes.Buffer, v uint32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	buf.Write(b[:])
+}
+
+func writeI32(buf *bytes.Buffer, v int32) { writeU32(buf, uint32(v)) }
+
+func writeI64(buf *bytes.Buffer, v int64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(v))
+	buf.Write(b[:])
+}
+
+func sortExecIDs(ids []ExecID) {
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+}
+
+// decoder is a cursor over the payload with sticky error state, so decode
+// code reads linearly without per-field error plumbing.
+type decoder struct {
+	buf []byte
+	err error
+}
+
+func (d *decoder) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf(format, args...)
+	}
+}
+
+// fits reports whether n elements of elemBytes each could possibly remain
+// in the stream — a cheap guard against allocating from a corrupt count.
+func (d *decoder) fits(n, elemBytes int) bool {
+	if d.err != nil {
+		return false
+	}
+	if n < 0 || n*elemBytes > len(d.buf) {
+		d.fail("count %d exceeds remaining %d bytes", n, len(d.buf))
+		return false
+	}
+	return true
+}
+
+func (d *decoder) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if len(d.buf) < n {
+		d.fail("truncated: need %d bytes, have %d", n, len(d.buf))
+		return nil
+	}
+	b := d.buf[:n]
+	d.buf = d.buf[n:]
+	return b
+}
+
+func (d *decoder) u8() byte {
+	b := d.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (d *decoder) u32() uint32 {
+	b := d.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (d *decoder) i32() int32 { return int32(d.u32()) }
+
+func (d *decoder) i64() int64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return int64(binary.LittleEndian.Uint64(b))
+}

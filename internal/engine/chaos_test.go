@@ -58,6 +58,28 @@ func TestChaosScenarioSuite(t *testing.T) {
 		t.Run(sc.Name, func(t *testing.T) {
 			deep := chaosRun(t, p, PolicyDeepUM, sc, 1, nil)
 			um := chaosRun(t, p, PolicyUM, sc, 1, nil)
+			if sc.Interrupts() {
+				// Run-ending scenarios assert the lifecycle contract instead
+				// of the timing one: the run returns a partial result tagged
+				// with the matching status, under both policies.
+				want := StatusCancelled
+				if sc.VirtualDeadline > 0 {
+					want = StatusDeadlineExceeded
+				}
+				if deep.Status != want || um.Status != want {
+					t.Fatalf("status under %q: deepum %v, um %v, want %v",
+						sc.Name, deep.Status, um.Status, want)
+				}
+				if deep.Iterations >= 2 || um.Iterations >= 2 {
+					t.Fatalf("interrupting scenario completed all measured iterations: deepum %d, um %d",
+						deep.Iterations, um.Iterations)
+				}
+				return
+			}
+			if deep.Status != StatusCompleted {
+				t.Fatalf("non-interrupting scenario %q ended %v (invariant: %v)",
+					sc.Name, deep.Status, deep.Invariant)
+			}
 			if deep.TotalTime <= 0 || um.TotalTime <= 0 {
 				t.Fatalf("degenerate times: deepum %v, um %v", deep.TotalTime, um.TotalTime)
 			}

@@ -8,6 +8,8 @@
 package engine
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 
@@ -80,15 +82,43 @@ type Config struct {
 	// migration-thread stalls. Injection is deterministic per injector seed.
 	// The invariant checker runs regardless of whether Chaos is set.
 	Chaos *chaos.Injector
+
+	// Ctx supervises the run: once it is cancelled or its deadline expires,
+	// the run stops at the next simulated event, drains demand work,
+	// discards prefetches, and returns a partial Result tagged with the
+	// matching RunStatus. RunContext fills it in; nil never interrupts.
+	Ctx context.Context
+	// Deadline bounds the run in VIRTUAL (simulated) time: the run stops at
+	// the first event at or past this budget with StatusDeadlineExceeded.
+	// Unlike a context deadline it is deterministic under a fixed seed —
+	// the chaos scenario "deadline-tight" uses it. Zero means unbounded.
+	Deadline sim.Duration
+	// BreakerThreshold is the consecutive prefetch-transfer-failure count
+	// that opens the prefetch circuit breaker (default 8); BreakerCooldown
+	// is the virtual time the breaker stays open before half-opening to
+	// probe (default 500us). See breaker.go.
+	BreakerThreshold int
+	BreakerCooldown  sim.Duration
 }
 
-// Result aggregates the measurements of a run.
+// Result aggregates the measurements of a run. Interrupted runs (Status
+// cancelled or deadline-exceeded) return a partial Result: Iterations and
+// the per-iteration slices cover only what completed, and the aggregate
+// counters cover the run up to the stop event.
 type Result struct {
-	Policy     Policy
+	Policy Policy
+	// Iterations is the number of measured iterations that actually
+	// completed — equal to the configured count only for uninterrupted runs.
 	Iterations int
+	// Status classifies how the run ended; see RunStatus.
+	Status RunStatus
 
 	TotalTime sim.Duration // measured iterations only
 	IterTimes []sim.Duration
+	// IterStats covers every completed iteration, warmup included, with
+	// per-iteration fault and prefetch counts (the checkpoint/resume
+	// equivalence trace).
+	IterStats []IterStat
 	GPUBusy   sim.Duration // SM-active time within measured iterations
 	LinkBusy  sim.Duration // link-active (either direction) time
 
@@ -109,6 +139,17 @@ type Result struct {
 
 	// Chaos reports what the injector delivered; zero without injection.
 	Chaos chaos.Stats
+
+	// Invariant is the first invariant-checker violation, reported through
+	// the result (Status degraded) instead of aborting the caller; nil on a
+	// consistent run.
+	Invariant *chaos.InvariantError
+	// Breaker snapshots the prefetch circuit breaker (zero value for
+	// policies without a driver).
+	Breaker BreakerStats
+	// DiscardedPrefetches counts queued prefetch commands thrown away when
+	// the run was interrupted (demand work drains; speculation does not).
+	DiscardedPrefetches int64
 }
 
 // IterTime returns the mean measured iteration time.
@@ -121,6 +162,16 @@ func (r *Result) IterTime() sim.Duration {
 
 // Run executes the configured training run and returns its measurements.
 func Run(cfg Config) (*Result, error) {
+	return RunContext(context.Background(), cfg)
+}
+
+// RunContext is Run under a supervising context: cancellation or deadline
+// expiry stops the run at the next simulated event and returns a partial
+// Result (nil error) tagged StatusCancelled or StatusDeadlineExceeded.
+func RunContext(ctx context.Context, cfg Config) (*Result, error) {
+	if ctx != nil {
+		cfg.Ctx = ctx
+	}
 	if cfg.Program == nil {
 		return nil, fmt.Errorf("engine: nil program")
 	}
@@ -179,6 +230,17 @@ type exec struct {
 	cmdTime sim.Time // when the pending prefetch commands became available
 	gpuBusy sim.Duration
 
+	// Run-lifecycle supervision (lifecycle.go): the supervising context, the
+	// absolute virtual-time deadline (0 = none), the status recorded by the
+	// first interrupt check that fired, and the first invariant violation.
+	ctx       context.Context
+	deadline  sim.Time
+	status    RunStatus
+	invariant *chaos.InvariantError
+	// breaker is the prefetch circuit breaker (breaker.go); nil (and
+	// nil-safe) for policies without a driver.
+	breaker *prefetchBreaker
+
 	touchBuf []touch
 	groupBuf []um.FaultGroup
 
@@ -213,6 +275,15 @@ func newExec(cfg Config) (*exec, error) {
 	if e.chaos != nil {
 		e.link.SetPerturber(e.chaos)
 	}
+	e.ctx = cfg.Ctx
+	// Virtual-time deadline: explicit config first, else the chaos
+	// scenario's. Runs start at virtual time zero, so the budget is the
+	// absolute deadline.
+	if cfg.Deadline > 0 {
+		e.deadline = sim.Time(cfg.Deadline)
+	} else if vd := e.chaos.VirtualDeadline(); vd > 0 {
+		e.deadline = sim.Time(vd)
+	}
 	var policy um.EvictionPolicy = um.LRMPolicy{}
 	var invalidator um.Invalidator = um.NoInvalidate{}
 	if cfg.Policy == PolicyDeepUM {
@@ -238,6 +309,9 @@ func newExec(cfg Config) (*exec, error) {
 		e.driver = core.NewDriver(cfg.DriverOptions)
 		policy = e.driver
 		invalidator = e.driver
+		if e.driver.Options().Prefetch {
+			e.breaker = newPrefetchBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown)
+		}
 		e.driver.SetResidencyProbe(func(b um.BlockID) bool {
 			return e.space.Block(b).Resident
 		})
@@ -253,6 +327,7 @@ func newExec(cfg Config) (*exec, error) {
 		Policy:          policy,
 		Invalidator:     invalidator,
 		DensityPrefetch: cfg.UMDensityPrefetch,
+		Ctx:             cfg.Ctx,
 	}
 	e.handler.OnMigrated = func(b um.BlockID, at sim.Time) {
 		if e.driver != nil {
@@ -338,44 +413,96 @@ func (e *exec) markHostPopulated(id workload.TensorID) {
 }
 
 func (e *exec) run() (*Result, error) {
-	p := e.cfg.Program
-	res := &Result{Policy: e.cfg.Policy, Iterations: e.cfg.Iterations}
+	res := &Result{Policy: e.cfg.Policy}
 	var measureStart sim.Time
 	var faultsAtMeasureStart int64
 	var busyAtMeasureStart sim.Duration
+	var prevFaults, prevIssued, prevUseful int64
 
 	total := e.cfg.Warmup + e.cfg.Iterations
 	for iter := 0; iter < total; iter++ {
+		if e.interrupted() {
+			break
+		}
 		if iter == e.cfg.Warmup {
 			measureStart = e.now
 			faultsAtMeasureStart = e.handler.Stats.PageFaults
 			busyAtMeasureStart = e.gpuBusy
 		}
 		iterStart := e.now
-		if err := e.iteration(); err != nil {
-			return nil, err
+		err := e.iteration()
+		stopped := errors.Is(err, errRunInterrupted)
+		if err != nil && !stopped {
+			// An invariant violation is reported through the result (Status
+			// degraded) so supervised callers decide policy; any other error
+			// (OOM, bad workload) still fails the run outright.
+			var inv *chaos.InvariantError
+			if !errors.As(err, &inv) {
+				return nil, err
+			}
+			e.invariant = inv
+			break
 		}
 		// Always-on invariant checker: residency accounting balanced, link
 		// timeline well-formed, driver bookkeeping coherent — under every
-		// chaos scenario and under none.
+		// chaos scenario and under none, including after a partial
+		// (interrupted) iteration: stopping must not corrupt state.
 		if err := e.checkInvariants(); err != nil {
-			return nil, fmt.Errorf("engine: after iteration %d: %w", iter, err)
+			var inv *chaos.InvariantError
+			if !errors.As(err, &inv) {
+				return nil, fmt.Errorf("engine: after iteration %d: %w", iter, err)
+			}
+			e.invariant = inv
+			break
 		}
+		if stopped {
+			break
+		}
+		stat := IterStat{
+			Warmup: iter < e.cfg.Warmup,
+			Time:   e.now.Sub(iterStart),
+			Faults: e.handler.Stats.PageFaults - prevFaults,
+		}
+		if e.driver != nil {
+			stat.PrefetchIssued = e.driver.Stats.PrefetchIssued - prevIssued
+			stat.PrefetchUseful = e.driver.Stats.PrefetchUseful - prevUseful
+			prevIssued = e.driver.Stats.PrefetchIssued
+			prevUseful = e.driver.Stats.PrefetchUseful
+		}
+		prevFaults = e.handler.Stats.PageFaults
+		res.IterStats = append(res.IterStats, stat)
 		if iter >= e.cfg.Warmup {
-			res.IterTimes = append(res.IterTimes, e.now.Sub(iterStart))
+			res.IterTimes = append(res.IterTimes, stat.Time)
 		}
 	}
 
+	// Finalize — valid for complete and partial runs alike. A run cut during
+	// warmup never opened the measurement window, so the window degenerates
+	// to [0, now) with zero measured iterations.
+	if e.status == StatusCompleted && (e.invariant != nil || (e.breaker != nil && e.breaker.opens > 0)) {
+		e.status = StatusDegraded
+	}
+	res.Status = e.status
+	res.Invariant = e.invariant
+	res.Iterations = len(res.IterTimes)
 	res.TotalTime = e.now.Sub(measureStart)
 	res.GPUBusy = e.gpuBusy - busyAtMeasureStart
 	res.LinkBusy = e.linkTL.Busy()
-	res.FaultsPerIter = (e.handler.Stats.PageFaults - faultsAtMeasureStart) / int64(e.cfg.Iterations)
+	if res.Iterations > 0 {
+		res.FaultsPerIter = (e.handler.Stats.PageFaults - faultsAtMeasureStart) / int64(res.Iterations)
+	}
 	res.Handler = e.handler.Stats
 	if e.driver != nil {
+		if e.status == StatusCancelled || e.status == StatusDeadlineExceeded {
+			// Shutdown policy (mirrors pipeline.Stop): demand work already
+			// drained at the event boundary; speculative work is discarded.
+			res.DiscardedPrefetches = e.driver.DiscardPrefetches()
+		}
 		res.Driver = e.driver.Stats
 		res.DriverTableBytes = e.driver.Tables().SizeBytes()
 		res.Tables = e.driver.Tables()
 	}
+	res.Breaker = e.breaker.snapshot()
 	res.TrafficH2D, res.TrafficD2H = e.link.Traffic()
 	res.PeakAllocBytes = e.alloc.Stats().PeakActiveBytes
 	res.EnergyJoules = e.energy(res)
@@ -386,7 +513,6 @@ func (e *exec) run() (*Result, error) {
 		res.Chaos.DemandRetries += e.handler.Stats.TransferRetries
 		res.Chaos.BackoffTime += e.handler.Stats.RetryStall
 	}
-	_ = p
 	return res, nil
 }
 
@@ -450,6 +576,15 @@ func (e *exec) iteration() error {
 // the kernel's UM-block accesses, and the roofline compute time, with the
 // migration thread pumping prefetch and pre-eviction work in the background.
 func (e *exec) kernel(k *workload.Kernel) error {
+	if e.interrupted() {
+		return errRunInterrupted
+	}
+	// An injected supervisor kill (scenario cancel-mid-iteration) fires on a
+	// launch count, deliberately unaligned to iteration boundaries.
+	if e.chaos.NoteKernelLaunch() {
+		e.status = StatusCancelled
+		return errRunInterrupted
+	}
 	id := e.rt.Launch(k.Name, k.Args)
 	e.currentKernel = k.Name
 	if e.tracer != nil {
@@ -471,9 +606,12 @@ func (e *exec) kernel(k *workload.Kernel) error {
 
 	i := 0
 	for i < len(touches) {
+		if e.interrupted() {
+			return errRunInterrupted
+		}
 		t := touches[i]
 		blk := e.space.Block(t.block)
-		if !blk.Resident && e.driver != nil && e.driver.TakeQueued(t.block) {
+		if !blk.Resident && e.driver != nil && e.breaker.allow(e.now) && e.driver.TakeQueued(t.block) {
 			// A prefetch command for this block is already in the queue:
 			// the migration thread runs it ahead of the remaining queue
 			// (fault avoided; the GPU stalls on the in-flight transfer).
@@ -517,7 +655,7 @@ func (e *exec) kernel(k *workload.Kernel) error {
 			if e.space.Block(tj.block).Resident {
 				break
 			}
-			if e.driver != nil && e.driver.TakeQueued(tj.block) {
+			if e.driver != nil && e.breaker.allow(e.now) && e.driver.TakeQueued(tj.block) {
 				e.materialize(tj.block)
 				break
 			}
@@ -554,6 +692,12 @@ func (e *exec) kernel(k *workload.Kernel) error {
 			clear(e.evictedInCycle)
 		}
 		e.now = e.handler.HandleGroups(e.now, e.groupBuf)
+		// A cancellation observed during the handling cycle means the handler
+		// may have legitimately abandoned trailing groups — skip the served
+		// audit for the interrupted cycle and stop.
+		if e.interrupted() {
+			return errRunInterrupted
+		}
 		// Every access eventually served: a handling cycle may be slowed by
 		// chaos but may never lose a faulted block.
 		if err := chaos.CheckServed(e.space, e.groupBuf, e.evictedInCycle); err != nil {
@@ -653,9 +797,14 @@ func (e *exec) pump(until sim.Time) {
 			e.evictBackground(v, true)
 		}
 	}
-	// Prefetch stream on the H2D lane.
+	// Prefetch stream on the H2D lane. An open circuit breaker short-circuits
+	// the whole stream: the run is in pure on-demand mode until the cooldown
+	// half-opens it.
 	for {
 		if e.link.BusyUntil(sim.HostToDevice) >= until {
+			return
+		}
+		if !e.breaker.allow(until) {
 			return
 		}
 		cmd, ok := e.nextPrefetch()
@@ -752,9 +901,17 @@ func (e *exec) prefetchTransfer(at sim.Time, need int64) (ready sim.Time, ok boo
 	for attempt := 0; ; attempt++ {
 		_, end, delivered := e.link.ReserveChecked(at, need, sim.HostToDevice)
 		if delivered {
+			e.breaker.success(end)
 			return end, true
 		}
+		e.breaker.failure(end)
 		if attempt >= chaos.MaxPrefetchRetries {
+			e.chaos.NotePrefetchGiveUp()
+			return end, false
+		}
+		if !e.breaker.allow(end) {
+			// The breaker opened on this failure: abandon the command without
+			// burning the remaining retries — on-demand faulting serves it.
 			e.chaos.NotePrefetchGiveUp()
 			return end, false
 		}

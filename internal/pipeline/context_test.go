@@ -1,0 +1,205 @@
+package pipeline
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"deepum/internal/chaos"
+	"deepum/internal/correlation"
+	"deepum/internal/um"
+)
+
+// waitGoroutines waits for the goroutine count to drop back to the baseline
+// (plus slack for the runtime's own helpers), failing the test otherwise.
+func waitGoroutines(t *testing.T, before int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before+2 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked: %d before, %d after shutdown", before, runtime.NumGoroutine())
+}
+
+// TestPipelineContextCancel: cancelling the supervising context shuts the
+// whole pipeline down — every demand migration served (queued, inline, or
+// drained), prefetches discarded or executed, watcher gone — without the
+// owner ever calling Stop.
+func TestPipelineContextCancel(t *testing.T) {
+	before := runtime.NumGoroutine()
+	m := &collectMigrator{}
+	d := NewDriver(correlation.DefaultBlockTableConfig(), 8, m)
+	ctx, cancel := context.WithCancel(context.Background())
+	d.StartContext(ctx)
+
+	const faults = 5_000
+	d.KernelLaunch(0)
+	for i := 0; i < faults; i++ {
+		d.OnFault(um.BlockID(i % 256))
+	}
+	cancel()
+	select {
+	case <-d.WatcherDone():
+	case <-time.After(10 * time.Second):
+		t.Fatal("context watcher did not shut the pipeline down")
+	}
+	// The watcher's Stop has fully drained by the time WatcherDone closes;
+	// a redundant owner Stop must be a cheap no-op.
+	d.Stop()
+
+	st := d.Stats()
+	if served := st.DemandMigrations + st.InlineMigrations; served != faults {
+		t.Fatalf("demand conservation violated across cancel: %d served, want %d", served, faults)
+	}
+	if got := m.demandN.Load(); got != faults {
+		t.Fatalf("migrator saw %d demand commands, want %d", got, faults)
+	}
+	waitGoroutines(t, before)
+}
+
+// TestPipelineContextCancelDuringStall: cancellation while the migration
+// thread is chaos-stalled still drains every queued demand command — the
+// shutdown path must not race the stalled stage into losing work.
+func TestPipelineContextCancelDuringStall(t *testing.T) {
+	before := runtime.NumGoroutine()
+	m := &collectMigrator{}
+	d := NewDriver(correlation.DefaultBlockTableConfig(), 8, m)
+	d.SetChaos(chaos.NewPipelineInjector(chaos.Scenario{
+		MigratorStallProb: 1.0,
+		MigratorStallTime: 200_000, // 200us stall before every unit of work
+	}, 1))
+	ctx, cancel := context.WithCancel(context.Background())
+	d.StartContext(ctx)
+
+	const faults = 512
+	d.KernelLaunch(0)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < faults; i++ {
+			d.OnFault(um.BlockID(i))
+		}
+	}()
+	time.Sleep(2 * time.Millisecond) // land the cancel mid-stream
+	cancel()
+	wg.Wait()
+	select {
+	case <-d.WatcherDone():
+	case <-time.After(30 * time.Second):
+		t.Fatal("watcher never finished stopping a stalled pipeline")
+	}
+	st := d.Stats()
+	if served := st.DemandMigrations + st.InlineMigrations; served != faults {
+		t.Fatalf("stalled-cancel lost demand work: %d served, want %d", served, faults)
+	}
+	waitGoroutines(t, before)
+}
+
+// TestPipelineContextDeadline: an already-expired context deadline stops the
+// pipeline the moment it starts; late demand pushes are still served by
+// Stop's drain sweep.
+func TestPipelineContextDeadline(t *testing.T) {
+	before := runtime.NumGoroutine()
+	m := &collectMigrator{}
+	d := NewDriver(correlation.DefaultBlockTableConfig(), 4, m)
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	d.StartContext(ctx)
+	select {
+	case <-d.WatcherDone():
+	case <-time.After(10 * time.Second):
+		t.Fatal("expired deadline never stopped the pipeline")
+	}
+	d.KernelLaunch(0)
+	for i := 0; i < 16; i++ {
+		d.OnFault(um.BlockID(i))
+	}
+	d.Stop()
+	if got := m.demandN.Load(); got != 16 {
+		t.Fatalf("post-deadline faults not served: %d, want 16", got)
+	}
+	waitGoroutines(t, before)
+}
+
+// TestPipelineContextOwnerStopFirst: when the owner calls Stop before any
+// cancellation, the watcher exits via the stop channel — StartContext never
+// leaks its watcher regardless of which side shuts down first.
+func TestPipelineContextOwnerStopFirst(t *testing.T) {
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	for i := 0; i < 10; i++ {
+		m := &collectMigrator{}
+		d := NewDriver(correlation.DefaultBlockTableConfig(), 4, m)
+		d.StartContext(ctx)
+		d.KernelLaunch(correlation.ExecID(i))
+		for j := 0; j < 32; j++ {
+			d.OnFault(um.BlockID(j))
+		}
+		d.Stop()
+		select {
+		case <-d.WatcherDone():
+		case <-time.After(10 * time.Second):
+			t.Fatal("watcher outlived an owner-initiated Stop")
+		}
+		if got := m.demandN.Load(); got != 32 {
+			t.Fatalf("cycle %d served %d demand commands, want 32", i, got)
+		}
+	}
+	waitGoroutines(t, before)
+}
+
+// TestPipelineContextConcurrentStops: the owner's Stop and the watcher's
+// cancel-triggered Stop racing each other must both return only after the
+// drain completed, exactly once.
+func TestPipelineContextConcurrentStops(t *testing.T) {
+	before := runtime.NumGoroutine()
+	m := &collectMigrator{}
+	d := NewDriver(correlation.DefaultBlockTableConfig(), 4, m)
+	ctx, cancel := context.WithCancel(context.Background())
+	d.StartContext(ctx)
+	d.KernelLaunch(0)
+	for i := 0; i < 64; i++ {
+		d.OnFault(um.BlockID(i))
+	}
+	var wg sync.WaitGroup
+	wg.Add(3)
+	go func() { defer wg.Done(); cancel() }()
+	go func() { defer wg.Done(); d.Stop() }()
+	go func() { defer wg.Done(); d.Stop() }()
+	wg.Wait()
+	select {
+	case <-d.WatcherDone():
+	case <-time.After(10 * time.Second):
+		t.Fatal("watcher stuck after concurrent stops")
+	}
+	if got := m.demandN.Load(); got != 64 {
+		t.Fatalf("served %d demand commands after racing stops, want 64", got)
+	}
+	waitGoroutines(t, before)
+}
+
+// TestPipelineContextUncancellable: a nil or never-cancellable context spawns
+// no watcher at all — StartContext degrades to Start.
+func TestPipelineContextUncancellable(t *testing.T) {
+	for _, ctx := range []context.Context{nil, context.Background()} {
+		m := &collectMigrator{}
+		d := NewDriver(correlation.DefaultBlockTableConfig(), 4, m)
+		d.StartContext(ctx)
+		if d.WatcherDone() != nil {
+			t.Fatal("watcher spawned for an uncancellable context")
+		}
+		d.KernelLaunch(0)
+		d.OnFault(1)
+		d.Stop()
+		if got := m.demandN.Load(); got != 1 {
+			t.Fatalf("served %d, want 1", got)
+		}
+	}
+}

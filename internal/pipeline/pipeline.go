@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -104,6 +105,16 @@ type Driver struct {
 	stop    chan struct{}
 	stopped atomic.Bool
 	wg      sync.WaitGroup
+	// stopOnce serializes shutdown; drained closes when Stop's drain pass
+	// has completed, so EVERY Stop caller — the owner, a context watcher, a
+	// concurrent duplicate — returns only after demand work is served and
+	// prefetches are discarded.
+	stopOnce sync.Once
+	drained  chan struct{}
+	// watcherDone closes when the StartContext watcher goroutine exits
+	// (nil when Start was used), so shutdown can prove zero leaked
+	// goroutines.
+	watcherDone chan struct{}
 
 	// progress counts migration-thread completions; the fault handler's
 	// watchdog reads it to tell "slow" from "stalled".
@@ -129,6 +140,7 @@ func NewDriver(cfg correlation.BlockTableConfig, degree int, m Migrator) *Driver
 		current:   correlation.NoExec,
 		migrator:  m,
 		stop:      make(chan struct{}),
+		drained:   make(chan struct{}),
 	}
 	for i := range d.history {
 		d.history[i] = correlation.NoExec
@@ -160,34 +172,72 @@ func (d *Driver) Start() {
 	go d.stageLoop("migration", d.migrationLoop)
 }
 
+// StartContext is Start under a supervising context: when ctx is cancelled
+// (or its deadline expires) a watcher goroutine invokes Stop, so the whole
+// pipeline shuts down — demand drained, prefetches discarded — without the
+// owner calling Stop itself. Stop remains safe to call as well (first
+// shutdown wins; both block until the drain completes), and the watcher
+// exits on either path: no goroutine outlives the pipeline.
+func (d *Driver) StartContext(ctx context.Context) {
+	d.Start()
+	if ctx == nil || ctx.Done() == nil {
+		return // never cancellable: no watcher needed
+	}
+	d.watcherDone = make(chan struct{})
+	go func() {
+		defer close(d.watcherDone)
+		select {
+		case <-ctx.Done():
+			d.Stop()
+		case <-d.stop:
+			// Someone else is stopping the pipeline; nothing to supervise.
+		}
+	}()
+}
+
 // Stop terminates the threads and waits for them to drain. Policy: demand
 // (fault-queue) work is always executed — a faulted access must be served
 // even during shutdown — while queued prefetch commands are discarded and
 // counted: they are a pure optimization and running them after the workload
 // stopped is wasted link traffic.
+//
+// Stop is idempotent and safe to call concurrently (e.g. from the owner and
+// from a StartContext watcher at once): exactly one caller performs the
+// shutdown, and every caller blocks until the drain has completed, so
+// counters read after Stop are final.
 func (d *Driver) Stop() {
-	if d.stopped.Swap(true) {
-		return // idempotent: concurrent or repeated Stop
-	}
-	close(d.stop)
-	d.wg.Wait()
-	// Late arrivals pushed while the threads were exiting: serve remaining
-	// demand work, discard remaining prefetch work.
-	for {
-		ev, ok := d.faultQ.Pop()
-		if !ok {
-			break
+	d.stopOnce.Do(func() {
+		d.stopped.Store(true)
+		close(d.stop)
+		d.wg.Wait()
+		// Late arrivals pushed while the threads were exiting: serve
+		// remaining demand work, discard remaining prefetch work.
+		for {
+			ev, ok := d.faultQ.Pop()
+			if !ok {
+				break
+			}
+			d.migrate(MigrateCommand{Block: ev.Block, Exec: ev.Exec, Demand: true})
+			d.demandN.Add(1)
 		}
-		d.migrate(MigrateCommand{Block: ev.Block, Exec: ev.Exec, Demand: true})
-		d.demandN.Add(1)
-	}
-	for {
-		if _, ok := d.prefetchQ.Pop(); !ok {
-			break
+		for {
+			if _, ok := d.prefetchQ.Pop(); !ok {
+				break
+			}
+			d.discardedN.Add(1)
 		}
-		d.discardedN.Add(1)
-	}
+		close(d.drained)
+	})
+	<-d.drained
+	// If a context watcher exists and is not the caller, it exits via
+	// d.stop; waiting for it here would deadlock the watcher's own Stop
+	// call, so leak tests wait on WatcherDone instead.
 }
+
+// WatcherDone exposes the StartContext watcher's exit signal (nil when the
+// pipeline was started without a context). Tests use it to assert the
+// watcher goroutine is gone after shutdown.
+func (d *Driver) WatcherDone() <-chan struct{} { return d.watcherDone }
 
 // stageLoop runs one stage body, recovering from panics and restarting the
 // stage so a poisoned event cannot take the pipeline down. The body returns
@@ -286,11 +336,15 @@ func (d *Driver) enqueueDemand(ev FaultEvent) {
 	snap := d.progress.Load()
 	spins := 0
 	for {
+		if d.stopped.Load() {
+			// Stopping or stopped: the migration thread may be gone and the
+			// Stop drain sweep may already have run, so an enqueued event
+			// could sit forever. Demand work must be served even during (and
+			// after) shutdown — do it inline.
+			break
+		}
 		if d.faultQ.Push(ev) {
 			return
-		}
-		if d.stopped.Load() {
-			break // stopping: the migration thread may already be gone
 		}
 		if spins++; spins >= enqueueDemandSpins {
 			cur := d.progress.Load()

@@ -1,6 +1,8 @@
 package um
 
 import (
+	"context"
+
 	"deepum/internal/sim"
 )
 
@@ -98,6 +100,13 @@ type Handler struct {
 	// OnEvicted, if set, is called for each victim (dropped or transferred).
 	OnEvicted func(b BlockID, invalidated bool)
 
+	// Ctx, if set, lets a supervisor interrupt fault handling between block
+	// groups: once the context is done, HandleGroups finishes the group in
+	// flight (demand work already started must drain — a half-migrated block
+	// would violate the served invariant) and returns without starting the
+	// next. A nil Ctx never interrupts.
+	Ctx context.Context
+
 	Stats HandlerStats
 }
 
@@ -123,6 +132,14 @@ func (h *Handler) HandleGroups(now sim.Time, groups []FaultGroup) sim.Time {
 	h.Stats.Overhead += h.Params.FaultBatchOverhead
 
 	for _, g := range groups {
+		if h.Ctx != nil && h.Ctx.Err() != nil {
+			// Cancelled: the groups already handled are fully served (demand
+			// work drains); the rest are abandoned — on a real GPU their
+			// faults simply replay into a run that is being torn down. The
+			// engine skips the served-invariant audit for an interrupted
+			// cycle.
+			break
+		}
 		pages := g.PageCount()
 		h.Stats.PageFaults += pages
 		blk := h.Space.Block(g.Block)

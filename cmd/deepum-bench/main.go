@@ -14,6 +14,7 @@ import (
 	"os"
 	"time"
 
+	"deepum/internal/chaos"
 	"deepum/internal/experiments"
 	"deepum/internal/metrics"
 )
@@ -28,6 +29,8 @@ func main() {
 		quick   = flag.Bool("quick", false, "one batch size per model")
 		seed    = flag.Int64("seed", 1, "seed for input-dependent access sampling")
 		timeout = flag.Duration("timeout", 0, "wall-clock budget for the whole bench; experiments past it are skipped")
+		chaosN  = flag.String("chaos", "", "fault-injection scenario for UM-side runs (baselines stay clean); \"list\" enumerates")
+		chaosS  = flag.Int64("chaos-seed", 0, "seed for chaos injection draws (0 = reuse -seed)")
 	)
 	flag.Parse()
 
@@ -37,12 +40,24 @@ func main() {
 		}
 		return
 	}
+	if *chaosN == "list" {
+		for _, sc := range chaos.Scenarios() {
+			fmt.Printf("%-16s %s\n", sc.Name, sc.Description)
+		}
+		return
+	}
+	if _, err := chaos.ByName(*chaosN); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 	opts := experiments.Options{
 		Scale:      *scale,
 		Iterations: *iters,
 		Warmup:     *warm,
 		Quick:      *quick,
 		Seed:       *seed,
+		Chaos:      *chaosN,
+		ChaosSeed:  *chaosS,
 	}
 	var exps []experiments.Experiment
 	if *run != "" {

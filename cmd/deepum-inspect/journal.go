@@ -1,0 +1,119 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"deepum/internal/supervisor/journal"
+)
+
+// runJournal implements `deepum-inspect journal <path>`: dump and verify a
+// supervisor run journal without opening it for writing — record counts by
+// type, a per-run lifecycle summary, and integrity findings (CRC failures,
+// torn-tail offset). Exit status 0 means the file parsed cleanly to EOF;
+// 2 means a torn tail or CRC failure was found (the intact prefix is still
+// reported — that prefix is exactly what a restarted supervisor replays).
+func runJournal(args []string) {
+	fs := flag.NewFlagSet("journal", flag.ExitOnError)
+	verbose := fs.Bool("v", false, "dump every record, not just the summary")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: deepum-inspect journal [-v] <path>")
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fs.Usage()
+		os.Exit(1)
+	}
+	path := fs.Arg(0)
+
+	recs, stats, err := journal.ReplayFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "deepum-inspect: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("== journal %s ==\n", path)
+	fmt.Printf("records      %d intact\n", stats.Records)
+	for _, t := range []journal.RecordType{journal.RecSubmitted, journal.RecStarted, journal.RecCheckpointed, journal.RecFinished} {
+		fmt.Printf("  %-12s %d\n", t, stats.ByType[t])
+	}
+	fmt.Printf("crc failures %d\n", stats.CRCFailures)
+	if stats.TornOffset >= 0 {
+		what := "unreadable frame"
+		if stats.TruncatedFrame {
+			what = "torn tail (truncated frame)"
+		}
+		fmt.Printf("integrity    %s at byte offset %d; records after it are lost\n", what, stats.TornOffset)
+	} else {
+		fmt.Printf("integrity    clean to EOF\n")
+	}
+
+	// Per-run lifecycle: last record type wins as the run's state.
+	type runSummary struct {
+		id          uint64
+		submitted   bool
+		attempts    int
+		checkpoints int
+		finished    bool
+		state       string
+	}
+	runs := map[uint64]*runSummary{}
+	var order []uint64
+	for _, r := range recs {
+		rs := runs[r.RunID]
+		if rs == nil {
+			rs = &runSummary{id: r.RunID}
+			runs[r.RunID] = rs
+			order = append(order, r.RunID)
+		}
+		switch r.Type {
+		case journal.RecSubmitted:
+			rs.submitted = true
+		case journal.RecStarted:
+			rs.attempts++
+		case journal.RecCheckpointed:
+			if len(r.Data) > 0 {
+				rs.checkpoints++
+			}
+		case journal.RecFinished:
+			rs.finished = true
+			// The finish payload is JSON with a "state" field; stay
+			// tolerant of records this build cannot parse.
+			var fin struct {
+				State string `json:"state"`
+			}
+			if json.Unmarshal(r.Data, &fin) == nil && fin.State != "" {
+				rs.state = fin.State
+			} else {
+				rs.state = "finished"
+			}
+		}
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+	fmt.Printf("\n%-8s %-10s %-8s %-11s %s\n", "run", "submitted", "starts", "checkpoints", "state")
+	interrupted := 0
+	for _, id := range order {
+		rs := runs[id]
+		state := rs.state
+		if !rs.finished {
+			state = "interrupted (would resume on restart)"
+			interrupted++
+		}
+		fmt.Printf("%-8d %-10v %-8d %-11d %s\n", rs.id, rs.submitted, rs.attempts, rs.checkpoints, state)
+	}
+	fmt.Printf("\n%d run(s), %d interrupted\n", len(order), interrupted)
+
+	if *verbose {
+		fmt.Println()
+		for i, r := range recs {
+			fmt.Printf("%6d  %-12s run=%d bytes=%d\n", i, r.Type, r.RunID, len(r.Data))
+		}
+	}
+	if stats.TornOffset >= 0 || stats.CRCFailures > 0 {
+		os.Exit(2)
+	}
+}

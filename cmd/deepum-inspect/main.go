@@ -5,6 +5,12 @@
 //
 //	deepum-inspect -model bert-base -batch 8
 //	deepum-inspect -model dlrm -batch 96000 -top 20
+//
+// The journal subcommand instead dumps and verifies a supervisor run
+// journal (record counts, per-run lifecycle, CRC failures, torn-tail
+// offset) without modifying it:
+//
+//	deepum-inspect journal runs.journal
 package main
 
 import (
@@ -22,6 +28,10 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "journal" {
+		runJournal(os.Args[2:])
+		return
+	}
 	var (
 		model   = flag.String("model", "bert-base", "model name")
 		dataset = flag.String("dataset", "", "dataset variant")

@@ -1,0 +1,99 @@
+// deepum-serve exposes the multi-run supervisor over an HTTP JSON API:
+// submit training runs, watch their lifecycle, cancel them, and survive
+// process restarts through the crash-safe run journal.
+//
+//	deepum-serve -addr :8080 -workers 4 -journal runs.journal
+//
+//	POST /runs              submit a run (RunSpec JSON) -> {"id": N}
+//	GET  /runs              list all runs
+//	GET  /runs/{id}         one run's snapshot
+//	POST /runs/{id}/cancel  request cancellation
+//	GET  /healthz           process liveness
+//	GET  /readyz            admission readiness (503 while draining)
+//
+// SIGINT/SIGTERM triggers a graceful drain: admission closes, queued and
+// running work finishes (up to -drain-timeout, then runs are cancelled),
+// and the journal is closed cleanly.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"deepum"
+	"deepum/internal/chaos"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8080", "HTTP listen address")
+		workers      = flag.Int("workers", 4, "concurrent training runs")
+		queue        = flag.Int("queue", 16, "submission queue depth (backpressure bound)")
+		gpuBudget    = flag.Int64("gpu-budget", 0, "simulated GPU memory budget in bytes shared by all runs (0 = unlimited)")
+		journalPath  = flag.String("journal", "", "crash-safe run journal path (empty = no persistence)")
+		watchdog     = flag.Duration("watchdog", 0, "cancel runs with no progress for this long (0 = no watchdog)")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful-drain budget on shutdown before runs are cancelled")
+		chaosName    = flag.String("chaos", "", "supervisor chaos scenario (empty = none; -chaos list to enumerate)")
+		chaosSeed    = flag.Int64("chaos-seed", 1, "seed for chaos injection draws")
+	)
+	flag.Parse()
+
+	if *chaosName == "list" {
+		for _, sc := range chaos.SupervisorScenarios() {
+			fmt.Printf("%-16s %s\n", sc.Name, sc.Description)
+		}
+		return
+	}
+	cfg := deepum.SupervisorConfig{
+		Workers:         *workers,
+		QueueDepth:      *queue,
+		GPUMemoryBudget: *gpuBudget,
+		WatchdogTimeout: *watchdog,
+		JournalPath:     *journalPath,
+		ChaosSeed:       *chaosSeed,
+	}
+	if *chaosName != "" {
+		sc, err := chaos.SupervisorScenarioByName(*chaosName)
+		if err != nil {
+			log.Fatalf("deepum-serve: %v", err)
+		}
+		cfg.Chaos = sc
+	}
+	sup, err := deepum.NewSupervisor(cfg)
+	if err != nil {
+		log.Fatalf("deepum-serve: %v", err)
+	}
+	if st := sup.Stats(); st.Recovered > 0 {
+		log.Printf("journal replay re-admitted %d interrupted run(s)", st.Recovered)
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: newServer(sup)}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("deepum-serve listening on %s (%d workers, queue %d)", *addr, *workers, *queue)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		log.Printf("%s: draining (budget %v)", sig, *drainTimeout)
+	case err := <-errc:
+		log.Fatalf("deepum-serve: %v", err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := sup.Drain(ctx); err != nil {
+		log.Printf("drain: %v", err)
+	}
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+}

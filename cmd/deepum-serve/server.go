@@ -1,0 +1,127 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strconv"
+
+	"deepum"
+)
+
+// newServer wires the supervisor behind a JSON HTTP API. Typed admission
+// rejections map onto distinct status codes so clients can tell "back off
+// and retry" (429 + Retry-After, 503) from "this spec can never be
+// admitted" (422).
+func newServer(sup *deepum.Supervisor) http.Handler {
+	s := &server{sup: sup}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /runs", s.submit)
+	mux.HandleFunc("GET /runs", s.list)
+	mux.HandleFunc("GET /runs/{id}", s.get)
+	mux.HandleFunc("POST /runs/{id}/cancel", s.cancel)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("GET /readyz", s.ready)
+	return mux
+}
+
+type server struct {
+	sup *deepum.Supervisor
+}
+
+func (s *server) submit(w http.ResponseWriter, r *http.Request) {
+	var spec deepum.RunSpec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	id, err := s.sup.Submit(spec)
+	if err != nil {
+		var qf *deepum.QueueFullError
+		var q *deepum.QuotaError
+		switch {
+		case errors.Is(err, deepum.ErrSupervisorShuttingDown):
+			writeError(w, http.StatusServiceUnavailable, err)
+		case errors.As(err, &qf):
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests, err)
+		case errors.As(err, &q) && q.Retryable():
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests, err)
+		case errors.As(err, &q):
+			// Per-run quota: the spec can never fit; retrying is useless.
+			writeError(w, http.StatusUnprocessableEntity, err)
+		default:
+			writeError(w, http.StatusBadRequest, err)
+		}
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]uint64{"id": id})
+}
+
+func (s *server) list(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.sup.List())
+}
+
+func (s *server) get(w http.ResponseWriter, r *http.Request) {
+	id, ok := runID(w, r)
+	if !ok {
+		return
+	}
+	info, err := s.sup.Get(id)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *server) cancel(w http.ResponseWriter, r *http.Request) {
+	id, ok := runID(w, r)
+	if !ok {
+		return
+	}
+	err := s.sup.Cancel(id)
+	var nf *deepum.RunNotFoundError
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusOK, map[string]string{"status": "cancelling"})
+	case errors.As(err, &nf):
+		writeError(w, http.StatusNotFound, err)
+	case errors.Is(err, deepum.ErrRunAlreadyFinished):
+		writeError(w, http.StatusConflict, err)
+	default:
+		writeError(w, http.StatusInternalServerError, err)
+	}
+}
+
+func (s *server) ready(w http.ResponseWriter, r *http.Request) {
+	if !s.sup.Accepting() {
+		writeError(w, http.StatusServiceUnavailable, errors.New("draining"))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ready", "stats": s.sup.Stats()})
+}
+
+func runID(w http.ResponseWriter, r *http.Request) (uint64, bool) {
+	id, err := strconv.ParseUint(r.PathValue("id"), 10, 64)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, errors.New("run id must be a positive integer"))
+		return 0, false
+	}
+	return id, true
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,245 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"deepum"
+	"deepum/internal/supervisor"
+)
+
+// testServer builds the HTTP API over a supervisor with a fake runner so
+// handler behavior is tested without simulating training.
+func testServer(t *testing.T, cfg deepum.SupervisorConfig, runner supervisor.Runner) (*httptest.Server, *deepum.Supervisor) {
+	t.Helper()
+	cfg.Runner = runner
+	cfg.Estimate = func(deepum.RunSpec) (int64, error) { return 1 << 20, nil }
+	sup, err := deepum.NewSupervisor(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(newServer(sup))
+	t.Cleanup(ts.Close)
+	return ts, sup
+}
+
+func instant() supervisor.Runner {
+	return supervisor.RunnerFunc(func(ctx context.Context, spec deepum.RunSpec, resume []byte, progress func([]byte)) (deepum.RunOutcome, error) {
+		return deepum.RunOutcome{Status: string(deepum.RunCompleted), Iterations: spec.Iterations}, nil
+	})
+}
+
+func postJSON(t *testing.T, url, body string) *http.Response {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+func decode[T any](t *testing.T, resp *http.Response) T {
+	t.Helper()
+	var v T
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestServeSubmitStatusCancelList(t *testing.T) {
+	block := make(chan struct{})
+	runner := supervisor.RunnerFunc(func(ctx context.Context, spec deepum.RunSpec, resume []byte, progress func([]byte)) (deepum.RunOutcome, error) {
+		if spec.Seed == 99 { // the run the test cancels
+			select {
+			case <-block:
+			case <-ctx.Done():
+				return deepum.RunOutcome{Status: string(deepum.RunCancelled)}, nil
+			}
+		}
+		return deepum.RunOutcome{Status: string(deepum.RunCompleted), Iterations: spec.Iterations}, nil
+	})
+	ts, sup := testServer(t, deepum.SupervisorConfig{Workers: 2}, runner)
+	defer close(block)
+
+	// Submit -> 202 with an ID.
+	resp := postJSON(t, ts.URL+"/runs", `{"model":"bert-base","batch":8,"iterations":3,"seed":1}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: status %d", resp.StatusCode)
+	}
+	id := decode[map[string]uint64](t, resp)["id"]
+	if id == 0 {
+		t.Fatal("submit returned no run ID")
+	}
+	if _, err := sup.Wait(id); err != nil {
+		t.Fatal(err)
+	}
+
+	// GET /runs/{id} -> completed snapshot.
+	get, err := http.Get(fmt.Sprintf("%s/runs/%d", ts.URL, id))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer get.Body.Close()
+	if get.StatusCode != http.StatusOK {
+		t.Fatalf("get: status %d", get.StatusCode)
+	}
+	info := decode[deepum.RunInfo](t, get)
+	if info.ID != id || info.State != deepum.RunCompleted {
+		t.Fatalf("get snapshot = id %d state %s", info.ID, info.State)
+	}
+	if info.Outcome == nil || info.Outcome.Iterations != 3 {
+		t.Fatalf("snapshot outcome = %+v", info.Outcome)
+	}
+
+	// Cancel a hung run -> 200, then it goes terminal as cancelled.
+	resp = postJSON(t, ts.URL+"/runs", `{"model":"bert-base","batch":8,"seed":99}`)
+	blocked := decode[map[string]uint64](t, resp)["id"]
+	waitRunning(t, sup, blocked)
+	cresp := postJSON(t, fmt.Sprintf("%s/runs/%d/cancel", ts.URL, blocked), "")
+	if cresp_code := cresp.StatusCode; cresp_code != http.StatusOK {
+		t.Fatalf("cancel: status %d", cresp_code)
+	}
+	cinfo, err := sup.Wait(blocked)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cinfo.State != deepum.RunCancelled {
+		t.Fatalf("cancelled run state = %s", cinfo.State)
+	}
+
+	// Cancel again -> 409; unknown ID -> 404; junk ID -> 400.
+	if code := postJSON(t, fmt.Sprintf("%s/runs/%d/cancel", ts.URL, blocked), "").StatusCode; code != http.StatusConflict {
+		t.Fatalf("re-cancel: status %d, want 409", code)
+	}
+	if code := postJSON(t, ts.URL+"/runs/12345/cancel", "").StatusCode; code != http.StatusNotFound {
+		t.Fatalf("cancel unknown: status %d, want 404", code)
+	}
+	if code := postJSON(t, ts.URL+"/runs/banana/cancel", "").StatusCode; code != http.StatusBadRequest {
+		t.Fatalf("cancel junk id: status %d, want 400", code)
+	}
+
+	// GET /runs lists both.
+	lresp, err := http.Get(ts.URL + "/runs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lresp.Body.Close()
+	if runs := decode[[]deepum.RunInfo](t, lresp); len(runs) != 2 {
+		t.Fatalf("list returned %d runs, want 2", len(runs))
+	}
+}
+
+func TestServeAdmissionStatusCodes(t *testing.T) {
+	gate := make(chan struct{})
+	runner := supervisor.RunnerFunc(func(ctx context.Context, spec deepum.RunSpec, resume []byte, progress func([]byte)) (deepum.RunOutcome, error) {
+		select {
+		case <-gate:
+		case <-ctx.Done():
+		}
+		return deepum.RunOutcome{Status: string(deepum.RunCompleted)}, nil
+	})
+	ts, sup := testServer(t, deepum.SupervisorConfig{
+		Workers:         1,
+		QueueDepth:      1,
+		GPUMemoryBudget: 4 << 20,
+		PerRunQuota:     2 << 20,
+	}, runner)
+	defer close(gate)
+
+	// Spec over the per-run quota -> 422, never admissible.
+	resp := postJSON(t, ts.URL+"/runs", `{"model":"bert-base","batch":8,"memory_demand":16777216}`)
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("per-run quota violation: status %d, want 422", resp.StatusCode)
+	}
+
+	// Fill the worker + queue, then the next submit -> 429 with Retry-After.
+	okCodes := 0
+	var throttled *http.Response
+	for i := 0; i < 8; i++ {
+		r := postJSON(t, ts.URL+"/runs", fmt.Sprintf(`{"model":"bert-base","batch":8,"seed":%d}`, i))
+		if r.StatusCode == http.StatusAccepted {
+			okCodes++
+			continue
+		}
+		throttled = r
+		break
+	}
+	if throttled == nil {
+		t.Fatalf("no backpressure after %d accepted submissions", okCodes)
+	}
+	if throttled.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("backpressure: status %d, want 429", throttled.StatusCode)
+	}
+	if throttled.Header.Get("Retry-After") == "" {
+		t.Fatal("429 rejection carries no Retry-After header")
+	}
+
+	// Malformed body -> 400.
+	if code := postJSON(t, ts.URL+"/runs", `{"model": nope`).StatusCode; code != http.StatusBadRequest {
+		t.Fatalf("malformed submit: status %d, want 400", code)
+	}
+
+	// Drain: readyz flips to 503 and submits are refused with 503.
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		sup.Drain(ctx)
+	}()
+	waitNotAccepting(t, sup)
+	if r, err := http.Get(ts.URL + "/readyz"); err != nil {
+		t.Fatal(err)
+	} else if r.Body.Close(); r.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("readyz while draining: status %d, want 503", r.StatusCode)
+	}
+	if code := postJSON(t, ts.URL+"/runs", `{"model":"bert-base","batch":8}`).StatusCode; code != http.StatusServiceUnavailable {
+		t.Fatalf("submit while draining: status %d, want 503", code)
+	}
+}
+
+func TestServeHealthz(t *testing.T) {
+	ts, _ := testServer(t, deepum.SupervisorConfig{Workers: 1}, instant())
+	r, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: status %d", r.StatusCode)
+	}
+}
+
+func waitRunning(t *testing.T, sup *deepum.Supervisor, id uint64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		info, err := sup.Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.State == deepum.RunRunning {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("run %d never started", id)
+}
+
+func waitNotAccepting(t *testing.T, sup *deepum.Supervisor) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if !sup.Accepting() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("supervisor still accepting after drain started")
+}

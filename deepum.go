@@ -138,6 +138,16 @@ func DefaultConfig() Config {
 // cancelled or deadline-exceeded) returns a PARTIAL result with a nil
 // error: Iterations counts only completed measured iterations and Status
 // tells the supervisor why the run stopped.
+//
+// Degradation semantics: StatusDegraded means the run RAN TO COMPLETION
+// but not cleanly — either the prefetch circuit breaker opened at least
+// once (Breaker.EverOpened) or the invariant checker reported a violation
+// (Invariant != nil). EverOpened is sticky: it stays true even when the
+// breaker recovered and closed again before the run ended, so a run whose
+// prefetching was suspended for any window is never reported as cleanly
+// completed. The measurements of a degraded run are real but were taken
+// partly under pure on-demand faulting; treat cross-run comparisons with
+// suspicion.
 type Result struct {
 	System System
 	// Status classifies how the run ended: completed, cancelled,

@@ -1,0 +1,138 @@
+package deepum
+
+import (
+	"bytes"
+	"context"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"deepum/internal/supervisor/journal"
+)
+
+// fastSpec is a spec small enough that a real TrainContext run finishes in
+// well under a second.
+func fastSpec(seed int64) RunSpec {
+	return RunSpec{
+		Model:      "bert-base",
+		Batch:      4,
+		Scale:      128,
+		Iterations: 2,
+		Warmup:     2,
+		Seed:       seed,
+	}
+}
+
+func drainSupervisor(t *testing.T, s *Supervisor) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+}
+
+func TestNewSupervisorRunsTrain(t *testing.T) {
+	s, err := NewSupervisor(SupervisorConfig{Workers: 2, GPUMemoryBudget: 1 << 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer drainSupervisor(t, s)
+
+	id, err := s.Submit(fastSpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := s.Wait(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.State != RunCompleted {
+		t.Fatalf("state = %s (reason %q), want %s", info.State, info.Reason, RunCompleted)
+	}
+	if info.Outcome == nil || info.Outcome.Iterations != 2 {
+		t.Fatalf("outcome = %+v, want 2 measured iterations", info.Outcome)
+	}
+	if info.Outcome.IterationTime <= 0 || info.Outcome.FaultsPerIteration < 0 {
+		t.Fatalf("implausible outcome measurements: %+v", info.Outcome)
+	}
+	// The default estimator charged the workload's real footprint.
+	if info.Demand <= 0 {
+		t.Fatalf("demand = %d, want the estimated workload footprint", info.Demand)
+	}
+}
+
+func TestNewSupervisorChunkedCheckpoints(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "runs.journal")
+	s, err := NewSupervisor(SupervisorConfig{Workers: 1, JournalPath: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	spec := fastSpec(7)
+	spec.Iterations = 4
+	spec.CheckpointEvery = 2 // two chunks -> at least one real mid-run checkpoint
+	id, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := s.Wait(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.State != RunCompleted {
+		t.Fatalf("state = %s (reason %q)", info.State, info.Reason)
+	}
+	if info.Outcome.Iterations != 4 {
+		t.Fatalf("chunked run measured %d iterations, want 4", info.Outcome.Iterations)
+	}
+	if info.Checkpoints < 2 {
+		t.Fatalf("chunked run journaled %d checkpoints, want >= 2 (one per chunk)", info.Checkpoints)
+	}
+	drainSupervisor(t, s)
+
+	// The checkpoints really hit the journal as decodable warm state.
+	recs, stats, err := journal.ReplayFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.TornOffset != -1 {
+		t.Fatalf("journal torn at %d after clean drain", stats.TornOffset)
+	}
+	warm := 0
+	for _, r := range recs {
+		if r.Type == journal.RecCheckpointed && len(r.Data) > 0 {
+			if _, err := LoadCheckpoint(bytes.NewReader(r.Data)); err != nil {
+				t.Fatalf("journaled checkpoint does not decode: %v", err)
+			}
+			warm++
+		}
+	}
+	if warm < 2 {
+		t.Fatalf("journal holds %d decodable warm checkpoints, want >= 2", warm)
+	}
+}
+
+func TestEstimateMemoryDemand(t *testing.T) {
+	n, err := EstimateMemoryDemand(fastSpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n <= 0 {
+		t.Fatalf("EstimateMemoryDemand = %d, want > 0", n)
+	}
+	if _, err := EstimateMemoryDemand(RunSpec{Model: "no-such-model", Batch: 4}); err == nil {
+		t.Fatal("EstimateMemoryDemand accepted an unknown model")
+	}
+}
+
+func TestTrainRunnerRejectsForeignResume(t *testing.T) {
+	spec := fastSpec(1)
+	spec.System = string(SystemVDNN)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	_, err := TrainRunner().Run(ctx, spec, []byte("not-a-checkpoint"), func([]byte) {})
+	if err == nil {
+		t.Fatal("TrainRunner resumed a non-deepum system from a checkpoint")
+	}
+}

@@ -1,0 +1,84 @@
+package chaos
+
+import "fmt"
+
+// Supervisor-level chaos. The scenarios in scenario.go perturb the UM
+// substrate inside one run; these perturb the layer above — the multi-run
+// supervisor's worker pool, admission path, and crash recovery. They are
+// deliberately structural rather than PRNG-knob driven: a worker panic is
+// injected by probability, but kill-restart and admission storms are
+// orchestration patterns the supervisor tests (and the supervisor-soak CI
+// job) drive directly, so the registry documents their shape and the
+// deterministic seeds live with the injection sites.
+type SupervisorScenario struct {
+	Name        string
+	Description string
+
+	// WorkerPanicProb is the per-run probability that the worker executing
+	// the run panics mid-flight. The supervisor recovers the worker, marks
+	// the run failed, releases its quota, and keeps serving.
+	WorkerPanicProb float64
+
+	// KillRestart marks the kill -9 pattern: the supervisor process dies
+	// with the journal intact and a restarted supervisor must replay it,
+	// resuming interrupted runs from their checkpoints. Driven by the
+	// kill-restart equivalence tests via Supervisor.Kill.
+	KillRestart bool
+
+	// AdmissionBurst is the submission-storm size the admission-control
+	// tests throw at a full queue: every rejection must be a typed error,
+	// never a block or a panic.
+	AdmissionBurst int
+}
+
+// Active reports whether the scenario injects anything into a live
+// supervisor (kill-restart and admission storms are test-orchestrated and
+// inject nothing by themselves).
+func (s SupervisorScenario) Active() bool { return s.WorkerPanicProb > 0 }
+
+// SupervisorScenarioNone is the name of the identity scenario.
+const SupervisorScenarioNone = "none"
+
+func builtinSupervisor() []SupervisorScenario {
+	return []SupervisorScenario{
+		{
+			Name:        SupervisorScenarioNone,
+			Description: "no injection (baseline)",
+		},
+		{
+			Name:            "worker-panic",
+			Description:     "each run's worker panics mid-run with 30% probability; pool recovers, run fails typed, quota released",
+			WorkerPanicProb: 0.30,
+		},
+		{
+			Name:        "kill-restart",
+			Description: "supervisor killed mid-flight (journal intact); restart replays the journal and resumes interrupted runs from checkpoints",
+			KillRestart: true,
+		},
+		{
+			Name:           "admission-storm",
+			Description:    "256 submissions against a full queue and exhausted quota; every rejection must be typed, non-blocking",
+			AdmissionBurst: 256,
+		},
+	}
+}
+
+// SupervisorScenarios returns every named supervisor scenario, the
+// identity scenario first.
+func SupervisorScenarios() []SupervisorScenario { return builtinSupervisor() }
+
+// SupervisorScenarioByName resolves a supervisor scenario; the empty
+// string resolves to "none".
+func SupervisorScenarioByName(name string) (SupervisorScenario, error) {
+	if name == "" {
+		name = SupervisorScenarioNone
+	}
+	names := make([]string, 0, len(builtinSupervisor()))
+	for _, s := range builtinSupervisor() {
+		if s.Name == name {
+			return s, nil
+		}
+		names = append(names, s.Name)
+	}
+	return SupervisorScenario{}, fmt.Errorf("chaos: unknown supervisor scenario %q (have %v)", name, names)
+}

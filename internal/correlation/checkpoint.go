@@ -190,6 +190,13 @@ func decodePayload(d *decoder) *Tables {
 	nBlocks := int(d.u32())
 	for i := 0; i < nBlocks && d.err == nil; i++ {
 		id := ExecID(d.i32())
+		// Every decoded block table spends >= 4 bytes per row (the way
+		// count) and 8 per level (the last-miss block), so a config whose
+		// dimensions outrun the remaining stream is corrupt; reject it
+		// BEFORE NewBlockTable allocates NumRows sets from a hostile count.
+		if !d.fits(cfg.NumRows, 4) || !d.fits(cfg.NumLevels, 8) {
+			return nil
+		}
 		bt := NewBlockTable(cfg)
 		bt.Start = um.BlockID(d.i64())
 		bt.End = um.BlockID(d.i64())
@@ -199,6 +206,9 @@ func decodePayload(d *decoder) *Tables {
 		bt.pendingStart = d.u8() != 0
 		for row := 0; row < cfg.NumRows && d.err == nil; row++ {
 			nWays := int(d.u32())
+			if !d.fits(nWays, 8+4*cfg.NumLevels) {
+				return nil
+			}
 			if nWays > cfg.Assoc {
 				d.fail("row %d has %d ways (assoc %d)", row, nWays, cfg.Assoc)
 				return nil

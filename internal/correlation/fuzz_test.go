@@ -1,0 +1,101 @@
+package correlation
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"testing"
+)
+
+// envelope wraps a raw payload in a syntactically valid checkpoint frame
+// (magic + version + payload + correct CRC). This is what a malicious or
+// corrupted-but-CRC-valid stream looks like: the checksum passes, so every
+// defense must live in the payload decoder itself.
+func envelope(payload []byte) []byte {
+	var buf bytes.Buffer
+	buf.Write(checkpointMagic[:])
+	writeU32(&buf, CheckpointVersion)
+	buf.Write(payload)
+	writeU32(&buf, crc32.ChecksumIEEE(buf.Bytes()))
+	return buf.Bytes()
+}
+
+// u32le / i32le build little-endian fields for crafted payloads.
+func u32le(v uint32) []byte {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	return b[:]
+}
+
+// FuzzReadCheckpoint feeds ReadCheckpoint adversarial streams. Whatever the
+// input — truncated, bit-flipped, or CRC-valid with hostile length fields —
+// the decoder must either return working tables or an error: never panic,
+// and never size an allocation from an unvalidated count (a hostile count
+// claiming more elements than the stream has bytes must be rejected before
+// the make()).
+func FuzzReadCheckpoint(f *testing.F) {
+	valid := func() []byte {
+		var buf bytes.Buffer
+		if err := WriteCheckpoint(&buf, buildWarmTables()); err != nil {
+			f.Fatal(err)
+		}
+		return buf.Bytes()
+	}()
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte("DEEPUMCK"))
+	f.Add(valid[:len(valid)/2])   // truncated mid-payload
+	f.Add(valid[:len(valid)-1])   // truncated CRC
+	flipped := bytes.Clone(valid) // bit flip in the payload
+	flipped[len(flipped)/2] ^= 0x40
+	f.Add(flipped)
+	// CRC-valid hostile payloads: the length fields lie.
+	f.Add(envelope(nil))                // empty payload: config truncated
+	f.Add(envelope(bytes.Join([][]byte{ // NumRows = 2^31-1: block table would be ~48 GB
+		u32le(0x7fffffff), u32le(1), u32le(1), u32le(1), // cfg rows/assoc/succs/levels
+		u32le(0),           // no exec entries
+		u32le(1), u32le(7), // one block table, id 7
+	}, nil)))
+	f.Add(envelope(bytes.Join([][]byte{ // NumLevels huge: per-entry allocation bomb
+		u32le(1), u32le(1), u32le(1), u32le(0x7fffffff),
+		u32le(0),
+		u32le(1), u32le(7),
+	}, nil)))
+	f.Add(envelope(bytes.Join([][]byte{ // exec record count far beyond the stream
+		u32le(1), u32le(1), u32le(1), u32le(1),
+		u32le(1), u32le(3), u32le(0x40000000), // one exec id with 2^30 records
+	}, nil)))
+	f.Add(envelope(bytes.Join([][]byte{ // way count beyond the stream
+		u32le(1), u32le(0x7fffffff), u32le(1), u32le(1),
+		u32le(0),
+		u32le(1), u32le(7),
+		make([]byte, 8+8+8+1), // start/end/last/pending
+		u32le(0x7ffffff0),     // nWays
+	}, nil)))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// The input size bounds every legitimate allocation; anything the
+		// decoder accepts must also re-encode and re-decode identically.
+		if len(data) > 1<<20 {
+			data = data[:1<<20]
+		}
+		tbl, err := ReadCheckpoint(bytes.NewReader(data))
+		if err != nil {
+			if tbl != nil {
+				t.Fatal("ReadCheckpoint returned tables alongside an error")
+			}
+			return
+		}
+		var out bytes.Buffer
+		if err := WriteCheckpoint(&out, tbl); err != nil {
+			t.Fatalf("accepted checkpoint does not re-encode: %v", err)
+		}
+		again, err := ReadCheckpoint(bytes.NewReader(out.Bytes()))
+		if err != nil {
+			t.Fatalf("re-encoded checkpoint does not decode: %v", err)
+		}
+		if again.Config() != tbl.Config() {
+			t.Fatalf("config drifted across roundtrip: %+v vs %+v", again.Config(), tbl.Config())
+		}
+	})
+}

@@ -31,6 +31,15 @@ const (
 	StatusDegraded
 )
 
+// Interrupted reports whether the run was stopped before completing its
+// configured iterations (supervisor cancellation or a deadline) — the cue
+// for a multi-run supervisor to stop resubmitting continuation chunks and,
+// if warm state was captured, to resume from it later. Degraded runs ran
+// to completion and are NOT interrupted.
+func (s RunStatus) Interrupted() bool {
+	return s == StatusCancelled || s == StatusDeadlineExceeded
+}
+
 func (s RunStatus) String() string {
 	switch s {
 	case StatusCompleted:

@@ -8,6 +8,7 @@ import (
 	"fmt"
 
 	"deepum/internal/baselines"
+	"deepum/internal/chaos"
 	"deepum/internal/core"
 	"deepum/internal/engine"
 	"deepum/internal/metrics"
@@ -29,6 +30,13 @@ type Options struct {
 	// Quick restricts each model to one batch size (for bench targets).
 	Quick bool
 	Seed  int64
+	// Chaos names a fault-injection scenario (chaos.ByName) applied to the
+	// UM-side runs; baseline (tensor-level) runs are never perturbed, so a
+	// chaotic bench shows how far UM results degrade against clean
+	// baselines. Empty or "none" runs clean.
+	Chaos string
+	// ChaosSeed seeds the injection PRNG; 0 reuses Seed.
+	ChaosSeed int64
 }
 
 // DefaultOptions returns the configuration used by the bench harness.
@@ -127,6 +135,10 @@ func runUM(o Options, params sim.Params, spec models.Spec, batch int64,
 	if err != nil {
 		return nil, err
 	}
+	inj, err := o.injector()
+	if err != nil {
+		return nil, err
+	}
 	return engine.Run(engine.Config{
 		Params:        params,
 		Program:       prog,
@@ -135,7 +147,26 @@ func runUM(o Options, params sim.Params, spec models.Spec, batch int64,
 		Iterations:    o.Iterations,
 		Warmup:        o.Warmup,
 		Seed:          o.Seed,
+		Chaos:         inj,
 	})
+}
+
+// injector builds the per-run fault injector for UM-side runs, or nil when
+// Options.Chaos is empty/"none". Each run gets a fresh injector so chaos
+// draws stay reproducible per run rather than drifting across the suite.
+func (o Options) injector() (*chaos.Injector, error) {
+	scenario, err := chaos.ByName(o.Chaos)
+	if err != nil {
+		return nil, err
+	}
+	if !scenario.Active() {
+		return nil, nil
+	}
+	seed := o.ChaosSeed
+	if seed == 0 {
+		seed = o.Seed
+	}
+	return chaos.NewInjector(scenario, seed), nil
 }
 
 // runBaseline runs a workload under a tensor-level baseline planner.

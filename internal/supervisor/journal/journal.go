@@ -1,0 +1,294 @@
+// Package journal is the supervisor's crash-safe write-ahead log. Every
+// run-state transition the supervisor must survive a process kill —
+// submitted, started, checkpointed, finished — is appended as one framed,
+// CRC32-checksummed record and fsync'd before the transition takes effect,
+// so a restarted supervisor reconstructs every run's state by replay.
+//
+// File layout (little-endian throughout):
+//
+//	header  [8]byte  "DEEPUMWJ"
+//	version uint32   (currently 1)
+//	frame*           appended records
+//
+// Each frame:
+//
+//	length  uint32   bytes of payload (type + runID + data)
+//	payload type(1) runID(8) data(length-9)
+//	crc32   uint32   IEEE, over the length field and payload
+//
+// A kill -9 can tear the last frame (partial write) or leave a frame whose
+// fsync never completed (checksum mismatch at the tail). Replay tolerates
+// both: it stops at the first unreadable frame, reports its byte offset as
+// the torn tail, and Open truncates the file there so subsequent appends
+// produce a clean log again. There is no per-frame resync marker, so a
+// corrupt frame in the middle of the file also ends replay at that frame —
+// indistinguishable from a torn tail by construction, and handled the same
+// way.
+package journal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// fileMagic identifies a supervisor journal.
+var fileMagic = [8]byte{'D', 'E', 'E', 'P', 'U', 'M', 'W', 'J'}
+
+// Version is the current journal encoding version. A reader rejects any
+// other version rather than guessing at the frame layout.
+const Version uint32 = 1
+
+const headerLen = 8 + 4
+
+// frameOverhead is the fixed cost of one frame: length + type + runID + crc.
+const frameOverhead = 4 + 1 + 8 + 4
+
+// MaxRecordBytes bounds one record's data so a corrupt length field can
+// never drive a huge allocation during replay (checkpoint payloads are a
+// few MiB at most in practice).
+const MaxRecordBytes = 64 << 20
+
+// RecordType tags what a record means to the supervisor.
+type RecordType uint8
+
+// Record types, in run-lifecycle order.
+const (
+	// RecSubmitted: a run was admitted; data is the JSON-encoded spec.
+	RecSubmitted RecordType = 1
+	// RecStarted: a worker picked the run up; data is empty. A run with
+	// more started than finished records was in flight when the process
+	// died.
+	RecStarted RecordType = 2
+	// RecCheckpointed: the run reported warm state mid-flight; data is the
+	// opaque checkpoint payload (a correlation checkpoint stream for DeepUM
+	// runs). Replay keeps only the latest per run.
+	RecCheckpointed RecordType = 3
+	// RecFinished: the run reached a terminal state; data is the
+	// JSON-encoded outcome summary.
+	RecFinished RecordType = 4
+)
+
+func (t RecordType) String() string {
+	switch t {
+	case RecSubmitted:
+		return "submitted"
+	case RecStarted:
+		return "started"
+	case RecCheckpointed:
+		return "checkpointed"
+	case RecFinished:
+		return "finished"
+	}
+	return fmt.Sprintf("type-%d", uint8(t))
+}
+
+// knownType reports whether t is a record type this version understands.
+// Unknown types fail replay: with no compatibility story yet, a foreign
+// type means the file is not ours or is corrupt.
+func knownType(t RecordType) bool {
+	return t >= RecSubmitted && t <= RecFinished
+}
+
+// Record is one journal entry.
+type Record struct {
+	Type  RecordType
+	RunID uint64
+	Data  []byte
+}
+
+// Journal is an append-only, fsync'd record log.
+type Journal struct {
+	f    *os.File
+	path string
+}
+
+// Open opens (or creates) the journal at path for appending and replays
+// its existing records. A torn tail is truncated away so the file ends on
+// a frame boundary; the replayed prefix is returned along with its stats.
+func Open(path string) (*Journal, []Record, ReplayStats, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, ReplayStats{}, fmt.Errorf("journal: open %s: %w", path, err)
+	}
+	info, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, nil, ReplayStats{}, fmt.Errorf("journal: stat %s: %w", path, err)
+	}
+	j := &Journal{f: f, path: path}
+	if info.Size() == 0 {
+		var hdr bytes.Buffer
+		hdr.Write(fileMagic[:])
+		writeU32(&hdr, Version)
+		if _, err := f.Write(hdr.Bytes()); err == nil {
+			err = f.Sync()
+		}
+		if err != nil {
+			f.Close()
+			return nil, nil, ReplayStats{}, fmt.Errorf("journal: initializing %s: %w", path, err)
+		}
+		return j, nil, ReplayStats{TornOffset: -1}, nil
+	}
+	recs, stats, err := Replay(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, stats, err
+	}
+	if stats.TornOffset >= 0 {
+		if err := f.Truncate(stats.TornOffset); err != nil {
+			f.Close()
+			return nil, nil, stats, fmt.Errorf("journal: truncating torn tail of %s at %d: %w", path, stats.TornOffset, err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, nil, stats, fmt.Errorf("journal: syncing truncated %s: %w", path, err)
+		}
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, nil, stats, fmt.Errorf("journal: seeking to end of %s: %w", path, err)
+	}
+	return j, recs, stats, nil
+}
+
+// Append frames, writes, and fsyncs one record. The record is durable when
+// Append returns nil — the caller may then act on the transition.
+func (j *Journal) Append(r Record) error {
+	if !knownType(r.Type) {
+		return fmt.Errorf("journal: cannot append unknown record type %d", r.Type)
+	}
+	if len(r.Data) > MaxRecordBytes {
+		return fmt.Errorf("journal: record data %d bytes exceeds limit %d", len(r.Data), MaxRecordBytes)
+	}
+	var buf bytes.Buffer
+	buf.Grow(frameOverhead + len(r.Data))
+	writeU32(&buf, uint32(1+8+len(r.Data)))
+	buf.WriteByte(byte(r.Type))
+	var id [8]byte
+	binary.LittleEndian.PutUint64(id[:], r.RunID)
+	buf.Write(id[:])
+	buf.Write(r.Data)
+	writeU32(&buf, crc32.ChecksumIEEE(buf.Bytes()))
+	if _, err := j.f.Write(buf.Bytes()); err != nil {
+		return fmt.Errorf("journal: appending %s record: %w", r.Type, err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("journal: fsync after %s record: %w", r.Type, err)
+	}
+	return nil
+}
+
+// Path returns the journal's file path.
+func (j *Journal) Path() string { return j.path }
+
+// Close closes the underlying file.
+func (j *Journal) Close() error { return j.f.Close() }
+
+// ReplayStats describes what a replay pass found.
+type ReplayStats struct {
+	// Records is the number of intact records replayed.
+	Records int
+	// ByType counts intact records per type.
+	ByType map[RecordType]int
+	// TornOffset is the byte offset of the first unreadable frame (the
+	// torn tail), or -1 when the file parsed cleanly to EOF. Everything
+	// before it replayed intact.
+	TornOffset int64
+	// CRCFailures counts frames that were fully present but failed their
+	// checksum (at most 1: replay cannot resync past a bad frame).
+	CRCFailures int
+	// TruncatedFrame is true when the tail ended mid-frame (a partial
+	// write) rather than on a checksum failure.
+	TruncatedFrame bool
+}
+
+// Replay decodes records from r until EOF or the first unreadable frame.
+// It only errors on I/O failures or a file that is not a journal at all;
+// torn tails and checksum failures are reported in the stats, not as
+// errors, because they are the expected residue of a kill -9.
+func Replay(r io.ReadSeeker) ([]Record, ReplayStats, error) {
+	stats := ReplayStats{TornOffset: -1, ByType: map[RecordType]int{}}
+	if _, err := r.Seek(0, io.SeekStart); err != nil {
+		return nil, stats, fmt.Errorf("journal: seek: %w", err)
+	}
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return nil, stats, fmt.Errorf("journal: reading: %w", err)
+	}
+	if len(raw) < headerLen {
+		return nil, stats, fmt.Errorf("journal: file too short for header (%d bytes)", len(raw))
+	}
+	if !bytes.Equal(raw[:8], fileMagic[:]) {
+		return nil, stats, fmt.Errorf("journal: bad magic %q (not a supervisor journal)", raw[:8])
+	}
+	if v := binary.LittleEndian.Uint32(raw[8:headerLen]); v != Version {
+		return nil, stats, fmt.Errorf("journal: unsupported version %d (want %d)", v, Version)
+	}
+
+	var recs []Record
+	off := int64(headerLen)
+	buf := raw[headerLen:]
+	for len(buf) > 0 {
+		if len(buf) < 4 {
+			stats.TornOffset, stats.TruncatedFrame = off, true
+			break
+		}
+		length := int(binary.LittleEndian.Uint32(buf[:4]))
+		if length < 1+8 || length > MaxRecordBytes {
+			// A garbage length field is indistinguishable from a torn
+			// frame; classify it as a checksum-grade failure.
+			stats.TornOffset, stats.CRCFailures = off, stats.CRCFailures+1
+			break
+		}
+		if len(buf) < 4+length+4 {
+			stats.TornOffset, stats.TruncatedFrame = off, true
+			break
+		}
+		frame := buf[:4+length]
+		sum := binary.LittleEndian.Uint32(buf[4+length : 4+length+4])
+		if crc32.ChecksumIEEE(frame) != sum {
+			stats.TornOffset, stats.CRCFailures = off, stats.CRCFailures+1
+			break
+		}
+		typ := RecordType(frame[4])
+		if !knownType(typ) {
+			stats.TornOffset, stats.CRCFailures = off, stats.CRCFailures+1
+			break
+		}
+		rec := Record{
+			Type:  typ,
+			RunID: binary.LittleEndian.Uint64(frame[5:13]),
+		}
+		if length > 1+8 {
+			rec.Data = append([]byte(nil), frame[13:]...)
+		}
+		recs = append(recs, rec)
+		stats.Records++
+		stats.ByType[typ]++
+		adv := int64(4 + length + 4)
+		off += adv
+		buf = buf[adv:]
+	}
+	return recs, stats, nil
+}
+
+// ReplayFile replays the journal at path read-only (used by
+// deepum-inspect; the file is left untouched, torn tail included).
+func ReplayFile(path string) ([]Record, ReplayStats, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, ReplayStats{TornOffset: -1}, fmt.Errorf("journal: open %s: %w", path, err)
+	}
+	defer f.Close()
+	return Replay(f)
+}
+
+func writeU32(buf *bytes.Buffer, v uint32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	buf.Write(b[:])
+}

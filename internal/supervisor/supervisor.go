@@ -1,0 +1,705 @@
+// Package supervisor keeps many concurrent simulated training runs healthy
+// under load. It layers on top of the single-run lifecycle plumbing
+// (context cancellation, typed RunStatus, warm-state checkpoints): a
+// bounded worker pool executes runs, admission control rejects work the
+// system cannot hold with typed errors (queue full, over GPU-memory
+// quota), per-run quotas partition the simulated GPU memory budget,
+// hang-detection watchdogs escalate stalled runs to cancellation, and
+// shutdown drains gracefully. Every run-state transition that must survive
+// a process kill is written ahead to a crash-safe journal
+// (internal/supervisor/journal), so a restarted supervisor reconstructs
+// all run state by replay and resumes interrupted runs from their latest
+// journaled checkpoints.
+package supervisor
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"deepum/internal/chaos"
+	"deepum/internal/metrics"
+	"deepum/internal/supervisor/journal"
+)
+
+// Config parameterizes a Supervisor.
+type Config struct {
+	// Runner executes runs; required.
+	Runner Runner
+	// Workers is the pool size — how many runs execute concurrently.
+	// Defaults to 4.
+	Workers int
+	// QueueDepth bounds the submission queue (admitted-but-not-started
+	// runs). A full queue rejects submissions with *QueueFullError —
+	// backpressure instead of unbounded buffering. Defaults to 16.
+	QueueDepth int
+	// GPUMemoryBudget is the total simulated GPU memory (bytes) the
+	// supervisor may pledge to admitted runs at once; 0 disables quota
+	// admission.
+	GPUMemoryBudget int64
+	// PerRunQuota caps one run's demand. 0 with a budget set defaults to
+	// an equal partition, GPUMemoryBudget / Workers.
+	PerRunQuota int64
+	// WatchdogTimeout is how long a running run may go without a progress
+	// heartbeat before the watchdog cancels it; 0 disables hang detection.
+	// RunSpec.Timeout overrides it per run.
+	WatchdogTimeout time.Duration
+	// JournalPath enables the crash-safe run journal. An existing journal
+	// is replayed at construction: finished runs become history,
+	// interrupted ones are re-admitted and resumed from their latest
+	// checkpoint. Empty keeps all state in memory.
+	JournalPath string
+	// Estimate fills RunSpec.MemoryDemand at admission when the spec left
+	// it zero (e.g. from the workload's scaled footprint); nil treats
+	// missing demand as zero.
+	Estimate func(RunSpec) (int64, error)
+	// Chaos injects supervisor-level faults (see chaos.SupervisorScenarios);
+	// ChaosSeed makes the injection deterministic (0 uses 1).
+	Chaos     chaos.SupervisorScenario
+	ChaosSeed int64
+}
+
+// Supervisor is the multi-run supervision layer. All methods are safe for
+// concurrent use.
+type Supervisor struct {
+	cfg    Config
+	epoch  time.Time
+	log    metrics.SyncTransitionLog
+	wg     sync.WaitGroup
+	waitWG sync.Once
+
+	mu          sync.Mutex
+	runs        map[uint64]*run
+	order       []uint64
+	nextID      uint64
+	committed   int64
+	draining    bool
+	killed      bool
+	queue       chan uint64
+	queueClosed sync.Once
+	jl          *journal.Journal
+	jlClosed    bool
+	rng         *rand.Rand
+	recovered   int
+
+	workersDone chan struct{}
+}
+
+// run is the supervisor's internal per-run record; info is the published
+// snapshot, the rest is scheduling state.
+type run struct {
+	info         RunInfo
+	resume       []byte // latest checkpoint bytes, what a restart resumes from
+	cancel       context.CancelFunc
+	cancelReason string
+	heartbeat    atomic.Int64 // unix nanos of last progress signal
+	done         chan struct{}
+}
+
+// journalSpec is the submitted-record payload: the spec plus the admitted
+// demand, so replay does not re-estimate.
+type journalSpec struct {
+	Spec   RunSpec `json:"spec"`
+	Demand int64   `json:"demand"`
+}
+
+// journalFinish is the finished-record payload.
+type journalFinish struct {
+	State   RunState `json:"state"`
+	Reason  string   `json:"reason,omitempty"`
+	Outcome *Outcome `json:"outcome,omitempty"`
+}
+
+// New builds a supervisor, replays its journal if one is configured, and
+// starts the worker pool. Interrupted runs found in the journal are
+// already queued (and counted against the quota) when New returns.
+func New(cfg Config) (*Supervisor, error) {
+	if cfg.Runner == nil {
+		return nil, fmt.Errorf("supervisor: Config.Runner is required")
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 4
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 16
+	}
+	if cfg.PerRunQuota == 0 && cfg.GPUMemoryBudget > 0 {
+		cfg.PerRunQuota = cfg.GPUMemoryBudget / int64(cfg.Workers)
+	}
+	seed := cfg.ChaosSeed
+	if seed == 0 {
+		seed = 1
+	}
+	s := &Supervisor{
+		cfg:         cfg,
+		epoch:       time.Now(),
+		runs:        map[uint64]*run{},
+		nextID:      1,
+		rng:         rand.New(rand.NewSource(seed)),
+		workersDone: make(chan struct{}),
+	}
+	var pending []*run
+	if cfg.JournalPath != "" {
+		jl, recs, _, err := journal.Open(cfg.JournalPath)
+		if err != nil {
+			return nil, err
+		}
+		s.jl = jl
+		pending = s.replay(recs)
+	}
+	// Recovered runs bypass the queue-depth bound: they were admitted
+	// before the crash, so the queue grows to readmit all of them.
+	s.queue = make(chan uint64, max(cfg.QueueDepth, len(pending)))
+	for _, r := range pending {
+		s.queue <- r.info.ID
+	}
+	for n := 0; n < cfg.Workers; n++ {
+		s.wg.Add(1)
+		go s.worker(n)
+	}
+	return s, nil
+}
+
+// replay reconstructs run state from journal records and returns the runs
+// to re-admit (submitted or started, never finished), in ID order.
+func (s *Supervisor) replay(recs []journal.Record) []*run {
+	type ghost struct {
+		spec    journalSpec
+		specOK  bool
+		started int
+		ckpt    []byte
+		ckpts   int
+		finish  *journalFinish
+	}
+	ghosts := map[uint64]*ghost{}
+	var order []uint64
+	for _, rec := range recs {
+		g := ghosts[rec.RunID]
+		if g == nil {
+			g = &ghost{}
+			ghosts[rec.RunID] = g
+		}
+		switch rec.Type {
+		case journal.RecSubmitted:
+			if json.Unmarshal(rec.Data, &g.spec) == nil {
+				g.specOK = true
+			}
+			order = append(order, rec.RunID)
+		case journal.RecStarted:
+			g.started++
+		case journal.RecCheckpointed:
+			g.ckpt = rec.Data
+			g.ckpts++
+		case journal.RecFinished:
+			var f journalFinish
+			if json.Unmarshal(rec.Data, &f) == nil {
+				g.finish = &f
+			}
+		}
+	}
+	var pending []*run
+	for _, id := range order {
+		g := ghosts[id]
+		if id >= s.nextID {
+			s.nextID = id + 1
+		}
+		r := &run{
+			info: RunInfo{
+				ID:          id,
+				Spec:        g.spec.Spec,
+				Demand:      g.spec.Demand,
+				Attempts:    g.started,
+				Checkpoints: g.ckpts,
+				Submitted:   s.epoch,
+			},
+			done: make(chan struct{}),
+		}
+		switch {
+		case !g.specOK:
+			// CRC said the record was intact, so this is a version-skew
+			// style failure; surface it rather than dropping the run.
+			r.info.State = StateFailed
+			r.info.Reason = "journal replay: undecodable spec"
+			r.info.Outcome = &Outcome{Status: string(StateFailed), Error: r.info.Reason}
+			close(r.done)
+		case g.finish != nil:
+			r.info.State = g.finish.State
+			r.info.Reason = g.finish.Reason
+			r.info.Outcome = g.finish.Outcome
+			close(r.done)
+		default:
+			// Interrupted mid-flight (or never started): re-admit, resuming
+			// from the latest checkpoint when one was journaled.
+			r.info.State = StateQueued
+			r.resume = g.ckpt
+			s.committed += r.info.Demand
+			s.recovered++
+			s.record("", StateQueued, fmt.Sprintf("journal replay (attempt %d)", g.started+1))
+			pending = append(pending, r)
+		}
+		s.runs[id] = r
+		s.order = append(s.order, id)
+	}
+	return pending
+}
+
+// Submit admits one run, returning its ID. Rejections are typed:
+// *QueueFullError (backpressure), *QuotaError (over the per-run quota or
+// the committed budget), ErrShuttingDown. Submit never blocks.
+func (s *Supervisor) Submit(spec RunSpec) (uint64, error) {
+	demand := spec.MemoryDemand
+	if demand == 0 && s.cfg.Estimate != nil {
+		d, err := s.cfg.Estimate(spec)
+		if err != nil {
+			return 0, fmt.Errorf("supervisor: estimating memory demand: %w", err)
+		}
+		demand = d
+	}
+	spec.MemoryDemand = demand
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining || s.killed {
+		return 0, ErrShuttingDown
+	}
+	if s.cfg.PerRunQuota > 0 && demand > s.cfg.PerRunQuota {
+		return 0, &QuotaError{Demand: demand, Limit: s.cfg.PerRunQuota, PerRun: true}
+	}
+	if s.cfg.GPUMemoryBudget > 0 && s.committed+demand > s.cfg.GPUMemoryBudget {
+		return 0, &QuotaError{Demand: demand, Limit: s.cfg.GPUMemoryBudget, Committed: s.committed}
+	}
+	// Submit (and recovery, which runs before the workers start) are the
+	// only queue senders and both hold mu, so a length check makes the
+	// send below non-blocking by construction.
+	if len(s.queue) == cap(s.queue) {
+		return 0, &QueueFullError{Depth: cap(s.queue)}
+	}
+	id := s.nextID
+	data, err := json.Marshal(journalSpec{Spec: spec, Demand: demand})
+	if err != nil {
+		return 0, fmt.Errorf("supervisor: encoding spec: %w", err)
+	}
+	if err := s.appendLocked(journal.Record{Type: journal.RecSubmitted, RunID: id, Data: data}); err != nil {
+		return 0, err
+	}
+	s.nextID++
+	r := &run{
+		info: RunInfo{ID: id, Spec: spec, Demand: demand, State: StateQueued, Submitted: time.Now()},
+		done: make(chan struct{}),
+	}
+	s.runs[id] = r
+	s.order = append(s.order, id)
+	s.committed += demand
+	s.record("", StateQueued, "submitted")
+	s.queue <- id
+	return id, nil
+}
+
+// worker drains the submission queue until it is closed by Drain or Kill.
+func (s *Supervisor) worker(n int) {
+	defer s.wg.Done()
+	for id := range s.queue {
+		s.execute(n, id)
+	}
+}
+
+// execute runs one queued run to a terminal state, surviving runner panics.
+func (s *Supervisor) execute(n int, id uint64) {
+	s.mu.Lock()
+	r := s.runs[id]
+	if r == nil || r.info.State != StateQueued || s.killed {
+		// Cancelled while queued (already finalized) or hard-stopped.
+		s.mu.Unlock()
+		return
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	r.cancel = cancel
+	r.info.State = StateRunning
+	now := time.Now()
+	r.info.Started = &now
+	r.info.Attempts++
+	resume := r.resume
+	r.info.Resumed = resume != nil
+	r.heartbeat.Store(now.UnixNano())
+	panicNow := s.cfg.Chaos.Active() && s.rng.Float64() < s.cfg.Chaos.WorkerPanicProb
+	jerr := s.appendLocked(journal.Record{Type: journal.RecStarted, RunID: id})
+	s.record(StateQueued, StateRunning, fmt.Sprintf("worker %d", n))
+	timeout := r.info.Spec.Timeout
+	if timeout <= 0 {
+		timeout = s.cfg.WatchdogTimeout
+	}
+	s.mu.Unlock()
+	defer cancel()
+
+	if jerr != nil {
+		s.finalize(r, Outcome{}, fmt.Errorf("journal write-ahead failed: %w", jerr), false)
+		return
+	}
+	if timeout > 0 {
+		go s.watchdog(r, timeout)
+	}
+
+	var out Outcome
+	var runErr error
+	panicked := false
+	func() {
+		defer func() {
+			if p := recover(); p != nil {
+				panicked = true
+				runErr = fmt.Errorf("worker panic: %v", p)
+			}
+		}()
+		if panicNow {
+			panic("chaos: worker panic mid-run")
+		}
+		out, runErr = s.cfg.Runner.Run(ctx, r.info.Spec, resume, func(ck []byte) { s.progress(r, ck) })
+	}()
+	s.finalize(r, out, runErr, panicked)
+}
+
+// progress is the runner's liveness and checkpoint callback: every call
+// feeds the watchdog heartbeat; non-nil checkpoint bytes are journaled
+// (write-ahead) and become the state a restarted supervisor resumes from.
+func (s *Supervisor) progress(r *run, ck []byte) {
+	r.heartbeat.Store(time.Now().UnixNano())
+	if ck == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.killed || r.info.State.Terminal() {
+		return
+	}
+	if err := s.appendLocked(journal.Record{Type: journal.RecCheckpointed, RunID: r.info.ID, Data: ck}); err != nil {
+		// A checkpoint that failed to persist is not a run failure; the
+		// run merely loses resume granularity. Keep the bytes in memory.
+		s.record(StateRunning, StateRunning, "checkpoint journal append failed")
+	}
+	r.resume = ck
+	r.info.Checkpoints++
+}
+
+// watchdog cancels the run when no heartbeat arrives for timeout. It polls
+// at a quarter of the timeout so detection latency stays proportional.
+func (s *Supervisor) watchdog(r *run, timeout time.Duration) {
+	tick := time.NewTicker(max(timeout/4, time.Millisecond))
+	defer tick.Stop()
+	for {
+		select {
+		case <-r.done:
+			return
+		case <-tick.C:
+			last := time.Unix(0, r.heartbeat.Load())
+			if silent := time.Since(last); silent > timeout {
+				s.cancelRun(r, fmt.Sprintf("watchdog: no progress for %v (timeout %v)", silent.Round(time.Millisecond), timeout))
+				return
+			}
+		}
+	}
+}
+
+// cancelRun cancels a running run's context with a reason; no-op for runs
+// that are not running.
+func (s *Supervisor) cancelRun(r *run, reason string) {
+	s.mu.Lock()
+	if r.info.State != StateRunning {
+		s.mu.Unlock()
+		return
+	}
+	if r.cancelReason == "" {
+		r.cancelReason = reason
+	}
+	cancel := r.cancel
+	s.mu.Unlock()
+	cancel()
+}
+
+// finalize moves a run to its terminal state, journals the finish, and
+// releases its quota.
+func (s *Supervisor) finalize(r *run, out Outcome, runErr error, panicked bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if r.info.State.Terminal() {
+		return
+	}
+	var state RunState
+	switch {
+	case runErr != nil || panicked:
+		state = StateFailed
+		out.Status = string(StateFailed)
+		out.Error = runErr.Error()
+	default:
+		switch RunState(out.Status) {
+		case StateCompleted, StateCancelled, StateDeadlineExceeded, StateDegraded:
+			state = RunState(out.Status)
+		default:
+			state = StateFailed
+			out.Error = fmt.Sprintf("runner reported unknown status %q", out.Status)
+			out.Status = string(StateFailed)
+		}
+	}
+	r.info.State = state
+	r.info.Reason = r.cancelReason
+	now := time.Now()
+	r.info.Finished = &now
+	r.info.Outcome = &out
+	if len(out.Checkpoint) > 0 {
+		if s.appendLocked(journal.Record{Type: journal.RecCheckpointed, RunID: r.info.ID, Data: out.Checkpoint}) == nil {
+			r.resume = out.Checkpoint
+			r.info.Checkpoints++
+		}
+	}
+	if data, err := json.Marshal(journalFinish{State: state, Reason: r.info.Reason, Outcome: &out}); err == nil {
+		// Best effort: a failed finish append means the next replay re-runs
+		// this run — at-least-once, never lost.
+		_ = s.appendLocked(journal.Record{Type: journal.RecFinished, RunID: r.info.ID, Data: data})
+	}
+	s.committed -= r.info.Demand
+	reason := r.cancelReason
+	if reason == "" {
+		reason = "runner returned"
+	}
+	s.record(StateRunning, state, reason)
+	close(r.done)
+}
+
+// finalizeQueuedLocked cancels a run that never started. Caller holds mu.
+func (s *Supervisor) finalizeQueuedLocked(r *run, reason string) {
+	out := &Outcome{Status: string(StateCancelled)}
+	r.info.State = StateCancelled
+	r.info.Reason = reason
+	now := time.Now()
+	r.info.Finished = &now
+	r.info.Outcome = out
+	if data, err := json.Marshal(journalFinish{State: StateCancelled, Reason: reason, Outcome: out}); err == nil {
+		_ = s.appendLocked(journal.Record{Type: journal.RecFinished, RunID: r.info.ID, Data: data})
+	}
+	s.committed -= r.info.Demand
+	s.record(StateQueued, StateCancelled, reason)
+	close(r.done)
+}
+
+// Cancel stops a run: a queued run is finalized immediately, a running run
+// has its context cancelled (the runner winds down and reports a partial
+// outcome). Terminal runs return ErrAlreadyFinished.
+func (s *Supervisor) Cancel(id uint64) error {
+	s.mu.Lock()
+	r, ok := s.runs[id]
+	if !ok {
+		s.mu.Unlock()
+		return &NotFoundError{ID: id}
+	}
+	switch r.info.State {
+	case StateQueued:
+		s.finalizeQueuedLocked(r, "cancelled by api")
+		s.mu.Unlock()
+		return nil
+	case StateRunning:
+		if r.cancelReason == "" {
+			r.cancelReason = "cancelled by api"
+		}
+		cancel := r.cancel
+		s.mu.Unlock()
+		cancel()
+		return nil
+	default:
+		s.mu.Unlock()
+		return ErrAlreadyFinished
+	}
+}
+
+// Get snapshots one run.
+func (s *Supervisor) Get(id uint64) (RunInfo, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.runs[id]
+	if !ok {
+		return RunInfo{}, &NotFoundError{ID: id}
+	}
+	return r.info, nil
+}
+
+// List snapshots every run in submission order.
+func (s *Supervisor) List() []RunInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]RunInfo, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.runs[id].info)
+	}
+	return out
+}
+
+// Wait blocks until the run is terminal (convenience for tests and the
+// serve command's synchronous mode).
+func (s *Supervisor) Wait(id uint64) (RunInfo, error) {
+	s.mu.Lock()
+	r, ok := s.runs[id]
+	s.mu.Unlock()
+	if !ok {
+		return RunInfo{}, &NotFoundError{ID: id}
+	}
+	<-r.done
+	return s.Get(id)
+}
+
+// Stats is a point-in-time aggregate of the supervisor.
+type Stats struct {
+	Queued, Running, Terminal int
+	// CommittedBytes is the simulated GPU memory pledged to admitted runs.
+	CommittedBytes int64
+	// Budget and PerRunQuota echo the effective quota configuration.
+	Budget, PerRunQuota int64
+	QueueCap            int
+	Workers             int
+	Draining            bool
+	// Recovered counts runs re-admitted from journal replay.
+	Recovered int
+}
+
+// Stats snapshots the aggregate state.
+func (s *Supervisor) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := Stats{
+		CommittedBytes: s.committed,
+		Budget:         s.cfg.GPUMemoryBudget,
+		PerRunQuota:    s.cfg.PerRunQuota,
+		QueueCap:       cap(s.queue),
+		Workers:        s.cfg.Workers,
+		Draining:       s.draining || s.killed,
+		Recovered:      s.recovered,
+	}
+	for _, r := range s.runs {
+		switch {
+		case r.info.State == StateQueued:
+			st.Queued++
+		case r.info.State == StateRunning:
+			st.Running++
+		default:
+			st.Terminal++
+		}
+	}
+	return st
+}
+
+// Transitions returns the run-state transition log (timestamps are
+// nanoseconds since the supervisor started).
+func (s *Supervisor) Transitions() []metrics.StateTransition { return s.log.Transitions() }
+
+// Accepting reports whether Submit would be considered at all (the
+// /readyz signal): false once draining or killed.
+func (s *Supervisor) Accepting() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return !s.draining && !s.killed
+}
+
+// Drain shuts down gracefully: admission stops (ErrShuttingDown), queued
+// and running runs finish normally. If ctx expires first, the drain
+// escalates — queued runs are cancelled outright and running runs have
+// their contexts cancelled — and Drain still waits for the workers to wind
+// down before closing the journal. Safe to call more than once.
+func (s *Supervisor) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	s.queueClosed.Do(func() { close(s.queue) })
+	s.mu.Unlock()
+	s.waitWG.Do(func() {
+		go func() {
+			s.wg.Wait()
+			close(s.workersDone)
+		}()
+	})
+	var err error
+	select {
+	case <-s.workersDone:
+	case <-ctx.Done():
+		err = ctx.Err()
+		s.cancelAll("drain deadline exceeded")
+		<-s.workersDone
+	}
+	s.mu.Lock()
+	if s.jl != nil && !s.jlClosed {
+		s.jlClosed = true
+		s.jl.Close()
+	}
+	s.mu.Unlock()
+	return err
+}
+
+// Kill hard-stops the supervisor, simulating a process kill for the
+// crash-recovery tests: in-flight runs are interrupted and NOTHING more is
+// journaled — no finish records, exactly as if the process died — so a
+// supervisor reopened on the same journal must recover them by replay.
+func (s *Supervisor) Kill() {
+	s.mu.Lock()
+	if s.killed {
+		s.mu.Unlock()
+		return
+	}
+	s.killed = true
+	s.queueClosed.Do(func() { close(s.queue) })
+	var cancels []context.CancelFunc
+	for _, r := range s.runs {
+		if r.info.State == StateRunning && r.cancel != nil {
+			if r.cancelReason == "" {
+				r.cancelReason = "killed"
+			}
+			cancels = append(cancels, r.cancel)
+		}
+	}
+	s.mu.Unlock()
+	for _, c := range cancels {
+		c()
+	}
+	s.wg.Wait()
+	s.mu.Lock()
+	if s.jl != nil && !s.jlClosed {
+		s.jlClosed = true
+		s.jl.Close()
+	}
+	s.mu.Unlock()
+}
+
+// cancelAll escalates a timed-out drain.
+func (s *Supervisor) cancelAll(reason string) {
+	s.mu.Lock()
+	var cancels []context.CancelFunc
+	for _, r := range s.runs {
+		switch r.info.State {
+		case StateQueued:
+			s.finalizeQueuedLocked(r, reason)
+		case StateRunning:
+			if r.cancelReason == "" {
+				r.cancelReason = reason
+			}
+			if r.cancel != nil {
+				cancels = append(cancels, r.cancel)
+			}
+		}
+	}
+	s.mu.Unlock()
+	for _, c := range cancels {
+		c()
+	}
+}
+
+// appendLocked journals one record; caller holds mu. A killed supervisor
+// journals nothing (the kill-9 contract); a journal-less supervisor
+// appends nowhere successfully.
+func (s *Supervisor) appendLocked(rec journal.Record) error {
+	if s.jl == nil || s.killed || s.jlClosed {
+		return nil
+	}
+	return s.jl.Append(rec)
+}
+
+// record logs one state transition (at = ns since supervisor start).
+func (s *Supervisor) record(from, to RunState, reason string) {
+	s.log.Record(time.Since(s.epoch).Nanoseconds(), string(from), string(to), reason)
+}

@@ -1,0 +1,231 @@
+package deepum
+
+// Multi-run supervision. NewSupervisor lifts the single-run lifecycle
+// machinery (TrainContext, typed RunStatus, warm-state checkpoints) to a
+// production-shaped serving layer: a bounded worker pool executes many
+// concurrent runs, admission control rejects overload with typed errors,
+// per-run quotas partition a simulated GPU memory budget, watchdogs cancel
+// hung runs, and a crash-safe journal lets a restarted supervisor resume
+// interrupted runs from their latest checkpoints. cmd/deepum-serve exposes
+// the same layer over HTTP.
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"time"
+
+	"deepum/internal/supervisor"
+)
+
+// Supervisor re-exports the multi-run supervision layer.
+type Supervisor = supervisor.Supervisor
+
+// SupervisorConfig re-exports the supervisor configuration. Runner and
+// Estimate may be left nil: NewSupervisor fills them with the
+// TrainContext-backed runner and the workload-footprint estimator.
+type SupervisorConfig = supervisor.Config
+
+// RunSpec re-exports one submitted run's description.
+type RunSpec = supervisor.RunSpec
+
+// RunInfo re-exports a run's point-in-time snapshot.
+type RunInfo = supervisor.RunInfo
+
+// RunOutcome re-exports a finished run's report.
+type RunOutcome = supervisor.Outcome
+
+// SupervisorStats re-exports the supervisor's aggregate snapshot.
+type SupervisorStats = supervisor.Stats
+
+// Supervisor run states (RunInfo.State).
+const (
+	RunQueued           = supervisor.StateQueued
+	RunRunning          = supervisor.StateRunning
+	RunCompleted        = supervisor.StateCompleted
+	RunCancelled        = supervisor.StateCancelled
+	RunDeadlineExceeded = supervisor.StateDeadlineExceeded
+	RunDegraded         = supervisor.StateDegraded
+	RunFailed           = supervisor.StateFailed
+)
+
+// Typed admission and lookup failures, re-exported so callers can branch
+// on rejection kind (retry later vs. reject outright).
+type (
+	// QueueFullError: the bounded submission queue is at capacity.
+	QueueFullError = supervisor.QueueFullError
+	// QuotaError: the run's memory demand does not fit. Retryable()
+	// distinguishes transient budget pressure from a per-run quota the
+	// spec can never satisfy.
+	QuotaError = supervisor.QuotaError
+	// RunNotFoundError: no run with the requested ID.
+	RunNotFoundError = supervisor.NotFoundError
+)
+
+// Sentinel supervisor errors.
+var (
+	ErrSupervisorShuttingDown = supervisor.ErrShuttingDown
+	ErrRunAlreadyFinished     = supervisor.ErrAlreadyFinished
+)
+
+// NewSupervisor builds a multi-run supervisor whose workers execute
+// TrainContext. Zero-valued config fields get production defaults; set
+// SupervisorConfig.JournalPath to survive process kills (the journal is
+// replayed on the next NewSupervisor and interrupted runs resume from
+// their last checkpoint).
+func NewSupervisor(cfg SupervisorConfig) (*Supervisor, error) {
+	if cfg.Runner == nil {
+		cfg.Runner = TrainRunner()
+	}
+	if cfg.Estimate == nil {
+		cfg.Estimate = EstimateMemoryDemand
+	}
+	return supervisor.New(cfg)
+}
+
+// EstimateMemoryDemand is the default admission estimator: a run is
+// charged its workload's scaled memory footprint against the supervisor's
+// simulated GPU memory budget.
+func EstimateMemoryDemand(spec RunSpec) (int64, error) {
+	scale := spec.Scale
+	if scale < 1 {
+		scale = DefaultConfig().Scale
+	}
+	prog, err := BuildProgram(Workload{Model: spec.Model, Dataset: spec.Dataset, Batch: spec.Batch}, scale)
+	if err != nil {
+		return 0, err
+	}
+	return prog.FootprintBytes(), nil
+}
+
+// TrainRunner returns the supervisor runner backed by TrainContext. It
+// honors context cancellation (watchdog, Cancel, drain escalation) at
+// simulated-event granularity for the UM-side systems, and — for DeepUM
+// runs with RunSpec.CheckpointEvery set — executes the run in iteration
+// chunks, surfacing a warm-state checkpoint after each chunk so the
+// supervisor can journal resumable progress mid-run.
+func TrainRunner() supervisor.Runner { return trainRunner{} }
+
+type trainRunner struct{}
+
+func (trainRunner) Run(ctx context.Context, spec RunSpec, resume []byte, progress func([]byte)) (supervisor.Outcome, error) {
+	w := Workload{Model: spec.Model, Dataset: spec.Dataset, Batch: spec.Batch}
+	cfg := DefaultConfig()
+	if spec.System != "" {
+		cfg.System = System(spec.System)
+	}
+	if spec.Scale > 0 {
+		cfg.Scale = spec.Scale
+	}
+	if spec.Iterations > 0 {
+		cfg.Iterations = spec.Iterations
+	}
+	if spec.Warmup > 0 {
+		cfg.Warmup = spec.Warmup
+	}
+	if spec.Seed != 0 {
+		cfg.Seed = spec.Seed
+	}
+	cfg.Chaos = spec.Chaos
+	cfg.ChaosSeed = spec.ChaosSeed
+	if len(resume) > 0 {
+		if cfg.System != SystemDeepUM {
+			return supervisor.Outcome{}, fmt.Errorf("deepum: resume checkpoint for system %q (only deepum has warm state)", cfg.System)
+		}
+		st, err := LoadCheckpoint(bytes.NewReader(resume))
+		if err != nil {
+			return supervisor.Outcome{}, fmt.Errorf("deepum: decoding resume checkpoint: %w", err)
+		}
+		cfg.Resume = st
+		// Tables are warm; one warmup iteration rebuilds GPU residency.
+		cfg.Warmup = 1
+	}
+	progress(nil) // liveness before the first (potentially long) chunk
+
+	chunk := spec.CheckpointEvery
+	if chunk <= 0 || cfg.System != SystemDeepUM {
+		res, err := TrainContext(ctx, w, cfg)
+		if err != nil {
+			return supervisor.Outcome{}, err
+		}
+		var agg runAggregate
+		agg.add(res)
+		return agg.outcome(res, checkpointBytes(res)), nil
+	}
+
+	var agg runAggregate
+	total := cfg.Iterations
+	for agg.iterations < total {
+		cfg.Iterations = min(chunk, total-agg.iterations)
+		res, err := TrainContext(ctx, w, cfg)
+		if err != nil {
+			return supervisor.Outcome{}, err
+		}
+		agg.add(res)
+		ck := checkpointBytes(res)
+		if ck != nil {
+			progress(ck)
+		} else {
+			progress(nil)
+		}
+		if res.Status.Interrupted() || res.Iterations == 0 {
+			return agg.outcome(res, ck), nil
+		}
+		cfg.Resume = res.Warm
+		cfg.Warmup = 1
+		if agg.iterations >= total {
+			return agg.outcome(res, ck), nil
+		}
+	}
+	// Unreachable: the loop always returns; keep the compiler satisfied.
+	return supervisor.Outcome{}, fmt.Errorf("deepum: chunked run fell through")
+}
+
+// checkpointBytes serializes a run's warm state, or nil when there is none.
+func checkpointBytes(res *Result) []byte {
+	if res.Warm == nil {
+		return nil
+	}
+	var buf bytes.Buffer
+	if err := SaveCheckpoint(&buf, res.Warm); err != nil {
+		return nil
+	}
+	return buf.Bytes()
+}
+
+// runAggregate folds per-chunk results into one outcome (chunked runs
+// report totals across chunks, mirroring what one uninterrupted run would
+// have measured — the PR-2 resume-equivalence guarantee makes the chunks
+// steady-state comparable).
+type runAggregate struct {
+	iterations int
+	faults     int64
+	totalTime  int64 // virtual ns across measured iterations
+	degraded   bool
+}
+
+func (a *runAggregate) add(res *Result) {
+	a.iterations += res.Iterations
+	a.faults += res.PageFaultsPerIteration * int64(res.Iterations)
+	a.totalTime += int64(res.TotalTime)
+	if res.Status == StatusDegraded {
+		a.degraded = true
+	}
+}
+
+func (a *runAggregate) outcome(last *Result, ck []byte) supervisor.Outcome {
+	status := last.Status
+	if status == StatusCompleted && a.degraded {
+		status = StatusDegraded
+	}
+	out := supervisor.Outcome{
+		Status:     status.String(),
+		Iterations: a.iterations,
+		Checkpoint: ck,
+	}
+	if a.iterations > 0 {
+		out.IterationTime = time.Duration(a.totalTime / int64(a.iterations))
+		out.FaultsPerIteration = a.faults / int64(a.iterations)
+	}
+	return out
+}

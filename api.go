@@ -1,0 +1,209 @@
+package deepum
+
+// This file is the package's STABLE PUBLIC API FACADE. Everything an
+// application should import lives here or in the handful of sibling files
+// that define behaviour (Train/TrainContext in deepum.go, NewSupervisor in
+// supervisor.go, NewObserver in observer.go); the internal/ packages are
+// implementation detail and may change without notice.
+//
+// API stability: the names declared in this file — the type aliases, the
+// typed errors, the run-state and run-status constants, and the discovery
+// functions — are the compatibility surface of the module. They follow the
+// usual Go convention: existing names keep their meaning and signatures
+// across minor revisions; new capability arrives as new names. Callers
+// should branch on the typed errors (errors.As / errors.Is) and the
+// exported constants rather than matching error strings, and must not
+// import internal/supervisor or any other internal package to do so.
+//
+// Discovery functions (Systems, Models, Experiments, ChaosScenarios)
+// return deterministically ordered slices — same binary, same order — so
+// their output is directly usable in golden tests, CLI listings, and
+// documentation without re-sorting.
+
+import (
+	"sort"
+
+	"deepum/internal/chaos"
+	"deepum/internal/core"
+	"deepum/internal/correlation"
+	"deepum/internal/engine"
+	"deepum/internal/experiments"
+	"deepum/internal/models"
+	"deepum/internal/sim"
+	"deepum/internal/supervisor"
+)
+
+// --- single-run types ---
+
+// ChaosStats re-exports the fault-injection counters.
+type ChaosStats = chaos.Stats
+
+// RunStatus re-exports the engine's run-ending classification. Use
+// RunStatus.Terminal to test for finality and Result.Succeeded for the
+// common "did it complete cleanly" check.
+type RunStatus = engine.RunStatus
+
+// Run statuses: how a training run ended (Result.Status).
+const (
+	StatusCompleted        = engine.StatusCompleted
+	StatusCancelled        = engine.StatusCancelled
+	StatusDeadlineExceeded = engine.StatusDeadlineExceeded
+	StatusDegraded         = engine.StatusDegraded
+)
+
+// IterStat re-exports the per-iteration measurement slice.
+type IterStat = engine.IterStat
+
+// BreakerStats re-exports the prefetch circuit breaker snapshot.
+type BreakerStats = engine.BreakerStats
+
+// InvariantError re-exports the typed invariant-checker violation.
+type InvariantError = chaos.InvariantError
+
+// CorrelationState is the warm state of a DeepUM run: the execution-ID and
+// UM-block correlation tables the driver learned. It is what checkpoint and
+// resume move between runs (the residency and link state rebuild themselves
+// within one iteration; the tables take a full warm-up epoch).
+type CorrelationState = correlation.Tables
+
+// DriverOptions re-exports the DeepUM driver knobs for callers tuning the
+// prefetch degree (Fig. 11) or table parameters (Table 6 / Fig. 12).
+type DriverOptions = core.Options
+
+// BlockTableConfig re-exports the UM-block correlation-table parameters.
+type BlockTableConfig = correlation.BlockTableConfig
+
+// Machine re-exports the hardware model for custom configurations.
+type Machine = sim.Params
+
+// ExperimentOptions scope a RunExperiment call; the zero value selects the
+// defaults (scale 8, four measured iterations).
+type ExperimentOptions = experiments.Options
+
+// --- supervisor types ---
+
+// Supervisor re-exports the multi-run supervision layer.
+type Supervisor = supervisor.Supervisor
+
+// SupervisorConfig re-exports the supervisor configuration. Runner and
+// Estimate may be left nil: NewSupervisor fills them with the
+// TrainContext-backed runner and the workload-footprint estimator.
+type SupervisorConfig = supervisor.Config
+
+// RunSpec re-exports one submitted run's description.
+type RunSpec = supervisor.RunSpec
+
+// RunInfo re-exports a run's point-in-time snapshot.
+type RunInfo = supervisor.RunInfo
+
+// RunOutcome re-exports a finished run's report.
+type RunOutcome = supervisor.Outcome
+
+// SupervisorStats re-exports the supervisor's aggregate snapshot.
+type SupervisorStats = supervisor.Stats
+
+// Runner executes one supervised run; implement it (or wrap a function in
+// RunnerFunc) to drive the supervisor with custom work instead of the
+// default TrainContext-backed runner.
+type Runner = supervisor.Runner
+
+// RunnerFunc adapts a function to the Runner interface.
+type RunnerFunc = supervisor.RunnerFunc
+
+// RunState is a supervised run's position in the supervisor's state
+// machine; RunState.Terminal reports finality.
+type RunState = supervisor.RunState
+
+// Supervisor run states (RunInfo.State).
+const (
+	RunQueued           = supervisor.StateQueued
+	RunRunning          = supervisor.StateRunning
+	RunCompleted        = supervisor.StateCompleted
+	RunCancelled        = supervisor.StateCancelled
+	RunDeadlineExceeded = supervisor.StateDeadlineExceeded
+	RunDegraded         = supervisor.StateDegraded
+	RunFailed           = supervisor.StateFailed
+)
+
+// Typed admission and lookup failures, re-exported so callers can branch
+// on rejection kind (retry later vs. reject outright) with errors.As
+// without importing internal/supervisor.
+type (
+	// QueueFullError: the bounded submission queue is at capacity.
+	QueueFullError = supervisor.QueueFullError
+	// QuotaError: the run's memory demand does not fit. Retryable()
+	// distinguishes transient budget pressure from a per-run quota the
+	// spec can never satisfy.
+	QuotaError = supervisor.QuotaError
+	// RunNotFoundError: no run with the requested ID.
+	RunNotFoundError = supervisor.NotFoundError
+)
+
+// Sentinel supervisor errors, for errors.Is.
+var (
+	// ErrShuttingDown rejects submissions to a draining supervisor.
+	ErrShuttingDown = supervisor.ErrShuttingDown
+	// ErrRunAlreadyFinished rejects Cancel on a terminal run.
+	ErrRunAlreadyFinished = supervisor.ErrAlreadyFinished
+)
+
+// ErrSupervisorShuttingDown is the former name of ErrShuttingDown.
+//
+// Deprecated: use ErrShuttingDown.
+var ErrSupervisorShuttingDown = supervisor.ErrShuttingDown
+
+// --- discovery ---
+
+// Systems returns every supported system name in ascending order.
+func Systems() []System {
+	s := []System{SystemUM, SystemDeepUM, SystemIdeal, SystemLMS, SystemLMSMod,
+		SystemVDNN, SystemAutoTM, SystemSwapAdvisor, SystemCapuchin, SystemSentinel}
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return s
+}
+
+// Models returns the supported model names (Table 2) in ascending order.
+func Models() []string {
+	m := models.Names()
+	sort.Strings(m)
+	return m
+}
+
+// ExperimentInfo identifies one reproducible paper artifact.
+type ExperimentInfo struct {
+	// ID names the artifact for RunExperiment (e.g. "fig9a", "table5").
+	ID string
+	// Title is the artifact's human-readable caption.
+	Title string
+}
+
+// Experiments returns every reproducible paper artifact in ascending ID
+// order; run one with RunExperiment.
+func Experiments() []ExperimentInfo {
+	all := experiments.All()
+	out := make([]ExperimentInfo, 0, len(all))
+	for _, e := range all {
+		out = append(out, ExperimentInfo{ID: e.ID, Title: e.Title})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ChaosScenarioInfo identifies one named fault-injection scenario.
+type ChaosScenarioInfo struct {
+	// Name is the value for Config.Chaos and deepum-sim -chaos.
+	Name        string
+	Description string
+}
+
+// ChaosScenarios returns the named fault-injection scenarios in ascending
+// name order.
+func ChaosScenarios() []ChaosScenarioInfo {
+	all := chaos.Scenarios()
+	out := make([]ChaosScenarioInfo, 0, len(all))
+	for _, s := range all {
+		out = append(out, ChaosScenarioInfo{Name: s.Name, Description: s.Description})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

@@ -14,9 +14,7 @@ import (
 	"os"
 	"time"
 
-	"deepum/internal/chaos"
-	"deepum/internal/experiments"
-	"deepum/internal/metrics"
+	"deepum"
 )
 
 func main() {
@@ -35,22 +33,22 @@ func main() {
 	flag.Parse()
 
 	if *list {
-		for _, e := range experiments.All() {
+		for _, e := range deepum.Experiments() {
 			fmt.Printf("%-8s %s\n", e.ID, e.Title)
 		}
 		return
 	}
 	if *chaosN == "list" {
-		for _, sc := range chaos.Scenarios() {
+		for _, sc := range deepum.ChaosScenarios() {
 			fmt.Printf("%-16s %s\n", sc.Name, sc.Description)
 		}
 		return
 	}
-	if _, err := chaos.ByName(*chaosN); err != nil {
-		fmt.Fprintln(os.Stderr, err)
+	if *chaosN != "" && *chaosN != "none" && !knownScenario(*chaosN) {
+		fmt.Fprintf(os.Stderr, "deepum-bench: unknown chaos scenario %q (see -chaos list)\n", *chaosN)
 		os.Exit(1)
 	}
-	opts := experiments.Options{
+	opts := deepum.ExperimentOptions{
 		Scale:      *scale,
 		Iterations: *iters,
 		Warmup:     *warm,
@@ -59,16 +57,13 @@ func main() {
 		Chaos:      *chaosN,
 		ChaosSeed:  *chaosS,
 	}
-	var exps []experiments.Experiment
+	var ids []string
 	if *run != "" {
-		e, err := experiments.ByID(*run)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		exps = []experiments.Experiment{e}
+		ids = []string{*run}
 	} else {
-		exps = experiments.All()
+		for _, e := range deepum.Experiments() {
+			ids = append(ids, e.ID)
+		}
 	}
 	ctx := context.Background()
 	if *timeout > 0 {
@@ -76,43 +71,53 @@ func main() {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
-	for i, e := range exps {
+	for i, id := range ids {
 		if ctx.Err() != nil {
 			fmt.Fprintf(os.Stderr, "timeout: %d of %d experiments done; skipped %v onward\n",
-				i, len(exps), e.ID)
+				i, len(ids), id)
 			os.Exit(3)
 		}
 		start := time.Now()
-		tbl, err := runExperiment(ctx, e, opts)
+		tbl, err := runExperiment(ctx, id, opts)
 		if err == context.DeadlineExceeded {
 			fmt.Fprintf(os.Stderr, "timeout: %s interrupted after %v (%d of %d experiments done)\n",
-				e.ID, time.Since(start).Round(time.Millisecond), i, len(exps))
+				id, time.Since(start).Round(time.Millisecond), i, len(ids))
 			os.Exit(3)
 		}
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
 			os.Exit(1)
 		}
 		fmt.Println(tbl)
-		fmt.Printf("(%s regenerated in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		fmt.Printf("(%s regenerated in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
 	}
+}
+
+// knownScenario checks the name against the public scenario listing.
+func knownScenario(name string) bool {
+	for _, sc := range deepum.ChaosScenarios() {
+		if sc.Name == name {
+			return true
+		}
+	}
+	return false
 }
 
 // runExperiment bounds one experiment by the context's deadline. Experiments
 // are synchronous batch jobs, so the bound is a supervisor: on expiry the
 // bench reports partial progress and exits while the abandoned experiment's
 // goroutine dies with the process.
-func runExperiment(ctx context.Context, e experiments.Experiment, opts experiments.Options) (*metrics.Table, error) {
+func runExperiment(ctx context.Context, id string, opts deepum.ExperimentOptions) (fmt.Stringer, error) {
 	if ctx.Done() == nil {
-		return e.Run(opts)
+		return deepum.RunExperiment(id, opts)
 	}
 	type outcome struct {
-		tbl *metrics.Table
+		tbl fmt.Stringer
 		err error
 	}
 	ch := make(chan outcome, 1)
 	go func() {
-		tbl, err := e.Run(opts)
+		tbl, err := deepum.RunExperiment(id, opts)
 		ch <- outcome{tbl, err}
 	}()
 	select {

@@ -11,6 +11,11 @@
 // offset) without modifying it:
 //
 //	deepum-inspect journal runs.journal
+//
+// The trace subcommand validates and summarizes a Chrome trace written by
+// deepum-sim -trace (see trace.go):
+//
+//	deepum-inspect trace run.json
 package main
 
 import (
@@ -30,6 +35,10 @@ import (
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "journal" {
 		runJournal(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "trace" {
+		runTrace(os.Args[2:])
 		return
 	}
 	var (

@@ -12,7 +12,9 @@ import (
 // newServer wires the supervisor behind a JSON HTTP API. Typed admission
 // rejections map onto distinct status codes so clients can tell "back off
 // and retry" (429 + Retry-After, 503) from "this spec can never be
-// admitted" (422).
+// admitted" (422). GET /metrics scrapes the supervisor's Prometheus
+// registry (admission results, runs by state, queue depth, run durations)
+// plus per-route HTTP request counters.
 func newServer(sup *deepum.Supervisor) http.Handler {
 	s := &server{sup: sup}
 	mux := http.NewServeMux()
@@ -24,7 +26,23 @@ func newServer(sup *deepum.Supervisor) http.Handler {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
 	mux.HandleFunc("GET /readyz", s.ready)
-	return mux
+	mux.HandleFunc("GET /metrics", s.metrics)
+	return countRequests(sup, mux)
+}
+
+// countRequests counts every request by method and matched route pattern
+// (bounded label cardinality: unmatched paths collapse to their 404).
+func countRequests(sup *deepum.Supervisor, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		next.ServeHTTP(w, r)
+		route := r.Pattern
+		if route == "" {
+			route = "unmatched"
+		}
+		sup.Metrics().Counter("deepum_http_requests_total",
+			"HTTP requests served, by matched route.",
+			map[string]string{"route": route}).Inc()
+	})
 }
 
 type server struct {
@@ -44,7 +62,7 @@ func (s *server) submit(w http.ResponseWriter, r *http.Request) {
 		var qf *deepum.QueueFullError
 		var q *deepum.QuotaError
 		switch {
-		case errors.Is(err, deepum.ErrSupervisorShuttingDown):
+		case errors.Is(err, deepum.ErrShuttingDown):
 			writeError(w, http.StatusServiceUnavailable, err)
 		case errors.As(err, &qf):
 			w.Header().Set("Retry-After", "1")
@@ -105,6 +123,12 @@ func (s *server) ready(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"status": "ready", "stats": s.sup.Stats()})
+}
+
+// metrics serves the Prometheus text exposition format (version 0.0.4).
+func (s *server) metrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.sup.Metrics().WriteText(w)
 }
 
 func runID(w http.ResponseWriter, r *http.Request) (uint64, bool) {

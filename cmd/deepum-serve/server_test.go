@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -11,12 +12,11 @@ import (
 	"time"
 
 	"deepum"
-	"deepum/internal/supervisor"
 )
 
 // testServer builds the HTTP API over a supervisor with a fake runner so
 // handler behavior is tested without simulating training.
-func testServer(t *testing.T, cfg deepum.SupervisorConfig, runner supervisor.Runner) (*httptest.Server, *deepum.Supervisor) {
+func testServer(t *testing.T, cfg deepum.SupervisorConfig, runner deepum.Runner) (*httptest.Server, *deepum.Supervisor) {
 	t.Helper()
 	cfg.Runner = runner
 	cfg.Estimate = func(deepum.RunSpec) (int64, error) { return 1 << 20, nil }
@@ -29,8 +29,8 @@ func testServer(t *testing.T, cfg deepum.SupervisorConfig, runner supervisor.Run
 	return ts, sup
 }
 
-func instant() supervisor.Runner {
-	return supervisor.RunnerFunc(func(ctx context.Context, spec deepum.RunSpec, resume []byte, progress func([]byte)) (deepum.RunOutcome, error) {
+func instant() deepum.Runner {
+	return deepum.RunnerFunc(func(ctx context.Context, spec deepum.RunSpec, resume []byte, progress func([]byte)) (deepum.RunOutcome, error) {
 		return deepum.RunOutcome{Status: string(deepum.RunCompleted), Iterations: spec.Iterations}, nil
 	})
 }
@@ -56,7 +56,7 @@ func decode[T any](t *testing.T, resp *http.Response) T {
 
 func TestServeSubmitStatusCancelList(t *testing.T) {
 	block := make(chan struct{})
-	runner := supervisor.RunnerFunc(func(ctx context.Context, spec deepum.RunSpec, resume []byte, progress func([]byte)) (deepum.RunOutcome, error) {
+	runner := deepum.RunnerFunc(func(ctx context.Context, spec deepum.RunSpec, resume []byte, progress func([]byte)) (deepum.RunOutcome, error) {
 		if spec.Seed == 99 { // the run the test cancels
 			select {
 			case <-block:
@@ -139,7 +139,7 @@ func TestServeSubmitStatusCancelList(t *testing.T) {
 
 func TestServeAdmissionStatusCodes(t *testing.T) {
 	gate := make(chan struct{})
-	runner := supervisor.RunnerFunc(func(ctx context.Context, spec deepum.RunSpec, resume []byte, progress func([]byte)) (deepum.RunOutcome, error) {
+	runner := deepum.RunnerFunc(func(ctx context.Context, spec deepum.RunSpec, resume []byte, progress func([]byte)) (deepum.RunOutcome, error) {
 		select {
 		case <-gate:
 		case <-ctx.Done():
@@ -213,6 +213,51 @@ func TestServeHealthz(t *testing.T) {
 	defer r.Body.Close()
 	if r.StatusCode != http.StatusOK {
 		t.Fatalf("healthz: status %d", r.StatusCode)
+	}
+}
+
+func TestServeMetricsScrape(t *testing.T) {
+	ts, sup := testServer(t, deepum.SupervisorConfig{Workers: 1}, instant())
+
+	// Submit one run to completion so the counters have moved.
+	resp := postJSON(t, ts.URL+"/runs", `{"model":"bert-base","batch":8,"iterations":2}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: status %d", resp.StatusCode)
+	}
+	if _, err := sup.Wait(decode[map[string]uint64](t, resp)["id"]); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("metrics: status %d", r.StatusCode)
+	}
+	if ct := r.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("metrics content type = %q", ct)
+	}
+	var sb strings.Builder
+	if _, err := io.Copy(&sb, r.Body); err != nil {
+		t.Fatal(err)
+	}
+	body := sb.String()
+	for _, want := range []string{
+		"# TYPE deepum_supervisor_submissions_total counter",
+		`deepum_supervisor_submissions_total{result="accepted"} 1`,
+		`deepum_supervisor_runs_finished_total{state="completed"} 1`,
+		"# TYPE deepum_supervisor_runs gauge",
+		"deepum_supervisor_run_seconds_count 1",
+		`deepum_http_requests_total{route="POST /runs"} 1`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics body missing %q", want)
+		}
+	}
+	if t.Failed() {
+		t.Logf("full body:\n%s", body)
 	}
 }
 

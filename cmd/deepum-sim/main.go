@@ -13,7 +13,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"sort"
 
 	"deepum"
 	"deepum/internal/sim"
@@ -36,6 +35,7 @@ func main() {
 		timeout = flag.Duration("timeout", 0, "wall-clock bound; an expired run returns its partial measurements")
 		deadln  = flag.Duration("deadline", 0, "virtual-time bound (deterministic under a fixed seed)")
 		ckpt    = flag.String("checkpoint", "", "write the learned correlation tables here after the run (deepum only)")
+		trace   = flag.String("trace", "", "write a Chrome trace-event JSON of the run here (open in Perfetto; UM-side systems only)")
 		resume  = flag.String("resume", "", "seed the driver from a checkpoint written by -checkpoint (deepum only)")
 		listM   = flag.Bool("models", false, "list model names and exit")
 		listS   = flag.Bool("systems", false, "list system names and exit")
@@ -56,14 +56,8 @@ func main() {
 		return
 	}
 	if *listC {
-		scs := deepum.ChaosScenarios()
-		names := make([]string, 0, len(scs))
-		for n := range scs {
-			names = append(names, n)
-		}
-		sort.Strings(names)
-		for _, n := range names {
-			fmt.Printf("%-18s %s\n", n, scs[n])
+		for _, sc := range deepum.ChaosScenarios() {
+			fmt.Printf("%-18s %s\n", sc.Name, sc.Description)
 		}
 		return
 	}
@@ -95,6 +89,9 @@ func main() {
 		}
 		cfg.Resume = st
 	}
+	if *trace != "" {
+		cfg.Observe = deepum.NewObserver(deepum.TraceOptions{})
+	}
 
 	ctx := context.Background()
 	if *timeout > 0 {
@@ -124,6 +121,22 @@ func main() {
 		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "checkpoint %s: %v\n", *ckpt, err)
+			os.Exit(1)
+		}
+	}
+	if *trace != "" {
+		f, err := os.Create(*trace)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := cfg.Observe.WriteChromeTrace(f); err == nil {
+			err = f.Close()
+		} else {
+			f.Close()
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "trace %s: %v\n", *trace, err)
 			os.Exit(1)
 		}
 	}
@@ -165,6 +178,10 @@ func main() {
 	}
 	if *ckpt != "" {
 		fmt.Printf("checkpoint correlation tables saved to %s\n", *ckpt)
+	}
+	if *trace != "" {
+		fmt.Printf("trace      %d events written to %s (%d overwritten)\n",
+			cfg.Observe.EventCount(), *trace, cfg.Observe.Dropped())
 	}
 	if *chaosSc != "" && *chaosSc != "none" {
 		cs := res.ChaosStats

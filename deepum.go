@@ -60,12 +60,6 @@ const (
 	SystemSentinel    System = "sentinel"
 )
 
-// Systems returns every supported system name.
-func Systems() []System {
-	return []System{SystemUM, SystemDeepUM, SystemIdeal, SystemLMS, SystemLMSMod,
-		SystemVDNN, SystemAutoTM, SystemSwapAdvisor, SystemCapuchin, SystemSentinel}
-}
-
 // Workload names a Table 2 model/dataset pair at a batch size.
 type Workload struct {
 	// Model is one of: gpt2-xl, gpt2-l, bert-large, bert-base, dlrm,
@@ -118,6 +112,14 @@ type Config struct {
 	// defaults (8 failures, 500us).
 	BreakerThreshold int
 	BreakerCooldown  sim.Duration
+	// Observe attaches an event-trace observer (NewObserver) to the run:
+	// fault batches, link transfers, prefetch lifecycle, evictions, breaker
+	// transitions, and per-iteration spans are recorded into its ring
+	// buffer for export as a Chrome trace or offline analysis. Nil (the
+	// default) disables tracing at zero cost — the hot paths take a single
+	// nil check. UM-side systems only; the tensor-level baselines do not
+	// run the event simulation the observer instruments.
+	Observe *Observer
 }
 
 // DefaultConfig returns the paper's headline configuration: DeepUM with all
@@ -191,34 +193,13 @@ type Result struct {
 	Warm *CorrelationState
 }
 
-// ChaosStats re-exports the fault-injection counters.
-type ChaosStats = chaos.Stats
-
-// RunStatus re-exports the engine's run-ending classification.
-type RunStatus = engine.RunStatus
-
-// Run statuses: how a training run ended (Result.Status).
-const (
-	StatusCompleted        = engine.StatusCompleted
-	StatusCancelled        = engine.StatusCancelled
-	StatusDeadlineExceeded = engine.StatusDeadlineExceeded
-	StatusDegraded         = engine.StatusDegraded
-)
-
-// IterStat re-exports the per-iteration measurement slice.
-type IterStat = engine.IterStat
-
-// BreakerStats re-exports the prefetch circuit breaker snapshot.
-type BreakerStats = engine.BreakerStats
-
-// InvariantError re-exports the typed invariant-checker violation.
-type InvariantError = chaos.InvariantError
-
-// CorrelationState is the warm state of a DeepUM run: the execution-ID and
-// UM-block correlation tables the driver learned. It is what checkpoint and
-// resume move between runs (the residency and link state rebuild themselves
-// within one iteration; the tables take a full warm-up epoch).
-type CorrelationState = correlation.Tables
+// Succeeded reports whether the run completed every requested iteration
+// cleanly: StatusCompleted, no degradation. A degraded, cancelled, or
+// deadline-exceeded run returns false even though its (partial)
+// measurements are real.
+func (r *Result) Succeeded() bool {
+	return r.Status == StatusCompleted
+}
 
 // SaveCheckpoint serializes warm correlation state (Result.Warm) to w using
 // the versioned, CRC32-checksummed encoding of internal/correlation.
@@ -230,16 +211,6 @@ func SaveCheckpoint(w io.Writer, st *CorrelationState) error {
 // magic, version, and checksum. Feed the result to Config.Resume.
 func LoadCheckpoint(r io.Reader) (*CorrelationState, error) {
 	return correlation.ReadCheckpoint(r)
-}
-
-// ChaosScenarios returns the named fault-injection scenarios as name ->
-// description, for Config.Chaos and deepum-sim -chaos.
-func ChaosScenarios() map[string]string {
-	out := map[string]string{}
-	for _, s := range chaos.Scenarios() {
-		out[s.Name] = s.Description
-	}
-	return out
 }
 
 // Train simulates training the workload under the configured system. It
@@ -330,6 +301,7 @@ func TrainContext(ctx context.Context, w Workload, cfg Config) (*Result, error) 
 			Deadline:         cfg.Deadline,
 			BreakerThreshold: cfg.BreakerThreshold,
 			BreakerCooldown:  cfg.BreakerCooldown,
+			Obs:              cfg.Observe.recorder(),
 		})
 		if err != nil {
 			return nil, err
@@ -360,6 +332,9 @@ func TrainContext(ctx context.Context, w Workload, cfg Config) (*Result, error) 
 		}
 		if cfg.Deadline > 0 {
 			return nil, fmt.Errorf("deepum: Config.Deadline bounds the UM-side event simulation; system %q does not run one", cfg.System)
+		}
+		if cfg.Observe != nil {
+			return nil, fmt.Errorf("deepum: Config.Observe traces the UM-side event simulation; system %q does not run one", cfg.System)
 		}
 		pl, err := plannerFor(cfg.System)
 		if err != nil {
@@ -408,23 +383,6 @@ func plannerFor(s System) (baselines.Planner, error) {
 	return nil, fmt.Errorf("deepum: unknown system %q", s)
 }
 
-// Models returns the supported model names (Table 2).
-func Models() []string { return models.Names() }
-
-// Experiments returns the IDs and titles of every reproducible paper
-// artifact; run one with RunExperiment.
-func Experiments() map[string]string {
-	out := map[string]string{}
-	for _, e := range experiments.All() {
-		out[e.ID] = e.Title
-	}
-	return out
-}
-
-// ExperimentOptions scope a RunExperiment call; the zero value selects the
-// defaults (scale 8, four measured iterations).
-type ExperimentOptions = experiments.Options
-
 // RunExperiment regenerates one paper table or figure by ID (e.g. "fig9a",
 // "table5") and returns the rendered result.
 func RunExperiment(id string, opts ExperimentOptions) (*metrics.Table, error) {
@@ -434,16 +392,6 @@ func RunExperiment(id string, opts ExperimentOptions) (*metrics.Table, error) {
 	}
 	return e.Run(opts)
 }
-
-// DriverOptions re-exports the DeepUM driver knobs for callers tuning the
-// prefetch degree (Fig. 11) or table parameters (Table 6 / Fig. 12).
-type DriverOptions = core.Options
-
-// BlockTableConfig re-exports the UM-block correlation-table parameters.
-type BlockTableConfig = correlation.BlockTableConfig
-
-// Machine re-exports the hardware model for custom configurations.
-type Machine = sim.Params
 
 // V100_32GB returns the paper's Table 1 machine.
 func V100_32GB() sim.Params { return sim.DefaultParams() }

@@ -2,6 +2,7 @@ package deepum
 
 import (
 	"errors"
+	"sort"
 	"strings"
 	"testing"
 
@@ -149,6 +150,18 @@ func TestModelsAndSystems(t *testing.T) {
 	if len(Systems()) != 10 {
 		t.Fatalf("systems = %d, want 10", len(Systems()))
 	}
+	// The discovery functions guarantee deterministic ascending order.
+	if !sort.StringsAreSorted(Models()) {
+		t.Fatalf("Models() not sorted: %v", Models())
+	}
+	systems := Systems()
+	if !sort.SliceIsSorted(systems, func(i, j int) bool { return systems[i] < systems[j] }) {
+		t.Fatalf("Systems() not sorted: %v", systems)
+	}
+	scs := ChaosScenarios()
+	if !sort.SliceIsSorted(scs, func(i, j int) bool { return scs[i].Name < scs[j].Name }) {
+		t.Fatalf("ChaosScenarios() not sorted: %v", scs)
+	}
 }
 
 func TestExperimentsRegistry(t *testing.T) {
@@ -156,9 +169,16 @@ func TestExperimentsRegistry(t *testing.T) {
 	if len(exps) != 11 {
 		t.Fatalf("experiments = %d, want 11", len(exps))
 	}
+	if !sort.SliceIsSorted(exps, func(i, j int) bool { return exps[i].ID < exps[j].ID }) {
+		t.Fatalf("Experiments() not sorted by ID: %v", exps)
+	}
+	byID := map[string]string{}
+	for _, e := range exps {
+		byID[e.ID] = e.Title
+	}
 	for _, id := range []string{"fig9a", "fig9b", "fig9c", "table3", "table4",
 		"table5", "fig10", "fig11", "fig12", "table7", "fig13"} {
-		if exps[id] == "" {
+		if byID[id] == "" {
 			t.Fatalf("missing experiment %q", id)
 		}
 	}

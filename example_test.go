@@ -1,0 +1,45 @@
+package deepum_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+
+	"deepum"
+)
+
+// ExampleObserver traces a short DeepUM run: attach an Observer via
+// Config.Observe, train, then export the event ring as a Chrome trace
+// (loadable in Perfetto) and reduce it to summary statistics offline.
+func ExampleObserver() {
+	observer := deepum.NewObserver(deepum.TraceOptions{Capacity: 1 << 16})
+	cfg := deepum.DefaultConfig()
+	cfg.Scale = 64
+	cfg.Iterations = 2
+	cfg.Warmup = 2
+	cfg.Observe = observer
+
+	res, err := deepum.Train(deepum.Workload{Model: "bert-base", Batch: 8}, cfg)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	var trace bytes.Buffer
+	if err := observer.WriteChromeTrace(&trace); err != nil {
+		fmt.Println(err)
+		return
+	}
+	analysis := observer.Analyze()
+
+	fmt.Println("succeeded:", res.Succeeded())
+	fmt.Println("events recorded:", observer.EventCount() > 0)
+	fmt.Println("events dropped:", observer.Dropped())
+	fmt.Println("iterations traced:", analysis.Iterations)
+	fmt.Println("trace is valid json:", json.Valid(trace.Bytes()))
+	// Output:
+	// succeeded: true
+	// events recorded: true
+	// events dropped: 0
+	// iterations traced: 4
+	// trace is valid json: true
+}

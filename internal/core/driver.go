@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"deepum/internal/correlation"
+	"deepum/internal/obs"
 	"deepum/internal/sim"
 	"deepum/internal/um"
 )
@@ -131,6 +132,12 @@ type Driver struct {
 	// on the device — it still marks them protected (they are predicted for
 	// the next N kernels) but issues no command for them.
 	resident func(um.BlockID) bool
+
+	// obs receives a prefetch-issue event per enqueued command; obsClock
+	// supplies the timestamp (the driver itself has no clock — the engine
+	// drives it in virtual time, the pipeline in wall time).
+	obs      *obs.Recorder
+	obsClock func() int64
 
 	Stats Stats
 }
@@ -281,6 +288,7 @@ func (d *Driver) fillQueue(budget int) {
 		d.queued[b] = struct{}{}
 		d.queue = append(d.queue, PrefetchCommand{Block: b, Exec: exec})
 		d.Stats.PrefetchIssued++
+		d.noteIssue(b)
 		budget--
 	}
 }
@@ -288,6 +296,20 @@ func (d *Driver) fillQueue(budget int) {
 // SetResidencyProbe installs the device-residency check used to filter
 // prefetch commands.
 func (d *Driver) SetResidencyProbe(probe func(um.BlockID) bool) { d.resident = probe }
+
+// SetObserver installs the tracing recorder and the clock that timestamps
+// its events; a nil recorder disables emission.
+func (d *Driver) SetObserver(rec *obs.Recorder, clock func() int64) {
+	d.obs = rec
+	d.obsClock = clock
+}
+
+// noteIssue emits a prefetch-issue event when tracing is attached.
+func (d *Driver) noteIssue(b um.BlockID) {
+	if d.obs != nil {
+		d.obs.Instant(obs.KindPrefetchIssue, obs.TrackDriver, d.obsClock(), "", int64(b), 0, 0)
+	}
+}
 
 // NoteEviction tells the driver a block left the device. If the block is
 // still predicted for the next N kernels (it was evicted through the
@@ -310,6 +332,7 @@ func (d *Driver) NoteEviction(b um.BlockID) {
 	d.queued[b] = struct{}{}
 	d.queue = append(d.queue, PrefetchCommand{Block: b, Exec: d.current})
 	d.Stats.PrefetchIssued++
+	d.noteIssue(b)
 }
 
 // NextPrefetch pops the next prefetch command, or ok=false when the queue is

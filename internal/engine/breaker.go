@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"deepum/internal/metrics"
+	"deepum/internal/obs"
 	"deepum/internal/sim"
 )
 
@@ -69,6 +70,9 @@ type prefetchBreaker struct {
 	opens       int64
 	short       int64
 	log         metrics.TransitionLog
+
+	// obs, when attached, receives a breaker event per transition.
+	obs *obs.Recorder
 }
 
 func newPrefetchBreaker(threshold int, cooldown sim.Duration) *prefetchBreaker {
@@ -134,6 +138,9 @@ func (b *prefetchBreaker) open(now sim.Time, reason string) {
 
 func (b *prefetchBreaker) transition(now sim.Time, to, reason string) {
 	b.log.Record(int64(now), b.state, to, reason)
+	if b.obs != nil {
+		b.obs.Instant(obs.KindBreaker, obs.TrackBreaker, int64(now), b.state+"->"+to, 0, 0, 0)
+	}
 	b.state = to
 }
 

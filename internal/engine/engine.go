@@ -16,6 +16,7 @@ import (
 	"deepum/internal/chaos"
 	"deepum/internal/core"
 	"deepum/internal/correlation"
+	"deepum/internal/obs"
 	"deepum/internal/sim"
 	"deepum/internal/torchalloc"
 	"deepum/internal/trace"
@@ -75,6 +76,12 @@ type Config struct {
 	// Tracer, when set, records the run's event stream (launches, faults,
 	// migrations, evictions, prefetches, stalls) for offline analysis.
 	Tracer *trace.Recorder
+	// Obs, when set, attaches the structured observability layer: typed
+	// spans and instants (iterations, kernels, fault batches, the prefetch
+	// lifecycle, evictions, link occupancy, breaker transitions, queue
+	// depths) in virtual time, exportable as a Chrome/Perfetto trace. Nil —
+	// the default — costs one branch per emit site and zero allocations.
+	Obs *obs.Recorder
 	// Chaos, when set, perturbs the run: link degradation and jitter,
 	// transient transfer failures (retried with backoff; prefetches give up
 	// and fall back to on-demand faulting), fault-buffer overflow, dropped
@@ -245,6 +252,7 @@ type exec struct {
 	groupBuf []um.FaultGroup
 
 	tracer        *trace.Recorder
+	obs           *obs.Recorder
 	currentKernel string
 }
 
@@ -311,6 +319,7 @@ func newExec(cfg Config) (*exec, error) {
 		invalidator = e.driver
 		if e.driver.Options().Prefetch {
 			e.breaker = newPrefetchBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown)
+			e.breaker.obs = cfg.Obs
 		}
 		e.driver.SetResidencyProbe(func(b um.BlockID) bool {
 			return e.space.Block(b).Resident
@@ -319,6 +328,7 @@ func newExec(cfg Config) (*exec, error) {
 		e.alloc.OnInactive = e.driver.OnPTInactive
 	}
 	e.tracer = cfg.Tracer
+	e.obs = cfg.Obs
 	e.handler = &um.Handler{
 		Params:          params,
 		Space:           space,
@@ -328,6 +338,25 @@ func newExec(cfg Config) (*exec, error) {
 		Invalidator:     invalidator,
 		DensityPrefetch: cfg.UMDensityPrefetch,
 		Ctx:             cfg.Ctx,
+		Obs:             cfg.Obs,
+	}
+	if rec := cfg.Obs; rec != nil {
+		// Link occupancy: every reservation on either lane becomes one span,
+		// tagged with the lane track so Perfetto renders per-direction rows.
+		e.link.SetObserver(func(start, end sim.Time, n int64, dir sim.Direction, failed bool) {
+			track, name := obs.TrackLinkH2D, "h2d"
+			if dir == sim.DeviceToHost {
+				track, name = obs.TrackLinkD2H, "d2h"
+			}
+			var failedArg int64
+			if failed {
+				failedArg = 1
+			}
+			rec.Span(obs.KindLinkTransfer, track, int64(start), int64(end), name, 0, n, failedArg)
+		})
+		if e.driver != nil {
+			e.driver.SetObserver(rec, func() int64 { return int64(e.now) })
+		}
 	}
 	e.handler.OnMigrated = func(b um.BlockID, at sim.Time) {
 		if e.driver != nil {
@@ -347,6 +376,10 @@ func newExec(cfg Config) (*exec, error) {
 		}
 	}
 	e.handler.OnEvicted = func(b um.BlockID, invalidated bool) {
+		if e.obs != nil && e.prefetched[b] {
+			// Prefetched, never accessed, now evicted: the transfer was waste.
+			e.obs.Instant(obs.KindPrefetchWaste, obs.TrackDriver, int64(e.now), "", int64(b), 0, 0)
+		}
 		delete(e.prefetched, b)
 		if e.evictedInCycle != nil {
 			e.evictedInCycle[b] = true
@@ -471,6 +504,14 @@ func (e *exec) run() (*Result, error) {
 		}
 		prevFaults = e.handler.Stats.PageFaults
 		res.IterStats = append(res.IterStats, stat)
+		if e.obs != nil {
+			var warm int64
+			if stat.Warmup {
+				warm = 1
+			}
+			e.obs.Span(obs.KindIteration, obs.TrackRun, int64(iterStart), int64(e.now),
+				"", int64(iter), stat.Faults, warm)
+		}
 		if iter >= e.cfg.Warmup {
 			res.IterTimes = append(res.IterTimes, stat.Time)
 		}
@@ -587,8 +628,12 @@ func (e *exec) kernel(k *workload.Kernel) error {
 	}
 	id := e.rt.Launch(k.Name, k.Args)
 	e.currentKernel = k.Name
+	kernelStart := e.now
 	if e.tracer != nil {
 		e.tracer.Record(trace.Event{At: e.now, Kind: trace.KindLaunch, Kernel: k.Name, Arg: int64(id)})
+	}
+	if e.obs != nil && e.driver != nil {
+		e.obs.Counter(obs.TrackDriver, int64(e.now), "prefetch-queue", int64(e.driver.PendingPrefetches()))
 	}
 	e.cmdTime = e.now
 	// An injected migration-thread stall delays when queued commands become
@@ -618,11 +663,18 @@ func (e *exec) kernel(k *workload.Kernel) error {
 			e.materialize(t.block)
 		}
 		if blk.Resident {
+			// Lead time before the stall adjustment: positive means the block
+			// was ready ahead of the access, negative means the GPU waits.
+			lead := int64(e.now) - int64(blk.ReadyAt)
 			if blk.ReadyAt > e.now {
 				// Prefetch in flight: stall until the transfer lands.
 				if e.tracer != nil {
 					e.tracer.Record(trace.Event{At: e.now, Kind: trace.KindStall,
 						Kernel: k.Name, Block: t.block, Arg: int64(blk.ReadyAt.Sub(e.now))})
+				}
+				if e.obs != nil {
+					e.obs.Instant(obs.KindStall, obs.TrackGPU, int64(e.now),
+						"", int64(t.block), int64(blk.ReadyAt.Sub(e.now)), 0)
 				}
 				e.now = blk.ReadyAt
 			}
@@ -637,6 +689,10 @@ func (e *exec) kernel(k *workload.Kernel) error {
 				delete(e.prefetched, t.block)
 				if e.driver != nil {
 					e.driver.NotePrefetchUseful()
+				}
+				if e.obs != nil {
+					e.obs.Instant(obs.KindPrefetchHit, obs.TrackGPU, int64(e.now),
+						"", int64(t.block), lead, 0)
 				}
 			}
 			i++
@@ -714,6 +770,9 @@ func (e *exec) kernel(k *workload.Kernel) error {
 	e.rt.Complete(id)
 	e.cmdTime = e.now
 	e.pump(e.now)
+	if e.obs != nil {
+		e.obs.Span(obs.KindKernel, obs.TrackGPU, int64(kernelStart), int64(e.now), k.Name, 0, 0, 0)
+	}
 	return nil
 }
 
@@ -849,6 +908,9 @@ func (e *exec) pump(until sim.Time) {
 		if e.tracer != nil {
 			e.tracer.Record(trace.Event{At: e.now, Kind: trace.KindPrefetch, Kernel: e.currentKernel, Block: cmd.Block})
 		}
+		if e.obs != nil {
+			e.obs.Span(obs.KindPrefetch, obs.TrackDriver, int64(at), int64(ready), "", int64(cmd.Block), need, 0)
+		}
 	}
 }
 
@@ -887,6 +949,9 @@ func (e *exec) materialize(b um.BlockID) {
 	}
 	if e.tracer != nil {
 		e.tracer.Record(trace.Event{At: e.now, Kind: trace.KindPrefetch, Kernel: e.currentKernel, Block: b})
+	}
+	if e.obs != nil {
+		e.obs.Span(obs.KindPrefetch, obs.TrackDriver, int64(at), int64(ready), "", int64(b), need, 0)
 	}
 }
 
@@ -937,10 +1002,20 @@ func (e *exec) evictBackground(v um.BlockID, countPreevict bool) {
 	if e.driver.CanInvalidate(v) {
 		e.res.Remove(v)
 		e.driver.NoteInvalidation()
+		if e.obs != nil {
+			e.obs.Instant(obs.KindEvict, obs.TrackDriver, int64(e.now), "", int64(v), 0, obs.EvictInvalidated)
+		}
 		return
 	}
-	e.link.Reserve(sim.Max(e.cmdTime, e.link.BusyUntil(sim.DeviceToHost)), vb.ResidentBytes(), sim.DeviceToHost)
+	wb := vb.ResidentBytes()
+	_, end := e.link.Reserve(sim.Max(e.cmdTime, e.link.BusyUntil(sim.DeviceToHost)), wb, sim.DeviceToHost)
 	vb.HostPopulated = true
+	if e.obs != nil {
+		if e.prefetched[v] {
+			e.obs.Instant(obs.KindPrefetchWaste, obs.TrackDriver, int64(e.now), "", int64(v), 0, 0)
+		}
+		e.obs.Instant(obs.KindEvict, obs.TrackDriver, int64(end), "", int64(v), wb, 0)
+	}
 	e.res.Remove(v)
 	delete(e.prefetched, v)
 	e.driver.NoteEviction(v)

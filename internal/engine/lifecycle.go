@@ -40,6 +40,18 @@ func (s RunStatus) Interrupted() bool {
 	return s == StatusCancelled || s == StatusDeadlineExceeded
 }
 
+// Terminal reports whether s is a defined end-of-run classification. Every
+// RunStatus a finished run carries is terminal; the method exists so callers
+// holding a status of unknown provenance (deserialized, zero-valued struct
+// fields) can distinguish "this run ended as X" from garbage.
+func (s RunStatus) Terminal() bool {
+	switch s {
+	case StatusCompleted, StatusCancelled, StatusDeadlineExceeded, StatusDegraded:
+		return true
+	}
+	return false
+}
+
 func (s RunStatus) String() string {
 	switch s {
 	case StatusCompleted:

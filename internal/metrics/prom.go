@@ -1,0 +1,321 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// A minimal Prometheus client: counters, gauges, and histograms rendered in
+// the text exposition format (version 0.0.4) that every Prometheus-family
+// scraper understands. Only the features the supervisor and serve binary
+// need are implemented — no dependency on the official client library,
+// matching the repo's no-new-deps rule.
+
+// Registry holds a set of named metric families and renders them with
+// WriteText. All methods are safe for concurrent use; the get-or-create
+// accessors return the existing metric when called twice with the same
+// name and labels.
+type Registry struct {
+	mu   sync.Mutex
+	fams map[string]*family
+}
+
+type metricKind uint8
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindGaugeFunc
+	kindHistogram
+)
+
+func (k metricKind) promType() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindHistogram:
+		return "histogram"
+	}
+	return "gauge"
+}
+
+// family is all series sharing one metric name.
+type family struct {
+	name    string
+	help    string
+	kind    metricKind
+	order   []string // label signatures in creation order (sorted at render)
+	series  map[string]any
+	buckets []float64 // histogram families only
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{fams: map[string]*family{}}
+}
+
+func (r *Registry) lookup(name, help string, kind metricKind) *family {
+	f, ok := r.fams[name]
+	if !ok {
+		f = &family{name: name, help: help, kind: kind, series: map[string]any{}}
+		r.fams[name] = f
+	} else if f.kind != kind {
+		panic(fmt.Sprintf("metrics: %s registered as %s, requested as %s",
+			name, f.kind.promType(), kind.promType()))
+	}
+	return f
+}
+
+// labelSig renders labels deterministically: sorted by key, escaped values.
+func labelSig(labels map[string]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		// %q escapes backslash, double-quote, and newline exactly as the
+		// text exposition format requires.
+		fmt.Fprintf(&b, "%s=%q", k, labels[k])
+	}
+	return b.String()
+}
+
+// Counter is a monotonically increasing value.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n; negative deltas are ignored (counters only go up).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Counter returns the counter with the given name and labels, creating it
+// on first use.
+func (r *Registry) Counter(name, help string, labels map[string]string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.lookup(name, help, kindCounter)
+	sig := labelSig(labels)
+	if m, ok := f.series[sig]; ok {
+		return m.(*Counter)
+	}
+	c := &Counter{}
+	f.series[sig] = c
+	f.order = append(f.order, sig)
+	return c
+}
+
+// Gauge is a value that can go up and down.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adds d.
+func (g *Gauge) Add(d float64) {
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+d)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Gauge returns the gauge with the given name and labels, creating it on
+// first use.
+func (r *Registry) Gauge(name, help string, labels map[string]string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.lookup(name, help, kindGauge)
+	sig := labelSig(labels)
+	if m, ok := f.series[sig]; ok {
+		return m.(*Gauge)
+	}
+	g := &Gauge{}
+	f.series[sig] = g
+	f.order = append(f.order, sig)
+	return g
+}
+
+// GaugeFunc registers a gauge whose value is sampled at scrape time, for
+// values that already live elsewhere (queue depths, committed bytes).
+func (r *Registry) GaugeFunc(name, help string, labels map[string]string, fn func() float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.lookup(name, help, kindGaugeFunc)
+	sig := labelSig(labels)
+	if _, ok := f.series[sig]; ok {
+		return
+	}
+	f.series[sig] = fn
+	f.order = append(f.order, sig)
+}
+
+// Histogram counts observations into cumulative buckets.
+type Histogram struct {
+	mu      sync.Mutex
+	buckets []float64 // upper bounds, ascending
+	counts  []int64   // per-bucket (non-cumulative) counts
+	count   int64
+	sum     float64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	for i, ub := range h.buckets {
+		if v <= ub {
+			h.counts[i]++
+			break
+		}
+	}
+	h.count++
+	h.sum += v
+	h.mu.Unlock()
+}
+
+// snapshot returns cumulative bucket counts, total count, and sum.
+func (h *Histogram) snapshot() ([]int64, int64, float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	cum := make([]int64, len(h.counts))
+	var run int64
+	for i, c := range h.counts {
+		run += c
+		cum[i] = run
+	}
+	return cum, h.count, h.sum
+}
+
+// Histogram returns the histogram with the given name, labels, and upper
+// bounds (ascending; the +Inf bucket is implicit), creating it on first
+// use. Buckets are fixed by the first registration of the family.
+func (r *Registry) Histogram(name, help string, labels map[string]string, buckets []float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.lookup(name, help, kindHistogram)
+	if f.buckets == nil {
+		f.buckets = append([]float64(nil), buckets...)
+		sort.Float64s(f.buckets)
+	}
+	sig := labelSig(labels)
+	if m, ok := f.series[sig]; ok {
+		return m.(*Histogram)
+	}
+	h := &Histogram{buckets: f.buckets, counts: make([]int64, len(f.buckets))}
+	f.series[sig] = h
+	f.order = append(f.order, sig)
+	return h
+}
+
+// WriteText renders every registered metric in the Prometheus text
+// exposition format, families and series in sorted order so consecutive
+// scrapes of unchanged values are byte-identical.
+func (r *Registry) WriteText(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.fams))
+	for n := range r.fams {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fams := make([]*family, len(names))
+	for i, n := range names {
+		fams[i] = r.fams[n]
+	}
+	r.mu.Unlock()
+
+	for _, f := range fams {
+		if f.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind.promType()); err != nil {
+			return err
+		}
+		sigs := append([]string(nil), f.order...)
+		sort.Strings(sigs)
+		for _, sig := range sigs {
+			if err := writeSeries(w, f, sig); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeSeries(w io.Writer, f *family, sig string) error {
+	switch f.kind {
+	case kindCounter:
+		_, err := fmt.Fprintf(w, "%s %d\n", seriesName(f.name, sig), f.series[sig].(*Counter).Value())
+		return err
+	case kindGauge:
+		_, err := fmt.Fprintf(w, "%s %s\n", seriesName(f.name, sig), fmtFloat(f.series[sig].(*Gauge).Value()))
+		return err
+	case kindGaugeFunc:
+		_, err := fmt.Fprintf(w, "%s %s\n", seriesName(f.name, sig), fmtFloat(f.series[sig].(func() float64)()))
+		return err
+	case kindHistogram:
+		h := f.series[sig].(*Histogram)
+		cum, count, sum := h.snapshot()
+		for i, ub := range h.buckets {
+			le := fmt.Sprintf("le=%q", fmtFloat(ub))
+			if _, err := fmt.Fprintf(w, "%s %d\n", seriesName(f.name+"_bucket", joinSig(sig, le)), cum[i]); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n", seriesName(f.name+"_bucket", joinSig(sig, `le="+Inf"`)), count); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %s\n", seriesName(f.name+"_sum", sig), fmtFloat(sum)); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s %d\n", seriesName(f.name+"_count", sig), count)
+		return err
+	}
+	return nil
+}
+
+func seriesName(name, sig string) string {
+	if sig == "" {
+		return name
+	}
+	return name + "{" + sig + "}"
+}
+
+func joinSig(sig, extra string) string {
+	if sig == "" {
+		return extra
+	}
+	return sig + "," + extra
+}
+
+func fmtFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}

@@ -1,0 +1,123 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRegistryWriteText(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("deepum_submissions_total", "Run submissions by result.",
+		map[string]string{"result": "accepted"})
+	c.Inc()
+	c.Add(2)
+	c.Add(-5) // ignored: counters only go up
+	r.Counter("deepum_submissions_total", "Run submissions by result.",
+		map[string]string{"result": "queue_full"}).Inc()
+	g := r.Gauge("deepum_committed_bytes", "GPU memory committed to admitted runs.", nil)
+	g.Set(1024)
+	g.Add(512)
+	r.GaugeFunc("deepum_runs", "Runs by state.", map[string]string{"state": "running"},
+		func() float64 { return 3 })
+	h := r.Histogram("deepum_run_seconds", "Run wall time.", nil, []float64{0.1, 1, 10})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(100)
+
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatalf("WriteText: %v", err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP deepum_committed_bytes GPU memory committed to admitted runs.",
+		"# TYPE deepum_committed_bytes gauge",
+		"deepum_committed_bytes 1536",
+		"# TYPE deepum_run_seconds histogram",
+		`deepum_run_seconds_bucket{le="0.1"} 1`,
+		`deepum_run_seconds_bucket{le="1"} 2`,
+		`deepum_run_seconds_bucket{le="10"} 2`,
+		`deepum_run_seconds_bucket{le="+Inf"} 3`,
+		"deepum_run_seconds_sum 100.55",
+		"deepum_run_seconds_count 3",
+		"# TYPE deepum_runs gauge",
+		`deepum_runs{state="running"} 3`,
+		"# TYPE deepum_submissions_total counter",
+		`deepum_submissions_total{result="accepted"} 3`,
+		`deepum_submissions_total{result="queue_full"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+
+	// Families must appear in sorted order and scrapes must be stable.
+	if i, j := strings.Index(out, "deepum_committed_bytes"), strings.Index(out, "deepum_submissions_total"); i > j {
+		t.Errorf("families not sorted:\n%s", out)
+	}
+	var b2 strings.Builder
+	if err := r.WriteText(&b2); err != nil {
+		t.Fatalf("second WriteText: %v", err)
+	}
+	if b2.String() != out {
+		t.Error("two scrapes of unchanged registry differ")
+	}
+}
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "", map[string]string{"l": "v"})
+	b := r.Counter("x_total", "", map[string]string{"l": "v"})
+	if a != b {
+		t.Fatal("same name+labels returned distinct counters")
+	}
+	if c := r.Counter("x_total", "", map[string]string{"l": "w"}); c == a {
+		t.Fatal("different labels returned the same counter")
+	}
+}
+
+func TestRegistryKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("y_total", "", nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	r.Gauge("y_total", "", nil)
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				r.Counter("c_total", "", nil).Inc()
+				r.Gauge("g", "", nil).Add(1)
+				r.Histogram("h", "", nil, []float64{1, 10}).Observe(float64(i))
+				var b strings.Builder
+				_ = r.WriteText(&b)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("c_total", "", nil).Value(); got != 1600 {
+		t.Fatalf("counter = %d, want 1600", got)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("e_total", "", map[string]string{"path": `a"b\c`}).Inc()
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `e_total{path="a\"b\\c"} 1`) {
+		t.Errorf("bad escaping:\n%s", b.String())
+	}
+}

@@ -1,0 +1,223 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+)
+
+// The Chrome trace-event exchange format (the JSON flavour Perfetto and
+// chrome://tracing load). Every event carries the standard phase/ts/dur/
+// pid/tid fields; the deepum-specific payload rides in args so a written
+// trace round-trips losslessly through ReadChromeTrace:
+//
+//	args.k     event kind (Kind.String())
+//	args.block UM block ID (omitted when zero)
+//	args.a     Arg  (omitted when zero)
+//	args.b     Arg2 (omitted when zero)
+//
+// Timestamps are microseconds (the format's unit) with nanosecond
+// precision preserved in the fractional part.
+
+// tracePID is the single simulated process all events belong to.
+const tracePID = 1
+
+// chromeEvent is one entry of the traceEvents array.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  *float64       `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the top-level JSON object.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+func usec(ns int64) float64 { return float64(ns) / 1e3 }
+
+// WriteChromeTrace serializes events as Chrome trace-event JSON. Events
+// are sorted by timestamp (ties keep recording order), so the output
+// satisfies the format's monotonicity expectation regardless of how the
+// tracks interleaved at emit time.
+func WriteChromeTrace(w io.Writer, events []Event) error {
+	sorted := make([]Event, len(events))
+	copy(sorted, events)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].TS < sorted[j].TS })
+
+	out := chromeTrace{DisplayTimeUnit: "ns"}
+	out.TraceEvents = make([]chromeEvent, 0, len(sorted)+int(numTracks)+1)
+
+	// Metadata: name the process and the tracks that actually appear.
+	used := [numTracks]bool{}
+	for _, e := range sorted {
+		if e.Track < numTracks {
+			used[e.Track] = true
+		}
+	}
+	out.TraceEvents = append(out.TraceEvents, chromeEvent{
+		Name: "process_name", Ph: "M", PID: tracePID, TID: 0,
+		Args: map[string]any{"name": "deepum"},
+	})
+	for t := Track(0); t < numTracks; t++ {
+		if !used[t] {
+			continue
+		}
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: "thread_name", Ph: "M", PID: tracePID, TID: int(t),
+			Args: map[string]any{"name": t.String()},
+		})
+	}
+
+	for _, e := range sorted {
+		ce := chromeEvent{
+			Name: e.Name,
+			TS:   usec(e.TS),
+			PID:  tracePID,
+			TID:  int(e.Track),
+			Args: map[string]any{"k": e.Kind.String()},
+		}
+		if ce.Name == "" {
+			ce.Name = e.Kind.String()
+		}
+		if e.Block != 0 {
+			ce.Args["block"] = e.Block
+		}
+		if e.Arg != 0 {
+			ce.Args["a"] = e.Arg
+		}
+		if e.Arg2 != 0 {
+			ce.Args["b"] = e.Arg2
+		}
+		switch {
+		case e.Kind == KindQueueDepth:
+			ce.Ph = "C"
+			// Counter events render args as series; keep the sample value
+			// under the series name and the kind tag for the reader.
+			ce.Args = map[string]any{"k": e.Kind.String(), "value": e.Arg}
+		case e.Dur != 0:
+			ce.Ph = "X"
+			d := usec(e.Dur)
+			ce.Dur = &d
+		default:
+			ce.Ph = "i"
+			ce.S = "t"
+		}
+		out.TraceEvents = append(out.TraceEvents, ce)
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// SchemaError reports a malformed trace file: missing required fields,
+// unknown phases or kinds, or non-monotonic timestamps.
+type SchemaError struct {
+	Index int // index into traceEvents (-1 for file-level problems)
+	Msg   string
+}
+
+func (e *SchemaError) Error() string {
+	if e.Index < 0 {
+		return fmt.Sprintf("trace schema: %s", e.Msg)
+	}
+	return fmt.Sprintf("trace schema: event %d: %s", e.Index, e.Msg)
+}
+
+func schemaErr(i int, format string, a ...any) error {
+	return &SchemaError{Index: i, Msg: fmt.Sprintf(format, a...)}
+}
+
+// ReadChromeTrace parses a trace written by WriteChromeTrace back into
+// events, validating the schema on the way: every event must carry
+// name/ph/pid/tid, timestamps must be non-negative and monotonically
+// non-decreasing, durations non-negative, and phases limited to the
+// M/X/i/C set the writer emits. Unknown args.k kinds are rejected — they
+// indicate a file this version cannot analyze faithfully.
+func ReadChromeTrace(r io.Reader) ([]Event, error) {
+	var tr chromeTrace
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&tr); err != nil {
+		return nil, &SchemaError{Index: -1, Msg: fmt.Sprintf("not valid trace JSON: %v", err)}
+	}
+	if len(tr.TraceEvents) == 0 {
+		return nil, &SchemaError{Index: -1, Msg: "empty traceEvents array"}
+	}
+	var events []Event
+	lastTS := -1.0
+	for i, ce := range tr.TraceEvents {
+		if ce.Name == "" {
+			return nil, schemaErr(i, "missing name")
+		}
+		if ce.PID != tracePID {
+			return nil, schemaErr(i, "pid = %d, want %d", ce.PID, tracePID)
+		}
+		if ce.TID < 0 || ce.TID >= int(numTracks) {
+			return nil, schemaErr(i, "tid %d out of track range [0,%d)", ce.TID, int(numTracks))
+		}
+		switch ce.Ph {
+		case "M":
+			continue // metadata carries no timestamp
+		case "X", "i", "C":
+		default:
+			return nil, schemaErr(i, "unsupported phase %q", ce.Ph)
+		}
+		if ce.TS < 0 {
+			return nil, schemaErr(i, "negative ts %v", ce.TS)
+		}
+		if ce.TS < lastTS {
+			return nil, schemaErr(i, "ts %v goes backwards (previous %v)", ce.TS, lastTS)
+		}
+		lastTS = ce.TS
+		e := Event{TS: int64(math.Round(ce.TS * 1e3)), Track: Track(ce.TID)}
+		if ce.Ph == "X" {
+			if ce.Dur == nil {
+				return nil, schemaErr(i, "complete event without dur")
+			}
+			if *ce.Dur < 0 {
+				return nil, schemaErr(i, "negative dur %v", *ce.Dur)
+			}
+			e.Dur = int64(math.Round(*ce.Dur * 1e3))
+		}
+		ks, _ := ce.Args["k"].(string)
+		if ks == "" {
+			return nil, schemaErr(i, "missing args.k kind tag")
+		}
+		k, ok := kindByName(ks)
+		if !ok {
+			return nil, schemaErr(i, "unknown kind %q", ks)
+		}
+		e.Kind = k
+		if k == KindQueueDepth {
+			e.Name = ce.Name
+			e.Arg = argInt(ce.Args, "value")
+		} else {
+			if ce.Name != k.String() {
+				e.Name = ce.Name
+			}
+			e.Block = argInt(ce.Args, "block")
+			e.Arg = argInt(ce.Args, "a")
+			e.Arg2 = argInt(ce.Args, "b")
+		}
+		events = append(events, e)
+	}
+	if len(events) == 0 {
+		return nil, &SchemaError{Index: -1, Msg: "trace holds only metadata events"}
+	}
+	return events, nil
+}
+
+func argInt(args map[string]any, key string) int64 {
+	if v, ok := args[key].(float64); ok {
+		return int64(v)
+	}
+	return 0
+}

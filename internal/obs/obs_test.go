@@ -1,0 +1,186 @@
+package obs
+
+import (
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRecorderAppendsInOrder(t *testing.T) {
+	r := NewRecorder(8)
+	for i := 0; i < 5; i++ {
+		r.Instant(KindMark, TrackRun, int64(i*100), "m", 0, int64(i), 0)
+	}
+	ev := r.Events()
+	if len(ev) != 5 || r.Len() != 5 {
+		t.Fatalf("got %d events, Len %d, want 5", len(ev), r.Len())
+	}
+	for i, e := range ev {
+		if e.TS != int64(i*100) || e.Arg != int64(i) {
+			t.Fatalf("event %d out of order: %+v", i, e)
+		}
+	}
+	if r.Dropped() != 0 {
+		t.Fatalf("dropped = %d, want 0", r.Dropped())
+	}
+}
+
+func TestRecorderRingOverwritesOldest(t *testing.T) {
+	r := NewRecorder(4)
+	for i := 0; i < 10; i++ {
+		r.Instant(KindMark, TrackRun, int64(i), "m", 0, int64(i), 0)
+	}
+	ev := r.Events()
+	if len(ev) != 4 {
+		t.Fatalf("retained %d events, want 4", len(ev))
+	}
+	// Oldest-first: the last 4 recorded, in recording order.
+	for i, e := range ev {
+		if want := int64(6 + i); e.Arg != want {
+			t.Fatalf("event %d: Arg = %d, want %d", i, e.Arg, want)
+		}
+	}
+	if r.Dropped() != 6 {
+		t.Fatalf("dropped = %d, want 6", r.Dropped())
+	}
+}
+
+func TestRecorderSpan(t *testing.T) {
+	r := NewRecorder(4)
+	r.Span(KindKernel, TrackGPU, 1000, 4000, "conv1", 7, 2, 3)
+	ev := r.Events()
+	want := Event{TS: 1000, Dur: 3000, Kind: KindKernel, Track: TrackGPU,
+		Name: "conv1", Block: 7, Arg: 2, Arg2: 3}
+	if len(ev) != 1 || !reflect.DeepEqual(ev[0], want) {
+		t.Fatalf("got %+v, want %+v", ev, want)
+	}
+}
+
+func TestRecorderConcurrentRecord(t *testing.T) {
+	r := NewRecorder(256)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				r.Instant(KindMark, TrackPipeline, int64(i), "w", int64(g), int64(i), 0)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := r.Len() + int(r.Dropped()); got != 800 {
+		t.Fatalf("retained+dropped = %d, want 800", got)
+	}
+}
+
+func TestKindAndTrackNamesRoundTrip(t *testing.T) {
+	for k := KindIteration; k <= KindMark; k++ {
+		got, ok := kindByName(k.String())
+		if !ok || got != k {
+			t.Fatalf("kindByName(%q) = %v, %v", k.String(), got, ok)
+		}
+	}
+	if _, ok := kindByName("no-such-kind"); ok {
+		t.Fatal("kindByName accepted an unknown name")
+	}
+	seen := map[string]bool{}
+	for tr := Track(0); tr < numTracks; tr++ {
+		s := tr.String()
+		if s == "unknown" || seen[s] {
+			t.Fatalf("track %d has bad or duplicate name %q", tr, s)
+		}
+		seen[s] = true
+	}
+}
+
+func TestAnalyze(t *testing.T) {
+	events := []Event{
+		{TS: 0, Dur: 10_000, Kind: KindIteration, Track: TrackRun, Block: 0, Arg: 12},
+		{TS: 0, Dur: 4_000, Kind: KindKernel, Track: TrackGPU, Name: "conv1"},
+		{TS: 500, Dur: 2_000, Kind: KindFaultBatch, Track: TrackFaultHandler, Arg: 96, Arg2: 3},
+		{TS: 600, Dur: 1_000, Kind: KindLinkTransfer, Track: TrackLinkH2D, Name: "h2d", Arg: 1 << 20},
+		{TS: 1_700, Dur: 500, Kind: KindLinkTransfer, Track: TrackLinkD2H, Name: "d2h", Arg: 1 << 19},
+		{TS: 1_700, Kind: KindEvict, Track: TrackFaultHandler, Block: 9, Arg: 1 << 19, Arg2: EvictCritical},
+		{TS: 2_000, Kind: KindEvict, Track: TrackDriver, Block: 10, Arg2: EvictInvalidated},
+		{TS: 2_100, Kind: KindEvict, Track: TrackDriver, Block: 11, Arg: 1 << 19},
+		{TS: 3_000, Kind: KindPrefetchIssue, Track: TrackDriver, Block: 4},
+		{TS: 3_100, Dur: 900, Kind: KindPrefetch, Track: TrackDriver, Block: 4, Arg: 1 << 21},
+		{TS: 4_200, Dur: 600, Kind: KindPrefetch, Track: TrackDriver, Block: 5, Arg: 1 << 20},
+		{TS: 5_000, Kind: KindPrefetchHit, Track: TrackGPU, Block: 4, Arg: 1_000},
+		{TS: 5_500, Kind: KindPrefetchHit, Track: TrackGPU, Block: 5, Arg: -200},
+		{TS: 6_000, Kind: KindPrefetchWaste, Track: TrackDriver, Block: 6},
+		{TS: 6_500, Kind: KindStall, Track: TrackGPU, Block: 5, Arg: 200},
+		{TS: 7_000, Kind: KindBreaker, Track: TrackBreaker, Name: "closed->open"},
+		{TS: 7_500, Kind: KindQueueDepth, Track: TrackPipeline, Name: "faultq", Arg: 3},
+		{TS: 8_000, Kind: KindQueueDepth, Track: TrackPipeline, Name: "faultq", Arg: 7},
+	}
+	a := Analyze(events)
+	if a.SpanNs != 10_000 {
+		t.Errorf("SpanNs = %d, want 10000", a.SpanNs)
+	}
+	if a.Iterations != 1 || a.Kernels != 1 {
+		t.Errorf("iterations/kernels = %d/%d, want 1/1", a.Iterations, a.Kernels)
+	}
+	if a.FaultBatches != 1 || a.FaultPages != 96 || a.FaultBatchNs != 2_000 {
+		t.Errorf("fault batch stats = %+v", a)
+	}
+	if a.LinkBusyH2DNs != 1_000 || a.LinkBusyD2HNs != 500 {
+		t.Errorf("link busy = %d/%d", a.LinkBusyH2DNs, a.LinkBusyD2HNs)
+	}
+	if a.LinkUtilH2DPct != 10 || a.LinkUtilD2HPct != 5 {
+		t.Errorf("link util = %v/%v, want 10/5", a.LinkUtilH2DPct, a.LinkUtilD2HPct)
+	}
+	if a.EvictCritical != 1 || a.EvictBackground != 1 || a.EvictInvalidated != 1 {
+		t.Errorf("evictions = %d/%d/%d, want 1/1/1", a.EvictCritical, a.EvictBackground, a.EvictInvalidated)
+	}
+	if a.PrefetchIssued != 1 || a.PrefetchTransfers != 2 || a.PrefetchHits != 2 || a.PrefetchWasted != 1 {
+		t.Errorf("prefetch lifecycle = %+v", a)
+	}
+	if a.PrefetchLateHits != 1 || a.LeadNsMin != -200 || a.LeadNsMax != 1_000 {
+		t.Errorf("lead stats: late=%d min=%d max=%d", a.PrefetchLateHits, a.LeadNsMin, a.LeadNsMax)
+	}
+	if a.Stalls != 1 || a.StallNs != 200 {
+		t.Errorf("stalls = %d/%d ns", a.Stalls, a.StallNs)
+	}
+	if len(a.BreakerTransitions) != 1 || a.BreakerTransitions[0] != "closed->open" {
+		t.Errorf("breaker = %v", a.BreakerTransitions)
+	}
+	if a.QueueDepthMax["faultq"] != 7 {
+		t.Errorf("queue depth max = %d, want 7", a.QueueDepthMax["faultq"])
+	}
+	if len(a.BatchSizeHist) == 0 {
+		t.Fatal("no batch-size histogram")
+	}
+	last := a.BatchSizeHist[len(a.BatchSizeHist)-1]
+	if last.Lo != 64 || last.Hi != 127 || last.Count != 1 {
+		t.Errorf("top histogram bucket = %+v, want 64-127 x1", last)
+	}
+	if err := Check(events); err != nil {
+		t.Errorf("Check: %v", err)
+	}
+	out := a.String()
+	for _, want := range []string{"link utilisation", "fault handling", "prefetch", "closed->open", "faultq=7"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCheckCatchesOverlappingTransfers(t *testing.T) {
+	events := []Event{
+		{TS: 0, Dur: 1_000, Kind: KindLinkTransfer, Track: TrackLinkH2D, Name: "h2d", Arg: 64},
+		{TS: 500, Dur: 1_000, Kind: KindLinkTransfer, Track: TrackLinkH2D, Name: "h2d", Arg: 64},
+	}
+	if err := Check(events); err == nil {
+		t.Fatal("Check accepted overlapping transfers on one lane")
+	}
+}
+
+func TestCheckCatchesEmptyFaultBatch(t *testing.T) {
+	events := []Event{{TS: 0, Dur: 100, Kind: KindFaultBatch, Track: TrackFaultHandler, Arg: 0}}
+	if err := Check(events); err == nil {
+		t.Fatal("Check accepted a zero-page fault batch")
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"deepum/internal/correlation"
+	"deepum/internal/obs"
 	"deepum/internal/um"
 )
 
@@ -126,6 +127,12 @@ type Driver struct {
 	discardedN atomic.Int64
 	droppedN   atomic.Int64
 	restartsN  atomic.Int64
+
+	// obsRec, when attached, samples queue depths per fault and marks
+	// degradation events (stage restarts, inline migrations). The pipeline
+	// runs on the wall clock, so timestamps are nanoseconds since obsEpoch.
+	obsRec   *obs.Recorder
+	obsEpoch time.Time
 }
 
 // NewDriver constructs the pipeline with the given correlation-table
@@ -150,6 +157,15 @@ func NewDriver(cfg correlation.BlockTableConfig, degree int, m Migrator) *Driver
 
 // SetChaos installs a stage perturber; call before Start.
 func (d *Driver) SetChaos(c Chaos) { d.chaos = c }
+
+// SetObserver attaches the tracing recorder; call before Start. Events are
+// stamped in wall-clock nanoseconds relative to the moment of attachment.
+func (d *Driver) SetObserver(rec *obs.Recorder) {
+	d.obsRec = rec
+	d.obsEpoch = time.Now()
+}
+
+func (d *Driver) obsNow() int64 { return time.Since(d.obsEpoch).Nanoseconds() }
 
 // Stats returns a snapshot of the degradation counters.
 func (d *Driver) Stats() Stats {
@@ -249,6 +265,10 @@ func (d *Driver) stageLoop(name string, body func()) {
 			defer func() {
 				if r := recover(); r != nil {
 					d.restartsN.Add(1)
+					if d.obsRec != nil {
+						d.obsRec.Instant(obs.KindMark, obs.TrackPipeline, d.obsNow(),
+							"stage-restart:"+name, 0, 0, 0)
+					}
 				}
 			}()
 			body()
@@ -323,6 +343,12 @@ func (d *Driver) OnFault(b um.BlockID) {
 	}
 	// Restart chaining from the faulted block on the prefetching side.
 	d.restartChain(cur, hist, b)
+	if d.obsRec != nil {
+		ts := d.obsNow()
+		d.obsRec.Counter(obs.TrackPipeline, ts, "faultq", int64(d.faultQ.Len()))
+		d.obsRec.Counter(obs.TrackPipeline, ts, "corrq", int64(d.corrQ.Len()))
+		d.obsRec.Counter(obs.TrackPipeline, ts, "prefetchq", int64(d.prefetchQ.Len()))
+	}
 }
 
 // enqueueDemand delivers one demand migration. In steady state it pushes
@@ -357,6 +383,10 @@ func (d *Driver) enqueueDemand(ev FaultEvent) {
 	}
 	d.migrate(MigrateCommand{Block: ev.Block, Exec: ev.Exec, Demand: true})
 	d.inlineN.Add(1)
+	if d.obsRec != nil {
+		d.obsRec.Instant(obs.KindMark, obs.TrackPipeline, d.obsNow(), "inline-migration",
+			int64(ev.Block), 0, 0)
+	}
 }
 
 // correlatorLoop consumes fault events and updates the block tables; on

@@ -40,6 +40,7 @@ type Link struct {
 	busyUnt  Time
 	timeline *Timeline
 	perturb  TransferPerturber
+	observe  TransferObserver
 
 	bytesH2D int64
 	bytesD2H int64
@@ -47,6 +48,12 @@ type Link struct {
 	nD2H     int64
 	failures int64
 }
+
+// TransferObserver receives every completed link reservation: the occupied
+// interval, size, direction, and whether the attempt transiently failed.
+// Installed by the tracing layer; sim itself stays observer-agnostic (a
+// plain callback, so this package never imports the obs event taxonomy).
+type TransferObserver func(start, end Time, n int64, dir Direction, failed bool)
 
 // NewLink returns an idle link using the transfer-time model of p. The
 // timeline, if non-nil, records busy intervals for energy integration.
@@ -59,6 +66,9 @@ func (l *Link) BusyUntil() Time { return l.busyUnt }
 
 // SetPerturber installs a fault injector; nil removes it.
 func (l *Link) SetPerturber(p TransferPerturber) { l.perturb = p }
+
+// SetObserver installs a transfer observer; nil removes it.
+func (l *Link) SetObserver(o TransferObserver) { l.observe = o }
 
 // Failures returns how many reservation attempts transiently failed.
 func (l *Link) Failures() int64 { return l.failures }
@@ -112,6 +122,9 @@ func (l *Link) ReserveChecked(at Time, n int64, dir Direction) (start, end Time,
 	if l.timeline != nil {
 		l.timeline.Add(start, end)
 	}
+	if l.observe != nil {
+		l.observe(start, end, n, dir, fail)
+	}
 	return start, end, !fail
 }
 
@@ -156,6 +169,12 @@ func NewDuplex(p Params, tl *Timeline) *Duplex {
 func (d *Duplex) SetPerturber(p TransferPerturber) {
 	d.h2d.SetPerturber(p)
 	d.d2h.SetPerturber(p)
+}
+
+// SetObserver installs a transfer observer on both lanes; nil removes it.
+func (d *Duplex) SetObserver(o TransferObserver) {
+	d.h2d.SetObserver(o)
+	d.d2h.SetObserver(o)
 }
 
 // Failures returns transiently failed reservation attempts across lanes.

@@ -1,0 +1,85 @@
+package supervisor
+
+import (
+	"time"
+
+	"deepum/internal/metrics"
+)
+
+// Prometheus instrumentation. The registry is scraped by deepum-serve's
+// /metrics endpoint; gauges sample supervisor state at scrape time, so the
+// hot paths only touch atomic counters.
+
+// runSecondsBuckets cover simulated runs from sub-millisecond unit-test
+// stubs to multi-minute soak runs.
+var runSecondsBuckets = []float64{0.001, 0.01, 0.1, 0.5, 1, 5, 15, 60, 300}
+
+func (s *Supervisor) initMetrics() {
+	const (
+		subs     = "deepum_supervisor_submissions_total"
+		subsHelp = "Run submissions by admission result."
+	)
+	// Pre-register every label combination so a scrape before the first
+	// event still shows the full family at zero.
+	for _, result := range []string{"accepted", "queue_full", "quota", "shutting_down", "error"} {
+		s.prom.Counter(subs, subsHelp, map[string]string{"result": result})
+	}
+	for _, st := range []RunState{StateQueued, StateRunning, StateCompleted,
+		StateCancelled, StateDeadlineExceeded, StateDegraded, StateFailed} {
+		st := st
+		s.prom.GaugeFunc("deepum_supervisor_runs", "Runs by current state.",
+			map[string]string{"state": string(st)}, func() float64 {
+				return float64(s.countState(st))
+			})
+	}
+	s.prom.GaugeFunc("deepum_supervisor_committed_bytes",
+		"Simulated GPU memory pledged to admitted runs.", nil, func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return float64(s.committed)
+		})
+	s.prom.GaugeFunc("deepum_supervisor_queue_depth",
+		"Admitted runs waiting for a worker.", nil, func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return float64(len(s.queue))
+		})
+	s.prom.Counter("deepum_supervisor_watchdog_cancels_total",
+		"Runs cancelled by the hang-detection watchdog.", nil)
+	s.prom.Counter("deepum_supervisor_worker_panics_total",
+		"Runner panics recovered by the worker pool.", nil)
+	s.prom.Histogram("deepum_supervisor_run_seconds",
+		"Wall-clock duration of finished runs.", nil, runSecondsBuckets)
+}
+
+// countState counts runs currently in the given state.
+func (s *Supervisor) countState(st RunState) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, r := range s.runs {
+		if r.info.State == st {
+			n++
+		}
+	}
+	return n
+}
+
+// noteSubmission counts one admission decision.
+func (s *Supervisor) noteSubmission(result string) {
+	s.prom.Counter("deepum_supervisor_submissions_total", "", map[string]string{"result": result}).Inc()
+}
+
+// noteFinished records a terminal transition and the run's duration.
+func (s *Supervisor) noteFinished(state RunState, started *time.Time, finished time.Time) {
+	s.prom.Counter("deepum_supervisor_runs_finished_total",
+		"Runs reaching a terminal state, by state.", map[string]string{"state": string(state)}).Inc()
+	if started != nil {
+		s.prom.Histogram("deepum_supervisor_run_seconds", "", nil, runSecondsBuckets).
+			Observe(finished.Sub(*started).Seconds())
+	}
+}
+
+// Metrics exposes the supervisor's Prometheus registry for scraping
+// (deepum-serve mounts it on GET /metrics).
+func (s *Supervisor) Metrics() *metrics.Registry { return s.prom }

@@ -72,6 +72,8 @@ type Supervisor struct {
 	wg     sync.WaitGroup
 	waitWG sync.Once
 
+	prom *metrics.Registry
+
 	mu          sync.Mutex
 	runs        map[uint64]*run
 	order       []uint64
@@ -141,7 +143,9 @@ func New(cfg Config) (*Supervisor, error) {
 		nextID:      1,
 		rng:         rand.New(rand.NewSource(seed)),
 		workersDone: make(chan struct{}),
+		prom:        metrics.NewRegistry(),
 	}
+	s.initMetrics()
 	var pending []*run
 	if cfg.JournalPath != "" {
 		jl, recs, _, err := journal.Open(cfg.JournalPath)
@@ -255,6 +259,7 @@ func (s *Supervisor) Submit(spec RunSpec) (uint64, error) {
 	if demand == 0 && s.cfg.Estimate != nil {
 		d, err := s.cfg.Estimate(spec)
 		if err != nil {
+			s.noteSubmission("error")
 			return 0, fmt.Errorf("supervisor: estimating memory demand: %w", err)
 		}
 		demand = d
@@ -264,26 +269,32 @@ func (s *Supervisor) Submit(spec RunSpec) (uint64, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.draining || s.killed {
+		s.noteSubmission("shutting_down")
 		return 0, ErrShuttingDown
 	}
 	if s.cfg.PerRunQuota > 0 && demand > s.cfg.PerRunQuota {
+		s.noteSubmission("quota")
 		return 0, &QuotaError{Demand: demand, Limit: s.cfg.PerRunQuota, PerRun: true}
 	}
 	if s.cfg.GPUMemoryBudget > 0 && s.committed+demand > s.cfg.GPUMemoryBudget {
+		s.noteSubmission("quota")
 		return 0, &QuotaError{Demand: demand, Limit: s.cfg.GPUMemoryBudget, Committed: s.committed}
 	}
 	// Submit (and recovery, which runs before the workers start) are the
 	// only queue senders and both hold mu, so a length check makes the
 	// send below non-blocking by construction.
 	if len(s.queue) == cap(s.queue) {
+		s.noteSubmission("queue_full")
 		return 0, &QueueFullError{Depth: cap(s.queue)}
 	}
 	id := s.nextID
 	data, err := json.Marshal(journalSpec{Spec: spec, Demand: demand})
 	if err != nil {
+		s.noteSubmission("error")
 		return 0, fmt.Errorf("supervisor: encoding spec: %w", err)
 	}
 	if err := s.appendLocked(journal.Record{Type: journal.RecSubmitted, RunID: id, Data: data}); err != nil {
+		s.noteSubmission("error")
 		return 0, err
 	}
 	s.nextID++
@@ -295,6 +306,7 @@ func (s *Supervisor) Submit(spec RunSpec) (uint64, error) {
 	s.order = append(s.order, id)
 	s.committed += demand
 	s.record("", StateQueued, "submitted")
+	s.noteSubmission("accepted")
 	s.queue <- id
 	return id, nil
 }
@@ -395,7 +407,9 @@ func (s *Supervisor) watchdog(r *run, timeout time.Duration) {
 		case <-tick.C:
 			last := time.Unix(0, r.heartbeat.Load())
 			if silent := time.Since(last); silent > timeout {
-				s.cancelRun(r, fmt.Sprintf("watchdog: no progress for %v (timeout %v)", silent.Round(time.Millisecond), timeout))
+				if s.cancelRun(r, fmt.Sprintf("watchdog: no progress for %v (timeout %v)", silent.Round(time.Millisecond), timeout)) {
+					s.prom.Counter("deepum_supervisor_watchdog_cancels_total", "", nil).Inc()
+				}
 				return
 			}
 		}
@@ -403,12 +417,12 @@ func (s *Supervisor) watchdog(r *run, timeout time.Duration) {
 }
 
 // cancelRun cancels a running run's context with a reason; no-op for runs
-// that are not running.
-func (s *Supervisor) cancelRun(r *run, reason string) {
+// that are not running. Reports whether it actually cancelled.
+func (s *Supervisor) cancelRun(r *run, reason string) bool {
 	s.mu.Lock()
 	if r.info.State != StateRunning {
 		s.mu.Unlock()
-		return
+		return false
 	}
 	if r.cancelReason == "" {
 		r.cancelReason = reason
@@ -416,6 +430,7 @@ func (s *Supervisor) cancelRun(r *run, reason string) {
 	cancel := r.cancel
 	s.mu.Unlock()
 	cancel()
+	return true
 }
 
 // finalize moves a run to its terminal state, journals the finish, and
@@ -464,6 +479,10 @@ func (s *Supervisor) finalize(r *run, out Outcome, runErr error, panicked bool) 
 		reason = "runner returned"
 	}
 	s.record(StateRunning, state, reason)
+	if panicked {
+		s.prom.Counter("deepum_supervisor_worker_panics_total", "", nil).Inc()
+	}
+	s.noteFinished(state, r.info.Started, now)
 	close(r.done)
 }
 
@@ -480,6 +499,7 @@ func (s *Supervisor) finalizeQueuedLocked(r *run, reason string) {
 	}
 	s.committed -= r.info.Demand
 	s.record(StateQueued, StateCancelled, reason)
+	s.noteFinished(StateCancelled, r.info.Started, now)
 	close(r.done)
 }
 

@@ -3,6 +3,7 @@ package um
 import (
 	"context"
 
+	"deepum/internal/obs"
 	"deepum/internal/sim"
 )
 
@@ -107,6 +108,11 @@ type Handler struct {
 	// next. A nil Ctx never interrupts.
 	Ctx context.Context
 
+	// Obs, if set, receives a fault-batch span per handling cycle and an
+	// evict event per critical-path victim. Nil (the default) costs one
+	// branch per cycle and per victim.
+	Obs *obs.Recorder
+
 	Stats HandlerStats
 }
 
@@ -128,6 +134,7 @@ func (h *Handler) HandleGroups(now sim.Time, groups []FaultGroup) sim.Time {
 		return now
 	}
 	h.Stats.Batches++
+	pagesBefore := h.Stats.PageFaults
 	t := now.Add(h.Params.FaultBatchOverhead) // steps 1-2
 	h.Stats.Overhead += h.Params.FaultBatchOverhead
 
@@ -207,6 +214,10 @@ func (h *Handler) HandleGroups(now sim.Time, groups []FaultGroup) sim.Time {
 	// Step 9: replay.
 	t = t.Add(h.Params.ReplayLatency)
 	h.Stats.Overhead += h.Params.ReplayLatency
+	if h.Obs != nil {
+		h.Obs.Span(obs.KindFaultBatch, obs.TrackFaultHandler, int64(now), int64(t),
+			"", 0, h.Stats.PageFaults-pagesBefore, int64(len(groups)))
+	}
 	return t
 }
 
@@ -228,15 +239,24 @@ func (h *Handler) evict(t sim.Time, need int64) sim.Time {
 			if h.Invalidator != nil && h.Invalidator.CanInvalidate(v) {
 				h.Res.Remove(v)
 				h.Stats.BlocksDropped++
+				if h.Obs != nil {
+					h.Obs.Instant(obs.KindEvict, obs.TrackFaultHandler, int64(t),
+						"", int64(v), 0, obs.EvictCritical|obs.EvictInvalidated)
+				}
 				if h.OnEvicted != nil {
 					h.OnEvicted(v, true)
 				}
 				continue
 			}
-			t = h.transfer(t, vb.ResidentBytes(), sim.DeviceToHost)
+			wb := vb.ResidentBytes()
+			t = h.transfer(t, wb, sim.DeviceToHost)
 			vb.HostPopulated = true
 			h.Res.Remove(v)
 			h.Stats.BlocksEvicted++
+			if h.Obs != nil {
+				h.Obs.Instant(obs.KindEvict, obs.TrackFaultHandler, int64(t),
+					"", int64(v), wb, obs.EvictCritical)
+			}
 			if h.OnEvicted != nil {
 				h.OnEvicted(v, false)
 			}

@@ -1,0 +1,62 @@
+package um
+
+import (
+	"testing"
+
+	"deepum/internal/obs"
+	"deepum/internal/sim"
+)
+
+// The observability contract for the fault handler: with no observer
+// attached (Obs nil — the default), the instrumentation must add ZERO
+// allocations to the hot path. Each emit site is a single pointer nil
+// check; these tests pin that down so a future emit site that builds an
+// event unconditionally fails CI instead of taxing every untraced run.
+
+// TestHandleGroupsNilObserverZeroAlloc drives the two steady-state demand
+// paths — replay of an already-resident block, and a full H2D migration of
+// a populated block — and asserts 0 allocs/op with tracing disabled.
+func TestHandleGroupsNilObserverZeroAlloc(t *testing.T) {
+	h, s := newTestHandler(10)
+	a, _ := s.Malloc(sim.BlockSize)
+	b := BlockOf(a)
+	s.Block(b).HostPopulated = true
+	groups := []FaultGroup{{Block: b, Count: sim.PagesPerBlock}}
+	now := h.HandleGroups(0, groups) // warm: block resident, maps stable
+
+	if allocs := testing.AllocsPerRun(200, func() {
+		now = h.HandleGroups(now, groups) // already resident: map-only replay
+	}); allocs != 0 {
+		t.Fatalf("resident-replay path: %v allocs/op with nil observer, want 0", allocs)
+	}
+
+	if allocs := testing.AllocsPerRun(200, func() {
+		h.Res.Remove(b) // force a re-migration without eviction pressure
+		now = h.HandleGroups(now, groups)
+	}); allocs != 0 {
+		t.Fatalf("demand-migration path: %v allocs/op with nil observer, want 0", allocs)
+	}
+}
+
+// BenchmarkHandleGroups measures the fault-handler demand-migration cycle
+// with tracing off and on; compare ns/op and allocs/op between the two to
+// see the tracing tax (off must report 0 allocs/op).
+func BenchmarkHandleGroups(b *testing.B) {
+	bench := func(b *testing.B, rec *obs.Recorder) {
+		h, s := newTestHandler(10)
+		h.Obs = rec
+		a, _ := s.Malloc(sim.BlockSize)
+		blk := BlockOf(a)
+		s.Block(blk).HostPopulated = true
+		groups := []FaultGroup{{Block: blk, Count: sim.PagesPerBlock}}
+		now := h.HandleGroups(0, groups)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			h.Res.Remove(blk)
+			now = h.HandleGroups(now, groups)
+		}
+	}
+	b.Run("observer=nil", func(b *testing.B) { bench(b, nil) })
+	b.Run("observer=ring", func(b *testing.B) { bench(b, obs.NewRecorder(1<<16)) })
+}

@@ -18,56 +18,6 @@ import (
 	"deepum/internal/supervisor"
 )
 
-// Supervisor re-exports the multi-run supervision layer.
-type Supervisor = supervisor.Supervisor
-
-// SupervisorConfig re-exports the supervisor configuration. Runner and
-// Estimate may be left nil: NewSupervisor fills them with the
-// TrainContext-backed runner and the workload-footprint estimator.
-type SupervisorConfig = supervisor.Config
-
-// RunSpec re-exports one submitted run's description.
-type RunSpec = supervisor.RunSpec
-
-// RunInfo re-exports a run's point-in-time snapshot.
-type RunInfo = supervisor.RunInfo
-
-// RunOutcome re-exports a finished run's report.
-type RunOutcome = supervisor.Outcome
-
-// SupervisorStats re-exports the supervisor's aggregate snapshot.
-type SupervisorStats = supervisor.Stats
-
-// Supervisor run states (RunInfo.State).
-const (
-	RunQueued           = supervisor.StateQueued
-	RunRunning          = supervisor.StateRunning
-	RunCompleted        = supervisor.StateCompleted
-	RunCancelled        = supervisor.StateCancelled
-	RunDeadlineExceeded = supervisor.StateDeadlineExceeded
-	RunDegraded         = supervisor.StateDegraded
-	RunFailed           = supervisor.StateFailed
-)
-
-// Typed admission and lookup failures, re-exported so callers can branch
-// on rejection kind (retry later vs. reject outright).
-type (
-	// QueueFullError: the bounded submission queue is at capacity.
-	QueueFullError = supervisor.QueueFullError
-	// QuotaError: the run's memory demand does not fit. Retryable()
-	// distinguishes transient budget pressure from a per-run quota the
-	// spec can never satisfy.
-	QuotaError = supervisor.QuotaError
-	// RunNotFoundError: no run with the requested ID.
-	RunNotFoundError = supervisor.NotFoundError
-)
-
-// Sentinel supervisor errors.
-var (
-	ErrSupervisorShuttingDown = supervisor.ErrShuttingDown
-	ErrRunAlreadyFinished     = supervisor.ErrAlreadyFinished
-)
-
 // NewSupervisor builds a multi-run supervisor whose workers execute
 // TrainContext. Zero-valued config fields get production defaults; set
 // SupervisorConfig.JournalPath to survive process kills (the journal is

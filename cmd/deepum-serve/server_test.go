@@ -248,6 +248,10 @@ func TestServeMetricsScrape(t *testing.T) {
 		"# TYPE deepum_supervisor_submissions_total counter",
 		`deepum_supervisor_submissions_total{result="accepted"} 1`,
 		`deepum_supervisor_runs_finished_total{state="completed"} 1`,
+		// Pre-registered at startup: terminal states nothing reached yet
+		// still scrape at zero.
+		`deepum_supervisor_runs_finished_total{state="failed"} 0`,
+		`deepum_supervisor_runs_finished_total{state="cancelled"} 0`,
 		"# TYPE deepum_supervisor_runs gauge",
 		"deepum_supervisor_run_seconds_count 1",
 		`deepum_http_requests_total{route="POST /runs"} 1`,

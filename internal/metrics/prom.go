@@ -212,12 +212,19 @@ func (h *Histogram) snapshot() ([]int64, int64, float64) {
 
 // Histogram returns the histogram with the given name, labels, and upper
 // bounds (ascending; the +Inf bucket is implicit), creating it on first
-// use. Buckets are fixed by the first registration of the family.
+// use. Buckets are fixed by the first registration of the family; the
+// family's first registration must supply at least one bound (a
+// buckets-less histogram would be indistinguishable from one whose family
+// was created empty, letting a later caller silently install different
+// buckets), so an empty list panics like a kind mismatch.
 func (r *Registry) Histogram(name, help string, labels map[string]string, buckets []float64) *Histogram {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	f := r.lookup(name, help, kindHistogram)
 	if f.buckets == nil {
+		if len(buckets) == 0 {
+			panic(fmt.Sprintf("metrics: %s: first histogram registration must supply buckets", name))
+		}
 		f.buckets = append([]float64(nil), buckets...)
 		sort.Float64s(f.buckets)
 	}
@@ -231,9 +238,25 @@ func (r *Registry) Histogram(name, help string, labels map[string]string, bucket
 	return h
 }
 
+// famSnapshot is an immutable copy of one family's identity and series,
+// taken under Registry.mu so rendering can proceed without the lock.
+type famSnapshot struct {
+	name   string
+	help   string
+	kind   metricKind
+	sigs   []string
+	series []any
+}
+
 // WriteText renders every registered metric in the Prometheus text
 // exposition format, families and series in sorted order so consecutive
 // scrapes of unchanged values are byte-identical.
+//
+// The registry lock is held only while snapshotting family structure
+// (sigs and series values); rendering — including GaugeFunc callbacks,
+// which may take their owner's locks (e.g. the supervisor's) — happens
+// outside r.mu. This keeps scrapes safe against concurrent lazy series
+// creation and preserves the r.mu-before-owner-lock ordering.
 func (r *Registry) WriteText(w io.Writer) error {
 	r.mu.Lock()
 	names := make([]string, 0, len(r.fams))
@@ -241,13 +264,20 @@ func (r *Registry) WriteText(w io.Writer) error {
 		names = append(names, n)
 	}
 	sort.Strings(names)
-	fams := make([]*family, len(names))
-	for i, n := range names {
-		fams[i] = r.fams[n]
+	snaps := make([]famSnapshot, 0, len(names))
+	for _, n := range names {
+		f := r.fams[n]
+		sigs := append([]string(nil), f.order...)
+		sort.Strings(sigs)
+		series := make([]any, len(sigs))
+		for i, sig := range sigs {
+			series[i] = f.series[sig]
+		}
+		snaps = append(snaps, famSnapshot{name: f.name, help: f.help, kind: f.kind, sigs: sigs, series: series})
 	}
 	r.mu.Unlock()
 
-	for _, f := range fams {
+	for _, f := range snaps {
 		if f.help != "" {
 			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help); err != nil {
 				return err
@@ -256,10 +286,8 @@ func (r *Registry) WriteText(w io.Writer) error {
 		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind.promType()); err != nil {
 			return err
 		}
-		sigs := append([]string(nil), f.order...)
-		sort.Strings(sigs)
-		for _, sig := range sigs {
-			if err := writeSeries(w, f, sig); err != nil {
+		for i, sig := range f.sigs {
+			if err := writeSeries(w, f, sig, f.series[i]); err != nil {
 				return err
 			}
 		}
@@ -267,19 +295,19 @@ func (r *Registry) WriteText(w io.Writer) error {
 	return nil
 }
 
-func writeSeries(w io.Writer, f *family, sig string) error {
+func writeSeries(w io.Writer, f famSnapshot, sig string, m any) error {
 	switch f.kind {
 	case kindCounter:
-		_, err := fmt.Fprintf(w, "%s %d\n", seriesName(f.name, sig), f.series[sig].(*Counter).Value())
+		_, err := fmt.Fprintf(w, "%s %d\n", seriesName(f.name, sig), m.(*Counter).Value())
 		return err
 	case kindGauge:
-		_, err := fmt.Fprintf(w, "%s %s\n", seriesName(f.name, sig), fmtFloat(f.series[sig].(*Gauge).Value()))
+		_, err := fmt.Fprintf(w, "%s %s\n", seriesName(f.name, sig), fmtFloat(m.(*Gauge).Value()))
 		return err
 	case kindGaugeFunc:
-		_, err := fmt.Fprintf(w, "%s %s\n", seriesName(f.name, sig), fmtFloat(f.series[sig].(func() float64)()))
+		_, err := fmt.Fprintf(w, "%s %s\n", seriesName(f.name, sig), fmtFloat(m.(func() float64)()))
 		return err
 	case kindHistogram:
-		h := f.series[sig].(*Histogram)
+		h := m.(*Histogram)
 		cum, count, sum := h.snapshot()
 		for i, ub := range h.buckets {
 			le := fmt.Sprintf("le=%q", fmtFloat(ub))

@@ -93,21 +93,35 @@ func TestRegistryConcurrent(t *testing.T) {
 	var wg sync.WaitGroup
 	for g := 0; g < 8; g++ {
 		wg.Add(1)
-		go func() {
+		go func(g int) {
 			defer wg.Done()
 			for i := 0; i < 200; i++ {
 				r.Counter("c_total", "", nil).Inc()
 				r.Gauge("g", "", nil).Add(1)
 				r.Histogram("h", "", nil, []float64{1, 10}).Observe(float64(i))
+				// Lazily create fresh series while other goroutines scrape,
+				// mimicking per-state/per-route series appearing at runtime.
+				r.Counter("lazy_total", "",
+					map[string]string{"g": string(rune('a' + g)), "i": string(rune('a' + i%26))}).Inc()
 				var b strings.Builder
 				_ = r.WriteText(&b)
 			}
-		}()
+		}(g)
 	}
 	wg.Wait()
 	if got := r.Counter("c_total", "", nil).Value(); got != 1600 {
 		t.Fatalf("counter = %d, want 1600", got)
 	}
+}
+
+func TestHistogramEmptyBucketsPanics(t *testing.T) {
+	r := NewRegistry()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("first histogram registration with no buckets did not panic")
+		}
+	}()
+	r.Histogram("z_seconds", "", nil, nil)
 }
 
 func TestLabelEscaping(t *testing.T) {

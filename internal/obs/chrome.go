@@ -19,7 +19,12 @@ import (
 //	args.b     Arg2 (omitted when zero)
 //
 // Timestamps are microseconds (the format's unit) with nanosecond
-// precision preserved in the fractional part.
+// precision preserved in the fractional part. Both timestamps and args
+// ride through JSON numbers (float64), so the exact round-trip holds for
+// timestamps below 2^52 ns (~52 days of simulated time) and arg values
+// below 2^53; larger values lose low-order bits. Simulated clocks start
+// at zero and block IDs/arg payloads are small, so the bound is not
+// reachable at simulation scale.
 
 // tracePID is the single simulated process all events belong to.
 const tracePID = 1

@@ -32,6 +32,11 @@ func (s *Supervisor) initMetrics() {
 				return float64(s.countState(st))
 			})
 	}
+	for _, st := range []RunState{StateCompleted, StateCancelled,
+		StateDeadlineExceeded, StateDegraded, StateFailed} {
+		s.prom.Counter("deepum_supervisor_runs_finished_total",
+			"Runs reaching a terminal state, by state.", map[string]string{"state": string(st)})
+	}
 	s.prom.GaugeFunc("deepum_supervisor_committed_bytes",
 		"Simulated GPU memory pledged to admitted runs.", nil, func() float64 {
 			s.mu.Lock()

@@ -28,6 +28,7 @@ import (
 	"deepum/internal/correlation"
 	"deepum/internal/engine"
 	"deepum/internal/experiments"
+	"deepum/internal/health"
 	"deepum/internal/models"
 	"deepum/internal/sim"
 	"deepum/internal/supervisor"
@@ -59,6 +60,35 @@ type BreakerStats = engine.BreakerStats
 
 // InvariantError re-exports the typed invariant-checker violation.
 type InvariantError = chaos.InvariantError
+
+// --- health-controller types ---
+
+// HealthOptions re-exports the health controller's tuning knobs (half-life,
+// hysteresis thresholds, dwell, probe interval); the zero value selects the
+// defaults. Set Config.Health to enable the controller on a run.
+type HealthOptions = health.Options
+
+// HealthReport re-exports a finished run's degradation-ladder summary
+// (Result.Health): final and peak level, transition log, peak scores.
+type HealthReport = health.Report
+
+// HealthLevel re-exports the degradation-ladder level type.
+type HealthLevel = health.Level
+
+// HealthTransition re-exports one recorded ladder move.
+type HealthTransition = health.Transition
+
+// Degradation-ladder levels, from full speculation to pure demand paging.
+const (
+	// HealthL0 runs full prefetching and pre-eviction.
+	HealthL0 = health.L0
+	// HealthL1 restricts prefetching to chained correlations (degree cap).
+	HealthL1 = health.L1
+	// HealthL2 shrinks fault batches and disables pre-eviction.
+	HealthL2 = health.L2
+	// HealthL3 is pure demand paging: no speculation at all.
+	HealthL3 = health.L3
+)
 
 // CorrelationState is the warm state of a DeepUM run: the execution-ID and
 // UM-block correlation tables the driver learned. It is what checkpoint and

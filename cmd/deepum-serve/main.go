@@ -40,6 +40,7 @@ func main() {
 		journalPath  = flag.String("journal", "", "crash-safe run journal path (empty = no persistence)")
 		watchdog     = flag.Duration("watchdog", 0, "cancel runs with no progress for this long (0 = no watchdog)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful-drain budget on shutdown before runs are cancelled")
+		reqTimeout   = flag.Duration("request-timeout", 30*time.Second, "per-request context deadline for API handlers (0 = none)")
 		chaosName    = flag.String("chaos", "", "supervisor chaos scenario (empty = none; -chaos list to enumerate)")
 		chaosSeed    = flag.Int64("chaos-seed", 1, "seed for chaos injection draws")
 	)
@@ -74,7 +75,17 @@ func main() {
 		log.Printf("journal replay re-admitted %d interrupted run(s)", st.Recovered)
 	}
 
-	srv := &http.Server{Addr: *addr, Handler: newServer(sup)}
+	// Connection-level timeouts backstop the per-handler deadline: slowloris
+	// headers, dribbled bodies, and stalled response writes all get bounded
+	// even when a handler never looks at its context.
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           newServer(sup, *reqTimeout),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       60 * time.Second,
+		WriteTimeout:      60 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
 	log.Printf("deepum-serve listening on %s (%d workers, queue %d)", *addr, *workers, *queue)

@@ -1,21 +1,25 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"net/http"
 	"strconv"
+	"time"
 
 	"deepum"
 )
 
 // newServer wires the supervisor behind a JSON HTTP API. Typed admission
 // rejections map onto distinct status codes so clients can tell "back off
-// and retry" (429 + Retry-After, 503) from "this spec can never be
-// admitted" (422). GET /metrics scrapes the supervisor's Prometheus
-// registry (admission results, runs by state, queue depth, run durations)
-// plus per-route HTTP request counters.
-func newServer(sup *deepum.Supervisor) http.Handler {
+// and retry" (429/503, both with Retry-After) from "this spec can never be
+// admitted" (422). Every handler runs under a per-request context deadline
+// (requestTimeout; 0 disables) so one slow request cannot hold a
+// connection open indefinitely. GET /metrics scrapes the supervisor's
+// Prometheus registry (admission results, runs by state, queue depth, run
+// durations, health-ladder levels) plus per-route HTTP request counters.
+func newServer(sup *deepum.Supervisor, requestTimeout time.Duration) http.Handler {
 	s := &server{sup: sup}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /runs", s.submit)
@@ -27,7 +31,26 @@ func newServer(sup *deepum.Supervisor) http.Handler {
 	})
 	mux.HandleFunc("GET /readyz", s.ready)
 	mux.HandleFunc("GET /metrics", s.metrics)
-	return countRequests(sup, mux)
+	// withDeadline wraps outside countRequests: the counter must hand the
+	// mux the same *Request it later reads r.Pattern from (WithContext
+	// copies the request, so a deadline layer between them would hide the
+	// matched route).
+	return withDeadline(requestTimeout, countRequests(sup, mux))
+}
+
+// withDeadline bounds each request with a context deadline. Handlers that
+// consult r.Context() (and the bodies they read) observe the cancellation;
+// the connection-level Read/Write timeouts on the http.Server backstop
+// handlers that do not.
+func withDeadline(timeout time.Duration, next http.Handler) http.Handler {
+	if timeout <= 0 {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), timeout)
+		defer cancel()
+		next.ServeHTTP(w, r.WithContext(ctx))
+	})
 }
 
 // countRequests counts every request by method and matched route pattern
@@ -63,6 +86,9 @@ func (s *server) submit(w http.ResponseWriter, r *http.Request) {
 		var q *deepum.QuotaError
 		switch {
 		case errors.Is(err, deepum.ErrShuttingDown):
+			// A draining server may be restarting; tell well-behaved
+			// clients when to probe again rather than hammering it.
+			w.Header().Set("Retry-After", "5")
 			writeError(w, http.StatusServiceUnavailable, err)
 		case errors.As(err, &qf):
 			w.Header().Set("Retry-After", "1")
@@ -119,6 +145,7 @@ func (s *server) cancel(w http.ResponseWriter, r *http.Request) {
 
 func (s *server) ready(w http.ResponseWriter, r *http.Request) {
 	if !s.sup.Accepting() {
+		w.Header().Set("Retry-After", "5")
 		writeError(w, http.StatusServiceUnavailable, errors.New("draining"))
 		return
 	}

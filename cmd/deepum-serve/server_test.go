@@ -24,7 +24,7 @@ func testServer(t *testing.T, cfg deepum.SupervisorConfig, runner deepum.Runner)
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(newServer(sup))
+	ts := httptest.NewServer(newServer(sup, 10*time.Second))
 	t.Cleanup(ts.Close)
 	return ts, sup
 }
@@ -198,9 +198,34 @@ func TestServeAdmissionStatusCodes(t *testing.T) {
 		t.Fatal(err)
 	} else if r.Body.Close(); r.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("readyz while draining: status %d, want 503", r.StatusCode)
+	} else if r.Header.Get("Retry-After") == "" {
+		t.Fatal("draining readyz 503 carries no Retry-After header")
 	}
-	if code := postJSON(t, ts.URL+"/runs", `{"model":"bert-base","batch":8}`).StatusCode; code != http.StatusServiceUnavailable {
-		t.Fatalf("submit while draining: status %d, want 503", code)
+	drained := postJSON(t, ts.URL+"/runs", `{"model":"bert-base","batch":8}`)
+	if drained.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("submit while draining: status %d, want 503", drained.StatusCode)
+	}
+	if drained.Header.Get("Retry-After") == "" {
+		t.Fatal("draining submit 503 carries no Retry-After header")
+	}
+}
+
+// TestWithDeadline: the middleware installs a context deadline on every
+// request it wraps, and a zero timeout disables it without wrapping.
+func TestWithDeadline(t *testing.T) {
+	var deadlineSet bool
+	probe := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, deadlineSet = r.Context().Deadline()
+	})
+	withDeadline(50*time.Millisecond, probe).
+		ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/x", nil))
+	if !deadlineSet {
+		t.Fatal("handler context carries no deadline under withDeadline")
+	}
+	withDeadline(0, probe).
+		ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/x", nil))
+	if deadlineSet {
+		t.Fatal("zero timeout must not install a deadline")
 	}
 }
 

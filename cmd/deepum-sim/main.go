@@ -32,6 +32,7 @@ func main() {
 		seed    = flag.Int64("seed", 1, "irregular-access seed")
 		chaosSc = flag.String("chaos", "", "fault-injection scenario (see -chaos-list)")
 		chaosSd = flag.Int64("chaos-seed", 0, "injection seed (0 reuses -seed)")
+		healthF = flag.Bool("health", false, "enable the closed-loop health controller (degradation ladder; UM-side systems only)")
 		timeout = flag.Duration("timeout", 0, "wall-clock bound; an expired run returns its partial measurements")
 		deadln  = flag.Duration("deadline", 0, "virtual-time bound (deterministic under a fixed seed)")
 		ckpt    = flag.String("checkpoint", "", "write the learned correlation tables here after the run (deepum only)")
@@ -91,6 +92,9 @@ func main() {
 	}
 	if *trace != "" {
 		cfg.Observe = deepum.NewObserver(deepum.TraceOptions{})
+	}
+	if *healthF {
+		cfg.Health = &deepum.HealthOptions{}
 	}
 
 	ctx := context.Background()
@@ -161,6 +165,10 @@ func main() {
 	}
 	if *resume != "" {
 		fmt.Printf("resume     correlation tables restored from %s\n", *resume)
+	}
+	if res.Health != nil {
+		fmt.Printf("health     final %s, peak %s, %d ladder transition(s)\n",
+			res.Health.Level, res.Health.MaxLevel, res.Health.Transitions)
 	}
 	fmt.Printf("footprint  %.2f GiB (scaled), %d kernels/iteration\n",
 		float64(prog.FootprintBytes())/float64(sim.GiB), prog.Kernels())

@@ -35,6 +35,7 @@ import (
 	"deepum/internal/correlation"
 	"deepum/internal/engine"
 	"deepum/internal/experiments"
+	"deepum/internal/health"
 	"deepum/internal/metrics"
 	"deepum/internal/models"
 	"deepum/internal/sim"
@@ -112,6 +113,17 @@ type Config struct {
 	// defaults (8 failures, 500us).
 	BreakerThreshold int
 	BreakerCooldown  sim.Duration
+	// Health enables the closed-loop health controller: windowed health
+	// scores per component (link, prefetcher, pipeline, migrator) drive a
+	// graduated degradation ladder — L0 full prefetch+pre-eviction, L1
+	// chained-correlation-only prefetch, L2 shrunk batches / no
+	// pre-eviction, L3 pure demand paging — with hysteresis, dwell times,
+	// and periodic recovery probes that walk back toward L0. The zero
+	// Options value (&HealthOptions{}) selects the defaults. Nil (the
+	// default) disables the controller at zero cost. The demand path is
+	// never gated: every level is bit-identical on a fixed workload, only
+	// slower. UM-side systems only.
+	Health *HealthOptions
 	// Observe attaches an event-trace observer (NewObserver) to the run:
 	// fault batches, link transfers, prefetch lifecycle, evictions, breaker
 	// transitions, and per-iteration spans are recorded into its ring
@@ -188,6 +200,17 @@ type Result struct {
 	// DiscardedPrefetches counts queued prefetch commands thrown away when
 	// the run was interrupted (demand work drains; speculation does not).
 	DiscardedPrefetches int64
+	// Health summarizes the degradation ladder when Config.Health enabled
+	// the controller: final and peak level, the transition log, and peak
+	// per-component scores. Nil when the controller was off. A run whose
+	// ladder ever left L0 finishes StatusDegraded.
+	Health *HealthReport
+	// AccessChecksum fingerprints the ordered memory-access stream (FNV-1a
+	// over every block touch). It depends only on the workload and Seed —
+	// not on timing, chaos, or ladder level — so two runs of the same
+	// workload at different degradation levels must report identical
+	// checksums. UM-side systems only.
+	AccessChecksum uint64
 	// Warm exposes the driver's learned correlation tables for
 	// checkpointing with SaveCheckpoint (SystemDeepUM only).
 	Warm *CorrelationState
@@ -289,6 +312,10 @@ func TrainContext(ctx context.Context, w Workload, cfg Config) (*Result, error) 
 			}
 			inj = chaos.NewInjector(scenario, seed)
 		}
+		var hc *health.Controller
+		if cfg.Health != nil {
+			hc = health.NewController(*cfg.Health)
+		}
 		r, err := engine.RunContext(ctx, engine.Config{
 			Params:           params,
 			Program:          prog,
@@ -301,6 +328,7 @@ func TrainContext(ctx context.Context, w Workload, cfg Config) (*Result, error) 
 			Deadline:         cfg.Deadline,
 			BreakerThreshold: cfg.BreakerThreshold,
 			BreakerCooldown:  cfg.BreakerCooldown,
+			Health:           hc,
 			Obs:              cfg.Observe.recorder(),
 		})
 		if err != nil {
@@ -324,6 +352,8 @@ func TrainContext(ctx context.Context, w Workload, cfg Config) (*Result, error) 
 			Invariant:              r.Invariant,
 			Breaker:                r.Breaker,
 			DiscardedPrefetches:    r.DiscardedPrefetches,
+			Health:                 r.Health,
+			AccessChecksum:         r.AccessChecksum,
 			Warm:                   r.Tables,
 		}, nil
 	default:
@@ -335,6 +365,9 @@ func TrainContext(ctx context.Context, w Workload, cfg Config) (*Result, error) 
 		}
 		if cfg.Observe != nil {
 			return nil, fmt.Errorf("deepum: Config.Observe traces the UM-side event simulation; system %q does not run one", cfg.System)
+		}
+		if cfg.Health != nil {
+			return nil, fmt.Errorf("deepum: Config.Health monitors the UM-side event simulation; system %q does not run one", cfg.System)
 		}
 		pl, err := plannerFor(cfg.System)
 		if err != nil {

@@ -51,6 +51,16 @@ type Injector struct {
 	sc  Scenario
 	rng *rand.Rand
 
+	// clock, when set, lets the timeless query methods (FaultBatchCap,
+	// DropNotify, DupNotify, MigratorStall) locate themselves on the
+	// virtual timeline; phased injection needs it. Nil means time zero.
+	clock func() sim.Time
+	// phases, when non-empty, overlay scheduled scenarios on top of sc;
+	// effMask/effCache memoize the merge for the current activation set.
+	phases   []Phase
+	effMask  uint64
+	effCache Scenario
+
 	// consecFails bounds how many transfer failures can occur in a row, so
 	// a retry loop in the migration engine always terminates.
 	consecFails int
@@ -67,8 +77,25 @@ func NewInjector(sc Scenario, seed int64) *Injector {
 	return &Injector{sc: sc, rng: rand.New(rand.NewSource(seed))}
 }
 
-// Scenario returns the scenario the injector was built from.
+// Scenario returns the base scenario the injector was built from (phased
+// overlays, if any, are not folded in).
 func (in *Injector) Scenario() Scenario { return in.sc }
+
+// SetClock installs the virtual-time source the timeless query methods use
+// to locate themselves on the schedule. The engine installs its event
+// clock; without one, phased injection evaluates at time zero. Nil-safe.
+func (in *Injector) SetClock(fn func() sim.Time) {
+	if in != nil {
+		in.clock = fn
+	}
+}
+
+func (in *Injector) now() sim.Time {
+	if in.clock != nil {
+		return in.clock()
+	}
+	return 0
+}
 
 // PerturbTransfer implements sim.TransferPerturber: it returns the perturbed
 // occupancy for a transfer of n bytes whose unperturbed duration is base,
@@ -78,26 +105,27 @@ func (in *Injector) PerturbTransfer(at sim.Time, n int64, dir sim.Direction, bas
 	if in == nil {
 		return base, false
 	}
+	sc := in.eff(at)
 	d := base
-	if in.sc.LinkDegradeFactor > 1 {
-		d = sim.Duration(float64(d) * in.sc.LinkDegradeFactor)
+	if sc.LinkDegradeFactor > 1 {
+		d = sim.Duration(float64(d) * sc.LinkDegradeFactor)
 	}
-	if in.sc.LinkJitterFrac > 0 {
+	if sc.LinkJitterFrac > 0 {
 		// Uniform jitter in [-frac, +frac] around the (possibly degraded)
 		// duration; never below zero.
-		j := 1 + in.sc.LinkJitterFrac*(2*in.rng.Float64()-1)
+		j := 1 + sc.LinkJitterFrac*(2*in.rng.Float64()-1)
 		if j < 0 {
 			j = 0
 		}
 		d = sim.Duration(float64(d) * j)
 	}
-	if f := in.hostPressure(at); f > 1 {
+	if f := hostPressure(sc, at); f > 1 {
 		d = sim.Duration(float64(d) * f)
 		in.Stats.PressureWindows++
 	}
 	fail := false
-	if in.sc.TransferFailProb > 0 && in.consecFails < in.sc.MaxConsecutiveFails &&
-		in.rng.Float64() < in.sc.TransferFailProb {
+	if sc.TransferFailProb > 0 && in.consecFails < sc.MaxConsecutiveFails &&
+		in.rng.Float64() < sc.TransferFailProb {
 		fail = true
 		in.consecFails++
 		in.Stats.TransferFailures++
@@ -110,13 +138,13 @@ func (in *Injector) PerturbTransfer(at sim.Time, n int64, dir sim.Direction, bas
 // hostPressure returns the transfer slowdown factor active at virtual time
 // at: during a pressure spike the host's memory subsystem is saturated and
 // every UM transfer runs slower.
-func (in *Injector) hostPressure(at sim.Time) float64 {
-	if in.sc.HostPressureFactor <= 1 || in.sc.HostPressurePeriod <= 0 {
+func hostPressure(sc *Scenario, at sim.Time) float64 {
+	if sc.HostPressureFactor <= 1 || sc.HostPressurePeriod <= 0 {
 		return 1
 	}
-	phase := sim.Duration(at) % in.sc.HostPressurePeriod
-	if phase < in.sc.HostPressureDuration {
-		return in.sc.HostPressureFactor
+	phase := sim.Duration(at) % sc.HostPressurePeriod
+	if phase < sc.HostPressureDuration {
+		return sc.HostPressureFactor
 	}
 	return 1
 }
@@ -126,21 +154,29 @@ func (in *Injector) hostPressure(at sim.Time) float64 {
 // are replayed in the next cycle, exactly as a full hardware buffer stalls
 // the SMs into retrying.
 func (in *Injector) FaultBatchCap(base int) int {
-	if in == nil || in.sc.FaultBatchCap <= 0 || in.sc.FaultBatchCap >= base {
+	if in == nil {
+		return base
+	}
+	sc := in.eff(in.now())
+	if sc.FaultBatchCap <= 0 || sc.FaultBatchCap >= base {
 		return base
 	}
 	in.Stats.BatchCapHits++
-	return in.sc.FaultBatchCap
+	return sc.FaultBatchCap
 }
 
 // DropNotify reports whether the next fault notification to the driver is
 // lost (interrupt coalescing under pressure). The block is still served by
 // the handler — only the driver's learning is perturbed.
 func (in *Injector) DropNotify() bool {
-	if in == nil || in.sc.DropNotifyProb <= 0 {
+	if in == nil {
 		return false
 	}
-	if in.rng.Float64() < in.sc.DropNotifyProb {
+	sc := in.eff(in.now())
+	if sc.DropNotifyProb <= 0 {
+		return false
+	}
+	if in.rng.Float64() < sc.DropNotifyProb {
 		in.Stats.DroppedNotifies++
 		return true
 	}
@@ -151,10 +187,14 @@ func (in *Injector) DropNotify() bool {
 // (a replayed interrupt): consumers must tolerate duplicates without
 // corrupting their tables or queues.
 func (in *Injector) DupNotify() bool {
-	if in == nil || in.sc.DupNotifyProb <= 0 {
+	if in == nil {
 		return false
 	}
-	if in.rng.Float64() < in.sc.DupNotifyProb {
+	sc := in.eff(in.now())
+	if sc.DupNotifyProb <= 0 {
+		return false
+	}
+	if in.rng.Float64() < sc.DupNotifyProb {
 		in.Stats.DupNotifies++
 		return true
 	}
@@ -165,13 +205,17 @@ func (in *Injector) DupNotify() bool {
 // the current kernel launch (scheduling pressure on the host CPU); zero
 // when no stall is injected.
 func (in *Injector) MigratorStall() sim.Duration {
-	if in == nil || in.sc.MigratorStallProb <= 0 {
+	if in == nil {
 		return 0
 	}
-	if in.rng.Float64() < in.sc.MigratorStallProb {
+	sc := in.eff(in.now())
+	if sc.MigratorStallProb <= 0 {
+		return 0
+	}
+	if in.rng.Float64() < sc.MigratorStallProb {
 		in.Stats.MigratorStalls++
-		in.Stats.StallTime += in.sc.MigratorStallTime
-		return in.sc.MigratorStallTime
+		in.Stats.StallTime += sc.MigratorStallTime
+		return sc.MigratorStallTime
 	}
 	return 0
 }

@@ -21,9 +21,9 @@ type PipelineInjector struct {
 	dropProb  float64
 	dupProb   float64
 
-	stalls  int64
-	drops   int64
-	dups    int64
+	stalls int64
+	drops  int64
+	dups   int64
 }
 
 // NewPipelineInjector builds a real-time injector from the scenario's

@@ -103,10 +103,10 @@ func builtin() []Scenario {
 			Description: "no injection (baseline)",
 		},
 		{
-			Name:              "flaky-link",
-			Description:       "5% transient transfer failures plus 10% jitter; migration engine retries with backoff",
-			TransferFailProb:  0.05,
-			LinkJitterFrac:    0.10,
+			Name:                "flaky-link",
+			Description:         "5% transient transfer failures plus 10% jitter; migration engine retries with backoff",
+			TransferFailProb:    0.05,
+			LinkJitterFrac:      0.10,
 			MaxConsecutiveFails: 4,
 		},
 		{

@@ -1,0 +1,181 @@
+package chaos
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"deepum/internal/sim"
+)
+
+// Phased injection: the soak harness composes schedules where several
+// scenarios switch on and off (and overlap) at random virtual-time offsets
+// under a fixed seed. A phase overlays one scenario on the injector's base
+// scenario for a window of virtual time; the effective scenario at any
+// instant is the deterministic fold of the base and every active phase.
+
+// Phase is one scheduled scenario window.
+type Phase struct {
+	// Scenario is the overlay. It must be non-interrupting: lifecycle
+	// fields (CancelAfterKernels, VirtualDeadline) cannot be windowed and
+	// are rejected by NewScheduledInjector.
+	Scenario Scenario
+	// Onset is when the phase activates (virtual time from run start).
+	Onset sim.Duration
+	// Duration is how long it stays active; 0 means until the end of the
+	// run.
+	Duration sim.Duration
+}
+
+// active reports whether the phase covers virtual time at.
+func (p Phase) active(at sim.Time) bool {
+	if sim.Duration(at) < p.Onset {
+		return false
+	}
+	return p.Duration <= 0 || sim.Duration(at) < p.Onset+p.Duration
+}
+
+// String renders "name@onset+duration" for reproducer output.
+func (p Phase) String() string {
+	return fmt.Sprintf("%s@%dus+%dus", p.Scenario.Name,
+		int64(p.Onset)/1000, int64(p.Duration)/1000)
+}
+
+// FormatPhases renders a schedule compactly for logs and reproducers.
+func FormatPhases(phases []Phase) string {
+	parts := make([]string, len(phases))
+	for i, p := range phases {
+		parts[i] = p.String()
+	}
+	return strings.Join(parts, " ")
+}
+
+// NewScheduledInjector builds an injector whose effective scenario varies
+// over virtual time: base everywhere, with each phase's scenario folded in
+// while its window is active. All randomness still comes from the one
+// seeded PRNG, so a scheduled run is exactly as reproducible as a static
+// one. Callers must install a clock (the engine does) or every timeless
+// query evaluates at time zero.
+//
+// Two whole-run exceptions, by construction: correlation tables are sized
+// once at startup, so the largest TableRowsDivisor across base and phases
+// applies for the entire run; and lifecycle fields are rejected on phases
+// because "cancel the run, but only between t1 and t2" is not meaningful.
+func NewScheduledInjector(base Scenario, phases []Phase, seed int64) (*Injector, error) {
+	for i, p := range phases {
+		if p.Scenario.Interrupts() {
+			return nil, fmt.Errorf("chaos: phase %d (%s) uses an interrupting scenario; lifecycle fields cannot be windowed",
+				i, p.Scenario.Name)
+		}
+		if p.Onset < 0 || p.Duration < 0 {
+			return nil, fmt.Errorf("chaos: phase %d (%s) has a negative onset or duration", i, p.Scenario.Name)
+		}
+	}
+	if len(phases) > 64 {
+		return nil, fmt.Errorf("chaos: %d phases exceed the 64-phase mask", len(phases))
+	}
+	in := NewInjector(base, seed)
+	in.phases = make([]Phase, len(phases))
+	copy(in.phases, phases)
+	sort.SliceStable(in.phases, func(i, j int) bool { return in.phases[i].Onset < in.phases[j].Onset })
+	// Fold table pressure once: tables are built at startup.
+	for _, p := range in.phases {
+		if p.Scenario.TableRowsDivisor > in.sc.TableRowsDivisor {
+			in.sc.TableRowsDivisor = p.Scenario.TableRowsDivisor
+		}
+	}
+	in.effMask = ^uint64(0) // force the first eff() to merge
+	return in, nil
+}
+
+// Phases returns the injector's schedule (nil for a static injector).
+func (in *Injector) Phases() []Phase {
+	if in == nil {
+		return nil
+	}
+	out := make([]Phase, len(in.phases))
+	copy(out, in.phases)
+	return out
+}
+
+// eff returns the effective scenario at virtual time at. For a static
+// injector this is the base scenario; with phases the fold is memoized per
+// activation bitmask, so the merge reruns only when a phase switches on or
+// off — not per query.
+func (in *Injector) eff(at sim.Time) *Scenario {
+	if len(in.phases) == 0 {
+		return &in.sc
+	}
+	var mask uint64
+	for i, p := range in.phases {
+		if p.active(at) {
+			mask |= 1 << i
+		}
+	}
+	if mask != in.effMask {
+		in.effCache = in.sc
+		for i, p := range in.phases {
+			if mask&(1<<i) != 0 {
+				in.effCache = mergeScenario(in.effCache, p.Scenario)
+			}
+		}
+		in.effCache = in.effCache.withDefaults()
+		in.effMask = mask
+	}
+	return &in.effCache
+}
+
+// mergeScenario folds overlay p into dst. Composition is chosen so that
+// overlapping phases degrade monotonically (two active faults are never
+// milder than one):
+//
+//   - degrade factors multiply, jitter fractions add
+//   - failure/drop/dup/stall probabilities combine as complements
+//     (1-(1-a)(1-b)): independent fault sources
+//   - MaxConsecutiveFails takes the max (loosest bound that still
+//     terminates), batch caps take the tightest non-zero cap
+//   - host pressure takes the strongest spike train
+//   - stall time takes the max
+//
+// TableRowsDivisor and lifecycle fields are handled at construction (see
+// NewScheduledInjector).
+func mergeScenario(dst, p Scenario) Scenario {
+	if p.LinkDegradeFactor > 1 {
+		if dst.LinkDegradeFactor < 1 {
+			dst.LinkDegradeFactor = 1
+		}
+		dst.LinkDegradeFactor *= p.LinkDegradeFactor
+	}
+	dst.LinkJitterFrac += p.LinkJitterFrac
+	dst.TransferFailProb = combineProb(dst.TransferFailProb, p.TransferFailProb)
+	if p.MaxConsecutiveFails > dst.MaxConsecutiveFails {
+		dst.MaxConsecutiveFails = p.MaxConsecutiveFails
+	}
+	if p.FaultBatchCap > 0 && (dst.FaultBatchCap == 0 || p.FaultBatchCap < dst.FaultBatchCap) {
+		dst.FaultBatchCap = p.FaultBatchCap
+	}
+	dst.DropNotifyProb = combineProb(dst.DropNotifyProb, p.DropNotifyProb)
+	dst.DupNotifyProb = combineProb(dst.DupNotifyProb, p.DupNotifyProb)
+	if p.HostPressureFactor > dst.HostPressureFactor {
+		dst.HostPressureFactor = p.HostPressureFactor
+		dst.HostPressurePeriod = p.HostPressurePeriod
+		dst.HostPressureDuration = p.HostPressureDuration
+	}
+	dst.MigratorStallProb = combineProb(dst.MigratorStallProb, p.MigratorStallProb)
+	if p.MigratorStallTime > dst.MigratorStallTime {
+		dst.MigratorStallTime = p.MigratorStallTime
+	}
+	return dst
+}
+
+// combineProb combines two independent fault probabilities: the chance at
+// least one fires.
+func combineProb(a, b float64) float64 {
+	if a <= 0 {
+		return b
+	}
+	if b <= 0 {
+		return a
+	}
+	return 1 - (1-a)*(1-b)
+}

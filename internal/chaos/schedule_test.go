@@ -1,0 +1,220 @@
+package chaos
+
+import (
+	"strings"
+	"testing"
+
+	"time"
+
+	"deepum/internal/correlation"
+	"deepum/internal/sim"
+)
+
+func ms(n int64) sim.Duration { return sim.Duration(n) * time.Millisecond }
+
+func TestPhaseActivationWindow(t *testing.T) {
+	p := Phase{Onset: ms(10), Duration: ms(5)}
+	cases := []struct {
+		at   sim.Time
+		want bool
+	}{
+		{sim.Time(ms(9)), false},
+		{sim.Time(ms(10)), true}, // onset inclusive
+		{sim.Time(ms(12)), true},
+		{sim.Time(ms(15)), false}, // end exclusive
+		{sim.Time(ms(100)), false},
+	}
+	for _, tc := range cases {
+		if got := p.active(tc.at); got != tc.want {
+			t.Errorf("active(%v) = %v, want %v", tc.at, got, tc.want)
+		}
+	}
+	// Zero duration means open-ended.
+	open := Phase{Onset: ms(10)}
+	if open.active(sim.Time(ms(9))) || !open.active(sim.Time(ms(1_000_000))) {
+		t.Error("zero-duration phase is not open-ended from its onset")
+	}
+}
+
+func TestScheduledInjectorWindows(t *testing.T) {
+	// A pure-degrade overlay (no jitter, no probabilities) is deterministic:
+	// transfers run 8x slower exactly while the window is active.
+	overlay := Scenario{Name: "slow", LinkDegradeFactor: 8}
+	in, err := NewScheduledInjector(Scenario{Name: "base"},
+		[]Phase{{Scenario: overlay, Onset: ms(10), Duration: ms(5)}}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := sim.Duration(1000)
+	for _, tc := range []struct {
+		at   sim.Time
+		want sim.Duration
+	}{
+		{sim.Time(ms(0)), base},
+		{sim.Time(ms(10)), 8 * base},
+		{sim.Time(ms(14)), 8 * base},
+		{sim.Time(ms(15)), base},     // window closed
+		{sim.Time(ms(11)), 8 * base}, // mask memo handles reactivation order
+	} {
+		got, fail := in.PerturbTransfer(tc.at, 1<<20, sim.HostToDevice, base)
+		if fail {
+			t.Fatalf("pure-degrade overlay failed a transfer at %v", tc.at)
+		}
+		if got != tc.want {
+			t.Errorf("PerturbTransfer at %v = %v, want %v", tc.at, got, tc.want)
+		}
+	}
+}
+
+func TestScheduledInjectorValidation(t *testing.T) {
+	if _, err := NewScheduledInjector(Scenario{}, []Phase{
+		{Scenario: Scenario{Name: "cancel", CancelAfterKernels: 5}, Onset: 0},
+	}, 1); err == nil {
+		t.Error("accepted an interrupting phase (CancelAfterKernels)")
+	}
+	if _, err := NewScheduledInjector(Scenario{}, []Phase{
+		{Scenario: Scenario{Name: "deadline", VirtualDeadline: ms(1)}, Onset: 0},
+	}, 1); err == nil {
+		t.Error("accepted an interrupting phase (VirtualDeadline)")
+	}
+	if _, err := NewScheduledInjector(Scenario{}, []Phase{
+		{Scenario: Scenario{Name: "x"}, Onset: -1},
+	}, 1); err == nil {
+		t.Error("accepted a negative onset")
+	}
+	long := make([]Phase, 65)
+	for i := range long {
+		long[i] = Phase{Scenario: Scenario{Name: "x"}}
+	}
+	if _, err := NewScheduledInjector(Scenario{}, long, 1); err == nil {
+		t.Error("accepted 65 phases (mask is 64-bit)")
+	}
+	if in, err := NewScheduledInjector(Scenario{}, nil, 1); err != nil || in == nil {
+		t.Errorf("rejected an empty schedule: %v", err)
+	}
+}
+
+// TestMergeMonotone pins the composition law: folding a second fault source
+// in never makes the effective scenario milder than either input.
+func TestMergeMonotone(t *testing.T) {
+	a := Scenario{
+		LinkDegradeFactor: 4, LinkJitterFrac: 0.1, TransferFailProb: 0.2,
+		MaxConsecutiveFails: 2, FaultBatchCap: 32, DropNotifyProb: 0.1,
+		MigratorStallProb: 0.05, MigratorStallTime: ms(1),
+	}
+	b := Scenario{
+		LinkDegradeFactor: 2, TransferFailProb: 0.5, MaxConsecutiveFails: 4,
+		FaultBatchCap: 16, DupNotifyProb: 0.3, MigratorStallTime: ms(2),
+		HostPressureFactor: 3, HostPressurePeriod: ms(10), HostPressureDuration: ms(2),
+	}
+	m := mergeScenario(a, b)
+	if m.LinkDegradeFactor != 8 {
+		t.Errorf("degrade factors did not multiply: %v", m.LinkDegradeFactor)
+	}
+	if m.TransferFailProb <= 0.5 || m.TransferFailProb >= 1 {
+		t.Errorf("fail probs did not combine as complements: %v", m.TransferFailProb)
+	}
+	if want := 1 - (1-0.2)*(1-0.5); m.TransferFailProb != want {
+		t.Errorf("TransferFailProb = %v, want %v", m.TransferFailProb, want)
+	}
+	if m.MaxConsecutiveFails != 4 {
+		t.Errorf("MaxConsecutiveFails = %d, want max(2,4)", m.MaxConsecutiveFails)
+	}
+	if m.FaultBatchCap != 16 {
+		t.Errorf("FaultBatchCap = %d, want tightest (16)", m.FaultBatchCap)
+	}
+	if m.DropNotifyProb != 0.1 || m.DupNotifyProb != 0.3 {
+		t.Errorf("one-sided probs changed: drop %v dup %v", m.DropNotifyProb, m.DupNotifyProb)
+	}
+	if m.HostPressureFactor != 3 || m.HostPressurePeriod != ms(10) {
+		t.Errorf("host pressure not taken from stronger source: %+v", m)
+	}
+	if m.MigratorStallTime != ms(2) {
+		t.Errorf("MigratorStallTime = %v, want max", m.MigratorStallTime)
+	}
+	// Identity overlay changes nothing.
+	if id := mergeScenario(a, Scenario{}); id != a {
+		t.Errorf("identity merge changed the scenario:\n got %+v\nwant %+v", id, a)
+	}
+}
+
+// TestScheduledDeterminism drives two identically-seeded scheduled injectors
+// through the same query sequence and requires identical outputs and stats —
+// the property the soak harness's bit-identical re-runs rest on.
+func TestScheduledDeterminism(t *testing.T) {
+	build := func() *Injector {
+		in, err := NewScheduledInjector(Scenario{Name: "base", LinkJitterFrac: 0.2},
+			[]Phase{
+				{Scenario: Scenario{Name: "flaky", TransferFailProb: 0.3, MaxConsecutiveFails: 3}, Onset: ms(1), Duration: ms(3)},
+				{Scenario: Scenario{Name: "stalls", MigratorStallProb: 0.5, MigratorStallTime: ms(1)}, Onset: ms(2), Duration: ms(4)},
+			}, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return in
+	}
+	a, b := build(), build()
+	var now sim.Time
+	a.SetClock(func() sim.Time { return now })
+	b.SetClock(func() sim.Time { return now })
+	for i := 0; i < 2000; i++ {
+		now = sim.Time(sim.Duration(i) * 3 * time.Microsecond)
+		da, fa := a.PerturbTransfer(now, 4096, sim.HostToDevice, 500)
+		db, fb := b.PerturbTransfer(now, 4096, sim.HostToDevice, 500)
+		if da != db || fa != fb {
+			t.Fatalf("step %d: transfers diverged (%v,%v) vs (%v,%v)", i, da, fa, db, fb)
+		}
+		if sa, sb := a.MigratorStall(), b.MigratorStall(); sa != sb {
+			t.Fatalf("step %d: stalls diverged %v vs %v", i, sa, sb)
+		}
+	}
+	if a.Stats != b.Stats {
+		t.Fatalf("stats diverged:\n a %+v\n b %+v", a.Stats, b.Stats)
+	}
+	if a.Stats.TransferFailures == 0 || a.Stats.MigratorStalls == 0 {
+		t.Fatalf("schedule never fired its phases: %+v", a.Stats)
+	}
+}
+
+func TestScheduledTablePressureIsWholeRun(t *testing.T) {
+	// Correlation tables are sized once at startup, so a phase's table
+	// pressure applies for the whole run even before its window opens.
+	in, err := NewScheduledInjector(Scenario{}, []Phase{
+		{Scenario: Scenario{Name: "tiny", TableRowsDivisor: 8}, Onset: ms(100)},
+	}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := in.ShrinkTables(correlation.BlockTableConfig{NumRows: 64, Assoc: 4})
+	if cfg.NumRows != 8 {
+		t.Fatalf("NumRows = %d, want 8", cfg.NumRows)
+	}
+}
+
+func TestPhasesAccessorAndFormat(t *testing.T) {
+	var nilIn *Injector
+	if nilIn.Phases() != nil {
+		t.Error("nil injector returned phases")
+	}
+	phases := []Phase{
+		{Scenario: Scenario{Name: "flaky-link"}, Onset: ms(2), Duration: ms(1)},
+		{Scenario: Scenario{Name: "fault-storm"}, Onset: ms(1), Duration: ms(3)},
+	}
+	in, err := NewScheduledInjector(Scenario{Name: "soak"}, phases, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := in.Phases()
+	if len(got) != 2 || got[0].Scenario.Name != "fault-storm" {
+		t.Fatalf("Phases() = %+v (want onset-sorted copy)", got)
+	}
+	got[0].Onset = ms(99) // the copy must not alias injector state
+	if in.Phases()[0].Onset != ms(1) {
+		t.Error("Phases() aliases injector state")
+	}
+	s := FormatPhases(in.Phases())
+	if !strings.Contains(s, "fault-storm@1000us+3000us") ||
+		!strings.Contains(s, "flaky-link@2000us+1000us") {
+		t.Errorf("FormatPhases = %q", s)
+	}
+}

@@ -139,7 +139,26 @@ type Driver struct {
 	obs      *obs.Recorder
 	obsClock func() int64
 
+	// gate, when set, lets the health controller's degradation ladder
+	// throttle speculation at the enqueue point.
+	gate HealthGate
+
 	Stats Stats
+}
+
+// HealthGate is the slice of the degradation ladder the prefetching thread
+// consults before creating new speculation (internal/health implements it).
+// Everything here bounds prediction work only — the demand path never goes
+// through the gate.
+type HealthGate interface {
+	// AllowPrefetchEnqueue reports whether new prefetch commands may be
+	// queued at all (false at L3, pure demand).
+	AllowPrefetchEnqueue() bool
+	// SpeculativeRequeue reports whether evicted-but-still-predicted blocks
+	// may be re-queued (false from L1 up: chained-correlation only).
+	SpeculativeRequeue() bool
+	// DegreeCap bounds the effective chaining degree for the current level.
+	DegreeCap(base int) int
 }
 
 // Compile-time interface checks.
@@ -257,6 +276,15 @@ func (d *Driver) fillQueue(budget int) {
 	if d.cursor == nil {
 		return
 	}
+	degree := d.opts.Degree
+	if d.gate != nil {
+		if !d.gate.AllowPrefetchEnqueue() {
+			return // ladder at L3: the chain keeps learning, but issues nothing
+		}
+		if degree = d.gate.DegreeCap(degree); degree < 1 {
+			return
+		}
+	}
 	// Throttle: the predicted set must fit comfortably in device memory or
 	// prefetching would evict its own earlier predictions.
 	protectLimit := int64(1) << 62
@@ -265,7 +293,7 @@ func (d *Driver) fillQueue(budget int) {
 	}
 	for budget > 0 && d.qlen() < maxQueue &&
 		int64(len(d.protected)) < protectLimit &&
-		d.cursor.Kernels()-d.completedInChain < d.opts.Degree {
+		d.cursor.Kernels()-d.completedInChain < degree {
 		b, exec := d.cursor.Next()
 		if b == um.NoBlock {
 			d.Stats.PredictionFails++
@@ -304,6 +332,10 @@ func (d *Driver) SetObserver(rec *obs.Recorder, clock func() int64) {
 	d.obsClock = clock
 }
 
+// SetHealthGate installs the degradation-ladder gate consulted before new
+// speculation is queued; nil disables gating.
+func (d *Driver) SetHealthGate(g HealthGate) { d.gate = g }
+
 // noteIssue emits a prefetch-issue event when tracing is attached.
 func (d *Driver) noteIssue(b um.BlockID) {
 	if d.obs != nil {
@@ -319,6 +351,9 @@ func (d *Driver) noteIssue(b um.BlockID) {
 func (d *Driver) NoteEviction(b um.BlockID) {
 	if !d.opts.Prefetch {
 		return
+	}
+	if d.gate != nil && !d.gate.SpeculativeRequeue() {
+		return // ladder at L1+: only the chain itself may issue commands
 	}
 	if _, p := d.protected[b]; !p {
 		return

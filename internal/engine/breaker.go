@@ -73,6 +73,9 @@ type prefetchBreaker struct {
 
 	// obs, when attached, receives a breaker event per transition.
 	obs *obs.Recorder
+	// onTransition, when attached, feeds transitions to the health
+	// controller (the breaker is one ladder input, see internal/health).
+	onTransition func(now sim.Time, from, to string)
 }
 
 func newPrefetchBreaker(threshold int, cooldown sim.Duration) *prefetchBreaker {
@@ -140,6 +143,9 @@ func (b *prefetchBreaker) transition(now sim.Time, to, reason string) {
 	b.log.Record(int64(now), b.state, to, reason)
 	if b.obs != nil {
 		b.obs.Instant(obs.KindBreaker, obs.TrackBreaker, int64(now), b.state+"->"+to, 0, 0, 0)
+	}
+	if b.onTransition != nil {
+		b.onTransition(now, b.state, to)
 	}
 	b.state = to
 }

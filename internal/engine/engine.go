@@ -16,6 +16,7 @@ import (
 	"deepum/internal/chaos"
 	"deepum/internal/core"
 	"deepum/internal/correlation"
+	"deepum/internal/health"
 	"deepum/internal/obs"
 	"deepum/internal/sim"
 	"deepum/internal/torchalloc"
@@ -89,6 +90,15 @@ type Config struct {
 	// migration-thread stalls. Injection is deterministic per injector seed.
 	// The invariant checker runs regardless of whether Chaos is set.
 	Chaos *chaos.Injector
+	// Health, when set, attaches the closed-loop health controller: the
+	// run's degradation telemetry (transfer failures/retries, prefetch
+	// waste and late hits, fault-batch latency, breaker transitions,
+	// migrator stalls) feeds per-component EWMA scores, and the resulting
+	// ladder level gates speculation — prefetch issue and enqueue, chaining
+	// degree, pre-eviction, fault-batch size, eviction policy. Nil (the
+	// default) disables the ladder entirely; the demand path is never
+	// gated, so correctness is identical at every level.
+	Health *health.Controller
 
 	// Ctx supervises the run: once it is cancelled or its deadline expires,
 	// the run stops at the next simulated event, drains demand work,
@@ -157,6 +167,15 @@ type Result struct {
 	// DiscardedPrefetches counts queued prefetch commands thrown away when
 	// the run was interrupted (demand work drains; speculation does not).
 	DiscardedPrefetches int64
+	// Health summarizes the degradation ladder when Config.Health was set
+	// (nil otherwise): final and max level, transition log, peak scores.
+	Health *health.Report
+	// AccessChecksum is an FNV-1a digest of the ordered GPU access sequence
+	// (block, pages, write per touch). The sequence depends only on the
+	// workload and Seed — never on timing, chaos, or the ladder level — so
+	// equal checksums across configurations certify that degradation
+	// changed scheduling, not computation.
+	AccessChecksum uint64
 }
 
 // IterTime returns the mean measured iteration time.
@@ -217,7 +236,8 @@ type exec struct {
 	rt      *umrt.Runtime
 	driver  *core.Driver // nil for PolicyUM / PolicyIdeal
 	rng     *rand.Rand
-	chaos   *chaos.Injector // nil-safe: methods on a nil injector inject nothing
+	chaos   *chaos.Injector    // nil-safe: methods on a nil injector inject nothing
+	health  *health.Controller // nil-safe: a nil controller never degrades
 
 	bases      map[workload.TensorID]um.Addr
 	inputs     []workload.TensorID
@@ -251,6 +271,9 @@ type exec struct {
 	touchBuf []touch
 	groupBuf []um.FaultGroup
 
+	// accessSum folds every touch in program order (see Result.AccessChecksum).
+	accessSum uint64
+
 	tracer        *trace.Recorder
 	obs           *obs.Recorder
 	currentKernel string
@@ -277,11 +300,19 @@ func newExec(cfg Config) (*exec, error) {
 		alloc:      torchalloc.New(space),
 		rng:        rand.New(rand.NewSource(cfg.Seed + 1)),
 		chaos:      cfg.Chaos,
+		health:     cfg.Health,
 		bases:      make(map[workload.TensorID]um.Addr),
 		prefetched: make(map[um.BlockID]bool),
+		accessSum:  fnvOffset,
 	}
 	if e.chaos != nil {
 		e.link.SetPerturber(e.chaos)
+		// Phased (scheduled) injection needs to locate itself in virtual
+		// time; static scenarios ignore the clock.
+		e.chaos.SetClock(func() sim.Time { return e.now })
+	}
+	if e.health != nil {
+		e.health.SetObserver(cfg.Obs)
 	}
 	e.ctx = cfg.Ctx
 	// Virtual-time deadline: explicit config first, else the chaos
@@ -317,9 +348,29 @@ func newExec(cfg Config) (*exec, error) {
 		e.driver = core.NewDriver(cfg.DriverOptions)
 		policy = e.driver
 		invalidator = e.driver
+		if e.health != nil {
+			// The ladder gates speculation at its source (the enqueue point)
+			// and, at L3, drops victim selection back to stock LRM — the
+			// protected-set predictions are speculation the run no longer
+			// honors.
+			e.driver.SetHealthGate(e.health)
+			policy = um.SwitchPolicy{
+				Base:        e.driver,
+				Fallback:    um.LRMPolicy{},
+				UseFallback: e.health.UseFallbackEviction,
+			}
+		}
 		if e.driver.Options().Prefetch {
 			e.breaker = newPrefetchBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown)
 			e.breaker.obs = cfg.Obs
+			if e.health != nil {
+				// The breaker stays intact as a fast local mechanism; its
+				// transitions become one (severe) input to the ladder.
+				hc := e.health
+				e.breaker.onTransition = func(now sim.Time, from, to string) {
+					hc.ObserveBreaker(int64(now), from, to)
+				}
+			}
 		}
 		e.driver.SetResidencyProbe(func(b um.BlockID) bool {
 			return e.space.Block(b).Resident
@@ -339,6 +390,15 @@ func newExec(cfg Config) (*exec, error) {
 		DensityPrefetch: cfg.UMDensityPrefetch,
 		Ctx:             cfg.Ctx,
 		Obs:             cfg.Obs,
+	}
+	if e.health != nil {
+		hc := e.health
+		e.handler.OnBatch = func(start, end sim.Time, blocks int) {
+			hc.ObserveFaultBatch(int64(end), int64(end.Sub(start)))
+		}
+		e.handler.OnTransferRetry = func(at sim.Time) {
+			hc.ObserveTransferFailure(int64(at))
+		}
 	}
 	if rec := cfg.Obs; rec != nil {
 		// Link occupancy: every reservation on either lane becomes one span,
@@ -376,9 +436,12 @@ func newExec(cfg Config) (*exec, error) {
 		}
 	}
 	e.handler.OnEvicted = func(b um.BlockID, invalidated bool) {
-		if e.obs != nil && e.prefetched[b] {
+		if e.prefetched[b] {
 			// Prefetched, never accessed, now evicted: the transfer was waste.
-			e.obs.Instant(obs.KindPrefetchWaste, obs.TrackDriver, int64(e.now), "", int64(b), 0, 0)
+			if e.obs != nil {
+				e.obs.Instant(obs.KindPrefetchWaste, obs.TrackDriver, int64(e.now), "", int64(b), 0, 0)
+			}
+			e.health.ObservePrefetchWaste(int64(e.now))
 		}
 		delete(e.prefetched, b)
 		if e.evictedInCycle != nil {
@@ -520,7 +583,11 @@ func (e *exec) run() (*Result, error) {
 	// Finalize — valid for complete and partial runs alike. A run cut during
 	// warmup never opened the measurement window, so the window degenerates
 	// to [0, now) with zero measured iterations.
-	if e.status == StatusCompleted && (e.invariant != nil || (e.breaker != nil && e.breaker.opens > 0)) {
+	// A final ladder tick so post-injection recovery observed up to the last
+	// event is reflected in the report.
+	e.health.Tick(int64(e.now))
+	if e.status == StatusCompleted && (e.invariant != nil ||
+		(e.breaker != nil && e.breaker.opens > 0) || e.health.MaxLevel() > health.L0) {
 		e.status = StatusDegraded
 	}
 	res.Status = e.status
@@ -544,6 +611,8 @@ func (e *exec) run() (*Result, error) {
 		res.Tables = e.driver.Tables()
 	}
 	res.Breaker = e.breaker.snapshot()
+	res.Health = e.health.Report()
+	res.AccessChecksum = e.accessSum
 	res.TrafficH2D, res.TrafficD2H = e.link.Traffic()
 	res.PeakAllocBytes = e.alloc.Stats().PeakActiveBytes
 	res.EnergyJoules = e.energy(res)
@@ -626,6 +695,10 @@ func (e *exec) kernel(k *workload.Kernel) error {
 		e.status = StatusCancelled
 		return errRunInterrupted
 	}
+	// The ladder is clocked at kernel boundaries: scores decay to the
+	// current time and a pending escalation or recovery probe fires here,
+	// deterministically in virtual time.
+	e.health.Tick(int64(e.now))
 	id := e.rt.Launch(k.Name, k.Args)
 	e.currentKernel = k.Name
 	kernelStart := e.now
@@ -640,6 +713,7 @@ func (e *exec) kernel(k *workload.Kernel) error {
 	// serviceable; demand faults still handle at full priority.
 	if st := e.chaos.MigratorStall(); st > 0 {
 		e.cmdTime = e.cmdTime.Add(st)
+		e.health.ObserveMigratorStall(int64(e.now), int64(st))
 	}
 	e.pump(e.now)
 
@@ -647,6 +721,7 @@ func (e *exec) kernel(k *workload.Kernel) error {
 	var bytesTouched int64
 	for _, t := range touches {
 		bytesTouched += t.pages * sim.PageSize
+		e.accessSum = fnvFold(e.accessSum, t)
 	}
 
 	i := 0
@@ -656,7 +731,8 @@ func (e *exec) kernel(k *workload.Kernel) error {
 		}
 		t := touches[i]
 		blk := e.space.Block(t.block)
-		if !blk.Resident && e.driver != nil && e.breaker.allow(e.now) && e.driver.TakeQueued(t.block) {
+		if !blk.Resident && e.driver != nil && e.breaker.allow(e.now) &&
+			e.health.AllowPrefetch() && e.driver.TakeQueued(t.block) {
 			// A prefetch command for this block is already in the queue:
 			// the migration thread runs it ahead of the remaining queue
 			// (fault avoided; the GPU stalls on the in-flight transfer).
@@ -694,6 +770,9 @@ func (e *exec) kernel(k *workload.Kernel) error {
 					e.obs.Instant(obs.KindPrefetchHit, obs.TrackGPU, int64(e.now),
 						"", int64(t.block), lead, 0)
 				}
+				if lead < 0 {
+					e.health.ObserveLateHit(int64(e.now))
+				}
 			}
 			i++
 			continue
@@ -704,14 +783,15 @@ func (e *exec) kernel(k *workload.Kernel) error {
 		e.groupBuf = e.groupBuf[:0]
 		// Fault-buffer overflow chaos shrinks the cycle: excess entries
 		// replay in the next cycle, as a full hardware buffer forces.
-		batchCap := e.chaos.FaultBatchCap(e.cfg.MaxFaultBatch)
+		batchCap := e.health.FaultBatchCap(e.chaos.FaultBatchCap(e.cfg.MaxFaultBatch))
 		j := i
 		for j < len(touches) && len(e.groupBuf) < batchCap {
 			tj := touches[j]
 			if e.space.Block(tj.block).Resident {
 				break
 			}
-			if e.driver != nil && e.breaker.allow(e.now) && e.driver.TakeQueued(tj.block) {
+			if e.driver != nil && e.breaker.allow(e.now) &&
+				e.health.AllowPrefetch() && e.driver.TakeQueued(tj.block) {
 				e.materialize(tj.block)
 				break
 			}
@@ -846,8 +926,10 @@ func (e *exec) pump(until sim.Time) {
 		return
 	}
 	// Pre-eviction off the critical path, on the D2H lane. Victims are
-	// never blocks predicted for the next N kernels (§5.1).
-	if target := e.driver.PreevictTarget(e.res); target > 0 {
+	// never blocks predicted for the next N kernels (§5.1). The ladder
+	// disables it from L2 up — a sick substrate keeps the D2H lane for
+	// demand writebacks only.
+	if target := e.driver.PreevictTarget(e.res); target > 0 && e.health.AllowPreevict() {
 		victims, _ := e.driver.VictimsForPrefetch(e.res, target)
 		for _, v := range victims {
 			if e.link.BusyUntil(sim.DeviceToHost) >= until {
@@ -863,7 +945,7 @@ func (e *exec) pump(until sim.Time) {
 		if e.link.BusyUntil(sim.HostToDevice) >= until {
 			return
 		}
-		if !e.breaker.allow(until) {
+		if !e.breaker.allow(until) || !e.health.AllowPrefetch() {
 			return
 		}
 		cmd, ok := e.nextPrefetch()
@@ -967,20 +1049,25 @@ func (e *exec) prefetchTransfer(at sim.Time, need int64) (ready sim.Time, ok boo
 		_, end, delivered := e.link.ReserveChecked(at, need, sim.HostToDevice)
 		if delivered {
 			e.breaker.success(end)
+			e.health.ObserveTransferSuccess(int64(end))
 			return end, true
 		}
 		e.breaker.failure(end)
+		e.health.ObserveTransferFailure(int64(end))
 		if attempt >= chaos.MaxPrefetchRetries {
 			e.chaos.NotePrefetchGiveUp()
+			e.health.ObservePrefetchGiveUp(int64(end))
 			return end, false
 		}
 		if !e.breaker.allow(end) {
 			// The breaker opened on this failure: abandon the command without
 			// burning the remaining retries — on-demand faulting serves it.
 			e.chaos.NotePrefetchGiveUp()
+			e.health.ObservePrefetchGiveUp(int64(end))
 			return end, false
 		}
 		e.chaos.NotePrefetchRetry()
+		e.health.ObservePrefetchRetry(int64(end))
 		at = end.Add(e.chaos.Backoff(attempt))
 	}
 }
@@ -1010,10 +1097,13 @@ func (e *exec) evictBackground(v um.BlockID, countPreevict bool) {
 	wb := vb.ResidentBytes()
 	_, end := e.link.Reserve(sim.Max(e.cmdTime, e.link.BusyUntil(sim.DeviceToHost)), wb, sim.DeviceToHost)
 	vb.HostPopulated = true
-	if e.obs != nil {
-		if e.prefetched[v] {
+	if e.prefetched[v] {
+		if e.obs != nil {
 			e.obs.Instant(obs.KindPrefetchWaste, obs.TrackDriver, int64(e.now), "", int64(v), 0, 0)
 		}
+		e.health.ObservePrefetchWaste(int64(e.now))
+	}
+	if e.obs != nil {
 		e.obs.Instant(obs.KindEvict, obs.TrackDriver, int64(end), "", int64(v), wb, 0)
 	}
 	e.res.Remove(v)
@@ -1022,6 +1112,29 @@ func (e *exec) evictBackground(v um.BlockID, countPreevict bool) {
 	if countPreevict {
 		e.driver.NotePreeviction()
 	}
+}
+
+// FNV-1a over the touch stream (Result.AccessChecksum).
+const (
+	fnvOffset = uint64(14695981039346656037)
+	fnvPrime  = uint64(1099511628211)
+)
+
+func fnvFold(h uint64, t touch) uint64 {
+	for _, v := range [3]uint64{uint64(t.block), uint64(t.pages), boolBit(t.write)} {
+		for i := 0; i < 8; i++ {
+			h ^= (v >> (8 * i)) & 0xff
+			h *= fnvPrime
+		}
+	}
+	return h
+}
+
+func boolBit(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // DebugHook, when set, is called for every demand-faulted block with a tag

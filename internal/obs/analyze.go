@@ -57,6 +57,14 @@ type Analysis struct {
 	// Breaker transitions, in order.
 	BreakerTransitions []string
 
+	// Health-controller timeline: degradation-ladder transitions in order
+	// ("L0->L1" labels), the highest level reached, the final level, and
+	// the per-component peak score (0..1) sampled from the trace.
+	HealthTransitions []string
+	HealthMaxLevel    int64
+	HealthFinalLevel  int64
+	HealthScorePeak   map[string]float64
+
 	// QueueDepthMax holds the maximum sampled depth per queue name.
 	QueueDepthMax map[string]int64
 }
@@ -71,7 +79,8 @@ type HistBucket struct {
 // Analyze digests an event stream (live from a Recorder or round-tripped
 // through ReadChromeTrace).
 func Analyze(events []Event) *Analysis {
-	a := &Analysis{Events: len(events), QueueDepthMax: map[string]int64{}}
+	a := &Analysis{Events: len(events), QueueDepthMax: map[string]int64{},
+		HealthScorePeak: map[string]float64{}}
 	if len(events) == 0 {
 		return a
 	}
@@ -132,6 +141,16 @@ func Analyze(events []Event) *Analysis {
 			a.StallNs += e.Arg
 		case KindBreaker:
 			a.BreakerTransitions = append(a.BreakerTransitions, e.Name)
+		case KindHealth:
+			if strings.Contains(e.Name, "->") {
+				a.HealthTransitions = append(a.HealthTransitions, e.Name)
+				a.HealthFinalLevel = e.Arg
+				if e.Arg > a.HealthMaxLevel {
+					a.HealthMaxLevel = e.Arg
+				}
+			} else if s := float64(e.Arg) / 1e6; s > a.HealthScorePeak[e.Name] {
+				a.HealthScorePeak[e.Name] = s
+			}
 		case KindQueueDepth:
 			if e.Arg > a.QueueDepthMax[e.Name] {
 				a.QueueDepthMax[e.Name] = e.Arg
@@ -192,11 +211,28 @@ func Check(events []Event) error {
 		set bool
 	}
 	var lanes [numTracks]laneEnd
+	healthLevel := int64(0)
 	for i, e := range events {
 		if e.Dur < 0 {
 			return fmt.Errorf("trace invariant: event %d (%s) has negative duration %d", i, e.Kind, e.Dur)
 		}
 		switch e.Kind {
+		case KindHealth:
+			if !strings.Contains(e.Name, "->") {
+				break // score sample, not a transition
+			}
+			// The ladder is graduated: every transition moves exactly one
+			// level, inside [L0, L3].
+			to := e.Arg
+			if to < 0 || to > 3 {
+				return fmt.Errorf("trace invariant: health transition %q at %d ns targets level %d outside [0,3]",
+					e.Name, e.TS, to)
+			}
+			if d := to - healthLevel; d != 1 && d != -1 {
+				return fmt.Errorf("trace invariant: health transition %q at %d ns jumps from L%d to L%d (must move one level)",
+					e.Name, e.TS, healthLevel, to)
+			}
+			healthLevel = to
 		case KindFaultBatch:
 			if e.Arg <= 0 {
 				return fmt.Errorf("trace invariant: fault batch at %d ns faults %d pages (must be >= 1)", e.TS, e.Arg)
@@ -260,6 +296,25 @@ func (a *Analysis) String() string {
 	fmt.Fprintf(&b, "gpu stalls on in-flight migrations: %d for %s\n", a.Stalls, fmtNs(a.StallNs))
 	if len(a.BreakerTransitions) > 0 {
 		fmt.Fprintf(&b, "breaker: %s\n", strings.Join(a.BreakerTransitions, ", "))
+	}
+	if len(a.HealthTransitions) > 0 || len(a.HealthScorePeak) > 0 {
+		fmt.Fprintf(&b, "health: max L%d, final L%d", a.HealthMaxLevel, a.HealthFinalLevel)
+		if len(a.HealthTransitions) > 0 {
+			fmt.Fprintf(&b, "; ladder %s", strings.Join(a.HealthTransitions, ", "))
+		}
+		fmt.Fprintf(&b, "\n")
+		if len(a.HealthScorePeak) > 0 {
+			comps := make([]string, 0, len(a.HealthScorePeak))
+			for c := range a.HealthScorePeak {
+				comps = append(comps, c)
+			}
+			sort.Strings(comps)
+			fmt.Fprintf(&b, "  peak scores:")
+			for _, c := range comps {
+				fmt.Fprintf(&b, " %s=%.2f", c, a.HealthScorePeak[c])
+			}
+			fmt.Fprintf(&b, "\n")
+		}
 	}
 	if len(a.QueueDepthMax) > 0 {
 		names := make([]string, 0, len(a.QueueDepthMax))

@@ -21,10 +21,13 @@ import (
 // Timestamps are microseconds (the format's unit) with nanosecond
 // precision preserved in the fractional part. Both timestamps and args
 // ride through JSON numbers (float64), so the exact round-trip holds for
-// timestamps below 2^52 ns (~52 days of simulated time) and arg values
-// below 2^53; larger values lose low-order bits. Simulated clocks start
-// at zero and block IDs/arg payloads are small, so the bound is not
-// reachable at simulation scale.
+// timestamps below 2^51 ns (~26 days of simulated time) and arg values
+// below 2^53; larger values lose low-order bits. (Args convert directly,
+// so they are exact up to 2^53; timestamps pass through a /1e3 then *1e3,
+// whose two half-ulp rounding errors stay under the 0.5 ns rounding
+// threshold only while ts/1e3 < 2^42 — the 2^51 bound keeps a margin
+// under that.) Simulated clocks start at zero and block IDs/arg payloads
+// are small, so the bound is not reachable at simulation scale.
 
 // tracePID is the single simulated process all events belong to.
 const tracePID = 1
@@ -175,8 +178,8 @@ func ReadChromeTrace(r io.Reader) ([]Event, error) {
 		default:
 			return nil, schemaErr(i, "unsupported phase %q", ce.Ph)
 		}
-		if ce.TS < 0 {
-			return nil, schemaErr(i, "negative ts %v", ce.TS)
+		if err := checkTimeField(i, "ts", ce.TS); err != nil {
+			return nil, err
 		}
 		if ce.TS < lastTS {
 			return nil, schemaErr(i, "ts %v goes backwards (previous %v)", ce.TS, lastTS)
@@ -187,8 +190,8 @@ func ReadChromeTrace(r io.Reader) ([]Event, error) {
 			if ce.Dur == nil {
 				return nil, schemaErr(i, "complete event without dur")
 			}
-			if *ce.Dur < 0 {
-				return nil, schemaErr(i, "negative dur %v", *ce.Dur)
+			if err := checkTimeField(i, "dur", *ce.Dur); err != nil {
+				return nil, err
 			}
 			e.Dur = int64(math.Round(*ce.Dur * 1e3))
 		}
@@ -200,17 +203,30 @@ func ReadChromeTrace(r io.Reader) ([]Event, error) {
 		if !ok {
 			return nil, schemaErr(i, "unknown kind %q", ks)
 		}
+		// Counter samples and the "C" phase imply each other; a mismatch
+		// (e.g. a queue-depth sample written as a complete event with a
+		// duration) has no faithful in-memory form — the writer would drop
+		// the duration on the way back out.
+		if (k == KindQueueDepth) != (ce.Ph == "C") {
+			return nil, schemaErr(i, "phase %q does not match kind %q", ce.Ph, ks)
+		}
 		e.Kind = k
+		var argErr error
 		if k == KindQueueDepth {
 			e.Name = ce.Name
-			e.Arg = argInt(ce.Args, "value")
+			e.Arg, argErr = argInt(ce.Args, "value")
 		} else {
 			if ce.Name != k.String() {
 				e.Name = ce.Name
 			}
-			e.Block = argInt(ce.Args, "block")
-			e.Arg = argInt(ce.Args, "a")
-			e.Arg2 = argInt(ce.Args, "b")
+			if e.Block, argErr = argInt(ce.Args, "block"); argErr == nil {
+				if e.Arg, argErr = argInt(ce.Args, "a"); argErr == nil {
+					e.Arg2, argErr = argInt(ce.Args, "b")
+				}
+			}
+		}
+		if argErr != nil {
+			return nil, schemaErr(i, "%v", argErr)
 		}
 		events = append(events, e)
 	}
@@ -220,9 +236,44 @@ func ReadChromeTrace(r io.Reader) ([]Event, error) {
 	return events, nil
 }
 
-func argInt(args map[string]any, key string) int64 {
-	if v, ok := args[key].(float64); ok {
-		return int64(v)
+// Precision bounds (see the package comment above): JSON numbers are
+// float64, so timestamps/durations are exact only below 2^51 ns and args
+// below 2^53. The reader rejects values outside those bounds — together
+// with NaN/Inf, which would otherwise sail through the sign checks (every
+// comparison against NaN is false) and hit implementation-defined behavior
+// in the float-to-int conversion. Inside the bound, read→write→read is a
+// fixed point: the rounded ns value survives the µs conversion exactly,
+// which the fuzz harness leans on.
+const (
+	maxExactNs  = float64(int64(1) << 51) // in ns, i.e. µs field * 1e3
+	maxExactArg = float64(int64(1) << 53)
+)
+
+// checkTimeField validates a µs-denominated ts/dur field: finite,
+// non-negative, and inside the exact-round-trip precision bound.
+func checkTimeField(i int, name string, v float64) error {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return schemaErr(i, "%s %v is not finite", name, v)
 	}
-	return 0
+	if v < 0 {
+		return schemaErr(i, "negative %s %v", name, v)
+	}
+	if v*1e3 > maxExactNs {
+		return schemaErr(i, "%s %v exceeds the 2^51 ns precision bound", name, v)
+	}
+	return nil
+}
+
+func argInt(args map[string]any, key string) (int64, error) {
+	v, ok := args[key].(float64)
+	if !ok {
+		return 0, nil
+	}
+	if math.IsNaN(v) || math.IsInf(v, 0) || v > maxExactArg || v < -maxExactArg {
+		return 0, fmt.Errorf("args.%s %v outside the exact integer range", key, v)
+	}
+	if v != math.Trunc(v) {
+		return 0, fmt.Errorf("args.%s %v is not an integer", key, v)
+	}
+	return int64(v), nil
 }

@@ -1,0 +1,118 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// healthTransition builds a ladder-transition event as the health
+// controller emits it: Name "Lx->Ly", Arg = destination level.
+func healthTransition(ts int64, name string, to int64) Event {
+	return Event{TS: ts, Kind: KindHealth, Track: TrackHealth, Name: name, Arg: to}
+}
+
+// healthScore builds a score-sample event: Name = component, Arg = score
+// scaled by 1e6.
+func healthScore(ts int64, comp string, scaled int64) Event {
+	return Event{TS: ts, Kind: KindHealth, Track: TrackHealth, Name: comp, Arg: scaled}
+}
+
+func TestAnalyzeHealthTimeline(t *testing.T) {
+	events := []Event{
+		{TS: 0, Dur: 10_000, Kind: KindIteration, Track: TrackRun},
+		healthScore(100, "link", 310_000),
+		healthTransition(200, "L0->L1", 1),
+		healthScore(250, "link", 720_000),
+		healthTransition(300, "L1->L2", 2),
+		healthScore(400, "prefetcher", 150_000),
+		healthTransition(5_000, "L2->L1", 1),
+		healthTransition(9_000, "L1->L0", 0),
+		healthScore(9_500, "link", 50_000),
+	}
+	a := Analyze(events)
+	wantLadder := []string{"L0->L1", "L1->L2", "L2->L1", "L1->L0"}
+	if len(a.HealthTransitions) != len(wantLadder) {
+		t.Fatalf("transitions %v, want %v", a.HealthTransitions, wantLadder)
+	}
+	for i, w := range wantLadder {
+		if a.HealthTransitions[i] != w {
+			t.Fatalf("transition %d = %q, want %q", i, a.HealthTransitions[i], w)
+		}
+	}
+	if a.HealthMaxLevel != 2 {
+		t.Errorf("max level %d, want 2", a.HealthMaxLevel)
+	}
+	if a.HealthFinalLevel != 0 {
+		t.Errorf("final level %d, want 0", a.HealthFinalLevel)
+	}
+	// Peak score is the per-component maximum, unscaled back to [0,1].
+	if got := a.HealthScorePeak["link"]; got != 0.72 {
+		t.Errorf("link peak %.3f, want 0.72", got)
+	}
+	if got := a.HealthScorePeak["prefetcher"]; got != 0.15 {
+		t.Errorf("prefetcher peak %.3f, want 0.15", got)
+	}
+
+	// The rendered report carries the timeline for deepum-inspect.
+	s := a.String()
+	if !strings.Contains(s, "health: max L2, final L0") {
+		t.Errorf("report missing health summary:\n%s", s)
+	}
+	if !strings.Contains(s, "ladder L0->L1, L1->L2, L2->L1, L1->L0") {
+		t.Errorf("report missing ladder timeline:\n%s", s)
+	}
+	if !strings.Contains(s, "link=0.72") || !strings.Contains(s, "prefetcher=0.15") {
+		t.Errorf("report missing peak scores:\n%s", s)
+	}
+}
+
+func TestAnalyzeNoHealthEventsNoSection(t *testing.T) {
+	a := Analyze([]Event{{TS: 0, Dur: 10_000, Kind: KindIteration, Track: TrackRun}})
+	if len(a.HealthTransitions) != 0 || len(a.HealthScorePeak) != 0 {
+		t.Fatalf("phantom health data: %+v", a)
+	}
+	if strings.Contains(a.String(), "health:") {
+		t.Errorf("health section rendered without health events:\n%s", a.String())
+	}
+}
+
+func TestCheckHealthLadderGraduated(t *testing.T) {
+	ok := []Event{
+		healthScore(50, "link", 700_000), // samples are not transitions
+		healthTransition(100, "L0->L1", 1),
+		healthTransition(200, "L1->L2", 2),
+		healthTransition(300, "L2->L1", 1),
+		healthTransition(400, "L1->L0", 0),
+	}
+	if err := Check(ok); err != nil {
+		t.Fatalf("valid ladder rejected: %v", err)
+	}
+
+	jump := []Event{healthTransition(100, "L0->L2", 2)}
+	if err := Check(jump); err == nil || !strings.Contains(err.Error(), "jumps") {
+		t.Fatalf("two-rung jump not caught: %v", err)
+	}
+
+	// A descent that skips a rung is just as invalid as an ascent.
+	skipDown := []Event{
+		healthTransition(100, "L0->L1", 1),
+		healthTransition(200, "L1->L2", 2),
+		healthTransition(300, "L2->L0", 0),
+	}
+	if err := Check(skipDown); err == nil || !strings.Contains(err.Error(), "jumps") {
+		t.Fatalf("two-rung descent not caught: %v", err)
+	}
+
+	outOfRange := []Event{healthTransition(100, "L3->L4", 4)}
+	if err := Check(outOfRange); err == nil || !strings.Contains(err.Error(), "outside") {
+		t.Fatalf("out-of-range level not caught: %v", err)
+	}
+
+	repeat := []Event{
+		healthTransition(100, "L0->L1", 1),
+		healthTransition(300, "L1->L1", 1), // no-op "transition"
+	}
+	if err := Check(repeat); err == nil || !strings.Contains(err.Error(), "jumps") {
+		t.Fatalf("self-transition not caught: %v", err)
+	}
+}

@@ -69,6 +69,11 @@ const (
 	KindQueueDepth
 	// KindMark is a generic instant annotation. Name = label.
 	KindMark
+	// KindHealth is a health-controller sample. Ladder transitions carry
+	// Name = "L<from>-><L<to>" with Arg = new level and Arg2 = the driving
+	// component; score samples carry Name = component name with Arg = score
+	// in parts-per-million and Arg2 = the component.
+	KindHealth
 )
 
 // Evict flag bits for KindEvict.Arg2.
@@ -109,13 +114,15 @@ func (k Kind) String() string {
 		return "queue-depth"
 	case KindMark:
 		return "mark"
+	case KindHealth:
+		return "health"
 	}
 	return "none"
 }
 
 // kindByName is the inverse of Kind.String, used by the trace reader.
 func kindByName(s string) (Kind, bool) {
-	for k := KindIteration; k <= KindMark; k++ {
+	for k := KindIteration; k <= KindHealth; k++ {
 		if k.String() == s {
 			return k, true
 		}
@@ -144,6 +151,9 @@ const (
 	TrackBreaker
 	// TrackPipeline carries the concurrent pipeline's wall-clock samples.
 	TrackPipeline
+	// TrackHealth carries degradation-ladder transitions and component
+	// score samples.
+	TrackHealth
 	numTracks
 )
 
@@ -165,6 +175,8 @@ func (t Track) String() string {
 		return "breaker"
 	case TrackPipeline:
 		return "pipeline"
+	case TrackHealth:
+		return "health"
 	}
 	return "unknown"
 }

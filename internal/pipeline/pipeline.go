@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"deepum/internal/correlation"
+	"deepum/internal/health"
 	"deepum/internal/obs"
 	"deepum/internal/um"
 )
@@ -133,6 +134,10 @@ type Driver struct {
 	// runs on the wall clock, so timestamps are nanoseconds since obsEpoch.
 	obsRec   *obs.Recorder
 	obsEpoch time.Time
+
+	// health, when attached, receives stage-restart impulses (wall-clock
+	// timestamps on the obsEpoch origin).
+	health *health.Controller
 }
 
 // NewDriver constructs the pipeline with the given correlation-table
@@ -166,6 +171,16 @@ func (d *Driver) SetObserver(rec *obs.Recorder) {
 }
 
 func (d *Driver) obsNow() int64 { return time.Since(d.obsEpoch).Nanoseconds() }
+
+// SetHealth attaches a health controller fed by stage restarts; call before
+// Start. The controller is shared-state safe, so the same instance may also
+// be fed by other (wall-clock) sources.
+func (d *Driver) SetHealth(h *health.Controller) {
+	d.health = h
+	if d.obsEpoch.IsZero() {
+		d.obsEpoch = time.Now()
+	}
+}
 
 // Stats returns a snapshot of the degradation counters.
 func (d *Driver) Stats() Stats {
@@ -269,6 +284,7 @@ func (d *Driver) stageLoop(name string, body func()) {
 						d.obsRec.Instant(obs.KindMark, obs.TrackPipeline, d.obsNow(),
 							"stage-restart:"+name, 0, 0, 0)
 					}
+					d.health.ObservePipelineRestart(d.obsNow())
 				}
 			}()
 			body()
@@ -313,6 +329,7 @@ func (d *Driver) KernelLaunch(id correlation.ExecID) {
 func (d *Driver) recoverStage() {
 	if r := recover(); r != nil {
 		d.restartsN.Add(1)
+		d.health.ObservePipelineRestart(d.obsNow())
 	}
 }
 

@@ -1,6 +1,7 @@
 package supervisor
 
 import (
+	"fmt"
 	"time"
 
 	"deepum/internal/metrics"
@@ -49,6 +50,29 @@ func (s *Supervisor) initMetrics() {
 			defer s.mu.Unlock()
 			return float64(len(s.queue))
 		})
+	// Health-ladder family: the gauge samples the worst (max) ladder level
+	// across currently running health-enabled runs; the counter family is
+	// pre-registered per target level so the ladder shape is visible at
+	// scrape time even before the first transition.
+	s.prom.GaugeFunc("deepum_health_level",
+		"Worst degradation-ladder level across running runs (0=L0 full prefetch, 3=L3 pure demand).",
+		nil, func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			worst := int64(0)
+			for _, r := range s.runs {
+				if r.info.State == StateRunning {
+					if l := r.healthLevel.Load(); l > worst {
+						worst = l
+					}
+				}
+			}
+			return float64(worst)
+		})
+	for _, level := range []string{"L0", "L1", "L2", "L3"} {
+		s.prom.Counter("deepum_health_transitions_total",
+			"Degradation-ladder transitions by target level.", map[string]string{"level": level})
+	}
 	s.prom.Counter("deepum_supervisor_watchdog_cancels_total",
 		"Runs cancelled by the hang-detection watchdog.", nil)
 	s.prom.Counter("deepum_supervisor_worker_panics_total",
@@ -83,6 +107,27 @@ func (s *Supervisor) noteFinished(state RunState, started *time.Time, finished t
 		s.prom.Histogram("deepum_supervisor_run_seconds", "", nil, runSecondsBuckets).
 			Observe(finished.Sub(*started).Seconds())
 	}
+}
+
+// noteHealth mirrors one in-run ladder transition into the run snapshot and
+// the health metric family. It doubles as a liveness heartbeat: a run whose
+// ladder is moving is making decisions, not hung.
+func (s *Supervisor) noteHealth(r *run, level int) {
+	if level < 0 {
+		level = 0
+	}
+	if level > 3 {
+		level = 3
+	}
+	r.heartbeat.Store(time.Now().UnixNano())
+	r.healthLevel.Store(int64(level))
+	s.prom.Counter("deepum_health_transitions_total", "",
+		map[string]string{"level": fmt.Sprintf("L%d", level)}).Inc()
+	s.mu.Lock()
+	if !r.info.State.Terminal() {
+		r.info.HealthLevel = level
+	}
+	s.mu.Unlock()
 }
 
 // Metrics exposes the supervisor's Prometheus registry for scraping

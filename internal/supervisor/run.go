@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"time"
+
+	"deepum/internal/health"
 )
 
 // RunSpec describes one training run submitted to the supervisor. It is
@@ -26,6 +28,10 @@ type RunSpec struct {
 	// Chaos and ChaosSeed name an in-run fault-injection scenario.
 	Chaos     string `json:"chaos,omitempty"`
 	ChaosSeed int64  `json:"chaos_seed,omitempty"`
+	// Health enables the in-run closed-loop health controller (degradation
+	// ladder); the run's ladder level surfaces in RunInfo.HealthLevel and
+	// the supervisor's health metrics.
+	Health bool `json:"health,omitempty"`
 	// CheckpointEvery asks the runner to surface warm-state checkpoints
 	// every so many measured iterations (0 = only at run end). Mid-run
 	// checkpoints are what journal replay resumes from after a kill.
@@ -51,6 +57,9 @@ type Outcome struct {
 	FaultsPerIteration int64 `json:"faults_per_iteration,omitempty"`
 	// Error carries the failure message for failed runs.
 	Error string `json:"error,omitempty"`
+	// Health is the run's degradation-ladder summary when the spec enabled
+	// the health controller (nil otherwise).
+	Health *health.Report `json:"health,omitempty"`
 	// Checkpoint is the run's final warm state, if the runner produced
 	// one. Journaled as a checkpoint record, never inlined in JSON.
 	Checkpoint []byte `json:"-"`
@@ -72,6 +81,17 @@ type RunnerFunc func(ctx context.Context, spec RunSpec, resume []byte, progress 
 // Run implements Runner.
 func (f RunnerFunc) Run(ctx context.Context, spec RunSpec, resume []byte, progress func([]byte)) (Outcome, error) {
 	return f(ctx, spec, resume, progress)
+}
+
+// LiveRunner is an optional Runner extension: runners that can stream the
+// in-run health controller's ladder level implement it, and the supervisor
+// mirrors the level into RunInfo.HealthLevel and the deepum_health_level /
+// deepum_health_transitions_total metric family while the run is live.
+// health is called with the new level (0-3) on every ladder transition.
+type LiveRunner interface {
+	Runner
+	RunLive(ctx context.Context, spec RunSpec, resume []byte,
+		progress func(checkpoint []byte), health func(level int)) (Outcome, error)
 }
 
 // RunState is a run's position in the supervisor's state machine.
@@ -116,6 +136,10 @@ type RunInfo struct {
 	// Resumed is true when the current attempt was seeded from a journaled
 	// checkpoint rather than started cold.
 	Resumed bool `json:"resumed,omitempty"`
+	// HealthLevel is the run's current degradation-ladder level (0-3),
+	// live-updated for runs whose spec enabled health monitoring under a
+	// LiveRunner.
+	HealthLevel int `json:"health_level,omitempty"`
 	// Checkpoints counts journaled warm-state checkpoints for this run.
 	Checkpoints int        `json:"checkpoints,omitempty"`
 	Submitted   time.Time  `json:"submitted"`

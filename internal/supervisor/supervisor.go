@@ -99,6 +99,7 @@ type run struct {
 	cancel       context.CancelFunc
 	cancelReason string
 	heartbeat    atomic.Int64 // unix nanos of last progress signal
+	healthLevel  atomic.Int64 // current degradation-ladder level (LiveRunner)
 	done         chan struct{}
 }
 
@@ -368,7 +369,13 @@ func (s *Supervisor) execute(n int, id uint64) {
 		if panicNow {
 			panic("chaos: worker panic mid-run")
 		}
-		out, runErr = s.cfg.Runner.Run(ctx, r.info.Spec, resume, func(ck []byte) { s.progress(r, ck) })
+		progress := func(ck []byte) { s.progress(r, ck) }
+		if lr, ok := s.cfg.Runner.(LiveRunner); ok && r.info.Spec.Health {
+			out, runErr = lr.RunLive(ctx, r.info.Spec, resume, progress,
+				func(level int) { s.noteHealth(r, level) })
+		} else {
+			out, runErr = s.cfg.Runner.Run(ctx, r.info.Spec, resume, progress)
+		}
 	}()
 	s.finalize(r, out, runErr, panicked)
 }

@@ -23,6 +23,25 @@ type EvictionPolicy interface {
 // recently migrated to the GPU.
 type LRMPolicy struct{}
 
+// SwitchPolicy delegates victim selection to Base until UseFallback reports
+// true, then to Fallback. The health controller's degradation ladder uses it
+// to drop back to stock LRM at L3, where the driver's protected-set
+// predictions are speculation the run no longer honors. The switch is
+// evaluated per eviction cycle, so a recovering run resumes prediction-aware
+// eviction without rebuilding the handler.
+type SwitchPolicy struct {
+	Base, Fallback EvictionPolicy
+	UseFallback    func() bool
+}
+
+// SelectVictims implements EvictionPolicy.
+func (p SwitchPolicy) SelectVictims(r *Residency, need int64) []BlockID {
+	if p.UseFallback != nil && p.UseFallback() {
+		return p.Fallback.SelectVictims(r, need)
+	}
+	return p.Base.SelectVictims(r, need)
+}
+
 // SelectVictims walks the LRM list from the oldest block.
 func (LRMPolicy) SelectVictims(r *Residency, need int64) []BlockID {
 	var victims []BlockID
@@ -98,6 +117,15 @@ type Handler struct {
 	// OnMigrated, if set, is called for each block the handler maps onto the
 	// device (the DeepUM correlator records faulted blocks from here).
 	OnMigrated func(b BlockID, at sim.Time)
+	// OnBatch, if set, is called once per fault-handling cycle with its
+	// interrupt-to-replay window (the health controller's fault-batch
+	// latency feed).
+	OnBatch func(start, end sim.Time, blocks int)
+	// OnTransferRetry, if set, is called for each demand-transfer attempt
+	// that transiently failed and is being retried (the health controller's
+	// link-failure feed; demand retries signal link sickness just as hard
+	// as prefetch failures do).
+	OnTransferRetry func(at sim.Time)
 	// OnEvicted, if set, is called for each victim (dropped or transferred).
 	OnEvicted func(b BlockID, invalidated bool)
 
@@ -218,6 +246,9 @@ func (h *Handler) HandleGroups(now sim.Time, groups []FaultGroup) sim.Time {
 		h.Obs.Span(obs.KindFaultBatch, obs.TrackFaultHandler, int64(now), int64(t),
 			"", 0, h.Stats.PageFaults-pagesBefore, int64(len(groups)))
 	}
+	if h.OnBatch != nil {
+		h.OnBatch(now, t, len(groups))
+	}
 	return t
 }
 
@@ -280,6 +311,9 @@ func (h *Handler) transfer(t sim.Time, n int64, dir sim.Direction) sim.Time {
 			return end
 		}
 		h.Stats.TransferRetries++
+		if h.OnTransferRetry != nil {
+			h.OnTransferRetry(end)
+		}
 		backoff := retryBackoff(attempt)
 		h.Stats.RetryStall += end.Sub(t) + backoff
 		t = end.Add(backoff)

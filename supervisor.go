@@ -53,12 +53,24 @@ func EstimateMemoryDemand(spec RunSpec) (int64, error) {
 // simulated-event granularity for the UM-side systems, and — for DeepUM
 // runs with RunSpec.CheckpointEvery set — executes the run in iteration
 // chunks, surfacing a warm-state checkpoint after each chunk so the
-// supervisor can journal resumable progress mid-run.
+// supervisor can journal resumable progress mid-run. It also implements
+// supervisor.LiveRunner: runs with RunSpec.Health set stream their
+// degradation-ladder level to the supervisor as it changes.
 func TrainRunner() supervisor.Runner { return trainRunner{} }
 
 type trainRunner struct{}
 
-func (trainRunner) Run(ctx context.Context, spec RunSpec, resume []byte, progress func([]byte)) (supervisor.Outcome, error) {
+func (r trainRunner) Run(ctx context.Context, spec RunSpec, resume []byte, progress func([]byte)) (supervisor.Outcome, error) {
+	return r.run(ctx, spec, resume, progress, nil)
+}
+
+// RunLive implements supervisor.LiveRunner: healthFn receives the new
+// ladder level on every in-run health transition.
+func (r trainRunner) RunLive(ctx context.Context, spec RunSpec, resume []byte, progress func([]byte), healthFn func(int)) (supervisor.Outcome, error) {
+	return r.run(ctx, spec, resume, progress, healthFn)
+}
+
+func (trainRunner) run(ctx context.Context, spec RunSpec, resume []byte, progress func([]byte), healthFn func(int)) (supervisor.Outcome, error) {
 	w := Workload{Model: spec.Model, Dataset: spec.Dataset, Batch: spec.Batch}
 	cfg := DefaultConfig()
 	if spec.System != "" {
@@ -78,6 +90,13 @@ func (trainRunner) Run(ctx context.Context, spec RunSpec, resume []byte, progres
 	}
 	cfg.Chaos = spec.Chaos
 	cfg.ChaosSeed = spec.ChaosSeed
+	if spec.Health {
+		opt := HealthOptions{}
+		if healthFn != nil {
+			opt.OnTransition = func(t HealthTransition) { healthFn(int(t.To)) }
+		}
+		cfg.Health = &opt
+	}
 	if len(resume) > 0 {
 		if cfg.System != SystemDeepUM {
 			return supervisor.Outcome{}, fmt.Errorf("deepum: resume checkpoint for system %q (only deepum has warm state)", cfg.System)
@@ -152,6 +171,14 @@ type runAggregate struct {
 	faults     int64
 	totalTime  int64 // virtual ns across measured iterations
 	degraded   bool
+
+	// Health folding: each chunk runs a fresh controller (starting at L0),
+	// so the aggregate keeps the worst level and the concatenated
+	// transition log across chunks.
+	healthSeen  bool
+	healthMax   HealthLevel
+	healthTrans int
+	healthLog   []HealthTransition
 }
 
 func (a *runAggregate) add(res *Result) {
@@ -160,6 +187,14 @@ func (a *runAggregate) add(res *Result) {
 	a.totalTime += int64(res.TotalTime)
 	if res.Status == StatusDegraded {
 		a.degraded = true
+	}
+	if res.Health != nil {
+		a.healthSeen = true
+		if lvl := res.Health.MaxLevelValue(); lvl > a.healthMax {
+			a.healthMax = lvl
+		}
+		a.healthTrans += res.Health.Transitions
+		a.healthLog = append(a.healthLog, res.Health.TransitionLog...)
 	}
 }
 
@@ -176,6 +211,13 @@ func (a *runAggregate) outcome(last *Result, ck []byte) supervisor.Outcome {
 	if a.iterations > 0 {
 		out.IterationTime = time.Duration(a.totalTime / int64(a.iterations))
 		out.FaultsPerIteration = a.faults / int64(a.iterations)
+	}
+	if a.healthSeen && last.Health != nil {
+		rep := *last.Health
+		rep.MaxLevel = a.healthMax.String()
+		rep.Transitions = a.healthTrans
+		rep.TransitionLog = a.healthLog
+		out.Health = &rep
 	}
 	return out
 }

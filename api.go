@@ -28,7 +28,9 @@ import (
 	"deepum/internal/correlation"
 	"deepum/internal/engine"
 	"deepum/internal/experiments"
+	"deepum/internal/federation"
 	"deepum/internal/health"
+	"deepum/internal/metrics"
 	"deepum/internal/models"
 	"deepum/internal/sim"
 	"deepum/internal/supervisor"
@@ -181,6 +183,45 @@ var (
 //
 // Deprecated: use ErrShuttingDown.
 var ErrSupervisorShuttingDown = supervisor.ErrShuttingDown
+
+// MetricsRegistry re-exports the Prometheus-style registry returned by
+// Supervisor.Metrics and Federation.Metrics, so serving layers can scrape
+// (WriteText) without importing internal/metrics.
+type MetricsRegistry = metrics.Registry
+
+// --- federation types ---
+
+// Federation re-exports the sharded supervisor fleet: a consistent-hash
+// ring of supervisors behind one admission front-end, with per-shard WAL
+// journals and kill/handoff failover. Build one with NewFederation.
+type Federation = federation.Federation
+
+// FederationOptions re-exports the federation configuration. The embedded
+// Supervisor field is the per-shard template; its Runner and Estimate may
+// be left nil (NewFederation fills the TrainContext-backed defaults).
+type FederationOptions = federation.Config
+
+// FederationStats re-exports the federation-wide aggregate snapshot.
+type FederationStats = federation.Stats
+
+// FederationShardStats re-exports one shard's status row (the /shards
+// endpoint payload).
+type FederationShardStats = federation.ShardStats
+
+// ShardHandoffReport re-exports the summary of one journal handoff.
+type ShardHandoffReport = federation.HandoffReport
+
+// Typed federation failures, for errors.As.
+type (
+	// ShardHandoffError: the run (or a fresh run ID) maps to a dead shard
+	// whose journal has not been handed off yet. Retryable() is true —
+	// serving layers answer 503 + Retry-After until the handoff lands.
+	ShardHandoffError = federation.HandoffError
+	// ShardError wraps a shard-local rejection with the owning shard's
+	// ordinal; Unwrap exposes the shard's typed error (QueueFullError,
+	// QuotaError, ErrShuttingDown, ...).
+	ShardError = federation.ShardError
+)
 
 // --- discovery ---
 

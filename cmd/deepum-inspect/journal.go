@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 
 	"deepum/internal/supervisor/journal"
 )
@@ -16,14 +17,28 @@ import (
 // torn-tail offset). Exit status 0 means the file parsed cleanly to EOF;
 // 2 means a torn tail or CRC failure was found (the intact prefix is still
 // reported — that prefix is exactly what a restarted supervisor replays).
+//
+// With -audit and two or more journal paths it instead cross-checks a shard
+// federation's journals (see auditJournals): every run must live on exactly
+// one live shard; exit status 2 reports orphaned or duplicated runs.
 func runJournal(args []string) {
 	fs := flag.NewFlagSet("journal", flag.ExitOnError)
 	verbose := fs.Bool("v", false, "dump every record, not just the summary")
+	audit := fs.Bool("audit", false, "cross-shard audit over several journals (*.adopted = retired dead shard)")
 	fs.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: deepum-inspect journal [-v] <path>")
+		fmt.Fprintln(os.Stderr, "       deepum-inspect journal -audit <path>...")
 		fs.PrintDefaults()
 	}
 	fs.Parse(args)
+	if *audit {
+		if fs.NArg() < 1 {
+			fs.Usage()
+			os.Exit(1)
+		}
+		auditJournals(fs.Args())
+		return
+	}
 	if fs.NArg() != 1 {
 		fs.Usage()
 		os.Exit(1)
@@ -116,4 +131,112 @@ func runJournal(args []string) {
 	if stats.TornOffset >= 0 || stats.CRCFailures > 0 {
 		os.Exit(2)
 	}
+}
+
+// auditJournals cross-checks a shard federation's journals after a failover
+// drill. Paths ending in .adopted are retired journals of dead shards (the
+// handoff's on-disk commit point renames them); everything else is a live
+// shard's journal. The invariant under audit is the federation's no-loss /
+// no-duplication contract: every run ID seen anywhere — including on a dead
+// shard — must appear on exactly one live shard. Zero live copies means the
+// handoff orphaned the run; two or more means it was adopted twice.
+//
+// Exit status: 0 clean; 2 for orphaned or duplicated runs, or for journals
+// whose integrity findings (torn tail, CRC failure) mean records may be
+// missing and the audit cannot vouch for the set it read.
+func auditJournals(paths []string) {
+	type shardFile struct {
+		path  string
+		live  bool
+		ids   map[uint64]bool
+		dirty bool
+	}
+	files := make([]*shardFile, 0, len(paths))
+	liveOn := map[uint64][]string{} // run ID -> live journals holding it
+	every := map[uint64]bool{}
+	exit := 0
+	for _, path := range paths {
+		recs, stats, err := journal.ReplayFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "deepum-inspect: %v\n", err)
+			os.Exit(1)
+		}
+		sf := &shardFile{
+			path:  path,
+			live:  !strings.HasSuffix(path, ".adopted"),
+			ids:   map[uint64]bool{},
+			dirty: stats.TornOffset >= 0 || stats.CRCFailures > 0,
+		}
+		for _, r := range recs {
+			sf.ids[r.RunID] = true
+			every[r.RunID] = true
+		}
+		if sf.live {
+			for id := range sf.ids {
+				liveOn[id] = append(liveOn[id], path)
+			}
+		}
+		files = append(files, sf)
+		if sf.dirty {
+			exit = 2
+		}
+	}
+
+	fmt.Printf("== federation journal audit: %d journal(s) ==\n", len(files))
+	for _, sf := range files {
+		role := "live"
+		if !sf.live {
+			role = "dead (adopted)"
+		}
+		integ := "clean"
+		if sf.dirty {
+			integ = "INTEGRITY FAILURE (torn tail or CRC)"
+		}
+		fmt.Printf("%-14s %4d run(s)  %s  %s\n", role, len(sf.ids), integ, sf.path)
+	}
+
+	var orphaned, duplicated []uint64
+	for id := range every {
+		switch n := len(liveOn[id]); {
+		case n == 0:
+			orphaned = append(orphaned, id)
+		case n > 1:
+			duplicated = append(duplicated, id)
+		}
+	}
+	sort.Slice(orphaned, func(i, j int) bool { return orphaned[i] < orphaned[j] })
+	sort.Slice(duplicated, func(i, j int) bool { return duplicated[i] < duplicated[j] })
+
+	const listCap = 20
+	report := func(kind string, ids []uint64) {
+		if len(ids) == 0 {
+			return
+		}
+		exit = 2
+		shown := ids
+		if len(shown) > listCap {
+			shown = shown[:listCap]
+		}
+		fmt.Printf("\n%s run(s): %d\n", kind, len(ids))
+		for _, id := range shown {
+			where := liveOn[id]
+			if len(where) == 0 {
+				fmt.Printf("  run %-8d on no live shard\n", id)
+				continue
+			}
+			fmt.Printf("  run %-8d on %s\n", id, strings.Join(where, ", "))
+		}
+		if len(ids) > listCap {
+			fmt.Printf("  ... and %d more\n", len(ids)-listCap)
+		}
+	}
+	report("ORPHANED", orphaned)
+	report("DUPLICATED", duplicated)
+
+	if exit == 0 {
+		fmt.Printf("\n%d distinct run(s), each on exactly one live shard\n", len(every))
+	} else {
+		fmt.Printf("\naudit FAILED: %d orphaned, %d duplicated\n", len(orphaned), len(duplicated))
+	}
+	os.Exit(exit)
 }

@@ -4,16 +4,25 @@
 //
 //	deepum-serve -addr :8080 -workers 4 -journal runs.journal
 //
+// With -shards N (and -journal-dir) the server fronts a federation of N
+// supervisor shards on a consistent-hash ring instead of one supervisor;
+// requests owned by a dead shard answer 503 + Retry-After (with the shard
+// ordinal in the error body) until its journal is handed off, and after
+// -handoff-grace those 503s convert into hard failures.
+//
+//	deepum-serve -addr :8080 -shards 4 -journal-dir /var/lib/deepum
+//
 //	POST /runs              submit a run (RunSpec JSON) -> {"id": N}
 //	GET  /runs              list all runs
 //	GET  /runs/{id}         one run's snapshot
 //	POST /runs/{id}/cancel  request cancellation
 //	GET  /healthz           process liveness
 //	GET  /readyz            admission readiness (503 while draining)
+//	GET  /shards            per-shard status (federation mode)
 //
 // SIGINT/SIGTERM triggers a graceful drain: admission closes, queued and
 // running work finishes (up to -drain-timeout, then runs are cancelled),
-// and the journal is closed cleanly.
+// and the journals are closed cleanly.
 package main
 
 import (
@@ -37,7 +46,10 @@ func main() {
 		workers      = flag.Int("workers", 4, "concurrent training runs")
 		queue        = flag.Int("queue", 16, "submission queue depth (backpressure bound)")
 		gpuBudget    = flag.Int64("gpu-budget", 0, "simulated GPU memory budget in bytes shared by all runs (0 = unlimited)")
-		journalPath  = flag.String("journal", "", "crash-safe run journal path (empty = no persistence)")
+		journalPath  = flag.String("journal", "", "crash-safe run journal path (empty = no persistence; single-supervisor mode)")
+		shards       = flag.Int("shards", 0, "shard count for federation mode (0 = one supervisor, no federation)")
+		journalDir   = flag.String("journal-dir", "", "per-shard journal directory (federation mode; required with -shards)")
+		handoffGrace = flag.Duration("handoff-grace", 30*time.Second, "how long a dead shard may answer 503 before rejections become hard failures (0 = forever)")
 		watchdog     = flag.Duration("watchdog", 0, "cancel runs with no progress for this long (0 = no watchdog)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful-drain budget on shutdown before runs are cancelled")
 		reqTimeout   = flag.Duration("request-timeout", 30*time.Second, "per-request context deadline for API handlers (0 = none)")
@@ -67,12 +79,37 @@ func main() {
 		}
 		cfg.Chaos = sc
 	}
-	sup, err := deepum.NewSupervisor(cfg)
-	if err != nil {
-		log.Fatalf("deepum-serve: %v", err)
-	}
-	if st := sup.Stats(); st.Recovered > 0 {
-		log.Printf("journal replay re-admitted %d interrupted run(s)", st.Recovered)
+	var handler http.Handler
+	var drain func(context.Context) error
+	if *shards > 0 {
+		if *journalDir == "" {
+			log.Fatalf("deepum-serve: federation mode (-shards %d) requires -journal-dir", *shards)
+		}
+		fed, err := deepum.NewFederation(deepum.FederationOptions{
+			Shards:     *shards,
+			Supervisor: cfg,
+			JournalDir: *journalDir,
+		})
+		if err != nil {
+			log.Fatalf("deepum-serve: %v", err)
+		}
+		for _, sh := range fed.Shards() {
+			if sh.Recovered > 0 {
+				log.Printf("shard %d journal replay re-admitted %d interrupted run(s)", sh.Ordinal, sh.Recovered)
+			}
+		}
+		handler = newFederationServer(fed, *reqTimeout, *handoffGrace)
+		drain = fed.Drain
+	} else {
+		sup, err := deepum.NewSupervisor(cfg)
+		if err != nil {
+			log.Fatalf("deepum-serve: %v", err)
+		}
+		if st := sup.Stats(); st.Recovered > 0 {
+			log.Printf("journal replay re-admitted %d interrupted run(s)", st.Recovered)
+		}
+		handler = newServer(sup, *reqTimeout)
+		drain = sup.Drain
 	}
 
 	// Connection-level timeouts backstop the per-handler deadline: slowloris
@@ -80,7 +117,7 @@ func main() {
 	// even when a handler never looks at its context.
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           newServer(sup, *reqTimeout),
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 		ReadTimeout:       60 * time.Second,
 		WriteTimeout:      60 * time.Second,
@@ -88,7 +125,11 @@ func main() {
 	}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	log.Printf("deepum-serve listening on %s (%d workers, queue %d)", *addr, *workers, *queue)
+	if *shards > 0 {
+		log.Printf("deepum-serve listening on %s (%d shards, %d workers/shard, queue %d)", *addr, *shards, *workers, *queue)
+	} else {
+		log.Printf("deepum-serve listening on %s (%d workers, queue %d)", *addr, *workers, *queue)
+	}
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
@@ -101,7 +142,7 @@ func main() {
 
 	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
-	if err := sup.Drain(ctx); err != nil {
+	if err := drain(ctx); err != nil {
 		log.Printf("drain: %v", err)
 	}
 	if err := srv.Shutdown(ctx); err != nil {

@@ -11,16 +11,42 @@ import (
 	"deepum"
 )
 
-// newServer wires the supervisor behind a JSON HTTP API. Typed admission
-// rejections map onto distinct status codes so clients can tell "back off
-// and retry" (429/503, both with Retry-After) from "this spec can never be
-// admitted" (422). Every handler runs under a per-request context deadline
-// (requestTimeout; 0 disables) so one slow request cannot hold a
-// connection open indefinitely. GET /metrics scrapes the supervisor's
-// Prometheus registry (admission results, runs by state, queue depth, run
-// durations, health-ladder levels) plus per-route HTTP request counters.
+// backend is what the HTTP layer needs from the run-admission plane; both
+// the single *deepum.Supervisor and the sharded *deepum.Federation satisfy
+// it, so every route behaves identically in both modes.
+type backend interface {
+	Submit(deepum.RunSpec) (uint64, error)
+	Get(uint64) (deepum.RunInfo, error)
+	Cancel(uint64) error
+	List() []deepum.RunInfo
+	Accepting() bool
+	Metrics() *deepum.MetricsRegistry
+}
+
+// newServer wires a single supervisor behind the JSON HTTP API. Typed
+// admission rejections map onto distinct status codes so clients can tell
+// "back off and retry" (429/503, both with Retry-After) from "this spec
+// can never be admitted" (422). Every handler runs under a per-request
+// context deadline (requestTimeout; 0 disables) so one slow request cannot
+// hold a connection open indefinitely. GET /metrics scrapes the backend's
+// Prometheus registry plus per-route HTTP request counters.
 func newServer(sup *deepum.Supervisor, requestTimeout time.Duration) http.Handler {
-	s := &server{sup: sup}
+	s := &server{b: sup, stats: func() any { return sup.Stats() }}
+	return buildServer(s, requestTimeout)
+}
+
+// newFederationServer wires a shard federation behind the same API, plus
+// GET /shards for per-shard status. Requests landing on a dead shard
+// mid-handoff answer 503 + Retry-After with the shard ordinal in the JSON
+// error body; once the handoff window outlives handoffGrace the 503s
+// convert into hard 500s — a stuck failover must page someone, not hide
+// behind "retry later" forever. handoffGrace <= 0 never converts.
+func newFederationServer(fed *deepum.Federation, requestTimeout, handoffGrace time.Duration) http.Handler {
+	s := &server{b: fed, stats: func() any { return fed.Stats() }, fed: fed, grace: handoffGrace}
+	return buildServer(s, requestTimeout)
+}
+
+func buildServer(s *server, requestTimeout time.Duration) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /runs", s.submit)
 	mux.HandleFunc("GET /runs", s.list)
@@ -31,11 +57,14 @@ func newServer(sup *deepum.Supervisor, requestTimeout time.Duration) http.Handle
 	})
 	mux.HandleFunc("GET /readyz", s.ready)
 	mux.HandleFunc("GET /metrics", s.metrics)
+	if s.fed != nil {
+		mux.HandleFunc("GET /shards", s.shards)
+	}
 	// withDeadline wraps outside countRequests: the counter must hand the
 	// mux the same *Request it later reads r.Pattern from (WithContext
 	// copies the request, so a deadline layer between them would hide the
 	// matched route).
-	return withDeadline(requestTimeout, countRequests(sup, mux))
+	return withDeadline(requestTimeout, countRequests(s.b.Metrics(), mux))
 }
 
 // withDeadline bounds each request with a context deadline. Handlers that
@@ -55,21 +84,24 @@ func withDeadline(timeout time.Duration, next http.Handler) http.Handler {
 
 // countRequests counts every request by method and matched route pattern
 // (bounded label cardinality: unmatched paths collapse to their 404).
-func countRequests(sup *deepum.Supervisor, next http.Handler) http.Handler {
+func countRequests(reg *deepum.MetricsRegistry, next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		next.ServeHTTP(w, r)
 		route := r.Pattern
 		if route == "" {
 			route = "unmatched"
 		}
-		sup.Metrics().Counter("deepum_http_requests_total",
+		reg.Counter("deepum_http_requests_total",
 			"HTTP requests served, by matched route.",
 			map[string]string{"route": route}).Inc()
 	})
 }
 
 type server struct {
-	sup *deepum.Supervisor
+	b     backend
+	stats func() any
+	fed   *deepum.Federation // nil in single-supervisor mode
+	grace time.Duration      // handoff-window 503s older than this become 500s
 }
 
 func (s *server) submit(w http.ResponseWriter, r *http.Request) {
@@ -80,25 +112,31 @@ func (s *server) submit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	id, err := s.sup.Submit(spec)
+	id, err := s.b.Submit(spec)
 	if err != nil {
+		var he *deepum.ShardHandoffError
 		var qf *deepum.QueueFullError
 		var q *deepum.QuotaError
+		// errors.As/Is see through the federation's ShardError wrapper, so
+		// the shard-local rejection types keep their status codes; the
+		// wrapper's shard ordinal surfaces in the JSON body (writeReject).
 		switch {
+		case errors.As(err, &he):
+			s.rejectHandoff(w, he, err)
 		case errors.Is(err, deepum.ErrShuttingDown):
 			// A draining server may be restarting; tell well-behaved
 			// clients when to probe again rather than hammering it.
 			w.Header().Set("Retry-After", "5")
-			writeError(w, http.StatusServiceUnavailable, err)
+			writeReject(w, http.StatusServiceUnavailable, err, true)
 		case errors.As(err, &qf):
 			w.Header().Set("Retry-After", "1")
-			writeError(w, http.StatusTooManyRequests, err)
+			writeReject(w, http.StatusTooManyRequests, err, true)
 		case errors.As(err, &q) && q.Retryable():
 			w.Header().Set("Retry-After", "1")
-			writeError(w, http.StatusTooManyRequests, err)
+			writeReject(w, http.StatusTooManyRequests, err, true)
 		case errors.As(err, &q):
 			// Per-run quota: the spec can never fit; retrying is useless.
-			writeError(w, http.StatusUnprocessableEntity, err)
+			writeReject(w, http.StatusUnprocessableEntity, err, false)
 		default:
 			writeError(w, http.StatusBadRequest, err)
 		}
@@ -107,8 +145,21 @@ func (s *server) submit(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusAccepted, map[string]uint64{"id": id})
 }
 
+// rejectHandoff answers a request trapped in a shard's kill-to-handoff
+// window: 503 + Retry-After while the window is younger than the grace
+// budget, hard 500 once it overstays (a handoff that never lands is an
+// outage, not backpressure).
+func (s *server) rejectHandoff(w http.ResponseWriter, he *deepum.ShardHandoffError, err error) {
+	if s.grace > 0 && !he.Since.IsZero() && time.Since(he.Since) > s.grace {
+		writeReject(w, http.StatusInternalServerError, err, false)
+		return
+	}
+	w.Header().Set("Retry-After", "1")
+	writeReject(w, http.StatusServiceUnavailable, err, true)
+}
+
 func (s *server) list(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.sup.List())
+	writeJSON(w, http.StatusOK, s.b.List())
 }
 
 func (s *server) get(w http.ResponseWriter, r *http.Request) {
@@ -116,8 +167,13 @@ func (s *server) get(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	info, err := s.sup.Get(id)
+	info, err := s.b.Get(id)
 	if err != nil {
+		var he *deepum.ShardHandoffError
+		if errors.As(err, &he) {
+			s.rejectHandoff(w, he, err)
+			return
+		}
 		writeError(w, http.StatusNotFound, err)
 		return
 	}
@@ -129,11 +185,14 @@ func (s *server) cancel(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	err := s.sup.Cancel(id)
+	err := s.b.Cancel(id)
 	var nf *deepum.RunNotFoundError
+	var he *deepum.ShardHandoffError
 	switch {
 	case err == nil:
 		writeJSON(w, http.StatusOK, map[string]string{"status": "cancelling"})
+	case errors.As(err, &he):
+		s.rejectHandoff(w, he, err)
 	case errors.As(err, &nf):
 		writeError(w, http.StatusNotFound, err)
 	case errors.Is(err, deepum.ErrRunAlreadyFinished):
@@ -144,18 +203,27 @@ func (s *server) cancel(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) ready(w http.ResponseWriter, r *http.Request) {
-	if !s.sup.Accepting() {
+	if !s.b.Accepting() {
 		w.Header().Set("Retry-After", "5")
 		writeError(w, http.StatusServiceUnavailable, errors.New("draining"))
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"status": "ready", "stats": s.sup.Stats()})
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ready", "stats": s.stats()})
+}
+
+// shards reports per-shard status (federation mode only): liveness,
+// pending handoffs, per-shard queue/run counts, and the fleet aggregate.
+func (s *server) shards(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"shards": s.fed.Shards(),
+		"stats":  s.fed.Stats(),
+	})
 }
 
 // metrics serves the Prometheus text exposition format (version 0.0.4).
 func (s *server) metrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.sup.Metrics().WriteText(w)
+	s.b.Metrics().WriteText(w)
 }
 
 func runID(w http.ResponseWriter, r *http.Request) (uint64, bool) {
@@ -175,4 +243,24 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 
 func writeError(w http.ResponseWriter, code int, err error) {
 	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+// writeReject writes an admission rejection. In federation mode the
+// rejecting shard's ordinal rides along in the body so a client (or an
+// operator tailing logs) can see which shard is pushing back; retryable
+// tells clients whether waiting can help.
+func writeReject(w http.ResponseWriter, code int, err error, retryable bool) {
+	body := map[string]any{"error": err.Error()}
+	var he *deepum.ShardHandoffError
+	var se *deepum.ShardError
+	switch {
+	case errors.As(err, &he):
+		body["shard"] = he.Shard
+	case errors.As(err, &se):
+		body["shard"] = se.Shard
+	}
+	if retryable {
+		body["retryable"] = true
+	}
+	writeJSON(w, code, body)
 }

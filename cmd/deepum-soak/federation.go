@@ -1,0 +1,387 @@
+package main
+
+// Federation failover soak (-federation): an admission storm of -fed-runs
+// deterministic stub runs across -fed-shards supervisor shards, with one
+// shard kill-9'd mid-storm and handed off while submissions keep coming.
+// The harness then waits out every run and asserts the federation's
+// contract at storm scale:
+//
+//   - every accepted run reaches completed, with its AccessChecksum equal
+//     to the pure-function expectation for its seed (adopted and resumed
+//     runs are bit-identical to uninterrupted execution),
+//   - no run ID is lost or duplicated across the surviving shards,
+//   - exactly one handoff happened and the dead shard's journal was
+//     retired to *.adopted (CI re-audits the journals with
+//     deepum-inspect journal -audit afterwards),
+//   - the harness leaks no goroutines after drain.
+//
+// The shards journal with fsync disabled: the storm kills supervisors
+// in-process (the page cache survives), and 10^4+ synced appends would
+// make the soak about disk latency instead of failover correctness.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"deepum"
+)
+
+type fedSoakOptions struct {
+	runs    int
+	shards  int
+	workers int
+	dir     string
+}
+
+// fedCkpt is the stub runner's checkpoint: its entire state, so a resumed
+// run is bit-identical to an uninterrupted one by construction.
+type fedCkpt struct {
+	Iter int    `json:"iter"`
+	Hash uint64 `json:"hash"`
+}
+
+const (
+	fedIters    = 6
+	fedCkptEach = 2
+	fedHangAt   = 4 // hang runs block here, after the iteration-4 checkpoint
+	fedHangRuns = 8 // submitted first so they wedge workers before the kill
+)
+
+func fedSeedBase(seed int64) uint64 {
+	return 0xcbf29ce484222325 ^ uint64(seed)*0x100000001b3
+}
+
+func fedStep(h uint64, seed int64, iter int) uint64 {
+	h ^= uint64(iter)*0x9E3779B97F4A7C15 + uint64(seed)
+	return h * 0x100000001b3
+}
+
+// fedExpect is the oracle: the checksum any uninterrupted execution of
+// (seed, fedIters) produces — and therefore what every adopted, resumed,
+// or cold-restarted execution must reproduce.
+func fedExpect(seed int64) uint64 {
+	h := fedSeedBase(seed)
+	for i := 0; i < fedIters; i++ {
+		h = fedStep(h, seed, i)
+	}
+	return h
+}
+
+// fedRunner folds (seed, iter) into a rolling hash, checkpointing every
+// fedCkptEach iterations. Runs with Chaos="hang" block at fedHangAt until
+// gate closes or they are cancelled (the kill path), so the victim shard
+// dies holding interrupted runs with journaled mid-run state.
+func fedRunner(gate <-chan struct{}) deepum.Runner {
+	return deepum.RunnerFunc(func(ctx context.Context, spec deepum.RunSpec, resume []byte, progress func([]byte)) (deepum.RunOutcome, error) {
+		st := fedCkpt{Hash: fedSeedBase(spec.Seed)}
+		if len(resume) > 0 {
+			if err := json.Unmarshal(resume, &st); err != nil {
+				return deepum.RunOutcome{}, err
+			}
+		}
+		for st.Iter < spec.Iterations {
+			if spec.Chaos == "hang" && st.Iter == fedHangAt {
+				select {
+				case <-gate:
+				case <-ctx.Done():
+					return deepum.RunOutcome{
+						Status:         string(deepum.RunCancelled),
+						Iterations:     st.Iter,
+						AccessChecksum: st.Hash,
+					}, nil
+				}
+			}
+			st.Hash = fedStep(st.Hash, spec.Seed, st.Iter)
+			st.Iter++
+			if st.Iter%fedCkptEach == 0 && st.Iter < spec.Iterations {
+				b, err := json.Marshal(st)
+				if err != nil {
+					return deepum.RunOutcome{}, err
+				}
+				progress(b)
+			}
+		}
+		return deepum.RunOutcome{
+			Status:         string(deepum.RunCompleted),
+			Iterations:     st.Iter,
+			AccessChecksum: st.Hash,
+		}, nil
+	})
+}
+
+// runFederationSoak executes the drill and returns the process exit code.
+func runFederationSoak(opts fedSoakOptions) int {
+	if opts.runs < 100 {
+		opts.runs = 100
+	}
+	if opts.shards < 2 {
+		opts.shards = 2
+	}
+	if opts.workers < 1 {
+		opts.workers = 4
+	}
+	dir := opts.dir
+	if dir == "" {
+		d, err := os.MkdirTemp("", "deepum-fedsoak-")
+		if err != nil {
+			fatalf("federation soak: %v", err)
+		}
+		dir = d
+	}
+	startGoroutines := runtime.NumGoroutine()
+	start := time.Now()
+
+	gate := make(chan struct{})
+	fed, err := deepum.NewFederation(deepum.FederationOptions{
+		Shards: opts.shards,
+		Supervisor: deepum.SupervisorConfig{
+			Runner:        fedRunner(gate),
+			Estimate:      func(deepum.RunSpec) (int64, error) { return 1 << 20, nil },
+			Workers:       opts.workers,
+			QueueDepth:    256,
+			JournalNoSync: true,
+		},
+		JournalDir: dir,
+	})
+	if err != nil {
+		fatalf("federation soak: %v", err)
+	}
+	fmt.Printf("federation %d shards x %d workers, %d-run storm, journals in %s\n",
+		opts.shards, opts.workers, opts.runs, dir)
+
+	var (
+		mu        sync.Mutex
+		specs     = map[uint64]int64{} // accepted run ID -> seed
+		accepted  atomic.Int64
+		rejected  atomic.Int64 // handoff-window rejections observed (IDs burned)
+		seedCount atomic.Int64
+	)
+	submitOne := func(hang bool) bool {
+		seed := seedCount.Add(1)
+		spec := deepum.RunSpec{
+			Model:           "bert-base",
+			Batch:           8,
+			Seed:            seed,
+			Iterations:      fedIters,
+			CheckpointEvery: fedCkptEach,
+		}
+		if hang {
+			spec.Chaos = "hang"
+			spec.Warmup = fedHangAt
+		}
+		for {
+			id, err := fed.Submit(spec)
+			if err == nil {
+				mu.Lock()
+				specs[id] = seed
+				mu.Unlock()
+				accepted.Add(1)
+				return true
+			}
+			var he *deepum.ShardHandoffError
+			var qf *deepum.QueueFullError
+			var q *deepum.QuotaError
+			switch {
+			case errors.As(err, &he):
+				// The 503 window: the ID burned onto the dead shard; retry
+				// draws a fresh ID that may land on a live one.
+				rejected.Add(1)
+				time.Sleep(500 * time.Microsecond)
+			case errors.As(err, &qf), errors.As(err, &q) && q.Retryable():
+				time.Sleep(500 * time.Microsecond)
+			default:
+				fmt.Printf("FAIL submit (seed %d): %v\n", seed, err)
+				return false
+			}
+		}
+	}
+
+	failures := 0
+	// The hang runs go in first so workers wedge on them with journaled
+	// checkpoints before the mid-storm kill.
+	for i := 0; i < fedHangRuns; i++ {
+		if !submitOne(true) {
+			failures++
+		}
+	}
+
+	// Mid-storm killer: waits for half the storm, picks a victim that is
+	// actually holding a wedged, checkpointed run, kills it, hands off,
+	// then opens the gate so every hung and adopted run can finish.
+	var report deepum.ShardHandoffReport
+	var victim int
+	killDone := make(chan struct{})
+	go func() {
+		defer close(killDone)
+		for accepted.Load() < int64(opts.runs/2) {
+			time.Sleep(time.Millisecond)
+		}
+		victim = chooseFedVictim(fed, opts.shards)
+		if err := fed.Kill(victim); err != nil {
+			fmt.Printf("FAIL kill shard %d: %v\n", victim, err)
+			failures++
+			close(gate)
+			return
+		}
+		// Leave the handoff window open briefly so the storm provably runs
+		// through it (rejected counter below).
+		time.Sleep(2 * time.Millisecond)
+		rep, err := fed.Handoff(victim)
+		if err != nil {
+			fmt.Printf("FAIL handoff shard %d: %v\n", victim, err)
+			failures++
+			close(gate)
+			return
+		}
+		report = rep
+		close(gate)
+	}()
+
+	storm := opts.runs - fedHangRuns
+	const submitters = 8
+	var wg sync.WaitGroup
+	var submitFailed atomic.Int64
+	for w := 0; w < submitters; w++ {
+		n := storm / submitters
+		if w < storm%submitters {
+			n++
+		}
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			for i := 0; i < n; i++ {
+				if !submitOne(false) {
+					submitFailed.Add(1)
+				}
+			}
+		}(n)
+	}
+	wg.Wait()
+	<-killDone
+	failures += int(submitFailed.Load())
+	fmt.Printf("storm      %d accepted, %d handoff-window rejections (IDs burned), kill+handoff on shard %d\n",
+		accepted.Load(), rejected.Load(), victim)
+	fmt.Printf("handoff    %d runs: %d finished history, %d re-queued (%d resumed from checkpoints), %d skipped\n",
+		report.Runs, report.Finished, report.Queued, report.Resumed, report.Skipped)
+
+	// Wait out every accepted run and check the bit-identity oracle.
+	mu.Lock()
+	all := make(map[uint64]int64, len(specs))
+	for id, seed := range specs {
+		all[id] = seed
+	}
+	mu.Unlock()
+	badState, badSum := 0, 0
+	for id, seed := range all {
+		info, err := fed.Wait(id)
+		if err != nil {
+			fmt.Printf("FAIL wait run %d: %v\n", id, err)
+			failures++
+			continue
+		}
+		if info.State != deepum.RunCompleted {
+			if badState == 0 {
+				fmt.Printf("FAIL run %d ended %s (%s)\n", id, info.State, info.Reason)
+			}
+			badState++
+			continue
+		}
+		if want := fedExpect(seed); info.Outcome.AccessChecksum != want {
+			if badSum == 0 {
+				fmt.Printf("FAIL run %d checksum %016x, want %016x (seed %d)\n",
+					id, info.Outcome.AccessChecksum, want, seed)
+			}
+			badSum++
+		}
+	}
+	if badState > 0 {
+		failures++
+		fmt.Printf("FAIL %d run(s) did not complete\n", badState)
+	}
+	if badSum > 0 {
+		failures++
+		fmt.Printf("FAIL %d run(s) diverged from the uninterrupted checksum\n", badSum)
+	}
+
+	// No run lost, none duplicated: every accepted ID on exactly one live
+	// shard, and the rosters agree with the ownership map.
+	seen := map[uint64]int{}
+	for ord := 0; ord < opts.shards; ord++ {
+		if ord == victim {
+			continue
+		}
+		for _, info := range fed.Supervisor(ord).List() {
+			if o, _ := fed.Owner(info.ID); o == ord {
+				seen[info.ID]++
+			}
+		}
+	}
+	lost, dup := 0, 0
+	for id := range all {
+		switch n := seen[id]; {
+		case n == 0:
+			lost++
+		case n > 1:
+			dup++
+		}
+	}
+	if lost > 0 || dup > 0 {
+		failures++
+		fmt.Printf("FAIL run accounting: %d lost, %d duplicated across live shards\n", lost, dup)
+	}
+
+	st := fed.Stats()
+	if st.Handoffs != 1 || st.Live != opts.shards-1 {
+		failures++
+		fmt.Printf("FAIL federation stats: %+v (want 1 handoff, %d live)\n", st, opts.shards-1)
+	}
+	if retired, _ := filepath.Glob(filepath.Join(dir, "*.adopted")); len(retired) != 1 {
+		failures++
+		fmt.Printf("FAIL dead journal not retired: %d *.adopted files\n", len(retired))
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := fed.Drain(ctx); err != nil {
+		failures++
+		fmt.Printf("FAIL drain: %v\n", err)
+	}
+	if leaked := goroutineLeak(startGoroutines); leaked > 0 {
+		failures++
+		fmt.Printf("FAIL goroutines: %d leaked (started with %d)\n", leaked, startGoroutines)
+	}
+
+	if failures > 0 {
+		fmt.Printf("federation soak FAILED: %d failure(s) in %v\n", failures, time.Since(start).Round(time.Millisecond))
+		return 1
+	}
+	fmt.Printf("federation soak OK: %d runs, shard %d failed over (%d adopted, %d resumed), %v\n",
+		accepted.Load(), victim, report.Queued+report.Finished, report.Resumed,
+		time.Since(start).Round(time.Millisecond))
+	return 0
+}
+
+// chooseFedVictim prefers a shard wedged on a checkpointed hang run — the
+// kill then provably interrupts mid-run state — falling back to shard 0.
+func chooseFedVictim(fed *deepum.Federation, shards int) int {
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		for ord := 0; ord < shards; ord++ {
+			for _, info := range fed.Supervisor(ord).List() {
+				if info.State == deepum.RunRunning && info.Spec.Chaos == "hang" && info.Checkpoints >= 2 {
+					return ord
+				}
+			}
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return 0
+}

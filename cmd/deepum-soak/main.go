@@ -19,6 +19,16 @@
 //	deepum-soak                         # default soak (3 schedules x 3 phases)
 //	deepum-soak -seed 7 -schedules 5
 //	deepum-soak -trace soak.trace.json  # Chrome trace of the last run
+//
+// With -federation the harness instead soaks the sharded supervisor
+// federation: an admission storm across -fed-shards shards with one shard
+// killed and handed off mid-storm, asserting every run completes with the
+// uninterrupted checksum and no run ID is lost or duplicated (see
+// federation.go). The shard journals survive in -fed-dir so
+// deepum-inspect journal -audit can re-verify the same invariant from
+// disk.
+//
+//	deepum-soak -federation -fed-runs 10000 -fed-shards 4 -fed-dir /tmp/fedsoak
 package main
 
 import (
@@ -51,10 +61,28 @@ func main() {
 		iters     = flag.Int("iters", 2, "measured iterations per run")
 		warmup    = flag.Int("warmup", 1, "warmup iterations per run")
 		tracePath = flag.String("trace", "", "write a Chrome trace of the final run here")
+
+		federation = flag.Bool("federation", false, "run the federation failover soak instead of the chaos-schedule soak")
+		fedRuns    = flag.Int("fed-runs", 10000, "federation soak: admission-storm size")
+		fedShards  = flag.Int("fed-shards", 4, "federation soak: shard count")
+		fedWorkers = flag.Int("fed-workers", 4, "federation soak: workers per shard")
+		fedDir     = flag.String("fed-dir", "", "federation soak: shard journal directory, kept for post-hoc audit (empty = temp dir)")
 	)
 	flag.Parse()
 	if os.Getenv("DEEPUM_SOAK_SHORT") != "" {
 		*schedules, *phasesN = 2, 3
+		if *fedRuns > 2000 {
+			*fedRuns = 2000
+		}
+	}
+
+	if *federation {
+		os.Exit(runFederationSoak(fedSoakOptions{
+			runs:    *fedRuns,
+			shards:  *fedShards,
+			workers: *fedWorkers,
+			dir:     *fedDir,
+		}))
 	}
 
 	h := &harness{

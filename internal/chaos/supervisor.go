@@ -29,6 +29,15 @@ type SupervisorScenario struct {
 	// tests throw at a full queue: every rejection must be a typed error,
 	// never a block or a panic.
 	AdmissionBurst int
+
+	// ShardKill marks the federation failover pattern: one shard of a
+	// supervisor federation is kill-9'd mid-storm (journal intact) and a
+	// successor peer must adopt its runs by journal handoff — queued runs
+	// restart cold, interrupted runs resume from their latest checkpoint,
+	// finished runs stay finished, no run ID lost or duplicated. Driven by
+	// the federation failover tests and the deepum-soak -federation mode
+	// via Federation.Kill / Federation.Handoff.
+	ShardKill bool
 }
 
 // Active reports whether the scenario injects anything into a live
@@ -59,6 +68,11 @@ func builtinSupervisor() []SupervisorScenario {
 			Name:           "admission-storm",
 			Description:    "256 submissions against a full queue and exhausted quota; every rejection must be typed, non-blocking",
 			AdmissionBurst: 256,
+		},
+		{
+			Name:        "shard-kill",
+			Description: "one federation shard kill-9'd mid-storm (journal intact); a successor peer adopts its queued and interrupted runs by journal handoff, nothing lost or duplicated",
+			ShardKill:   true,
 		},
 	}
 }

@@ -1,0 +1,402 @@
+package federation
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"deepum/internal/supervisor"
+)
+
+// The failover-equivalence harness needs a runner whose entire state fits
+// in a checkpoint, so that "resumed from the journal on another shard"
+// and "ran uninterrupted on one node" are bit-identical by construction
+// if — and only if — the handoff restored the right bytes. The run folds
+// (seed, iter) into a rolling FNV-style hash; the checkpoint is the
+// (iter, hash) pair; the final hash is the run's AccessChecksum.
+
+type ckptState struct {
+	Iter int    `json:"iter"`
+	Hash uint64 `json:"hash"`
+}
+
+func seedBase(seed int64) uint64 {
+	return 0xcbf29ce484222325 ^ uint64(seed)*0x100000001b3
+}
+
+func stepHash(h uint64, seed int64, iter int) uint64 {
+	h ^= uint64(iter)*0x9E3779B97F4A7C15 + uint64(seed)
+	return h * 0x100000001b3
+}
+
+// expectChecksum is the pure-function oracle: what any uninterrupted
+// execution of (seed, iterations) must produce.
+func expectChecksum(seed int64, iterations int) uint64 {
+	h := seedBase(seed)
+	for i := 0; i < iterations; i++ {
+		h = stepHash(h, seed, i)
+	}
+	return h
+}
+
+// hangingRunner executes the fold. Runs with Chaos="hang" block at
+// iteration Warmup until gate closes (or their context is cancelled — the
+// shard-kill path), having already journaled checkpoints every
+// CheckpointEvery iterations; so at kill time their latest durable state
+// is exactly the (iter, hash) the successor must resume from.
+func hangingRunner(gate <-chan struct{}) supervisor.Runner {
+	return supervisor.RunnerFunc(func(ctx context.Context, spec supervisor.RunSpec, resume []byte, progress func([]byte)) (supervisor.Outcome, error) {
+		st := ckptState{Hash: seedBase(spec.Seed)}
+		if len(resume) > 0 {
+			if err := json.Unmarshal(resume, &st); err != nil {
+				return supervisor.Outcome{}, err
+			}
+		}
+		for st.Iter < spec.Iterations {
+			if spec.Chaos == "hang" && st.Iter == spec.Warmup {
+				select {
+				case <-gate:
+				case <-ctx.Done():
+					return supervisor.Outcome{
+						Status:         string(supervisor.StateCancelled),
+						Iterations:     st.Iter,
+						AccessChecksum: st.Hash,
+					}, nil
+				}
+			}
+			st.Hash = stepHash(st.Hash, spec.Seed, st.Iter)
+			st.Iter++
+			if spec.CheckpointEvery > 0 && st.Iter%spec.CheckpointEvery == 0 && st.Iter < spec.Iterations {
+				b, err := json.Marshal(st)
+				if err != nil {
+					return supervisor.Outcome{}, err
+				}
+				progress(b)
+			}
+		}
+		return supervisor.Outcome{
+			Status:         string(supervisor.StateCompleted),
+			Iterations:     st.Iter,
+			AccessChecksum: st.Hash,
+		}, nil
+	})
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestShardFailoverEquivalence is the headline drill, generalizing the
+// single-node TestKillRestartEquivalence to the federation: kill -9 one
+// shard mid-storm and prove that every run it owned is adopted by a peer
+// — finished runs stay finished, queued runs restart cold, interrupted
+// runs resume from their latest journaled checkpoint — with no run ID
+// lost or duplicated, and every adopted run's AccessChecksum bit-identical
+// to its uninterrupted single-node execution.
+func TestShardFailoverEquivalence(t *testing.T) {
+	gate := make(chan struct{})
+	f, err := New(Config{
+		Shards: 4,
+		Supervisor: supervisor.Config{
+			Runner:        hangingRunner(gate),
+			Workers:       1, // one hung run wedges the shard: queued stays queued
+			QueueDepth:    64,
+			JournalNoSync: true,
+		},
+		JournalDir: t.TempDir(),
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = f.Drain(ctx)
+	}()
+
+	const iters = 8
+	var seed int64
+	specs := map[uint64]supervisor.RunSpec{} // every submitted run, by global ID
+	submit := func(chaos string) uint64 {
+		t.Helper()
+		seed++
+		spec := supervisor.RunSpec{
+			Model:           "bert-base",
+			Batch:           8,
+			Seed:            seed,
+			Iterations:      iters,
+			CheckpointEvery: 2,
+		}
+		if chaos == "hang" {
+			spec.Chaos = "hang"
+			spec.Warmup = 4 // hang after the iteration-4 checkpoint
+		}
+		id, err := f.Submit(spec)
+		if err != nil {
+			t.Fatalf("Submit(seed %d): %v", seed, err)
+		}
+		specs[id] = spec
+		return id
+	}
+
+	// Wave 1: runs that finish before the kill — the victim's journal must
+	// carry them over as history, not re-execute them.
+	var wave1 []uint64
+	for i := 0; i < 16; i++ {
+		wave1 = append(wave1, submit(""))
+	}
+	for _, id := range wave1 {
+		if info, err := f.Wait(id); err != nil || info.State != supervisor.StateCompleted {
+			t.Fatalf("wave1 run %d: %+v, %v", id, info, err)
+		}
+	}
+	// Wave 2: hang runs. Each shard's single worker picks one, checkpoints
+	// through iteration 4, and wedges at the gate. Wave 3 queues behind.
+	for i := 0; i < 24; i++ {
+		submit("hang")
+	}
+	for i := 0; i < 12; i++ {
+		submit("")
+	}
+
+	// Pick a victim shard that exercises all three adoption classes:
+	// finished history, a hung run with journaled checkpoints, queued runs.
+	victim := -1
+	waitFor(t, "a fully-loaded victim shard", func() bool {
+		for _, sh := range f.Shards() {
+			if sh.Running != 1 || sh.Queued < 1 || sh.Terminal < 1 {
+				continue
+			}
+			for _, info := range f.Supervisor(sh.Ordinal).List() {
+				if info.State == supervisor.StateRunning && info.Checkpoints >= 2 {
+					victim = sh.Ordinal
+					return true
+				}
+			}
+		}
+		return false
+	})
+
+	// Snapshot the victim pre-kill. Its single worker is wedged on the
+	// gate, so this set cannot shift under us before the kill.
+	type preRun struct {
+		state       supervisor.RunState
+		attempts    int
+		checkpoints int
+		checksum    uint64
+	}
+	pre := map[uint64]preRun{}
+	for _, info := range f.Supervisor(victim).List() {
+		p := preRun{state: info.State, attempts: info.Attempts, checkpoints: info.Checkpoints}
+		if info.Outcome != nil {
+			p.checksum = info.Outcome.AccessChecksum
+		}
+		pre[info.ID] = p
+	}
+	var preFinished, preRunning, preQueued int
+	for _, p := range pre {
+		switch {
+		case p.state.Terminal():
+			preFinished++
+		case p.state == supervisor.StateRunning:
+			preRunning++
+		default:
+			preQueued++
+		}
+	}
+	if preFinished == 0 || preRunning == 0 || preQueued == 0 {
+		t.Fatalf("victim %d snapshot lacks a class: finished=%d running=%d queued=%d",
+			victim, preFinished, preRunning, preQueued)
+	}
+
+	if err := f.Kill(victim); err != nil {
+		t.Fatalf("Kill(%d): %v", victim, err)
+	}
+	rep, err := f.Handoff(victim)
+	if err != nil {
+		t.Fatalf("Handoff(%d): %v", victim, err)
+	}
+	if rep.Runs != len(pre) {
+		t.Fatalf("handoff saw %d runs, victim held %d", rep.Runs, len(pre))
+	}
+	if rep.Finished != preFinished {
+		t.Fatalf("handoff carried %d finished runs, want %d", rep.Finished, preFinished)
+	}
+	if rep.Queued != preRunning+preQueued {
+		t.Fatalf("handoff re-admitted %d runs, want %d", rep.Queued, preRunning+preQueued)
+	}
+	if rep.Resumed != preRunning {
+		t.Fatalf("handoff resumed %d runs from checkpoints, want %d (the hung ones)", rep.Resumed, preRunning)
+	}
+	if rep.Skipped != 0 {
+		t.Fatalf("first handoff skipped %d runs", rep.Skipped)
+	}
+
+	// Release the storm and wait out every run in the system.
+	close(gate)
+	for id := range specs {
+		info, err := f.Wait(id)
+		if err != nil {
+			t.Fatalf("Wait(%d): %v", id, err)
+		}
+		if info.State != supervisor.StateCompleted {
+			t.Fatalf("run %d ended %s (%s)", id, info.State, info.Reason)
+		}
+		// The bit-identity witness: adopted, resumed, or untouched, the
+		// checksum must match the uninterrupted execution of the same spec.
+		if want := expectChecksum(specs[id].Seed, iters); info.Outcome.AccessChecksum != want {
+			t.Fatalf("run %d checksum %#x, want %#x (seed %d)", id, info.Outcome.AccessChecksum, want, specs[id].Seed)
+		}
+	}
+
+	// Per-class adoption semantics on the victim's runs.
+	for id, p := range pre {
+		info, err := f.Get(id)
+		if err != nil {
+			t.Fatalf("adopted run %d lost: %v", id, err)
+		}
+		ord, ok := f.Owner(id)
+		if !ok || ord == victim {
+			t.Fatalf("run %d owner = %d, ok=%v after handoff from shard %d", id, ord, ok, victim)
+		}
+		switch {
+		case p.state.Terminal():
+			// History: same outcome, not re-executed.
+			if info.Attempts != p.attempts || info.Outcome.AccessChecksum != p.checksum {
+				t.Fatalf("finished run %d re-executed: attempts %d->%d, checksum %#x->%#x",
+					id, p.attempts, info.Attempts, p.checksum, info.Outcome.AccessChecksum)
+			}
+		case p.state == supervisor.StateRunning:
+			// Interrupted: second attempt, resumed from the journaled
+			// checkpoint rather than started cold.
+			if info.Attempts != p.attempts+1 {
+				t.Fatalf("interrupted run %d attempts %d, want %d", id, info.Attempts, p.attempts+1)
+			}
+			if !info.Resumed {
+				t.Fatalf("interrupted run %d restarted cold despite %d checkpoints", id, p.checkpoints)
+			}
+		default:
+			// Queued at kill: starts cold on the successor, first attempt.
+			if info.Attempts != 1 || info.Resumed {
+				t.Fatalf("queued run %d adopted wrong: attempts=%d resumed=%v", id, info.Attempts, info.Resumed)
+			}
+		}
+	}
+
+	// No run lost, none duplicated: every submitted ID is owned by exactly
+	// one live shard, and the live shards' rosters agree with the owner map.
+	seen := map[uint64]int{}
+	for _, sh := range f.Shards() {
+		if sh.Ordinal == victim {
+			continue
+		}
+		for _, info := range f.Supervisor(sh.Ordinal).List() {
+			if ord, _ := f.Owner(info.ID); ord == sh.Ordinal {
+				seen[info.ID]++
+			}
+		}
+	}
+	for id := range specs {
+		if n := seen[id]; n != 1 {
+			t.Fatalf("run %d appears on %d live shards, want exactly 1", id, n)
+		}
+	}
+	if len(seen) != len(specs) {
+		t.Fatalf("live shards hold %d runs, submitted %d", len(seen), len(specs))
+	}
+
+	st := f.Stats()
+	if st.Live != 3 || st.Handoffs != 1 || st.Rebalances != 1 {
+		t.Fatalf("Stats after failover = %+v", st)
+	}
+	if st.Terminal != len(specs) {
+		t.Fatalf("terminal runs %d, want %d", st.Terminal, len(specs))
+	}
+}
+
+// TestFailoverWaitRendezvous: a Wait blocked on a run while its shard is
+// killed must survive the handoff and return the successor's truth, not
+// the dead shard's in-memory snapshot.
+func TestFailoverWaitRendezvous(t *testing.T) {
+	gate := make(chan struct{})
+	f, err := New(Config{
+		Shards: 2,
+		Supervisor: supervisor.Config{
+			Runner:        hangingRunner(gate),
+			Workers:       1,
+			QueueDepth:    64,
+			JournalNoSync: true,
+		},
+		JournalDir: t.TempDir(),
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer func() {
+		// gate is closed in the test body; a failing early exit leans on
+		// Drain's escalation to cancel the still-hung runs.
+		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		_ = f.Drain(ctx)
+	}()
+
+	// Park one hung run per shard so either can be the victim.
+	var seed int64
+	hung := map[int]uint64{}
+	for len(hung) < 2 {
+		seed++
+		id, err := f.Submit(supervisor.RunSpec{
+			Model: "m", Batch: 1, Seed: seed, Iterations: 8,
+			CheckpointEvery: 2, Chaos: "hang", Warmup: 4,
+		})
+		if err != nil {
+			t.Fatalf("Submit: %v", err)
+		}
+		ord, _ := f.Owner(id)
+		if _, dup := hung[ord]; !dup {
+			hung[ord] = id
+		}
+	}
+	victim := 0
+	target := hung[victim]
+	waitFor(t, "victim run to checkpoint", func() bool {
+		info, err := f.Supervisor(victim).Get(target)
+		return err == nil && info.State == supervisor.StateRunning && info.Checkpoints >= 2
+	})
+
+	got := make(chan supervisor.RunInfo, 1)
+	go func() {
+		info, err := f.Wait(target)
+		if err != nil {
+			t.Errorf("Wait(%d): %v", target, err)
+		}
+		got <- info
+	}()
+	if _, err := f.Failover(victim); err != nil {
+		t.Fatalf("Failover: %v", err)
+	}
+	close(gate)
+	select {
+	case info := <-got:
+		if info.State != supervisor.StateCompleted {
+			t.Fatalf("waited run ended %s (%s)", info.State, info.Reason)
+		}
+		if want := expectChecksum(info.Spec.Seed, 8); info.Outcome.AccessChecksum != want {
+			t.Fatalf("waited run checksum %#x, want %#x", info.Outcome.AccessChecksum, want)
+		}
+		if !info.Resumed || info.Attempts != 2 {
+			t.Fatalf("waited run not resumed on successor: %+v", info)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Wait never returned after failover")
+	}
+}

@@ -1,0 +1,651 @@
+// Package federation shards the run supervisor horizontally: a
+// consistent-hash ring of supervisor.Supervisor shards behind one
+// admission front-end. Every shard owns a slice of the run-ID space and
+// journals its runs in its own crash-safe WAL, so when a shard is
+// kill-9'd mid-storm the federation replays the dead shard's journal
+// read-only and hands its runs to the surviving peers: finished runs stay
+// finished, queued runs restart cold, interrupted runs resume from their
+// latest journaled checkpoint — no run ID lost, none duplicated.
+//
+// The failure protocol is two explicit steps (Failover composes them):
+//
+//	Kill(n)    — shard n dies; its ID range rejects with *HandoffError
+//	             (the serve layer turns that into 503 + Retry-After).
+//	Handoff(n) — replay shard n's journal, re-hash each run onto the
+//	             surviving ring, Adopt into the successors (each adoption
+//	             is write-ahead journaled by the successor before it is
+//	             accepted, so the handoff itself survives a further kill),
+//	             then rename the dead journal to *.adopted so a replayed
+//	             handoff is a no-op.
+//
+// Ownership is tracked per run ID, not recomputed from the ring: the ring
+// decides placement at admission and succession at handoff; the owner map
+// is the routing truth afterwards. That keeps already-placed runs pinned
+// while the ring shrinks.
+package federation
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"deepum/internal/metrics"
+	"deepum/internal/obs"
+	"deepum/internal/supervisor"
+)
+
+// Config parameterizes a Federation.
+type Config struct {
+	// Shards is the shard count; defaults to 4.
+	Shards int
+	// Supervisor is the per-shard template config. JournalPath is ignored —
+	// each shard journals to JournalDir/shard-<n>.journal.
+	Supervisor supervisor.Config
+	// JournalDir holds the per-shard journals; required (journal handoff is
+	// the whole point — a journal-less shard would lose its runs on kill).
+	JournalDir string
+	// Replicas is the virtual-node count per shard on the hash ring
+	// (default 64).
+	Replicas int
+	// Obs, when set, receives shard-lifecycle events (kill, adopt, handoff,
+	// rebalance) on the shard track.
+	Obs *obs.Recorder
+}
+
+// Federation is the sharded front-end. All methods are safe for
+// concurrent use.
+type Federation struct {
+	cfg   Config
+	epoch time.Time
+	prom  *metrics.Registry
+
+	mu     sync.Mutex
+	shards []*shard
+	ring   *ring
+	nextID uint64
+	owner  map[uint64]int
+	// topo is closed (and replaced) when a handoff completes; blocked
+	// waiters re-resolve ownership instead of polling.
+	topo       chan struct{}
+	handoffs   int
+	rebalances int
+}
+
+type shard struct {
+	ordinal int
+	sup     *supervisor.Supervisor
+	journal string
+	alive   bool
+	// handoff is non-nil from Kill until Handoff completes.
+	handoff *handoffState
+}
+
+type handoffState struct {
+	since      time.Time
+	inProgress bool
+}
+
+// HandoffError rejects a request whose run (or fresh run ID) maps to a
+// dead shard whose journal has not been handed off yet. It is retryable:
+// once Handoff completes, the ID range belongs to a live successor.
+type HandoffError struct {
+	// Shard is the dead shard's ordinal.
+	Shard int
+	// Since is when the shard was declared dead.
+	Since time.Time
+}
+
+func (e *HandoffError) Error() string {
+	return fmt.Sprintf("federation: shard %d is dead awaiting journal handoff (since %s); retry after handoff",
+		e.Shard, e.Since.Format(time.RFC3339))
+}
+
+// Retryable reports that waiting out the handoff clears the rejection.
+func (e *HandoffError) Retryable() bool { return true }
+
+// ShardError wraps a shard-local error with the owning shard's ordinal so
+// callers (and HTTP error bodies) can say which shard rejected. Unwrap
+// exposes the shard's typed error for errors.Is/As.
+type ShardError struct {
+	Shard int
+	Err   error
+}
+
+func (e *ShardError) Error() string {
+	return fmt.Sprintf("federation: shard %d: %v", e.Shard, e.Err)
+}
+
+func (e *ShardError) Unwrap() error { return e.Err }
+
+// New builds the shard fleet, replaying each shard's journal (a restarted
+// federation self-recovers shard by shard), and seeds the global run-ID
+// counter past everything the journals know.
+func New(cfg Config) (*Federation, error) {
+	if cfg.Shards <= 0 {
+		cfg.Shards = 4
+	}
+	if cfg.Supervisor.Runner == nil {
+		return nil, fmt.Errorf("federation: Config.Supervisor.Runner is required")
+	}
+	if cfg.JournalDir == "" {
+		return nil, fmt.Errorf("federation: Config.JournalDir is required (journal handoff needs per-shard journals)")
+	}
+	if err := os.MkdirAll(cfg.JournalDir, 0o755); err != nil {
+		return nil, fmt.Errorf("federation: creating journal dir: %w", err)
+	}
+	f := &Federation{
+		cfg:    cfg,
+		epoch:  time.Now(),
+		prom:   metrics.NewRegistry(),
+		owner:  map[uint64]int{},
+		topo:   make(chan struct{}),
+		nextID: 1,
+	}
+	ordinals := make([]int, cfg.Shards)
+	for i := 0; i < cfg.Shards; i++ {
+		ordinals[i] = i
+		scfg := cfg.Supervisor
+		scfg.JournalPath = filepath.Join(cfg.JournalDir, fmt.Sprintf("shard-%d.journal", i))
+		sup, err := supervisor.New(scfg)
+		if err != nil {
+			for _, sh := range f.shards {
+				sh.sup.Kill()
+			}
+			return nil, fmt.Errorf("federation: shard %d: %w", i, err)
+		}
+		f.shards = append(f.shards, &shard{ordinal: i, sup: sup, journal: scfg.JournalPath, alive: true})
+	}
+	f.ring = buildRing(ordinals, cfg.Replicas)
+	// Rebuild the routing truth from the shards' replayed journals. A crash
+	// inside a previous handoff (after some Adopts, before the *.adopted
+	// rename) can leave a run on two journals; keep the first copy and
+	// cancel the later one so exactly one shard ever executes it.
+	for _, sh := range f.shards {
+		for _, info := range sh.sup.List() {
+			if _, dup := f.owner[info.ID]; dup {
+				_ = sh.sup.Cancel(info.ID)
+				continue
+			}
+			f.owner[info.ID] = sh.ordinal
+			if info.ID >= f.nextID {
+				f.nextID = info.ID + 1
+			}
+		}
+	}
+	f.initMetrics()
+	return f, nil
+}
+
+// Submit admits one run: a globally-unique ID is assigned, hashed onto the
+// ring, and submitted to the owning shard. Rejections keep their shard-
+// local types behind *ShardError; an ID landing on a dead shard mid-
+// handoff rejects with *HandoffError. Rejected IDs are burned, never
+// reused — IDs are identities, not a dense sequence.
+func (f *Federation) Submit(spec supervisor.RunSpec) (uint64, error) {
+	f.mu.Lock()
+	id := f.nextID
+	f.nextID++
+	ord := f.ring.owner(id)
+	sh := f.shards[ord]
+	if !sh.alive {
+		err := f.handoffErrLocked(sh)
+		f.mu.Unlock()
+		f.prom.Counter(mHandoffRejections, "", nil).Inc()
+		return 0, err
+	}
+	f.owner[id] = ord
+	f.mu.Unlock()
+	if _, err := sh.sup.SubmitID(id, spec); err != nil {
+		f.mu.Lock()
+		delete(f.owner, id)
+		// Kill can land between the alive check above and SubmitID, making
+		// the shard reject with its shutdown error. The caller must see the
+		// same retryable handoff rejection it would have seen a microsecond
+		// later, not a "federation draining" signal that is not true.
+		if !sh.alive && errors.Is(err, supervisor.ErrShuttingDown) {
+			herr := f.handoffErrLocked(sh)
+			f.mu.Unlock()
+			f.prom.Counter(mHandoffRejections, "", nil).Inc()
+			return 0, herr
+		}
+		f.mu.Unlock()
+		return 0, &ShardError{Shard: ord, Err: err}
+	}
+	f.prom.Counter(mShardSubmissions, "", shardLabel(ord)).Inc()
+	return id, nil
+}
+
+// handoffErrLocked builds the rejection for a dead shard; caller holds mu.
+func (f *Federation) handoffErrLocked(sh *shard) *HandoffError {
+	e := &HandoffError{Shard: sh.ordinal}
+	if sh.handoff != nil {
+		e.Since = sh.handoff.since
+	}
+	return e
+}
+
+// route resolves a run ID to its live owning shard.
+func (f *Federation) route(id uint64) (*shard, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	ord, ok := f.owner[id]
+	if !ok {
+		return nil, &supervisor.NotFoundError{ID: id}
+	}
+	sh := f.shards[ord]
+	if !sh.alive {
+		return nil, f.handoffErrLocked(sh)
+	}
+	return sh, nil
+}
+
+// Get snapshots one run from its owning shard.
+func (f *Federation) Get(id uint64) (supervisor.RunInfo, error) {
+	sh, err := f.route(id)
+	if err != nil {
+		return supervisor.RunInfo{}, err
+	}
+	info, err := sh.sup.Get(id)
+	if err != nil {
+		return info, &ShardError{Shard: sh.ordinal, Err: err}
+	}
+	return info, nil
+}
+
+// Cancel stops a run on its owning shard.
+func (f *Federation) Cancel(id uint64) error {
+	sh, err := f.route(id)
+	if err != nil {
+		return err
+	}
+	if err := sh.sup.Cancel(id); err != nil {
+		return &ShardError{Shard: sh.ordinal, Err: err}
+	}
+	return nil
+}
+
+// Wait blocks until the run is terminal on a live owner. If the owning
+// shard is killed while waiting, Wait re-resolves after the handoff moves
+// the run — the returned snapshot always comes from a shard that was the
+// run's live owner at read time, never from a dead shard's untrustworthy
+// in-memory state. A run on a killed shard that is never handed off keeps
+// Wait blocked (there is no truthful answer until the journal is adopted).
+func (f *Federation) Wait(id uint64) (supervisor.RunInfo, error) {
+	for {
+		f.mu.Lock()
+		ord, ok := f.owner[id]
+		if !ok {
+			f.mu.Unlock()
+			return supervisor.RunInfo{}, &supervisor.NotFoundError{ID: id}
+		}
+		sh := f.shards[ord]
+		topo := f.topo
+		alive := sh.alive
+		f.mu.Unlock()
+		if !alive {
+			<-topo // handoff completion re-routes the run
+			continue
+		}
+		done, err := sh.sup.Done(id)
+		if err != nil {
+			// Ownership says this shard, the shard disagrees: the owner map
+			// moved between our read and the lookup. Re-resolve.
+			select {
+			case <-topo:
+			case <-sh.sup.Killed():
+			}
+			continue
+		}
+		select {
+		case <-done:
+			info, gerr := sh.sup.Get(id)
+			if gerr != nil {
+				continue
+			}
+			f.mu.Lock()
+			settled := f.shards[ord].alive && f.owner[id] == ord
+			f.mu.Unlock()
+			if settled {
+				return info, nil
+			}
+			// The shard died (or the run moved) while we read; its snapshot
+			// may disagree with the journal. Resolve again.
+		case <-sh.sup.Killed():
+			// The run will finish on whichever peer adopts it.
+		}
+	}
+}
+
+// List snapshots every run owned by a live shard, ascending by run ID.
+// Runs stranded on a dead shard mid-handoff are omitted until adopted.
+func (f *Federation) List() []supervisor.RunInfo {
+	f.mu.Lock()
+	type ref struct {
+		id  uint64
+		sup *supervisor.Supervisor
+	}
+	refs := make([]ref, 0, len(f.owner))
+	for id, ord := range f.owner {
+		if sh := f.shards[ord]; sh.alive {
+			refs = append(refs, ref{id: id, sup: sh.sup})
+		}
+	}
+	f.mu.Unlock()
+	sort.Slice(refs, func(i, j int) bool { return refs[i].id < refs[j].id })
+	out := make([]supervisor.RunInfo, 0, len(refs))
+	for _, r := range refs {
+		if info, err := r.sup.Get(r.id); err == nil {
+			out = append(out, info)
+		}
+	}
+	return out
+}
+
+// Kill hard-stops one shard, simulating a process kill: nothing more is
+// journaled there, in-flight runs are interrupted, and the shard's ID
+// range rejects with *HandoffError until Handoff moves its journal to the
+// survivors.
+func (f *Federation) Kill(ordinal int) error {
+	f.mu.Lock()
+	if ordinal < 0 || ordinal >= len(f.shards) {
+		f.mu.Unlock()
+		return fmt.Errorf("federation: no shard %d", ordinal)
+	}
+	sh := f.shards[ordinal]
+	if !sh.alive {
+		f.mu.Unlock()
+		return fmt.Errorf("federation: shard %d is already dead", ordinal)
+	}
+	sh.alive = false
+	sh.handoff = &handoffState{since: time.Now()}
+	f.mu.Unlock()
+	f.note("kill", ordinal, 0, -1)
+	sh.sup.Kill()
+	return nil
+}
+
+// HandoffReport summarizes one journal handoff.
+type HandoffReport struct {
+	// Shard is the dead shard whose journal was adopted.
+	Shard int `json:"shard"`
+	// Runs is how many runs the dead journal held.
+	Runs int `json:"runs"`
+	// Queued counts non-terminal runs re-admitted on successors (Resumed of
+	// them from a journaled checkpoint), Finished terminal history carried
+	// over, Skipped runs a successor already knew (idempotent replay).
+	Queued   int `json:"queued"`
+	Resumed  int `json:"resumed"`
+	Finished int `json:"finished"`
+	Skipped  int `json:"skipped"`
+	// Successors maps successor ordinal to how many of the dead shard's
+	// runs it now owns.
+	Successors map[int]int `json:"successors,omitempty"`
+}
+
+// Handoff adopts a dead shard's journal into the surviving peers: replay
+// read-only, re-hash every run onto the shrunken ring, Adopt per
+// successor (write-ahead journaled there), rename the dead journal to
+// *.adopted, then flip ownership and the ring. A failed handoff leaves
+// ownership untouched and may be retried — successors skip runs they
+// already adopted.
+func (f *Federation) Handoff(ordinal int) (HandoffReport, error) {
+	rep := HandoffReport{Shard: ordinal, Successors: map[int]int{}}
+	f.mu.Lock()
+	if ordinal < 0 || ordinal >= len(f.shards) {
+		f.mu.Unlock()
+		return rep, fmt.Errorf("federation: no shard %d", ordinal)
+	}
+	sh := f.shards[ordinal]
+	switch {
+	case sh.alive:
+		f.mu.Unlock()
+		return rep, fmt.Errorf("federation: shard %d is alive; kill it before handing off its journal", ordinal)
+	case sh.handoff == nil:
+		f.mu.Unlock()
+		return rep, fmt.Errorf("federation: shard %d was already handed off", ordinal)
+	case sh.handoff.inProgress:
+		f.mu.Unlock()
+		return rep, fmt.Errorf("federation: shard %d handoff already in progress", ordinal)
+	}
+	sh.handoff.inProgress = true
+	var live []int
+	for _, s := range f.shards {
+		if s.alive {
+			live = append(live, s.ordinal)
+		}
+	}
+	f.mu.Unlock()
+	fail := func(err error) (HandoffReport, error) {
+		f.mu.Lock()
+		sh.handoff.inProgress = false
+		f.mu.Unlock()
+		return rep, err
+	}
+	if len(live) == 0 {
+		return fail(fmt.Errorf("federation: no live shard left to adopt shard %d's runs", ordinal))
+	}
+	newRing := buildRing(live, f.cfg.Replicas)
+
+	adoptions, _, err := supervisor.ReplayJournal(sh.journal)
+	if err != nil {
+		return fail(fmt.Errorf("federation: replaying shard %d journal: %w", ordinal, err))
+	}
+	rep.Runs = len(adoptions)
+	successor := make(map[uint64]int, len(adoptions))
+	groups := map[int][]supervisor.Adoption{}
+	for _, a := range adoptions {
+		succ := newRing.owner(a.ID)
+		successor[a.ID] = succ
+		groups[succ] = append(groups[succ], a)
+	}
+	// Deterministic adoption order so a crashed-and-retried handoff replays
+	// the same way.
+	succs := make([]int, 0, len(groups))
+	for s := range groups {
+		succs = append(succs, s)
+	}
+	sort.Ints(succs)
+	for _, succ := range succs {
+		r, err := f.shards[succ].sup.Adopt(groups[succ])
+		if err != nil {
+			return fail(fmt.Errorf("federation: shard %d adopting from shard %d: %w", succ, ordinal, err))
+		}
+		rep.Queued += r.Queued
+		rep.Resumed += r.Resumed
+		rep.Finished += r.Finished
+		rep.Skipped += r.Skipped
+		rep.Successors[succ] = len(groups[succ])
+		f.prom.Counter(mShardAdopted, "", shardLabel(succ)).Add(int64(r.Queued + r.Finished))
+		f.note("adopt", ordinal, int64(len(groups[succ])), int64(succ))
+	}
+	// The rename is the handoff's commit point on disk: once the journal is
+	// *.adopted, a federation restart will not resurrect the dead shard's
+	// runs alongside the adopted copies.
+	if err := os.Rename(sh.journal, sh.journal+".adopted"); err != nil {
+		return fail(fmt.Errorf("federation: retiring shard %d journal: %w", ordinal, err))
+	}
+	f.mu.Lock()
+	for id, succ := range successor {
+		f.owner[id] = succ
+	}
+	f.ring = newRing
+	sh.handoff = nil
+	f.handoffs++
+	f.rebalances++
+	close(f.topo)
+	f.topo = make(chan struct{})
+	f.mu.Unlock()
+	f.prom.Counter(mHandoffs, "", nil).Inc()
+	f.prom.Counter(mRebalances, "", nil).Inc()
+	f.note("handoff", ordinal, int64(rep.Runs), -1)
+	f.note("rebalance", ordinal, int64(len(live)), -1)
+	return rep, nil
+}
+
+// Failover is Kill then Handoff — the whole shard-death drill in one call.
+func (f *Federation) Failover(ordinal int) (HandoffReport, error) {
+	if err := f.Kill(ordinal); err != nil {
+		return HandoffReport{}, err
+	}
+	return f.Handoff(ordinal)
+}
+
+// Supervisor exposes one shard's supervisor (tests, inspection).
+func (f *Federation) Supervisor(ordinal int) *supervisor.Supervisor {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if ordinal < 0 || ordinal >= len(f.shards) {
+		return nil
+	}
+	return f.shards[ordinal].sup
+}
+
+// Owner reports which shard currently owns the run ID.
+func (f *Federation) Owner(id uint64) (int, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	ord, ok := f.owner[id]
+	return ord, ok
+}
+
+// ShardStats is one shard's row in the /shards status endpoint.
+type ShardStats struct {
+	Ordinal int  `json:"ordinal"`
+	Alive   bool `json:"alive"`
+	// HandoffPending marks a dead shard whose journal has not been adopted
+	// yet — its ID range is rejecting with 503s.
+	HandoffPending bool   `json:"handoff_pending,omitempty"`
+	Journal        string `json:"journal"`
+	Queued         int    `json:"queued"`
+	Running        int    `json:"running"`
+	Terminal       int    `json:"terminal"`
+	// Recovered counts runs replayed from the shard's own journal at start;
+	// Adopted counts runs taken over from dead peers.
+	Recovered int `json:"recovered,omitempty"`
+	Adopted   int `json:"adopted,omitempty"`
+}
+
+// Shards snapshots every shard.
+func (f *Federation) Shards() []ShardStats {
+	f.mu.Lock()
+	shards := append([]*shard(nil), f.shards...)
+	alive := make([]bool, len(shards))
+	pending := make([]bool, len(shards))
+	for i, sh := range shards {
+		alive[i] = sh.alive
+		pending[i] = sh.handoff != nil
+	}
+	f.mu.Unlock()
+	out := make([]ShardStats, len(shards))
+	for i, sh := range shards {
+		st := sh.sup.Stats()
+		out[i] = ShardStats{
+			Ordinal:        sh.ordinal,
+			Alive:          alive[i],
+			HandoffPending: pending[i],
+			Journal:        sh.journal,
+			Queued:         st.Queued,
+			Running:        st.Running,
+			Terminal:       st.Terminal,
+			Recovered:      st.Recovered,
+			Adopted:        st.Adopted,
+		}
+	}
+	return out
+}
+
+// Stats is the federation-wide aggregate.
+type Stats struct {
+	Shards     int    `json:"shards"`
+	Live       int    `json:"live"`
+	Handoffs   int    `json:"handoffs"`
+	Rebalances int    `json:"rebalances"`
+	NextID     uint64 `json:"next_id"`
+	Queued     int    `json:"queued"`
+	Running    int    `json:"running"`
+	Terminal   int    `json:"terminal"`
+	// Adopted totals runs adopted across all shards (non-terminal).
+	Adopted int `json:"adopted"`
+}
+
+// Stats aggregates across live shards.
+func (f *Federation) Stats() Stats {
+	f.mu.Lock()
+	st := Stats{
+		Shards:     len(f.shards),
+		Handoffs:   f.handoffs,
+		Rebalances: f.rebalances,
+		NextID:     f.nextID,
+	}
+	var liveShards []*shard
+	for _, sh := range f.shards {
+		if sh.alive {
+			liveShards = append(liveShards, sh)
+		}
+	}
+	f.mu.Unlock()
+	st.Live = len(liveShards)
+	for _, sh := range liveShards {
+		s := sh.sup.Stats()
+		st.Queued += s.Queued
+		st.Running += s.Running
+		st.Terminal += s.Terminal
+		st.Adopted += s.Adopted
+	}
+	return st
+}
+
+// Accepting reports whether any live shard still admits runs (the /readyz
+// signal; a mid-handoff federation stays ready on its surviving shards).
+func (f *Federation) Accepting() bool {
+	f.mu.Lock()
+	shards := append([]*shard(nil), f.shards...)
+	f.mu.Unlock()
+	for _, sh := range shards {
+		if sh.alive && sh.sup.Accepting() {
+			return true
+		}
+	}
+	return false
+}
+
+// Drain shuts every shard down gracefully (killed shards no-op), honoring
+// ctx the way supervisor.Drain does.
+func (f *Federation) Drain(ctx context.Context) error {
+	f.mu.Lock()
+	shards := append([]*shard(nil), f.shards...)
+	f.mu.Unlock()
+	errs := make([]error, len(shards))
+	var wg sync.WaitGroup
+	for i, sh := range shards {
+		wg.Add(1)
+		go func(i int, sh *shard) {
+			defer wg.Done()
+			if err := sh.sup.Drain(ctx); err != nil {
+				errs[i] = fmt.Errorf("shard %d: %w", sh.ordinal, err)
+			}
+		}(i, sh)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// Metrics exposes the federation's Prometheus registry (per-shard series
+// plus ring/handoff counters). Shard supervisors keep their own
+// registries; the federation registry is the one deepum-serve scrapes.
+func (f *Federation) Metrics() *metrics.Registry { return f.prom }
+
+// note emits one shard-lifecycle event: Name is the action, Block the
+// shard ordinal, Arg the run count, Arg2 the peer ordinal (-1 if none).
+func (f *Federation) note(action string, ordinal int, runs, peer int64) {
+	if f.cfg.Obs == nil {
+		return
+	}
+	f.cfg.Obs.Instant(obs.KindShard, obs.TrackShard,
+		time.Since(f.epoch).Nanoseconds(), action, int64(ordinal), runs, peer)
+}

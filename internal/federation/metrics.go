@@ -1,0 +1,61 @@
+package federation
+
+import "strconv"
+
+// Federation metric names. Every per-shard series is pre-registered at
+// construction so the first scrape already shows the whole fleet at zero —
+// a dashboard can alert on deepum_shard_up dropping without waiting for an
+// event to create the series.
+const (
+	mShardUp           = "deepum_shard_up"
+	mShardAdopted      = "deepum_shard_adopted_runs_total"
+	mShardSubmissions  = "deepum_shard_submissions_total"
+	mShardQueued       = "deepum_shard_queued_runs"
+	mShardRunning      = "deepum_shard_running_runs"
+	mHandoffs          = "deepum_federation_handoffs_total"
+	mRebalances        = "deepum_federation_ring_rebalances_total"
+	mHandoffRejections = "deepum_federation_handoff_rejections_total"
+	mShardsLive        = "deepum_federation_shards_live"
+)
+
+func shardLabel(ordinal int) map[string]string {
+	return map[string]string{"shard": strconv.Itoa(ordinal)}
+}
+
+func (f *Federation) initMetrics() {
+	for _, sh := range f.shards {
+		sh := sh
+		lbl := shardLabel(sh.ordinal)
+		f.prom.GaugeFunc(mShardUp, "Shard liveness (1 = alive, 0 = killed).",
+			lbl, func() float64 {
+				f.mu.Lock()
+				defer f.mu.Unlock()
+				if sh.alive {
+					return 1
+				}
+				return 0
+			})
+		f.prom.Counter(mShardAdopted,
+			"Runs adopted by this shard from dead peers' journals (terminal history included).", lbl)
+		f.prom.Counter(mShardSubmissions,
+			"Runs admitted through the federation front-end, by owning shard.", lbl)
+		f.prom.GaugeFunc(mShardQueued, "Admitted runs waiting for a worker, by shard.",
+			lbl, func() float64 { return float64(sh.sup.Stats().Queued) })
+		f.prom.GaugeFunc(mShardRunning, "Runs executing right now, by shard.",
+			lbl, func() float64 { return float64(sh.sup.Stats().Running) })
+	}
+	f.prom.Counter(mHandoffs, "Completed journal handoffs from dead shards to live successors.", nil)
+	f.prom.Counter(mRebalances, "Consistent-hash ring rebuilds after a shard handoff.", nil)
+	f.prom.Counter(mHandoffRejections, "Requests rejected because the owning shard is dead awaiting handoff.", nil)
+	f.prom.GaugeFunc(mShardsLive, "Live shards on the ring.", nil, func() float64 {
+		f.mu.Lock()
+		defer f.mu.Unlock()
+		n := 0
+		for _, sh := range f.shards {
+			if sh.alive {
+				n++
+			}
+		}
+		return float64(n)
+	})
+}

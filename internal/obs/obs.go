@@ -74,6 +74,12 @@ const (
 	// component; score samples carry Name = component name with Arg = score
 	// in parts-per-million and Arg2 = the component.
 	KindHealth
+	// KindShard is a federation shard-lifecycle event. Name = the action
+	// ("kill", "handoff", "adopt", "rebalance"), Block = the shard ordinal
+	// the action concerns, Arg = the action's count payload (runs adopted,
+	// live shards after a rebalance), Arg2 = the peer shard ordinal for
+	// "adopt" (the successor that took the runs).
+	KindShard
 )
 
 // Evict flag bits for KindEvict.Arg2.
@@ -116,13 +122,15 @@ func (k Kind) String() string {
 		return "mark"
 	case KindHealth:
 		return "health"
+	case KindShard:
+		return "shard"
 	}
 	return "none"
 }
 
 // kindByName is the inverse of Kind.String, used by the trace reader.
 func kindByName(s string) (Kind, bool) {
-	for k := KindIteration; k <= KindHealth; k++ {
+	for k := KindIteration; k <= KindShard; k++ {
 		if k.String() == s {
 			return k, true
 		}
@@ -154,6 +162,9 @@ const (
 	// TrackHealth carries degradation-ladder transitions and component
 	// score samples.
 	TrackHealth
+	// TrackShard carries federation shard-lifecycle events (kills,
+	// handoffs, adoptions, ring rebalances) on the wall clock.
+	TrackShard
 	numTracks
 )
 
@@ -177,6 +188,8 @@ func (t Track) String() string {
 		return "pipeline"
 	case TrackHealth:
 		return "health"
+	case TrackShard:
+		return "shard"
 	}
 	return "unknown"
 }

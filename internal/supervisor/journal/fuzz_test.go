@@ -1,0 +1,151 @@
+package journal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"testing"
+)
+
+// frame hand-encodes one journal frame exactly as Append lays it out
+// (length, type, runID, data, CRC over length+payload), so the fuzz corpus
+// can craft CRC-valid hostile frames the file-level API would refuse to
+// write.
+func frame(typ RecordType, runID uint64, data []byte) []byte {
+	var buf bytes.Buffer
+	writeU32(&buf, uint32(1+8+len(data)))
+	buf.WriteByte(byte(typ))
+	var id [8]byte
+	binary.LittleEndian.PutUint64(id[:], runID)
+	buf.Write(id[:])
+	buf.Write(data)
+	writeU32(&buf, crc32.ChecksumIEEE(buf.Bytes()))
+	return buf.Bytes()
+}
+
+// rawFrame builds a frame from an already-encoded length field and payload,
+// with a correct CRC — for lying length fields the checksum cannot catch.
+func rawFrame(length uint32, payload []byte) []byte {
+	var buf bytes.Buffer
+	writeU32(&buf, length)
+	buf.Write(payload)
+	writeU32(&buf, crc32.ChecksumIEEE(buf.Bytes()))
+	return buf.Bytes()
+}
+
+// journalImage assembles a syntactically valid journal file: header plus
+// the given frames.
+func journalImage(frames ...[]byte) []byte {
+	var buf bytes.Buffer
+	buf.Write(fileMagic[:])
+	writeU32(&buf, Version)
+	for _, f := range frames {
+		buf.Write(f)
+	}
+	return buf.Bytes()
+}
+
+// FuzzReplayJournal feeds Replay adversarial WAL bytes. Whatever the input
+// — torn tails, bit flips, lying length fields, confused record types —
+// the decoder must never panic, never size an allocation from an
+// unvalidated length, and must satisfy two fixed points: re-encoding the
+// replayed prefix yields a journal that replays identically and cleanly,
+// and truncating the original file at the reported torn offset removes
+// exactly the unreadable tail (the same records then parse clean to EOF).
+func FuzzReplayJournal(f *testing.F) {
+	spec := []byte(`{"spec":{"model":"bert-base","batch":8},"demand":1048576}`)
+	fin := []byte(`{"state":"completed","outcome":{"status":"completed"}}`)
+	valid := journalImage(
+		frame(RecSubmitted, 1, spec),
+		frame(RecStarted, 1, nil),
+		frame(RecCheckpointed, 1, bytes.Repeat([]byte{0xAB}, 64)),
+		frame(RecFinished, 1, fin),
+		frame(RecSubmitted, 2, spec),
+	)
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte("DEEPUMWJ"))             // header torn mid-version
+	f.Add(journalImage())                 // header only, no frames
+	f.Add([]byte("NOTAJRNL\x01\x00\x00\x00")) // wrong magic
+	f.Add(valid[:len(valid)-3])           // torn tail: truncated CRC
+	f.Add(valid[:headerLen+2])            // torn tail: truncated length field
+	flipped := bytes.Clone(valid)         // bit flip mid-payload
+	flipped[headerLen+10] ^= 0x20
+	f.Add(flipped)
+	// CRC-valid hostile frames: the checksum passes, so every defense must
+	// live in the frame decoder itself.
+	f.Add(journalImage(rawFrame(0xFFFFFFFF, []byte{byte(RecSubmitted)})))    // length ~4 GiB
+	f.Add(journalImage(rawFrame(MaxRecordBytes+1, []byte{byte(RecSubmitted)}))) // just over the cap
+	f.Add(journalImage(rawFrame(3, []byte{byte(RecSubmitted), 0, 0})))       // length below type+runID
+	f.Add(journalImage(frame(RecordType(99), 1, nil)))                       // unknown type, valid CRC
+	f.Add(journalImage(frame(RecStarted, 1, spec)))                          // type confusion: started with payload
+	f.Add(journalImage(frame(RecFinished, 1, nil), frame(RecordType(0), 2, nil))) // good frame then zero type
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<20 {
+			data = data[:1<<20]
+		}
+		recs, stats, err := Replay(bytes.NewReader(data))
+		if err != nil {
+			// Errors are reserved for "not a journal at all"; they must
+			// never come with replayed records.
+			if len(recs) != 0 {
+				t.Fatalf("Replay returned %d records alongside error %v", len(recs), err)
+			}
+			return
+		}
+		if stats.Records != len(recs) {
+			t.Fatalf("stats.Records = %d, replayed %d", stats.Records, len(recs))
+		}
+		for i, r := range recs {
+			if !knownType(r.Type) {
+				t.Fatalf("record %d has unknown type %d", i, r.Type)
+			}
+			if len(r.Data) > MaxRecordBytes {
+				t.Fatalf("record %d data %d bytes exceeds MaxRecordBytes", i, len(r.Data))
+			}
+			if r.Type == RecStarted && len(r.Data) > 0 {
+				t.Fatalf("record %d: started record with %d payload bytes survived replay", i, len(r.Data))
+			}
+		}
+
+		// Fixed point 1: the replayed prefix re-encodes to a journal that
+		// replays identically and parses clean to EOF.
+		frames := make([][]byte, len(recs))
+		for i, r := range recs {
+			frames[i] = frame(r.Type, r.RunID, r.Data)
+		}
+		again, astats, err := Replay(bytes.NewReader(journalImage(frames...)))
+		if err != nil {
+			t.Fatalf("re-encoded journal does not replay: %v", err)
+		}
+		if astats.TornOffset != -1 {
+			t.Fatalf("re-encoded journal reports torn offset %d", astats.TornOffset)
+		}
+		if len(again) != len(recs) {
+			t.Fatalf("re-encoded journal replays %d records, want %d", len(again), len(recs))
+		}
+		for i := range recs {
+			a, b := recs[i], again[i]
+			if a.Type != b.Type || a.RunID != b.RunID || !bytes.Equal(a.Data, b.Data) {
+				t.Fatalf("record %d drifted across re-encode: %+v vs %+v", i, a, b)
+			}
+		}
+
+		// Fixed point 2: truncating at the torn offset removes exactly the
+		// unreadable tail — what Open does to heal the file.
+		if stats.TornOffset >= 0 {
+			if stats.TornOffset < headerLen || stats.TornOffset > int64(len(data)) {
+				t.Fatalf("torn offset %d outside [header, len] of %d-byte file", stats.TornOffset, len(data))
+			}
+			healed, hstats, err := Replay(bytes.NewReader(data[:stats.TornOffset]))
+			if err != nil {
+				t.Fatalf("healed journal does not replay: %v", err)
+			}
+			if hstats.TornOffset != -1 || len(healed) != len(recs) {
+				t.Fatalf("healed journal: torn %d, %d records, want clean with %d",
+					hstats.TornOffset, len(healed), len(recs))
+			}
+		}
+	})
+}

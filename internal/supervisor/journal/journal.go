@@ -104,12 +104,25 @@ type Record struct {
 type Journal struct {
 	f    *os.File
 	path string
+	// nosync skips the per-append fsync. Only test harnesses that simulate
+	// kills in-process (where the page cache survives) should set it; a
+	// real kill -9 needs the fsync for the write-ahead contract.
+	nosync bool
 }
 
 // Open opens (or creates) the journal at path for appending and replays
 // its existing records. A torn tail is truncated away so the file ends on
 // a frame boundary; the replayed prefix is returned along with its stats.
 func Open(path string) (*Journal, []Record, ReplayStats, error) {
+	return OpenSync(path, true)
+}
+
+// OpenSync is Open with the per-append fsync made optional. sync=false
+// trades the kill -9 durability guarantee for throughput; it is meant for
+// soak harnesses that kill supervisors in-process (Supervisor.Kill), where
+// the OS page cache survives and replay correctness does not depend on
+// the disk.
+func OpenSync(path string, sync bool) (*Journal, []Record, ReplayStats, error) {
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, nil, ReplayStats{}, fmt.Errorf("journal: open %s: %w", path, err)
@@ -119,7 +132,7 @@ func Open(path string) (*Journal, []Record, ReplayStats, error) {
 		f.Close()
 		return nil, nil, ReplayStats{}, fmt.Errorf("journal: stat %s: %w", path, err)
 	}
-	j := &Journal{f: f, path: path}
+	j := &Journal{f: f, path: path, nosync: !sync}
 	if info.Size() == 0 {
 		var hdr bytes.Buffer
 		hdr.Write(fileMagic[:])
@@ -164,6 +177,12 @@ func (j *Journal) Append(r Record) error {
 	if len(r.Data) > MaxRecordBytes {
 		return fmt.Errorf("journal: record data %d bytes exceeds limit %d", len(r.Data), MaxRecordBytes)
 	}
+	if r.Type == RecStarted && len(r.Data) > 0 {
+		// Started records carry no payload in this version; writing one
+		// with data would make the file unreplayable (the decoder treats
+		// it as record-type confusion), so refuse it at the source.
+		return fmt.Errorf("journal: started record carries %d payload bytes (must be empty)", len(r.Data))
+	}
 	var buf bytes.Buffer
 	buf.Grow(frameOverhead + len(r.Data))
 	writeU32(&buf, uint32(1+8+len(r.Data)))
@@ -175,6 +194,9 @@ func (j *Journal) Append(r Record) error {
 	writeU32(&buf, crc32.ChecksumIEEE(buf.Bytes()))
 	if _, err := j.f.Write(buf.Bytes()); err != nil {
 		return fmt.Errorf("journal: appending %s record: %w", r.Type, err)
+	}
+	if j.nosync {
+		return nil
 	}
 	if err := j.f.Sync(); err != nil {
 		return fmt.Errorf("journal: fsync after %s record: %w", r.Type, err)
@@ -256,6 +278,15 @@ func Replay(r io.ReadSeeker) ([]Record, ReplayStats, error) {
 		}
 		typ := RecordType(frame[4])
 		if !knownType(typ) {
+			stats.TornOffset, stats.CRCFailures = off, stats.CRCFailures+1
+			break
+		}
+		if typ == RecStarted && length > 1+8 {
+			// Record-type confusion: a started record never carries a
+			// payload, so a "started" frame with data is a checkpoint or
+			// spec frame whose type byte was corrupted in a CRC-colliding
+			// way (or a hostile file). Trusting it would silently misfile
+			// run state; stop replay here like any other corrupt frame.
 			stats.TornOffset, stats.CRCFailures = off, stats.CRCFailures+1
 			break
 		}

@@ -48,7 +48,7 @@ func (s *Supervisor) initMetrics() {
 		"Admitted runs waiting for a worker.", nil, func() float64 {
 			s.mu.Lock()
 			defer s.mu.Unlock()
-			return float64(len(s.queue))
+			return float64(len(s.queued))
 		})
 	// Health-ladder family: the gauge samples the worst (max) ladder level
 	// across currently running health-enabled runs; the counter family is

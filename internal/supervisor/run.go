@@ -55,6 +55,12 @@ type Outcome struct {
 	IterationTime time.Duration `json:"iteration_time_ns"`
 	// FaultsPerIteration is the mean page-fault count per iteration.
 	FaultsPerIteration int64 `json:"faults_per_iteration,omitempty"`
+	// AccessChecksum fingerprints the run's ordered memory-access stream
+	// (engine Result.AccessChecksum; for chunked runs, an order-sensitive
+	// fold of the per-chunk checksums). It is the bit-identity witness the
+	// failover-equivalence tests compare: an adopted, resumed run must
+	// reproduce the checksum of its uninterrupted execution.
+	AccessChecksum uint64 `json:"access_checksum,omitempty"`
 	// Error carries the failure message for failed runs.
 	Error string `json:"error,omitempty"`
 	// Health is the run's degradation-ladder summary when the spec enabled

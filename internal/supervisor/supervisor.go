@@ -53,6 +53,10 @@ type Config struct {
 	// interrupted ones are re-admitted and resumed from their latest
 	// checkpoint. Empty keeps all state in memory.
 	JournalPath string
+	// JournalNoSync skips the per-append fsync. Only harnesses that kill
+	// supervisors in-process (Supervisor.Kill, where the page cache
+	// survives) should set it; a real kill -9 needs the fsync.
+	JournalNoSync bool
 	// Estimate fills RunSpec.MemoryDemand at admission when the spec left
 	// it zero (e.g. from the workload's scaled footprint); nil treats
 	// missing demand as zero.
@@ -74,21 +78,28 @@ type Supervisor struct {
 
 	prom *metrics.Registry
 
-	mu          sync.Mutex
-	runs        map[uint64]*run
-	order       []uint64
-	nextID      uint64
-	committed   int64
-	draining    bool
-	killed      bool
-	queue       chan uint64
-	queueClosed sync.Once
-	jl          *journal.Journal
-	jlClosed    bool
-	rng         *rand.Rand
-	recovered   int
+	mu        sync.Mutex
+	runs      map[uint64]*run
+	order     []uint64
+	nextID    uint64
+	committed int64
+	draining  bool
+	killed    bool
+	// The submission queue is a cond-guarded slice, not a channel: Submit
+	// bounds it at Config.QueueDepth (backpressure), but journal replay
+	// and cross-shard adoption (Adopt) may push past the bound — those
+	// runs were already admitted once and must never be re-rejected.
+	queued  []uint64
+	qcond   *sync.Cond
+	qclosed bool
+	jl      *journal.Journal
+	jlClosed bool
+	rng      *rand.Rand
+	recovered int
+	adopted   int
 
 	workersDone chan struct{}
+	killedCh    chan struct{}
 }
 
 // run is the supervisor's internal per-run record; info is the published
@@ -144,23 +155,27 @@ func New(cfg Config) (*Supervisor, error) {
 		nextID:      1,
 		rng:         rand.New(rand.NewSource(seed)),
 		workersDone: make(chan struct{}),
+		killedCh:    make(chan struct{}),
 		prom:        metrics.NewRegistry(),
 	}
+	s.qcond = sync.NewCond(&s.mu)
 	s.initMetrics()
-	var pending []*run
 	if cfg.JournalPath != "" {
-		jl, recs, _, err := journal.Open(cfg.JournalPath)
+		jl, recs, _, err := journal.OpenSync(cfg.JournalPath, !cfg.JournalNoSync)
 		if err != nil {
 			return nil, err
 		}
 		s.jl = jl
-		pending = s.replay(recs)
-	}
-	// Recovered runs bypass the queue-depth bound: they were admitted
-	// before the crash, so the queue grows to readmit all of them.
-	s.queue = make(chan uint64, max(cfg.QueueDepth, len(pending)))
-	for _, r := range pending {
-		s.queue <- r.info.ID
+		// Replay our own journal: the records are already durable here, so
+		// nothing is re-journaled, and recovered runs bypass the
+		// queue-depth bound — they were admitted before the crash.
+		for _, a := range AdoptionsFromRecords(recs) {
+			if _, err := s.admitAdoptionLocked(a, false); err != nil {
+				jl.Close()
+				return nil, fmt.Errorf("supervisor: journal replay: %w", err)
+			}
+		}
+		s.recovered, s.adopted = s.adopted, 0
 	}
 	for n := 0; n < cfg.Workers; n++ {
 		s.wg.Add(1)
@@ -169,9 +184,29 @@ func New(cfg Config) (*Supervisor, error) {
 	return s, nil
 }
 
-// replay reconstructs run state from journal records and returns the runs
-// to re-admit (submitted or started, never finished), in ID order.
-func (s *Supervisor) replay(recs []journal.Record) []*run {
+// Adoption is one run lifted from a replayed journal — the unit of both
+// self-recovery (New replaying its own journal) and cross-shard handoff
+// (a federation successor adopting a dead peer's journal via Adopt).
+type Adoption struct {
+	ID          uint64
+	Spec        RunSpec
+	Demand      int64
+	Attempts    int    // started records seen before the kill
+	Checkpoints int    // checkpoint records seen
+	Resume      []byte // latest checkpoint payload; nil = cold start
+	// Terminal marks a run that already finished (or whose spec record is
+	// undecodable): it is adopted as history and never re-executed.
+	Terminal bool
+	State    RunState
+	Reason   string
+	Outcome  *Outcome
+}
+
+// AdoptionsFromRecords folds replayed journal records into per-run
+// adoptions, in first-submission order: latest checkpoint per run, the
+// terminal state for finished runs, a queued adoption for everything that
+// was in flight or waiting when the journal's writer died.
+func AdoptionsFromRecords(recs []journal.Record) []Adoption {
 	type ghost struct {
 		spec    journalSpec
 		specOK  bool
@@ -206,56 +241,169 @@ func (s *Supervisor) replay(recs []journal.Record) []*run {
 			}
 		}
 	}
-	var pending []*run
+	out := make([]Adoption, 0, len(order))
 	for _, id := range order {
 		g := ghosts[id]
-		if id >= s.nextID {
-			s.nextID = id + 1
-		}
-		r := &run{
-			info: RunInfo{
-				ID:          id,
-				Spec:        g.spec.Spec,
-				Demand:      g.spec.Demand,
-				Attempts:    g.started,
-				Checkpoints: g.ckpts,
-				Submitted:   s.epoch,
-			},
-			done: make(chan struct{}),
+		a := Adoption{
+			ID:          id,
+			Spec:        g.spec.Spec,
+			Demand:      g.spec.Demand,
+			Attempts:    g.started,
+			Checkpoints: g.ckpts,
 		}
 		switch {
 		case !g.specOK:
 			// CRC said the record was intact, so this is a version-skew
 			// style failure; surface it rather than dropping the run.
-			r.info.State = StateFailed
-			r.info.Reason = "journal replay: undecodable spec"
-			r.info.Outcome = &Outcome{Status: string(StateFailed), Error: r.info.Reason}
-			close(r.done)
+			reason := "journal replay: undecodable spec"
+			a.Terminal, a.State, a.Reason = true, StateFailed, reason
+			a.Outcome = &Outcome{Status: string(StateFailed), Error: reason}
 		case g.finish != nil:
-			r.info.State = g.finish.State
-			r.info.Reason = g.finish.Reason
-			r.info.Outcome = g.finish.Outcome
-			close(r.done)
+			a.Terminal, a.State, a.Reason = true, g.finish.State, g.finish.Reason
+			a.Outcome = g.finish.Outcome
 		default:
-			// Interrupted mid-flight (or never started): re-admit, resuming
-			// from the latest checkpoint when one was journaled.
-			r.info.State = StateQueued
-			r.resume = g.ckpt
-			s.committed += r.info.Demand
-			s.recovered++
-			s.record("", StateQueued, fmt.Sprintf("journal replay (attempt %d)", g.started+1))
-			pending = append(pending, r)
+			a.Resume = g.ckpt
 		}
-		s.runs[id] = r
-		s.order = append(s.order, id)
+		out = append(out, a)
 	}
-	return pending
+	return out
+}
+
+// ReplayJournal reads the journal at path read-only — torn tail tolerated,
+// file untouched — and returns its runs as adoptions plus the replay
+// stats. It is the first half of a cross-shard handoff: a federation
+// replays a dead shard's journal and feeds the adoptions to a live peer's
+// Adopt.
+func ReplayJournal(path string) ([]Adoption, journal.ReplayStats, error) {
+	recs, stats, err := journal.ReplayFile(path)
+	if err != nil {
+		return nil, stats, err
+	}
+	return AdoptionsFromRecords(recs), stats, nil
+}
+
+// AdoptReport summarizes one Adopt call.
+type AdoptReport struct {
+	// Queued counts non-terminal runs re-admitted to the worker pool.
+	Queued int
+	// Resumed counts the Queued runs that carry a checkpoint to resume
+	// from (the rest start cold).
+	Resumed int
+	// Finished counts terminal runs adopted as history.
+	Finished int
+	// Skipped counts run IDs this supervisor already knew — a re-played
+	// handoff is idempotent, never a duplicate execution.
+	Skipped int
+}
+
+// Adopt takes ownership of runs replayed from a dead peer's journal:
+// terminal runs become local history, interrupted and queued runs are
+// re-admitted (bypassing the queue-depth bound — they were admitted once
+// already) with their latest checkpoint as resume state. Every adopted
+// run is written ahead to this supervisor's own journal first, so the
+// handoff itself survives a subsequent kill. Runs whose ID is already
+// known are skipped, which makes a replayed or crashed-and-retried
+// handoff idempotent.
+func (s *Supervisor) Adopt(adoptions []Adoption) (AdoptReport, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var rep AdoptReport
+	if s.draining || s.killed {
+		return rep, ErrShuttingDown
+	}
+	for _, a := range adoptions {
+		if _, exists := s.runs[a.ID]; exists {
+			rep.Skipped++
+			continue
+		}
+		queued, err := s.admitAdoptionLocked(a, true)
+		if err != nil {
+			return rep, err
+		}
+		switch {
+		case !queued:
+			rep.Finished++
+		default:
+			rep.Queued++
+			if len(a.Resume) > 0 {
+				rep.Resumed++
+			}
+		}
+	}
+	return rep, nil
+}
+
+// admitAdoptionLocked inserts one adopted run. journalIt re-journals the
+// run into this supervisor's own journal (cross-shard handoff); replay of
+// our own journal passes false because the records are already there.
+// Caller holds mu (or is inside New, before any concurrency). Reports
+// whether the run was queued for execution (vs adopted as history).
+func (s *Supervisor) admitAdoptionLocked(a Adoption, journalIt bool) (bool, error) {
+	if a.ID >= s.nextID {
+		s.nextID = a.ID + 1
+	}
+	if journalIt {
+		data, err := json.Marshal(journalSpec{Spec: a.Spec, Demand: a.Demand})
+		if err != nil {
+			return false, fmt.Errorf("supervisor: encoding adopted spec: %w", err)
+		}
+		if err := s.appendLocked(journal.Record{Type: journal.RecSubmitted, RunID: a.ID, Data: data}); err != nil {
+			return false, err
+		}
+		if len(a.Resume) > 0 {
+			if err := s.appendLocked(journal.Record{Type: journal.RecCheckpointed, RunID: a.ID, Data: a.Resume}); err != nil {
+				return false, err
+			}
+		}
+	}
+	r := &run{
+		info: RunInfo{
+			ID:          a.ID,
+			Spec:        a.Spec,
+			Demand:      a.Demand,
+			Attempts:    a.Attempts,
+			Checkpoints: a.Checkpoints,
+			Submitted:   s.epoch,
+		},
+		done: make(chan struct{}),
+	}
+	if a.Terminal {
+		r.info.State = a.State
+		r.info.Reason = a.Reason
+		r.info.Outcome = a.Outcome
+		if journalIt {
+			if data, err := json.Marshal(journalFinish{State: a.State, Reason: a.Reason, Outcome: a.Outcome}); err == nil {
+				_ = s.appendLocked(journal.Record{Type: journal.RecFinished, RunID: a.ID, Data: data})
+			}
+		}
+		close(r.done)
+	} else {
+		r.info.State = StateQueued
+		r.resume = a.Resume
+		s.committed += a.Demand
+		s.adopted++
+		s.record("", StateQueued, fmt.Sprintf("journal replay (attempt %d)", a.Attempts+1))
+		s.queued = append(s.queued, a.ID)
+		s.qcond.Signal()
+	}
+	s.runs[a.ID] = r
+	s.order = append(s.order, a.ID)
+	return !a.Terminal, nil
 }
 
 // Submit admits one run, returning its ID. Rejections are typed:
 // *QueueFullError (backpressure), *QuotaError (over the per-run quota or
 // the committed budget), ErrShuttingDown. Submit never blocks.
 func (s *Supervisor) Submit(spec RunSpec) (uint64, error) {
+	return s.SubmitID(0, spec)
+}
+
+// SubmitID is Submit with a caller-assigned run ID (the federation
+// front-end assigns globally-unique IDs and routes them by consistent
+// hash; a standalone supervisor passes 0 to get the next local ID). A
+// non-zero id that is already known is rejected — run IDs are never
+// reused.
+func (s *Supervisor) SubmitID(id uint64, spec RunSpec) (uint64, error) {
 	demand := spec.MemoryDemand
 	if demand == 0 && s.cfg.Estimate != nil {
 		d, err := s.cfg.Estimate(spec)
@@ -281,14 +429,18 @@ func (s *Supervisor) Submit(spec RunSpec) (uint64, error) {
 		s.noteSubmission("quota")
 		return 0, &QuotaError{Demand: demand, Limit: s.cfg.GPUMemoryBudget, Committed: s.committed}
 	}
-	// Submit (and recovery, which runs before the workers start) are the
-	// only queue senders and both hold mu, so a length check makes the
-	// send below non-blocking by construction.
-	if len(s.queue) == cap(s.queue) {
+	// Submissions respect the queue-depth bound (backpressure); only
+	// replay and adoption may push past it.
+	if len(s.queued) >= s.cfg.QueueDepth {
 		s.noteSubmission("queue_full")
-		return 0, &QueueFullError{Depth: cap(s.queue)}
+		return 0, &QueueFullError{Depth: s.cfg.QueueDepth}
 	}
-	id := s.nextID
+	if id == 0 {
+		id = s.nextID
+	} else if _, exists := s.runs[id]; exists {
+		s.noteSubmission("error")
+		return 0, fmt.Errorf("supervisor: run id %d already exists", id)
+	}
 	data, err := json.Marshal(journalSpec{Spec: spec, Demand: demand})
 	if err != nil {
 		s.noteSubmission("error")
@@ -298,7 +450,9 @@ func (s *Supervisor) Submit(spec RunSpec) (uint64, error) {
 		s.noteSubmission("error")
 		return 0, err
 	}
-	s.nextID++
+	if id >= s.nextID {
+		s.nextID = id + 1
+	}
 	r := &run{
 		info: RunInfo{ID: id, Spec: spec, Demand: demand, State: StateQueued, Submitted: time.Now()},
 		done: make(chan struct{}),
@@ -308,14 +462,30 @@ func (s *Supervisor) Submit(spec RunSpec) (uint64, error) {
 	s.committed += demand
 	s.record("", StateQueued, "submitted")
 	s.noteSubmission("accepted")
-	s.queue <- id
+	s.queued = append(s.queued, id)
+	s.qcond.Signal()
 	return id, nil
 }
 
-// worker drains the submission queue until it is closed by Drain or Kill.
+// worker drains the submission queue until Drain or Kill closes it; a
+// closing queue is still drained to empty so Drain finishes queued work.
 func (s *Supervisor) worker(n int) {
 	defer s.wg.Done()
-	for id := range s.queue {
+	for {
+		s.mu.Lock()
+		for len(s.queued) == 0 && !s.qclosed {
+			s.qcond.Wait()
+		}
+		if len(s.queued) == 0 {
+			s.mu.Unlock()
+			return
+		}
+		id := s.queued[0]
+		s.queued = s.queued[1:]
+		if len(s.queued) == 0 {
+			s.queued = nil // release the drained backing array
+		}
+		s.mu.Unlock()
 		s.execute(n, id)
 	}
 }
@@ -574,6 +744,26 @@ func (s *Supervisor) Wait(id uint64) (RunInfo, error) {
 	return s.Get(id)
 }
 
+// Done returns a channel closed when the run reaches a terminal state on
+// THIS supervisor. Beware: on a killed supervisor, still-queued runs never
+// reach one here — select on Killed() too (the federation does; the run
+// finishes on whichever peer adopts it).
+func (s *Supervisor) Done(id uint64) (<-chan struct{}, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.runs[id]
+	if !ok {
+		return nil, &NotFoundError{ID: id}
+	}
+	return r.done, nil
+}
+
+// Killed returns a channel closed when the supervisor is hard-killed.
+// In-memory state after the close is untrustworthy — the journal is the
+// truth, and a federation waiter must re-resolve the run's owner after a
+// handoff rather than believe this supervisor's snapshot.
+func (s *Supervisor) Killed() <-chan struct{} { return s.killedCh }
+
 // Stats is a point-in-time aggregate of the supervisor.
 type Stats struct {
 	Queued, Running, Terminal int
@@ -584,8 +774,12 @@ type Stats struct {
 	QueueCap            int
 	Workers             int
 	Draining            bool
-	// Recovered counts runs re-admitted from journal replay.
+	// Recovered counts runs re-admitted from this supervisor's own
+	// journal replay at construction.
 	Recovered int
+	// Adopted counts runs taken over from dead peers' journals via Adopt
+	// (federation handoff), terminal history excluded.
+	Adopted int
 }
 
 // Stats snapshots the aggregate state.
@@ -596,10 +790,11 @@ func (s *Supervisor) Stats() Stats {
 		CommittedBytes: s.committed,
 		Budget:         s.cfg.GPUMemoryBudget,
 		PerRunQuota:    s.cfg.PerRunQuota,
-		QueueCap:       cap(s.queue),
+		QueueCap:       s.cfg.QueueDepth,
 		Workers:        s.cfg.Workers,
 		Draining:       s.draining || s.killed,
 		Recovered:      s.recovered,
+		Adopted:        s.adopted,
 	}
 	for _, r := range s.runs {
 		switch {
@@ -634,7 +829,8 @@ func (s *Supervisor) Accepting() bool {
 func (s *Supervisor) Drain(ctx context.Context) error {
 	s.mu.Lock()
 	s.draining = true
-	s.queueClosed.Do(func() { close(s.queue) })
+	s.qclosed = true
+	s.qcond.Broadcast()
 	s.mu.Unlock()
 	s.waitWG.Do(func() {
 		go func() {
@@ -670,7 +866,9 @@ func (s *Supervisor) Kill() {
 		return
 	}
 	s.killed = true
-	s.queueClosed.Do(func() { close(s.queue) })
+	s.qclosed = true
+	close(s.killedCh)
+	s.qcond.Broadcast()
 	var cancels []context.CancelFunc
 	for _, r := range s.runs {
 		if r.info.State == StateRunning && r.cancel != nil {

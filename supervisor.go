@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"time"
 
+	"deepum/internal/federation"
 	"deepum/internal/supervisor"
 )
 
@@ -31,6 +32,24 @@ func NewSupervisor(cfg SupervisorConfig) (*Supervisor, error) {
 		cfg.Estimate = EstimateMemoryDemand
 	}
 	return supervisor.New(cfg)
+}
+
+// NewFederation builds a sharded supervisor fleet: a consistent-hash ring
+// of supervisors behind one admission front-end, each shard journaling to
+// FederationOptions.JournalDir/shard-<n>.journal. When a shard is killed,
+// Federation.Handoff replays its journal and the surviving peers adopt its
+// runs (finished stay finished, queued restart cold, interrupted resume
+// from their latest checkpoint). As with NewSupervisor, nil Runner and
+// Estimate default to the TrainContext-backed runner and the
+// workload-footprint estimator.
+func NewFederation(cfg FederationOptions) (*Federation, error) {
+	if cfg.Supervisor.Runner == nil {
+		cfg.Supervisor.Runner = TrainRunner()
+	}
+	if cfg.Supervisor.Estimate == nil {
+		cfg.Supervisor.Estimate = EstimateMemoryDemand
+	}
+	return federation.New(cfg)
 }
 
 // EstimateMemoryDemand is the default admission estimator: a run is
@@ -170,6 +189,7 @@ type runAggregate struct {
 	iterations int
 	faults     int64
 	totalTime  int64 // virtual ns across measured iterations
+	checksum   uint64
 	degraded   bool
 
 	// Health folding: each chunk runs a fresh controller (starting at L0),
@@ -185,6 +205,11 @@ func (a *runAggregate) add(res *Result) {
 	a.iterations += res.Iterations
 	a.faults += res.PageFaultsPerIteration * int64(res.Iterations)
 	a.totalTime += int64(res.TotalTime)
+	// Order-sensitive FNV fold: chunk N+1's access stream depends on the
+	// warm state chunk N produced, so the folded checksum is a witness that
+	// a resumed run replayed the same chunk sequence an uninterrupted run
+	// would have (the failover-equivalence comparison).
+	a.checksum = a.checksum*0x100000001b3 ^ res.AccessChecksum
 	if res.Status == StatusDegraded {
 		a.degraded = true
 	}
@@ -204,9 +229,10 @@ func (a *runAggregate) outcome(last *Result, ck []byte) supervisor.Outcome {
 		status = StatusDegraded
 	}
 	out := supervisor.Outcome{
-		Status:     status.String(),
-		Iterations: a.iterations,
-		Checkpoint: ck,
+		Status:         status.String(),
+		Iterations:     a.iterations,
+		AccessChecksum: a.checksum,
+		Checkpoint:     ck,
 	}
 	if a.iterations > 0 {
 		out.IterationTime = time.Duration(a.totalTime / int64(a.iterations))

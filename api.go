@@ -33,6 +33,7 @@ import (
 	"deepum/internal/metrics"
 	"deepum/internal/models"
 	"deepum/internal/sim"
+	"deepum/internal/store"
 	"deepum/internal/supervisor"
 )
 
@@ -188,6 +189,59 @@ var ErrSupervisorShuttingDown = supervisor.ErrShuttingDown
 // Supervisor.Metrics and Federation.Metrics, so serving layers can scrape
 // (WriteText) without importing internal/metrics.
 type MetricsRegistry = metrics.Registry
+
+// --- checkpoint store types ---
+
+// CheckpointStore re-exports the durable content-addressed checkpoint
+// store: a single-file, append-only, CRC-framed blob store keyed by
+// content hash, with torn-tail-truncating recovery on open, optional
+// replicated frames, a scrubber that repairs bit rot from a surviving
+// replica (or degrades the key to a cold restart), and crash-safe
+// compaction. Wire one into SupervisorConfig.Checkpoints (or set
+// FederationOptions.StorePath) and RecCheckpointed journal records shrink
+// from full blobs to 16-byte references.
+type CheckpointStore = store.Store
+
+// CheckpointStoreOptions re-exports the store's Open options; the zero
+// value is production-ready (OS filesystem, one replica, fsync per Put).
+type CheckpointStoreOptions = store.Options
+
+// CheckpointStoreStats re-exports the store's counters snapshot.
+type CheckpointStoreStats = store.Stats
+
+// CheckpointStoreOpenStats re-exports what Open's recovery scan found.
+type CheckpointStoreOpenStats = store.OpenStats
+
+// CheckpointKey is a blob's content-hash address in the store.
+type CheckpointKey = store.Key
+
+// StoreScrubReport re-exports one scrub pass's findings (frames verified,
+// repaired, degraded keys, torn bytes).
+type StoreScrubReport = store.ScrubReport
+
+// StoreAuditReport re-exports the read-only audit summary
+// (AuditCheckpointStore, deepum-inspect store).
+type StoreAuditReport = store.AuditReport
+
+// CheckpointNotFoundError: the requested key is not in the store's index —
+// never written, scrub-degraded, or compacted away. Supervisors treat it
+// as a cold restart, never a run failure.
+type CheckpointNotFoundError = store.NotFoundError
+
+// OpenCheckpointStore opens (creating if absent) the store at path,
+// rebuilding its in-memory index and truncating any torn tail. The caller
+// owns the store and must Close it after the supervisors using it have
+// drained.
+func OpenCheckpointStore(path string, opts CheckpointStoreOptions) (*CheckpointStore, CheckpointStoreOpenStats, error) {
+	return store.Open(path, opts)
+}
+
+// AuditCheckpointStore scans a store file read-only — no truncation, no
+// cleanup — and reports frames, keys, replica bounds, corrupt regions,
+// and the torn-tail offset.
+func AuditCheckpointStore(path string) (StoreAuditReport, error) {
+	return store.Audit(path)
+}
 
 // --- federation types ---
 

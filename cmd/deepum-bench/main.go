@@ -5,6 +5,12 @@
 //	deepum-bench -run fig9a
 //	deepum-bench -run table5 -scale 4 -iters 8
 //	deepum-bench -list
+//
+// -json instead runs the robustness micro-bench (see robust.go) and writes
+// its throughput report — faults/sec, events/sec, admissions/sec,
+// checkpoint save/load MB/s — to the given path:
+//
+//	deepum-bench -json BENCH_7.json
 package main
 
 import (
@@ -29,8 +35,17 @@ func main() {
 		timeout = flag.Duration("timeout", 0, "wall-clock budget for the whole bench; experiments past it are skipped")
 		chaosN  = flag.String("chaos", "", "fault-injection scenario for UM-side runs (baselines stay clean); \"list\" enumerates")
 		chaosS  = flag.Int64("chaos-seed", 0, "seed for chaos injection draws (0 = reuse -seed)")
+		jsonOut = flag.String("json", "", "run the robustness micro-bench and write its JSON report here (e.g. BENCH_7.json)")
 	)
 	flag.Parse()
+
+	if *jsonOut != "" {
+		if err := runRobustBench(*jsonOut); err != nil {
+			fmt.Fprintf(os.Stderr, "deepum-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list {
 		for _, e := range deepum.Experiments() {

@@ -1,0 +1,203 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"deepum"
+	"deepum/internal/store"
+)
+
+// robustReport is the BENCH_7.json schema: the robustness-layer throughput
+// numbers the ROADMAP's committed perf trajectory tracks across PRs. Every
+// figure is wall-clock throughput of a real code path, not simulated time:
+// faults and events through one traced training run, admissions through a
+// journaled supervisor, checkpoint bytes through the content-addressed
+// store with its per-Put fsync (save) and a cold reopen (load).
+type robustReport struct {
+	Bench   int    `json:"bench"`
+	GoOS    string `json:"goos"`
+	GoArch  string `json:"goarch"`
+	NumCPU  int    `json:"num_cpu"`
+	Workers int    `json:"workers"`
+
+	FaultsPerSec     float64 `json:"faults_per_sec"`
+	EventsPerSec     float64 `json:"events_per_sec"`
+	AdmissionsPerSec float64 `json:"admissions_per_sec"`
+	CkptSaveMBPerSec float64 `json:"checkpoint_save_mb_per_sec"`
+	CkptLoadMBPerSec float64 `json:"checkpoint_load_mb_per_sec"`
+
+	Detail struct {
+		Faults        int64   `json:"faults"`
+		Events        int64   `json:"events"`
+		TrainMillis   float64 `json:"train_millis"`
+		Admissions    int     `json:"admissions"`
+		AdmitMillis   float64 `json:"admit_millis"`
+		CkptBlobs     int     `json:"ckpt_blobs"`
+		CkptBlobBytes int     `json:"ckpt_blob_bytes"`
+		CkptDedupKeys int     `json:"ckpt_dedup_keys"`
+		SaveMillis    float64 `json:"save_millis"`
+		LoadMillis    float64 `json:"load_millis"`
+	} `json:"detail"`
+}
+
+// runRobustBench measures the four robustness throughputs and writes the
+// JSON report to path.
+func runRobustBench(path string) error {
+	rep := robustReport{Bench: 7, GoOS: runtime.GOOS, GoArch: runtime.GOARCH, NumCPU: runtime.NumCPU()}
+
+	// Faults/sec and events/sec: one traced DeepUM training run; both
+	// rates are events processed per second of WALL time, the simulator's
+	// real throughput.
+	observer := deepum.NewObserver(deepum.TraceOptions{Capacity: 1 << 20})
+	// Default scale 8 oversubscribes GPU memory, so the run actually
+	// faults; at smaller footprints the working set fits and faults/sec
+	// degenerates to zero.
+	cfg := deepum.DefaultConfig()
+	cfg.Iterations = 3
+	cfg.Warmup = 2
+	cfg.Observe = observer
+	start := time.Now()
+	res, err := deepum.Train(deepum.Workload{Model: "bert-base", Batch: 32}, cfg)
+	if err != nil {
+		return fmt.Errorf("train: %w", err)
+	}
+	wall := time.Since(start)
+	rep.Detail.Faults = res.PageFaultsPerIteration * int64(res.Iterations)
+	rep.Detail.Events = int64(observer.EventCount()) + observer.Dropped()
+	rep.Detail.TrainMillis = float64(wall.Microseconds()) / 1e3
+	rep.FaultsPerSec = float64(rep.Detail.Faults) / wall.Seconds()
+	rep.EventsPerSec = float64(rep.Detail.Events) / wall.Seconds()
+
+	dir, err := os.MkdirTemp("", "deepum-bench-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	// Admissions/sec: submissions accepted and completed by a journaled
+	// supervisor running a trivial workload — the admission path (quota,
+	// queue, WAL append) is the measurand, so the journal skips fsync and
+	// the runner does no work.
+	rep.Workers = runtime.NumCPU()
+	runner := deepum.RunnerFunc(func(ctx context.Context, spec deepum.RunSpec, resume []byte, progress func([]byte)) (deepum.RunOutcome, error) {
+		return deepum.RunOutcome{Status: "completed"}, nil
+	})
+	sup, err := deepum.NewSupervisor(deepum.SupervisorConfig{
+		Runner:        runner,
+		Workers:       rep.Workers,
+		QueueDepth:    4096,
+		JournalPath:   filepath.Join(dir, "bench.journal"),
+		JournalNoSync: true,
+	})
+	if err != nil {
+		return fmt.Errorf("supervisor: %w", err)
+	}
+	const admissions = 4096
+	start = time.Now()
+	ids := make([]uint64, 0, admissions)
+	for i := 0; i < admissions; i++ {
+		id, err := sup.Submit(deepum.RunSpec{Model: "bert-base", Batch: 8, Iterations: 1, Seed: int64(i + 1)})
+		if err != nil {
+			return fmt.Errorf("submit %d: %w", i, err)
+		}
+		ids = append(ids, id)
+	}
+	for _, id := range ids {
+		if _, err := sup.Wait(id); err != nil {
+			return fmt.Errorf("wait %d: %w", id, err)
+		}
+	}
+	wall = time.Since(start)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := sup.Drain(ctx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	rep.Detail.Admissions = admissions
+	rep.Detail.AdmitMillis = float64(wall.Microseconds()) / 1e3
+	rep.AdmissionsPerSec = admissions / wall.Seconds()
+
+	// Checkpoint save/load MB/s through the content-addressed store. Save
+	// keeps the per-Put fsync — that IS the durable-save cost; load is a
+	// cold reopen (index rebuild from the file) plus a Get per key.
+	const (
+		blobs    = 64
+		blobSize = 1 << 20
+	)
+	blob := make([]byte, blobSize)
+	st, _, err := store.Open(filepath.Join(dir, "bench.store"), store.Options{})
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	keys := make([]store.Key, 0, blobs)
+	start = time.Now()
+	for i := 0; i < blobs; i++ {
+		// Distinct pseudo-random content per blob (splitmix64 stream), so
+		// dedup stores every one.
+		x := uint64(i)*0x9e3779b97f4a7c15 + 1
+		for off := 0; off < blobSize; off += 8 {
+			x += 0x9e3779b97f4a7c15
+			z := x
+			z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+			z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+			z ^= z >> 31
+			for b := 0; b < 8 && off+b < blobSize; b++ {
+				blob[off+b] = byte(z >> (8 * b))
+			}
+		}
+		key, err := st.Put(blob)
+		if err != nil {
+			return fmt.Errorf("put %d: %w", i, err)
+		}
+		keys = append(keys, key)
+	}
+	saveWall := time.Since(start)
+	if err := st.Close(); err != nil {
+		return err
+	}
+
+	st, _, err = store.Open(filepath.Join(dir, "bench.store"), store.Options{})
+	if err != nil {
+		return fmt.Errorf("reopen: %w", err)
+	}
+	start = time.Now()
+	for _, key := range keys {
+		if _, err := st.Get(key); err != nil {
+			return fmt.Errorf("get %s: %w", key, err)
+		}
+	}
+	loadWall := time.Since(start)
+	rep.Detail.CkptDedupKeys = st.Len()
+	if err := st.Close(); err != nil {
+		return err
+	}
+	mb := float64(blobs*blobSize) / (1 << 20)
+	rep.Detail.CkptBlobs = blobs
+	rep.Detail.CkptBlobBytes = blobSize
+	rep.Detail.SaveMillis = float64(saveWall.Microseconds()) / 1e3
+	rep.Detail.LoadMillis = float64(loadWall.Microseconds()) / 1e3
+	rep.CkptSaveMBPerSec = mb / saveWall.Seconds()
+	rep.CkptLoadMBPerSec = mb / loadWall.Seconds()
+
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("== robustness bench -> %s ==\n", path)
+	fmt.Printf("faults/sec           %.0f\n", rep.FaultsPerSec)
+	fmt.Printf("events/sec           %.0f\n", rep.EventsPerSec)
+	fmt.Printf("admissions/sec       %.0f\n", rep.AdmissionsPerSec)
+	fmt.Printf("checkpoint save MB/s %.1f\n", rep.CkptSaveMBPerSec)
+	fmt.Printf("checkpoint load MB/s %.1f\n", rep.CkptLoadMBPerSec)
+	return nil
+}

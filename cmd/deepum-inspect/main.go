@@ -16,6 +16,13 @@
 // deepum-sim -trace (see trace.go):
 //
 //	deepum-inspect trace run.json
+//
+// The store subcommand audits a content-addressed checkpoint store —
+// frame/CRC/index verification — and cross-checks journal checkpoint
+// references against it (see store.go); exit status 2 flags corruption or
+// a dangling reference:
+//
+//	deepum-inspect store ck.store shard-0.journal shard-1.journal
 package main
 
 import (
@@ -39,6 +46,10 @@ func main() {
 	}
 	if len(os.Args) > 1 && os.Args[1] == "trace" {
 		runTrace(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "store" {
+		runStore(os.Args[2:])
 		return
 	}
 	var (

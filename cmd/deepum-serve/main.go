@@ -12,6 +12,15 @@
 //
 //	deepum-serve -addr :8080 -shards 4 -journal-dir /var/lib/deepum
 //
+// -store points both modes at a durable content-addressed checkpoint
+// store: journals then carry 16-byte references instead of checkpoint
+// blobs, identical checkpoints dedup across runs (and across shards in
+// federation mode), and -scrub-every starts a background scrubber that
+// repairs bit rot from a surviving replica or degrades the affected run
+// to a cold restart.
+//
+//	deepum-serve -addr :8080 -journal runs.journal -store ck.store -scrub-every 1m
+//
 //	POST /runs              submit a run (RunSpec JSON) -> {"id": N}
 //	GET  /runs              list all runs
 //	GET  /runs/{id}         one run's snapshot
@@ -47,6 +56,9 @@ func main() {
 		queue        = flag.Int("queue", 16, "submission queue depth (backpressure bound)")
 		gpuBudget    = flag.Int64("gpu-budget", 0, "simulated GPU memory budget in bytes shared by all runs (0 = unlimited)")
 		journalPath  = flag.String("journal", "", "crash-safe run journal path (empty = no persistence; single-supervisor mode)")
+		storePath    = flag.String("store", "", "content-addressed checkpoint store path; journals then carry 16-byte references instead of blobs (empty = inline checkpoints)")
+		storeReplica = flag.Int("store-replicas", 2, "frames written per checkpoint blob; 2 lets the scrubber repair bit rot from the surviving twin")
+		scrubEvery   = flag.Duration("scrub-every", 0, "background store scrub interval (0 = no background scrubbing; requires -store)")
 		shards       = flag.Int("shards", 0, "shard count for federation mode (0 = one supervisor, no federation)")
 		journalDir   = flag.String("journal-dir", "", "per-shard journal directory (federation mode; required with -shards)")
 		handoffGrace = flag.Duration("handoff-grace", 30*time.Second, "how long a dead shard may answer 503 before rejections become hard failures (0 = forever)")
@@ -86,9 +98,12 @@ func main() {
 			log.Fatalf("deepum-serve: federation mode (-shards %d) requires -journal-dir", *shards)
 		}
 		fed, err := deepum.NewFederation(deepum.FederationOptions{
-			Shards:     *shards,
-			Supervisor: cfg,
-			JournalDir: *journalDir,
+			Shards:          *shards,
+			Supervisor:      cfg,
+			JournalDir:      *journalDir,
+			StorePath:       *storePath,
+			StoreReplicas:   *storeReplica,
+			StoreScrubEvery: *scrubEvery,
 		})
 		if err != nil {
 			log.Fatalf("deepum-serve: %v", err)
@@ -101,6 +116,29 @@ func main() {
 		handler = newFederationServer(fed, *reqTimeout, *handoffGrace)
 		drain = fed.Drain
 	} else {
+		if *storePath != "" {
+			st, stats, err := deepum.OpenCheckpointStore(*storePath, deepum.CheckpointStoreOptions{
+				Replicas:   *storeReplica,
+				ScrubEvery: *scrubEvery,
+				OnScrub: func(rep deepum.StoreScrubReport, err error) {
+					if err != nil {
+						log.Printf("store scrub: %v", err)
+						return
+					}
+					if rep.Repaired > 0 || len(rep.Lost) > 0 || rep.TornBytes > 0 {
+						log.Printf("store scrub: repaired %d frame(s), lost %d key(s), truncated %d torn byte(s)", rep.Repaired, len(rep.Lost), rep.TornBytes)
+					}
+				},
+			})
+			if err != nil {
+				log.Fatalf("deepum-serve: %v", err)
+			}
+			if stats.TornBytes > 0 || len(stats.CorruptRegions) > 0 {
+				log.Printf("store recovery: %d torn byte(s) truncated, %d corrupt region(s) skipped", stats.TornBytes, len(stats.CorruptRegions))
+			}
+			cfg.Checkpoints = st
+			defer st.Close()
+		}
 		sup, err := deepum.NewSupervisor(cfg)
 		if err != nil {
 			log.Fatalf("deepum-serve: %v", err)

@@ -32,6 +32,8 @@ import (
 	"time"
 
 	"deepum"
+	"deepum/internal/store"
+	"deepum/internal/supervisor/journal"
 )
 
 type fedSoakOptions struct {
@@ -39,6 +41,7 @@ type fedSoakOptions struct {
 	shards  int
 	workers int
 	dir     string
+	store   bool // back checkpoints with a shared content-addressed store
 }
 
 // fedCkpt is the stub runner's checkpoint: its entire state, so a resumed
@@ -140,7 +143,7 @@ func runFederationSoak(opts fedSoakOptions) int {
 	start := time.Now()
 
 	gate := make(chan struct{})
-	fed, err := deepum.NewFederation(deepum.FederationOptions{
+	fcfg := deepum.FederationOptions{
 		Shards: opts.shards,
 		Supervisor: deepum.SupervisorConfig{
 			Runner:        fedRunner(gate),
@@ -150,12 +153,25 @@ func runFederationSoak(opts fedSoakOptions) int {
 			JournalNoSync: true,
 		},
 		JournalDir: dir,
-	})
+	}
+	if opts.store {
+		// Same in-process-kill rationale as JournalNoSync: the page cache
+		// survives, and a synced Put per checkpoint would make the storm
+		// about disk latency.
+		fcfg.StorePath = filepath.Join(dir, "ck.store")
+		fcfg.StoreNoSync = true
+	}
+	fed, err := deepum.NewFederation(fcfg)
 	if err != nil {
 		fatalf("federation soak: %v", err)
 	}
-	fmt.Printf("federation %d shards x %d workers, %d-run storm, journals in %s\n",
-		opts.shards, opts.workers, opts.runs, dir)
+	if opts.store {
+		fmt.Printf("federation %d shards x %d workers, %d-run storm, journals + checkpoint store in %s\n",
+			opts.shards, opts.workers, opts.runs, dir)
+	} else {
+		fmt.Printf("federation %d shards x %d workers, %d-run storm, journals in %s\n",
+			opts.shards, opts.workers, opts.runs, dir)
+	}
 
 	var (
 		mu        sync.Mutex
@@ -348,6 +364,10 @@ func runFederationSoak(opts fedSoakOptions) int {
 		fmt.Printf("FAIL dead journal not retired: %d *.adopted files\n", len(retired))
 	}
 
+	if opts.store {
+		failures += auditFedStore(fed, dir)
+	}
+
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 	if err := fed.Drain(ctx); err != nil {
@@ -367,6 +387,72 @@ func runFederationSoak(opts fedSoakOptions) int {
 		accepted.Load(), victim, report.Queued+report.Finished, report.Resumed,
 		time.Since(start).Round(time.Millisecond))
 	return 0
+}
+
+// auditFedStore is the post-storm store-reference audit (-fed-store): a
+// scrub pass over the shared store must find nothing to repair or degrade,
+// every checkpoint record in every journal — live shards and the dead
+// shard's retired *.adopted — must be a 16-byte reference (the blobs never
+// touch a WAL), and every one of those references must resolve in the
+// store: the mid-storm kill and handoff may not have dangled a single
+// checkpoint. Returns the number of failed assertions.
+func auditFedStore(fed *deepum.Federation, dir string) int {
+	failures := 0
+	st := fed.Store()
+	if st == nil {
+		fmt.Printf("FAIL store audit: federation has no store\n")
+		return 1
+	}
+	srep, err := st.Scrub()
+	if err != nil {
+		fmt.Printf("FAIL store scrub: %v\n", err)
+		return 1
+	}
+	if srep.CorruptFrames > 0 || srep.Repaired > 0 || len(srep.Lost) > 0 || srep.TornBytes > 0 {
+		failures++
+		fmt.Printf("FAIL store scrub found damage after a clean-disk storm: %+v\n", srep)
+	}
+
+	journals, _ := filepath.Glob(filepath.Join(dir, "*.journal"))
+	adopted, _ := filepath.Glob(filepath.Join(dir, "*.adopted"))
+	refs, inline, dangling := 0, 0, 0
+	for _, path := range append(journals, adopted...) {
+		_, err := journal.ReplayStreamFile(path, func(rec journal.Record) error {
+			if rec.Type != journal.RecCheckpointed || len(rec.Data) == 0 {
+				return nil
+			}
+			key, ok := store.DecodeRef(rec.Data)
+			if !ok {
+				inline++
+				return nil
+			}
+			refs++
+			if !st.Has(key) {
+				dangling++
+			}
+			return nil
+		})
+		if err != nil {
+			failures++
+			fmt.Printf("FAIL store audit: replaying %s: %v\n", path, err)
+		}
+	}
+	if inline > 0 {
+		failures++
+		fmt.Printf("FAIL store audit: %d checkpoint record(s) hold inline blobs, want references only\n", inline)
+	}
+	if dangling > 0 {
+		failures++
+		fmt.Printf("FAIL store audit: %d of %d journal reference(s) dangle\n", dangling, refs)
+	}
+	if refs == 0 {
+		failures++
+		fmt.Printf("FAIL store audit: no checkpoint references journaled at all\n")
+	}
+	sstats := st.Stats()
+	fmt.Printf("store      %d journal refs across %d journal(s), all resolve; %d keys, %d dedup hits, %d frames scrubbed clean\n",
+		refs, len(journals)+len(adopted), sstats.Keys, sstats.DedupHits, srep.Frames)
+	return failures
 }
 
 // chooseFedVictim prefers a shard wedged on a checkpointed hang run — the

@@ -29,6 +29,15 @@
 // disk.
 //
 //	deepum-soak -federation -fed-runs 10000 -fed-shards 4 -fed-dir /tmp/fedsoak
+//
+// -fed-store additionally backs the federation with a shared
+// content-addressed checkpoint store and audits it after the storm: the
+// scrubber must find nothing to repair, every journaled checkpoint record
+// (including the dead shard's retired journal) must be a 16-byte store
+// reference, and every reference must resolve — the mid-storm kill and
+// handoff may not dangle a single checkpoint.
+//
+//	deepum-soak -federation -fed-store -fed-runs 10000 -fed-shards 4
 package main
 
 import (
@@ -67,6 +76,7 @@ func main() {
 		fedShards  = flag.Int("fed-shards", 4, "federation soak: shard count")
 		fedWorkers = flag.Int("fed-workers", 4, "federation soak: workers per shard")
 		fedDir     = flag.String("fed-dir", "", "federation soak: shard journal directory, kept for post-hoc audit (empty = temp dir)")
+		fedStore   = flag.Bool("fed-store", false, "federation soak: back checkpoints with a shared content-addressed store and audit every journal reference after the storm")
 	)
 	flag.Parse()
 	if os.Getenv("DEEPUM_SOAK_SHORT") != "" {
@@ -82,6 +92,7 @@ func main() {
 			shards:  *fedShards,
 			workers: *fedWorkers,
 			dir:     *fedDir,
+			store:   *fedStore,
 		}))
 	}
 

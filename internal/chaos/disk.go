@@ -1,0 +1,252 @@
+package chaos
+
+import (
+	"errors"
+	"sync"
+
+	"deepum/internal/store"
+)
+
+// Disk-fault injection for the checkpoint store. FaultFS implements
+// store.FS over an in-memory store.MemFS and injects scripted faults at
+// exact operation ordinals, so every failure mode the store claims to
+// survive — a write torn mid-frame, a bit flipped under the page cache, an
+// fsync the device lied about, a volume filling mid-append, a power cut at
+// any fsync/rename boundary — is reproduced deterministically, not
+// sampled. The crash model is pessimistic: Surviving() returns only the
+// fsync'd prefix of every file, the least a real power cut preserves.
+
+// Injected fault errors. The store does not need to recognize them — any
+// error on the seam must leave it consistent — but tests assert on them.
+var (
+	// ErrTornWrite reports a write that landed only partially.
+	ErrTornWrite = errors.New("chaos: write torn mid-frame")
+	// ErrNoSpace reports a device that filled mid-append.
+	ErrNoSpace = errors.New("chaos: no space left on device")
+	// ErrSyncFail reports an fsync the device refused; the written bytes
+	// remain volatile.
+	ErrSyncFail = errors.New("chaos: fsync failed")
+	// ErrCrashed reports any operation attempted after the scripted crash
+	// boundary; the filesystem is dead until rebuilt from Surviving().
+	ErrCrashed = errors.New("chaos: filesystem crashed")
+)
+
+// DiskFaults scripts one injector. Ordinals are 1-based and count
+// operations across the whole filesystem, not per file; zero disables the
+// corresponding fault, so the zero value injects nothing.
+type DiskFaults struct {
+	// TornWriteAt tears the Nth Write: only TornKeep bytes of the payload
+	// land and the write reports ErrTornWrite.
+	TornWriteAt int
+	TornKeep    int
+
+	// BitFlipAt XORs BitFlipMask (default 0x01) into the byte at
+	// BitFlipOff within the Nth Write's payload after it lands — the write
+	// itself reports success, as silent corruption does.
+	BitFlipAt   int
+	BitFlipOff  int64
+	BitFlipMask byte
+
+	// FailSyncAt fails the Nth Sync with ErrSyncFail. The bytes stay
+	// volatile: a later crash drops them. A failed sync does not count as
+	// a completed crash boundary.
+	FailSyncAt int
+
+	// NoSpaceAt fails the Nth Write with ErrNoSpace after NoSpaceKeep
+	// bytes land (device full mid-append; the partial frame is the
+	// store's problem to roll back).
+	NoSpaceAt   int
+	NoSpaceKeep int
+
+	// CrashAtBoundary kills the filesystem at the Nth fsync/rename
+	// boundary: boundaries 1..N-1 complete, the Nth fails without taking
+	// effect, and every operation after it returns ErrCrashed. Sweeping N
+	// from 1 until the workload completes visits every commit point.
+	CrashAtBoundary int
+}
+
+// FaultFS is a store.FS that injects the scripted faults. Safe for
+// concurrent use.
+type FaultFS struct {
+	mu      sync.Mutex
+	inner   *store.MemFS
+	plan    DiskFaults
+	writes  int
+	syncs   int
+	bounds  int
+	crashed bool
+}
+
+// NewFaultFS returns an empty fault-injecting filesystem running plan.
+func NewFaultFS(plan DiskFaults) *FaultFS {
+	if plan.BitFlipMask == 0 {
+		plan.BitFlipMask = 0x01
+	}
+	return &FaultFS{inner: store.NewMemFS(), plan: plan}
+}
+
+// Inner exposes the backing MemFS (corpus setup and raw inspection).
+func (f *FaultFS) Inner() *store.MemFS { return f.inner }
+
+// Crashed reports whether the scripted crash boundary has been hit.
+func (f *FaultFS) Crashed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.crashed
+}
+
+// Boundaries reports how many fsync/rename boundaries completed — the
+// sweep's upper bound: a clean run's count is the number of distinct crash
+// points worth visiting.
+func (f *FaultFS) Boundaries() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.bounds
+}
+
+// Surviving snapshots what a power cut at this instant would preserve:
+// every file cut to its fsync'd prefix. Reopen the store on the result to
+// model a post-crash restart.
+func (f *FaultFS) Surviving() *store.MemFS {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.inner.Clone(true)
+}
+
+// boundaryLocked advances the crash-boundary counter and kills the
+// filesystem when the scripted boundary is reached. The dying operation
+// does not take effect.
+func (f *FaultFS) boundaryLocked() error {
+	if f.crashed {
+		return ErrCrashed
+	}
+	f.bounds++
+	if f.plan.CrashAtBoundary > 0 && f.bounds >= f.plan.CrashAtBoundary {
+		f.crashed = true
+		return ErrCrashed
+	}
+	return nil
+}
+
+func (f *FaultFS) OpenFile(path string) (store.File, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return nil, ErrCrashed
+	}
+	inner, err := f.inner.OpenFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, path: path, inner: inner}, nil
+}
+
+// Rename is a crash boundary: a compaction commits here, so the sweep must
+// be able to die on either side of it.
+func (f *FaultFS) Rename(oldpath, newpath string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := f.boundaryLocked(); err != nil {
+		return err
+	}
+	return f.inner.Rename(oldpath, newpath)
+}
+
+func (f *FaultFS) Remove(path string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return ErrCrashed
+	}
+	return f.inner.Remove(path)
+}
+
+type faultFile struct {
+	fs    *FaultFS
+	path  string
+	inner store.File
+}
+
+func (ff *faultFile) Write(p []byte) (int, error) {
+	f := ff.fs
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return 0, ErrCrashed
+	}
+	f.writes++
+	switch n := f.writes; {
+	case n == f.plan.TornWriteAt:
+		keep := f.plan.TornKeep
+		if keep > len(p) {
+			keep = len(p)
+		}
+		_, _ = ff.inner.Write(p[:keep])
+		return keep, ErrTornWrite
+	case n == f.plan.NoSpaceAt:
+		keep := f.plan.NoSpaceKeep
+		if keep > len(p) {
+			keep = len(p)
+		}
+		_, _ = ff.inner.Write(p[:keep])
+		return keep, ErrNoSpace
+	case n == f.plan.BitFlipAt:
+		wrote, err := ff.inner.Write(p)
+		if err == nil && f.plan.BitFlipOff >= 0 && f.plan.BitFlipOff < int64(len(p)) {
+			size, _ := ff.inner.Size()
+			off := size - int64(len(p)) + f.plan.BitFlipOff
+			_ = f.inner.CorruptByte(ff.path, off, f.plan.BitFlipMask)
+		}
+		return wrote, err
+	}
+	return ff.inner.Write(p)
+}
+
+func (ff *faultFile) Sync() error {
+	f := ff.fs
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return ErrCrashed
+	}
+	f.syncs++
+	if f.syncs == f.plan.FailSyncAt {
+		return ErrSyncFail
+	}
+	if err := f.boundaryLocked(); err != nil {
+		return err
+	}
+	return ff.inner.Sync()
+}
+
+func (ff *faultFile) ReadAt(p []byte, off int64) (int, error) {
+	f := ff.fs
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return 0, ErrCrashed
+	}
+	return ff.inner.ReadAt(p, off)
+}
+
+func (ff *faultFile) Truncate(size int64) error {
+	f := ff.fs
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return ErrCrashed
+	}
+	return ff.inner.Truncate(size)
+}
+
+func (ff *faultFile) Size() (int64, error) {
+	f := ff.fs
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return 0, ErrCrashed
+	}
+	return ff.inner.Size()
+}
+
+func (ff *faultFile) Close() error { return ff.inner.Close() }

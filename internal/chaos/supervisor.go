@@ -38,6 +38,16 @@ type SupervisorScenario struct {
 	// the federation failover tests and the deepum-soak -federation mode
 	// via Federation.Kill / Federation.Handoff.
 	ShardKill bool
+
+	// DiskFault marks the checkpoint-store durability pattern: torn
+	// writes, silent bit flips, refused fsyncs and ENOSPC injected under
+	// the content-addressed store via FaultFS, plus crash-at-boundary
+	// sweeps that kill the filesystem at every fsync/rename commit point.
+	// Driven by the disk-fault tests and the store-durability CI job; the
+	// contract is that no committed checkpoint is lost, every injected
+	// corruption is detected and either repaired from a surviving replica
+	// or degraded to a cold restart, and no run is lost or duplicated.
+	DiskFault bool
 }
 
 // Active reports whether the scenario injects anything into a live
@@ -73,6 +83,11 @@ func builtinSupervisor() []SupervisorScenario {
 			Name:        "shard-kill",
 			Description: "one federation shard kill-9'd mid-storm (journal intact); a successor peer adopts its queued and interrupted runs by journal handoff, nothing lost or duplicated",
 			ShardKill:   true,
+		},
+		{
+			Name:        "disk-fault",
+			Description: "torn writes, bit flips, failed fsyncs, ENOSPC and crash-at-boundary kills injected under the checkpoint store; committed checkpoints survive, corruption is repaired or degraded to cold restart",
+			DiskFault:   true,
 		},
 	}
 }

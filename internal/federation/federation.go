@@ -36,6 +36,7 @@ import (
 
 	"deepum/internal/metrics"
 	"deepum/internal/obs"
+	"deepum/internal/store"
 	"deepum/internal/supervisor"
 )
 
@@ -52,6 +53,24 @@ type Config struct {
 	// Replicas is the virtual-node count per shard on the hash ring
 	// (default 64).
 	Replicas int
+	// StorePath, when set, opens one shared content-addressed checkpoint
+	// store for the whole fleet and wires it into every shard's supervisor
+	// (overriding Supervisor.Checkpoints). Shard journals then carry
+	// 16-byte checkpoint references and a handoff moves references between
+	// shards while the blobs stay put — adopting a dead shard's runs no
+	// longer copies its checkpoint history. The federation owns the store
+	// and closes it in Drain.
+	StorePath string
+	// StoreReplicas is the per-checkpoint frame replication inside the
+	// shared store (scrub repairs from a surviving replica); default 2.
+	StoreReplicas int
+	// StoreScrubEvery starts the shared store's background scrubber at
+	// this interval; 0 leaves scrubbing to explicit calls.
+	StoreScrubEvery time.Duration
+	// StoreNoSync skips the store's per-Put fsync. Only harnesses that
+	// kill shards in-process (where the page cache survives) should set
+	// it, for the same reason as JournalNoSync.
+	StoreNoSync bool
 	// Obs, when set, receives shard-lifecycle events (kill, adopt, handoff,
 	// rebalance) on the shard track.
 	Obs *obs.Recorder
@@ -63,6 +82,8 @@ type Federation struct {
 	cfg   Config
 	epoch time.Time
 	prom  *metrics.Registry
+
+	store *store.Store // shared checkpoint store (nil without StorePath)
 
 	mu     sync.Mutex
 	shards []*shard
@@ -146,6 +167,22 @@ func New(cfg Config) (*Federation, error) {
 		topo:   make(chan struct{}),
 		nextID: 1,
 	}
+	if cfg.StorePath != "" {
+		replicas := cfg.StoreReplicas
+		if replicas <= 0 {
+			replicas = 2
+		}
+		st, _, err := store.Open(cfg.StorePath, store.Options{
+			Replicas:   replicas,
+			ScrubEvery: cfg.StoreScrubEvery,
+			NoSync:     cfg.StoreNoSync,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("federation: opening checkpoint store: %w", err)
+		}
+		f.store = st
+		cfg.Supervisor.Checkpoints = st
+	}
 	ordinals := make([]int, cfg.Shards)
 	for i := 0; i < cfg.Shards; i++ {
 		ordinals[i] = i
@@ -155,6 +192,9 @@ func New(cfg Config) (*Federation, error) {
 		if err != nil {
 			for _, sh := range f.shards {
 				sh.sup.Kill()
+			}
+			if f.store != nil {
+				f.store.Close()
 			}
 			return nil, fmt.Errorf("federation: shard %d: %w", i, err)
 		}
@@ -632,8 +672,19 @@ func (f *Federation) Drain(ctx context.Context) error {
 		}(i, sh)
 	}
 	wg.Wait()
+	// Close the shared checkpoint store only after every shard stopped
+	// journaling references into it.
+	if f.store != nil {
+		if err := f.store.Close(); err != nil {
+			errs = append(errs, fmt.Errorf("checkpoint store: %w", err))
+		}
+	}
 	return errors.Join(errs...)
 }
+
+// Store exposes the shared checkpoint store (nil unless Config.StorePath
+// was set) for scrubbing, compaction, and audits.
+func (f *Federation) Store() *store.Store { return f.store }
 
 // Metrics exposes the federation's Prometheus registry (per-shard series
 // plus ring/handoff counters). Shard supervisors keep their own

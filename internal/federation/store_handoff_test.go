@@ -1,0 +1,151 @@
+package federation
+
+import (
+	"context"
+	"fmt"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"deepum/internal/store"
+	"deepum/internal/supervisor"
+	"deepum/internal/supervisor/journal"
+)
+
+// TestStoreBackedHandoffEquivalence is the failover-equivalence drill with
+// the shared content-addressed checkpoint store wired in: shard journals
+// carry 16-byte references, a kill-9'd shard's runs are adopted by
+// reference (no blob ever copied between journals), and every adopted
+// run's AccessChecksum is bit-identical to an uninterrupted execution.
+func TestStoreBackedHandoffEquivalence(t *testing.T) {
+	dir := t.TempDir()
+	storePath := filepath.Join(dir, "ck.store")
+	gate := make(chan struct{})
+	f, err := New(Config{
+		Shards: 3,
+		Supervisor: supervisor.Config{
+			Runner:        hangingRunner(gate),
+			Workers:       1,
+			QueueDepth:    64,
+			JournalNoSync: true,
+		},
+		JournalDir: dir,
+		StorePath:  storePath,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = f.Drain(ctx)
+	}()
+	if f.Store() == nil {
+		t.Fatal("federation did not open the shared store")
+	}
+
+	const iters = 8
+	var seed int64
+	specs := map[uint64]supervisor.RunSpec{}
+	submit := func(chaos string) {
+		t.Helper()
+		seed++
+		spec := supervisor.RunSpec{
+			Model:           "bert-base",
+			Batch:           8,
+			Seed:            seed,
+			Iterations:      iters,
+			CheckpointEvery: 2,
+		}
+		if chaos == "hang" {
+			spec.Chaos = "hang"
+			spec.Warmup = 4
+		}
+		id, err := f.Submit(spec)
+		if err != nil {
+			t.Fatalf("Submit(seed %d): %v", seed, err)
+		}
+		specs[id] = spec
+	}
+	for i := 0; i < 9; i++ {
+		submit("hang")
+	}
+	for i := 0; i < 6; i++ {
+		submit("")
+	}
+
+	// Find a victim with a hung, checkpointed run plus queued backlog.
+	victim := -1
+	waitFor(t, "a loaded victim shard", func() bool {
+		for _, sh := range f.Shards() {
+			if sh.Running != 1 || sh.Queued < 1 {
+				continue
+			}
+			for _, info := range f.Supervisor(sh.Ordinal).List() {
+				if info.State == supervisor.StateRunning && info.Checkpoints >= 2 {
+					victim = sh.Ordinal
+					return true
+				}
+			}
+		}
+		return false
+	})
+
+	// Before the kill: the victim's journal must hold references, not
+	// blobs (the wedge pins its worker, so the file is quiescent enough
+	// for a read-only replay).
+	vicJournal := filepath.Join(dir, fmt.Sprintf("shard-%d.journal", victim))
+	refs := 0
+	recs, _, err := journal.ReplayFile(vicJournal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range recs {
+		if rec.Type != journal.RecCheckpointed {
+			continue
+		}
+		if _, ok := store.DecodeRef(rec.Data); !ok {
+			t.Fatalf("victim journal checkpoint record holds %d inline bytes, want a reference", len(rec.Data))
+		}
+		refs++
+	}
+	if refs == 0 {
+		t.Fatal("victim journal has no checkpoint references")
+	}
+
+	if err := f.Kill(victim); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := f.Handoff(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Resumed == 0 {
+		t.Fatalf("handoff resumed nothing: %+v", rep)
+	}
+
+	// Drain the storm; every run must finish with the oracle checksum.
+	close(gate)
+	for id, spec := range specs {
+		info, err := f.Wait(id)
+		if err != nil {
+			t.Fatalf("Wait(%d): %v", id, err)
+		}
+		if info.State != supervisor.StateCompleted {
+			t.Fatalf("run %d ended %s (%s)", id, info.State, info.Reason)
+		}
+		if want := expectChecksum(spec.Seed, iters); info.Outcome.AccessChecksum != want {
+			t.Fatalf("run %d checksum %#x, want %#x (seed %d)", id, info.Outcome.AccessChecksum, want, spec.Seed)
+		}
+	}
+
+	// Store integrity after the storm: scrub finds nothing to repair or
+	// degrade, and dedup means far fewer keys than checkpoint records.
+	srep, err := f.Store().Scrub()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(srep.Lost) != 0 || srep.Repaired != 0 || srep.CorruptFrames != 0 {
+		t.Fatalf("post-storm scrub: %+v", srep)
+	}
+}

@@ -1,0 +1,71 @@
+package store
+
+import (
+	"fmt"
+	"os"
+)
+
+// Read-only audit, for deepum-inspect: scan a store file without opening
+// it for writing — no torn-tail truncation, no leftover cleanup — and
+// report everything the scanner can say about it.
+
+// AuditReport is the read-only scan summary.
+type AuditReport struct {
+	// Bytes is the file size; Frames counts intact frames; Keys counts
+	// distinct keys they address.
+	Bytes  int64 `json:"bytes"`
+	Frames int   `json:"frames"`
+	Keys   int   `json:"keys"`
+	// MinReplicas and MaxReplicas bound the per-key intact frame counts
+	// (0 keys → both 0).
+	MinReplicas int `json:"min_replicas"`
+	MaxReplicas int `json:"max_replicas"`
+	// CorruptRegions lists byte ranges the scanner skipped; TornOffset is
+	// where the scan gave up (-1 when the file parses to EOF).
+	CorruptRegions []CorruptRegion `json:"corrupt_regions,omitempty"`
+	TornOffset     int64           `json:"torn_offset"`
+	// Index maps every key to its intact replica count.
+	Index map[Key]int `json:"-"`
+}
+
+// Clean reports whether the file had no damage at all.
+func (r AuditReport) Clean() bool {
+	return len(r.CorruptRegions) == 0 && r.TornOffset < 0
+}
+
+// Audit scans the store at path read-only. The file is left untouched,
+// torn tail included; a file that is not a store at all (bad magic,
+// unsupported version, too short for a header) is an error.
+func Audit(path string) (AuditReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return AuditReport{TornOffset: -1}, fmt.Errorf("store: audit %s: %w", path, err)
+	}
+	return AuditBytes(data)
+}
+
+// AuditBytes audits an in-memory store image (the fuzz harness's entry
+// point).
+func AuditBytes(data []byte) (AuditReport, error) {
+	rep := AuditReport{Bytes: int64(len(data)), TornOffset: -1, Index: map[Key]int{}}
+	if err := checkHeader(data); err != nil {
+		return rep, err
+	}
+	res := scanFrames(data)
+	rep.Frames = len(res.frames)
+	rep.CorruptRegions = res.corrupt
+	rep.TornOffset = res.torn
+	for _, fr := range res.frames {
+		rep.Index[fr.key]++
+	}
+	rep.Keys = len(rep.Index)
+	for _, n := range rep.Index {
+		if rep.MinReplicas == 0 || n < rep.MinReplicas {
+			rep.MinReplicas = n
+		}
+		if n > rep.MaxReplicas {
+			rep.MaxReplicas = n
+		}
+	}
+	return rep, nil
+}

@@ -1,0 +1,40 @@
+package store
+
+import "encoding/binary"
+
+// Checkpoint references. With a store configured, the supervisor journals
+// a 16-byte reference — magic + key — instead of inlining the checkpoint
+// blob in every RecCheckpointed record. The journal stops bloating with
+// checkpoint history, replay holds references instead of blobs, and a
+// federation handoff moves references between shards while the blobs stay
+// put in the shared store.
+//
+// A reference is distinguishable from an inline blob by construction:
+// correlation checkpoints open with "DEEPUMCK", stub-runner checkpoints
+// are JSON, and the reference magic "DEEPUMSR" collides with neither — so
+// a journal may hold a mix of both encodings (e.g. after the store
+// rejected a Put and the supervisor fell back to inlining) and replay
+// resolves each record by sniffing.
+
+// refMagic marks a store reference ("SR" = store reference).
+var refMagic = [8]byte{'D', 'E', 'E', 'P', 'U', 'M', 'S', 'R'}
+
+// RefBytes is the fixed encoded size of a reference.
+const RefBytes = 8 + 8
+
+// EncodeRef encodes a key as a 16-byte journalable reference.
+func EncodeRef(key Key) []byte {
+	out := make([]byte, 0, RefBytes)
+	out = append(out, refMagic[:]...)
+	return binary.LittleEndian.AppendUint64(out, uint64(key))
+}
+
+// DecodeRef reports whether data is a store reference and, if so, the key
+// it names. Anything else — including a real checkpoint blob — returns
+// false and should be treated as inline content.
+func DecodeRef(data []byte) (Key, bool) {
+	if len(data) != RefBytes || string(data[:8]) != string(refMagic[:]) {
+		return 0, false
+	}
+	return Key(binary.LittleEndian.Uint64(data[8:])), true
+}

@@ -1,0 +1,475 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"path/filepath"
+	"testing"
+)
+
+func blobFor(i int) []byte {
+	return bytes.Repeat([]byte{byte(i), byte(i >> 8), 0xA5}, 20+i%7)
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck.store")
+	s, _, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	keys := make([]Key, 10)
+	for i := range keys {
+		k, err := s.Put(blobFor(i))
+		if err != nil {
+			t.Fatalf("put %d: %v", i, err)
+		}
+		keys[i] = k
+	}
+	for i, k := range keys {
+		got, err := s.Get(k)
+		if err != nil {
+			t.Fatalf("get %d: %v", i, err)
+		}
+		if !bytes.Equal(got, blobFor(i)) {
+			t.Fatalf("blob %d drifted", i)
+		}
+	}
+	if _, err := s.Get(Key(12345)); err == nil {
+		t.Fatal("unknown key did not error")
+	} else if _, ok := err.(*NotFoundError); !ok {
+		t.Fatalf("unknown key: got %T, want *NotFoundError", err)
+	}
+}
+
+func TestDedup(t *testing.T) {
+	s, _, err := Open(filepath.Join(t.TempDir(), "ck.store"), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	blob := blobFor(1)
+	k1, _ := s.Put(blob)
+	sizeAfterFirst := s.Stats().Bytes
+	k2, err := s.Put(append([]byte(nil), blob...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 != k2 {
+		t.Fatalf("same content, different keys: %s vs %s", k1, k2)
+	}
+	st := s.Stats()
+	if st.Bytes != sizeAfterFirst {
+		t.Fatalf("dedup hit grew the file: %d -> %d", sizeAfterFirst, st.Bytes)
+	}
+	if st.DedupHits != 1 || st.Puts != 1 || st.Keys != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestReopenRebuildsIndex(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck.store")
+	s, _, err := Open(path, Options{Replicas: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var keys []Key
+	for i := 0; i < 5; i++ {
+		k, err := s.Put(blobFor(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		keys = append(keys, k)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, stats, err := Open(path, Options{Replicas: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if stats.Keys != 5 || stats.Frames != 10 || stats.TornBytes != 0 || len(stats.CorruptRegions) != 0 {
+		t.Fatalf("reopen stats: %+v", stats)
+	}
+	for i, k := range keys {
+		got, err := s2.Get(k)
+		if err != nil || !bytes.Equal(got, blobFor(i)) {
+			t.Fatalf("key %d after reopen: %v", i, err)
+		}
+	}
+}
+
+func TestOpenTruncatesTornTail(t *testing.T) {
+	fs := NewMemFS()
+	s, _, err := Open("ck.store", Options{FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, _ := s.Put(blobFor(3))
+	s.Close()
+
+	// Tear the tail: append half a frame's worth of garbage.
+	img, _ := fs.ReadFile("ck.store")
+	torn := append(img, 0xFF, 0x07, 0x00, 0x00, 0xDE, 0xAD)
+	fs.WriteFile("ck.store", torn)
+
+	s2, stats, err := Open("ck.store", Options{FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if stats.TornBytes != 6 {
+		t.Fatalf("torn bytes = %d, want 6", stats.TornBytes)
+	}
+	if got, err := s2.Get(k); err != nil || !bytes.Equal(got, blobFor(3)) {
+		t.Fatalf("intact prefix lost: %v", err)
+	}
+	healed, _ := fs.ReadFile("ck.store")
+	if len(healed) != len(img) {
+		t.Fatalf("file not healed to %d bytes (got %d)", len(img), len(healed))
+	}
+}
+
+// corruptNthFrame flips a bit inside the blob area of the n'th frame of a
+// store image (frames located by a clean scan first).
+func corruptNthFrame(t *testing.T, img []byte, n int) []byte {
+	t.Helper()
+	res := scanFrames(img)
+	if n >= len(res.frames) {
+		t.Fatalf("image has %d frames, wanted frame %d", len(res.frames), n)
+	}
+	fr := res.frames[n]
+	out := append([]byte(nil), img...)
+	out[fr.off+13] ^= 0x10 // first blob byte
+	return out
+}
+
+// corruptLiveFrame bit-flips the n'th frame of an open MemFS-backed store
+// in place, so the live handle observes the damage.
+func corruptLiveFrame(t *testing.T, fs *MemFS, path string, n int) {
+	t.Helper()
+	img, ok := fs.ReadFile(path)
+	if !ok {
+		t.Fatalf("no such file %s", path)
+	}
+	res := scanFrames(img)
+	if n >= len(res.frames) {
+		t.Fatalf("image has %d frames, wanted frame %d", len(res.frames), n)
+	}
+	if err := fs.CorruptByte(path, res.frames[n].off+13, 0x10); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScanResyncsPastMidFileCorruption(t *testing.T) {
+	fs := NewMemFS()
+	s, _, _ := Open("ck.store", Options{FS: fs})
+	var keys []Key
+	for i := 0; i < 4; i++ {
+		k, _ := s.Put(blobFor(i))
+		keys = append(keys, k)
+	}
+	s.Close()
+
+	img, _ := fs.ReadFile("ck.store")
+	fs.WriteFile("ck.store", corruptNthFrame(t, img, 1))
+
+	s2, stats, err := Open("ck.store", Options{FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if len(stats.CorruptRegions) != 1 {
+		t.Fatalf("corrupt regions: %+v", stats.CorruptRegions)
+	}
+	if stats.Keys != 3 {
+		t.Fatalf("keys after mid-file corruption = %d, want 3", stats.Keys)
+	}
+	// Frames 0, 2, 3 survive; frame 1's key is gone until scrub/restore.
+	for i, k := range keys {
+		_, err := s2.Get(k)
+		if i == 1 {
+			if err == nil {
+				t.Fatal("corrupted key still resolves")
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("key %d lost to resync: %v", i, err)
+		}
+	}
+}
+
+func TestScrubRepairsFromSurvivingReplica(t *testing.T) {
+	fs := NewMemFS()
+	s, _, _ := Open("ck.store", Options{FS: fs, Replicas: 2})
+	k, _ := s.Put(blobFor(7))
+	s.Close()
+
+	// Corrupt replica 0 of the key; replica 1 survives.
+	img, _ := fs.ReadFile("ck.store")
+	fs.WriteFile("ck.store", corruptNthFrame(t, img, 0))
+
+	s2, _, err := Open("ck.store", Options{FS: fs, Replicas: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	rep, err := s2.Scrub()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Repaired != 1 || len(rep.Lost) != 0 {
+		t.Fatalf("scrub report: %+v", rep)
+	}
+	if got, err := s2.Get(k); err != nil || !bytes.Equal(got, blobFor(7)) {
+		t.Fatalf("repaired key unreadable: %v", err)
+	}
+	// Redundancy restored: a fresh audit sees 2 intact replicas again.
+	img2, _ := fs.ReadFile("ck.store")
+	rep2, err := AuditBytes(img2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Index[k] != 2 {
+		t.Fatalf("replicas after repair = %d, want 2", rep2.Index[k])
+	}
+}
+
+func TestScrubDegradesLostKeyToNotFound(t *testing.T) {
+	fs := NewMemFS()
+	s2, _, err := Open("ck.store", Options{FS: fs}) // replicas=1: no repair possible
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	kGone, _ := s2.Put(blobFor(1))
+	kKept, _ := s2.Put(blobFor(2))
+
+	// Bit-rot lands while the store is open: scrub, not Open, must catch it.
+	corruptLiveFrame(t, fs, "ck.store", 0)
+
+	rep, err := s2.Scrub()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Lost) != 1 || rep.Lost[0] != kGone {
+		t.Fatalf("scrub lost = %v, want [%s]", rep.Lost, kGone)
+	}
+	if _, err := s2.Get(kGone); err == nil {
+		t.Fatal("lost key still resolves")
+	} else if _, ok := err.(*NotFoundError); !ok {
+		t.Fatalf("lost key error %T, want *NotFoundError", err)
+	}
+	if got, err := s2.Get(kKept); err != nil || !bytes.Equal(got, blobFor(2)) {
+		t.Fatalf("surviving key: %v", err)
+	}
+}
+
+func TestCompactReclaimsGarbageAndKeepsLive(t *testing.T) {
+	fs := NewMemFS()
+	s, _, _ := Open("ck.store", Options{FS: fs, Replicas: 2})
+	var keys []Key
+	for i := 0; i < 6; i++ {
+		k, _ := s.Put(blobFor(i))
+		keys = append(keys, k)
+	}
+	live := map[Key]bool{keys[0]: true, keys[3]: true, keys[5]: true}
+	st, err := s.Compact(func(k Key) bool { return live[k] })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.KeysKept != 3 || st.KeysDropped != 3 || st.Unreadable != 0 {
+		t.Fatalf("compact stats: %+v", st)
+	}
+	if st.BytesAfter >= st.BytesBefore {
+		t.Fatalf("compaction reclaimed nothing: %d -> %d", st.BytesBefore, st.BytesAfter)
+	}
+	for i, k := range keys {
+		got, err := s.Get(k)
+		if live[k] {
+			if err != nil || !bytes.Equal(got, blobFor(i)) {
+				t.Fatalf("live key %d after compact: %v", i, err)
+			}
+		} else if err == nil {
+			t.Fatalf("dropped key %d still resolves", i)
+		}
+	}
+	s.Close()
+
+	// The compacted file reopens clean with exactly the live keys.
+	s2, stats, err := Open("ck.store", Options{FS: fs, Replicas: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if stats.Keys != 3 || stats.Frames != 6 || stats.TornBytes != 0 {
+		t.Fatalf("reopen after compact: %+v", stats)
+	}
+}
+
+func TestCompactIsDeterministic(t *testing.T) {
+	build := func() []byte {
+		fs := NewMemFS()
+		s, _, _ := Open("ck.store", Options{FS: fs, Replicas: 2})
+		// Insert in different orders; compaction sorts by key.
+		order := []int{4, 1, 3, 0, 2}
+		for _, i := range order {
+			s.Put(blobFor(i))
+		}
+		if _, err := s.Compact(nil); err != nil {
+			t.Fatal(err)
+		}
+		s.Close()
+		img, _ := fs.ReadFile("ck.store")
+		return img
+	}
+	a := build()
+
+	fs := NewMemFS()
+	s, _, _ := Open("ck.store", Options{FS: fs, Replicas: 2})
+	for i := 0; i < 5; i++ {
+		s.Put(blobFor(i))
+	}
+	if _, err := s.Compact(nil); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	b, _ := fs.ReadFile("ck.store")
+	if !bytes.Equal(a, b) {
+		t.Fatal("compaction is not deterministic across insertion orders")
+	}
+}
+
+func TestOpenRemovesStaleCompactionFile(t *testing.T) {
+	fs := NewMemFS()
+	s, _, _ := Open("ck.store", Options{FS: fs})
+	k, _ := s.Put(blobFor(9))
+	s.Close()
+	fs.WriteFile("ck.store"+compactSuffix, []byte("half-written wreckage"))
+
+	s2, _, err := Open("ck.store", Options{FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if _, err := s2.Get(k); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range fs.Paths() {
+		if p != "ck.store" {
+			t.Fatalf("stale file survived open: %s", p)
+		}
+	}
+}
+
+func TestRefRoundTrip(t *testing.T) {
+	key := HashBytes([]byte("warm state"))
+	ref := EncodeRef(key)
+	if len(ref) != RefBytes {
+		t.Fatalf("ref is %d bytes, want %d", len(ref), RefBytes)
+	}
+	got, ok := DecodeRef(ref)
+	if !ok || got != key {
+		t.Fatalf("decode: %s %v", got, ok)
+	}
+	// Real checkpoint shapes must not sniff as references.
+	for _, blob := range [][]byte{
+		[]byte("DEEPUMCK........"),    // correlation checkpoint magic, right length
+		[]byte(`{"iter":3,"hash":1}`), // stub JSON
+		EncodeRef(key)[:RefBytes-1],   // short
+		append(EncodeRef(key), 0),     // long
+		nil,
+	} {
+		if _, ok := DecodeRef(blob); ok {
+			t.Fatalf("false positive ref sniff on %q", blob)
+		}
+	}
+}
+
+func TestHashAvalanche(t *testing.T) {
+	// Near-identical blobs (trailing counter differs) must land far apart:
+	// the splitmix64 finalizer's whole job. Weak check: top bytes differ
+	// across a small family.
+	top := map[byte]bool{}
+	for i := 0; i < 16; i++ {
+		var b [32]byte
+		binary.LittleEndian.PutUint32(b[28:], uint32(i))
+		top[byte(uint64(HashBytes(b[:]))>>56)] = true
+	}
+	if len(top) < 8 {
+		t.Fatalf("poor avalanche: %d distinct top bytes of 16", len(top))
+	}
+}
+
+func TestPutRejectsOversizedBlob(t *testing.T) {
+	s, _, _ := Open("ck.store", Options{FS: NewMemFS()})
+	defer s.Close()
+	if _, err := s.Put(make([]byte, MaxBlobBytes+1)); err == nil {
+		t.Fatal("oversized blob accepted")
+	}
+}
+
+func TestAuditCleanAndDamaged(t *testing.T) {
+	fs := NewMemFS()
+	s, _, _ := Open("ck.store", Options{FS: fs, Replicas: 2})
+	for i := 0; i < 3; i++ {
+		s.Put(blobFor(i))
+	}
+	s.Close()
+	img, _ := fs.ReadFile("ck.store")
+
+	rep, err := AuditBytes(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Clean() || rep.Keys != 3 || rep.Frames != 6 || rep.MinReplicas != 2 || rep.MaxReplicas != 2 {
+		t.Fatalf("clean audit: %+v", rep)
+	}
+
+	rep2, err := AuditBytes(corruptNthFrame(t, img, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Clean() || len(rep2.CorruptRegions) != 1 {
+		t.Fatalf("damaged audit: %+v", rep2)
+	}
+
+	if _, err := AuditBytes([]byte("NOTASTOREATALL")); err == nil {
+		t.Fatal("bad magic audited clean")
+	}
+}
+
+func TestGetFallsThroughCorruptReplica(t *testing.T) {
+	fs := NewMemFS()
+	s, _, _ := Open("ck.store", Options{FS: fs, Replicas: 3})
+	k, _ := s.Put(blobFor(5))
+	s.Close()
+
+	// Corrupt replicas 0 and 1 under the open store: Get must fall through
+	// to the intact third replica.
+	s2, _, err := Open("ck.store", Options{FS: fs, Replicas: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	img, _ := fs.ReadFile("ck.store")
+	for _, fr := range scanFrames(img).frames[:2] {
+		if err := fs.CorruptByte("ck.store", fr.off+13, 0x10); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	got, err := s2.Get(k)
+	if err != nil || !bytes.Equal(got, blobFor(5)) {
+		t.Fatalf("fall-through read: %v", err)
+	}
+}
+
+func ExampleHashBytes() {
+	fmt.Println(HashBytes([]byte("deepum")) == HashBytes([]byte("deepum")))
+	// Output: true
+}

@@ -64,21 +64,21 @@ func FuzzReplayJournal(f *testing.F) {
 	)
 	f.Add(valid)
 	f.Add([]byte{})
-	f.Add([]byte("DEEPUMWJ"))             // header torn mid-version
-	f.Add(journalImage())                 // header only, no frames
+	f.Add([]byte("DEEPUMWJ"))                 // header torn mid-version
+	f.Add(journalImage())                     // header only, no frames
 	f.Add([]byte("NOTAJRNL\x01\x00\x00\x00")) // wrong magic
-	f.Add(valid[:len(valid)-3])           // torn tail: truncated CRC
-	f.Add(valid[:headerLen+2])            // torn tail: truncated length field
-	flipped := bytes.Clone(valid)         // bit flip mid-payload
+	f.Add(valid[:len(valid)-3])               // torn tail: truncated CRC
+	f.Add(valid[:headerLen+2])                // torn tail: truncated length field
+	flipped := bytes.Clone(valid)             // bit flip mid-payload
 	flipped[headerLen+10] ^= 0x20
 	f.Add(flipped)
 	// CRC-valid hostile frames: the checksum passes, so every defense must
 	// live in the frame decoder itself.
-	f.Add(journalImage(rawFrame(0xFFFFFFFF, []byte{byte(RecSubmitted)})))    // length ~4 GiB
-	f.Add(journalImage(rawFrame(MaxRecordBytes+1, []byte{byte(RecSubmitted)}))) // just over the cap
-	f.Add(journalImage(rawFrame(3, []byte{byte(RecSubmitted), 0, 0})))       // length below type+runID
-	f.Add(journalImage(frame(RecordType(99), 1, nil)))                       // unknown type, valid CRC
-	f.Add(journalImage(frame(RecStarted, 1, spec)))                          // type confusion: started with payload
+	f.Add(journalImage(rawFrame(0xFFFFFFFF, []byte{byte(RecSubmitted)})))         // length ~4 GiB
+	f.Add(journalImage(rawFrame(MaxRecordBytes+1, []byte{byte(RecSubmitted)})))   // just over the cap
+	f.Add(journalImage(rawFrame(3, []byte{byte(RecSubmitted), 0, 0})))            // length below type+runID
+	f.Add(journalImage(frame(RecordType(99), 1, nil)))                            // unknown type, valid CRC
+	f.Add(journalImage(frame(RecStarted, 1, spec)))                               // type confusion: started with payload
 	f.Add(journalImage(frame(RecFinished, 1, nil), frame(RecordType(0), 2, nil))) // good frame then zero type
 
 	f.Fuzz(func(t *testing.T, data []byte) {

@@ -27,6 +27,7 @@
 package journal
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/binary"
 	"fmt"
@@ -123,14 +124,27 @@ func Open(path string) (*Journal, []Record, ReplayStats, error) {
 // the OS page cache survives and replay correctness does not depend on
 // the disk.
 func OpenSync(path string, sync bool) (*Journal, []Record, ReplayStats, error) {
+	var recs []Record
+	j, stats, err := OpenStream(path, sync, func(rec Record) error {
+		recs = append(recs, rec)
+		return nil
+	})
+	return j, recs, stats, err
+}
+
+// OpenStream is OpenSync with the replayed records streamed through fn
+// instead of materialized: memory high-water during recovery is one frame,
+// which matters when the journal carries months of inline checkpoint
+// payloads. An error from fn aborts the open.
+func OpenStream(path string, sync bool, fn func(Record) error) (*Journal, ReplayStats, error) {
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
-		return nil, nil, ReplayStats{}, fmt.Errorf("journal: open %s: %w", path, err)
+		return nil, ReplayStats{}, fmt.Errorf("journal: open %s: %w", path, err)
 	}
 	info, err := f.Stat()
 	if err != nil {
 		f.Close()
-		return nil, nil, ReplayStats{}, fmt.Errorf("journal: stat %s: %w", path, err)
+		return nil, ReplayStats{}, fmt.Errorf("journal: stat %s: %w", path, err)
 	}
 	j := &Journal{f: f, path: path, nosync: !sync}
 	if info.Size() == 0 {
@@ -142,30 +156,30 @@ func OpenSync(path string, sync bool) (*Journal, []Record, ReplayStats, error) {
 		}
 		if err != nil {
 			f.Close()
-			return nil, nil, ReplayStats{}, fmt.Errorf("journal: initializing %s: %w", path, err)
+			return nil, ReplayStats{}, fmt.Errorf("journal: initializing %s: %w", path, err)
 		}
-		return j, nil, ReplayStats{TornOffset: -1}, nil
+		return j, ReplayStats{TornOffset: -1}, nil
 	}
-	recs, stats, err := Replay(f)
+	stats, err := ReplayStream(f, fn)
 	if err != nil {
 		f.Close()
-		return nil, nil, stats, err
+		return nil, stats, err
 	}
 	if stats.TornOffset >= 0 {
 		if err := f.Truncate(stats.TornOffset); err != nil {
 			f.Close()
-			return nil, nil, stats, fmt.Errorf("journal: truncating torn tail of %s at %d: %w", path, stats.TornOffset, err)
+			return nil, stats, fmt.Errorf("journal: truncating torn tail of %s at %d: %w", path, stats.TornOffset, err)
 		}
 		if err := f.Sync(); err != nil {
 			f.Close()
-			return nil, nil, stats, fmt.Errorf("journal: syncing truncated %s: %w", path, err)
+			return nil, stats, fmt.Errorf("journal: syncing truncated %s: %w", path, err)
 		}
 	}
 	if _, err := f.Seek(0, io.SeekEnd); err != nil {
 		f.Close()
-		return nil, nil, stats, fmt.Errorf("journal: seeking to end of %s: %w", path, err)
+		return nil, stats, fmt.Errorf("journal: seeking to end of %s: %w", path, err)
 	}
-	return j, recs, stats, nil
+	return j, stats, nil
 }
 
 // Append frames, writes, and fsyncs one record. The record is durable when
@@ -232,54 +246,90 @@ type ReplayStats struct {
 // It only errors on I/O failures or a file that is not a journal at all;
 // torn tails and checksum failures are reported in the stats, not as
 // errors, because they are the expected residue of a kill -9.
+//
+// Replay materializes every record — including every checkpoint payload —
+// at once; callers that only fold records into state (the supervisor's
+// replay, a federation handoff) should use ReplayStream, which holds one
+// frame at a time.
 func Replay(r io.ReadSeeker) ([]Record, ReplayStats, error) {
+	var recs []Record
+	stats, err := ReplayStream(r, func(rec Record) error {
+		recs = append(recs, rec)
+		return nil
+	})
+	return recs, stats, err
+}
+
+// ReplayStream decodes records from r one frame at a time, calling fn for
+// each intact record in file order. Memory high-water is a single frame,
+// not the file: a journal holding months of checkpoint history replays in
+// constant space when fn folds instead of accumulating. Stopping rules
+// match Replay; an error from fn aborts the stream and is returned.
+func ReplayStream(r io.ReadSeeker, fn func(Record) error) (ReplayStats, error) {
 	stats := ReplayStats{TornOffset: -1, ByType: map[RecordType]int{}}
 	if _, err := r.Seek(0, io.SeekStart); err != nil {
-		return nil, stats, fmt.Errorf("journal: seek: %w", err)
+		return stats, fmt.Errorf("journal: seek: %w", err)
 	}
-	raw, err := io.ReadAll(r)
-	if err != nil {
-		return nil, stats, fmt.Errorf("journal: reading: %w", err)
+	br := bufio.NewReaderSize(r, 1<<16)
+
+	var hdr [headerLen]byte
+	if n, err := io.ReadFull(br, hdr[:]); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return stats, fmt.Errorf("journal: file too short for header (%d bytes)", n)
+		}
+		return stats, fmt.Errorf("journal: reading header: %w", err)
 	}
-	if len(raw) < headerLen {
-		return nil, stats, fmt.Errorf("journal: file too short for header (%d bytes)", len(raw))
+	if !bytes.Equal(hdr[:8], fileMagic[:]) {
+		return stats, fmt.Errorf("journal: bad magic %q (not a supervisor journal)", hdr[:8])
 	}
-	if !bytes.Equal(raw[:8], fileMagic[:]) {
-		return nil, stats, fmt.Errorf("journal: bad magic %q (not a supervisor journal)", raw[:8])
-	}
-	if v := binary.LittleEndian.Uint32(raw[8:headerLen]); v != Version {
-		return nil, stats, fmt.Errorf("journal: unsupported version %d (want %d)", v, Version)
+	if v := binary.LittleEndian.Uint32(hdr[8:headerLen]); v != Version {
+		return stats, fmt.Errorf("journal: unsupported version %d (want %d)", v, Version)
 	}
 
-	var recs []Record
 	off := int64(headerLen)
-	buf := raw[headerLen:]
-	for len(buf) > 0 {
-		if len(buf) < 4 {
-			stats.TornOffset, stats.TruncatedFrame = off, true
-			break
+	var frame []byte // reused across iterations: length + payload + crc
+	for {
+		var lenBuf [4]byte
+		n, err := io.ReadFull(br, lenBuf[:])
+		if err == io.EOF {
+			return stats, nil // clean end on a frame boundary
 		}
-		length := int(binary.LittleEndian.Uint32(buf[:4]))
+		if err == io.ErrUnexpectedEOF {
+			_ = n
+			stats.TornOffset, stats.TruncatedFrame = off, true
+			return stats, nil
+		}
+		if err != nil {
+			return stats, fmt.Errorf("journal: reading frame length at %d: %w", off, err)
+		}
+		length := int(binary.LittleEndian.Uint32(lenBuf[:]))
 		if length < 1+8 || length > MaxRecordBytes {
 			// A garbage length field is indistinguishable from a torn
 			// frame; classify it as a checksum-grade failure.
 			stats.TornOffset, stats.CRCFailures = off, stats.CRCFailures+1
-			break
+			return stats, nil
 		}
-		if len(buf) < 4+length+4 {
-			stats.TornOffset, stats.TruncatedFrame = off, true
-			break
+		if cap(frame) < 4+length+4 {
+			frame = make([]byte, 4+length+4)
 		}
-		frame := buf[:4+length]
-		sum := binary.LittleEndian.Uint32(buf[4+length : 4+length+4])
-		if crc32.ChecksumIEEE(frame) != sum {
+		frame = frame[:4+length+4]
+		copy(frame, lenBuf[:])
+		if _, err := io.ReadFull(br, frame[4:]); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				stats.TornOffset, stats.TruncatedFrame = off, true
+				return stats, nil
+			}
+			return stats, fmt.Errorf("journal: reading frame at %d: %w", off, err)
+		}
+		sum := binary.LittleEndian.Uint32(frame[4+length:])
+		if crc32.ChecksumIEEE(frame[:4+length]) != sum {
 			stats.TornOffset, stats.CRCFailures = off, stats.CRCFailures+1
-			break
+			return stats, nil
 		}
 		typ := RecordType(frame[4])
 		if !knownType(typ) {
 			stats.TornOffset, stats.CRCFailures = off, stats.CRCFailures+1
-			break
+			return stats, nil
 		}
 		if typ == RecStarted && length > 1+8 {
 			// Record-type confusion: a started record never carries a
@@ -288,23 +338,22 @@ func Replay(r io.ReadSeeker) ([]Record, ReplayStats, error) {
 			// way (or a hostile file). Trusting it would silently misfile
 			// run state; stop replay here like any other corrupt frame.
 			stats.TornOffset, stats.CRCFailures = off, stats.CRCFailures+1
-			break
+			return stats, nil
 		}
 		rec := Record{
 			Type:  typ,
 			RunID: binary.LittleEndian.Uint64(frame[5:13]),
 		}
 		if length > 1+8 {
-			rec.Data = append([]byte(nil), frame[13:]...)
+			rec.Data = append([]byte(nil), frame[13:4+length]...)
 		}
-		recs = append(recs, rec)
 		stats.Records++
 		stats.ByType[typ]++
-		adv := int64(4 + length + 4)
-		off += adv
-		buf = buf[adv:]
+		if err := fn(rec); err != nil {
+			return stats, err
+		}
+		off += int64(4 + length + 4)
 	}
-	return recs, stats, nil
 }
 
 // ReplayFile replays the journal at path read-only (used by
@@ -316,6 +365,16 @@ func ReplayFile(path string) ([]Record, ReplayStats, error) {
 	}
 	defer f.Close()
 	return Replay(f)
+}
+
+// ReplayStreamFile is ReplayStream over the journal at path, read-only.
+func ReplayStreamFile(path string, fn func(Record) error) (ReplayStats, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return ReplayStats{TornOffset: -1}, fmt.Errorf("journal: open %s: %w", path, err)
+	}
+	defer f.Close()
+	return ReplayStream(f, fn)
 }
 
 func writeU32(buf *bytes.Buffer, v uint32) {

@@ -23,6 +23,7 @@ import (
 
 	"deepum/internal/chaos"
 	"deepum/internal/metrics"
+	"deepum/internal/store"
 	"deepum/internal/supervisor/journal"
 )
 
@@ -57,6 +58,18 @@ type Config struct {
 	// supervisors in-process (Supervisor.Kill, where the page cache
 	// survives) should set it; a real kill -9 needs the fsync.
 	JournalNoSync bool
+	// Checkpoints, when non-nil, is the content-addressed store checkpoint
+	// blobs are saved to. The journal then carries a 16-byte reference per
+	// RecCheckpointed record instead of the blob: the journal stops growing
+	// with checkpoint history, identical checkpoints dedup across runs and
+	// restarts, and a federation handoff moves references while the blobs
+	// stay put in the shared store. Store failures (full disk, a detected
+	// hash collision) fall back to inlining the blob in the journal —
+	// checkpoint durability never regresses below the journal-only
+	// contract. A reference that no longer resolves at resume time (the
+	// blob was scrub-degraded or compacted away) degrades that run to a
+	// cold restart. The caller owns the store and closes it after Drain.
+	Checkpoints *store.Store
 	// Estimate fills RunSpec.MemoryDemand at admission when the spec left
 	// it zero (e.g. from the workload's scaled footprint); nil treats
 	// missing demand as zero.
@@ -89,14 +102,20 @@ type Supervisor struct {
 	// bounds it at Config.QueueDepth (backpressure), but journal replay
 	// and cross-shard adoption (Adopt) may push past the bound — those
 	// runs were already admitted once and must never be re-rejected.
-	queued  []uint64
-	qcond   *sync.Cond
-	qclosed bool
-	jl      *journal.Journal
-	jlClosed bool
-	rng      *rand.Rand
+	queued    []uint64
+	qcond     *sync.Cond
+	qclosed   bool
+	jl        *journal.Journal
+	jlClosed  bool
+	rng       *rand.Rand
 	recovered int
 	adopted   int
+	// Checkpoint-store accounting: payloads stored as references vs
+	// inlined (store rejected), and resumes degraded to cold restart
+	// because their reference no longer resolved.
+	ckptStored   int
+	ckptInlined  int
+	coldRestarts int
 
 	workersDone chan struct{}
 	killedCh    chan struct{}
@@ -161,7 +180,16 @@ func New(cfg Config) (*Supervisor, error) {
 	s.qcond = sync.NewCond(&s.mu)
 	s.initMetrics()
 	if cfg.JournalPath != "" {
-		jl, recs, _, err := journal.OpenSync(cfg.JournalPath, !cfg.JournalNoSync)
+		// Stream the journal through the adoption folder: the fold keeps
+		// only the latest checkpoint payload per run, so recovery memory is
+		// one frame plus one live checkpoint per run — not the journal's
+		// full checkpoint history (with a store configured, the payloads
+		// are 16-byte references and even that shrinks to nothing).
+		folder := NewAdoptionFolder()
+		jl, _, err := journal.OpenStream(cfg.JournalPath, !cfg.JournalNoSync, func(rec journal.Record) error {
+			folder.Add(rec)
+			return nil
+		})
 		if err != nil {
 			return nil, err
 		}
@@ -169,7 +197,7 @@ func New(cfg Config) (*Supervisor, error) {
 		// Replay our own journal: the records are already durable here, so
 		// nothing is re-journaled, and recovered runs bypass the
 		// queue-depth bound — they were admitted before the crash.
-		for _, a := range AdoptionsFromRecords(recs) {
+		for _, a := range folder.Adoptions() {
 			if _, err := s.admitAdoptionLocked(a, false); err != nil {
 				jl.Close()
 				return nil, fmt.Errorf("supervisor: journal replay: %w", err)
@@ -202,48 +230,66 @@ type Adoption struct {
 	Outcome  *Outcome
 }
 
-// AdoptionsFromRecords folds replayed journal records into per-run
-// adoptions, in first-submission order: latest checkpoint per run, the
-// terminal state for finished runs, a queued adoption for everything that
-// was in flight or waiting when the journal's writer died.
-func AdoptionsFromRecords(recs []journal.Record) []Adoption {
-	type ghost struct {
-		spec    journalSpec
-		specOK  bool
-		started int
-		ckpt    []byte
-		ckpts   int
-		finish  *journalFinish
+// AdoptionFolder folds journal records into per-run adoptions one record
+// at a time. It keeps only the latest checkpoint payload per run — not the
+// full checkpoint history a journal accumulates — so replaying through a
+// folder (journal.OpenStream or journal.ReplayStreamFile feeding Add) runs
+// in space proportional to the number of runs, not the journal's size.
+type AdoptionFolder struct {
+	ghosts map[uint64]*ghost
+	order  []uint64
+}
+
+type ghost struct {
+	spec    journalSpec
+	specOK  bool
+	started int
+	ckpt    []byte
+	ckpts   int
+	finish  *journalFinish
+}
+
+// NewAdoptionFolder returns an empty folder.
+func NewAdoptionFolder() *AdoptionFolder {
+	return &AdoptionFolder{ghosts: map[uint64]*ghost{}}
+}
+
+// Add folds one replayed record into the per-run state.
+func (f *AdoptionFolder) Add(rec journal.Record) {
+	g := f.ghosts[rec.RunID]
+	if g == nil {
+		g = &ghost{}
+		f.ghosts[rec.RunID] = g
 	}
-	ghosts := map[uint64]*ghost{}
-	var order []uint64
-	for _, rec := range recs {
-		g := ghosts[rec.RunID]
-		if g == nil {
-			g = &ghost{}
-			ghosts[rec.RunID] = g
+	switch rec.Type {
+	case journal.RecSubmitted:
+		if json.Unmarshal(rec.Data, &g.spec) == nil {
+			g.specOK = true
 		}
-		switch rec.Type {
-		case journal.RecSubmitted:
-			if json.Unmarshal(rec.Data, &g.spec) == nil {
-				g.specOK = true
-			}
-			order = append(order, rec.RunID)
-		case journal.RecStarted:
-			g.started++
-		case journal.RecCheckpointed:
-			g.ckpt = rec.Data
-			g.ckpts++
-		case journal.RecFinished:
-			var f journalFinish
-			if json.Unmarshal(rec.Data, &f) == nil {
-				g.finish = &f
-			}
+		f.order = append(f.order, rec.RunID)
+	case journal.RecStarted:
+		g.started++
+	case journal.RecCheckpointed:
+		// Latest wins; the superseded payload is garbage immediately, which
+		// is the whole point of folding instead of materializing.
+		g.ckpt = rec.Data
+		g.ckpts++
+	case journal.RecFinished:
+		var fin journalFinish
+		if json.Unmarshal(rec.Data, &fin) == nil {
+			g.finish = &fin
 		}
 	}
-	out := make([]Adoption, 0, len(order))
-	for _, id := range order {
-		g := ghosts[id]
+}
+
+// Adoptions assembles the folded state, in first-submission order: latest
+// checkpoint per run, the terminal state for finished runs, a queued
+// adoption for everything that was in flight or waiting when the journal's
+// writer died.
+func (f *AdoptionFolder) Adoptions() []Adoption {
+	out := make([]Adoption, 0, len(f.order))
+	for _, id := range f.order {
+		g := f.ghosts[id]
 		a := Adoption{
 			ID:          id,
 			Spec:        g.spec.Spec,
@@ -269,17 +315,32 @@ func AdoptionsFromRecords(recs []journal.Record) []Adoption {
 	return out
 }
 
+// AdoptionsFromRecords folds already-materialized records (see
+// AdoptionFolder; prefer streaming when the records come from a file).
+func AdoptionsFromRecords(recs []journal.Record) []Adoption {
+	f := NewAdoptionFolder()
+	for _, rec := range recs {
+		f.Add(rec)
+	}
+	return f.Adoptions()
+}
+
 // ReplayJournal reads the journal at path read-only — torn tail tolerated,
 // file untouched — and returns its runs as adoptions plus the replay
 // stats. It is the first half of a cross-shard handoff: a federation
 // replays a dead shard's journal and feeds the adoptions to a live peer's
-// Adopt.
+// Adopt. The replay streams: checkpoint history beyond the latest per run
+// is never resident.
 func ReplayJournal(path string) ([]Adoption, journal.ReplayStats, error) {
-	recs, stats, err := journal.ReplayFile(path)
+	f := NewAdoptionFolder()
+	stats, err := journal.ReplayStreamFile(path, func(rec journal.Record) error {
+		f.Add(rec)
+		return nil
+	})
 	if err != nil {
 		return nil, stats, err
 	}
-	return AdoptionsFromRecords(recs), stats, nil
+	return f.Adoptions(), stats, nil
 }
 
 // AdoptReport summarizes one Adopt call.
@@ -351,7 +412,15 @@ func (s *Supervisor) admitAdoptionLocked(a Adoption, journalIt bool) (bool, erro
 			return false, err
 		}
 		if len(a.Resume) > 0 {
-			if err := s.appendLocked(journal.Record{Type: journal.RecCheckpointed, RunID: a.ID, Data: a.Resume}); err != nil {
+			// A handed-off resume may already be a store reference (the dead
+			// peer shared our store) — pass it through untouched, 16 bytes.
+			// An inline blob goes through the store like any fresh
+			// checkpoint, shrinking the re-journaled record too.
+			data := a.Resume
+			if _, isRef := store.DecodeRef(data); !isRef {
+				data = s.checkpointPayloadLocked(data)
+			}
+			if err := s.appendLocked(journal.Record{Type: journal.RecCheckpointed, RunID: a.ID, Data: data}); err != nil {
 				return false, err
 			}
 		}
@@ -505,7 +574,8 @@ func (s *Supervisor) execute(n int, id uint64) {
 	now := time.Now()
 	r.info.Started = &now
 	r.info.Attempts++
-	resume := r.resume
+	resume := s.resolveResumeLocked(id, r.resume)
+	r.resume = resume // a resolved (or degraded) reference stays resolved
 	r.info.Resumed = resume != nil
 	r.heartbeat.Store(now.UnixNano())
 	panicNow := s.cfg.Chaos.Active() && s.rng.Float64() < s.cfg.Chaos.WorkerPanicProb
@@ -563,13 +633,55 @@ func (s *Supervisor) progress(r *run, ck []byte) {
 	if s.killed || r.info.State.Terminal() {
 		return
 	}
-	if err := s.appendLocked(journal.Record{Type: journal.RecCheckpointed, RunID: r.info.ID, Data: ck}); err != nil {
+	if err := s.appendLocked(journal.Record{Type: journal.RecCheckpointed, RunID: r.info.ID, Data: s.checkpointPayloadLocked(ck)}); err != nil {
 		// A checkpoint that failed to persist is not a run failure; the
 		// run merely loses resume granularity. Keep the bytes in memory.
 		s.record(StateRunning, StateRunning, "checkpoint journal append failed")
 	}
 	r.resume = ck
 	r.info.Checkpoints++
+}
+
+// checkpointPayloadLocked is what goes into a RecCheckpointed record: a
+// 16-byte store reference when the configured store accepted the blob, the
+// inline blob otherwise (no store, a full disk, a detected hash
+// collision). Callers journal the result; caller holds mu.
+func (s *Supervisor) checkpointPayloadLocked(ck []byte) []byte {
+	if s.cfg.Checkpoints == nil {
+		return ck
+	}
+	key, err := s.cfg.Checkpoints.Put(ck)
+	if err != nil {
+		s.ckptInlined++
+		return ck
+	}
+	s.ckptStored++
+	return store.EncodeRef(key)
+}
+
+// resolveResumeLocked turns journaled resume state into the bytes a runner
+// can consume: inline payloads pass through, store references are
+// dereferenced. A reference that cannot be resolved — no store configured
+// here, blob scrub-degraded or compacted away, content verification
+// failed — degrades to nil, a cold restart: slower, never resumed from
+// corrupt state. Caller holds mu.
+func (s *Supervisor) resolveResumeLocked(id uint64, data []byte) []byte {
+	key, ok := store.DecodeRef(data)
+	if !ok {
+		return data
+	}
+	if s.cfg.Checkpoints == nil {
+		s.coldRestarts++
+		s.record(StateQueued, StateQueued, fmt.Sprintf("run %d: checkpoint reference %s with no store; cold restart", id, key))
+		return nil
+	}
+	blob, err := s.cfg.Checkpoints.Get(key)
+	if err != nil {
+		s.coldRestarts++
+		s.record(StateQueued, StateQueued, fmt.Sprintf("run %d: checkpoint %s unresolvable (%v); cold restart", id, key, err))
+		return nil
+	}
+	return blob
 }
 
 // watchdog cancels the run when no heartbeat arrives for timeout. It polls
@@ -640,7 +752,7 @@ func (s *Supervisor) finalize(r *run, out Outcome, runErr error, panicked bool) 
 	r.info.Finished = &now
 	r.info.Outcome = &out
 	if len(out.Checkpoint) > 0 {
-		if s.appendLocked(journal.Record{Type: journal.RecCheckpointed, RunID: r.info.ID, Data: out.Checkpoint}) == nil {
+		if s.appendLocked(journal.Record{Type: journal.RecCheckpointed, RunID: r.info.ID, Data: s.checkpointPayloadLocked(out.Checkpoint)}) == nil {
 			r.resume = out.Checkpoint
 			r.info.Checkpoints++
 		}
@@ -780,6 +892,15 @@ type Stats struct {
 	// Adopted counts runs taken over from dead peers' journals via Adopt
 	// (federation handoff), terminal history excluded.
 	Adopted int
+	// CheckpointsStored counts checkpoints journaled as store references;
+	// CheckpointsInlined counts store rejections that fell back to inline
+	// payloads (both 0 without a configured store).
+	CheckpointsStored  int
+	CheckpointsInlined int
+	// ColdRestarts counts runs whose checkpoint reference no longer
+	// resolved at execute time and restarted cold instead — degraded,
+	// never resumed from corrupt state.
+	ColdRestarts int
 }
 
 // Stats snapshots the aggregate state.
@@ -787,14 +908,17 @@ func (s *Supervisor) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	st := Stats{
-		CommittedBytes: s.committed,
-		Budget:         s.cfg.GPUMemoryBudget,
-		PerRunQuota:    s.cfg.PerRunQuota,
-		QueueCap:       s.cfg.QueueDepth,
-		Workers:        s.cfg.Workers,
-		Draining:       s.draining || s.killed,
-		Recovered:      s.recovered,
-		Adopted:        s.adopted,
+		CommittedBytes:     s.committed,
+		Budget:             s.cfg.GPUMemoryBudget,
+		PerRunQuota:        s.cfg.PerRunQuota,
+		QueueCap:           s.cfg.QueueDepth,
+		Workers:            s.cfg.Workers,
+		Draining:           s.draining || s.killed,
+		Recovered:          s.recovered,
+		Adopted:            s.adopted,
+		CheckpointsStored:  s.ckptStored,
+		CheckpointsInlined: s.ckptInlined,
+		ColdRestarts:       s.coldRestarts,
 	}
 	for _, r := range s.runs {
 		switch {

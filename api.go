@@ -23,6 +23,7 @@ package deepum
 import (
 	"sort"
 
+	"deepum/internal/admission"
 	"deepum/internal/chaos"
 	"deepum/internal/core"
 	"deepum/internal/correlation"
@@ -143,6 +144,13 @@ type Runner = supervisor.Runner
 // RunnerFunc adapts a function to the Runner interface.
 type RunnerFunc = supervisor.RunnerFunc
 
+// SubmitOptions re-exports the retry-safety extras a submission may attach:
+// an idempotency key (a retried submit resolves to the run the first
+// attempt created) and a propagated client deadline (shed at admission when
+// the backlog cannot meet it). Pass to Supervisor.SubmitWithOptions or
+// Federation.SubmitWithOptions.
+type SubmitOptions = supervisor.SubmitOptions
+
 // RunState is a supervised run's position in the supervisor's state
 // machine; RunState.Terminal reports finality.
 type RunState = supervisor.RunState
@@ -170,6 +178,10 @@ type (
 	QuotaError = supervisor.QuotaError
 	// RunNotFoundError: no run with the requested ID.
 	RunNotFoundError = supervisor.NotFoundError
+	// ShedError: the submission's propagated deadline cannot be met at the
+	// current queue drain rate. Retryable() is true; RetryAfter carries a
+	// jittered backoff hint priced from the observed drain.
+	ShedError = supervisor.ShedError
 )
 
 // Sentinel supervisor errors, for errors.Is.
@@ -185,10 +197,23 @@ var (
 // Deprecated: use ErrShuttingDown.
 var ErrSupervisorShuttingDown = supervisor.ErrShuttingDown
 
+// MaxIdempotencyKeyLen is the longest accepted idempotency key in bytes.
+const MaxIdempotencyKeyLen = admission.MaxKeyLen
+
+// ValidateIdempotencyKey reports whether key is usable as an idempotency
+// key: 1 to MaxIdempotencyKeyLen bytes of printable ASCII. Serving layers
+// call it before admission so a malformed key is a clean client error, not
+// a supervisor rejection.
+func ValidateIdempotencyKey(key string) error { return admission.ValidateKey(key) }
+
 // MetricsRegistry re-exports the Prometheus-style registry returned by
 // Supervisor.Metrics and Federation.Metrics, so serving layers can scrape
 // (WriteText) without importing internal/metrics.
 type MetricsRegistry = metrics.Registry
+
+// NewMetricsRegistry returns an empty registry (custom backends and test
+// doubles that must satisfy a Metrics() *MetricsRegistry contract).
+func NewMetricsRegistry() *MetricsRegistry { return metrics.NewRegistry() }
 
 // --- checkpoint store types ---
 

@@ -53,7 +53,7 @@ func runJournal(args []string) {
 
 	fmt.Printf("== journal %s ==\n", path)
 	fmt.Printf("records      %d intact\n", stats.Records)
-	for _, t := range []journal.RecordType{journal.RecSubmitted, journal.RecStarted, journal.RecCheckpointed, journal.RecFinished} {
+	for _, t := range []journal.RecordType{journal.RecSubmitted, journal.RecStarted, journal.RecCheckpointed, journal.RecFinished, journal.RecAdmissionKey} {
 		fmt.Printf("  %-12s %d\n", t, stats.ByType[t])
 	}
 	fmt.Printf("crc failures %d\n", stats.CRCFailures)
@@ -70,6 +70,7 @@ func runJournal(args []string) {
 	// Per-run lifecycle: last record type wins as the run's state.
 	type runSummary struct {
 		id          uint64
+		key         string
 		submitted   bool
 		attempts    int
 		checkpoints int
@@ -86,6 +87,8 @@ func runJournal(args []string) {
 			order = append(order, r.RunID)
 		}
 		switch r.Type {
+		case journal.RecAdmissionKey:
+			rs.key = string(r.Data)
 		case journal.RecSubmitted:
 			rs.submitted = true
 		case journal.RecStarted:
@@ -109,8 +112,8 @@ func runJournal(args []string) {
 		}
 	}
 	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
-	fmt.Printf("\n%-8s %-10s %-8s %-11s %s\n", "run", "submitted", "starts", "checkpoints", "state")
-	interrupted := 0
+	fmt.Printf("\n%-8s %-10s %-8s %-11s %-22s %s\n", "run", "submitted", "starts", "checkpoints", "key", "state")
+	interrupted, keyed := 0, 0
 	for _, id := range order {
 		rs := runs[id]
 		state := rs.state
@@ -118,9 +121,17 @@ func runJournal(args []string) {
 			state = "interrupted (would resume on restart)"
 			interrupted++
 		}
-		fmt.Printf("%-8d %-10v %-8d %-11d %s\n", rs.id, rs.submitted, rs.attempts, rs.checkpoints, state)
+		key := "-"
+		if rs.key != "" {
+			keyed++
+			key = rs.key
+			if len(key) > 20 {
+				key = key[:17] + "..."
+			}
+		}
+		fmt.Printf("%-8d %-10v %-8d %-11d %-22s %s\n", rs.id, rs.submitted, rs.attempts, rs.checkpoints, key, state)
 	}
-	fmt.Printf("\n%d run(s), %d interrupted\n", len(order), interrupted)
+	fmt.Printf("\n%d run(s), %d interrupted, %d keyed\n", len(order), interrupted, keyed)
 
 	if *verbose {
 		fmt.Println()
@@ -141,9 +152,16 @@ func runJournal(args []string) {
 // shard — must appear on exactly one live shard. Zero live copies means the
 // handoff orphaned the run; two or more means it was adopted twice.
 //
-// Exit status: 0 clean; 2 for orphaned or duplicated runs, or for journals
-// whose integrity findings (torn tail, CRC failure) mean records may be
-// missing and the audit cannot vouch for the set it read.
+// The audit also cross-checks admission keys: a key journaled against two
+// different run IDs anywhere in the set is a duplicated admission — a
+// retry that should have deduped created a second run instead. (The same
+// key appearing in a dead shard's retired journal and its adopter's is
+// fine, as long as both name the same run.)
+//
+// Exit status: 0 clean; 2 for orphaned or duplicated runs, split admission
+// keys, or for journals whose integrity findings (torn tail, CRC failure)
+// mean records may be missing and the audit cannot vouch for the set it
+// read.
 func auditJournals(paths []string) {
 	type shardFile struct {
 		path  string
@@ -154,6 +172,7 @@ func auditJournals(paths []string) {
 	files := make([]*shardFile, 0, len(paths))
 	liveOn := map[uint64][]string{} // run ID -> live journals holding it
 	every := map[uint64]bool{}
+	keyTo := map[string]map[uint64]bool{} // admission key -> distinct run IDs
 	exit := 0
 	for _, path := range paths {
 		recs, stats, err := journal.ReplayFile(path)
@@ -170,6 +189,13 @@ func auditJournals(paths []string) {
 		for _, r := range recs {
 			sf.ids[r.RunID] = true
 			every[r.RunID] = true
+			if r.Type == journal.RecAdmissionKey {
+				key := string(r.Data)
+				if keyTo[key] == nil {
+					keyTo[key] = map[uint64]bool{}
+				}
+				keyTo[key][r.RunID] = true
+			}
 		}
 		if sf.live {
 			for id := range sf.ids {
@@ -233,10 +259,40 @@ func auditJournals(paths []string) {
 	report("ORPHANED", orphaned)
 	report("DUPLICATED", duplicated)
 
+	// Admission keys: one key, one run — across every journal in the set.
+	var splitKeys []string
+	for key, ids := range keyTo {
+		if len(ids) > 1 {
+			splitKeys = append(splitKeys, key)
+		}
+	}
+	sort.Strings(splitKeys)
+	if len(splitKeys) > 0 {
+		exit = 2
+		shown := splitKeys
+		if len(shown) > listCap {
+			shown = shown[:listCap]
+		}
+		fmt.Printf("\nSPLIT admission key(s): %d (a retry created a second run)\n", len(splitKeys))
+		for _, key := range shown {
+			ids := make([]uint64, 0, len(keyTo[key]))
+			for id := range keyTo[key] {
+				ids = append(ids, id)
+			}
+			sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+			fmt.Printf("  key %q bound to runs %v\n", key, ids)
+		}
+		if len(splitKeys) > listCap {
+			fmt.Printf("  ... and %d more\n", len(splitKeys)-listCap)
+		}
+	}
+
 	if exit == 0 {
-		fmt.Printf("\n%d distinct run(s), each on exactly one live shard\n", len(every))
+		fmt.Printf("\n%d distinct run(s), each on exactly one live shard; %d admission key(s), none split\n",
+			len(every), len(keyTo))
 	} else {
-		fmt.Printf("\naudit FAILED: %d orphaned, %d duplicated\n", len(orphaned), len(duplicated))
+		fmt.Printf("\naudit FAILED: %d orphaned, %d duplicated, %d split key(s)\n",
+			len(orphaned), len(duplicated), len(splitKeys))
 	}
 	os.Exit(exit)
 }

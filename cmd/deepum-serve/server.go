@@ -12,15 +12,35 @@ import (
 )
 
 // backend is what the HTTP layer needs from the run-admission plane; both
-// the single *deepum.Supervisor and the sharded *deepum.Federation satisfy
-// it, so every route behaves identically in both modes.
+// the single *deepum.Supervisor (via supervisorBackend) and the sharded
+// *deepum.Federation satisfy it, so every route behaves identically in
+// both modes.
 type backend interface {
 	Submit(deepum.RunSpec) (uint64, error)
+	// SubmitWithOptions attaches an idempotency key and a propagated client
+	// deadline; dedup reports the returned ID is an existing run the key
+	// resolved to.
+	SubmitWithOptions(deepum.RunSpec, deepum.SubmitOptions) (uint64, bool, error)
 	Get(uint64) (deepum.RunInfo, error)
 	Cancel(uint64) error
 	List() []deepum.RunInfo
 	Accepting() bool
+	// RetryAfterHint prices a jittered Retry-After from the admission
+	// queue's observed drain rate, for rejections that carry none of their
+	// own (drain, handoff windows).
+	RetryAfterHint() time.Duration
 	Metrics() *deepum.MetricsRegistry
+}
+
+// supervisorBackend adapts the single supervisor's ID-taking submit
+// signature to the backend interface (the federation assigns its own
+// globally-unique IDs; a lone supervisor takes 0 = next local ID).
+type supervisorBackend struct {
+	*deepum.Supervisor
+}
+
+func (b supervisorBackend) SubmitWithOptions(spec deepum.RunSpec, opts deepum.SubmitOptions) (uint64, bool, error) {
+	return b.Supervisor.SubmitWithOptions(0, spec, opts)
 }
 
 // newServer wires a single supervisor behind the JSON HTTP API. Typed
@@ -31,7 +51,7 @@ type backend interface {
 // hold a connection open indefinitely. GET /metrics scrapes the backend's
 // Prometheus registry plus per-route HTTP request counters.
 func newServer(sup *deepum.Supervisor, requestTimeout time.Duration) http.Handler {
-	s := &server{b: sup, stats: func() any { return sup.Stats() }}
+	s := &server{b: supervisorBackend{sup}, stats: func() any { return sup.Stats() }}
 	return buildServer(s, requestTimeout)
 }
 
@@ -105,6 +125,27 @@ type server struct {
 }
 
 func (s *server) submit(w http.ResponseWriter, r *http.Request) {
+	var opts deepum.SubmitOptions
+	if key := r.Header.Get("Idempotency-Key"); key != "" {
+		if err := deepum.ValidateIdempotencyKey(key); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		opts.Key = key
+	}
+	// The client's wait budget rides an explicit header (Go duration
+	// syntax), NOT the request context deadline: submit answers 202
+	// immediately, so the wait the deadline must survive happens after this
+	// response is long gone.
+	if dl := r.Header.Get("X-Deadline"); dl != "" {
+		d, err := time.ParseDuration(dl)
+		if err != nil || d <= 0 {
+			writeError(w, http.StatusBadRequest,
+				errors.New("X-Deadline must be a positive Go duration (e.g. 30s)"))
+			return
+		}
+		opts.Deadline = d
+	}
 	var spec deepum.RunSpec
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
 	dec.DisallowUnknownFields()
@@ -112,9 +153,10 @@ func (s *server) submit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	id, err := s.b.Submit(spec)
+	id, dedup, err := s.b.SubmitWithOptions(spec, opts)
 	if err != nil {
 		var he *deepum.ShardHandoffError
+		var shed *deepum.ShedError
 		var qf *deepum.QueueFullError
 		var q *deepum.QuotaError
 		// errors.As/Is see through the federation's ShardError wrapper, so
@@ -123,16 +165,22 @@ func (s *server) submit(w http.ResponseWriter, r *http.Request) {
 		switch {
 		case errors.As(err, &he):
 			s.rejectHandoff(w, he, err)
+		case errors.As(err, &shed):
+			// Deadline-aware shed: the queue may have room, but the client's
+			// deadline will not survive the predicted wait. The hint is
+			// priced from the drain rate and jittered by the shedder itself.
+			setRetryAfter(w, shed.RetryAfter)
+			writeReject(w, http.StatusServiceUnavailable, err, true)
 		case errors.Is(err, deepum.ErrShuttingDown):
 			// A draining server may be restarting; tell well-behaved
 			// clients when to probe again rather than hammering it.
-			w.Header().Set("Retry-After", "5")
+			setRetryAfter(w, s.b.RetryAfterHint())
 			writeReject(w, http.StatusServiceUnavailable, err, true)
 		case errors.As(err, &qf):
-			w.Header().Set("Retry-After", "1")
+			setRetryAfter(w, qf.RetryAfter)
 			writeReject(w, http.StatusTooManyRequests, err, true)
 		case errors.As(err, &q) && q.Retryable():
-			w.Header().Set("Retry-After", "1")
+			setRetryAfter(w, s.b.RetryAfterHint())
 			writeReject(w, http.StatusTooManyRequests, err, true)
 		case errors.As(err, &q):
 			// Per-run quota: the spec can never fit; retrying is useless.
@@ -142,7 +190,30 @@ func (s *server) submit(w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	}
+	if dedup {
+		// A replayed submission: the key resolved to the run an earlier
+		// attempt created. 200, not 202 — nothing new was admitted — and
+		// the run's current state (terminal outcome included) rides along
+		// so a post-completion retry gets the original result.
+		body := map[string]any{"id": id, "deduplicated": true}
+		if info, gerr := s.b.Get(id); gerr == nil {
+			body["run"] = info
+		}
+		writeJSON(w, http.StatusOK, body)
+		return
+	}
 	writeJSON(w, http.StatusAccepted, map[string]uint64{"id": id})
+}
+
+// setRetryAfter writes a Retry-After header from a computed hint,
+// whole-second wire format, floored at 1s (0 falls back to 1s: a rejection
+// must never tell the client "retry immediately").
+func setRetryAfter(w http.ResponseWriter, d time.Duration) {
+	secs := int(d.Round(time.Second) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
 }
 
 // rejectHandoff answers a request trapped in a shard's kill-to-handoff
@@ -154,7 +225,7 @@ func (s *server) rejectHandoff(w http.ResponseWriter, he *deepum.ShardHandoffErr
 		writeReject(w, http.StatusInternalServerError, err, false)
 		return
 	}
-	w.Header().Set("Retry-After", "1")
+	setRetryAfter(w, s.b.RetryAfterHint())
 	writeReject(w, http.StatusServiceUnavailable, err, true)
 }
 
@@ -204,7 +275,7 @@ func (s *server) cancel(w http.ResponseWriter, r *http.Request) {
 
 func (s *server) ready(w http.ResponseWriter, r *http.Request) {
 	if !s.b.Accepting() {
-		w.Header().Set("Retry-After", "5")
+		setRetryAfter(w, s.b.RetryAfterHint())
 		writeError(w, http.StatusServiceUnavailable, errors.New("draining"))
 		return
 	}

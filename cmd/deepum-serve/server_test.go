@@ -280,6 +280,17 @@ func TestServeMetricsScrape(t *testing.T) {
 		"# TYPE deepum_supervisor_runs gauge",
 		"deepum_supervisor_run_seconds_count 1",
 		`deepum_http_requests_total{route="POST /runs"} 1`,
+		// Admission retry-safety family: pre-registered, so a scrape before
+		// any shed or dedup event still shows the series at zero.
+		"# TYPE deepum_admission_shed_total counter",
+		"deepum_admission_shed_total 0",
+		"# TYPE deepum_admission_dedup_hits_total counter",
+		"deepum_admission_dedup_hits_total 0",
+		// The completed run was a best-effort (no deadline) submission, so
+		// its queue wait landed in that class; the deadline class scrapes
+		// at zero.
+		`deepum_admission_queue_wait_seconds_count{class="best_effort"} 1`,
+		`deepum_admission_queue_wait_seconds_count{class="deadline"} 0`,
 	} {
 		if !strings.Contains(body, want) {
 			t.Errorf("metrics body missing %q", want)
@@ -287,6 +298,172 @@ func TestServeMetricsScrape(t *testing.T) {
 	}
 	if t.Failed() {
 		t.Logf("full body:\n%s", body)
+	}
+}
+
+// TestServeIdempotencyKey: a retried POST /runs carrying the same
+// Idempotency-Key resolves to the original run — 200 (not 202), the same
+// ID, and the run's current state (outcome included once terminal) in the
+// body. Malformed keys and deadlines are clean 400s.
+func TestServeIdempotencyKey(t *testing.T) {
+	ts, sup := testServer(t, deepum.SupervisorConfig{Workers: 1}, instant())
+
+	req := func(key, deadline, body string) *http.Response {
+		t.Helper()
+		r, err := http.NewRequest("POST", ts.URL+"/runs", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Header.Set("Content-Type", "application/json")
+		if key != "" {
+			r.Header.Set("Idempotency-Key", key)
+		}
+		if deadline != "" {
+			r.Header.Set("X-Deadline", deadline)
+		}
+		resp, err := http.DefaultClient.Do(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { resp.Body.Close() })
+		return resp
+	}
+
+	spec := `{"model":"bert-base","batch":8,"iterations":2,"seed":7}`
+	first := req("retry-test-1", "", spec)
+	if first.StatusCode != http.StatusAccepted {
+		t.Fatalf("first keyed submit: status %d, want 202", first.StatusCode)
+	}
+	id := decode[map[string]uint64](t, first)["id"]
+	if _, err := sup.Wait(id); err != nil {
+		t.Fatal(err)
+	}
+
+	// Retry after completion: same key, same ID, original outcome attached.
+	retry := req("retry-test-1", "", spec)
+	if retry.StatusCode != http.StatusOK {
+		t.Fatalf("replayed submit: status %d, want 200", retry.StatusCode)
+	}
+	body := decode[map[string]json.RawMessage](t, retry)
+	var gotID uint64
+	if err := json.Unmarshal(body["id"], &gotID); err != nil || gotID != id {
+		t.Fatalf("replayed submit id = %s (err %v), want %d", body["id"], err, id)
+	}
+	if string(body["deduplicated"]) != "true" {
+		t.Fatalf("replayed submit body = %v, want deduplicated true", body)
+	}
+	var info deepum.RunInfo
+	if err := json.Unmarshal(body["run"], &info); err != nil {
+		t.Fatal(err)
+	}
+	if info.State != deepum.RunCompleted || info.Outcome == nil {
+		t.Fatalf("replayed run = state %s outcome %v, want completed with outcome", info.State, info.Outcome)
+	}
+
+	// A different key admits a fresh run.
+	second := req("retry-test-2", "", spec)
+	if second.StatusCode != http.StatusAccepted {
+		t.Fatalf("fresh keyed submit: status %d, want 202", second.StatusCode)
+	}
+	if id2 := decode[map[string]uint64](t, second)["id"]; id2 == id {
+		t.Fatal("distinct keys resolved to the same run")
+	}
+
+	// Oversized key -> 400; malformed deadline -> 400; negative -> 400.
+	if code := req(strings.Repeat("k", deepum.MaxIdempotencyKeyLen+1), "", spec).StatusCode; code != http.StatusBadRequest {
+		t.Fatalf("oversized key: status %d, want 400", code)
+	}
+	if code := req("", "soon", spec).StatusCode; code != http.StatusBadRequest {
+		t.Fatalf("malformed deadline: status %d, want 400", code)
+	}
+	if code := req("", "-3s", spec).StatusCode; code != http.StatusBadRequest {
+		t.Fatalf("negative deadline: status %d, want 400", code)
+	}
+	// A generous deadline against an idle supervisor admits normally.
+	if code := req("", "30s", spec).StatusCode; code != http.StatusAccepted {
+		t.Fatalf("deadline submit: status %d, want 202", code)
+	}
+}
+
+// fakeBackend scripts backend responses so handler mappings can be tested
+// without arranging real supervisor state.
+type fakeBackend struct {
+	submitErr error
+	hint      time.Duration
+	reg       *deepum.MetricsRegistry
+}
+
+func (f *fakeBackend) Submit(deepum.RunSpec) (uint64, error) { return 1, f.submitErr }
+func (f *fakeBackend) SubmitWithOptions(deepum.RunSpec, deepum.SubmitOptions) (uint64, bool, error) {
+	return 1, false, f.submitErr
+}
+func (f *fakeBackend) Get(uint64) (deepum.RunInfo, error) { return deepum.RunInfo{ID: 1}, nil }
+func (f *fakeBackend) Cancel(uint64) error                { return nil }
+func (f *fakeBackend) List() []deepum.RunInfo             { return nil }
+func (f *fakeBackend) Accepting() bool                    { return true }
+func (f *fakeBackend) RetryAfterHint() time.Duration      { return f.hint }
+func (f *fakeBackend) Metrics() *deepum.MetricsRegistry   { return f.reg }
+
+func newFakeServer(t *testing.T, fb *fakeBackend) *httptest.Server {
+	t.Helper()
+	fb.reg = deepum.NewMetricsRegistry()
+	srv := &server{b: fb, stats: func() any { return nil }}
+	ts := httptest.NewServer(buildServer(srv, 10*time.Second))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// TestServeShedResponse: a *ShedError maps to 503 with the shedder's own
+// jittered Retry-After on the wire, distinct from queue-full's 429.
+func TestServeShedResponse(t *testing.T) {
+	ts := newFakeServer(t, &fakeBackend{submitErr: &deepum.ShedError{
+		Deadline:      200 * time.Millisecond,
+		PredictedWait: 2 * time.Second,
+		RetryAfter:    7 * time.Second,
+	}})
+	resp := postJSON(t, ts.URL+"/runs", `{"model":"bert-base","batch":8}`)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("shed: status %d, want 503", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "7" {
+		t.Fatalf("shed Retry-After = %q, want \"7\" (the error's own hint)", ra)
+	}
+	body := decode[map[string]any](t, resp)
+	if body["retryable"] != true {
+		t.Fatalf("shed body = %v, want retryable true", body)
+	}
+}
+
+// TestServeComputedRetryAfter: rejection paths with no typed hint of their
+// own (queue-full without an observation, drain) price Retry-After from the
+// backend's drain model instead of a hardcoded constant.
+func TestServeComputedRetryAfter(t *testing.T) {
+	ts := newFakeServer(t, &fakeBackend{
+		submitErr: &deepum.QueueFullError{Depth: 4, RetryAfter: 3 * time.Second},
+		hint:      9 * time.Second,
+	})
+	resp := postJSON(t, ts.URL+"/runs", `{"model":"bert-base","batch":8}`)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("queue full: status %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "3" {
+		t.Fatalf("queue-full Retry-After = %q, want \"3\"", ra)
+	}
+
+	drain := newFakeServer(t, &fakeBackend{submitErr: deepum.ErrShuttingDown, hint: 9 * time.Second})
+	resp = postJSON(t, drain.URL+"/runs", `{"model":"bert-base","batch":8}`)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("drain: status %d, want 503", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "9" {
+		t.Fatalf("drain Retry-After = %q, want the backend hint \"9\"", ra)
+	}
+
+	// A zero hint still floors at 1 second — never "retry immediately".
+	floor := newFakeServer(t, &fakeBackend{submitErr: deepum.ErrShuttingDown})
+	resp = postJSON(t, floor.URL+"/runs", `{"model":"bert-base","batch":8}`)
+	if ra := resp.Header.Get("Retry-After"); ra != "1" {
+		t.Fatalf("floored Retry-After = %q, want \"1\"", ra)
 	}
 }
 

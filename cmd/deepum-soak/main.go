@@ -38,6 +38,15 @@
 // handoff may not dangle a single checkpoint.
 //
 //	deepum-soak -federation -fed-store -fed-runs 10000 -fed-shards 4
+//
+// With -retry-storm the harness drills exactly-once admission instead:
+// clients whose transport injects timeouts-after-send retry every submit
+// under its idempotency key through a mid-storm shard kill and handoff,
+// and the harness asserts one execution per key, response/ID agreement,
+// and the clean-execution checksum oracle (see retrystorm.go). Shares the
+// -fed-* sizing flags and -seed.
+//
+//	deepum-soak -retry-storm -fed-runs 2000 -fed-shards 4 -fed-dir /tmp/storm
 package main
 
 import (
@@ -77,6 +86,8 @@ func main() {
 		fedWorkers = flag.Int("fed-workers", 4, "federation soak: workers per shard")
 		fedDir     = flag.String("fed-dir", "", "federation soak: shard journal directory, kept for post-hoc audit (empty = temp dir)")
 		fedStore   = flag.Bool("fed-store", false, "federation soak: back checkpoints with a shared content-addressed store and audit every journal reference after the storm")
+
+		retryStorm = flag.Bool("retry-storm", false, "run the exactly-once retry-storm soak (aggressive-timeout clients + idempotency keys through a mid-storm shard kill); shares the -fed-* sizing flags")
 	)
 	flag.Parse()
 	if os.Getenv("DEEPUM_SOAK_SHORT") != "" {
@@ -86,6 +97,15 @@ func main() {
 		}
 	}
 
+	if *retryStorm {
+		os.Exit(runRetryStorm(retryStormOptions{
+			runs:    *fedRuns,
+			shards:  *fedShards,
+			workers: *fedWorkers,
+			dir:     *fedDir,
+			seed:    *seed,
+		}))
+	}
 	if *federation {
 		os.Exit(runFederationSoak(fedSoakOptions{
 			runs:    *fedRuns,

@@ -1,0 +1,458 @@
+package main
+
+// Retry-storm soak (-retry-storm): the exactly-once admission drill. A
+// federation of supervisor shards sits behind a minimal HTTP submit
+// endpoint (the same SubmitWithOptions contract deepum-serve speaks), and a
+// fleet of clients whose transport injects timeouts-after-send — the server
+// admitted the submission, the client never saw the 202 — retries EVERY
+// submit under its idempotency key until a response lands. Mid-storm, one
+// shard is kill-9'd and handed off, so a slice of the retries cross the
+// failover: the key must follow the run through the journal handoff and
+// still dedup on the adopting shard.
+//
+// Asserted after the storm drains:
+//
+//   - exactly one execution per key: the counting runner saw each seed
+//     complete exactly once, no matter how many times its submit was
+//     retried (the dedup path, not re-admission, absorbed every retry),
+//   - every HTTP response for a key named the same run ID,
+//   - every run completed with AccessChecksum equal to the pure-function
+//     oracle for its seed,
+//   - no run ID lost or duplicated across the surviving shards,
+//   - the transport provably injected timeouts and the federation provably
+//     deduped (a storm that never ambiguated proves nothing),
+//   - no goroutines leak after drain.
+//
+// The shard journals survive in -fed-dir so CI re-audits them with
+// deepum-inspect journal -audit afterwards.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"deepum"
+	"deepum/internal/chaos"
+)
+
+type retryStormOptions struct {
+	runs    int
+	shards  int
+	workers int
+	dir     string
+	seed    int64
+}
+
+// stormRunner wraps the deterministic fed stub runner and counts COMPLETED
+// executions per seed — the exactly-once ledger. A run interrupted by the
+// shard kill and resumed later still completes once; a duplicated
+// admission would complete twice and fail the audit.
+func stormRunner(gate <-chan struct{}, completions *sync.Map) deepum.Runner {
+	base := fedRunner(gate)
+	return deepum.RunnerFunc(func(ctx context.Context, spec deepum.RunSpec, resume []byte, progress func([]byte)) (deepum.RunOutcome, error) {
+		out, err := base.Run(ctx, spec, resume, progress)
+		if err == nil && out.Status == string(deepum.RunCompleted) {
+			c, _ := completions.LoadOrStore(spec.Seed, new(atomic.Int64))
+			c.(*atomic.Int64).Add(1)
+		}
+		return out, err
+	})
+}
+
+// stormHandler is the minimal submit endpoint: the SubmitWithOptions
+// contract over HTTP, with the same status mapping deepum-serve uses for
+// the admission errors the storm exercises.
+func stormHandler(fed *deepum.Federation) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var spec deepum.RunSpec
+		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&spec); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		var opts deepum.SubmitOptions
+		if key := r.Header.Get("Idempotency-Key"); key != "" {
+			if err := deepum.ValidateIdempotencyKey(key); err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			opts.Key = key
+		}
+		id, dedup, err := fed.SubmitWithOptions(spec, opts)
+		if err != nil {
+			var he *deepum.ShardHandoffError
+			var shed *deepum.ShedError
+			var qf *deepum.QueueFullError
+			var q *deepum.QuotaError
+			switch {
+			case errors.As(err, &he):
+				w.Header().Set("Retry-After", "1")
+				http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			case errors.As(err, &shed):
+				http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			case errors.As(err, &qf), errors.As(err, &q) && q.Retryable():
+				http.Error(w, err.Error(), http.StatusTooManyRequests)
+			default:
+				http.Error(w, err.Error(), http.StatusBadRequest)
+			}
+			return
+		}
+		status := http.StatusAccepted
+		if dedup {
+			status = http.StatusOK
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(status)
+		json.NewEncoder(w).Encode(map[string]uint64{"id": id})
+	})
+}
+
+// runRetryStorm executes the drill and returns the process exit code.
+func runRetryStorm(opts retryStormOptions) int {
+	if opts.runs < 100 {
+		opts.runs = 100
+	}
+	if opts.shards < 2 {
+		opts.shards = 2
+	}
+	if opts.workers < 1 {
+		opts.workers = 4
+	}
+	dir := opts.dir
+	if dir == "" {
+		d, err := os.MkdirTemp("", "deepum-retrystorm-")
+		if err != nil {
+			fatalf("retry storm: %v", err)
+		}
+		dir = d
+	}
+	startGoroutines := runtime.NumGoroutine()
+	start := time.Now()
+
+	gate := make(chan struct{})
+	var completions sync.Map
+	fed, err := deepum.NewFederation(deepum.FederationOptions{
+		Shards: opts.shards,
+		Supervisor: deepum.SupervisorConfig{
+			Runner:        stormRunner(gate, &completions),
+			Estimate:      func(deepum.RunSpec) (int64, error) { return 1 << 20, nil },
+			Workers:       opts.workers,
+			QueueDepth:    256,
+			JournalNoSync: true,
+		},
+		JournalDir: dir,
+	})
+	if err != nil {
+		fatalf("retry storm: %v", err)
+	}
+	ts := httptest.NewServer(stormHandler(fed))
+	defer ts.Close()
+	fmt.Printf("retry-storm %d shards x %d workers, %d keys, journals in %s\n",
+		opts.shards, opts.workers, opts.runs, dir)
+
+	// Every client shares one fault transport: ~35% of round trips complete
+	// on the wire but surface as client timeouts, so a third of all submits
+	// are retried blind. Slow and torn faults ride along to exercise the
+	// retry loop's read-error path.
+	ft := chaos.NewFaultTransport(ts.Client().Transport, chaos.NetFaultOptions{
+		TimeoutAfterSendProb: 0.35,
+		SlowProb:             0.05,
+		SlowDelay:            2 * time.Millisecond,
+		TornBodyProb:         0.05,
+		Seed:                 opts.seed,
+	})
+	client := &http.Client{Transport: ft, Timeout: 5 * time.Second}
+
+	var (
+		mu        sync.Mutex
+		keyRun    = map[string]uint64{} // idempotency key -> the ONE run ID it resolved to
+		keySeed   = map[string]int64{}
+		disagree  int64 // responses for a key naming a different ID than recorded
+		dedupSeen atomic.Int64
+		failed    atomic.Int64
+	)
+
+	// submitKey retries one submission under its key until a definitive
+	// response arrives, recording every ID the server ever names for it.
+	submitKey := func(seed int64, hang bool) {
+		key := "storm-" + strconv.FormatInt(seed, 10)
+		spec := deepum.RunSpec{
+			Model:           "bert-base",
+			Batch:           8,
+			Seed:            seed,
+			Iterations:      fedIters,
+			CheckpointEvery: fedCkptEach,
+		}
+		if hang {
+			spec.Chaos = "hang"
+			spec.Warmup = fedHangAt
+		}
+		body, _ := json.Marshal(spec)
+		for attempt := 0; ; attempt++ {
+			if attempt > 10000 {
+				fmt.Printf("FAIL key %s: no definitive response after %d attempts\n", key, attempt)
+				failed.Add(1)
+				return
+			}
+			req, _ := http.NewRequest("POST", ts.URL, bytes.NewReader(body))
+			req.Header.Set("Content-Type", "application/json")
+			req.Header.Set("Idempotency-Key", key)
+			resp, err := client.Do(req)
+			if err != nil {
+				continue // injected timeout: retry blind, same key
+			}
+			switch resp.StatusCode {
+			case http.StatusAccepted, http.StatusOK:
+				var out struct {
+					ID uint64 `json:"id"`
+				}
+				derr := json.NewDecoder(resp.Body).Decode(&out)
+				resp.Body.Close()
+				if derr != nil {
+					continue // torn body: the ID was lost in transit, retry
+				}
+				if resp.StatusCode == http.StatusOK {
+					dedupSeen.Add(1)
+				}
+				mu.Lock()
+				if prev, ok := keyRun[key]; ok && prev != out.ID {
+					disagree++
+				}
+				keyRun[key] = out.ID
+				keySeed[key] = seed
+				mu.Unlock()
+				return
+			case http.StatusServiceUnavailable, http.StatusTooManyRequests:
+				resp.Body.Close()
+				time.Sleep(500 * time.Microsecond)
+			default:
+				resp.Body.Close()
+				fmt.Printf("FAIL key %s: status %d\n", key, resp.StatusCode)
+				failed.Add(1)
+				return
+			}
+		}
+	}
+
+	failures := 0
+	var seedCount atomic.Int64
+	// Hang runs first, so the victim shard wedges on checkpointed runs.
+	for i := 0; i < fedHangRuns; i++ {
+		submitKey(seedCount.Add(1), true)
+	}
+
+	// Mid-storm killer: same shape as the federation soak — pick a wedged
+	// victim, kill it, hand off while the retry storm keeps hammering.
+	var report deepum.ShardHandoffReport
+	var victim int
+	var accepted = func() int { mu.Lock(); defer mu.Unlock(); return len(keyRun) }
+	killDone := make(chan struct{})
+	go func() {
+		defer close(killDone)
+		for accepted() < opts.runs/2 {
+			time.Sleep(time.Millisecond)
+		}
+		victim = chooseFedVictim(fed, opts.shards)
+		if err := fed.Kill(victim); err != nil {
+			fmt.Printf("FAIL kill shard %d: %v\n", victim, err)
+			failed.Add(1)
+			close(gate)
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+		rep, err := fed.Handoff(victim)
+		if err != nil {
+			fmt.Printf("FAIL handoff shard %d: %v\n", victim, err)
+			failed.Add(1)
+			close(gate)
+			return
+		}
+		report = rep
+		close(gate)
+	}()
+
+	storm := opts.runs - fedHangRuns
+	const submitters = 8
+	var wg sync.WaitGroup
+	for w := 0; w < submitters; w++ {
+		n := storm / submitters
+		if w < storm%submitters {
+			n++
+		}
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			for i := 0; i < n; i++ {
+				submitKey(seedCount.Add(1), false)
+			}
+		}(n)
+	}
+	wg.Wait()
+	<-killDone
+	failures += int(failed.Load())
+
+	nf := ft.Stats()
+	fmt.Printf("storm      %d keys over %d round trips: %d timeouts-after-send, %d slowed, %d torn; kill+handoff on shard %d\n",
+		accepted(), nf.Requests, nf.TimeoutsAfterSend, nf.Slowed, nf.Torn, victim)
+	fmt.Printf("handoff    %d runs: %d finished history, %d re-queued (%d resumed), %d skipped\n",
+		report.Runs, report.Finished, report.Queued, report.Resumed, report.Skipped)
+
+	// A storm that never ambiguated, or never deduped, proves nothing.
+	if nf.TimeoutsAfterSend == 0 {
+		failures++
+		fmt.Printf("FAIL no timeouts-after-send injected; the storm never created retry ambiguity\n")
+	}
+	if dedupSeen.Load() == 0 && fed.Stats().DedupHits == 0 {
+		failures++
+		fmt.Printf("FAIL no dedup observed anywhere; retries were not absorbed by keys\n")
+	}
+	if disagree > 0 {
+		failures++
+		fmt.Printf("FAIL %d response(s) named a different run ID for an already-resolved key\n", disagree)
+	}
+	if got := accepted(); got != opts.runs {
+		failures++
+		fmt.Printf("FAIL %d keys resolved, want %d\n", got, opts.runs)
+	}
+
+	// Wait out every run; assert the checksum oracle per key.
+	mu.Lock()
+	resolved := make(map[string]uint64, len(keyRun))
+	seeds := make(map[string]int64, len(keySeed))
+	for k, id := range keyRun {
+		resolved[k] = id
+		seeds[k] = keySeed[k]
+	}
+	mu.Unlock()
+	idSeen := map[uint64]string{}
+	badState, badSum, collide := 0, 0, 0
+	for key, id := range resolved {
+		if prev, ok := idSeen[id]; ok {
+			collide++
+			if collide == 1 {
+				fmt.Printf("FAIL run %d claimed by keys %q and %q\n", id, prev, key)
+			}
+		}
+		idSeen[id] = key
+		info, err := fed.Wait(id)
+		if err != nil {
+			fmt.Printf("FAIL wait run %d (key %s): %v\n", id, key, err)
+			failures++
+			continue
+		}
+		if info.State != deepum.RunCompleted {
+			if badState == 0 {
+				fmt.Printf("FAIL run %d (key %s) ended %s (%s)\n", id, key, info.State, info.Reason)
+			}
+			badState++
+			continue
+		}
+		if want := fedExpect(seeds[key]); info.Outcome.AccessChecksum != want {
+			if badSum == 0 {
+				fmt.Printf("FAIL run %d checksum %016x, want %016x (key %s)\n",
+					id, info.Outcome.AccessChecksum, want, key)
+			}
+			badSum++
+		}
+	}
+	if collide > 0 {
+		failures++
+		fmt.Printf("FAIL %d run ID(s) shared between distinct keys\n", collide)
+	}
+	if badState > 0 {
+		failures++
+		fmt.Printf("FAIL %d run(s) did not complete\n", badState)
+	}
+	if badSum > 0 {
+		failures++
+		fmt.Printf("FAIL %d run(s) diverged from the clean-execution checksum\n", badSum)
+	}
+
+	// The exactly-once ledger: every seed completed exactly once.
+	multi, never := 0, 0
+	for key, seed := range seeds {
+		c, ok := completions.Load(seed)
+		n := int64(0)
+		if ok {
+			n = c.(*atomic.Int64).Load()
+		}
+		switch {
+		case n == 0:
+			never++
+			if never == 1 {
+				fmt.Printf("FAIL key %s (seed %d) never executed\n", key, seed)
+			}
+		case n > 1:
+			multi++
+			if multi == 1 {
+				fmt.Printf("FAIL key %s (seed %d) executed %d times\n", key, seed, n)
+			}
+		}
+	}
+	if never > 0 || multi > 0 {
+		failures++
+		fmt.Printf("FAIL exactly-once: %d key(s) never executed, %d executed more than once\n", never, multi)
+	}
+
+	// No run lost, none duplicated across the surviving shards.
+	seen := map[uint64]int{}
+	for ord := 0; ord < opts.shards; ord++ {
+		if ord == victim {
+			continue
+		}
+		for _, info := range fed.Supervisor(ord).List() {
+			if o, _ := fed.Owner(info.ID); o == ord {
+				seen[info.ID]++
+			}
+		}
+	}
+	lost, dup := 0, 0
+	for id := range idSeen {
+		switch n := seen[id]; {
+		case n == 0:
+			lost++
+		case n > 1:
+			dup++
+		}
+	}
+	if lost > 0 || dup > 0 {
+		failures++
+		fmt.Printf("FAIL run accounting: %d lost, %d duplicated across live shards\n", lost, dup)
+	}
+
+	fst := fed.Stats()
+	if fst.Handoffs != 1 || fst.Live != opts.shards-1 {
+		failures++
+		fmt.Printf("FAIL federation stats: %+v (want 1 handoff, %d live)\n", fst, opts.shards-1)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := fed.Drain(ctx); err != nil {
+		failures++
+		fmt.Printf("FAIL drain: %v\n", err)
+	}
+	ts.Close()
+	client.CloseIdleConnections()
+	if leaked := goroutineLeak(startGoroutines); leaked > 0 {
+		failures++
+		fmt.Printf("FAIL goroutines: %d leaked (started with %d)\n", leaked, startGoroutines)
+	}
+
+	if failures > 0 {
+		fmt.Printf("retry storm FAILED: %d failure(s) in %v\n", failures, time.Since(start).Round(time.Millisecond))
+		return 1
+	}
+	fmt.Printf("retry storm OK: %d keys exactly-once through %d injected timeouts and a shard %d failover, %d dedup hits, %v\n",
+		accepted(), nf.TimeoutsAfterSend, victim, fst.DedupHits, time.Since(start).Round(time.Millisecond))
+	return 0
+}

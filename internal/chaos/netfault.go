@@ -1,0 +1,177 @@
+package chaos
+
+// Network-fault injection for the HTTP serve path. FaultTransport wraps an
+// http.RoundTripper and perturbs the CLIENT's view of a request without
+// ever stopping the request from reaching the server:
+//
+//   - timeout-after-send: the wrapped round trip completes normally — the
+//     server has admitted the submission — but the response is discarded
+//     and the caller gets a net.Error with Timeout() == true, exactly what
+//     a client whose deadline fired between send and receive observes.
+//     This is the ambiguity idempotency keys exist to resolve: the client
+//     cannot know whether its submit landed, so it must retry, and the
+//     retry must dedup.
+//   - slow response: the response is delivered after an injected delay,
+//     pushing well-behaved clients into their timeout and retry path.
+//   - torn body: the response arrives with a valid status line but the
+//     body is cut mid-stream (io.ErrUnexpectedEOF), modelling a connection
+//     reset after the server already committed the work.
+//
+// All draws come from a single seeded PRNG, so a storm replays its fault
+// pattern bit-for-bit under a fixed seed.
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// NetFaultOptions configures a FaultTransport. Zero probabilities make the
+// transport a pass-through.
+type NetFaultOptions struct {
+	// TimeoutAfterSendProb is the per-request probability that the round
+	// trip completes on the wire but the response is discarded and replaced
+	// with a timeout error. The server processed the request; the client
+	// will never know.
+	TimeoutAfterSendProb float64
+
+	// SlowProb is the per-request probability that the response is held for
+	// SlowDelay before being returned.
+	SlowProb float64
+
+	// SlowDelay is the injected response latency (default 20ms).
+	SlowDelay time.Duration
+
+	// TornBodyProb is the per-request probability that the response body is
+	// truncated at half its length and ends in io.ErrUnexpectedEOF.
+	TornBodyProb float64
+
+	// Seed fixes the PRNG (0 means 1), so a storm's fault pattern replays
+	// deterministically.
+	Seed int64
+}
+
+// NetFaultStats counts what a FaultTransport injected.
+type NetFaultStats struct {
+	Requests          int64 // round trips attempted through the transport
+	TimeoutsAfterSend int64 // responses discarded after the server answered
+	Slowed            int64
+	Torn              int64
+}
+
+// FaultTransport is an http.RoundTripper that injects client-visible
+// network faults while guaranteeing the request itself reaches the server.
+// Safe for concurrent use.
+type FaultTransport struct {
+	base http.RoundTripper
+	opts NetFaultOptions
+
+	mu  sync.Mutex // guards rng only
+	rng *rand.Rand
+
+	requests          atomic.Int64
+	timeoutsAfterSend atomic.Int64
+	slowed            atomic.Int64
+	torn              atomic.Int64
+}
+
+// NewFaultTransport wraps base (nil means http.DefaultTransport).
+func NewFaultTransport(base http.RoundTripper, opts NetFaultOptions) *FaultTransport {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	if opts.SlowDelay <= 0 {
+		opts.SlowDelay = 20 * time.Millisecond
+	}
+	seed := opts.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	return &FaultTransport{base: base, opts: opts, rng: rand.New(rand.NewSource(seed))}
+}
+
+// timeoutError satisfies net.Error the way a fired client deadline does.
+type timeoutError struct{ op string }
+
+func (e *timeoutError) Error() string {
+	return fmt.Sprintf("chaos: injected client timeout (%s)", e.op)
+}
+func (e *timeoutError) Timeout() bool   { return true }
+func (e *timeoutError) Temporary() bool { return true }
+
+// tornBody delivers n bytes of the wrapped body, then fails the stream.
+type tornBody struct {
+	rc   io.ReadCloser
+	left int64
+}
+
+func (t *tornBody) Read(p []byte) (int, error) {
+	if t.left <= 0 {
+		return 0, io.ErrUnexpectedEOF
+	}
+	if int64(len(p)) > t.left {
+		p = p[:t.left]
+	}
+	n, err := t.rc.Read(p)
+	t.left -= int64(n)
+	if err == io.EOF {
+		// The real body ended before the tear point; tear anyway — the
+		// caller must see a broken stream, not a clean EOF.
+		err = io.ErrUnexpectedEOF
+	}
+	return n, err
+}
+
+func (t *tornBody) Close() error { return t.rc.Close() }
+
+// RoundTrip draws this request's faults, performs the REAL round trip
+// unconditionally (the server always sees the request), then distorts what
+// the client gets back.
+func (f *FaultTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	f.requests.Add(1)
+	f.mu.Lock()
+	timeout := f.rng.Float64() < f.opts.TimeoutAfterSendProb
+	slow := f.rng.Float64() < f.opts.SlowProb
+	torn := f.rng.Float64() < f.opts.TornBodyProb
+	f.mu.Unlock()
+
+	resp, err := f.base.RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	if timeout {
+		// The server answered; the client's deadline "fired" first. Drain
+		// so the connection is reusable, then report the timeout.
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		f.timeoutsAfterSend.Add(1)
+		return nil, &timeoutError{op: req.Method + " " + req.URL.Path}
+	}
+	if slow {
+		f.slowed.Add(1)
+		time.Sleep(f.opts.SlowDelay)
+	}
+	if torn {
+		f.torn.Add(1)
+		n := resp.ContentLength / 2
+		if n < 1 {
+			n = 1
+		}
+		resp.Body = &tornBody{rc: resp.Body, left: n}
+	}
+	return resp, nil
+}
+
+// Stats snapshots the injected-fault counters.
+func (f *FaultTransport) Stats() NetFaultStats {
+	return NetFaultStats{
+		Requests:          f.requests.Load(),
+		TimeoutsAfterSend: f.timeoutsAfterSend.Load(),
+		Slowed:            f.slowed.Load(),
+		Torn:              f.torn.Load(),
+	}
+}

@@ -1,0 +1,176 @@
+package chaos
+
+import (
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// newCountingServer returns a server that counts every request it actually
+// receives — the ground truth the fault transport must never perturb.
+func newCountingServer(t *testing.T, body string) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		io.WriteString(w, body)
+	}))
+	t.Cleanup(ts.Close)
+	return ts, &hits
+}
+
+// TestFaultTransportTimeoutAfterSend: the defining property — the client
+// sees a timeout, the server saw the request. Every injected timeout is an
+// admitted submission the client must retry.
+func TestFaultTransportTimeoutAfterSend(t *testing.T) {
+	ts, hits := newCountingServer(t, "ok")
+	ft := NewFaultTransport(nil, NetFaultOptions{TimeoutAfterSendProb: 1, Seed: 7})
+	client := &http.Client{Transport: ft}
+
+	for i := 0; i < 5; i++ {
+		resp, err := client.Get(ts.URL)
+		if err == nil {
+			resp.Body.Close()
+			t.Fatalf("request %d: expected injected timeout, got status %d", i, resp.StatusCode)
+		}
+		var ne net.Error
+		if !asNetError(err, &ne) || !ne.Timeout() {
+			t.Fatalf("request %d: error %v is not a net.Error timeout", i, err)
+		}
+	}
+	if got := hits.Load(); got != 5 {
+		t.Fatalf("server saw %d requests, want 5 (faults must not stop delivery)", got)
+	}
+	if st := ft.Stats(); st.TimeoutsAfterSend != 5 || st.Requests != 5 {
+		t.Fatalf("stats = %+v, want 5 timeouts over 5 requests", st)
+	}
+}
+
+// asNetError mirrors errors.As for the url.Error wrapping http.Client does.
+func asNetError(err error, target *net.Error) bool {
+	for err != nil {
+		if ne, ok := err.(net.Error); ok {
+			*target = ne
+			return true
+		}
+		u, ok := err.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		err = u.Unwrap()
+	}
+	return false
+}
+
+// TestFaultTransportTornBody: status arrives intact, the body tears
+// mid-stream with io.ErrUnexpectedEOF.
+func TestFaultTransportTornBody(t *testing.T) {
+	ts, hits := newCountingServer(t, strings.Repeat("x", 1024))
+	ft := NewFaultTransport(nil, NetFaultOptions{TornBodyProb: 1, Seed: 7})
+	client := &http.Client{Transport: ft}
+
+	resp, err := client.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d, want 200 (tear is body-level)", resp.StatusCode)
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != io.ErrUnexpectedEOF {
+		t.Fatalf("body read error = %v, want io.ErrUnexpectedEOF", err)
+	}
+	if len(b) >= 1024 {
+		t.Fatalf("read %d bytes, want a truncated body", len(b))
+	}
+	if hits.Load() != 1 {
+		t.Fatalf("server saw %d requests, want 1", hits.Load())
+	}
+}
+
+// TestFaultTransportSlowResponse: the response is delayed but intact.
+func TestFaultTransportSlowResponse(t *testing.T) {
+	ts, _ := newCountingServer(t, "ok")
+	const delay = 30 * time.Millisecond
+	ft := NewFaultTransport(nil, NetFaultOptions{SlowProb: 1, SlowDelay: delay, Seed: 7})
+	client := &http.Client{Transport: ft}
+
+	start := time.Now()
+	resp, err := client.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if elapsed := time.Since(start); elapsed < delay {
+		t.Fatalf("response in %v, want >= %v injected delay", elapsed, delay)
+	}
+	if b, _ := io.ReadAll(resp.Body); string(b) != "ok" {
+		t.Fatalf("slow body = %q, want intact %q", b, "ok")
+	}
+	if st := ft.Stats(); st.Slowed != 1 {
+		t.Fatalf("stats = %+v, want 1 slowed", st)
+	}
+}
+
+// TestFaultTransportPassthrough: zero probabilities mean zero interference.
+func TestFaultTransportPassthrough(t *testing.T) {
+	ts, hits := newCountingServer(t, "clean")
+	ft := NewFaultTransport(nil, NetFaultOptions{Seed: 7})
+	client := &http.Client{Transport: ft}
+
+	for i := 0; i < 3; i++ {
+		resp, err := client.Get(ts.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if string(b) != "clean" {
+			t.Fatalf("body = %q, want %q", b, "clean")
+		}
+	}
+	if hits.Load() != 3 {
+		t.Fatalf("server saw %d requests, want 3", hits.Load())
+	}
+	if st := ft.Stats(); st.TimeoutsAfterSend+st.Slowed+st.Torn != 0 {
+		t.Fatalf("passthrough injected faults: %+v", st)
+	}
+}
+
+// TestFaultTransportDeterministic: two transports with the same seed draw
+// the same fault pattern over the same request sequence.
+func TestFaultTransportDeterministic(t *testing.T) {
+	ts, _ := newCountingServer(t, "ok")
+	pattern := func(seed int64) string {
+		ft := NewFaultTransport(nil, NetFaultOptions{TimeoutAfterSendProb: 0.4, Seed: seed})
+		client := &http.Client{Transport: ft}
+		var sb strings.Builder
+		for i := 0; i < 32; i++ {
+			resp, err := client.Get(ts.URL)
+			if err != nil {
+				sb.WriteByte('T')
+				continue
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			sb.WriteByte('.')
+		}
+		return sb.String()
+	}
+	a, b := pattern(42), pattern(42)
+	if a != b {
+		t.Fatalf("same seed, different fault pattern:\n  %s\n  %s", a, b)
+	}
+	if !strings.Contains(a, "T") || !strings.Contains(a, ".") {
+		t.Fatalf("pattern %s should mix timeouts and successes at p=0.4", a)
+	}
+	if c := pattern(43); c == a {
+		t.Fatalf("different seeds drew identical patterns: %s", a)
+	}
+}

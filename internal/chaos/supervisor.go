@@ -48,6 +48,16 @@ type SupervisorScenario struct {
 	// corruption is detected and either repaired from a surviving replica
 	// or degraded to a cold restart, and no run is lost or duplicated.
 	DiskFault bool
+
+	// RetryStorm marks the exactly-once admission pattern: aggressive-
+	// timeout HTTP clients whose transport injects timeouts-after-send
+	// (the server admitted the submission, the client never learned)
+	// retry every submit under the same idempotency key, through a
+	// mid-storm shard kill and journal handoff. Driven by FaultTransport
+	// plus the deepum-soak -retry-storm mode; the contract is exactly one
+	// execution per key, every response for a key naming the same run ID,
+	// and the AccessChecksum oracle bit-identical to clean execution.
+	RetryStorm bool
 }
 
 // Active reports whether the scenario injects anything into a live
@@ -88,6 +98,11 @@ func builtinSupervisor() []SupervisorScenario {
 			Name:        "disk-fault",
 			Description: "torn writes, bit flips, failed fsyncs, ENOSPC and crash-at-boundary kills injected under the checkpoint store; committed checkpoints survive, corruption is repaired or degraded to cold restart",
 			DiskFault:   true,
+		},
+		{
+			Name:        "retry-storm",
+			Description: "clients with injected timeouts-after-send retry every submit under idempotency keys through a mid-storm shard kill; exactly one execution per key, responses agree on the run ID, checksums match clean execution",
+			RetryStorm:  true,
 		},
 	}
 }

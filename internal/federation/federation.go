@@ -32,8 +32,10 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"deepum/internal/admission"
 	"deepum/internal/metrics"
 	"deepum/internal/obs"
 	"deepum/internal/store"
@@ -95,6 +97,27 @@ type Federation struct {
 	topo       chan struct{}
 	handoffs   int
 	rebalances int
+	// keyBound is the federation-wide idempotency index: key -> run ID, fed
+	// from fresh keyed submits, shard snapshots at restart, and adopted
+	// keys at handoff (so a retry that lands after a kill still dedups).
+	// keyPending singleflights concurrent submits carrying the same unbound
+	// key: the first caller resolves, the rest wait on its entry instead of
+	// racing two runs into different shards.
+	keyBound   map[string]uint64
+	keyPending map[string]*keyEntry
+	// fedDedup counts retries resolved at the federation front door
+	// (keyBound / keyPending) — these never reach a shard supervisor, so
+	// shard counters cannot see them. Stats adds it to the shard totals.
+	fedDedup atomic.Int64
+}
+
+// keyEntry is one in-flight keyed submission; done is closed once the
+// resolver bound the key (err nil, id valid) or failed (err non-nil, the
+// key is free again and a waiter may retry as the new resolver).
+type keyEntry struct {
+	done chan struct{}
+	id   uint64
+	err  error
 }
 
 type shard struct {
@@ -160,12 +183,14 @@ func New(cfg Config) (*Federation, error) {
 		return nil, fmt.Errorf("federation: creating journal dir: %w", err)
 	}
 	f := &Federation{
-		cfg:    cfg,
-		epoch:  time.Now(),
-		prom:   metrics.NewRegistry(),
-		owner:  map[uint64]int{},
-		topo:   make(chan struct{}),
-		nextID: 1,
+		cfg:        cfg,
+		epoch:      time.Now(),
+		prom:       metrics.NewRegistry(),
+		owner:      map[uint64]int{},
+		topo:       make(chan struct{}),
+		nextID:     1,
+		keyBound:   map[string]uint64{},
+		keyPending: map[string]*keyEntry{},
 	}
 	if cfg.StorePath != "" {
 		replicas := cfg.StoreReplicas
@@ -216,6 +241,15 @@ func New(cfg Config) (*Federation, error) {
 				f.nextID = info.ID + 1
 			}
 		}
+		// Rebuild the global idempotency index from the shard's replayed key
+		// table. A run duplicated across journals by a mid-handoff crash
+		// binds its key to the same run ID on both copies, so first-wins is
+		// consistent with the duplicate-cancel above.
+		for key, id := range sh.sup.AdmissionKeys() {
+			if _, dup := f.keyBound[key]; !dup {
+				f.keyBound[key] = id
+			}
+		}
 	}
 	f.initMetrics()
 	return f, nil
@@ -227,6 +261,69 @@ func New(cfg Config) (*Federation, error) {
 // handoff rejects with *HandoffError. Rejected IDs are burned, never
 // reused — IDs are identities, not a dense sequence.
 func (f *Federation) Submit(spec supervisor.RunSpec) (uint64, error) {
+	id, _, err := f.SubmitWithOptions(spec, supervisor.SubmitOptions{})
+	return id, err
+}
+
+// SubmitWithOptions is Submit plus idempotency and deadline handling (see
+// supervisor.SubmitOptions). A submission whose key is already bound —
+// here, on a shard, or via an adopted handoff — returns the bound run's ID
+// with dedup=true; concurrent submissions racing the same unbound key are
+// singleflighted so exactly one run is ever created per key.
+func (f *Federation) SubmitWithOptions(spec supervisor.RunSpec, opts supervisor.SubmitOptions) (uint64, bool, error) {
+	if opts.Key == "" {
+		id, dedup, err := f.submitFresh(spec, opts)
+		return id, dedup, err
+	}
+	if err := admission.ValidateKey(opts.Key); err != nil {
+		return 0, false, err
+	}
+	for {
+		f.mu.Lock()
+		if id, ok := f.keyBound[opts.Key]; ok {
+			f.mu.Unlock()
+			f.fedDedup.Add(1)
+			f.prom.Counter(mDedupHits, "", nil).Inc()
+			return id, true, nil
+		}
+		if e, ok := f.keyPending[opts.Key]; ok {
+			f.mu.Unlock()
+			<-e.done
+			if e.err == nil {
+				f.fedDedup.Add(1)
+				f.prom.Counter(mDedupHits, "", nil).Inc()
+				return e.id, true, nil
+			}
+			// The resolver failed without binding the key; this waiter loops
+			// and becomes the new resolver — a transient rejection of the
+			// first attempt must not poison the key.
+			continue
+		}
+		e := &keyEntry{done: make(chan struct{})}
+		f.keyPending[opts.Key] = e
+		f.mu.Unlock()
+
+		id, dedup, err := f.submitFresh(spec, opts)
+		f.mu.Lock()
+		delete(f.keyPending, opts.Key)
+		if err == nil {
+			f.keyBound[opts.Key] = id
+		}
+		f.mu.Unlock()
+		e.id, e.err = id, err
+		close(e.done)
+		if err == nil && dedup {
+			f.prom.Counter(mDedupHits, "", nil).Inc()
+		}
+		return id, dedup, err
+	}
+}
+
+// submitFresh runs one admission attempt: assign a global ID, route it,
+// submit to the owning shard. A shard-level dedup (the shard's replayed key
+// table knew the key before the federation did) burns the fresh ID and
+// resolves to the shard's binding.
+func (f *Federation) submitFresh(spec supervisor.RunSpec, opts supervisor.SubmitOptions) (uint64, bool, error) {
 	f.mu.Lock()
 	id := f.nextID
 	f.nextID++
@@ -236,14 +333,15 @@ func (f *Federation) Submit(spec supervisor.RunSpec) (uint64, error) {
 		err := f.handoffErrLocked(sh)
 		f.mu.Unlock()
 		f.prom.Counter(mHandoffRejections, "", nil).Inc()
-		return 0, err
+		return 0, false, err
 	}
 	f.owner[id] = ord
 	f.mu.Unlock()
-	if _, err := sh.sup.SubmitID(id, spec); err != nil {
+	got, dedup, err := sh.sup.SubmitWithOptions(id, spec, opts)
+	if err != nil {
 		f.mu.Lock()
 		delete(f.owner, id)
-		// Kill can land between the alive check above and SubmitID, making
+		// Kill can land between the alive check above and the submit, making
 		// the shard reject with its shutdown error. The caller must see the
 		// same retryable handoff rejection it would have seen a microsecond
 		// later, not a "federation draining" signal that is not true.
@@ -251,13 +349,42 @@ func (f *Federation) Submit(spec supervisor.RunSpec) (uint64, error) {
 			herr := f.handoffErrLocked(sh)
 			f.mu.Unlock()
 			f.prom.Counter(mHandoffRejections, "", nil).Inc()
-			return 0, herr
+			return 0, false, herr
 		}
 		f.mu.Unlock()
-		return 0, &ShardError{Shard: ord, Err: err}
+		var shed *admission.ShedError
+		if errors.As(err, &shed) {
+			f.prom.Counter(mShedRejections, "", nil).Inc()
+		}
+		return 0, false, &ShardError{Shard: ord, Err: err}
+	}
+	if dedup {
+		f.mu.Lock()
+		delete(f.owner, id) // burned: the key resolved to an existing run
+		f.mu.Unlock()
+		return got, true, nil
 	}
 	f.prom.Counter(mShardSubmissions, "", shardLabel(ord)).Inc()
-	return id, nil
+	return got, false, nil
+}
+
+// RetryAfterHint prices a jittered backoff hint from a live shard's drain
+// model, for rejection paths with no typed Retry-After (drain, handoff
+// windows). Falls back to one second when no shard is alive.
+func (f *Federation) RetryAfterHint() time.Duration {
+	f.mu.Lock()
+	var sup *supervisor.Supervisor
+	for _, sh := range f.shards {
+		if sh.alive {
+			sup = sh.sup
+			break
+		}
+	}
+	f.mu.Unlock()
+	if sup == nil {
+		return time.Second
+	}
+	return sup.RetryAfterHint()
 }
 
 // handoffErrLocked builds the rejection for a dead shard; caller holds mu.
@@ -513,6 +640,16 @@ func (f *Federation) Handoff(ordinal int) (HandoffReport, error) {
 	for id, succ := range successor {
 		f.owner[id] = succ
 	}
+	// Adopted idempotency keys join the global index with ownership: a
+	// retry arriving after the kill resolves to the adopted run instead of
+	// admitting a duplicate on a survivor.
+	for _, a := range adoptions {
+		if a.Key != "" {
+			if _, bound := f.keyBound[a.Key]; !bound {
+				f.keyBound[a.Key] = a.ID
+			}
+		}
+	}
 	f.ring = newRing
 	sh.handoff = nil
 	f.handoffs++
@@ -611,6 +748,11 @@ type Stats struct {
 	Terminal   int    `json:"terminal"`
 	// Adopted totals runs adopted across all shards (non-terminal).
 	Adopted int `json:"adopted"`
+	// DedupHits and Sheds total the admission retry-safety counters across
+	// live shards: retried submissions resolved by idempotency key, and
+	// deadline-based rejections.
+	DedupHits int64 `json:"dedup_hits"`
+	Sheds     int64 `json:"sheds"`
 }
 
 // Stats aggregates across live shards.
@@ -636,7 +778,10 @@ func (f *Federation) Stats() Stats {
 		st.Running += s.Running
 		st.Terminal += s.Terminal
 		st.Adopted += s.Adopted
+		st.DedupHits += s.DedupHits
+		st.Sheds += s.Sheds
 	}
+	st.DedupHits += f.fedDedup.Load()
 	return st
 }
 

@@ -16,6 +16,11 @@ const (
 	mRebalances        = "deepum_federation_ring_rebalances_total"
 	mHandoffRejections = "deepum_federation_handoff_rejections_total"
 	mShardsLive        = "deepum_federation_shards_live"
+	// Admission retry-safety series mirrored at the front-end (the shard
+	// supervisors count their own; the federation registry is the one
+	// deepum-serve scrapes in sharded mode).
+	mDedupHits      = "deepum_admission_dedup_hits_total"
+	mShedRejections = "deepum_admission_shed_total"
 )
 
 func shardLabel(ordinal int) map[string]string {
@@ -44,6 +49,10 @@ func (f *Federation) initMetrics() {
 		f.prom.GaugeFunc(mShardRunning, "Runs executing right now, by shard.",
 			lbl, func() float64 { return float64(sh.sup.Stats().Running) })
 	}
+	f.prom.Counter(mDedupHits,
+		"Retried submissions resolved to an existing run by idempotency key.", nil)
+	f.prom.Counter(mShedRejections,
+		"Submissions rejected because the propagated deadline cannot be met at current drain rate.", nil)
 	f.prom.Counter(mHandoffs, "Completed journal handoffs from dead shards to live successors.", nil)
 	f.prom.Counter(mRebalances, "Consistent-hash ring rebuilds after a shard handoff.", nil)
 	f.prom.Counter(mHandoffRejections, "Requests rejected because the owning shard is dead awaiting handoff.", nil)

@@ -1,0 +1,159 @@
+package supervisor
+
+import (
+	"context"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"deepum/internal/supervisor/journal"
+)
+
+// TestDedupAcrossKillRestart is the exactly-once regression for the crash
+// window: the same idempotency key submitted before a kill -9 and retried
+// against the restarted supervisor must resolve to the ONE run the first
+// attempt created — whether that run was still in flight at the kill
+// (replayed key table) or already terminal (terminal adoption binds the
+// key too, so a late retry gets the original outcome). The journal must
+// show exactly one admission per key.
+func TestDedupAcrossKillRestart(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "runs.journal")
+
+	// Seed 1 completes before the kill; seed 2 checkpoints then hangs until
+	// killed. Completions are counted per seed — the exactly-once ledger.
+	var completions sync.Map
+	count := func(seed int64) {
+		c, _ := completions.LoadOrStore(seed, new(atomic.Int64))
+		c.(*atomic.Int64).Add(1)
+	}
+	hangCheckpointed := make(chan struct{})
+	phase1 := RunnerFunc(func(ctx context.Context, spec RunSpec, resume []byte, progress func([]byte)) (Outcome, error) {
+		if spec.Seed == 2 {
+			progress([]byte("ck-2"))
+			close(hangCheckpointed)
+			<-ctx.Done()
+			return Outcome{Status: string(StateCancelled)}, nil
+		}
+		count(spec.Seed)
+		return Outcome{Status: string(StateCompleted), Iterations: spec.Iterations}, nil
+	})
+	s1, err := New(Config{Runner: phase1, Workers: 2, QueueDepth: 8, JournalPath: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	idDone, _, err := s1.SubmitWithOptions(0, RunSpec{Model: "bert-base", Batch: 8, Seed: 1}, SubmitOptions{Key: "key-done"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s1.Wait(idDone); err != nil {
+		t.Fatal(err)
+	}
+	idHang, _, err := s1.SubmitWithOptions(0, RunSpec{Model: "bert-base", Batch: 8, Seed: 2}, SubmitOptions{Key: "key-hang"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-hangCheckpointed
+
+	// Pre-kill retries dedup in memory.
+	if id, dedup, err := s1.SubmitWithOptions(0, RunSpec{Model: "bert-base", Batch: 8, Seed: 2}, SubmitOptions{Key: "key-hang"}); err != nil || !dedup || id != idHang {
+		t.Fatalf("pre-kill retry: id=%d dedup=%v err=%v, want (%d, true, nil)", id, dedup, err, idHang)
+	}
+	s1.Kill()
+
+	// Restart on the same journal. The retry storm does not stop for the
+	// crash: the same keys arrive again before and after the interrupted
+	// run finishes resuming.
+	phase2 := RunnerFunc(func(ctx context.Context, spec RunSpec, resume []byte, progress func([]byte)) (Outcome, error) {
+		if spec.Seed == 2 && string(resume) != "ck-2" {
+			t.Errorf("run seed 2 resumed from %q, want journaled checkpoint", resume)
+		}
+		count(spec.Seed)
+		return Outcome{Status: string(StateCompleted), Iterations: spec.Iterations}, nil
+	})
+	s2, err := New(Config{Runner: phase2, Workers: 2, QueueDepth: 8, JournalPath: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := s2.Stats(); st.AdmissionKeys != 2 {
+		t.Fatalf("replayed key table holds %d keys, want 2", st.AdmissionKeys)
+	}
+
+	// Retry the in-flight key: same run, no new admission.
+	id, dedup, err := s2.SubmitWithOptions(0, RunSpec{Model: "bert-base", Batch: 8, Seed: 2}, SubmitOptions{Key: "key-hang"})
+	if err != nil || !dedup || id != idHang {
+		t.Fatalf("post-restart retry (interrupted run): id=%d dedup=%v err=%v, want (%d, true, nil)", id, dedup, err, idHang)
+	}
+	// Retry the terminal key: the original completed run, original outcome.
+	id, dedup, err = s2.SubmitWithOptions(0, RunSpec{Model: "bert-base", Batch: 8, Seed: 1}, SubmitOptions{Key: "key-done"})
+	if err != nil || !dedup || id != idDone {
+		t.Fatalf("post-restart retry (terminal run): id=%d dedup=%v err=%v, want (%d, true, nil)", id, dedup, err, idDone)
+	}
+	info, err := s2.Get(idDone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.State != StateCompleted {
+		t.Fatalf("terminal run state after restart = %s, want completed", info.State)
+	}
+
+	if _, err := s2.Wait(idHang); err != nil {
+		t.Fatal(err)
+	}
+	drain(t, s2)
+
+	// Exactly-once ledger: each seed completed exactly once across both
+	// supervisor lifetimes (the hang run's first attempt was cancelled, not
+	// completed).
+	for _, seed := range []int64{1, 2} {
+		c, ok := completions.Load(seed)
+		if !ok || c.(*atomic.Int64).Load() != 1 {
+			n := int64(0)
+			if ok {
+				n = c.(*atomic.Int64).Load()
+			}
+			t.Fatalf("seed %d completed %d time(s) across kill-restart, want exactly 1", seed, n)
+		}
+	}
+
+	// Journal audit: one admission-key record and one submitted record per
+	// key, and the key never binds two run IDs.
+	recs, stats, err := journal.ReplayFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.CRCFailures > 0 || stats.TornOffset >= 0 {
+		t.Fatalf("journal integrity after kill-restart: %+v", stats)
+	}
+	keyRuns := map[string]map[uint64]bool{}
+	submitted := map[uint64]int{}
+	for _, r := range recs {
+		switch r.Type {
+		case journal.RecAdmissionKey:
+			key := string(r.Data)
+			if keyRuns[key] == nil {
+				keyRuns[key] = map[uint64]bool{}
+			}
+			keyRuns[key][r.RunID] = true
+		case journal.RecSubmitted:
+			submitted[r.RunID]++
+		}
+	}
+	if len(keyRuns) != 2 {
+		t.Fatalf("journal holds %d distinct admission keys, want 2", len(keyRuns))
+	}
+	for key, ids := range keyRuns {
+		if len(ids) != 1 {
+			t.Fatalf("key %q bound to %d runs in the journal, want 1", key, len(ids))
+		}
+	}
+	for id, n := range submitted {
+		if n != 1 {
+			t.Fatalf("run %d journaled %d submitted records, want 1 (duplicated admission)", id, n)
+		}
+	}
+	if len(submitted) != 2 {
+		t.Fatalf("journal admitted %d runs, want 2", len(submitted))
+	}
+}

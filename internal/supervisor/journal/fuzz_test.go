@@ -80,6 +80,8 @@ func FuzzReplayJournal(f *testing.F) {
 	f.Add(journalImage(frame(RecordType(99), 1, nil)))                            // unknown type, valid CRC
 	f.Add(journalImage(frame(RecStarted, 1, spec)))                               // type confusion: started with payload
 	f.Add(journalImage(frame(RecFinished, 1, nil), frame(RecordType(0), 2, nil))) // good frame then zero type
+	f.Add(journalImage(frame(RecAdmissionKey, 3, []byte("retry-key-3")), frame(RecSubmitted, 3, spec)))
+	f.Add(journalImage(frame(RecAdmissionKey, 3, nil))) // type confusion: key record with no key
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if len(data) > 1<<20 {
@@ -106,6 +108,9 @@ func FuzzReplayJournal(f *testing.F) {
 			}
 			if r.Type == RecStarted && len(r.Data) > 0 {
 				t.Fatalf("record %d: started record with %d payload bytes survived replay", i, len(r.Data))
+			}
+			if r.Type == RecAdmissionKey && len(r.Data) == 0 {
+				t.Fatalf("record %d: admission-key record with no key survived replay", i)
 			}
 		}
 

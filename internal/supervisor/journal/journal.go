@@ -71,6 +71,13 @@ const (
 	// RecFinished: the run reached a terminal state; data is the
 	// JSON-encoded outcome summary.
 	RecFinished RecordType = 4
+	// RecAdmissionKey: an idempotency key was bound to a run ID; data is the
+	// key bytes (printable ASCII, at most admission.MaxKeyLen). Written
+	// BEFORE the run's RecSubmitted record, so a crash between the two
+	// leaves a dangling key with no run — replay drops it and a client
+	// retry creates exactly one run. The reverse order would leave a
+	// keyless run that a retry duplicates.
+	RecAdmissionKey RecordType = 5
 )
 
 func (t RecordType) String() string {
@@ -83,6 +90,8 @@ func (t RecordType) String() string {
 		return "checkpointed"
 	case RecFinished:
 		return "finished"
+	case RecAdmissionKey:
+		return "admission-key"
 	}
 	return fmt.Sprintf("type-%d", uint8(t))
 }
@@ -91,7 +100,7 @@ func (t RecordType) String() string {
 // Unknown types fail replay: with no compatibility story yet, a foreign
 // type means the file is not ours or is corrupt.
 func knownType(t RecordType) bool {
-	return t >= RecSubmitted && t <= RecFinished
+	return t >= RecSubmitted && t <= RecAdmissionKey
 }
 
 // Record is one journal entry.
@@ -196,6 +205,11 @@ func (j *Journal) Append(r Record) error {
 		// with data would make the file unreplayable (the decoder treats
 		// it as record-type confusion), so refuse it at the source.
 		return fmt.Errorf("journal: started record carries %d payload bytes (must be empty)", len(r.Data))
+	}
+	if r.Type == RecAdmissionKey && len(r.Data) == 0 {
+		// An admission-key record's payload IS the key; an empty one is
+		// meaningless and the decoder treats it as type confusion.
+		return fmt.Errorf("journal: admission-key record with empty payload")
 	}
 	var buf bytes.Buffer
 	buf.Grow(frameOverhead + len(r.Data))
@@ -337,6 +351,12 @@ func ReplayStream(r io.ReadSeeker, fn func(Record) error) (ReplayStats, error) {
 			// spec frame whose type byte was corrupted in a CRC-colliding
 			// way (or a hostile file). Trusting it would silently misfile
 			// run state; stop replay here like any other corrupt frame.
+			stats.TornOffset, stats.CRCFailures = off, stats.CRCFailures+1
+			return stats, nil
+		}
+		if typ == RecAdmissionKey && length == 1+8 {
+			// The inverse confusion: an admission-key record's payload is
+			// the key itself, so an empty one is a corrupted frame.
 			stats.TornOffset, stats.CRCFailures = off, stats.CRCFailures+1
 			return stats, nil
 		}

@@ -15,6 +15,10 @@ import (
 // stubs to multi-minute soak runs.
 var runSecondsBuckets = []float64{0.001, 0.01, 0.1, 0.5, 1, 5, 15, 60, 300}
 
+// queueWaitBuckets cover admission-to-pickup waits from instant dequeue to
+// a backlog deep enough that any propagated deadline has long expired.
+var queueWaitBuckets = []float64{0.001, 0.01, 0.05, 0.1, 0.5, 1, 5, 15, 60}
+
 func (s *Supervisor) initMetrics() {
 	const (
 		subs     = "deepum_supervisor_submissions_total"
@@ -22,8 +26,20 @@ func (s *Supervisor) initMetrics() {
 	)
 	// Pre-register every label combination so a scrape before the first
 	// event still shows the full family at zero.
-	for _, result := range []string{"accepted", "queue_full", "quota", "shutting_down", "error"} {
+	for _, result := range []string{"accepted", "queue_full", "quota", "shutting_down", "shed", "error"} {
 		s.prom.Counter(subs, subsHelp, map[string]string{"result": result})
+	}
+	// Admission retry-safety family: sheds, idempotency-key dedup hits, and
+	// the per-class queue-wait histogram the shedder's predictions are
+	// judged against. Pre-registered so the first scrape shows zeros.
+	s.prom.Counter("deepum_admission_shed_total",
+		"Submissions rejected because the propagated deadline cannot be met at current drain rate.", nil)
+	s.prom.Counter("deepum_admission_dedup_hits_total",
+		"Retried submissions resolved to an existing run by idempotency key.", nil)
+	for _, class := range []string{classDeadline, classBestEffort} {
+		s.prom.Histogram("deepum_admission_queue_wait_seconds",
+			"Queue wait from admission to worker pickup, by deadline class.",
+			map[string]string{"class": class}, queueWaitBuckets)
 	}
 	for _, st := range []RunState{StateQueued, StateRunning, StateCompleted,
 		StateCancelled, StateDeadlineExceeded, StateDegraded, StateFailed} {
@@ -97,6 +113,12 @@ func (s *Supervisor) countState(st RunState) int {
 // noteSubmission counts one admission decision.
 func (s *Supervisor) noteSubmission(result string) {
 	s.prom.Counter("deepum_supervisor_submissions_total", "", map[string]string{"result": result}).Inc()
+}
+
+// noteDedup counts one idempotency-key dedup hit.
+func (s *Supervisor) noteDedup() {
+	s.dedupHits.Add(1)
+	s.prom.Counter("deepum_admission_dedup_hits_total", "", nil).Inc()
 }
 
 // noteFinished records a terminal transition and the run's duration.

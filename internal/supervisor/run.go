@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"time"
 
+	"deepum/internal/admission"
 	"deepum/internal/health"
 )
 
@@ -163,12 +164,21 @@ var ErrShuttingDown = errors.New("supervisor: shutting down; not admitting runs"
 // ErrAlreadyFinished rejects Cancel on a terminal run.
 var ErrAlreadyFinished = errors.New("supervisor: run already reached a terminal state")
 
+// ShedError is admission.ShedError re-exported at the supervisor layer: a
+// submission rejected because its propagated client deadline cannot be met
+// at the current queue drain rate.
+type ShedError = admission.ShedError
+
 // QueueFullError rejects a submission because the bounded submission queue
 // is at capacity — backpressure, not failure: the caller should retry
 // after runs drain.
 type QueueFullError struct {
 	// Depth is the queue capacity that was exhausted.
 	Depth int
+	// RetryAfter is the jittered backoff hint priced from the observed
+	// drain rate (0 when the supervisor constructed the error without a
+	// shedder observation yet).
+	RetryAfter time.Duration
 }
 
 func (e *QueueFullError) Error() string {

@@ -21,6 +21,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"deepum/internal/admission"
 	"deepum/internal/chaos"
 	"deepum/internal/metrics"
 	"deepum/internal/store"
@@ -91,6 +92,13 @@ type Supervisor struct {
 
 	prom *metrics.Registry
 
+	// keys maps idempotency keys to run IDs (rebuilt from RecAdmissionKey
+	// records on replay); shedder models queue drain for deadline-aware
+	// admission. Both carry their own locks and never take s.mu.
+	keys      *admission.KeyTable
+	shedder   *admission.Shedder
+	dedupHits atomic.Int64
+
 	mu        sync.Mutex
 	runs      map[uint64]*run
 	order     []uint64
@@ -121,9 +129,18 @@ type Supervisor struct {
 	killedCh    chan struct{}
 }
 
+// Admission classes for the queue-wait histogram: runs that propagated a
+// client deadline vs best-effort submissions (including adoptions, whose
+// deadline does not survive a handoff).
+const (
+	classDeadline   = "deadline"
+	classBestEffort = "best_effort"
+)
+
 // run is the supervisor's internal per-run record; info is the published
 // snapshot, the rest is scheduling state.
 type run struct {
+	class        string // admission class (classDeadline / classBestEffort)
 	info         RunInfo
 	resume       []byte // latest checkpoint bytes, what a restart resumes from
 	cancel       context.CancelFunc
@@ -176,6 +193,8 @@ func New(cfg Config) (*Supervisor, error) {
 		workersDone: make(chan struct{}),
 		killedCh:    make(chan struct{}),
 		prom:        metrics.NewRegistry(),
+		keys:        admission.NewKeyTable(),
+		shedder:     admission.NewShedder(admission.ShedOptions{Seed: seed}),
 	}
 	s.qcond = sync.NewCond(&s.mu)
 	s.initMetrics()
@@ -216,8 +235,11 @@ func New(cfg Config) (*Supervisor, error) {
 // self-recovery (New replaying its own journal) and cross-shard handoff
 // (a federation successor adopting a dead peer's journal via Adopt).
 type Adoption struct {
-	ID          uint64
-	Spec        RunSpec
+	ID   uint64
+	Spec RunSpec
+	// Key is the run's idempotency key, if one was journaled — it travels
+	// through handoff so a retry landing on the adopting shard still dedups.
+	Key         string
 	Demand      int64
 	Attempts    int    // started records seen before the kill
 	Checkpoints int    // checkpoint records seen
@@ -243,6 +265,7 @@ type AdoptionFolder struct {
 type ghost struct {
 	spec    journalSpec
 	specOK  bool
+	key     string
 	started int
 	ckpt    []byte
 	ckpts   int
@@ -279,6 +302,11 @@ func (f *AdoptionFolder) Add(rec journal.Record) {
 		if json.Unmarshal(rec.Data, &fin) == nil {
 			g.finish = &fin
 		}
+	case journal.RecAdmissionKey:
+		// The key record precedes the run's spec record; a key-only ghost
+		// (crash between the two appends) never enters f.order and is
+		// dropped — a client retry then creates exactly one run.
+		g.key = string(rec.Data)
 	}
 }
 
@@ -293,6 +321,7 @@ func (f *AdoptionFolder) Adoptions() []Adoption {
 		a := Adoption{
 			ID:          id,
 			Spec:        g.spec.Spec,
+			Key:         g.key,
 			Demand:      g.spec.Demand,
 			Attempts:    g.started,
 			Checkpoints: g.ckpts,
@@ -404,6 +433,14 @@ func (s *Supervisor) admitAdoptionLocked(a Adoption, journalIt bool) (bool, erro
 		s.nextID = a.ID + 1
 	}
 	if journalIt {
+		if a.Key != "" {
+			// Key before spec, same write-ahead order as a fresh submit, so
+			// a crash mid-handoff leaves a droppable dangling key, never a
+			// keyless (re-executable) run.
+			if err := s.appendLocked(journal.Record{Type: journal.RecAdmissionKey, RunID: a.ID, Data: []byte(a.Key)}); err != nil {
+				return false, err
+			}
+		}
 		data, err := json.Marshal(journalSpec{Spec: a.Spec, Demand: a.Demand})
 		if err != nil {
 			return false, fmt.Errorf("supervisor: encoding adopted spec: %w", err)
@@ -426,6 +463,7 @@ func (s *Supervisor) admitAdoptionLocked(a Adoption, journalIt bool) (bool, erro
 		}
 	}
 	r := &run{
+		class: classBestEffort,
 		info: RunInfo{
 			ID:          a.ID,
 			Spec:        a.Spec,
@@ -435,6 +473,11 @@ func (s *Supervisor) admitAdoptionLocked(a Adoption, journalIt bool) (bool, erro
 			Submitted:   s.epoch,
 		},
 		done: make(chan struct{}),
+	}
+	if a.Key != "" {
+		// Terminal runs bind too: a retry after completion must resolve to
+		// the original run (and its outcome), not execute a duplicate.
+		s.keys.Bind(a.Key, a.ID)
 	}
 	if a.Terminal {
 		r.info.State = a.State
@@ -473,12 +516,49 @@ func (s *Supervisor) Submit(spec RunSpec) (uint64, error) {
 // non-zero id that is already known is rejected — run IDs are never
 // reused.
 func (s *Supervisor) SubmitID(id uint64, spec RunSpec) (uint64, error) {
+	got, _, err := s.SubmitWithOptions(id, spec, SubmitOptions{})
+	return got, err
+}
+
+// SubmitOptions carries the retry-safety extras a submission may attach.
+type SubmitOptions struct {
+	// Key is a client-supplied idempotency key (see admission.ValidateKey).
+	// A submission whose key is already bound — by an earlier attempt, a
+	// journal replay, or an adopted handoff — returns the bound run's ID
+	// with dedup=true instead of admitting a duplicate. Empty disables
+	// deduplication.
+	Key string
+	// Deadline is the client's propagated wait budget. A submission the
+	// shedder predicts cannot start within it is rejected with *ShedError.
+	// 0 means no deadline: never shed.
+	Deadline time.Duration
+}
+
+// SubmitWithOptions is SubmitID plus idempotency and deadline handling.
+// dedup reports that the returned ID is an existing run the key resolved
+// to (no new admission happened — the caller should fetch that run's
+// state, which may already be terminal). Dedup hits are read-only and
+// succeed even while draining; only fresh admissions are rejected then.
+func (s *Supervisor) SubmitWithOptions(id uint64, spec RunSpec, opts SubmitOptions) (uint64, bool, error) {
+	if opts.Key != "" {
+		if err := admission.ValidateKey(opts.Key); err != nil {
+			s.noteSubmission("error")
+			return 0, false, err
+		}
+		// Fast path: a bound key resolves before estimation, quota, and
+		// drain checks ever run — a retry must succeed whatever the door's
+		// current state is.
+		if prev, ok := s.keys.Lookup(opts.Key); ok {
+			s.noteDedup()
+			return prev, true, nil
+		}
+	}
 	demand := spec.MemoryDemand
 	if demand == 0 && s.cfg.Estimate != nil {
 		d, err := s.cfg.Estimate(spec)
 		if err != nil {
 			s.noteSubmission("error")
-			return 0, fmt.Errorf("supervisor: estimating memory demand: %w", err)
+			return 0, false, fmt.Errorf("supervisor: estimating memory demand: %w", err)
 		}
 		demand = d
 	}
@@ -486,45 +566,78 @@ func (s *Supervisor) SubmitID(id uint64, spec RunSpec) (uint64, error) {
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if opts.Key != "" {
+		// Re-check under the admission lock: a concurrent submit with the
+		// same key may have bound it between the fast path and here.
+		if prev, ok := s.keys.Lookup(opts.Key); ok {
+			s.noteDedup()
+			return prev, true, nil
+		}
+	}
 	if s.draining || s.killed {
 		s.noteSubmission("shutting_down")
-		return 0, ErrShuttingDown
+		return 0, false, ErrShuttingDown
 	}
 	if s.cfg.PerRunQuota > 0 && demand > s.cfg.PerRunQuota {
 		s.noteSubmission("quota")
-		return 0, &QuotaError{Demand: demand, Limit: s.cfg.PerRunQuota, PerRun: true}
+		return 0, false, &QuotaError{Demand: demand, Limit: s.cfg.PerRunQuota, PerRun: true}
 	}
 	if s.cfg.GPUMemoryBudget > 0 && s.committed+demand > s.cfg.GPUMemoryBudget {
 		s.noteSubmission("quota")
-		return 0, &QuotaError{Demand: demand, Limit: s.cfg.GPUMemoryBudget, Committed: s.committed}
+		return 0, false, &QuotaError{Demand: demand, Limit: s.cfg.GPUMemoryBudget, Committed: s.committed}
+	}
+	// Deadline-aware shedding: admitting a run whose client will have
+	// abandoned it by the time it starts only burns a worker slot.
+	if err := s.shedder.Decide(len(s.queued), opts.Deadline); err != nil {
+		s.noteSubmission("shed")
+		s.prom.Counter("deepum_admission_shed_total", "", nil).Inc()
+		return 0, false, err
 	}
 	// Submissions respect the queue-depth bound (backpressure); only
 	// replay and adoption may push past it.
 	if len(s.queued) >= s.cfg.QueueDepth {
 		s.noteSubmission("queue_full")
-		return 0, &QueueFullError{Depth: s.cfg.QueueDepth}
+		return 0, false, &QueueFullError{Depth: s.cfg.QueueDepth, RetryAfter: s.shedder.RetryAfter(len(s.queued))}
 	}
 	if id == 0 {
 		id = s.nextID
 	} else if _, exists := s.runs[id]; exists {
 		s.noteSubmission("error")
-		return 0, fmt.Errorf("supervisor: run id %d already exists", id)
+		return 0, false, fmt.Errorf("supervisor: run id %d already exists", id)
 	}
 	data, err := json.Marshal(journalSpec{Spec: spec, Demand: demand})
 	if err != nil {
 		s.noteSubmission("error")
-		return 0, fmt.Errorf("supervisor: encoding spec: %w", err)
+		return 0, false, fmt.Errorf("supervisor: encoding spec: %w", err)
+	}
+	if opts.Key != "" {
+		// Key record BEFORE the spec record: a crash between the two leaves
+		// a dangling key that replay drops, so the client's retry creates
+		// exactly one run. The reverse order would leave a keyless run the
+		// retry duplicates.
+		if err := s.appendLocked(journal.Record{Type: journal.RecAdmissionKey, RunID: id, Data: []byte(opts.Key)}); err != nil {
+			s.noteSubmission("error")
+			return 0, false, err
+		}
 	}
 	if err := s.appendLocked(journal.Record{Type: journal.RecSubmitted, RunID: id, Data: data}); err != nil {
 		s.noteSubmission("error")
-		return 0, err
+		return 0, false, err
+	}
+	if opts.Key != "" {
+		s.keys.Bind(opts.Key, id)
 	}
 	if id >= s.nextID {
 		s.nextID = id + 1
 	}
+	class := classBestEffort
+	if opts.Deadline > 0 {
+		class = classDeadline
+	}
 	r := &run{
-		info: RunInfo{ID: id, Spec: spec, Demand: demand, State: StateQueued, Submitted: time.Now()},
-		done: make(chan struct{}),
+		class: class,
+		info:  RunInfo{ID: id, Spec: spec, Demand: demand, State: StateQueued, Submitted: time.Now()},
+		done:  make(chan struct{}),
 	}
 	s.runs[id] = r
 	s.order = append(s.order, id)
@@ -533,7 +646,28 @@ func (s *Supervisor) SubmitID(id uint64, spec RunSpec) (uint64, error) {
 	s.noteSubmission("accepted")
 	s.queued = append(s.queued, id)
 	s.qcond.Signal()
-	return id, nil
+	return id, false, nil
+}
+
+// LookupKey resolves an idempotency key to the run it is bound to.
+func (s *Supervisor) LookupKey(key string) (uint64, bool) {
+	return s.keys.Lookup(key)
+}
+
+// AdmissionKeys snapshots the key table (the federation rebuilds its
+// global key map from shard snapshots at restart).
+func (s *Supervisor) AdmissionKeys() map[string]uint64 {
+	return s.keys.Snapshot()
+}
+
+// RetryAfterHint prices a jittered backoff hint from the shedder's drain
+// model for rejection paths that carry no typed Retry-After of their own
+// (drain, handoff windows).
+func (s *Supervisor) RetryAfterHint() time.Duration {
+	s.mu.Lock()
+	n := len(s.queued)
+	s.mu.Unlock()
+	return s.shedder.RetryAfter(n)
 }
 
 // worker drains the submission queue until Drain or Kill closes it; a
@@ -572,6 +706,14 @@ func (s *Supervisor) execute(n int, id uint64) {
 	r.cancel = cancel
 	r.info.State = StateRunning
 	now := time.Now()
+	// One queue departure: feed the shedder's drain model and the per-class
+	// queue-wait histogram (adoptions carry the epoch as Submitted, so the
+	// clamp guards skewed or replayed timestamps).
+	if wait := now.Sub(r.info.Submitted); wait >= 0 {
+		s.shedder.ObserveStart(wait)
+		s.prom.Histogram("deepum_admission_queue_wait_seconds", "",
+			map[string]string{"class": r.class}, queueWaitBuckets).Observe(wait.Seconds())
+	}
 	r.info.Started = &now
 	r.info.Attempts++
 	resume := s.resolveResumeLocked(id, r.resume)
@@ -901,6 +1043,12 @@ type Stats struct {
 	// resolved at execute time and restarted cold instead — degraded,
 	// never resumed from corrupt state.
 	ColdRestarts int
+	// DedupHits counts retried submissions resolved to an existing run by
+	// idempotency key; Sheds counts deadline-based admission rejections;
+	// AdmissionKeys is the number of bound idempotency keys.
+	DedupHits     int64
+	Sheds         int64
+	AdmissionKeys int
 }
 
 // Stats snapshots the aggregate state.
@@ -919,6 +1067,9 @@ func (s *Supervisor) Stats() Stats {
 		CheckpointsStored:  s.ckptStored,
 		CheckpointsInlined: s.ckptInlined,
 		ColdRestarts:       s.coldRestarts,
+		DedupHits:          s.dedupHits.Load(),
+		Sheds:              s.shedder.Stats().Sheds,
+		AdmissionKeys:      s.keys.Len(),
 	}
 	for _, r := range s.runs {
 		switch {

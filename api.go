@@ -21,6 +21,7 @@ package deepum
 // documentation without re-sorting.
 
 import (
+	"net/http"
 	"sort"
 
 	"deepum/internal/admission"
@@ -33,6 +34,7 @@ import (
 	"deepum/internal/health"
 	"deepum/internal/metrics"
 	"deepum/internal/models"
+	"deepum/internal/policy"
 	"deepum/internal/sim"
 	"deepum/internal/store"
 	"deepum/internal/supervisor"
@@ -107,8 +109,73 @@ type DriverOptions = core.Options
 // BlockTableConfig re-exports the UM-block correlation-table parameters.
 type BlockTableConfig = correlation.BlockTableConfig
 
+// --- prefetch-policy types ---
+
+// PrefetchPolicy re-exports the pluggable prefetch-policy seam: the driver
+// owns the queue mechanics while a PrefetchPolicy decides what to fetch
+// next from the kernel-launch and fault streams. Select a registered one by
+// name through Config.Policy (see Policies); implementing new policies
+// happens inside the module (internal/policy), not through this alias —
+// the interface may grow methods between minor revisions.
+type PrefetchPolicy = policy.Policy
+
+// PrefetchCommand re-exports the prefetch queue's payload: a UM block
+// paired with the execution ID of the kernel it is predicted to serve.
+type PrefetchCommand = core.PrefetchCommand
+
+// PolicyInfo describes one registered prefetch policy for discovery
+// listings (Policies, deepum-sim -policy-list).
+type PolicyInfo struct {
+	// Name is the value for Config.Policy and the -policy CLI flags.
+	Name string
+	// Summary is a one-line human-readable description.
+	Summary string
+}
+
+// PolicyState is a prefetch policy's serialized warm state: the unit the
+// policy-agnostic checkpoint path moves between runs (SavePolicyCheckpoint,
+// LoadPolicyCheckpoint, Config.ResumeState, Result.WarmState).
+type PolicyState struct {
+	// Policy is the registered name of the policy that produced Payload.
+	Policy string
+	// Payload is the policy's deterministic Save encoding.
+	Payload []byte
+}
+
+// UnknownPolicyError: Config.Policy (or a checkpoint envelope) names a
+// prefetch policy nobody registered. Never admittable — fix the name.
+type UnknownPolicyError = policy.UnknownError
+
+// PolicyUnsupportedError rejects Config.Policy on a system that runs no
+// prefetch policy: only SystemDeepUM has the driver the policies plug into.
+type PolicyUnsupportedError struct {
+	System System
+	Policy string
+}
+
+func (e *PolicyUnsupportedError) Error() string {
+	return "deepum: Config.Policy selects prefetch policy \"" + e.Policy +
+		"\"; system \"" + string(e.System) + "\" runs no prefetch policy (SystemDeepUM only)"
+}
+
+// PolicyKnown reports whether name is a registered prefetch policy (the
+// empty name counts: it selects the default).
+func PolicyKnown(name string) bool { return policy.Known(name) }
+
 // Machine re-exports the hardware model for custom configurations.
 type Machine = sim.Params
+
+// Duration re-exports the simulation's virtual-time duration type
+// (Config.Deadline, Result.IterationTime).
+type Duration = sim.Duration
+
+// Byte-size constants for configuring Machine fields and formatting
+// Result traffic numbers without importing internal/sim.
+const (
+	KiB = sim.KiB
+	MiB = sim.MiB
+	GiB = sim.GiB
+)
 
 // ExperimentOptions scope a RunExperiment call; the zero value selects the
 // defaults (scale 8, four measured iterations).
@@ -192,10 +259,6 @@ var (
 	ErrRunAlreadyFinished = supervisor.ErrAlreadyFinished
 )
 
-// ErrSupervisorShuttingDown is the former name of ErrShuttingDown.
-//
-// Deprecated: use ErrShuttingDown.
-var ErrSupervisorShuttingDown = supervisor.ErrShuttingDown
 
 // MaxIdempotencyKeyLen is the longest accepted idempotency key in bytes.
 const MaxIdempotencyKeyLen = admission.MaxKeyLen
@@ -353,6 +416,47 @@ func ChaosScenarios() []ChaosScenarioInfo {
 	out := make([]ChaosScenarioInfo, 0, len(all))
 	for _, s := range all {
 		out = append(out, ChaosScenarioInfo{Name: s.Name, Description: s.Description})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// SupervisorChaosScenario re-exports the supervisor-level fault-injection
+// scenario type for SupervisorConfig.Chaos.
+type SupervisorChaosScenario = chaos.SupervisorScenario
+
+// SupervisorChaosScenarios returns the named supervisor chaos scenarios.
+func SupervisorChaosScenarios() []SupervisorChaosScenario {
+	return chaos.SupervisorScenarios()
+}
+
+// SupervisorChaosScenarioByName resolves a supervisor chaos scenario; the
+// error enumerates the known names.
+func SupervisorChaosScenarioByName(name string) (SupervisorChaosScenario, error) {
+	return chaos.SupervisorScenarioByName(name)
+}
+
+// FaultTransport re-exports the chaos HTTP round-tripper that injects
+// client-visible network faults (post-send timeouts, slow responses, torn
+// bodies) for retry-storm style harnesses.
+type FaultTransport = chaos.FaultTransport
+
+// NetFaultOptions re-exports FaultTransport's fault mix.
+type NetFaultOptions = chaos.NetFaultOptions
+
+// NewFaultTransport wraps base (nil = http.DefaultTransport) with the
+// configured fault mix.
+func NewFaultTransport(base http.RoundTripper, opts NetFaultOptions) *FaultTransport {
+	return chaos.NewFaultTransport(base, opts)
+}
+
+// Policies returns every registered prefetch policy in ascending name
+// order; select one with Config.Policy or the -policy CLI flags.
+func Policies() []PolicyInfo {
+	all := policy.Infos()
+	out := make([]PolicyInfo, 0, len(all))
+	for _, p := range all {
+		out = append(out, PolicyInfo{Name: p.Name, Summary: p.Summary})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out

@@ -8,9 +8,17 @@
 //
 // -json instead runs the robustness micro-bench (see robust.go) and writes
 // its throughput report — faults/sec, events/sec, admissions/sec,
-// checkpoint save/load MB/s — to the given path:
+// checkpoint save/load MB/s, HandleGroups ns/op, and the prefetch-policy
+// tournament — to the given path:
 //
-//	deepum-bench -json BENCH_7.json
+//	deepum-bench -json BENCH_9.json
+//
+// -tournament races every registered prefetch policy (-policy-list) over a
+// small workload suite and prints the per-workload ranking; any policy
+// that fails to complete cleanly, or that perturbs the workload's
+// AccessChecksum, exits nonzero — CI runs this as a gate:
+//
+//	deepum-bench -tournament -quick -scale 32 -iters 2 -warmup 1
 package main
 
 import (
@@ -35,9 +43,32 @@ func main() {
 		timeout = flag.Duration("timeout", 0, "wall-clock budget for the whole bench; experiments past it are skipped")
 		chaosN  = flag.String("chaos", "", "fault-injection scenario for UM-side runs (baselines stay clean); \"list\" enumerates")
 		chaosS  = flag.Int64("chaos-seed", 0, "seed for chaos injection draws (0 = reuse -seed)")
-		jsonOut = flag.String("json", "", "run the robustness micro-bench and write its JSON report here (e.g. BENCH_7.json)")
+		jsonOut = flag.String("json", "", "run the robustness micro-bench and write its JSON report here (e.g. BENCH_9.json)")
+		policyN = flag.String("policy", "", "prefetch policy for the DeepUM runs (see -policy-list; default correlation)")
+		listPol = flag.Bool("policy-list", false, "list registered prefetch policies and exit")
+		tourney = flag.Bool("tournament", false, "race every prefetch policy over a workload suite and print the ranking")
 	)
 	flag.Parse()
+
+	if *listPol {
+		for _, p := range deepum.Policies() {
+			fmt.Printf("%-14s %s\n", p.Name, p.Summary)
+		}
+		return
+	}
+	if *policyN != "" && !deepum.PolicyKnown(*policyN) {
+		fmt.Fprintf(os.Stderr, "deepum-bench: unknown prefetch policy %q (see -policy-list)\n", *policyN)
+		os.Exit(1)
+	}
+	if *tourney {
+		rows, err := runTournament(*scale, *iters, *warm, *seed, *quick)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "deepum-bench: tournament: %v\n", err)
+			os.Exit(1)
+		}
+		printTournament(rows)
+		return
+	}
 
 	if *jsonOut != "" {
 		if err := runRobustBench(*jsonOut); err != nil {
@@ -71,6 +102,7 @@ func main() {
 		Seed:       *seed,
 		Chaos:      *chaosN,
 		ChaosSeed:  *chaosS,
+		Policy:     *policyN,
 	}
 	var ids []string
 	if *run != "" {

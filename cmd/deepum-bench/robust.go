@@ -10,15 +10,18 @@ import (
 	"time"
 
 	"deepum"
-	"deepum/internal/store"
 )
 
-// robustReport is the BENCH_7.json schema: the robustness-layer throughput
-// numbers the ROADMAP's committed perf trajectory tracks across PRs. Every
-// figure is wall-clock throughput of a real code path, not simulated time:
-// faults and events through one traced training run, admissions through a
-// journaled supervisor, checkpoint bytes through the content-addressed
-// store with its per-Put fsync (save) and a cold reopen (load).
+// robustReport is the BENCH_9.json schema: the robustness-layer throughput
+// numbers the ROADMAP's committed perf trajectory tracks across PRs, plus
+// the fault-handler hot-path cost and the prefetch-policy tournament.
+// Every throughput figure is wall-clock cost of a real code path, not
+// simulated time: faults and events through one traced training run,
+// admissions through a journaled supervisor, checkpoint bytes through the
+// content-addressed store with its per-Put fsync (save) and a cold reopen
+// (load), and HandleGroups through testing.Benchmark on the untraced
+// demand-migration cycle. The tournament ranks every registered prefetch
+// policy per workload by simulated iteration time.
 type robustReport struct {
 	Bench   int    `json:"bench"`
 	GoOS    string `json:"goos"`
@@ -31,6 +34,9 @@ type robustReport struct {
 	AdmissionsPerSec float64 `json:"admissions_per_sec"`
 	CkptSaveMBPerSec float64 `json:"checkpoint_save_mb_per_sec"`
 	CkptLoadMBPerSec float64 `json:"checkpoint_load_mb_per_sec"`
+
+	HandleGroups     deepum.HandleGroupsPerf `json:"handle_groups"`
+	PolicyTournament []tournamentWorkload    `json:"policy_tournament"`
 
 	Detail struct {
 		Faults        int64   `json:"faults"`
@@ -49,7 +55,7 @@ type robustReport struct {
 // runRobustBench measures the four robustness throughputs and writes the
 // JSON report to path.
 func runRobustBench(path string) error {
-	rep := robustReport{Bench: 7, GoOS: runtime.GOOS, GoArch: runtime.GOARCH, NumCPU: runtime.NumCPU()}
+	rep := robustReport{Bench: 9, GoOS: runtime.GOOS, GoArch: runtime.GOARCH, NumCPU: runtime.NumCPU()}
 
 	// Faults/sec and events/sec: one traced DeepUM training run; both
 	// rates are events processed per second of WALL time, the simulator's
@@ -131,11 +137,11 @@ func runRobustBench(path string) error {
 		blobSize = 1 << 20
 	)
 	blob := make([]byte, blobSize)
-	st, _, err := store.Open(filepath.Join(dir, "bench.store"), store.Options{})
+	st, _, err := deepum.OpenCheckpointStore(filepath.Join(dir, "bench.store"), deepum.CheckpointStoreOptions{})
 	if err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
-	keys := make([]store.Key, 0, blobs)
+	keys := make([]deepum.CheckpointKey, 0, blobs)
 	start = time.Now()
 	for i := 0; i < blobs; i++ {
 		// Distinct pseudo-random content per blob (splitmix64 stream), so
@@ -162,7 +168,7 @@ func runRobustBench(path string) error {
 		return err
 	}
 
-	st, _, err = store.Open(filepath.Join(dir, "bench.store"), store.Options{})
+	st, _, err = deepum.OpenCheckpointStore(filepath.Join(dir, "bench.store"), deepum.CheckpointStoreOptions{})
 	if err != nil {
 		return fmt.Errorf("reopen: %w", err)
 	}
@@ -185,6 +191,18 @@ func runRobustBench(path string) error {
 	rep.CkptSaveMBPerSec = mb / saveWall.Seconds()
 	rep.CkptLoadMBPerSec = mb / loadWall.Seconds()
 
+	// HandleGroups ns/op and allocs/op: the fault-handler hot path under
+	// testing.Benchmark, with tracing off (the zero-alloc contract).
+	rep.HandleGroups = deepum.MeasureHandleGroups()
+
+	// Policy tournament: every registered prefetch policy over the short
+	// suite, ranked per workload by mean iteration time.
+	tour, err := runTournament(16, 2, 1, 7, false)
+	if err != nil {
+		return fmt.Errorf("tournament: %w", err)
+	}
+	rep.PolicyTournament = tour
+
 	out, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err
@@ -199,5 +217,10 @@ func runRobustBench(path string) error {
 	fmt.Printf("admissions/sec       %.0f\n", rep.AdmissionsPerSec)
 	fmt.Printf("checkpoint save MB/s %.1f\n", rep.CkptSaveMBPerSec)
 	fmt.Printf("checkpoint load MB/s %.1f\n", rep.CkptLoadMBPerSec)
+	fmt.Printf("HandleGroups         %.1f ns/op, %d allocs/op\n",
+		rep.HandleGroups.NsPerOp, rep.HandleGroups.AllocsPerOp)
+	for _, w := range rep.PolicyTournament {
+		fmt.Printf("tournament %-10s b%-5d winner %s\n", w.Model, w.Batch, w.Ranking[0].Policy)
+	}
 	return nil
 }

@@ -38,6 +38,16 @@ func FuzzSubmitSpec(f *testing.F) {
 	}
 	f.Add(pad(1<<20-44), "", "")
 	f.Add(pad(1<<20), "", "")
+	// Policy field: registered, unknown, hostile, and system mismatches.
+	f.Add(`{"model":"bert-base","batch":8,"policy":"correlation"}`, "", "")
+	f.Add(`{"model":"bert-base","batch":8,"policy":"learned"}`, "", "")
+	f.Add(`{"model":"bert-base","batch":8,"policy":"gpuvm-window"}`, "", "")
+	f.Add(`{"model":"bert-base","batch":8,"policy":"nope"}`, "", "")
+	f.Add(`{"model":"bert-base","batch":8,"policy":""}`, "", "")
+	f.Add(`{"model":"bert-base","batch":8,"policy":"`+strings.Repeat("p", 4096)+`"}`, "", "")
+	f.Add("{\"model\":\"bert-base\",\"batch\":8,\"policy\":\"\x00\x07\"}", "", "")
+	f.Add(`{"model":"bert-base","batch":8,"system":"lms","policy":"correlation"}`, "", "")
+	f.Add(`{"model":"bert-base","batch":8,"policy":3}`, "", "")
 	// Hostile headers.
 	f.Add(valid, strings.Repeat("k", deepum.MaxIdempotencyKeyLen+1), "")
 	f.Add(valid, "bad key with spaces", "")
@@ -79,6 +89,34 @@ func truncate(s string) string {
 		return s[:128] + "..."
 	}
 	return s
+}
+
+// TestSubmitPolicyRejection pins the status codes outside the fuzzer: an
+// unknown prefetch policy (or a policy on a system that runs none) is a
+// 422 with retryable=false — never admittable — while registered policies
+// pass validation and reach the backend.
+func TestSubmitPolicyRejection(t *testing.T) {
+	ts := newFakeServer(t, &fakeBackend{})
+	post := func(body string) int {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/runs", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	for _, name := range []string{"", "correlation", "learned", "gpuvm-window"} {
+		if code := post(`{"model":"bert-base","batch":8,"policy":"` + name + `"}`); code != http.StatusAccepted {
+			t.Errorf("policy %q: status %d, want 202", name, code)
+		}
+	}
+	if code := post(`{"model":"bert-base","batch":8,"policy":"nope"}`); code != http.StatusUnprocessableEntity {
+		t.Errorf("unknown policy: status %d, want 422", code)
+	}
+	if code := post(`{"model":"bert-base","batch":8,"system":"lms","policy":"correlation"}`); code != http.StatusUnprocessableEntity {
+		t.Errorf("policy on lms: status %d, want 422", code)
+	}
 }
 
 // TestSubmitOversizedBody pins the MaxBytesReader boundary outside the

@@ -46,7 +46,6 @@ import (
 	"time"
 
 	"deepum"
-	"deepum/internal/chaos"
 )
 
 func main() {
@@ -71,7 +70,7 @@ func main() {
 	flag.Parse()
 
 	if *chaosName == "list" {
-		for _, sc := range chaos.SupervisorScenarios() {
+		for _, sc := range deepum.SupervisorChaosScenarios() {
 			fmt.Printf("%-16s %s\n", sc.Name, sc.Description)
 		}
 		return
@@ -85,7 +84,7 @@ func main() {
 		ChaosSeed:       *chaosSeed,
 	}
 	if *chaosName != "" {
-		sc, err := chaos.SupervisorScenarioByName(*chaosName)
+		sc, err := deepum.SupervisorChaosScenarioByName(*chaosName)
 		if err != nil {
 			log.Fatalf("deepum-serve: %v", err)
 		}

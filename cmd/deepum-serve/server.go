@@ -153,6 +153,18 @@ func (s *server) submit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	if !deepum.PolicyKnown(spec.Policy) {
+		// Never admittable: no amount of retrying makes an unregistered
+		// prefetch policy exist. Same contract as the per-run quota reject.
+		writeReject(w, http.StatusUnprocessableEntity,
+			&deepum.UnknownPolicyError{Name: spec.Policy}, false)
+		return
+	}
+	if spec.Policy != "" && spec.System != "" && spec.System != string(deepum.SystemDeepUM) {
+		writeReject(w, http.StatusUnprocessableEntity,
+			&deepum.PolicyUnsupportedError{System: deepum.System(spec.System), Policy: spec.Policy}, false)
+		return
+	}
 	id, dedup, err := s.b.SubmitWithOptions(spec, opts)
 	if err != nil {
 		var he *deepum.ShardHandoffError

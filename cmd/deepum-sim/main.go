@@ -15,7 +15,6 @@ import (
 	"os"
 
 	"deepum"
-	"deepum/internal/sim"
 )
 
 func main() {
@@ -38,9 +37,11 @@ func main() {
 		ckpt    = flag.String("checkpoint", "", "write the learned correlation tables here after the run (deepum only)")
 		trace   = flag.String("trace", "", "write a Chrome trace-event JSON of the run here (open in Perfetto; UM-side systems only)")
 		resume  = flag.String("resume", "", "seed the driver from a checkpoint written by -checkpoint (deepum only)")
+		policyF = flag.String("policy", "", "prefetch policy (see -policy-list; empty = correlation)")
 		listM   = flag.Bool("models", false, "list model names and exit")
 		listS   = flag.Bool("systems", false, "list system names and exit")
 		listC   = flag.Bool("chaos-list", false, "list chaos scenarios and exit")
+		listP   = flag.Bool("policy-list", false, "list prefetch policies and exit")
 	)
 	flag.Parse()
 
@@ -62,6 +63,12 @@ func main() {
 		}
 		return
 	}
+	if *listP {
+		for _, p := range deepum.Policies() {
+			fmt.Printf("%-14s %s\n", p.Name, p.Summary)
+		}
+		return
+	}
 
 	cfg := deepum.DefaultConfig()
 	cfg.System = deepum.System(*system)
@@ -72,7 +79,8 @@ func main() {
 	cfg.Driver.Degree = *degree
 	cfg.Chaos = *chaosSc
 	cfg.ChaosSeed = *chaosSd
-	cfg.Deadline = sim.Duration(*deadln)
+	cfg.Policy = *policyF
+	cfg.Deadline = deepum.Duration(*deadln)
 	if *gpu16 {
 		cfg.Machine = deepum.V100_16GB()
 	}
@@ -82,13 +90,13 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		st, err := deepum.LoadCheckpoint(f)
+		st, err := deepum.LoadPolicyCheckpoint(f)
 		f.Close()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "resume %s: %v\n", *resume, err)
 			os.Exit(1)
 		}
-		cfg.Resume = st
+		cfg.ResumeState = st
 	}
 	if *trace != "" {
 		cfg.Observe = deepum.NewObserver(deepum.TraceOptions{})
@@ -109,8 +117,9 @@ func main() {
 		os.Exit(1)
 	}
 	if *ckpt != "" {
-		if res.Warm == nil {
-			fmt.Fprintf(os.Stderr, "-checkpoint: system %s has no correlation tables to save\n", res.System)
+		st := deepum.PolicyCheckpointOf(res)
+		if st == nil {
+			fmt.Fprintf(os.Stderr, "-checkpoint: system %s has no prefetch-policy state to save\n", res.System)
 			os.Exit(1)
 		}
 		f, err := os.Create(*ckpt)
@@ -118,7 +127,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		if err := deepum.SaveCheckpoint(f, res.Warm); err == nil {
+		if err := deepum.SavePolicyCheckpoint(f, st); err == nil {
 			err = f.Close()
 		} else {
 			f.Close()
@@ -164,28 +173,28 @@ func main() {
 			res.Breaker.Opens, res.Breaker.Threshold, res.Breaker.ShortCircuited, res.Breaker.State)
 	}
 	if *resume != "" {
-		fmt.Printf("resume     correlation tables restored from %s\n", *resume)
+		fmt.Printf("resume     %s policy state restored from %s\n", res.Policy, *resume)
 	}
 	if res.Health != nil {
 		fmt.Printf("health     final %s, peak %s, %d ladder transition(s)\n",
 			res.Health.Level, res.Health.MaxLevel, res.Health.Transitions)
 	}
 	fmt.Printf("footprint  %.2f GiB (scaled), %d kernels/iteration\n",
-		float64(prog.FootprintBytes())/float64(sim.GiB), prog.Kernels())
+		float64(prog.FootprintBytes())/float64(deepum.GiB), prog.Kernels())
 	fmt.Printf("iteration  %v (mean over %d measured iterations)\n", res.IterationTime, res.Iterations)
 	fmt.Printf("100 iters  %.1f s (extrapolated)\n", (100 * res.IterationTime).Seconds())
 	if res.PageFaultsPerIteration > 0 || res.System == deepum.SystemDeepUM || res.System == deepum.SystemUM {
 		fmt.Printf("faults     %d pages/iteration\n", res.PageFaultsPerIteration)
 	}
 	fmt.Printf("traffic    %.2f GiB H2D, %.2f GiB D2H\n",
-		float64(res.TrafficH2D)/float64(sim.GiB), float64(res.TrafficD2H)/float64(sim.GiB))
+		float64(res.TrafficH2D)/float64(deepum.GiB), float64(res.TrafficD2H)/float64(deepum.GiB))
 	fmt.Printf("energy     %.1f J (measured window)\n", res.EnergyJoules)
-	if res.CorrelationTableBytes > 0 {
-		fmt.Printf("tables     %.1f MiB correlation tables (%d prefetches issued, %d useful)\n",
-			float64(res.CorrelationTableBytes)/float64(sim.MiB), res.PrefetchIssued, res.PrefetchUseful)
+	if res.Policy != "" {
+		fmt.Printf("policy     %s (%.1f MiB state, %d prefetches issued, %d useful)\n",
+			res.Policy, float64(res.CorrelationTableBytes)/float64(deepum.MiB), res.PrefetchIssued, res.PrefetchUseful)
 	}
 	if *ckpt != "" {
-		fmt.Printf("checkpoint correlation tables saved to %s\n", *ckpt)
+		fmt.Printf("checkpoint %s policy state saved to %s\n", res.Policy, *ckpt)
 	}
 	if *trace != "" {
 		fmt.Printf("trace      %d events written to %s (%d overwritten)\n",

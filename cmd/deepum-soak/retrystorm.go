@@ -42,7 +42,6 @@ import (
 	"time"
 
 	"deepum"
-	"deepum/internal/chaos"
 )
 
 type retryStormOptions struct {
@@ -163,7 +162,7 @@ func runRetryStorm(opts retryStormOptions) int {
 	// on the wire but surface as client timeouts, so a third of all submits
 	// are retried blind. Slow and torn faults ride along to exercise the
 	// retry loop's read-error path.
-	ft := chaos.NewFaultTransport(ts.Client().Transport, chaos.NetFaultOptions{
+	ft := deepum.NewFaultTransport(ts.Client().Transport, deepum.NetFaultOptions{
 		TimeoutAfterSendProb: 0.35,
 		SlowProb:             0.05,
 		SlowDelay:            2 * time.Millisecond,

@@ -38,6 +38,7 @@ import (
 	"deepum/internal/health"
 	"deepum/internal/metrics"
 	"deepum/internal/models"
+	"deepum/internal/policy"
 	"deepum/internal/sim"
 	"deepum/internal/workload"
 )
@@ -105,7 +106,19 @@ type Config struct {
 	// Resume seeds the DeepUM driver with warm correlation tables restored
 	// from a checkpoint (LoadCheckpoint), skipping the table warm-up cost.
 	// SystemDeepUM only; the driver adopts the tables' own configuration.
+	// Requires the correlation policy (Policy empty or "correlation").
 	Resume *CorrelationState
+	// Policy names the prefetch policy the DeepUM driver runs; see
+	// Policies() for the registered set. Empty selects the default
+	// ("correlation", the paper's chaser). SystemDeepUM only: any other
+	// system rejects a non-empty Policy with *PolicyUnsupportedError, and an
+	// unregistered name is rejected with *UnknownPolicyError.
+	Policy string
+	// ResumeState seeds the named policy with its checkpointed warm state
+	// (LoadPolicyCheckpoint) — the policy-agnostic resume path.
+	// SystemDeepUM only; ResumeState.Policy must agree with Policy, and
+	// setting both Resume and ResumeState is an error.
+	ResumeState *PolicyState
 	// BreakerThreshold and BreakerCooldown tune the prefetch circuit
 	// breaker: after BreakerThreshold consecutive prefetch-transfer
 	// failures prefetching is suspended (pure on-demand faulting) for
@@ -212,8 +225,17 @@ type Result struct {
 	// checksums. UM-side systems only.
 	AccessChecksum uint64
 	// Warm exposes the driver's learned correlation tables for
-	// checkpointing with SaveCheckpoint (SystemDeepUM only).
+	// checkpointing with SaveCheckpoint (SystemDeepUM under the correlation
+	// policy only; nil under other prefetch policies).
 	Warm *CorrelationState
+	// Policy is the prefetch policy the driver ran ("correlation",
+	// "learned", ...); empty for non-DeepUM systems.
+	Policy string
+	// WarmState exposes the policy's serialized warm state for
+	// SavePolicyCheckpoint when the run used a non-correlation policy
+	// (correlation runs expose Warm instead; PolicyCheckpointOf bridges
+	// both). Nil for non-DeepUM systems.
+	WarmState *PolicyState
 }
 
 // Succeeded reports whether the run completed every requested iteration
@@ -231,9 +253,50 @@ func SaveCheckpoint(w io.Writer, st *CorrelationState) error {
 }
 
 // LoadCheckpoint reads a checkpoint written by SaveCheckpoint, verifying
-// magic, version, and checksum. Feed the result to Config.Resume.
+// magic, version, and checksum. Feed the result to Config.Resume. It
+// accepts both legacy (v1) checkpoints and current envelopes carrying the
+// correlation policy; envelopes written under another policy are rejected —
+// use LoadPolicyCheckpoint for those.
 func LoadCheckpoint(r io.Reader) (*CorrelationState, error) {
 	return correlation.ReadCheckpoint(r)
+}
+
+// SavePolicyCheckpoint serializes any prefetch policy's warm state to w
+// using the same versioned, CRC32-checksummed envelope as SaveCheckpoint,
+// with the policy's name recorded in the frame.
+func SavePolicyCheckpoint(w io.Writer, st *PolicyState) error {
+	if st == nil {
+		return fmt.Errorf("deepum: cannot checkpoint nil policy state")
+	}
+	return correlation.WriteEnvelope(w, st.Policy, st.Payload)
+}
+
+// LoadPolicyCheckpoint reads any checkpoint envelope — including legacy v1
+// correlation blobs, which come back with Policy "correlation" — verifying
+// magic, version, and checksum. Feed the result to Config.ResumeState.
+func LoadPolicyCheckpoint(r io.Reader) (*PolicyState, error) {
+	name, payload, err := correlation.ReadEnvelope(r)
+	if err != nil {
+		return nil, err
+	}
+	return &PolicyState{Policy: name, Payload: payload}, nil
+}
+
+// PolicyCheckpointOf extracts a run's warm policy state as a PolicyState
+// regardless of which policy ran: correlation runs are re-encoded from
+// Result.Warm, other policies pass Result.WarmState through. Nil when the
+// run kept no warm state (non-DeepUM systems).
+func PolicyCheckpointOf(res *Result) *PolicyState {
+	if res == nil {
+		return nil
+	}
+	if res.WarmState != nil {
+		return res.WarmState
+	}
+	if res.Warm != nil {
+		return &PolicyState{Policy: "correlation", Payload: correlation.EncodeTables(res.Warm)}
+	}
+	return nil
 }
 
 // Train simulates training the workload under the configured system. It
@@ -286,6 +349,31 @@ func TrainContext(ctx context.Context, w Workload, cfg Config) (*Result, error) 
 	if cfg.Resume != nil && cfg.System != SystemDeepUM {
 		return nil, fmt.Errorf("deepum: Config.Resume carries DeepUM correlation tables; system %q has none to warm", cfg.System)
 	}
+	if cfg.System != SystemDeepUM {
+		if cfg.Policy != "" {
+			return nil, &PolicyUnsupportedError{System: cfg.System, Policy: cfg.Policy}
+		}
+		if cfg.ResumeState != nil {
+			return nil, fmt.Errorf("deepum: Config.ResumeState carries prefetch-policy state; system %q runs no prefetch policy", cfg.System)
+		}
+	}
+	if !policy.Known(cfg.Policy) {
+		return nil, &UnknownPolicyError{Name: cfg.Policy}
+	}
+	if cfg.ResumeState != nil {
+		if cfg.Resume != nil {
+			return nil, fmt.Errorf("deepum: Config.Resume and Config.ResumeState are both set; pick one resume path")
+		}
+		if !policy.Known(cfg.ResumeState.Policy) {
+			return nil, &UnknownPolicyError{Name: cfg.ResumeState.Policy}
+		}
+		if cfg.Policy != "" && cfg.ResumeState.Policy != cfg.Policy {
+			return nil, fmt.Errorf("deepum: Config.ResumeState holds %q policy state but Config.Policy selects %q", cfg.ResumeState.Policy, cfg.Policy)
+		}
+	}
+	if cfg.Resume != nil && cfg.Policy != "" && cfg.Policy != "correlation" {
+		return nil, fmt.Errorf("deepum: Config.Resume carries correlation tables but Config.Policy selects %q; resume it through ResumeState", cfg.Policy)
+	}
 	switch cfg.System {
 	case SystemUM, SystemDeepUM, SystemIdeal:
 		policy := engine.PolicyUM
@@ -301,6 +389,11 @@ func TrainContext(ctx context.Context, w Workload, cfg Config) (*Result, error) 
 				return nil, fmt.Errorf("deepum: prefetch degree must be >= 1, got %d (the paper sweeps 1-128, headline N=32)", drv.Degree)
 			}
 			drv.WarmTables = cfg.Resume
+			drv.Policy = cfg.Policy
+			if cfg.ResumeState != nil {
+				drv.Policy = cfg.ResumeState.Policy
+				drv.WarmPayload = cfg.ResumeState.Payload
+			}
 		case SystemIdeal:
 			policy = engine.PolicyIdeal
 		}
@@ -355,6 +448,8 @@ func TrainContext(ctx context.Context, w Workload, cfg Config) (*Result, error) 
 			Health:                 r.Health,
 			AccessChecksum:         r.AccessChecksum,
 			Warm:                   r.Tables,
+			Policy:                 r.PrefetchPolicy,
+			WarmState:              warmStateOf(r),
 		}, nil
 	default:
 		if scenario.Active() {
@@ -394,6 +489,16 @@ func TrainContext(ctx context.Context, w Workload, cfg Config) (*Result, error) 
 			EnergyJoules:  r.EnergyJoules,
 		}, nil
 	}
+}
+
+// warmStateOf wraps an engine result's serialized policy payload; nil for
+// correlation runs (Result.Warm carries the typed tables) and for runs with
+// no driver.
+func warmStateOf(r *engine.Result) *PolicyState {
+	if r.PolicyPayload == nil {
+		return nil
+	}
+	return &PolicyState{Policy: r.PrefetchPolicy, Payload: r.PolicyPayload}
 }
 
 func plannerFor(s System) (baselines.Planner, error) {

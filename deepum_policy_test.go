@@ -1,0 +1,193 @@
+package deepum
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestPoliciesListing pins the discovery surface: at least the three
+// shipped policies, sorted, with non-empty summaries, and PolicyKnown
+// agreeing with the listing.
+func TestPoliciesListing(t *testing.T) {
+	infos := Policies()
+	if len(infos) < 3 {
+		t.Fatalf("want >= 3 registered policies, have %d", len(infos))
+	}
+	for i, p := range infos {
+		if p.Name == "" || p.Summary == "" {
+			t.Errorf("policy %d has empty name or summary: %+v", i, p)
+		}
+		if i > 0 && infos[i-1].Name >= p.Name {
+			t.Errorf("Policies() not sorted: %q before %q", infos[i-1].Name, p.Name)
+		}
+		if !PolicyKnown(p.Name) {
+			t.Errorf("listed policy %q not PolicyKnown", p.Name)
+		}
+	}
+	if !PolicyKnown("") {
+		t.Error("empty policy name (the default) must be known")
+	}
+	if PolicyKnown("no-such-policy") {
+		t.Error("unregistered name reported known")
+	}
+}
+
+// TestTrainUnknownPolicyTyped pins the typed rejection through the facade.
+func TestTrainUnknownPolicyTyped(t *testing.T) {
+	cfg := testConfig(SystemDeepUM)
+	cfg.Policy = "no-such-policy"
+	_, err := Train(Workload{Model: "bert-base", Batch: 32}, cfg)
+	var ue *UnknownPolicyError
+	if !errors.As(err, &ue) || ue.Name != "no-such-policy" {
+		t.Fatalf("want *UnknownPolicyError, got %v", err)
+	}
+}
+
+// TestTrainPolicyRejectedForNonDeepUM: only the DeepUM driver runs a
+// prefetch policy; naming one on any other system is a typed error.
+func TestTrainPolicyRejectedForNonDeepUM(t *testing.T) {
+	cfg := testConfig(SystemLMS)
+	cfg.Policy = "correlation"
+	_, err := Train(Workload{Model: "bert-base", Batch: 32}, cfg)
+	var pe *PolicyUnsupportedError
+	if !errors.As(err, &pe) {
+		t.Fatalf("want *PolicyUnsupportedError, got %v", err)
+	}
+	if !strings.Contains(pe.Error(), "lms") || !strings.Contains(pe.Error(), "correlation") {
+		t.Fatalf("error does not name system and policy: %v", pe)
+	}
+}
+
+// TestTrainPolicyCheckpointCycle is the generic resume path for a
+// NON-correlation policy: train under "learned", capture the warm state
+// with PolicyCheckpointOf, round-trip it through Save/LoadPolicyCheckpoint
+// bytes, and resume — the resumed run must identify its policy and accept
+// the state. A mismatched Config.Policy must be rejected.
+func TestTrainPolicyCheckpointCycle(t *testing.T) {
+	w := Workload{Model: "bert-large", Batch: 16}
+	cfg := testConfig(SystemDeepUM)
+	cfg.Policy = "learned"
+	first, err := Train(w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Policy != "learned" {
+		t.Fatalf("Result.Policy = %q, want learned", first.Policy)
+	}
+	if first.Warm != nil {
+		t.Fatal("non-correlation run exposed typed correlation tables")
+	}
+	st := PolicyCheckpointOf(first)
+	if st == nil || st.Policy != "learned" {
+		t.Fatalf("PolicyCheckpointOf = %+v, want learned state", st)
+	}
+
+	var buf bytes.Buffer
+	if err := SavePolicyCheckpoint(&buf, st); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadPolicyCheckpoint(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Policy != "learned" || !bytes.Equal(loaded.Payload, st.Payload) {
+		t.Fatalf("policy checkpoint round trip drifted: %q, %d vs %d bytes",
+			loaded.Policy, len(loaded.Payload), len(st.Payload))
+	}
+
+	resume := testConfig(SystemDeepUM)
+	resume.Policy = "learned"
+	resume.ResumeState = loaded
+	resume.Warmup = 1
+	resumed, err := Train(w, resume)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Status != StatusCompleted || resumed.Policy != "learned" {
+		t.Fatalf("resumed run: status %v policy %q", resumed.Status, resumed.Policy)
+	}
+
+	mismatch := testConfig(SystemDeepUM)
+	mismatch.Policy = "gpuvm-window"
+	mismatch.ResumeState = loaded
+	if _, err := Train(w, mismatch); err == nil {
+		t.Fatal("ResumeState for learned accepted under Config.Policy gpuvm-window")
+	}
+}
+
+// TestTrainResumeFromLegacyBlob resumes a run from the committed
+// pre-policy v1 checkpoint through BOTH public load paths: the typed
+// correlation path (LoadCheckpoint -> Config.Resume) and the generic
+// policy path (LoadPolicyCheckpoint -> Config.ResumeState). Old blobs
+// written before this API existed must keep working, unmodified.
+func TestTrainResumeFromLegacyBlob(t *testing.T) {
+	raw, err := os.ReadFile(filepath.Join("internal", "correlation", "testdata", "legacy_v1.ckpt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := Workload{Model: "bert-base", Batch: 32}
+
+	warm, err := LoadCheckpoint(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("LoadCheckpoint on v1 blob: %v", err)
+	}
+	typed := testConfig(SystemDeepUM)
+	typed.Resume = warm
+	typed.Warmup = 1
+	res, err := Train(w, typed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != StatusCompleted || res.Policy != "correlation" {
+		t.Fatalf("typed legacy resume: status %v policy %q", res.Status, res.Policy)
+	}
+
+	st, err := LoadPolicyCheckpoint(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("LoadPolicyCheckpoint on v1 blob: %v", err)
+	}
+	if st.Policy != "correlation" {
+		t.Fatalf("v1 blob decoded as policy %q", st.Policy)
+	}
+	generic := testConfig(SystemDeepUM)
+	generic.ResumeState = st
+	generic.Warmup = 1
+	res2, err := Train(w, generic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Status != StatusCompleted || res2.Policy != "correlation" {
+		t.Fatalf("generic legacy resume: status %v policy %q", res2.Status, res2.Policy)
+	}
+}
+
+// TestPolicyCheckpointOfCorrelation: the bridge re-encodes typed
+// correlation warm state into the generic PolicyState, and the encoding
+// round-trips through the envelope.
+func TestPolicyCheckpointOfCorrelation(t *testing.T) {
+	first, err := Train(Workload{Model: "bert-large", Batch: 16}, testConfig(SystemDeepUM))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Warm == nil {
+		t.Fatal("correlation run exposed no typed warm state")
+	}
+	st := PolicyCheckpointOf(first)
+	if st == nil || st.Policy != "correlation" || len(st.Payload) == 0 {
+		t.Fatalf("PolicyCheckpointOf = %+v", st)
+	}
+	var generic, typed bytes.Buffer
+	if err := SavePolicyCheckpoint(&generic, st); err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveCheckpoint(&typed, first.Warm); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(generic.Bytes(), typed.Bytes()) {
+		t.Fatal("generic and typed save paths produced different bytes for the same correlation state")
+	}
+}

@@ -1,8 +1,13 @@
 // Package core implements the DeepUM driver — the paper's primary
-// contribution (§3.1, §4.2, §5): correlation-prefetching of UM blocks with
-// chaining across predicted kernels, page pre-eviction coupled with the
-// correlation tables, and invalidation of UM blocks belonging to inactive
-// PyTorch blocks.
+// contribution (§3.1, §4.2, §5): prefetching of UM blocks, page
+// pre-eviction coupled with the prefetcher's predicted set, and
+// invalidation of UM blocks belonging to inactive PyTorch blocks.
+//
+// The driver is mechanism only: it owns the bounded prefetch queue, the
+// dedup and protected-set bookkeeping, the residency probe, observer hooks,
+// and health-gate plumbing. *What to fetch next* is delegated to a
+// pluggable policy (internal/policy); the paper's correlation chaser
+// (internal/policy/correlation) is the default, selected by Options.Policy.
 //
 // On a real system the driver is a Linux kernel module with four kernel
 // threads; here its policy logic is a deterministic state machine driven by
@@ -12,11 +17,17 @@ package core
 
 import (
 	"fmt"
+	"io"
 
 	"deepum/internal/correlation"
 	"deepum/internal/obs"
+	"deepum/internal/policy"
 	"deepum/internal/sim"
 	"deepum/internal/um"
+
+	// The default policy registers itself; the driver must always be able
+	// to resolve policy.DefaultName.
+	_ "deepum/internal/policy/correlation"
 )
 
 // Options select which DeepUM mechanisms are active; the Figure 10 ablation
@@ -50,11 +61,20 @@ type Options struct {
 	// accessed soon"). Zero disables the throttle. The engine fills it in
 	// from the simulated machine.
 	CapacityBytes int64
-	// WarmTables, when set, seeds the driver with correlation tables restored
+	// WarmTables, when set, seeds the correlation policy with tables restored
 	// from a checkpoint instead of empty ones; the driver adopts the tables'
 	// own configuration (overriding TableConfig) so the set-index hash and
-	// successor limits match the state being resumed.
+	// successor limits match the state being resumed. Policies without
+	// correlation tables reject it — resume them through WarmPayload.
 	WarmTables *correlation.Tables
+	// Policy names the prefetch policy deciding what to fetch next; the
+	// empty string selects the default ("correlation", the paper's chaser).
+	// See internal/policy for the registry.
+	Policy string
+	// WarmPayload, when set, seeds the policy with its own checkpoint
+	// payload (the policy-agnostic resume path; the envelope's policy name
+	// must match Policy). Ignored when WarmTables is set.
+	WarmPayload []byte
 }
 
 // DefaultOptions returns the configuration used for the paper's headline
@@ -72,11 +92,8 @@ func DefaultOptions() Options {
 
 // PrefetchCommand pairs a UM block address with the execution ID of the
 // kernel it is predicted to serve, exactly the payload of the paper's
-// prefetch queue.
-type PrefetchCommand struct {
-	Block um.BlockID
-	Exec  correlation.ExecID
-}
+// prefetch queue. It is the policy seam's Command type.
+type PrefetchCommand = policy.Command
 
 // Stats aggregates driver-side counters.
 type Stats struct {
@@ -97,21 +114,15 @@ type Stats struct {
 // receive kernel-launch callbacks), um.EvictionPolicy (the §5.1 victim
 // policy), and um.Invalidator (§5.2).
 type Driver struct {
-	opts   Options
-	tables *correlation.Tables
+	opts Options
 
-	// Launch history: the three kernels before the current one, oldest
-	// first, and the current one.
-	history [correlation.HistoryLen]correlation.ExecID
+	// pol decides what to fetch next; the driver feeds it the launch and
+	// fault streams and drains its prediction steps into the queue.
+	pol policy.Policy
+
+	// current is the execution ID of the running kernel, tracked so
+	// NoteEviction requeues attribute their command to it.
 	current correlation.ExecID
-	// historyBeforeCurrent is the window used when recording the transition
-	// out of current.
-	historyBeforeCurrent [correlation.HistoryLen]correlation.ExecID
-
-	cursor *correlation.ChainCursor
-	// completedInChain counts kernels finished since the chain (re)started;
-	// the chain may run Degree kernels ahead of it.
-	completedInChain int
 
 	queue []PrefetchCommand
 	// head indexes the logical front of queue (popped entries are not
@@ -148,18 +159,10 @@ type Driver struct {
 
 // HealthGate is the slice of the degradation ladder the prefetching thread
 // consults before creating new speculation (internal/health implements it).
-// Everything here bounds prediction work only — the demand path never goes
-// through the gate.
-type HealthGate interface {
-	// AllowPrefetchEnqueue reports whether new prefetch commands may be
-	// queued at all (false at L3, pure demand).
-	AllowPrefetchEnqueue() bool
-	// SpeculativeRequeue reports whether evicted-but-still-predicted blocks
-	// may be re-queued (false from L1 up: chained-correlation only).
-	SpeculativeRequeue() bool
-	// DegreeCap bounds the effective chaining degree for the current level.
-	DegreeCap(base int) int
-}
+// It is the policy seam's Gate type: the driver forwards it to the policy,
+// which consults AllowPrefetchEnqueue and DegreeCap before emitting, while
+// the driver itself applies SpeculativeRequeue on the requeue path.
+type HealthGate = policy.Gate
 
 // Compile-time interface checks.
 var (
@@ -167,8 +170,11 @@ var (
 	_ um.Invalidator    = (*Driver)(nil)
 )
 
-// NewDriver returns a driver with the given options.
-func NewDriver(opts Options) *Driver {
+// NewDriverFor returns a driver running the policy named by opts.Policy
+// (empty selects the default correlation chaser). It fails when the policy
+// is unknown or its warm state cannot be decoded — both conditions callers
+// want as typed errors before any run state exists.
+func NewDriverFor(opts Options) (*Driver, error) {
 	if opts.Degree < 1 {
 		opts.Degree = 1
 	}
@@ -178,56 +184,85 @@ func NewDriver(opts Options) *Driver {
 	if opts.TableConfig.NumRows == 0 {
 		opts.TableConfig = correlation.DefaultBlockTableConfig()
 	}
-	tables := opts.WarmTables
-	if tables != nil {
-		opts.TableConfig = tables.Config()
-	} else {
-		tables = correlation.NewTables(opts.TableConfig)
+	pol, err := policy.New(opts.Policy, policy.Options{
+		Prefetch:    opts.Prefetch,
+		Degree:      opts.Degree,
+		TableConfig: opts.TableConfig,
+		WarmTables:  opts.WarmTables,
+		WarmPayload: opts.WarmPayload,
+	})
+	if err != nil {
+		return nil, err
+	}
+	// A policy carrying correlation tables publishes their configuration;
+	// adopt it so Options() reflects the resumed state, exactly as the
+	// pre-policy driver adopted WarmTables' config.
+	if t := tablesOf(pol); t != nil {
+		opts.TableConfig = t.Config()
 	}
 	d := &Driver{
 		opts:        opts,
-		tables:      tables,
+		pol:         pol,
 		current:     correlation.NoExec,
 		queued:      make(map[um.BlockID]struct{}),
 		protected:   make(map[um.BlockID]struct{}),
 		activeBytes: make(map[um.BlockID]int64),
 	}
-	for i := range d.history {
-		d.history[i] = correlation.NoExec
+	return d, nil
+}
+
+// NewDriver returns a driver with the given options, panicking on a policy
+// error. With a registered (or empty) Policy name and no hostile warm
+// payload, construction cannot fail; tests and the pipeline use this form.
+func NewDriver(opts Options) *Driver {
+	d, err := NewDriverFor(opts)
+	if err != nil {
+		panic(fmt.Sprintf("core: NewDriver: %v", err))
 	}
 	return d
+}
+
+// tablesOf extracts correlation tables from policies that keep them
+// (the correlation chaser); nil for every other policy.
+func tablesOf(p policy.Policy) *correlation.Tables {
+	if tp, ok := p.(interface{ Tables() *correlation.Tables }); ok {
+		return tp.Tables()
+	}
+	return nil
 }
 
 // Options returns the driver's configuration.
 func (d *Driver) Options() Options { return d.opts }
 
-// Tables exposes the correlation tables (Table 4 sizes, cmd/deepum-inspect).
-func (d *Driver) Tables() *correlation.Tables { return d.tables }
+// Tables exposes the correlation tables when the active policy keeps them
+// (Table 4 sizes, cmd/deepum-inspect); nil under table-less policies.
+func (d *Driver) Tables() *correlation.Tables { return tablesOf(d.pol) }
+
+// PolicyName returns the active prefetch policy's registered name.
+func (d *Driver) PolicyName() string { return d.pol.Name() }
+
+// PolicySizeBytes returns the active policy's state-memory estimate.
+func (d *Driver) PolicySizeBytes() int64 { return d.pol.SizeBytes() }
+
+// SavePolicyState writes the active policy's deterministic warm-state
+// payload (the body of a checkpoint envelope carrying PolicyName).
+func (d *Driver) SavePolicyState(w io.Writer) error { return d.pol.Save(w) }
 
 // KernelLaunch receives the execution ID of the kernel about to run — the
-// ioctl callback of §3.1. The correlator records the transition of the
-// previously running kernel and resets the new kernel's miss cursor.
+// ioctl callback of §3.1 — and forwards it to the policy's learner.
 func (d *Driver) KernelLaunch(id correlation.ExecID) {
 	d.Stats.KernelLaunches++
-	if d.current != correlation.NoExec {
-		d.tables.Exec.Record(d.current, d.historyBeforeCurrent, id)
-	}
-	// Slide the history window.
-	d.historyBeforeCurrent = d.history
-	copy(d.history[:], d.history[1:])
-	d.history[correlation.HistoryLen-1] = d.current
 	d.current = id
-	d.tables.Block(id).ResetCursor()
+	d.pol.KernelLaunch(id)
 }
 
-// KernelComplete slides the chain window: a paused chain may resume because
-// one more kernel of lookahead budget is available (§4.2: "The prefetching
-// thread resumes after the currently executing kernel finishes").
+// KernelComplete slides the policy's lookahead window: a paused chain may
+// resume because one more kernel of budget is available (§4.2: "The
+// prefetching thread resumes after the currently executing kernel
+// finishes"). Refilling is unconditional — an idle policy simply pauses.
 func (d *Driver) KernelComplete(id correlation.ExecID) {
-	if d.cursor != nil {
-		d.completedInChain++
-		d.fillQueue(refillBatch)
-	}
+	d.pol.KernelComplete(id)
+	d.fillQueue(refillBatch)
 }
 
 // Current returns the execution ID of the kernel the driver believes is
@@ -240,21 +275,16 @@ func (d *Driver) Current() correlation.ExecID { return d.current }
 // faulted block (§4.2: "The chaining ends when a new page fault interrupt
 // signal is raised", i.e. each fault restarts the chain).
 func (d *Driver) OnFault(b um.BlockID) {
-	if d.current == correlation.NoExec {
-		return
+	if !d.pol.OnFault(b) {
+		return // the policy learned from the fault but restarts nothing
 	}
-	d.tables.Block(d.current).RecordMiss(b)
-	if !d.opts.Prefetch {
-		return
-	}
-	// The fault obsoletes the old chain's outstanding commands: the GPU has
-	// demonstrably diverged from the prediction that produced them, and the
-	// new chain's commands must reach the front of the queue to be timely.
+	// The fault obsoletes the old prediction's outstanding commands: the GPU
+	// has demonstrably diverged from the prediction that produced them, and
+	// the new prediction's commands must reach the front of the queue to be
+	// timely.
 	d.queue = d.queue[:0]
 	d.head = 0
 	clear(d.queued)
-	d.cursor = d.tables.NewChainCursor(d.current, d.history, b)
-	d.completedInChain = 0
 	d.Stats.ChainRestarts++
 	d.fillQueue(restartFill)
 }
@@ -269,22 +299,11 @@ const (
 	refillBelow = 512  // queue depth that triggers a refill
 )
 
-// fillQueue drains the chain cursor into the prefetch queue until the given
-// budget of new commands is emitted, the chain pauses at the degree-N
-// boundary, the queue fills, or the chain dies.
+// fillQueue drains the policy's prediction stream into the prefetch queue
+// until the given budget of new commands is emitted, the policy pauses (at
+// the degree boundary or a gated ladder level), the queue fills, or the
+// prediction dies.
 func (d *Driver) fillQueue(budget int) {
-	if d.cursor == nil {
-		return
-	}
-	degree := d.opts.Degree
-	if d.gate != nil {
-		if !d.gate.AllowPrefetchEnqueue() {
-			return // ladder at L3: the chain keeps learning, but issues nothing
-		}
-		if degree = d.gate.DegreeCap(degree); degree < 1 {
-			return
-		}
-	}
 	// Throttle: the predicted set must fit comfortably in device memory or
 	// prefetching would evict its own earlier predictions.
 	protectLimit := int64(1) << 62
@@ -292,20 +311,22 @@ func (d *Driver) fillQueue(budget int) {
 		protectLimit = d.opts.CapacityBytes * 4 / sim.BlockSize
 	}
 	for budget > 0 && d.qlen() < maxQueue &&
-		int64(len(d.protected)) < protectLimit &&
-		d.cursor.Kernels()-d.completedInChain < degree {
-		b, exec := d.cursor.Next()
-		if b == um.NoBlock {
+		int64(len(d.protected)) < protectLimit {
+		st := d.pol.Next()
+		switch st.Out {
+		case policy.Pause:
+			return
+		case policy.Dead:
 			d.Stats.PredictionFails++
-			switch d.cursor.DeathCause {
+			switch st.Cause {
 			case "noexec":
 				d.Stats.DeathNoExec++
 			case "skips":
 				d.Stats.DeathSkips++
 			}
-			d.cursor = nil
 			return
 		}
+		b := st.Cmd.Block
 		if _, dup := d.queued[b]; dup {
 			continue
 		}
@@ -314,7 +335,7 @@ func (d *Driver) fillQueue(budget int) {
 		}
 		d.protected[b] = struct{}{}
 		d.queued[b] = struct{}{}
-		d.queue = append(d.queue, PrefetchCommand{Block: b, Exec: exec})
+		d.queue = append(d.queue, st.Cmd)
 		d.Stats.PrefetchIssued++
 		d.noteIssue(b)
 		budget--
@@ -333,13 +354,18 @@ func (d *Driver) SetObserver(rec *obs.Recorder, clock func() int64) {
 }
 
 // SetHealthGate installs the degradation-ladder gate consulted before new
-// speculation is queued; nil disables gating.
-func (d *Driver) SetHealthGate(g HealthGate) { d.gate = g }
+// speculation is queued; nil disables gating. The gate is shared with the
+// policy (enqueue/degree capabilities) while the driver applies the
+// requeue capability itself.
+func (d *Driver) SetHealthGate(g HealthGate) {
+	d.gate = g
+	d.pol.SetGate(g)
+}
 
 // noteIssue emits a prefetch-issue event when tracing is attached.
 func (d *Driver) noteIssue(b um.BlockID) {
 	if d.obs != nil {
-		d.obs.Instant(obs.KindPrefetchIssue, obs.TrackDriver, d.obsClock(), "", int64(b), 0, 0)
+		d.obs.Instant(obs.KindPrefetchIssue, obs.TrackDriver, d.obsClock(), d.pol.Name(), int64(b), 0, 0)
 	}
 }
 
@@ -352,6 +378,7 @@ func (d *Driver) NoteEviction(b um.BlockID) {
 	if !d.opts.Prefetch {
 		return
 	}
+	d.pol.NoteEviction(b)
 	if d.gate != nil && !d.gate.SpeculativeRequeue() {
 		return // ladder at L1+: only the chain itself may issue commands
 	}
@@ -477,7 +504,7 @@ func (d *Driver) DiscardPrefetches() int64 {
 	d.queue = d.queue[:0]
 	d.head = 0
 	clear(d.queued)
-	d.cursor = nil
+	d.pol.Discard()
 	return n
 }
 

@@ -13,11 +13,15 @@ package correlation
 // Format (little-endian throughout):
 //
 //	magic   [8]byte  "DEEPUMCK"
-//	version uint32   (currently 1)
-//	payload          (see encode below)
-//	crc32   uint32   IEEE, over magic+version+payload
+//	version uint32   (currently 2)
+//	nameLen uint32   (v2 only; 1..64)
+//	name    []byte   (v2 only; printable ASCII policy name)
+//	payload          (policy-defined; for "correlation" see encode below)
+//	crc32   uint32   IEEE, over everything preceding it
 //
-// Everything in the payload is written in deterministic order (maps sorted
+// Version 1 streams (pre-policy checkpoints) carry no name field; readers
+// treat them as policy "correlation", so old blobs keep loading. Everything
+// in the correlation payload is written in deterministic order (maps sorted
 // by ExecID, ways and successor lists in MRU order), so encoding the same
 // tables twice yields identical bytes — which the tests exploit.
 
@@ -34,47 +38,103 @@ import (
 // checkpointMagic identifies a DeepUM correlation checkpoint stream.
 var checkpointMagic = [8]byte{'D', 'E', 'E', 'P', 'U', 'M', 'C', 'K'}
 
-// CheckpointVersion is the current encoding version. A reader rejects any
-// other version rather than guessing at the layout.
+// CheckpointVersion is the legacy (nameless) encoding version; readers
+// still accept it and treat it as policy "correlation".
 const CheckpointVersion uint32 = 1
 
-// WriteCheckpoint serializes t (versioned, CRC32-checksummed) to w.
-func WriteCheckpoint(w io.Writer, t *Tables) error {
-	if t == nil {
-		return fmt.Errorf("correlation: cannot checkpoint nil tables")
+// EnvelopeVersion is the current encoding version: the envelope carries the
+// name of the prefetch policy whose warm state the payload holds.
+const EnvelopeVersion uint32 = 2
+
+// maxPolicyNameLen bounds the envelope's policy-name field; the registry
+// never holds names anywhere near it, so anything longer is hostile input.
+const maxPolicyNameLen = 64
+
+// validPolicyName reports whether name fits the envelope contract:
+// non-empty, bounded, printable ASCII with no spaces.
+func validPolicyName(name string) bool {
+	if len(name) == 0 || len(name) > maxPolicyNameLen {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		if c := name[i]; c <= 0x20 || c >= 0x7f {
+			return false
+		}
+	}
+	return true
+}
+
+// WriteEnvelope frames an arbitrary policy payload: magic, version,
+// policy name, payload, CRC32 over everything preceding it.
+func WriteEnvelope(w io.Writer, policyName string, payload []byte) error {
+	if !validPolicyName(policyName) {
+		return fmt.Errorf("correlation: invalid policy name %q in checkpoint envelope", policyName)
 	}
 	var buf bytes.Buffer
 	buf.Write(checkpointMagic[:])
-	writeU32(&buf, CheckpointVersion)
-	encodePayload(&buf, t)
+	writeU32(&buf, EnvelopeVersion)
+	writeU32(&buf, uint32(len(policyName)))
+	buf.WriteString(policyName)
+	buf.Write(payload)
 	writeU32(&buf, crc32.ChecksumIEEE(buf.Bytes()))
 	_, err := w.Write(buf.Bytes())
 	return err
 }
 
-// ReadCheckpoint decodes a checkpoint previously produced by
-// WriteCheckpoint, verifying magic, version, and checksum before touching
-// the payload. It returns fresh tables that share nothing with the stream.
-func ReadCheckpoint(r io.Reader) (*Tables, error) {
+// ReadEnvelope verifies magic, version, and checksum and returns the policy
+// name plus its opaque payload. Version-1 streams (written before the
+// policy seam existed) have no name field and decode as "correlation".
+func ReadEnvelope(r io.Reader) (policyName string, payload []byte, err error) {
 	raw, err := io.ReadAll(r)
 	if err != nil {
-		return nil, fmt.Errorf("correlation: reading checkpoint: %w", err)
+		return "", nil, fmt.Errorf("correlation: reading checkpoint: %w", err)
 	}
 	const minLen = 8 + 4 + 4 // magic + version + crc
 	if len(raw) < minLen {
-		return nil, fmt.Errorf("correlation: checkpoint truncated (%d bytes)", len(raw))
+		return "", nil, fmt.Errorf("correlation: checkpoint truncated (%d bytes)", len(raw))
 	}
 	body, sum := raw[:len(raw)-4], binary.LittleEndian.Uint32(raw[len(raw)-4:])
 	if got := crc32.ChecksumIEEE(body); got != sum {
-		return nil, fmt.Errorf("correlation: checkpoint corrupt: crc mismatch (stored %08x, computed %08x)", sum, got)
+		return "", nil, fmt.Errorf("correlation: checkpoint corrupt: crc mismatch (stored %08x, computed %08x)", sum, got)
 	}
 	if !bytes.Equal(body[:8], checkpointMagic[:]) {
-		return nil, fmt.Errorf("correlation: not a checkpoint (bad magic %q)", body[:8])
+		return "", nil, fmt.Errorf("correlation: not a checkpoint (bad magic %q)", body[:8])
 	}
-	if v := binary.LittleEndian.Uint32(body[8:12]); v != CheckpointVersion {
-		return nil, fmt.Errorf("correlation: unsupported checkpoint version %d (want %d)", v, CheckpointVersion)
+	switch v := binary.LittleEndian.Uint32(body[8:12]); v {
+	case CheckpointVersion:
+		return "correlation", body[12:], nil
+	case EnvelopeVersion:
+		rest := body[12:]
+		if len(rest) < 4 {
+			return "", nil, fmt.Errorf("correlation: checkpoint truncated before policy name")
+		}
+		nameLen := binary.LittleEndian.Uint32(rest)
+		rest = rest[4:]
+		if nameLen == 0 || nameLen > maxPolicyNameLen || int(nameLen) > len(rest) {
+			return "", nil, fmt.Errorf("correlation: checkpoint policy-name length %d invalid (remaining %d bytes)", nameLen, len(rest))
+		}
+		name := string(rest[:nameLen])
+		if !validPolicyName(name) {
+			return "", nil, fmt.Errorf("correlation: checkpoint policy name %q is not printable ASCII", name)
+		}
+		return name, rest[nameLen:], nil
+	default:
+		return "", nil, fmt.Errorf("correlation: unsupported checkpoint version %d (want %d or %d)", v, CheckpointVersion, EnvelopeVersion)
 	}
-	d := &decoder{buf: body[12:]}
+}
+
+// EncodeTables serializes correlation tables to their deterministic
+// checkpoint payload (the body a WriteEnvelope frame wraps).
+func EncodeTables(t *Tables) []byte {
+	var buf bytes.Buffer
+	encodePayload(&buf, t)
+	return buf.Bytes()
+}
+
+// DecodeTables rebuilds tables from an EncodeTables payload. It returns
+// fresh tables that share nothing with the input slice.
+func DecodeTables(payload []byte) (*Tables, error) {
+	d := &decoder{buf: payload}
 	t := decodePayload(d)
 	if d.err != nil {
 		return nil, fmt.Errorf("correlation: decoding checkpoint: %w", d.err)
@@ -83,6 +143,29 @@ func ReadCheckpoint(r io.Reader) (*Tables, error) {
 		return nil, fmt.Errorf("correlation: checkpoint has %d trailing bytes", len(d.buf))
 	}
 	return t, nil
+}
+
+// WriteCheckpoint serializes t (versioned, CRC32-checksummed) to w under
+// the "correlation" policy name.
+func WriteCheckpoint(w io.Writer, t *Tables) error {
+	if t == nil {
+		return fmt.Errorf("correlation: cannot checkpoint nil tables")
+	}
+	return WriteEnvelope(w, "correlation", EncodeTables(t))
+}
+
+// ReadCheckpoint decodes a correlation checkpoint — a v2 envelope carrying
+// policy "correlation", or any legacy v1 stream. Checkpoints written under
+// a different policy are rejected; use ReadEnvelope to dispatch on name.
+func ReadCheckpoint(r io.Reader) (*Tables, error) {
+	name, payload, err := ReadEnvelope(r)
+	if err != nil {
+		return nil, err
+	}
+	if name != "correlation" {
+		return nil, fmt.Errorf("correlation: checkpoint holds policy %q state, not correlation tables", name)
+	}
+	return DecodeTables(payload)
 }
 
 // Config returns the block-table configuration every table of this set is

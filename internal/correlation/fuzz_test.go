@@ -27,6 +27,19 @@ func u32le(v uint32) []byte {
 	return b[:]
 }
 
+// envelopeV2 builds a CRC-valid current-format frame with an arbitrary
+// (possibly hostile) name-length field, name, and payload.
+func envelopeV2(nameLen uint32, name string, payload []byte) []byte {
+	var buf bytes.Buffer
+	buf.Write(checkpointMagic[:])
+	writeU32(&buf, EnvelopeVersion)
+	writeU32(&buf, nameLen)
+	buf.WriteString(name)
+	buf.Write(payload)
+	writeU32(&buf, crc32.ChecksumIEEE(buf.Bytes()))
+	return buf.Bytes()
+}
+
 // FuzzReadCheckpoint feeds ReadCheckpoint adversarial streams. Whatever the
 // input — truncated, bit-flipped, or CRC-valid with hostile length fields —
 // the decoder must either return working tables or an error: never panic,
@@ -72,6 +85,23 @@ func FuzzReadCheckpoint(f *testing.F) {
 		make([]byte, 8+8+8+1), // start/end/last/pending
 		u32le(0x7ffffff0),     // nWays
 	}, nil)))
+	// Current (v2, named) envelopes: a valid frame, and hostile name fields.
+	// The decoder must reject a bad name BEFORE touching the payload; the
+	// correlation reader must reject well-formed frames naming another
+	// policy rather than misparse their payloads as tables.
+	tablesPayload := EncodeTables(buildWarmTables())
+	f.Add(envelopeV2(uint32(len("correlation")), "correlation", tablesPayload))
+	f.Add(envelopeV2(uint32(len("learned")), "learned", []byte{1, 2, 3}))
+	f.Add(envelopeV2(0, "", tablesPayload))                       // zero-length name
+	longName := string(bytes.Repeat([]byte{'p'}, 65))             // one over the cap
+	f.Add(envelopeV2(65, longName, nil))                          //
+	f.Add(envelopeV2(11, "corr\x00lation", tablesPayload))        // NUL inside the name
+	f.Add(envelopeV2(4, "tab\tx", tablesPayload))                 // control char
+	f.Add(envelopeV2(0xffffffff, "correlation", tablesPayload))   // nameLen lies huge
+	f.Add(envelopeV2(64, "correlation", tablesPayload))           // nameLen overruns into payload
+	f.Add(envelope(nil)[:13])                                     // v1 truncated inside version field
+	v2 := envelopeV2(uint32(len("correlation")), "correlation", tablesPayload)
+	f.Add(v2[:14]) // v2 truncated before the name length completes
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		// The input size bounds every legitimate allocation; anything the

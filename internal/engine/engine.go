@@ -8,6 +8,7 @@
 package engine
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
@@ -18,6 +19,11 @@ import (
 	"deepum/internal/correlation"
 	"deepum/internal/health"
 	"deepum/internal/obs"
+
+	// All built-in prefetch policies register themselves so run configs and
+	// discovery listings resolve them anywhere the engine is linked.
+	_ "deepum/internal/policy/gpuvm"
+	_ "deepum/internal/policy/learned"
 	"deepum/internal/sim"
 	"deepum/internal/torchalloc"
 	"deepum/internal/trace"
@@ -144,11 +150,21 @@ type Result struct {
 	FaultsPerIter int64
 	Handler       um.HandlerStats
 	Driver        core.Stats
-	// DriverTableBytes is the correlation-table memory (Table 4).
+	// PrefetchPolicy is the registered name of the prefetch policy the
+	// driver ran ("correlation", "learned", ...); empty for non-DeepUM
+	// system policies.
+	PrefetchPolicy string
+	// DriverTableBytes is the prefetch policy's state memory — the
+	// correlation-table bytes of Table 4 under the default policy.
 	DriverTableBytes int64
 	// Tables exposes the driver's correlation tables for inspection
-	// (cmd/deepum-inspect); nil for non-DeepUM policies.
+	// (cmd/deepum-inspect); nil for non-DeepUM policies and for prefetch
+	// policies that keep no correlation tables.
 	Tables *correlation.Tables
+	// PolicyPayload is the serialized warm state of a non-correlation
+	// prefetch policy (correlation state travels typed through Tables); nil
+	// otherwise.
+	PolicyPayload []byte
 
 	TrafficH2D, TrafficD2H int64
 	PeakAllocBytes         int64
@@ -345,7 +361,11 @@ func newExec(cfg Config) (*exec, error) {
 			}
 			cfg.DriverOptions.TableConfig = e.chaos.ShrinkTables(cfg.DriverOptions.TableConfig)
 		}
-		e.driver = core.NewDriver(cfg.DriverOptions)
+		drv, err := core.NewDriverFor(cfg.DriverOptions)
+		if err != nil {
+			return nil, fmt.Errorf("engine: %w", err)
+		}
+		e.driver = drv
 		policy = e.driver
 		invalidator = e.driver
 		if e.health != nil {
@@ -607,8 +627,16 @@ func (e *exec) run() (*Result, error) {
 			res.DiscardedPrefetches = e.driver.DiscardPrefetches()
 		}
 		res.Driver = e.driver.Stats
-		res.DriverTableBytes = e.driver.Tables().SizeBytes()
+		res.PrefetchPolicy = e.driver.PolicyName()
+		res.DriverTableBytes = e.driver.PolicySizeBytes()
 		res.Tables = e.driver.Tables()
+		if res.Tables == nil {
+			var warm bytes.Buffer
+			if err := e.driver.SavePolicyState(&warm); err != nil {
+				return nil, fmt.Errorf("engine: serializing %s policy state: %w", res.PrefetchPolicy, err)
+			}
+			res.PolicyPayload = warm.Bytes()
+		}
 	}
 	res.Breaker = e.breaker.snapshot()
 	res.Health = e.health.Report()

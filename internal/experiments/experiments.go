@@ -37,6 +37,11 @@ type Options struct {
 	Chaos string
 	// ChaosSeed seeds the injection PRNG; 0 reuses Seed.
 	ChaosSeed int64
+	// Policy names the prefetch policy for the DeepUM runs of each
+	// experiment; empty keeps the paper's correlation prefetcher. The other
+	// UM-side systems (naive UM, LMS, ideal) run no prefetch policy and are
+	// unaffected.
+	Policy string
 }
 
 // DefaultOptions returns the configuration used by the bench harness.
@@ -138,6 +143,9 @@ func runUM(o Options, params sim.Params, spec models.Spec, batch int64,
 	inj, err := o.injector()
 	if err != nil {
 		return nil, err
+	}
+	if o.Policy != "" && policy == engine.PolicyDeepUM {
+		drv.Policy = o.Policy
 	}
 	return engine.Run(engine.Config{
 		Params:        params,

@@ -1,0 +1,180 @@
+package policy_test
+
+import (
+	"bytes"
+	"testing"
+
+	"deepum/internal/correlation"
+	"deepum/internal/policy"
+	"deepum/internal/um"
+
+	_ "deepum/internal/policy/correlation"
+	_ "deepum/internal/policy/gpuvm"
+	_ "deepum/internal/policy/learned"
+)
+
+// newOpts is the construction baseline every round-trip test starts from.
+func newOpts() policy.Options {
+	return policy.Options{
+		Prefetch:    true,
+		Degree:      8,
+		TableConfig: correlation.DefaultBlockTableConfig(),
+	}
+}
+
+// warm drives a policy through a short launch/fault stream with repeated
+// kernels, draining Next between faults, so every policy accumulates
+// learnable state (correlation edges, learned sequences, adapted windows).
+func warm(t *testing.T, p policy.Policy) {
+	t.Helper()
+	stream := []struct {
+		exec   correlation.ExecID
+		faults []um.BlockID
+	}{
+		{1, []um.BlockID{100, 101, 102, 110}},
+		{2, []um.BlockID{200, 202, 204}},
+		{3, []um.BlockID{300, 301}},
+		{1, []um.BlockID{100, 101, 102, 111}},
+		{2, []um.BlockID{200, 202, 206}},
+		{3, []um.BlockID{300, 301}},
+	}
+	for _, k := range stream {
+		p.KernelLaunch(k.exec)
+		for _, b := range k.faults {
+			p.OnFault(b)
+			for i := 0; i < 32; i++ {
+				if st := p.Next(); st.Out != policy.Emit {
+					break
+				}
+			}
+		}
+		p.KernelComplete(k.exec)
+	}
+}
+
+// save captures a policy's checkpoint payload.
+func save(t *testing.T, p policy.Policy) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := p.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// TestPolicyCheckpointRoundTrip exercises every registered policy's Save /
+// WarmPayload pair: the encoding is deterministic, a saved payload
+// constructs a fresh instance, the payload frames through the checkpoint
+// envelope losslessly, and hostile payloads (truncation, trailing bytes)
+// are rejected at construction — never absorbed silently.
+func TestPolicyCheckpointRoundTrip(t *testing.T) {
+	for _, name := range policy.Names() {
+		t.Run(name, func(t *testing.T) {
+			p, err := policy.New(name, newOpts())
+			if err != nil {
+				t.Fatalf("New: %v", err)
+			}
+			warm(t, p)
+
+			p1 := save(t, p)
+			if p2 := save(t, p); !bytes.Equal(p1, p2) {
+				t.Fatal("Save is not deterministic: two saves of the same state differ")
+			}
+
+			// The payload must frame through the envelope losslessly under
+			// its policy name.
+			var env bytes.Buffer
+			if err := correlation.WriteEnvelope(&env, name, p1); err != nil {
+				t.Fatalf("WriteEnvelope: %v", err)
+			}
+			gotName, gotPayload, err := correlation.ReadEnvelope(bytes.NewReader(env.Bytes()))
+			if err != nil {
+				t.Fatalf("ReadEnvelope: %v", err)
+			}
+			if gotName != name || !bytes.Equal(gotPayload, p1) {
+				t.Fatalf("envelope round trip: got (%q, %d bytes), want (%q, %d bytes)",
+					gotName, len(gotPayload), name, len(p1))
+			}
+
+			// A saved payload must construct a fresh instance of its policy.
+			opts := newOpts()
+			opts.WarmPayload = p1
+			restored, err := policy.New(name, opts)
+			if err != nil {
+				t.Fatalf("New from own Save output: %v", err)
+			}
+			if restored.Name() != name {
+				t.Fatalf("restored policy names itself %q, want %q", restored.Name(), name)
+			}
+
+			// Hostile payloads: truncation mid-stream and appended garbage
+			// must both fail construction.
+			if len(p1) > 2 {
+				bad := newOpts()
+				bad.WarmPayload = p1[:len(p1)/2+1]
+				if _, err := policy.New(name, bad); err == nil {
+					t.Error("truncated payload accepted")
+				}
+			}
+			trailing := newOpts()
+			trailing.WarmPayload = append(bytes.Clone(p1), 0xde, 0xad)
+			if _, err := policy.New(name, trailing); err == nil {
+				t.Error("payload with trailing garbage accepted")
+			}
+		})
+	}
+}
+
+// TestCorrelationPayloadFixedPoint pins the strongest property the
+// correlation policy has: Save -> restore -> Save reproduces the payload
+// byte for byte (the table encoding is canonical).
+func TestCorrelationPayloadFixedPoint(t *testing.T) {
+	p, err := policy.New("correlation", newOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm(t, p)
+	p1 := save(t, p)
+	opts := newOpts()
+	opts.WarmPayload = p1
+	restored, err := policy.New("correlation", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2 := save(t, restored); !bytes.Equal(p1, p2) {
+		t.Fatalf("correlation payload not a fixed point: %d -> %d bytes", len(p1), len(p2))
+	}
+}
+
+// TestLearnedRestoreReplaysSequence pins what a learned-policy checkpoint
+// is FOR: a restored instance, relaunched on a remembered kernel, replays
+// that kernel's saved fault sequence from the first fault — the warm-up
+// the checkpoint was supposed to skip.
+func TestLearnedRestoreReplaysSequence(t *testing.T) {
+	p, err := policy.New("learned", newOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm(t, p)
+	payload := save(t, p)
+
+	opts := newOpts()
+	opts.WarmPayload = payload
+	restored, err := policy.New("learned", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Kernel 1's last committed sequence (from warm's stream) begins
+	// 100, 101, 102; fault on 100 and the replay must emit 101 then 102.
+	restored.KernelLaunch(1)
+	if !restored.OnFault(100) {
+		t.Fatal("restored policy did not restart prediction on a remembered block")
+	}
+	want := []um.BlockID{101, 102}
+	for i, w := range want {
+		st := restored.Next()
+		if st.Out != policy.Emit || st.Cmd.Block != w {
+			t.Fatalf("replay step %d: got out=%d block=%d, want Emit %d", i, st.Out, st.Cmd.Block, w)
+		}
+	}
+}

@@ -21,6 +21,10 @@ type RunSpec struct {
 	Batch   int64  `json:"batch"`
 	// System names the memory-management system; empty means DeepUM.
 	System string `json:"system,omitempty"`
+	// Policy names the prefetch policy for DeepUM runs; empty selects the
+	// default (correlation). Serving layers validate it at admission so an
+	// unknown name is a typed client error, never a failed run.
+	Policy string `json:"policy,omitempty"`
 	// Scale divides model and machine sizes (0 = runner default).
 	Scale      int64 `json:"scale,omitempty"`
 	Iterations int   `json:"iterations,omitempty"`

@@ -1,0 +1,64 @@
+package deepum
+
+import (
+	"testing"
+
+	"deepum/internal/sim"
+	"deepum/internal/um"
+)
+
+// HandleGroupsPerf is one measured sample of the fault-handler hot path:
+// the demand-migration cycle (evict-free Remove + HandleGroups of one
+// populated block) that every simulated page fault rides through. The
+// numbers are host wall-clock costs of the simulator itself — the
+// ROADMAP's perf trajectory tracks them across PRs so a regression in the
+// handler shows up in BENCH_N.json, not just in slower CI.
+type HandleGroupsPerf struct {
+	// NsPerOp is wall nanoseconds per Remove+HandleGroups cycle.
+	NsPerOp float64 `json:"ns_per_op"`
+	// AllocsPerOp is heap allocations per cycle; the handler's
+	// nil-observer contract pins this to zero.
+	AllocsPerOp int64 `json:"allocs_per_op"`
+	// Iterations is how many cycles testing.Benchmark settled on.
+	Iterations int `json:"iterations"`
+}
+
+// MeasureHandleGroups benchmarks the untraced fault-handler demand path
+// with testing.Benchmark and returns its cost. It mirrors the in-package
+// BenchmarkHandleGroups (internal/um) so tooling outside the test binary —
+// deepum-bench -json — can emit the same figure.
+func MeasureHandleGroups() HandleGroupsPerf {
+	r := testing.Benchmark(func(b *testing.B) {
+		p := sim.DefaultParams()
+		p.GPUMemory = 10 * sim.BlockSize
+		s := um.NewSpace(0)
+		h := &um.Handler{
+			Params:      p,
+			Space:       s,
+			Res:         um.NewResidency(s, p.GPUMemory),
+			Link:        sim.NewDuplex(p, nil),
+			Policy:      um.LRMPolicy{},
+			Invalidator: um.NoInvalidate{},
+		}
+		a, err := s.Malloc(sim.BlockSize)
+		if err != nil {
+			b.Fatal(err)
+		}
+		blk := um.BlockOf(a)
+		s.Block(blk).HostPopulated = true
+		groups := []um.FaultGroup{{Block: blk, Count: sim.PagesPerBlock}}
+		now := h.HandleGroups(0, groups)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			h.Res.Remove(blk)
+			now = h.HandleGroups(now, groups)
+		}
+		_ = now
+	})
+	return HandleGroupsPerf{
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: r.AllocsPerOp(),
+		Iterations:  r.N,
+	}
+}

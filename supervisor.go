@@ -109,6 +109,7 @@ func (trainRunner) run(ctx context.Context, spec RunSpec, resume []byte, progres
 	}
 	cfg.Chaos = spec.Chaos
 	cfg.ChaosSeed = spec.ChaosSeed
+	cfg.Policy = spec.Policy
 	if spec.Health {
 		opt := HealthOptions{}
 		if healthFn != nil {
@@ -120,12 +121,14 @@ func (trainRunner) run(ctx context.Context, spec RunSpec, resume []byte, progres
 		if cfg.System != SystemDeepUM {
 			return supervisor.Outcome{}, fmt.Errorf("deepum: resume checkpoint for system %q (only deepum has warm state)", cfg.System)
 		}
-		st, err := LoadCheckpoint(bytes.NewReader(resume))
+		st, err := LoadPolicyCheckpoint(bytes.NewReader(resume))
 		if err != nil {
 			return supervisor.Outcome{}, fmt.Errorf("deepum: decoding resume checkpoint: %w", err)
 		}
-		cfg.Resume = st
-		// Tables are warm; one warmup iteration rebuilds GPU residency.
+		cfg.ResumeState = st
+		// TrainContext rejects a spec whose Policy disagrees with the
+		// envelope's recorded policy name.
+		// Policy state is warm; one warmup iteration rebuilds GPU residency.
 		cfg.Warmup = 1
 	}
 	progress(nil) // liveness before the first (potentially long) chunk
@@ -159,7 +162,8 @@ func (trainRunner) run(ctx context.Context, spec RunSpec, resume []byte, progres
 		if res.Status.Interrupted() || res.Iterations == 0 {
 			return agg.outcome(res, ck), nil
 		}
-		cfg.Resume = res.Warm
+		cfg.Resume = nil
+		cfg.ResumeState = PolicyCheckpointOf(res)
 		cfg.Warmup = 1
 		if agg.iterations >= total {
 			return agg.outcome(res, ck), nil
@@ -169,13 +173,15 @@ func (trainRunner) run(ctx context.Context, spec RunSpec, resume []byte, progres
 	return supervisor.Outcome{}, fmt.Errorf("deepum: chunked run fell through")
 }
 
-// checkpointBytes serializes a run's warm state, or nil when there is none.
+// checkpointBytes serializes a run's warm policy state (any prefetch
+// policy), or nil when there is none.
 func checkpointBytes(res *Result) []byte {
-	if res.Warm == nil {
+	st := PolicyCheckpointOf(res)
+	if st == nil {
 		return nil
 	}
 	var buf bytes.Buffer
-	if err := SaveCheckpoint(&buf, res.Warm); err != nil {
+	if err := SavePolicyCheckpoint(&buf, st); err != nil {
 		return nil
 	}
 	return buf.Bytes()

@@ -25,6 +25,7 @@ import (
 	"sort"
 
 	"deepum/internal/admission"
+	"deepum/internal/arbiter"
 	"deepum/internal/chaos"
 	"deepum/internal/core"
 	"deepum/internal/correlation"
@@ -231,7 +232,21 @@ const (
 	RunDeadlineExceeded = supervisor.StateDeadlineExceeded
 	RunDegraded         = supervisor.StateDegraded
 	RunFailed           = supervisor.StateFailed
+	// RunSuspended is non-terminal: the oversubscription arbiter
+	// checkpointed the run out of execution under memory pressure; it
+	// resumes from its warm state once headroom exists.
+	RunSuspended = supervisor.StateSuspended
 )
+
+// ArbiterStats re-exports the oversubscription arbiter's aggregate snapshot
+// (SupervisorStats.Arbiter): budget, granted floors and bursts, the smoothed
+// pressure signal, and revoke/restore/suspend counters.
+type ArbiterStats = arbiter.Stats
+
+// ArbiterOptions re-exports the arbiter's tuning knobs for
+// SupervisorConfig.Arbiter; the zero value (with Budget filled from
+// GPUMemoryBudget) selects the defaults.
+type ArbiterOptions = arbiter.Options
 
 // Typed admission and lookup failures, re-exported so callers can branch
 // on rejection kind (retry later vs. reject outright) with errors.As
@@ -257,6 +272,10 @@ var (
 	ErrShuttingDown = supervisor.ErrShuttingDown
 	// ErrRunAlreadyFinished rejects Cancel on a terminal run.
 	ErrRunAlreadyFinished = supervisor.ErrAlreadyFinished
+	// ErrRunNotSuspended rejects Resume on a run that is not suspended.
+	ErrRunNotSuspended = supervisor.ErrNotSuspended
+	// ErrRunNotRunning rejects Suspend on a run that is not executing.
+	ErrRunNotRunning = supervisor.ErrNotRunning
 )
 
 

@@ -81,6 +81,7 @@ func runStore(args []string) {
 		refRecords    int
 		inlineRecords int
 		dangling      = map[store.Key][]string{} // key -> "journal#run" holders
+		live          = map[store.Key]bool{}     // latest refs of unfinished runs
 	)
 	for _, jpath := range fs.Args()[1:] {
 		type latest struct {
@@ -125,6 +126,7 @@ func runStore(args []string) {
 			if !l.isRef || l.finished {
 				continue
 			}
+			live[l.key] = true
 			if rep.Index[l.key] == 0 {
 				dangling[l.key] = append(dangling[l.key],
 					fmt.Sprintf("%s#run%d", jpath, id))
@@ -135,6 +137,21 @@ func runStore(args []string) {
 	if fs.NArg() > 1 {
 		fmt.Printf("\n== journal cross-check: %d journal(s) ==\n", fs.NArg()-1)
 		fmt.Printf("checkpoint records   %d by reference, %d inline\n", refRecords, inlineRecords)
+		// Garbage ratio: the fraction of store keys no unfinished run's
+		// latest reference holds — what a compaction against these journals
+		// would reclaim (supervisors auto-compact past
+		// Config.StoreGCThreshold; federations via Federation.StoreGC).
+		if rep.Keys > 0 {
+			liveKeys := 0
+			for k := range live {
+				if rep.Index[k] > 0 {
+					liveKeys++
+				}
+			}
+			garbage := rep.Keys - liveKeys
+			fmt.Printf("garbage              %d of %d key(s) unreferenced (ratio %.2f; reclaimable by compaction)\n",
+				garbage, rep.Keys, float64(garbage)/float64(rep.Keys))
+		}
 		if len(dangling) == 0 {
 			fmt.Printf("references           every unfinished run's latest reference resolves\n")
 		} else {

@@ -21,10 +21,17 @@
 //
 //	deepum-serve -addr :8080 -journal runs.journal -store ck.store -scrub-every 1m
 //
+// With -oversubscribe (and a positive -gpu-budget), aggregate demand may
+// exceed the budget: the memory arbiter hands every admitted run a
+// guaranteed floor plus a revocable burst, revokes bursts under sustained
+// pressure, and as a last resort suspends a victim to its checkpoint
+// (state "suspended" in GET /runs/{id}) until headroom returns.
+//
 //	POST /runs              submit a run (RunSpec JSON) -> {"id": N}
 //	GET  /runs              list all runs
 //	GET  /runs/{id}         one run's snapshot
 //	POST /runs/{id}/cancel  request cancellation
+//	POST /runs/{id}/resume  force-resume a suspended run (409 otherwise)
 //	GET  /healthz           process liveness
 //	GET  /readyz            admission readiness (503 while draining)
 //	GET  /shards            per-shard status (federation mode)
@@ -54,6 +61,8 @@ func main() {
 		workers      = flag.Int("workers", 4, "concurrent training runs")
 		queue        = flag.Int("queue", 16, "submission queue depth (backpressure bound)")
 		gpuBudget    = flag.Int64("gpu-budget", 0, "simulated GPU memory budget in bytes shared by all runs (0 = unlimited)")
+		oversub      = flag.Bool("oversubscribe", false, "admit runs past -gpu-budget under the memory arbiter (soft grants, burst revocation, suspend-to-checkpoint) instead of hard quota rejections")
+		storeGC      = flag.Float64("store-gc", 0, "compact the checkpoint store when its garbage ratio exceeds this fraction (0 = no automatic GC; single-supervisor mode with -store)")
 		journalPath  = flag.String("journal", "", "crash-safe run journal path (empty = no persistence; single-supervisor mode)")
 		storePath    = flag.String("store", "", "content-addressed checkpoint store path; journals then carry 16-byte references instead of blobs (empty = inline checkpoints)")
 		storeReplica = flag.Int("store-replicas", 2, "frames written per checkpoint blob; 2 lets the scrubber repair bit rot from the surviving twin")
@@ -76,12 +85,17 @@ func main() {
 		return
 	}
 	cfg := deepum.SupervisorConfig{
-		Workers:         *workers,
-		QueueDepth:      *queue,
-		GPUMemoryBudget: *gpuBudget,
-		WatchdogTimeout: *watchdog,
-		JournalPath:     *journalPath,
-		ChaosSeed:       *chaosSeed,
+		Workers:          *workers,
+		QueueDepth:       *queue,
+		GPUMemoryBudget:  *gpuBudget,
+		Oversubscribe:    *oversub,
+		WatchdogTimeout:  *watchdog,
+		JournalPath:      *journalPath,
+		ChaosSeed:        *chaosSeed,
+		StoreGCThreshold: *storeGC,
+	}
+	if *oversub && *gpuBudget <= 0 {
+		log.Fatalf("deepum-serve: -oversubscribe requires a positive -gpu-budget (the arbiter needs a budget to arbitrate)")
 	}
 	if *chaosName != "" {
 		sc, err := deepum.SupervisorChaosScenarioByName(*chaosName)

@@ -23,6 +23,9 @@ type backend interface {
 	SubmitWithOptions(deepum.RunSpec, deepum.SubmitOptions) (uint64, bool, error)
 	Get(uint64) (deepum.RunInfo, error)
 	Cancel(uint64) error
+	// Resume force-resumes a suspended run (operator override of the
+	// oversubscription arbiter's headroom gate).
+	Resume(uint64) error
 	List() []deepum.RunInfo
 	Accepting() bool
 	// RetryAfterHint prices a jittered Retry-After from the admission
@@ -72,6 +75,7 @@ func buildServer(s *server, requestTimeout time.Duration) http.Handler {
 	mux.HandleFunc("GET /runs", s.list)
 	mux.HandleFunc("GET /runs/{id}", s.get)
 	mux.HandleFunc("POST /runs/{id}/cancel", s.cancel)
+	mux.HandleFunc("POST /runs/{id}/resume", s.resume)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
@@ -279,6 +283,31 @@ func (s *server) cancel(w http.ResponseWriter, r *http.Request) {
 	case errors.As(err, &nf):
 		writeError(w, http.StatusNotFound, err)
 	case errors.Is(err, deepum.ErrRunAlreadyFinished):
+		writeError(w, http.StatusConflict, err)
+	default:
+		writeError(w, http.StatusInternalServerError, err)
+	}
+}
+
+// resume force-resumes an arbiter-suspended run. 409 tells the client the
+// run is not suspended right now (already resumed, still running, or
+// terminal) — a state conflict, not a missing resource.
+func (s *server) resume(w http.ResponseWriter, r *http.Request) {
+	id, ok := runID(w, r)
+	if !ok {
+		return
+	}
+	err := s.b.Resume(id)
+	var nf *deepum.RunNotFoundError
+	var he *deepum.ShardHandoffError
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusOK, map[string]string{"status": "resuming"})
+	case errors.As(err, &he):
+		s.rejectHandoff(w, he, err)
+	case errors.As(err, &nf):
+		writeError(w, http.StatusNotFound, err)
+	case errors.Is(err, deepum.ErrRunNotSuspended):
 		writeError(w, http.StatusConflict, err)
 	default:
 		writeError(w, http.StatusInternalServerError, err)

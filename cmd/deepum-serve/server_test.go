@@ -399,6 +399,7 @@ func (f *fakeBackend) SubmitWithOptions(deepum.RunSpec, deepum.SubmitOptions) (u
 }
 func (f *fakeBackend) Get(uint64) (deepum.RunInfo, error) { return deepum.RunInfo{ID: 1}, nil }
 func (f *fakeBackend) Cancel(uint64) error                { return nil }
+func (f *fakeBackend) Resume(uint64) error                { return nil }
 func (f *fakeBackend) List() []deepum.RunInfo             { return nil }
 func (f *fakeBackend) Accepting() bool                    { return true }
 func (f *fakeBackend) RetryAfterHint() time.Duration      { return f.hint }

@@ -1,0 +1,276 @@
+package main
+
+// Contention-storm soak (-contention): the multi-tenant oversubscription
+// drill. -con-runs wall-paced stub runs whose aggregate memory demand is a
+// multiple of the GPU budget (each run demands 40% of it, so 8 runs = 3.2x
+// oversubscription) are admitted together under the arbiter. The sustained
+// pressure must walk the whole escalation ladder — soft grants, burst
+// revocation, suspend-to-checkpoint — and every run must still finish:
+//
+//   - no submission is rejected with a hard QuotaError (every run fits the
+//     budget alone, so rejecting any of them is the wart this mode guards
+//     against),
+//   - every run reaches completed with its AccessChecksum equal to the
+//     solo oracle for its seed (a suspended-and-resumed run is
+//     bit-identical to an uninterrupted one),
+//   - at least one suspend-to-checkpoint cycle actually happened, and at
+//     least one burst revocation preceded it (suspension is the last rung,
+//     not the first),
+//   - no run is lost or duplicated, and the harness leaks no goroutines
+//     after drain.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"runtime"
+	"time"
+
+	"deepum"
+)
+
+type contentionOptions struct {
+	runs    int // concurrent runs; aggregate demand = runs * 40% of budget
+	workers int
+	iters   int
+	seed    int64
+}
+
+const (
+	// conBudget is the simulated GPU budget; each run demands 40% of it.
+	conBudget   = int64(1) << 30
+	conDemand   = conBudget * 2 / 5
+	conCkptEach = 10
+	// conPace is the wall time per iteration: slow enough that the arbiter's
+	// sustain windows elapse mid-run, fast enough to keep the soak brisk.
+	conPace = time.Millisecond
+)
+
+// conExpect is the solo oracle: the checksum an uninterrupted, solo
+// execution of (seed, iters) produces — the same fold as the federation
+// soak's, generalized over the iteration count.
+func conExpect(seed int64, iters int) uint64 {
+	h := fedSeedBase(seed)
+	for i := 0; i < iters; i++ {
+		h = fedStep(h, seed, i)
+	}
+	return h
+}
+
+// contentionRunner is the wall-paced stub: one hash-fold iteration per
+// conPace tick, checkpointing every conCkptEach iterations. On context
+// cancellation — the arbiter's suspend path — it reports a cancelled
+// partial outcome carrying its complete state as the checkpoint, so a
+// resumed execution is bit-identical by construction.
+func contentionRunner() deepum.Runner {
+	return deepum.RunnerFunc(func(ctx context.Context, spec deepum.RunSpec, resume []byte, progress func([]byte)) (deepum.RunOutcome, error) {
+		st := fedCkpt{Hash: fedSeedBase(spec.Seed)}
+		if len(resume) > 0 {
+			if err := json.Unmarshal(resume, &st); err != nil {
+				return deepum.RunOutcome{}, err
+			}
+		}
+		tick := time.NewTicker(conPace)
+		defer tick.Stop()
+		for st.Iter < spec.Iterations {
+			select {
+			case <-ctx.Done():
+				b, err := json.Marshal(st)
+				if err != nil {
+					return deepum.RunOutcome{}, err
+				}
+				return deepum.RunOutcome{
+					Status:         string(deepum.RunCancelled),
+					Iterations:     st.Iter,
+					AccessChecksum: st.Hash,
+					Checkpoint:     b,
+				}, nil
+			case <-tick.C:
+			}
+			st.Hash = fedStep(st.Hash, spec.Seed, st.Iter)
+			st.Iter++
+			if st.Iter%conCkptEach == 0 && st.Iter < spec.Iterations {
+				b, err := json.Marshal(st)
+				if err != nil {
+					return deepum.RunOutcome{}, err
+				}
+				progress(b)
+			}
+		}
+		return deepum.RunOutcome{
+			Status:         string(deepum.RunCompleted),
+			Iterations:     st.Iter,
+			AccessChecksum: st.Hash,
+		}, nil
+	})
+}
+
+// runContentionSoak executes the drill and returns the process exit code.
+func runContentionSoak(opts contentionOptions) int {
+	if opts.runs < 8 {
+		opts.runs = 8
+	}
+	if opts.workers < opts.runs {
+		// Every run gets a worker: contention must come from memory, not
+		// from worker starvation hiding the oversubscription.
+		opts.workers = opts.runs
+	}
+	if opts.iters <= 0 {
+		opts.iters = 300
+	}
+	startGoroutines := runtime.NumGoroutine()
+	start := time.Now()
+
+	sup, err := deepum.NewSupervisor(deepum.SupervisorConfig{
+		Runner:          contentionRunner(),
+		Estimate:        func(deepum.RunSpec) (int64, error) { return conDemand, nil },
+		Workers:         opts.workers,
+		QueueDepth:      opts.runs,
+		GPUMemoryBudget: conBudget,
+		Oversubscribe:   true,
+		// Brisk escalation so the ladder is walked within a few hundred
+		// milliseconds of wall time; the thresholds stay at their defaults.
+		Arbiter: deepum.ArbiterOptions{
+			HalfLife: (10 * time.Millisecond).Nanoseconds(),
+			Sustain:  (30 * time.Millisecond).Nanoseconds(),
+		},
+		ArbiterTick: 5 * time.Millisecond,
+	})
+	if err != nil {
+		fmt.Printf("FAIL contention soak: %v\n", err)
+		return 1
+	}
+	aggregate := float64(int64(opts.runs)*conDemand) / float64(conBudget)
+	fmt.Printf("contention %d runs x %d iters, demand %.1fx budget, %d workers\n",
+		opts.runs, opts.iters, aggregate, opts.workers)
+
+	failures := 0
+	ids := make([]uint64, 0, opts.runs)
+	seeds := map[uint64]int64{}
+	for i := 0; i < opts.runs; i++ {
+		seed := opts.seed*1000 + int64(i) + 1
+		// Two priority classes so revocation and suspension exercise the
+		// lowest-priority-first victim policy.
+		id, _, err := sup.SubmitWithOptions(0, deepum.RunSpec{
+			Model:           "bert-base",
+			Batch:           8,
+			Seed:            seed,
+			Iterations:      opts.iters,
+			CheckpointEvery: conCkptEach,
+		}, deepum.SubmitOptions{Priority: i % 2})
+		if err != nil {
+			// A QuotaError here is exactly the regression this soak exists
+			// to catch: each run fits the budget alone, so oversubscribed
+			// admission must never hard-reject it.
+			var q *deepum.QuotaError
+			if errors.As(err, &q) {
+				fmt.Printf("FAIL submit run %d: hard quota rejection for an individually-fitting run: %v\n", i, err)
+			} else {
+				fmt.Printf("FAIL submit run %d: %v\n", i, err)
+			}
+			failures++
+			continue
+		}
+		ids = append(ids, id)
+		seeds[id] = seed
+	}
+
+	badState, badSum := 0, 0
+	for _, id := range ids {
+		done, err := sup.Done(id)
+		if err != nil {
+			fmt.Printf("FAIL done chan run %d: %v\n", id, err)
+			failures++
+			continue
+		}
+		select {
+		case <-done:
+		case <-time.After(5 * time.Minute):
+			fmt.Printf("FAIL run %d did not finish within 5m\n", id)
+			failures++
+			continue
+		}
+		info, err := sup.Get(id)
+		if err != nil {
+			fmt.Printf("FAIL get run %d: %v\n", id, err)
+			failures++
+			continue
+		}
+		if info.State != deepum.RunCompleted {
+			if badState == 0 {
+				fmt.Printf("FAIL run %d ended %s (%s)\n", id, info.State, info.Reason)
+			}
+			badState++
+			continue
+		}
+		if want := conExpect(seeds[id], opts.iters); info.Outcome.AccessChecksum != want {
+			if badSum == 0 {
+				fmt.Printf("FAIL run %d checksum %016x, want %016x (seed %d, %d suspend(s))\n",
+					id, info.Outcome.AccessChecksum, want, seeds[id], info.Suspends)
+			}
+			badSum++
+		}
+	}
+	if badState > 0 {
+		failures++
+		fmt.Printf("FAIL %d run(s) did not complete\n", badState)
+	}
+	if badSum > 0 {
+		failures++
+		fmt.Printf("FAIL %d run(s) diverged from the solo checksum\n", badSum)
+	}
+
+	// No run lost, none duplicated: the roster holds exactly the accepted
+	// IDs, each one terminal exactly once.
+	roster := map[uint64]int{}
+	for _, info := range sup.List() {
+		roster[info.ID]++
+	}
+	lost, dup := 0, 0
+	for _, id := range ids {
+		switch n := roster[id]; {
+		case n == 0:
+			lost++
+		case n > 1:
+			dup++
+		}
+	}
+	if lost > 0 || dup > 0 || len(roster) != len(ids) {
+		failures++
+		fmt.Printf("FAIL run accounting: %d lost, %d duplicated, %d rostered (want %d)\n",
+			lost, dup, len(roster), len(ids))
+	}
+
+	st := sup.Stats()
+	if st.Suspends < 1 || st.Resumes < 1 {
+		failures++
+		fmt.Printf("FAIL escalation: %d suspend(s), %d resume(s); the storm must force at least one suspend-to-checkpoint cycle\n",
+			st.Suspends, st.Resumes)
+	}
+	if st.Arbiter.Revocations < 1 {
+		failures++
+		fmt.Printf("FAIL escalation order: no burst revocation recorded before suspension\n")
+	}
+	fmt.Printf("arbiter    %d grant(s), %d revocation(s), %d restore(s), %d suspension(s), %d resume(s), peak pressure path complete\n",
+		st.Arbiter.Grants, st.Arbiter.Revocations, st.Arbiter.Restores, st.Suspends, st.Resumes)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := sup.Drain(ctx); err != nil {
+		failures++
+		fmt.Printf("FAIL drain: %v\n", err)
+	}
+	if leaked := goroutineLeak(startGoroutines); leaked > 0 {
+		failures++
+		fmt.Printf("FAIL goroutines: %d leaked (started with %d)\n", leaked, startGoroutines)
+	}
+
+	if failures > 0 {
+		fmt.Printf("contention soak FAILED: %d failure(s) in %v\n", failures, time.Since(start).Round(time.Millisecond))
+		return 1
+	}
+	fmt.Printf("contention soak OK: %d runs at %.1fx budget all completed bit-identical, %d suspend/resume cycle(s), %v\n",
+		len(ids), aggregate, st.Suspends, time.Since(start).Round(time.Millisecond))
+	return 0
+}

@@ -88,6 +88,11 @@ func main() {
 		fedStore   = flag.Bool("fed-store", false, "federation soak: back checkpoints with a shared content-addressed store and audit every journal reference after the storm")
 
 		retryStorm = flag.Bool("retry-storm", false, "run the exactly-once retry-storm soak (aggressive-timeout clients + idempotency keys through a mid-storm shard kill); shares the -fed-* sizing flags")
+
+		contention = flag.Bool("contention", false, "run the multi-tenant oversubscription soak: concurrent runs demanding a multiple of the GPU budget under the memory arbiter, suspend-to-checkpoint included")
+		conRuns    = flag.Int("con-runs", 8, "contention soak: concurrent runs (each demands 40% of the budget)")
+		conWorkers = flag.Int("con-workers", 8, "contention soak: worker pool size (raised to -con-runs if smaller)")
+		conIters   = flag.Int("con-iters", 300, "contention soak: wall-paced iterations per run")
 	)
 	flag.Parse()
 	if os.Getenv("DEEPUM_SOAK_SHORT") != "" {
@@ -95,8 +100,19 @@ func main() {
 		if *fedRuns > 2000 {
 			*fedRuns = 2000
 		}
+		if *conIters > 150 {
+			*conIters = 150
+		}
 	}
 
+	if *contention {
+		os.Exit(runContentionSoak(contentionOptions{
+			runs:    *conRuns,
+			workers: *conWorkers,
+			iters:   *conIters,
+			seed:    *seed,
+		}))
+	}
 	if *retryStorm {
 		os.Exit(runRetryStorm(retryStormOptions{
 			runs:    *fedRuns,

@@ -49,6 +49,17 @@ type SupervisorScenario struct {
 	// or degraded to a cold restart, and no run is lost or duplicated.
 	DiskFault bool
 
+	// ContentionStorm marks the multi-tenant oversubscription pattern:
+	// concurrent runs whose aggregate memory demand is a multiple of the
+	// GPU budget are admitted under the oversubscription arbiter, driving
+	// sustained pressure through burst revocation into suspend-to-
+	// checkpoint. Driven by the arbiter tests and the deepum-soak
+	// -contention mode; the contract is that every admitted run completes
+	// (no hard QuotaError for a run that fits the budget alone), at least
+	// one run survives a suspend/resume cycle, no run is lost or
+	// duplicated, and every AccessChecksum matches the solo oracle.
+	ContentionStorm bool
+
 	// RetryStorm marks the exactly-once admission pattern: aggressive-
 	// timeout HTTP clients whose transport injects timeouts-after-send
 	// (the server admitted the submission, the client never learned)
@@ -98,6 +109,11 @@ func builtinSupervisor() []SupervisorScenario {
 			Name:        "disk-fault",
 			Description: "torn writes, bit flips, failed fsyncs, ENOSPC and crash-at-boundary kills injected under the checkpoint store; committed checkpoints survive, corruption is repaired or degraded to cold restart",
 			DiskFault:   true,
+		},
+		{
+			Name:            "contention-storm",
+			Description:     "concurrent runs demanding a multiple of the GPU budget under the oversubscription arbiter; bursts revoked, victims suspended to checkpoint and resumed, every run completes with its solo checksum",
+			ContentionStorm: true,
 		},
 		{
 			Name:        "retry-storm",

@@ -213,6 +213,13 @@ func New(cfg Config) (*Federation, error) {
 		ordinals[i] = i
 		scfg := cfg.Supervisor
 		scfg.JournalPath = filepath.Join(cfg.JournalDir, fmt.Sprintf("shard-%d.journal", i))
+		if f.store != nil {
+			// Per-shard auto-GC is only safe for a store with one writer; a
+			// shard compacting the shared store against its own live set
+			// would drop its peers' checkpoints. The federation-level
+			// StoreGC method compacts against the union instead.
+			scfg.StoreGCThreshold = 0
+		}
 		sup, err := supervisor.New(scfg)
 		if err != nil {
 			for _, sh := range f.shards {
@@ -431,6 +438,19 @@ func (f *Federation) Cancel(id uint64) error {
 		return err
 	}
 	if err := sh.sup.Cancel(id); err != nil {
+		return &ShardError{Shard: sh.ordinal, Err: err}
+	}
+	return nil
+}
+
+// Resume force-resumes a suspended run on its owning shard, bypassing the
+// arbiter's headroom gate (operator override).
+func (f *Federation) Resume(id uint64) error {
+	sh, err := f.route(id)
+	if err != nil {
+		return err
+	}
+	if err := sh.sup.Resume(id); err != nil {
 		return &ShardError{Shard: sh.ordinal, Err: err}
 	}
 	return nil
@@ -700,6 +720,7 @@ type ShardStats struct {
 	Journal        string `json:"journal"`
 	Queued         int    `json:"queued"`
 	Running        int    `json:"running"`
+	Suspended      int    `json:"suspended,omitempty"`
 	Terminal       int    `json:"terminal"`
 	// Recovered counts runs replayed from the shard's own journal at start;
 	// Adopted counts runs taken over from dead peers.
@@ -728,6 +749,7 @@ func (f *Federation) Shards() []ShardStats {
 			Journal:        sh.journal,
 			Queued:         st.Queued,
 			Running:        st.Running,
+			Suspended:      st.Suspended,
 			Terminal:       st.Terminal,
 			Recovered:      st.Recovered,
 			Adopted:        st.Adopted,
@@ -745,7 +767,12 @@ type Stats struct {
 	NextID     uint64 `json:"next_id"`
 	Queued     int    `json:"queued"`
 	Running    int    `json:"running"`
+	Suspended  int    `json:"suspended"`
 	Terminal   int    `json:"terminal"`
+	// Suspends and Resumes total the arbiter suspend-to-checkpoint cycles
+	// across live shards.
+	Suspends int64 `json:"suspends"`
+	Resumes  int64 `json:"resumes"`
 	// Adopted totals runs adopted across all shards (non-terminal).
 	Adopted int `json:"adopted"`
 	// DedupHits and Sheds total the admission retry-safety counters across
@@ -776,10 +803,13 @@ func (f *Federation) Stats() Stats {
 		s := sh.sup.Stats()
 		st.Queued += s.Queued
 		st.Running += s.Running
+		st.Suspended += s.Suspended
 		st.Terminal += s.Terminal
 		st.Adopted += s.Adopted
 		st.DedupHits += s.DedupHits
 		st.Sheds += s.Sheds
+		st.Suspends += s.Suspends
+		st.Resumes += s.Resumes
 	}
 	st.DedupHits += f.fedDedup.Load()
 	return st
@@ -830,6 +860,44 @@ func (f *Federation) Drain(ctx context.Context) error {
 // Store exposes the shared checkpoint store (nil unless Config.StorePath
 // was set) for scrubbing, compaction, and audits.
 func (f *Federation) Store() *store.Store { return f.store }
+
+// StoreGC compacts the shared checkpoint store when its garbage ratio
+// exceeds threshold, keeping the union of every live shard's live-key set
+// (a key any non-terminal run on any shard may resume from). Dead shards
+// awaiting handoff block the compaction: their journals still reference
+// checkpoints the survivors have not adopted yet, so dropping "garbage"
+// now could strand an interrupted run on a cold restart. Returns
+// (zero, false, nil) when the ratio is at or under threshold.
+func (f *Federation) StoreGC(threshold float64) (store.CompactStats, bool, error) {
+	if f.store == nil {
+		return store.CompactStats{}, false, fmt.Errorf("federation: no shared checkpoint store configured")
+	}
+	f.mu.Lock()
+	sups := make([]*supervisor.Supervisor, 0, len(f.shards))
+	for _, sh := range f.shards {
+		if !sh.alive {
+			if sh.handoff != nil {
+				f.mu.Unlock()
+				return store.CompactStats{}, false,
+					fmt.Errorf("federation: shard %d awaits journal handoff; its checkpoint references are not yet adopted", sh.ordinal)
+			}
+			continue
+		}
+		sups = append(sups, sh.sup)
+	}
+	f.mu.Unlock()
+	live := map[store.Key]bool{}
+	for _, sup := range sups {
+		for k := range sup.LiveCheckpointKeys() {
+			live[k] = true
+		}
+	}
+	if supervisor.GarbageRatio(f.store, live) <= threshold {
+		return store.CompactStats{}, false, nil
+	}
+	st, err := f.store.Compact(func(k store.Key) bool { return live[k] })
+	return st, err == nil, err
+}
 
 // Metrics exposes the federation's Prometheus registry (per-shard series
 // plus ring/handoff counters). Shard supervisors keep their own

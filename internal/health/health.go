@@ -126,6 +126,11 @@ const (
 	wSlowFaultBatch  = 0.25 // a handler cycle far over its running mean
 	wMigratorStall   = 0.30 // an injected/observed migration-thread stall
 	wPipelineRestart = 0.50 // a stage goroutine panic-restart
+	// wPressure scales the sampled memory-pressure gauge (0..1) into a
+	// migrator impulse. Sampled once per half-life, a sustained gauge of p
+	// holds the score near 2·wPressure·p, so full pressure (1.0) crosses
+	// the default UpThreshold while moderate pressure (≤0.8) does not.
+	wPressure = 0.35
 )
 
 // slowBatchFactor is how far over the running-mean duration a fault batch
@@ -156,6 +161,13 @@ type Options struct {
 	// every ladder transition — the live-monitoring hook the supervisor's
 	// Prometheus export rides on.
 	OnTransition func(Transition)
+	// Pressure, when set, is a memory-pressure gauge in [0,1] (the
+	// arbiter's EWMA-smoothed grant pressure). The controller samples it at
+	// most once per half-life on its own clock and folds the reading into
+	// the migrator score as a wPressure-weighted impulse, so a pressured
+	// run sheds prefetch aggressiveness through the ordinary ladder gates
+	// before the arbiter has to revoke or suspend anyone.
+	Pressure func() float64
 }
 
 func (o Options) withDefaults() Options {
@@ -242,6 +254,10 @@ type Controller struct {
 	// Running fault-batch latency baseline for slow-batch detection.
 	batchMean float64
 	batchN    int64
+
+	// lastPressure throttles Options.Pressure sampling to once per
+	// half-life.
+	lastPressure int64
 
 	// rec, when attached, receives a KindHealth event per transition and
 	// per significant score movement, on TrackHealth.
@@ -426,6 +442,7 @@ func (c *Controller) Tick(ts int64) {
 	}
 	c.mu.Lock()
 	c.decayAll(ts)
+	c.samplePressureLocked(ts)
 	t := c.stepLocked(ts)
 	c.mu.Unlock()
 	c.fire(t)
@@ -438,6 +455,16 @@ func (c *Controller) impulse(ts int64, comp Component, w float64) {
 	}
 	c.mu.Lock()
 	c.decayAll(ts)
+	c.samplePressureLocked(ts)
+	c.addLocked(ts, comp, w)
+	t := c.stepLocked(ts)
+	c.mu.Unlock()
+	c.fire(t)
+}
+
+// addLocked folds one weighted impulse into a component score; caller holds
+// mu and has already decayed to ts.
+func (c *Controller) addLocked(ts int64, comp Component, w float64) {
 	c.impulses++
 	s := c.scores[comp] + w
 	if s > 1 {
@@ -448,9 +475,25 @@ func (c *Controller) impulse(ts int64, comp Component, w float64) {
 		c.peak[comp] = s
 	}
 	c.emitScoreLocked(ts, comp)
-	t := c.stepLocked(ts)
-	c.mu.Unlock()
-	c.fire(t)
+}
+
+// samplePressureLocked reads the memory-pressure gauge at most once per
+// half-life and folds it into the migrator score; caller holds mu. The
+// gauge is called under the lock and must not call back into the
+// controller.
+func (c *Controller) samplePressureLocked(ts int64) {
+	if c.opt.Pressure == nil || ts-c.lastPressure < c.opt.HalfLife {
+		return
+	}
+	c.lastPressure = ts
+	p := c.opt.Pressure()
+	if p <= 0 {
+		return
+	}
+	if p > 1 {
+		p = 1
+	}
+	c.addLocked(ts, Migrator, wPressure*p)
 }
 
 // decayAll decays every component score to ts. Timestamps may regress

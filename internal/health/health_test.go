@@ -339,3 +339,68 @@ func TestReportContents(t *testing.T) {
 		t.Fatal("nil report MaxLevelValue != L0")
 	}
 }
+
+func TestPressureGaugeDrivesMigratorScore(t *testing.T) {
+	opt := testOptions()
+	opt.HalfLife = 100 // sample every 100ns so the test stays short
+	gauge := 0.0
+	calls := 0
+	opt.Pressure = func() float64 { calls++; return gauge }
+	c := NewController(opt)
+
+	// Zero pressure: ticks sample the gauge but fold no impulse.
+	for ts := int64(100); ts <= 1000; ts += 100 {
+		c.Tick(ts)
+	}
+	if calls == 0 {
+		t.Fatal("gauge never sampled")
+	}
+	if got := c.Level(); got != L0 {
+		t.Fatalf("zero pressure escalated to %s", got)
+	}
+
+	// Full pressure sustained across samples: steady state ~2·wPressure
+	// crosses UpThreshold and the ladder escalates.
+	gauge = 1.0
+	for ts := int64(1100); ts <= 20_000; ts += 100 {
+		c.Tick(ts)
+	}
+	if got := c.Level(); got == L0 {
+		t.Fatal("sustained full pressure never escalated the ladder")
+	}
+	rep := c.Report()
+	if rep.Scores[Migrator.String()] < 0.5 {
+		t.Fatalf("migrator score %v under sustained pressure, want >= 0.5", rep.Scores[Migrator.String()])
+	}
+
+	// Sampling is throttled: ticks inside one half-life reuse the last
+	// sample.
+	before := calls
+	c.Tick(20_010)
+	c.Tick(20_020)
+	if calls != before {
+		t.Fatalf("gauge sampled %d extra times inside one half-life", calls-before)
+	}
+
+	// Moderate pressure (0.5) decays back below the threshold: recovery.
+	gauge = 0.0
+	for ts := int64(21_000); ts <= 60_000; ts += 100 {
+		c.Tick(ts)
+	}
+	if got := c.Level(); got != L0 {
+		t.Fatalf("pressure released but ladder stuck at %s", got)
+	}
+}
+
+func TestModeratePressureStaysBelowThreshold(t *testing.T) {
+	opt := testOptions()
+	opt.HalfLife = 100
+	opt.Pressure = func() float64 { return 0.5 }
+	c := NewController(opt)
+	for ts := int64(100); ts <= 50_000; ts += 100 {
+		c.Tick(ts)
+	}
+	if got := c.Level(); got != L0 {
+		t.Fatalf("moderate pressure 0.5 escalated to %s, want L0", got)
+	}
+}

@@ -80,6 +80,12 @@ const (
 	// live shards after a rebalance), Arg2 = the peer shard ordinal for
 	// "adopt" (the successor that took the runs).
 	KindShard
+	// KindPressure is a memory-arbiter grant event under oversubscription.
+	// Name = the arbiter action ("grant", "release", "revoke", "restore",
+	// "suspend"), Block = the run ID the action concerns, Arg = the grant
+	// bytes the action moved, Arg2 = the smoothed pressure in
+	// parts-per-million.
+	KindPressure
 )
 
 // Evict flag bits for KindEvict.Arg2.
@@ -124,13 +130,15 @@ func (k Kind) String() string {
 		return "health"
 	case KindShard:
 		return "shard"
+	case KindPressure:
+		return "pressure"
 	}
 	return "none"
 }
 
 // kindByName is the inverse of Kind.String, used by the trace reader.
 func kindByName(s string) (Kind, bool) {
-	for k := KindIteration; k <= KindShard; k++ {
+	for k := KindIteration; k <= KindPressure; k++ {
 		if k.String() == s {
 			return k, true
 		}
@@ -165,6 +173,9 @@ const (
 	// TrackShard carries federation shard-lifecycle events (kills,
 	// handoffs, adoptions, ring rebalances) on the wall clock.
 	TrackShard
+	// TrackArbiter carries memory-arbiter grant events (KindPressure) on
+	// the wall clock. Appended after TrackShard: tids are stable.
+	TrackArbiter
 	numTracks
 )
 
@@ -190,6 +201,8 @@ func (t Track) String() string {
 		return "health"
 	case TrackShard:
 		return "shard"
+	case TrackArbiter:
+		return "arbiter"
 	}
 	return "unknown"
 }

@@ -82,6 +82,19 @@ func FuzzReplayJournal(f *testing.F) {
 	f.Add(journalImage(frame(RecFinished, 1, nil), frame(RecordType(0), 2, nil))) // good frame then zero type
 	f.Add(journalImage(frame(RecAdmissionKey, 3, []byte("retry-key-3")), frame(RecSubmitted, 3, spec)))
 	f.Add(journalImage(frame(RecAdmissionKey, 3, nil))) // type confusion: key record with no key
+	// Suspended-run lifecycle: submit, start, checkpoint, suspend, restart,
+	// finish — the arbiter's suspend-to-checkpoint shape.
+	f.Add(journalImage(
+		frame(RecSubmitted, 4, spec),
+		frame(RecStarted, 4, nil),
+		frame(RecCheckpointed, 4, bytes.Repeat([]byte{0xCD}, 48)),
+		frame(RecSuspended, 4, []byte("memory pressure")),
+		frame(RecStarted, 4, nil),
+		frame(RecFinished, 4, fin),
+	))
+	f.Add(journalImage(frame(RecSuspended, 4, nil)))                                // reasonless suspension is legal
+	f.Add(journalImage(frame(RecSuspended, 4, spec), frame(RecSubmitted, 5, spec))) // suspend then unrelated submit
+	f.Add(journalImage(frame(RecordType(7), 4, []byte("beyond-suspended"))))        // first type past the known range
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if len(data) > 1<<20 {

@@ -78,6 +78,13 @@ const (
 	// retry creates exactly one run. The reverse order would leave a
 	// keyless run that a retry duplicates.
 	RecAdmissionKey RecordType = 5
+	// RecSuspended: the arbiter suspended the run to its checkpoint and
+	// returned it to the queue; data is a short human-readable reason.
+	// Non-terminal: replay treats a run whose latest lifecycle record is a
+	// suspension exactly like an interrupted one — requeued and resumed
+	// from its last RecCheckpointed payload — so kill-during-suspend and
+	// federation handoff need no special casing.
+	RecSuspended RecordType = 6
 )
 
 func (t RecordType) String() string {
@@ -92,6 +99,8 @@ func (t RecordType) String() string {
 		return "finished"
 	case RecAdmissionKey:
 		return "admission-key"
+	case RecSuspended:
+		return "suspended"
 	}
 	return fmt.Sprintf("type-%d", uint8(t))
 }
@@ -100,7 +109,7 @@ func (t RecordType) String() string {
 // Unknown types fail replay: with no compatibility story yet, a foreign
 // type means the file is not ours or is corrupt.
 func knownType(t RecordType) bool {
-	return t >= RecSubmitted && t <= RecAdmissionKey
+	return t >= RecSubmitted && t <= RecSuspended
 }
 
 // Record is one journal entry.

@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"time"
 
+	"deepum/internal/arbiter"
 	"deepum/internal/metrics"
+	"deepum/internal/obs"
 )
 
 // Prometheus instrumentation. The registry is scraped by deepum-serve's
@@ -41,8 +43,8 @@ func (s *Supervisor) initMetrics() {
 			"Queue wait from admission to worker pickup, by deadline class.",
 			map[string]string{"class": class}, queueWaitBuckets)
 	}
-	for _, st := range []RunState{StateQueued, StateRunning, StateCompleted,
-		StateCancelled, StateDeadlineExceeded, StateDegraded, StateFailed} {
+	for _, st := range []RunState{StateQueued, StateRunning, StateSuspended,
+		StateCompleted, StateCancelled, StateDeadlineExceeded, StateDegraded, StateFailed} {
 		st := st
 		s.prom.GaugeFunc("deepum_supervisor_runs", "Runs by current state.",
 			map[string]string{"state": string(st)}, func() float64 {
@@ -88,6 +90,23 @@ func (s *Supervisor) initMetrics() {
 	for _, level := range []string{"L0", "L1", "L2", "L3"} {
 		s.prom.Counter("deepum_health_transitions_total",
 			"Degradation-ladder transitions by target level.", map[string]string{"level": level})
+	}
+	// Oversubscription arbiter family: pressure and granted-bytes gauges
+	// sample the arbiter at scrape time; the event counter is pre-registered
+	// per action so the escalation ladder is visible at zero.
+	if s.arb != nil {
+		s.prom.GaugeFunc("deepum_arbiter_pressure",
+			"Smoothed memory-pressure signal (0..1; granted/budget EWMA).",
+			nil, func() float64 { return s.arb.Pressure() })
+		s.prom.GaugeFunc("deepum_arbiter_granted_bytes",
+			"Simulated GPU memory currently granted (floors plus live bursts).",
+			nil, func() float64 { return float64(s.arb.Stats().Granted) })
+		for _, k := range []arbiter.EventKind{arbiter.EventGrant, arbiter.EventRelease,
+			arbiter.EventRevoke, arbiter.EventRestore, arbiter.EventSuspend} {
+			s.prom.Counter("deepum_arbiter_events_total",
+				"Arbiter grant-lifecycle events by action.",
+				map[string]string{"action": k.String()})
+		}
 	}
 	s.prom.Counter("deepum_supervisor_watchdog_cancels_total",
 		"Runs cancelled by the hang-detection watchdog.", nil)
@@ -150,6 +169,19 @@ func (s *Supervisor) noteHealth(r *run, level int) {
 		r.info.HealthLevel = level
 	}
 	s.mu.Unlock()
+}
+
+// noteArbiter mirrors one arbiter grant-lifecycle event into the metrics
+// and (when configured) the obs trace. It is called from the arbiter's
+// event hook, which may fire while a supervisor method holds s.mu — it
+// must therefore never take s.mu itself.
+func (s *Supervisor) noteArbiter(ev arbiter.Event) {
+	s.prom.Counter("deepum_arbiter_events_total", "",
+		map[string]string{"action": ev.Kind.String()}).Inc()
+	if s.cfg.Obs != nil {
+		s.cfg.Obs.Instant(obs.KindPressure, obs.TrackArbiter, time.Now().UnixNano(),
+			ev.Kind.String(), int64(ev.RunID), ev.Bytes, int64(ev.Pressure*1e6))
+	}
 }
 
 // Metrics exposes the supervisor's Prometheus registry for scraping

@@ -44,6 +44,12 @@ type RunSpec struct {
 	// MemoryDemand is the simulated GPU bytes this run charges against the
 	// supervisor's budget; 0 lets Config.Estimate fill it at admission.
 	MemoryDemand int64 `json:"memory_demand,omitempty"`
+	// Priority is the run's arbiter priority class (higher = more
+	// important; 0 is the default class). Under oversubscription the
+	// arbiter picks revocation and suspension victims lowest-priority
+	// first. Journaled with the spec, so priority survives restarts and
+	// federation handoffs.
+	Priority int `json:"priority,omitempty"`
 	// Timeout overrides Config.WatchdogTimeout for this run (wall clock;
 	// 0 inherits the supervisor default).
 	Timeout time.Duration `json:"timeout,omitempty"`
@@ -120,6 +126,11 @@ const (
 	StateDeadlineExceeded RunState = "deadline-exceeded"
 	StateDegraded         RunState = "degraded"
 	StateFailed           RunState = "failed"
+	// StateSuspended is NOT terminal: the arbiter checkpointed the run out
+	// of execution under memory pressure and returned it to the queue; a
+	// worker resumes it from its warm state once headroom exists (or an
+	// operator forces it via Resume).
+	StateSuspended RunState = "suspended"
 )
 
 // Terminal reports whether the state is final.
@@ -151,6 +162,9 @@ type RunInfo struct {
 	// live-updated for runs whose spec enabled health monitoring under a
 	// LiveRunner.
 	HealthLevel int `json:"health_level,omitempty"`
+	// Suspends counts arbiter suspend-to-checkpoint cycles this run has
+	// been through (each one adds an Attempts increment when it resumes).
+	Suspends int `json:"suspends,omitempty"`
 	// Checkpoints counts journaled warm-state checkpoints for this run.
 	Checkpoints int        `json:"checkpoints,omitempty"`
 	Submitted   time.Time  `json:"submitted"`
@@ -167,6 +181,27 @@ var ErrShuttingDown = errors.New("supervisor: shutting down; not admitting runs"
 
 // ErrAlreadyFinished rejects Cancel on a terminal run.
 var ErrAlreadyFinished = errors.New("supervisor: run already reached a terminal state")
+
+// ErrNotSuspended rejects Resume on a run that is not suspended.
+var ErrNotSuspended = errors.New("supervisor: run is not suspended")
+
+// ErrNotRunning rejects Suspend on a run that is not currently executing.
+var ErrNotRunning = errors.New("supervisor: run is not running")
+
+// pressureCtxKey carries the per-run memory-pressure gauge in the runner's
+// context under oversubscription.
+type pressureCtxKey struct{}
+
+// PressureFromContext returns the memory-pressure gauge the supervisor
+// attached to a running run's context (the arbiter's smoothed 0..1 signal,
+// pinned to 1 while the run's burst is revoked), or nil when the run is not
+// executing under an oversubscription arbiter. Runners feed it into their
+// health controller (health.Options.Pressure) so pressured runs shed
+// prefetch aggressiveness through the ordinary ladder gates.
+func PressureFromContext(ctx context.Context) func() float64 {
+	f, _ := ctx.Value(pressureCtxKey{}).(func() float64)
+	return f
+}
 
 // ShedError is admission.ShedError re-exported at the supervisor layer: a
 // submission rejected because its propagated client deadline cannot be met

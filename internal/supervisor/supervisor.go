@@ -22,8 +22,10 @@ import (
 	"time"
 
 	"deepum/internal/admission"
+	"deepum/internal/arbiter"
 	"deepum/internal/chaos"
 	"deepum/internal/metrics"
+	"deepum/internal/obs"
 	"deepum/internal/store"
 	"deepum/internal/supervisor/journal"
 )
@@ -44,8 +46,35 @@ type Config struct {
 	// admission.
 	GPUMemoryBudget int64
 	// PerRunQuota caps one run's demand. 0 with a budget set defaults to
-	// an equal partition, GPUMemoryBudget / Workers.
+	// an equal partition, GPUMemoryBudget / Workers — unless Oversubscribe
+	// is on, where it defaults to the whole budget: under the arbiter a
+	// per-run rejection means "this run can NEVER fit the device", not
+	// "the pool is busy right now".
 	PerRunQuota int64
+	// Oversubscribe replaces hard total-budget QuotaError rejections with
+	// arbiter admission: runs whose aggregate demand exceeds
+	// GPUMemoryBudget are all admitted and kept alive under pressure via
+	// soft grants, burst revocation, and suspend-to-checkpoint. Requires a
+	// positive GPUMemoryBudget.
+	Oversubscribe bool
+	// Arbiter tunes the oversubscription arbiter (zero values select the
+	// arbiter package defaults; Budget defaults to GPUMemoryBudget).
+	// Ignored unless Oversubscribe is set.
+	Arbiter arbiter.Options
+	// ArbiterTick is the wall-clock cadence of arbiter escalation ticks
+	// (pressure smoothing, revocation, suspension). Defaults to 10ms.
+	ArbiterTick time.Duration
+	// Obs, when non-nil, receives a KindPressure event on TrackArbiter for
+	// every arbiter grant-state change (wall-clock timestamps).
+	Obs *obs.Recorder
+	// StoreGCThreshold enables reference-counted checkpoint-store garbage
+	// collection: after a run finishes, if the fraction of store keys not
+	// referenced by any live (non-terminal) run's resume state exceeds the
+	// threshold, the supervisor compacts the store in the background.
+	// 0 disables. Only safe when this supervisor is the store's sole
+	// writer — a federation must GC at the federation level instead, with
+	// the union of every shard's live set (Federation.StoreGC).
+	StoreGCThreshold float64
 	// WatchdogTimeout is how long a running run may go without a progress
 	// heartbeat before the watchdog cancels it; 0 disables hang detection.
 	// RunSpec.Timeout overrides it per run.
@@ -124,6 +153,21 @@ type Supervisor struct {
 	ckptStored   int
 	ckptInlined  int
 	coldRestarts int
+	// Oversubscription accounting: suspend-to-checkpoint cycles and
+	// resumptions of suspended runs.
+	suspends int64
+	resumes  int64
+
+	// arb is the oversubscription arbiter (nil when Oversubscribe is off;
+	// every arbiter method is nil-safe). arbStop ends its tick loop once.
+	arb      *arbiter.Arbiter
+	arbStop  chan struct{}
+	arbOnce  sync.Once
+	// Store-GC accounting: gcBusy serializes background compactions;
+	// counters are read by Stats.
+	gcBusy      atomic.Bool
+	gcRuns      atomic.Int64
+	gcReclaimed atomic.Int64
 
 	workersDone chan struct{}
 	killedCh    chan struct{}
@@ -145,6 +189,12 @@ type run struct {
 	resume       []byte // latest checkpoint bytes, what a restart resumes from
 	cancel       context.CancelFunc
 	cancelReason string
+	// suspendReason, when non-empty on a running run, asks finalize to
+	// suspend-to-checkpoint instead of going terminal (arbiter pressure or
+	// the Suspend API). A real cancellation reason always wins over it.
+	suspendReason string
+	// force lets Resume bypass the arbiter's headroom gate once.
+	force bool
 	heartbeat    atomic.Int64 // unix nanos of last progress signal
 	healthLevel  atomic.Int64 // current degradation-ladder level (LiveRunner)
 	done         chan struct{}
@@ -177,8 +227,19 @@ func New(cfg Config) (*Supervisor, error) {
 	if cfg.QueueDepth <= 0 {
 		cfg.QueueDepth = 16
 	}
+	if cfg.Oversubscribe && cfg.GPUMemoryBudget <= 0 {
+		return nil, fmt.Errorf("supervisor: Oversubscribe requires a positive GPUMemoryBudget")
+	}
 	if cfg.PerRunQuota == 0 && cfg.GPUMemoryBudget > 0 {
-		cfg.PerRunQuota = cfg.GPUMemoryBudget / int64(cfg.Workers)
+		if cfg.Oversubscribe {
+			// Under the arbiter, the only permanent rejection is a run that
+			// could never fit the device even alone; the equal-partition
+			// default would reject a run that fits the whole budget on an
+			// otherwise idle supervisor.
+			cfg.PerRunQuota = cfg.GPUMemoryBudget
+		} else {
+			cfg.PerRunQuota = cfg.GPUMemoryBudget / int64(cfg.Workers)
+		}
 	}
 	seed := cfg.ChaosSeed
 	if seed == 0 {
@@ -197,6 +258,25 @@ func New(cfg Config) (*Supervisor, error) {
 		shedder:     admission.NewShedder(admission.ShedOptions{Seed: seed}),
 	}
 	s.qcond = sync.NewCond(&s.mu)
+	if cfg.Oversubscribe {
+		aopt := cfg.Arbiter
+		if aopt.Budget == 0 {
+			aopt.Budget = cfg.GPUMemoryBudget
+		}
+		userEvent := aopt.OnEvent
+		aopt.OnEvent = func(ev arbiter.Event) {
+			s.noteArbiter(ev)
+			if userEvent != nil {
+				userEvent(ev)
+			}
+		}
+		arb, err := arbiter.New(aopt)
+		if err != nil {
+			return nil, fmt.Errorf("supervisor: %w", err)
+		}
+		s.arb = arb
+		s.arbStop = make(chan struct{})
+	}
 	s.initMetrics()
 	if cfg.JournalPath != "" {
 		// Stream the journal through the adoption folder: the fold keeps
@@ -228,7 +308,49 @@ func New(cfg Config) (*Supervisor, error) {
 		s.wg.Add(1)
 		go s.worker(n)
 	}
+	if s.arb != nil {
+		tick := cfg.ArbiterTick
+		if tick <= 0 {
+			tick = 10 * time.Millisecond
+		}
+		s.wg.Add(1)
+		go s.arbiterLoop(tick)
+	}
 	return s, nil
+}
+
+// arbiterLoop drives the arbiter's escalation ladder on a wall-clock tick:
+// pressure smoothing, burst revocation/restoration, and suspend-victim
+// selection. Each tick also wakes the workers so queue entries gated on
+// resume headroom are re-checked.
+func (s *Supervisor) arbiterLoop(every time.Duration) {
+	defer s.wg.Done()
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.arbStop:
+			return
+		case now := <-t.C:
+			d := s.arb.Tick(now.UnixNano())
+			for _, id := range d.Suspend {
+				// Best effort: the victim may have finished or been
+				// cancelled between selection and here.
+				_ = s.suspend(id, "arbiter: sustained memory pressure")
+			}
+			s.mu.Lock()
+			s.qcond.Broadcast()
+			s.mu.Unlock()
+		}
+	}
+}
+
+// stopArbiter ends the tick loop; no further suspensions are initiated.
+func (s *Supervisor) stopArbiter() {
+	if s.arb == nil {
+		return
+	}
+	s.arbOnce.Do(func() { close(s.arbStop) })
 }
 
 // Adoption is one run lifted from a replayed journal — the unit of both
@@ -243,6 +365,7 @@ type Adoption struct {
 	Demand      int64
 	Attempts    int    // started records seen before the kill
 	Checkpoints int    // checkpoint records seen
+	Suspends    int    // arbiter suspension records seen
 	Resume      []byte // latest checkpoint payload; nil = cold start
 	// Terminal marks a run that already finished (or whose spec record is
 	// undecodable): it is adopted as history and never re-executed.
@@ -263,13 +386,14 @@ type AdoptionFolder struct {
 }
 
 type ghost struct {
-	spec    journalSpec
-	specOK  bool
-	key     string
-	started int
-	ckpt    []byte
-	ckpts   int
-	finish  *journalFinish
+	spec     journalSpec
+	specOK   bool
+	key      string
+	started  int
+	ckpt     []byte
+	ckpts    int
+	suspends int
+	finish   *journalFinish
 }
 
 // NewAdoptionFolder returns an empty folder.
@@ -307,6 +431,12 @@ func (f *AdoptionFolder) Add(rec journal.Record) {
 		// (crash between the two appends) never enters f.order and is
 		// dropped — a client retry then creates exactly one run.
 		g.key = string(rec.Data)
+	case journal.RecSuspended:
+		// Non-terminal by design: a run whose last lifecycle record is a
+		// suspension folds exactly like an interrupted one — requeued and
+		// resumed from its latest checkpoint — so both self-recovery and a
+		// federation handoff adopt suspended runs with no special casing.
+		g.suspends++
 	}
 }
 
@@ -325,6 +455,7 @@ func (f *AdoptionFolder) Adoptions() []Adoption {
 			Demand:      g.spec.Demand,
 			Attempts:    g.started,
 			Checkpoints: g.ckpts,
+			Suspends:    g.suspends,
 		}
 		switch {
 		case !g.specOK:
@@ -470,6 +601,7 @@ func (s *Supervisor) admitAdoptionLocked(a Adoption, journalIt bool) (bool, erro
 			Demand:      a.Demand,
 			Attempts:    a.Attempts,
 			Checkpoints: a.Checkpoints,
+			Suspends:    a.Suspends,
 			Submitted:   s.epoch,
 		},
 		done: make(chan struct{}),
@@ -532,6 +664,10 @@ type SubmitOptions struct {
 	// shedder predicts cannot start within it is rejected with *ShedError.
 	// 0 means no deadline: never shed.
 	Deadline time.Duration
+	// Priority, when non-zero, overrides RunSpec.Priority — the arbiter
+	// priority class under oversubscription (higher = more important;
+	// victims are picked lowest-priority first).
+	Priority int
 }
 
 // SubmitWithOptions is SubmitID plus idempotency and deadline handling.
@@ -552,6 +688,9 @@ func (s *Supervisor) SubmitWithOptions(id uint64, spec RunSpec, opts SubmitOptio
 			s.noteDedup()
 			return prev, true, nil
 		}
+	}
+	if opts.Priority != 0 {
+		spec.Priority = opts.Priority
 	}
 	demand := spec.MemoryDemand
 	if demand == 0 && s.cfg.Estimate != nil {
@@ -579,10 +718,17 @@ func (s *Supervisor) SubmitWithOptions(id uint64, spec RunSpec, opts SubmitOptio
 		return 0, false, ErrShuttingDown
 	}
 	if s.cfg.PerRunQuota > 0 && demand > s.cfg.PerRunQuota {
+		// With oversubscription on, PerRunQuota defaults to the whole
+		// budget, so this fires only for runs that could never fit the
+		// device even alone — the one rejection the arbiter cannot argue
+		// with.
 		s.noteSubmission("quota")
 		return 0, false, &QuotaError{Demand: demand, Limit: s.cfg.PerRunQuota, PerRun: true}
 	}
-	if s.cfg.GPUMemoryBudget > 0 && s.committed+demand > s.cfg.GPUMemoryBudget {
+	if s.arb == nil && s.cfg.GPUMemoryBudget > 0 && s.committed+demand > s.cfg.GPUMemoryBudget {
+		// The hard aggregate rejection. Under oversubscription the arbiter
+		// admits past the budget and keeps everyone alive by soft grants,
+		// revocation, and suspend-to-checkpoint instead.
 		s.noteSubmission("quota")
 		return 0, false, &QuotaError{Demand: demand, Limit: s.cfg.GPUMemoryBudget, Committed: s.committed}
 	}
@@ -676,44 +822,79 @@ func (s *Supervisor) worker(n int) {
 	defer s.wg.Done()
 	for {
 		s.mu.Lock()
-		for len(s.queued) == 0 && !s.qclosed {
+		var id uint64
+		for {
+			id = s.popRunnableLocked()
+			if id != 0 {
+				break
+			}
+			if s.qclosed && len(s.queued) == 0 {
+				s.mu.Unlock()
+				return
+			}
 			s.qcond.Wait()
-		}
-		if len(s.queued) == 0 {
-			s.mu.Unlock()
-			return
-		}
-		id := s.queued[0]
-		s.queued = s.queued[1:]
-		if len(s.queued) == 0 {
-			s.queued = nil // release the drained backing array
 		}
 		s.mu.Unlock()
 		s.execute(n, id)
 	}
 }
 
+// popRunnableLocked pops the first queue entry that may execute now. Fresh
+// runs always may; suspended runs are gated on the arbiter's raw resume
+// headroom (bypassed once the queue is closed — drain must finish them —
+// and for runs an operator forced via Resume). Returns 0 when nothing is
+// runnable; the arbiter tick loop broadcasts qcond so gated entries are
+// re-checked as pressure relaxes. Caller holds mu. Run IDs start at 1, so
+// 0 is a safe sentinel.
+func (s *Supervisor) popRunnableLocked() uint64 {
+	for i, id := range s.queued {
+		if r := s.runs[id]; r != nil && r.info.State == StateSuspended &&
+			!r.force && !s.qclosed && !s.arb.CanResume(r.info.Demand) {
+			continue
+		}
+		s.queued = append(s.queued[:i], s.queued[i+1:]...)
+		if len(s.queued) == 0 {
+			s.queued = nil // release the drained backing array
+		}
+		return id
+	}
+	return 0
+}
+
 // execute runs one queued run to a terminal state, surviving runner panics.
 func (s *Supervisor) execute(n int, id uint64) {
 	s.mu.Lock()
 	r := s.runs[id]
-	if r == nil || r.info.State != StateQueued || s.killed {
+	if r == nil || (r.info.State != StateQueued && r.info.State != StateSuspended) || s.killed {
 		// Cancelled while queued (already finalized) or hard-stopped.
 		s.mu.Unlock()
 		return
 	}
+	fromState := r.info.State
+	resumedFromSuspend := fromState == StateSuspended
+	r.force = false
 	ctx, cancel := context.WithCancel(context.Background())
+	if s.arb != nil {
+		gaugeID := id
+		ctx = context.WithValue(ctx, pressureCtxKey{},
+			func() float64 { return s.arb.PressureFor(gaugeID) })
+	}
 	r.cancel = cancel
 	r.info.State = StateRunning
 	now := time.Now()
 	// One queue departure: feed the shedder's drain model and the per-class
 	// queue-wait histogram (adoptions carry the epoch as Submitted, so the
-	// clamp guards skewed or replayed timestamps).
-	if wait := now.Sub(r.info.Submitted); wait >= 0 {
+	// clamp guards skewed or replayed timestamps). A resumption of a
+	// suspended run is not an admission — it would poison both models.
+	if wait := now.Sub(r.info.Submitted); wait >= 0 && !resumedFromSuspend {
 		s.shedder.ObserveStart(wait)
 		s.prom.Histogram("deepum_admission_queue_wait_seconds", "",
 			map[string]string{"class": r.class}, queueWaitBuckets).Observe(wait.Seconds())
 	}
+	if resumedFromSuspend {
+		s.resumes++
+	}
+	s.arb.Acquire(now.UnixNano(), id, r.info.Demand, r.info.Spec.Priority)
 	r.info.Started = &now
 	r.info.Attempts++
 	resume := s.resolveResumeLocked(id, r.resume)
@@ -722,7 +903,7 @@ func (s *Supervisor) execute(n int, id uint64) {
 	r.heartbeat.Store(now.UnixNano())
 	panicNow := s.cfg.Chaos.Active() && s.rng.Float64() < s.cfg.Chaos.WorkerPanicProb
 	jerr := s.appendLocked(journal.Record{Type: journal.RecStarted, RunID: id})
-	s.record(StateQueued, StateRunning, fmt.Sprintf("worker %d", n))
+	s.record(fromState, StateRunning, fmt.Sprintf("worker %d", n))
 	timeout := r.info.Spec.Timeout
 	if timeout <= 0 {
 		timeout = s.cfg.WatchdogTimeout
@@ -872,6 +1053,37 @@ func (s *Supervisor) finalize(r *run, out Outcome, runErr error, panicked bool) 
 	if r.info.State.Terminal() {
 		return
 	}
+	s.arb.Release(time.Now().UnixNano(), r.info.ID)
+	// Suspend-to-checkpoint: a clean interruption requested by the arbiter
+	// (or the Suspend API) is not terminal. The runner's partial outcome
+	// carries the warm state; journal it plus a suspension record, return
+	// the run to the queue tail, and leave everything an exactly-once
+	// restart needs — committed demand, the done channel, the idempotency
+	// binding — untouched. A real cancellation (API, watchdog, drain
+	// escalation, kill) always wins over a pending suspension, and a
+	// runner that completed before noticing the cancel stays completed.
+	if r.suspendReason != "" && r.cancelReason == "" && !s.killed &&
+		runErr == nil && !panicked && RunState(out.Status) == StateCancelled {
+		if len(out.Checkpoint) > 0 {
+			if s.appendLocked(journal.Record{Type: journal.RecCheckpointed, RunID: r.info.ID, Data: s.checkpointPayloadLocked(out.Checkpoint)}) == nil {
+				r.resume = out.Checkpoint
+				r.info.Checkpoints++
+			}
+		}
+		reason := r.suspendReason
+		_ = s.appendLocked(journal.Record{Type: journal.RecSuspended, RunID: r.info.ID, Data: []byte(reason)})
+		r.suspendReason = ""
+		r.cancel = nil
+		r.info.State = StateSuspended
+		r.info.Reason = reason
+		r.info.Suspends++
+		s.suspends++
+		s.record(StateRunning, StateSuspended, reason)
+		s.queued = append(s.queued, r.info.ID)
+		s.qcond.Broadcast()
+		return
+	}
+	r.suspendReason = ""
 	var state RunState
 	switch {
 	case runErr != nil || panicked:
@@ -915,10 +1127,13 @@ func (s *Supervisor) finalize(r *run, out Outcome, runErr error, panicked bool) 
 	}
 	s.noteFinished(state, r.info.Started, now)
 	close(r.done)
+	s.maybeStoreGC()
 }
 
-// finalizeQueuedLocked cancels a run that never started. Caller holds mu.
+// finalizeQueuedLocked cancels a run that never started (or is suspended,
+// waiting to resume). Caller holds mu.
 func (s *Supervisor) finalizeQueuedLocked(r *run, reason string) {
+	from := r.info.State
 	out := &Outcome{Status: string(StateCancelled)}
 	r.info.State = StateCancelled
 	r.info.Reason = reason
@@ -929,7 +1144,7 @@ func (s *Supervisor) finalizeQueuedLocked(r *run, reason string) {
 		_ = s.appendLocked(journal.Record{Type: journal.RecFinished, RunID: r.info.ID, Data: data})
 	}
 	s.committed -= r.info.Demand
-	s.record(StateQueued, StateCancelled, reason)
+	s.record(from, StateCancelled, reason)
 	s.noteFinished(StateCancelled, r.info.Started, now)
 	close(r.done)
 }
@@ -945,7 +1160,9 @@ func (s *Supervisor) Cancel(id uint64) error {
 		return &NotFoundError{ID: id}
 	}
 	switch r.info.State {
-	case StateQueued:
+	case StateQueued, StateSuspended:
+		// A suspended run sits in the queue like a queued one; its stale
+		// queue entry is skipped by execute after finalization here.
 		s.finalizeQueuedLocked(r, "cancelled by api")
 		s.mu.Unlock()
 		return nil
@@ -961,6 +1178,61 @@ func (s *Supervisor) Cancel(id uint64) error {
 		s.mu.Unlock()
 		return ErrAlreadyFinished
 	}
+}
+
+// Suspend checkpoints a running run out of execution and returns it to the
+// queue (the arbiter's last escalation rung, also exposed for operators and
+// deterministic tests). The runner is cancelled; when it reports its warm
+// partial outcome, finalize journals the checkpoint plus a suspension
+// record and the run becomes StateSuspended — resumable, never lost.
+// Returns ErrNotRunning for runs not currently executing.
+func (s *Supervisor) Suspend(id uint64) error { return s.suspend(id, "suspended by api") }
+
+// suspend requests a suspend-to-checkpoint with the given reason.
+func (s *Supervisor) suspend(id uint64, reason string) error {
+	s.mu.Lock()
+	r, ok := s.runs[id]
+	if !ok {
+		s.mu.Unlock()
+		return &NotFoundError{ID: id}
+	}
+	if r.info.State != StateRunning || s.draining || s.killed {
+		s.mu.Unlock()
+		return ErrNotRunning
+	}
+	if r.suspendReason == "" {
+		r.suspendReason = reason
+	}
+	cancel := r.cancel
+	s.mu.Unlock()
+	cancel()
+	return nil
+}
+
+// Resume forces a suspended run back to the front of the queue, bypassing
+// the arbiter's headroom gate once (an operator override; organic
+// resumption happens automatically as pressure relaxes). Returns
+// ErrNotSuspended when the run is not suspended.
+func (s *Supervisor) Resume(id uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.runs[id]
+	if !ok {
+		return &NotFoundError{ID: id}
+	}
+	if r.info.State != StateSuspended {
+		return ErrNotSuspended
+	}
+	r.force = true
+	for i, q := range s.queued {
+		if q == id {
+			s.queued = append(s.queued[:i], s.queued[i+1:]...)
+			break
+		}
+	}
+	s.queued = append([]uint64{id}, s.queued...)
+	s.qcond.Broadcast()
+	return nil
 }
 
 // Get snapshots one run.
@@ -1021,6 +1293,9 @@ func (s *Supervisor) Killed() <-chan struct{} { return s.killedCh }
 // Stats is a point-in-time aggregate of the supervisor.
 type Stats struct {
 	Queued, Running, Terminal int
+	// Suspended counts runs the arbiter checkpointed out of execution that
+	// are waiting (in the queue) to resume.
+	Suspended int
 	// CommittedBytes is the simulated GPU memory pledged to admitted runs.
 	CommittedBytes int64
 	// Budget and PerRunQuota echo the effective quota configuration.
@@ -1049,6 +1324,17 @@ type Stats struct {
 	DedupHits     int64
 	Sheds         int64
 	AdmissionKeys int
+	// Suspends counts suspend-to-checkpoint cycles; Resumes counts
+	// suspended runs re-entering execution.
+	Suspends int64
+	Resumes  int64
+	// Arbiter is the oversubscription arbiter's ledger snapshot (zero when
+	// Oversubscribe is off).
+	Arbiter arbiter.Stats
+	// StoreGCs counts background checkpoint-store compactions;
+	// StoreGCReclaimed is the total bytes they reclaimed.
+	StoreGCs         int64
+	StoreGCReclaimed int64
 }
 
 // Stats snapshots the aggregate state.
@@ -1070,13 +1356,20 @@ func (s *Supervisor) Stats() Stats {
 		DedupHits:          s.dedupHits.Load(),
 		Sheds:              s.shedder.Stats().Sheds,
 		AdmissionKeys:      s.keys.Len(),
+		Suspends:           s.suspends,
+		Resumes:            s.resumes,
+		Arbiter:            s.arb.Stats(),
+		StoreGCs:           s.gcRuns.Load(),
+		StoreGCReclaimed:   s.gcReclaimed.Load(),
 	}
 	for _, r := range s.runs {
-		switch {
-		case r.info.State == StateQueued:
+		switch r.info.State {
+		case StateQueued:
 			st.Queued++
-		case r.info.State == StateRunning:
+		case StateRunning:
 			st.Running++
+		case StateSuspended:
+			st.Suspended++
 		default:
 			st.Terminal++
 		}
@@ -1107,6 +1400,7 @@ func (s *Supervisor) Drain(ctx context.Context) error {
 	s.qclosed = true
 	s.qcond.Broadcast()
 	s.mu.Unlock()
+	s.stopArbiter()
 	s.waitWG.Do(func() {
 		go func() {
 			s.wg.Wait()
@@ -1154,6 +1448,7 @@ func (s *Supervisor) Kill() {
 		}
 	}
 	s.mu.Unlock()
+	s.stopArbiter()
 	for _, c := range cancels {
 		c()
 	}

@@ -115,6 +115,13 @@ func (trainRunner) run(ctx context.Context, spec RunSpec, resume []byte, progres
 		if healthFn != nil {
 			opt.OnTransition = func(t HealthTransition) { healthFn(int(t.To)) }
 		}
+		// Under oversubscription the supervisor attaches the arbiter's
+		// pressure gauge to the run context; feeding it into the health
+		// controller lets pressured runs shed prefetch aggressiveness
+		// through the ordinary ladder gates instead of a side channel.
+		if pf := supervisor.PressureFromContext(ctx); pf != nil {
+			opt.Pressure = pf
+		}
 		cfg.Health = &opt
 	}
 	if len(resume) > 0 {
